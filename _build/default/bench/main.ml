@@ -1,0 +1,774 @@
+(* Benchmark harness: regenerates every evaluation artefact of the paper
+   (Fig. 6 and Table 1) plus the ablations and extensions indexed in
+   DESIGN.md, and a set of Bechamel micro-benchmarks of the substrates.
+
+   Usage:
+     dune exec bench/main.exe              # paper artefacts (fig6, table1)
+     dune exec bench/main.exe -- all       # everything
+     dune exec bench/main.exe -- fig6 ablation-strategy ...
+     dune exec bench/main.exe -- list      # list experiment names *)
+
+open Avdb_core
+open Avdb_workload
+open Avdb_metrics
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* --- shared experiment plumbing --- *)
+
+type scm_setup = {
+  n_sites : int;
+  n_items : int;
+  initial_amount : int;
+  mode : Config.mode;
+  allocation : Config.av_allocation;
+  strategy : Avdb_av.Strategy.t;
+  item_skew : float;
+  maker_weight : int;
+  prefetch_low : int option;
+  total_updates : int;
+  checkpoint_every : int;
+  seed : int;
+}
+
+let default_setup =
+  {
+    n_sites = 3;
+    n_items = 100;
+    initial_amount = 100;
+    mode = Config.Autonomous;
+    allocation = Config.Even;
+    strategy = Avdb_av.Strategy.paper;
+    item_skew = 0.;
+    maker_weight = 1;
+    prefetch_low = None;
+    total_updates = 3000;
+    checkpoint_every = 300;
+    seed = 2000;
+  }
+
+let run_scm setup =
+  let config =
+    {
+      Config.default with
+      Config.n_sites = setup.n_sites;
+      mode = setup.mode;
+      allocation = setup.allocation;
+      strategy = setup.strategy;
+      products =
+        Product.catalogue ~n_regular:setup.n_items ~n_non_regular:0
+          ~initial_amount:setup.initial_amount;
+      prefetch_low = setup.prefetch_low;
+      seed = setup.seed;
+    }
+  in
+  let cluster = Cluster.create config in
+  let spec =
+    {
+      (Scm.paper_spec ~n_sites:setup.n_sites ~n_items:setup.n_items
+         ~initial_amount:setup.initial_amount ())
+      with
+      Scm.item_skew = setup.item_skew;
+      maker_weight = setup.maker_weight;
+    }
+  in
+  let workload = Scm.create spec ~seed:setup.seed in
+  let outcome =
+    Runner.run cluster ~nth_update:(Scm.generator workload)
+      ~total_updates:setup.total_updates ~checkpoint_every:setup.checkpoint_every ()
+  in
+  (cluster, outcome)
+
+let final_corr outcome = outcome.Runner.final.Runner.total_correspondences
+
+let retailer_corrs outcome ~n_sites =
+  let per_site = outcome.Runner.final.Runner.per_site_correspondences in
+  let corr i = try List.assoc i per_site with Not_found -> 0 in
+  List.init (n_sites - 1) (fun i -> float_of_int (corr (i + 1)))
+
+let retailer_fairness outcome ~n_sites =
+  Fairness.max_min_ratio (retailer_corrs outcome ~n_sites)
+
+let reduction_pct ~proposed ~conventional =
+  100. *. (1. -. (float_of_int proposed /. float_of_int (Stdlib.max 1 conventional)))
+
+(* --- fig6 --- *)
+
+let exp_fig6 () =
+  section "Fig. 6 - updates vs correspondences (proposed vs conventional)";
+  note "Paper: proposed decreases correspondences by ~75%%; sub-linear growth.";
+  let cluster, autonomous = run_scm default_setup in
+  let _, central = run_scm { default_setup with mode = Config.Centralized } in
+  let table = Ascii_table.create ~headers:[ "updates"; "proposed"; "conventional" ] in
+  List.iter2
+    (fun (a : Runner.checkpoint) (c : Runner.checkpoint) ->
+      Ascii_table.add_int_row table
+        (string_of_int a.Runner.updates_done)
+        [ a.Runner.total_correspondences; c.Runner.total_correspondences ])
+    autonomous.Runner.checkpoints central.Runner.checkpoints;
+  print_endline (Ascii_table.render table);
+  let local_completions =
+    Array.fold_left
+      (fun acc s -> acc + (Site.metrics s).Update.Metrics.applied_local)
+      0 (Cluster.sites cluster)
+  in
+  note "measured reduction: %.0f%% (paper: ~75%%); %d/%d updates completed locally"
+    (reduction_pct ~proposed:(final_corr autonomous) ~conventional:(final_corr central))
+    local_completions default_setup.total_updates
+
+(* --- table1 --- *)
+
+let exp_table1 () =
+  section "Table 1 - per-site correspondences at update checkpoints (proposed)";
+  note "Paper: sites 1 and 2 almost equal, increasing slowly (fair real-time).";
+  let _, outcome = run_scm default_setup in
+  let headers =
+    "site"
+    :: List.map (fun c -> string_of_int c.Runner.updates_done) outcome.Runner.checkpoints
+  in
+  let table = Ascii_table.create ~headers in
+  for site = 0 to default_setup.n_sites - 1 do
+    Ascii_table.add_int_row table
+      (Printf.sprintf "site%d" site)
+      (List.map
+         (fun c -> try List.assoc site c.Runner.per_site_correspondences with Not_found -> 0)
+         outcome.Runner.checkpoints)
+  done;
+  print_endline (Ascii_table.render table);
+  note "retailer max/min correspondence ratio: %.2f; Jain fairness index: %.3f (1.0 = fair)"
+    (retailer_fairness outcome ~n_sites:default_setup.n_sites)
+    (Fairness.jain_index (retailer_corrs outcome ~n_sites:default_setup.n_sites))
+
+(* --- ablations --- *)
+
+let exp_ablation_strategy () =
+  section "Ablation - deciding function (granting rule)";
+  note "Paper adopts SODA'99 'half of holdings'; alternatives for comparison.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "granting"; "correspondences"; "applied"; "rejected"; "avg rounds" ]
+  in
+  List.iter
+    (fun granting ->
+      let strategy =
+        { Avdb_av.Strategy.selection = Avdb_av.Strategy.Selection.Richest_known; granting }
+      in
+      let cluster, outcome = run_scm { default_setup with strategy } in
+      let rounds = Histogram.create () in
+      Array.iter
+        (fun s ->
+          let m = Site.metrics s in
+          let h = m.Update.Metrics.transfer_rounds in
+          if Histogram.count h > 0 then Histogram.add rounds (Histogram.mean h))
+        (Cluster.sites cluster);
+      let avg_rounds = if Histogram.count rounds = 0 then 0. else Histogram.mean rounds in
+      Ascii_table.add_row table
+        [
+          Avdb_av.Strategy.Granting.name granting;
+          string_of_int (final_corr outcome);
+          string_of_int outcome.Runner.final.Runner.applied;
+          string_of_int outcome.Runner.final.Runner.rejected;
+          Printf.sprintf "%.2f" avg_rounds;
+        ])
+    Avdb_av.Strategy.Granting.all;
+  print_endline (Ascii_table.render table)
+
+let exp_ablation_selection () =
+  section "Ablation - selecting function (donor choice)";
+  note "Paper selects the believed-richest site from stale piggybacked info.";
+  let table =
+    Ascii_table.create ~headers:[ "selection"; "correspondences"; "applied"; "rejected" ]
+  in
+  List.iter
+    (fun selection ->
+      let strategy =
+        { Avdb_av.Strategy.selection; granting = Avdb_av.Strategy.Granting.Half }
+      in
+      let _, outcome = run_scm { default_setup with strategy } in
+      Ascii_table.add_int_row table
+        (Avdb_av.Strategy.Selection.name selection)
+        [
+          final_corr outcome;
+          outcome.Runner.final.Runner.applied;
+          outcome.Runner.final.Runner.rejected;
+        ])
+    Avdb_av.Strategy.Selection.all;
+  print_endline (Ascii_table.render table)
+
+let exp_ablation_items () =
+  section "Ablation - number of data items (count unreadable in the scan)";
+  note "The reduction holds across item counts; the baseline barely moves.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "items"; "proposed"; "conventional"; "reduction" ]
+  in
+  List.iter
+    (fun n_items ->
+      let _, outcome = run_scm { default_setup with n_items } in
+      let _, central = run_scm { default_setup with n_items; mode = Config.Centralized } in
+      let a = final_corr outcome and c = final_corr central in
+      Ascii_table.add_row table
+        [
+          string_of_int n_items;
+          string_of_int a;
+          string_of_int c;
+          Printf.sprintf "%.0f%%" (reduction_pct ~proposed:a ~conventional:c);
+        ])
+    [ 10; 50; 100; 500; 1000 ];
+  print_endline (Ascii_table.render table)
+
+let exp_ablation_sites () =
+  section "Ablation - number of retailers (extension beyond the paper's 2)";
+  note "maker_weight keeps production matching demand as retailers grow.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "retailers"; "proposed"; "conventional"; "reduction"; "fairness" ]
+  in
+  List.iter
+    (fun retailers ->
+      let setup =
+        {
+          default_setup with
+          n_sites = retailers + 1;
+          maker_weight = Stdlib.max 1 (retailers / 2);
+        }
+      in
+      let _, autonomous = run_scm setup in
+      let _, central = run_scm { setup with mode = Config.Centralized } in
+      let a = final_corr autonomous and c = final_corr central in
+      Ascii_table.add_row table
+        [
+          string_of_int retailers;
+          string_of_int a;
+          string_of_int c;
+          Printf.sprintf "%.0f%%" (reduction_pct ~proposed:a ~conventional:c);
+          Printf.sprintf "%.2f" (retailer_fairness autonomous ~n_sites:setup.n_sites);
+        ])
+    [ 2; 4; 8; 16 ];
+  print_endline (Ascii_table.render table)
+
+let exp_ablation_skew () =
+  section "Ablation - item access skew (extension; paper uses uniform)";
+  note "Hot items churn AV faster: transfers concentrate, correspondences rise.";
+  let table =
+    Ascii_table.create ~headers:[ "zipf theta"; "correspondences"; "applied"; "rejected" ]
+  in
+  List.iter
+    (fun item_skew ->
+      let _, outcome = run_scm { default_setup with item_skew } in
+      Ascii_table.add_int_row table
+        (Printf.sprintf "%.1f" item_skew)
+        [
+          final_corr outcome;
+          outcome.Runner.final.Runner.applied;
+          outcome.Runner.final.Runner.rejected;
+        ])
+    [ 0.; 0.5; 0.9; 1.2 ];
+  print_endline (Ascii_table.render table)
+
+let exp_ablation_allocation () =
+  section "Ablation - initial AV allocation";
+  note "Where the AV starts only shifts the warm-up; circulation adapts.";
+  let table =
+    Ascii_table.create ~headers:[ "allocation"; "correspondences"; "applied"; "rejected" ]
+  in
+  List.iter
+    (fun (name, allocation) ->
+      let _, outcome = run_scm { default_setup with allocation } in
+      Ascii_table.add_int_row table name
+        [
+          final_corr outcome;
+          outcome.Runner.final.Runner.applied;
+          outcome.Runner.final.Runner.rejected;
+        ])
+    [
+      ("even", Config.Even);
+      ("all-at-base", Config.All_at_base);
+      ("retailers-only", Config.Retailers_only);
+    ];
+  print_endline (Ascii_table.render table)
+
+(* --- prefetch (extension of Â§3.4's circulation) --- *)
+
+let exp_ablation_prefetch () =
+  section "Extension - background AV circulation (low-watermark prefetch)";
+  note "Refills AV below a watermark off the critical path: latency tail drops,";
+  note "traffic moves from foreground transfers to background refills.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "prefetch low"; "corr"; "foreground transfers"; "prefetches"; "p99 latency" ]
+  in
+  List.iter
+    (fun prefetch_low ->
+      let cluster, outcome = run_scm { default_setup with prefetch_low } in
+      let transfers = ref 0 and prefetches = ref 0 in
+      let p99s = Histogram.create () in
+      Array.iteri
+        (fun i s ->
+          let m = Site.metrics s in
+          transfers := !transfers + m.Update.Metrics.applied_transfer;
+          prefetches := !prefetches + m.Update.Metrics.prefetch_requests;
+          (* pool retailers' p99 latencies; the maker is always local *)
+          if i > 0 && Histogram.count m.Update.Metrics.latency > 0 then
+            Histogram.add p99s (Histogram.percentile m.Update.Metrics.latency 99.))
+        (Cluster.sites cluster);
+      Ascii_table.add_row table
+        [
+          (match prefetch_low with None -> "off (paper)" | Some l -> string_of_int l);
+          string_of_int (final_corr outcome);
+          string_of_int !transfers;
+          string_of_int !prefetches;
+          Printf.sprintf "%.1fms"
+            (if Histogram.count p99s = 0 then 0. else Histogram.mean p99s);
+        ])
+    [ None; Some 5; Some 10; Some 20 ];
+  print_endline (Ascii_table.render table)
+
+(* --- fault tolerance --- *)
+
+let exp_fault () =
+  section "Fault injection - base site outage during the SCM run";
+  note "Paper's claim: updates proceed autonomously while peers are down.";
+  let config = { Config.default with Config.seed = 2000 } in
+  let cluster = Cluster.create config in
+  let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+  (* Crash the base a third of the way in, recover it at two thirds. *)
+  let interval = Avdb_sim.Time.of_ms 10. in
+  let engine = Cluster.engine cluster in
+  ignore
+    (Avdb_sim.Engine.schedule_at engine
+       ~at:(Avdb_sim.Time.mul interval 1000.)
+       (fun () -> Site.crash (Cluster.site cluster 0)));
+  ignore
+    (Avdb_sim.Engine.schedule_at engine
+       ~at:(Avdb_sim.Time.mul interval 2000.)
+       (fun () -> Site.recover (Cluster.site cluster 0)));
+  let outcome =
+    Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:3000 ~interval
+      ~checkpoint_every:300 ()
+  in
+  let table = Ascii_table.create ~headers:[ "site"; "submitted"; "applied"; "rejected" ] in
+  Array.iteri
+    (fun i s ->
+      let m = Site.metrics s in
+      Ascii_table.add_int_row table
+        (Printf.sprintf "site%d%s" i (if i = 0 then " (down 1/3 of run)" else ""))
+        [ m.Update.Metrics.submitted; Update.Metrics.applied m; m.Update.Metrics.rejected ])
+    (Cluster.sites cluster);
+  print_endline (Ascii_table.render table);
+  let unreachable, av_exhausted, other =
+    List.fold_left
+      (fun (u, a, o) r ->
+        match r.Update.outcome with
+        | Update.Rejected Update.Unreachable -> (u + 1, a, o)
+        | Update.Rejected Update.Av_exhausted -> (u, a + 1, o)
+        | Update.Rejected _ -> (u, a, o + 1)
+        | Update.Applied _ -> (u, a, o))
+      (0, 0, 0) outcome.Runner.results
+  in
+  note "total applied %d/3000; rejections: unreachable=%d (base outage) av-exhausted=%d other=%d"
+    outcome.Runner.final.Runner.applied unreachable av_exhausted other
+
+(* --- immediate update --- *)
+
+let exp_immediate () =
+  section "Immediate Update - message cost and latency vs cluster size";
+  note "Primary-copy 2PC: 2 rounds x (n-1) peers = 2(n-1) correspondences/update.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "sites"; "updates"; "corr"; "corr/update"; "predicted"; "mean latency"; "commit rate" ]
+  in
+  List.iter
+    (fun n_sites ->
+      let config =
+        {
+          Config.default with
+          Config.n_sites;
+          products = [ Product.non_regular "custom" ~initial_amount:10_000 ];
+          seed = 77;
+        }
+      in
+      let cluster = Cluster.create config in
+      let total = 200 in
+      let nth_update k =
+        let site = k mod n_sites in
+        (site, "custom", if site = 0 then 2 else -1)
+      in
+      let outcome = Runner.run cluster ~nth_update ~total_updates:total () in
+      let lat = Histogram.create () in
+      Array.iter
+        (fun s ->
+          let h = (Site.metrics s).Update.Metrics.latency in
+          if Histogram.count h > 0 then Histogram.add lat (Histogram.mean h))
+        (Cluster.sites cluster);
+      let corr = final_corr outcome in
+      Ascii_table.add_row table
+        [
+          string_of_int n_sites;
+          string_of_int total;
+          string_of_int corr;
+          Printf.sprintf "%.1f" (float_of_int corr /. float_of_int total);
+          string_of_int (2 * (n_sites - 1));
+          Printf.sprintf "%.1fms" (Histogram.mean lat);
+          Printf.sprintf "%d%%" (100 * outcome.Runner.final.Runner.applied / total);
+        ])
+    [ 2; 3; 5; 9 ];
+  print_endline (Ascii_table.render table)
+
+(* --- sync cost (extension) --- *)
+
+let exp_sync () =
+  section "Lazy propagation - sync batching cost (extension)";
+  note "Sync notices are one-way messages outside the correspondence metric;";
+  note "shorter intervals converge replicas faster but send more batches.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "sync interval"; "batches sent"; "messages"; "correspondences" ]
+  in
+  List.iter
+    (fun (label, sync_interval) ->
+      let config = { Config.default with Config.sync_interval; Config.seed = 2000 } in
+      let cluster = Cluster.create config in
+      let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+      ignore
+        (Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:1500 ());
+      let batches =
+        Array.fold_left
+          (fun acc s -> acc + (Site.metrics s).Update.Metrics.sync_batches_sent)
+          0 (Cluster.sites cluster)
+      in
+      Ascii_table.add_row table
+        [
+          label;
+          string_of_int batches;
+          string_of_int (Avdb_net.Stats.total_sent (Cluster.net_stats cluster));
+          string_of_int (Cluster.total_correspondences cluster);
+        ])
+    [
+      ("off", None);
+      ("10ms", Some (Avdb_sim.Time.of_ms 10.));
+      ("100ms", Some (Avdb_sim.Time.of_ms 100.));
+      ("1s", Some (Avdb_sim.Time.of_sec 1.));
+    ];
+  print_endline (Ascii_table.render table)
+
+(* --- staleness (extension) --- *)
+
+let exp_staleness () =
+  section "Extension - replica staleness vs sync interval";
+  note "Delay Update trades freshness for autonomy; lazy sync bounds the gap.";
+  note "Divergence = max over items of (max replica - min replica), sampled every 50ms.";
+  let table =
+    Ascii_table.create
+      ~headers:[ "sync interval"; "mean divergence"; "p99 divergence"; "max"; "messages" ]
+  in
+  List.iter
+    (fun (label, sync_interval) ->
+      let config =
+        { Config.default with Config.sync_interval; Config.seed = 2000 }
+      in
+      let cluster = Cluster.create config in
+      let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+      let divergence = Histogram.create () in
+      let engine = Cluster.engine cluster in
+      let items = List.map (fun p -> p.Product.name) config.Config.products in
+      let sample () =
+        let worst = ref 0 in
+        List.iter
+          (fun item ->
+            let amounts = Cluster.replica_amounts cluster ~item in
+            let mx = List.fold_left Stdlib.max min_int amounts in
+            let mn = List.fold_left Stdlib.min max_int amounts in
+            worst := Stdlib.max !worst (mx - mn))
+          items;
+        Histogram.add divergence (float_of_int !worst)
+      in
+      (* Probes across the whole 30s (3000 updates x 10ms) run. *)
+      for k = 1 to 600 do
+        ignore
+          (Avdb_sim.Engine.schedule_at engine
+             ~at:(Avdb_sim.Time.mul (Avdb_sim.Time.of_ms 50.) (float_of_int k))
+             sample)
+      done;
+      ignore
+        (Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:3000 ());
+      Ascii_table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f" (Histogram.mean divergence);
+          Printf.sprintf "%.0f" (Histogram.percentile divergence 99.);
+          Printf.sprintf "%.0f" (Histogram.max divergence);
+          string_of_int (Avdb_net.Stats.total_sent (Cluster.net_stats cluster));
+        ])
+    [
+      ("off", None);
+      ("1s", Some (Avdb_sim.Time.of_sec 1.));
+      ("100ms", Some (Avdb_sim.Time.of_ms 100.));
+      ("10ms", Some (Avdb_sim.Time.of_ms 10.));
+    ];
+  print_endline (Ascii_table.render table)
+
+(* --- WAN latency (real-time property) --- *)
+
+let exp_wan () =
+  section "Extension - update latency vs link latency (the real-time property)";
+  note "Correspondences are latency-proofs: an AV-local update finishes in 0ms";
+  note "regardless of distance, a centralized one pays a WAN round trip.";
+  let table =
+    Ascii_table.create
+      ~headers:
+        [ "link latency"; "proposed mean"; "proposed p99"; "central mean"; "central p99" ]
+  in
+  List.iter
+    (fun ms ->
+      let retailer_latency mode =
+        let config =
+          {
+            Config.default with
+            Config.mode;
+            latency = Avdb_net.Latency.Constant (Avdb_sim.Time.of_ms ms);
+            rpc_timeout = Avdb_sim.Time.of_ms (Stdlib.max 100. (ms *. 10.));
+            seed = 2000;
+          }
+        in
+        let cluster = Cluster.create config in
+        let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+        ignore
+          (Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:1500
+             ~interval:(Avdb_sim.Time.of_ms (Stdlib.max 10. (ms *. 4.))) ());
+        let means = Histogram.create () and p99s = Histogram.create () in
+        Array.iteri
+          (fun i s ->
+            if i > 0 then begin
+              let h = (Site.metrics s).Update.Metrics.latency in
+              if Histogram.count h > 0 then begin
+                Histogram.add means (Histogram.mean h);
+                Histogram.add p99s (Histogram.percentile h 99.)
+              end
+            end)
+          (Cluster.sites cluster);
+        (Histogram.mean means, Histogram.mean p99s)
+      in
+      let p_mean, p_p99 = retailer_latency Config.Autonomous in
+      let c_mean, c_p99 = retailer_latency Config.Centralized in
+      Ascii_table.add_row table
+        [
+          Printf.sprintf "%.0fms" ms;
+          Printf.sprintf "%.2fms" p_mean;
+          Printf.sprintf "%.1fms" p_p99;
+          Printf.sprintf "%.2fms" c_mean;
+          Printf.sprintf "%.1fms" c_p99;
+        ])
+    [ 1.; 10.; 50. ];
+  print_endline (Ascii_table.render table)
+
+(* --- seed robustness --- *)
+
+let exp_seeds () =
+  section "Robustness - headline reduction across 10 seeds";
+  note "The 86%% reduction is not a lucky seed: mean +/- stddev over reruns.";
+  let reductions = Histogram.create () in
+  let fairnesses = Histogram.create () in
+  List.iter
+    (fun seed ->
+      let _, autonomous = run_scm { default_setup with seed } in
+      let _, central = run_scm { default_setup with seed; mode = Config.Centralized } in
+      Histogram.add reductions
+        (reduction_pct ~proposed:(final_corr autonomous) ~conventional:(final_corr central));
+      Histogram.add fairnesses
+        (Fairness.jain_index (retailer_corrs autonomous ~n_sites:default_setup.n_sites)))
+    (List.init 10 (fun i -> 1000 + (i * 37)));
+  note "reduction: mean %.1f%%, stddev %.1f, min %.1f%%, max %.1f%%"
+    (Histogram.mean reductions) (Histogram.stddev reductions) (Histogram.min reductions)
+    (Histogram.max reductions);
+  note "retailer Jain fairness: mean %.3f, min %.3f" (Histogram.mean fairnesses)
+    (Histogram.min fairnesses)
+
+(* --- elasticity (dynamic membership) --- *)
+
+let exp_elastic () =
+  section "Extension - retailers joining a live system";
+  note "Two retailers run 1000 updates; two more join and the next 2000 are";
+  note "spread over four. Joiners bootstrap from the base and acquire AV on";
+  note "demand - no reconfiguration, no downtime.";
+  let config = { Config.default with Config.seed = 2000; Config.sync_interval = Some (Avdb_sim.Time.of_ms 100.) } in
+  let cluster = Cluster.create config in
+  let phase1 = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+  let o1 = Runner.run cluster ~nth_update:(Scm.generator phase1) ~total_updates:1000 () in
+  let join_results = ref [] in
+  ignore (Cluster.add_retailer cluster (fun r -> join_results := r :: !join_results));
+  ignore (Cluster.add_retailer cluster (fun r -> join_results := r :: !join_results));
+  Cluster.run cluster;
+  let joined_ok =
+    List.for_all (fun (_, r) -> Result.is_ok r) !join_results
+    && List.length !join_results = 2
+  in
+  note "both joins completed: %b" joined_ok;
+  let phase2 = Scm.create (Scm.paper_spec ~n_sites:5 ()) ~seed:2001 in
+  let o2 = Runner.run cluster ~nth_update:(Scm.generator phase2) ~total_updates:2000 () in
+  let table =
+    Ascii_table.create ~headers:[ "site"; "submitted"; "applied"; "correspondences" ]
+  in
+  let per_site = Cluster.per_site_correspondences cluster in
+  Array.iteri
+    (fun i s ->
+      let m = Site.metrics s in
+      Ascii_table.add_int_row table
+        (Printf.sprintf "site%d%s" i (if i >= 3 then " (joined late)" else ""))
+        [
+          m.Update.Metrics.submitted;
+          Update.Metrics.applied m;
+          (try List.assoc i per_site with Not_found -> 0);
+        ])
+    (Cluster.sites cluster);
+  print_endline (Ascii_table.render table);
+  note "phase totals: %d + %d applied of 3000"
+    o1.Runner.final.Runner.applied o2.Runner.final.Runner.applied;
+  Cluster.flush_all_syncs cluster;
+  match Cluster.check_invariants cluster with
+  | Ok () -> note "invariants hold across the membership change"
+  | Error e -> note "INVARIANT VIOLATION: %s" e
+
+(* --- micro-benchmarks --- *)
+
+let exp_micro () =
+  section "Micro-benchmarks (Bechamel, real time)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"event_queue add+pop x64"
+        (Staged.stage (fun () ->
+             let open Avdb_sim in
+             let q = Event_queue.create () in
+             for i = 1 to 64 do
+               ignore (Event_queue.add q ~time:(Time.of_us (i * 7 mod 97)) i)
+             done;
+             while Event_queue.pop q <> None do
+               ()
+             done));
+      Test.make ~name:"rng bits64 x64"
+        (Staged.stage
+           (let rng = Avdb_sim.Rng.create 1 in
+            fun () ->
+              for _ = 1 to 64 do
+                ignore (Avdb_sim.Rng.bits64 rng)
+              done));
+      Test.make ~name:"av_table hold/consume/deposit"
+        (Staged.stage
+           (let open Avdb_av in
+            let av = Av_table.create () in
+            Av_table.define av ~item:"x" ~volume:1_000_000;
+            fun () ->
+              ignore (Av_table.hold av ~item:"x" 10);
+              ignore (Av_table.consume av ~item:"x" 10);
+              ignore (Av_table.deposit av ~item:"x" 10)));
+      Test.make ~name:"wal append+encode"
+        (Staged.stage
+           (let open Avdb_store in
+            let wal = Wal.create () in
+            fun () ->
+              let record =
+                Wal.Update
+                  {
+                    txid = 1;
+                    table = "stock";
+                    key = "product1";
+                    col = "amount";
+                    before = Value.Int 10;
+                    after = Value.Int 9;
+                  }
+              in
+              ignore (Wal.append wal record);
+              ignore (Wal.encode_record record)));
+      Test.make ~name:"table add_int"
+        (Staged.stage
+           (let open Avdb_store in
+            let schema = Schema.create [ { Schema.name = "amount"; ty = Value.Tint } ] in
+            let table = Table.create ~name:"t" schema in
+            ignore (Table.insert table ~key:"k" [| Value.Int 0 |]);
+            fun () -> ignore (Table.add_int table ~key:"k" ~col:"amount" 1)));
+      Test.make ~name:"zipf sample (n=1000)"
+        (Staged.stage
+           (let z = Avdb_workload.Zipf.create ~n:1000 ~theta:0.9 in
+            let rng = Avdb_sim.Rng.create 3 in
+            fun () -> ignore (Avdb_workload.Zipf.sample z rng)));
+      Test.make ~name:"delay update (local, end-to-end)"
+        (Staged.stage
+           (let config =
+              {
+                Config.default with
+                Config.products = [ Product.regular "x" ~initial_amount:1_000_000_000 ];
+              }
+            in
+            let cluster = Cluster.create config in
+            let site = Cluster.site cluster 0 in
+            fun () ->
+              Site.submit_update site ~item:"x" ~delta:1 (fun _ -> ());
+              Cluster.run cluster));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"micro" tests)
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  let table = Ascii_table.create ~headers:[ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun (name, est) -> Ascii_table.add_row table [ name; Printf.sprintf "%.1f" est ])
+    (List.sort compare !rows);
+  print_endline (Ascii_table.render table)
+
+(* --- registry --- *)
+
+let experiments =
+  [
+    ("fig6", exp_fig6);
+    ("table1", exp_table1);
+    ("ablation-strategy", exp_ablation_strategy);
+    ("ablation-selection", exp_ablation_selection);
+    ("ablation-items", exp_ablation_items);
+    ("ablation-sites", exp_ablation_sites);
+    ("ablation-skew", exp_ablation_skew);
+    ("ablation-allocation", exp_ablation_allocation);
+    ("ablation-prefetch", exp_ablation_prefetch);
+    ("fault", exp_fault);
+    ("immediate", exp_immediate);
+    ("sync", exp_sync);
+    ("staleness", exp_staleness);
+    ("wan", exp_wan);
+    ("seeds", exp_seeds);
+    ("elastic", exp_elastic);
+    ("micro", exp_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      exp_fig6 ();
+      exp_table1 ()
+  | [ "list" ] ->
+      List.iter (fun (name, _) -> print_endline name) experiments;
+      print_endline "all"
+  | [ "all" ] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (try 'list')\n" name;
+              exit 1)
+        names

@@ -1,0 +1,193 @@
+(* avdb-sim: run one configurable SCM simulation and report the paper's
+   metrics (correspondences total and per site, applied/rejected counts,
+   latency percentiles).
+
+   Examples:
+     dune exec bin/avdb_sim_cli.exe -- --updates 3000
+     dune exec bin/avdb_sim_cli.exe -- --mode centralized --updates 3000
+     dune exec bin/avdb_sim_cli.exe -- --retailers 4 --granting exact --csv *)
+
+open Cmdliner
+open Avdb_core
+open Avdb_workload
+open Avdb_metrics
+
+let mode_conv =
+  let parse = function
+    | "autonomous" -> Ok Config.Autonomous
+    | "centralized" -> Ok Config.Centralized
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (autonomous|centralized)" s))
+  in
+  let print ppf = function
+    | Config.Autonomous -> Format.pp_print_string ppf "autonomous"
+    | Config.Centralized -> Format.pp_print_string ppf "centralized"
+  in
+  Arg.conv (parse, print)
+
+let allocation_conv =
+  let parse = function
+    | "even" -> Ok Config.Even
+    | "all-at-base" -> Ok Config.All_at_base
+    | "retailers-only" -> Ok Config.Retailers_only
+    | s -> Error (`Msg (Printf.sprintf "unknown allocation %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Config.Even -> "even"
+      | Config.All_at_base -> "all-at-base"
+      | Config.Retailers_only -> "retailers-only")
+  in
+  Arg.conv (parse, print)
+
+let selection_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Avdb_av.Strategy.Selection.of_name s) in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Avdb_av.Strategy.Selection.name s))
+
+let granting_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Avdb_av.Strategy.Granting.of_name s) in
+  Arg.conv (parse, fun ppf g -> Format.pp_print_string ppf (Avdb_av.Strategy.Granting.name g))
+
+let run retailers items initial updates mode allocation selection granting skew
+    maker_weight latency_ms drop sync_ms prefetch seed checkpoints csv =
+  let n_sites = retailers + 1 in
+  let config =
+    {
+      Config.default with
+      Config.n_sites;
+      mode;
+      allocation;
+      strategy = { Avdb_av.Strategy.selection; granting };
+      products = Product.catalogue ~n_regular:items ~n_non_regular:0 ~initial_amount:initial;
+      latency = Avdb_net.Latency.Constant (Avdb_sim.Time.of_ms latency_ms);
+      drop_probability = drop;
+      sync_interval = Option.map Avdb_sim.Time.of_ms sync_ms;
+      prefetch_low = prefetch;
+      seed;
+    }
+  in
+  let cluster = Cluster.create config in
+  let spec =
+    {
+      (Scm.paper_spec ~n_sites ~n_items:items ~initial_amount:initial ()) with
+      Scm.item_skew = skew;
+      maker_weight;
+    }
+  in
+  let workload = Scm.create spec ~seed in
+  let outcome =
+    Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:updates
+      ~checkpoint_every:(Stdlib.max 1 (updates / checkpoints)) ()
+  in
+  let table =
+    Ascii_table.create
+      ~headers:([ "updates"; "correspondences" ]
+               @ List.init n_sites (fun i -> Printf.sprintf "site%d" i))
+  in
+  List.iter
+    (fun (c : Runner.checkpoint) ->
+      Ascii_table.add_int_row table
+        (string_of_int c.Runner.updates_done)
+        (c.Runner.total_correspondences
+        :: List.init n_sites (fun i ->
+               try List.assoc i c.Runner.per_site_correspondences with Not_found -> 0)))
+    outcome.Runner.checkpoints;
+  if csv then print_endline (Ascii_table.to_csv table)
+  else begin
+    Format.printf "%a@." Config.pp config;
+    print_endline (Ascii_table.render table);
+    let final = outcome.Runner.final in
+    Printf.printf "\napplied %d / rejected %d of %d updates\n" final.Runner.applied
+      final.Runner.rejected updates;
+    Array.iter
+      (fun s ->
+        let m = Site.metrics s in
+        Printf.printf
+          "%s: submitted=%d local=%d transfer=%d immediate=%d central=%d rejected=%d \
+           av_req=%d p99_latency=%.1fms\n"
+          (Avdb_net.Address.to_string (Site.addr s))
+          m.Update.Metrics.submitted m.Update.Metrics.applied_local
+          m.Update.Metrics.applied_transfer m.Update.Metrics.applied_immediate
+          m.Update.Metrics.applied_central m.Update.Metrics.rejected
+          m.Update.Metrics.av_requests_sent
+          (let h = m.Update.Metrics.latency in
+           if Histogram.count h = 0 then 0. else Histogram.percentile h 99.))
+      (Cluster.sites cluster);
+    if config.Config.mode = Config.Autonomous then begin
+      Cluster.flush_all_syncs cluster;
+      match Cluster.check_invariants cluster with
+      | Ok () -> print_endline "invariants: OK (replicas agree; AV conserved)"
+      | Error e -> Printf.printf "invariants: VIOLATED - %s\n" e
+    end
+  end
+
+let cmd =
+  let retailers =
+    Arg.(value & opt int 2 & info [ "retailers" ] ~docv:"N" ~doc:"Number of retailer sites.")
+  in
+  let items =
+    Arg.(value & opt int 100 & info [ "items" ] ~docv:"N" ~doc:"Number of regular products.")
+  in
+  let initial =
+    Arg.(value & opt int 100 & info [ "initial" ] ~docv:"N" ~doc:"Initial stock per product.")
+  in
+  let updates =
+    Arg.(value & opt int 3000 & info [ "updates" ] ~docv:"N" ~doc:"Total user updates.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Config.Autonomous
+        & info [ "mode" ] ~docv:"MODE" ~doc:"autonomous (proposed) or centralized (baseline).")
+  in
+  let allocation =
+    Arg.(value & opt allocation_conv Config.Even
+        & info [ "allocation" ] ~docv:"POLICY" ~doc:"Initial AV allocation: even, all-at-base, retailers-only.")
+  in
+  let selection =
+    Arg.(value & opt selection_conv Avdb_av.Strategy.Selection.Richest_known
+        & info [ "selection" ] ~docv:"RULE"
+            ~doc:"Donor selection: richest-known, base-first, round-robin, random.")
+  in
+  let granting =
+    Arg.(value & opt granting_conv Avdb_av.Strategy.Granting.Half
+        & info [ "granting" ] ~docv:"RULE" ~doc:"Donor granting: half, exact, all, demand+F.")
+  in
+  let skew =
+    Arg.(value & opt float 0. & info [ "skew" ] ~docv:"THETA" ~doc:"Zipf skew over items (0 = uniform).")
+  in
+  let maker_weight =
+    Arg.(value & opt int 1 & info [ "maker-weight" ] ~docv:"N" ~doc:"Maker slots per workload cycle.")
+  in
+  let latency_ms =
+    Arg.(value & opt float 1. & info [ "latency-ms" ] ~docv:"MS" ~doc:"Constant link latency.")
+  in
+  let drop =
+    Arg.(value & opt float 0. & info [ "drop" ] ~docv:"P" ~doc:"Message drop probability.")
+  in
+  let sync_ms =
+    Arg.(value & opt (some float) None
+        & info [ "sync-ms" ] ~docv:"MS" ~doc:"Lazy-propagation flush interval (off if absent).")
+  in
+  let prefetch =
+    Arg.(value & opt (some int) None
+        & info [ "prefetch" ] ~docv:"N"
+            ~doc:"Background AV refill watermark (off if absent).")
+  in
+  let seed = Arg.(value & opt int 2000 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.") in
+  let checkpoints =
+    Arg.(value & opt int 10 & info [ "checkpoints" ] ~docv:"N" ~doc:"Number of progress rows.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the checkpoint table as CSV.") in
+  let term =
+    Term.(
+      const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
+      $ granting $ skew $ maker_weight $ latency_ms $ drop $ sync_ms $ prefetch $ seed
+      $ checkpoints $ csv)
+  in
+  Cmd.v
+    (Cmd.info "avdb-sim" ~version:"1.0.0"
+       ~doc:
+         "Simulate the autonomous-consistency distributed database (Hanamura, Kaji & Mori, \
+          IPPS 2000) on the paper's SCM workload.")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/dynamic_membership.ml: Array Av_table Avdb_av Avdb_core Avdb_net Avdb_sim Cluster Config Format Option Printf Product Site Time Update

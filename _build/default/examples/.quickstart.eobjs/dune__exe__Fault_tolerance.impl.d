@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Avdb_core Cluster Config Format List Option Printf Product Site String Update

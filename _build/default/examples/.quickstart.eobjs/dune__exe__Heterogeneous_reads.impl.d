@@ -1,0 +1,1 @@
+examples/heterogeneous_reads.ml: Avdb_core Avdb_net Avdb_sim Cluster Config Engine Format Latency List Option Printf Product Site Time Trace Update

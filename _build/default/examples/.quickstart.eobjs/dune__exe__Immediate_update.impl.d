@@ -1,0 +1,1 @@
+examples/immediate_update.ml: Avdb_core Cluster Config Format List Printf Product Site String Update

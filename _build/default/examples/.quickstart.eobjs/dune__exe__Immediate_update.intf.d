@@ -1,0 +1,1 @@
+examples/immediate_update.mli:

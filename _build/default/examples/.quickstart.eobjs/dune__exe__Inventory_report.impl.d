@@ -1,0 +1,1 @@
+examples/inventory_report.ml: Array Avdb_av Avdb_core Avdb_sim Avdb_store Avdb_workload Cluster Config Database Engine List Order_stream Printf Product Query Site Time Update Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Avdb_av Avdb_core Avdb_net Cluster Config Format List Option Printf Product Site String Update

@@ -1,0 +1,1 @@
+examples/scm_stock.ml: Ascii_table Avdb_core Avdb_metrics Avdb_workload Cluster Config List Printf Runner Scm

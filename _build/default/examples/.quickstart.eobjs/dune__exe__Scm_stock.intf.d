@@ -1,0 +1,1 @@
+examples/scm_stock.mli:

@@ -1,0 +1,1 @@
+examples/strategy_comparison.ml: Ascii_table Avdb_av Avdb_core Avdb_metrics Avdb_workload Cluster Config List Runner Scm Strategy

@@ -1,0 +1,56 @@
+(* Fault tolerance (§2 Goal): sites keep updating autonomously while a
+   peer - even the base - is down, and a crashed site recovers its
+   committed state from its write-ahead log.
+
+   Run with: dune exec examples/fault_tolerance.exe *)
+
+open Avdb_core
+
+let () =
+  let config =
+    {
+      Config.default with
+      Config.products = [ Product.regular "productA" ~initial_amount:300 ];
+    }
+  in
+  let cluster = Cluster.create config in
+  let site n = Cluster.site cluster n in
+  let sell n delta =
+    Site.submit_update (site n) ~item:"productA" ~delta (fun r ->
+        Format.printf "  site%d delta %+d -> %a@." n delta Update.pp_result r);
+    Cluster.run cluster
+  in
+
+  print_endline "Normal operation:";
+  sell 1 (-30);
+  sell 2 (-30);
+
+  print_endline "\nBase site crashes. Retailers keep selling within their AV:";
+  Site.crash (site 0);
+  sell 1 (-30);
+  sell 2 (-30);
+
+  print_endline "\nRetailer 1 drains its AV; with the base dead it can still";
+  print_endline "borrow from retailer 2 (autonomous peer-to-peer transfer):";
+  sell 1 (-45);
+
+  print_endline "\nBase recovers (write-ahead log replay):";
+  Site.recover (site 0);
+  Printf.printf "  base stock after WAL recovery: %d (committed state preserved)\n"
+    (Option.value ~default:(-1) (Site.amount_of (site 0) ~item:"productA"));
+  sell 0 120;
+
+  print_endline "\nRetailer 1 crashes mid-life and recovers:";
+  Site.crash (site 1);
+  sell 2 (-20);
+  Site.recover (site 1);
+  sell 1 (-10);
+
+  Cluster.flush_all_syncs cluster;
+  Printf.printf "\nReplicas after sync: %s\n"
+    (String.concat " "
+       (List.map string_of_int (Cluster.replica_amounts cluster ~item:"productA")));
+  Printf.printf "System AV: %d\n" (Cluster.av_sum cluster ~item:"productA");
+  print_endline
+    "No update ever blocked on a dead site: the autonomy of the AV\n\
+     mechanism is what delivers the paper's fault-tolerance claim."

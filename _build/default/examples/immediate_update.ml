@@ -1,0 +1,53 @@
+(* Immediate Update (§3.3): non-regular (made-to-order) products carry no
+   AV, so the checking function routes their updates through the
+   primary-copy two-phase protocol - every replica moves in lockstep.
+
+   Run with: dune exec examples/immediate_update.exe *)
+
+open Avdb_core
+
+let () =
+  let config =
+    {
+      Config.default with
+      Config.products =
+        [
+          Product.regular "stocked" ~initial_amount:100;
+          Product.non_regular "made_to_order" ~initial_amount:10;
+        ];
+    }
+  in
+  let cluster = Cluster.create config in
+  let replicas item =
+    String.concat " " (List.map string_of_int (Cluster.replica_amounts cluster ~item))
+  in
+  let update n item delta =
+    Site.submit_update (Cluster.site cluster n) ~item ~delta (fun r ->
+        Format.printf "  site%d %s %+d -> %a@." n item delta Update.pp_result r);
+    Cluster.run cluster
+  in
+
+  print_endline "A retailer takes a made-to-order sale (Immediate Update):";
+  update 1 "made_to_order" (-3);
+  Printf.printf "  replicas (no sync needed): %s\n\n" (replicas "made_to_order");
+
+  print_endline "The maker manufactures 5 more:";
+  update 0 "made_to_order" 5;
+  Printf.printf "  replicas: %s\n\n" (replicas "made_to_order");
+
+  print_endline "Overselling aborts atomically at every site:";
+  update 2 "made_to_order" (-50);
+  Printf.printf "  replicas (unchanged): %s\n\n" (replicas "made_to_order");
+
+  print_endline "Contrast with a regular product (Delay Update, lazy sync):";
+  update 1 "stocked" (-3);
+  Printf.printf "  replicas before sync: %s\n" (replicas "stocked");
+  Cluster.flush_all_syncs cluster;
+  Printf.printf "  replicas after sync:  %s\n\n" (replicas "stocked");
+
+  Printf.printf "Correspondences: %d - Immediate Update pays 2 rounds x %d peers\n"
+    (Cluster.total_correspondences cluster)
+    (Cluster.n_sites cluster - 1);
+  print_endline
+    "per transaction, which is exactly why the paper reserves it for the\n\
+     products whose requirements demand it (the assurance principle)."

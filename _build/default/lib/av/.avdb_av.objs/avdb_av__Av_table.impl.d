@@ -1,0 +1,1 @@
+lib/av/av_table.ml: Buffer Char Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/av/av_table.mli: Format

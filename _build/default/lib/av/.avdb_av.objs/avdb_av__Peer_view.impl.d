@@ -1,0 +1,1 @@
+lib/av/peer_view.ml: Address Avdb_net Avdb_sim Hashtbl List Option String Time

@@ -1,0 +1,1 @@
+lib/av/peer_view.mli: Avdb_net Avdb_sim

@@ -1,0 +1,1 @@
+lib/av/strategy.ml: Address Array Avdb_net Avdb_sim List Peer_view Printf Rng Stdlib String

@@ -1,0 +1,1 @@
+lib/av/strategy.mli: Avdb_net Avdb_sim Peer_view

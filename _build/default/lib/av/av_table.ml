@@ -1,0 +1,147 @@
+type entry = { mutable available : int; mutable held : int }
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 64 }
+
+let define t ~item ~volume =
+  if volume < 0 then invalid_arg "Av_table.define: negative volume";
+  if Hashtbl.mem t.entries item then
+    invalid_arg ("Av_table.define: AV already defined on " ^ item);
+  Hashtbl.add t.entries item { available = volume; held = 0 }
+
+let undefine t ~item = Hashtbl.remove t.entries item
+let is_defined t ~item = Hashtbl.mem t.entries item
+let entry t item = Hashtbl.find_opt t.entries item
+let available t ~item = match entry t item with Some e -> e.available | None -> 0
+let held t ~item = match entry t item with Some e -> e.held | None -> 0
+
+let total t ~item =
+  match entry t item with Some e -> e.available + e.held | None -> 0
+
+let with_entry t item f =
+  match entry t item with
+  | None -> Error (Printf.sprintf "no AV defined on %S" item)
+  | Some e -> f e
+
+let check_amount amount =
+  if amount < 0 then invalid_arg "Av_table: negative amount" else amount
+
+let hold t ~item amount =
+  let amount = check_amount amount in
+  with_entry t item (fun e ->
+      if e.available < amount then
+        Error
+          (Printf.sprintf "insufficient AV on %S: available %d < %d" item e.available amount)
+      else begin
+        e.available <- e.available - amount;
+        e.held <- e.held + amount;
+        Ok ()
+      end)
+
+let hold_all t ~item =
+  match entry t item with
+  | None -> 0
+  | Some e ->
+      let grabbed = e.available in
+      e.available <- 0;
+      e.held <- e.held + grabbed;
+      grabbed
+
+let release t ~item amount =
+  let amount = check_amount amount in
+  with_entry t item (fun e ->
+      if e.held < amount then
+        Error (Printf.sprintf "release exceeds hold on %S: held %d < %d" item e.held amount)
+      else begin
+        e.held <- e.held - amount;
+        e.available <- e.available + amount;
+        Ok ()
+      end)
+
+let consume t ~item amount =
+  let amount = check_amount amount in
+  with_entry t item (fun e ->
+      if e.held < amount then
+        Error (Printf.sprintf "consume exceeds hold on %S: held %d < %d" item e.held amount)
+      else begin
+        e.held <- e.held - amount;
+        Ok ()
+      end)
+
+let deposit t ~item amount =
+  let amount = check_amount amount in
+  with_entry t item (fun e ->
+      e.available <- e.available + amount;
+      Ok ())
+
+let withdraw t ~item amount =
+  let amount = check_amount amount in
+  with_entry t item (fun e ->
+      if e.available < amount then
+        Error
+          (Printf.sprintf "withdraw exceeds AV on %S: available %d < %d" item e.available
+             amount)
+      else begin
+        e.available <- e.available - amount;
+        Ok ()
+      end)
+
+let items t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare
+
+let sum_total t = Hashtbl.fold (fun _ e acc -> acc + e.available + e.held) t.entries 0
+
+let snapshot t =
+  List.map (fun item -> let e = Hashtbl.find t.entries item in (item, e.available, e.held)) (items t)
+
+(* item names are hex-escaped so separators can never collide. *)
+let hex_encode s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let hex_decode s =
+  if String.length s mod 2 <> 0 then Error "odd hex length"
+  else
+    try
+      Ok
+        (String.init (String.length s / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "bad hex"
+
+let encode t =
+  String.concat "\n"
+    (List.map
+       (fun (item, available, held) ->
+         Printf.sprintf "%s|%d|%d" (hex_encode item) available held)
+       (snapshot t))
+
+let decode s =
+  let t = create () in
+  let lines = if s = "" then [] else String.split_on_char '\n' s in
+  let rec loop = function
+    | [] -> Ok t
+    | line :: rest -> (
+        match String.split_on_char '|' line with
+        | [ item; available; held ] -> (
+            match (hex_decode item, int_of_string_opt available, int_of_string_opt held) with
+            | Ok item, Some available, Some held when available >= 0 && held >= 0 ->
+                if Hashtbl.mem t.entries item then Error ("duplicate item " ^ item)
+                else begin
+                  Hashtbl.add t.entries item { available; held };
+                  loop rest
+                end
+            | _ -> Error ("Av_table.decode: bad line " ^ line))
+        | _ -> Error ("Av_table.decode: malformed line " ^ line))
+  in
+  loop lines
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun item ->
+      let e = Hashtbl.find t.entries item in
+      Format.fprintf ppf "%s: available=%d held=%d@ " item e.available e.held)
+    (items t);
+  Format.fprintf ppf "@]"

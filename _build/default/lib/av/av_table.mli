@@ -1,0 +1,77 @@
+(** management table (AV table).
+
+    The table holds, per data item, the volume this site may subtract from
+    the item's numeric datum without talking to anyone (§3.2 of the paper).
+    An item with {e no} AV entry is a non-regular product: updates to it
+    must go through Immediate Update (the checking function distinguishes
+    the two by exactly this lookup).
+
+    Volumes are split into [available] and [held]: a Delay Update first
+    {e holds} the volume it needs (or all it has, while it asks other sites
+    for more), then consumes the hold on commit or releases it on abort.
+    The paper notes AV need not be locked exclusively for the whole
+    transaction — rollback is the opposite delta — which is why holds are
+    plain integers rather than locks: concurrent transactions can each hold
+    part of the remaining AV. *)
+
+type t
+
+val create : unit -> t
+
+val define : t -> item:string -> volume:int -> unit
+(** Defines AV on an item with an initial volume. Raises
+    [Invalid_argument] if already defined or [volume < 0]. *)
+
+val undefine : t -> item:string -> unit
+(** Removes the AV entry — the item becomes non-regular. *)
+
+val is_defined : t -> item:string -> bool
+(** The checking function's test: defined ⇒ Delay Update. *)
+
+val available : t -> item:string -> int
+(** Volume free to hold or grant away. 0 for undefined items. *)
+
+val held : t -> item:string -> int
+val total : t -> item:string -> int
+(** [available + held]. *)
+
+val hold : t -> item:string -> int -> (unit, string) result
+(** Moves volume from available to held. Fails if not defined or
+    insufficient available volume. *)
+
+val hold_all : t -> item:string -> int
+(** Holds everything available (possibly 0); returns the amount newly
+    held. Used when local AV is short and the site is about to ask peers
+    ("the accelerator holds all the AV at the site"). 0 for undefined. *)
+
+val release : t -> item:string -> int -> (unit, string) result
+(** Moves volume back from held to available (transaction gave up). *)
+
+val consume : t -> item:string -> int -> (unit, string) result
+(** Destroys held volume — the negative update committed. *)
+
+val deposit : t -> item:string -> int -> (unit, string) result
+(** Adds fresh available volume: a positive update at this site, or a
+    grant received from a peer. Fails on undefined items. *)
+
+val withdraw : t -> item:string -> int -> (unit, string) result
+(** Removes available volume to grant it to a peer. *)
+
+val items : t -> string list
+(** Items with AV defined, sorted. *)
+
+val sum_total : t -> int
+(** Σ over items of [total] — used by conservation checks. *)
+
+val snapshot : t -> (string * int * int) list
+(** [(item, available, held)] sorted by item — for durability layers and
+    conservation checks. *)
+
+val encode : t -> string
+(** Single-string serialisation (one line per item). In-flight holds are
+    serialised as holds; a restoring site should [release] them, mirroring
+    how a restart abandons the transactions that held them. *)
+
+val decode : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+open Avdb_sim
+open Avdb_net
+
+type observation = { site : Address.t; volume : int; at : Time.t }
+
+type t = { by_item : (string, (Address.t, observation) Hashtbl.t) Hashtbl.t }
+
+let create () = { by_item = Hashtbl.create 64 }
+
+let item_table t item =
+  match Hashtbl.find_opt t.by_item item with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.by_item item tbl;
+      tbl
+
+let observe t ~site ~item ~volume ~at =
+  let tbl = item_table t item in
+  match Hashtbl.find_opt tbl site with
+  | Some prev when Time.(prev.at > at) -> ()
+  | _ -> Hashtbl.replace tbl site { site; volume; at }
+
+let known t ~item =
+  match Hashtbl.find_opt t.by_item item with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun _ obs acc -> obs :: acc) tbl []
+      |> List.sort (fun a b -> Address.compare a.site b.site)
+
+let volume_of t ~site ~item =
+  match Hashtbl.find_opt t.by_item item with
+  | None -> None
+  | Some tbl -> Option.map (fun o -> o.volume) (Hashtbl.find_opt tbl site)
+
+let richest t ~item ~exclude =
+  let candidates =
+    List.filter (fun o -> not (Address.Set.mem o.site exclude)) (known t ~item)
+  in
+  let better a b =
+    (* larger volume wins; ties toward smaller address (list is sorted by
+       address, so strict > keeps the earlier site). *)
+    if b.volume > a.volume then b else a
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left better first rest).site
+
+let forget_site t site =
+  Hashtbl.iter (fun _ tbl -> Hashtbl.remove tbl site) t.by_item
+
+let items t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.by_item [] |> List.sort String.compare

@@ -1,0 +1,105 @@
+open Avdb_sim
+open Avdb_net
+
+module Selection = struct
+  type t = Richest_known | Base_first | Round_robin | Random
+
+  let name = function
+    | Richest_known -> "richest-known"
+    | Base_first -> "base-first"
+    | Round_robin -> "round-robin"
+    | Random -> "random"
+
+  let of_name = function
+    | "richest-known" -> Ok Richest_known
+    | "base-first" -> Ok Base_first
+    | "round-robin" -> Ok Round_robin
+    | "random" -> Ok Random
+    | s -> Error (Printf.sprintf "unknown selection strategy %S" s)
+
+  let all = [ Richest_known; Base_first; Round_robin; Random ]
+end
+
+module Granting = struct
+  type t = Half | Exact | All | Demand_plus of float
+
+  let name = function
+    | Half -> "half"
+    | Exact -> "exact"
+    | All -> "all"
+    | Demand_plus f -> Printf.sprintf "demand+%g" f
+
+  let of_name s =
+    match s with
+    | "half" -> Ok Half
+    | "exact" -> Ok Exact
+    | "all" -> Ok All
+    | _ ->
+        let prefix = "demand+" in
+        if String.length s > String.length prefix
+           && String.sub s 0 (String.length prefix) = prefix
+        then
+          let body = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+          match float_of_string_opt body with
+          | Some f when f >= 0. -> Ok (Demand_plus f)
+          | _ -> Error (Printf.sprintf "bad demand fraction in %S" s)
+        else Error (Printf.sprintf "unknown granting strategy %S" s)
+
+  let amount t ~available ~requested =
+    if available < 0 || requested < 0 then invalid_arg "Granting.amount: negative input";
+    let raw =
+      match t with
+      | Half -> available / 2
+      | Exact -> Stdlib.min available requested
+      | All -> available
+      | Demand_plus f ->
+          let want = int_of_float (ceil (float_of_int requested *. (1. +. f))) in
+          Stdlib.min available want
+    in
+    Stdlib.max 0 (Stdlib.min available raw)
+
+  let all = [ Half; Exact; All; Demand_plus 0.5 ]
+end
+
+type t = { selection : Selection.t; granting : Granting.t }
+
+let paper = { selection = Selection.Richest_known; granting = Granting.Half }
+let name t = Selection.name t.selection ^ "/" ^ Granting.name t.granting
+
+type selection_state = { mutable rr_cursor : int }
+
+let create_state () = { rr_cursor = 0 }
+
+let eligible ~self ~exclude peers =
+  List.filter
+    (fun p -> (not (Address.equal p self)) && not (Address.Set.mem p exclude))
+    (List.sort Address.compare peers)
+
+let base_first candidates = match candidates with [] -> None | p :: _ -> Some p
+
+let select t ~rng ~state ~self ~peers ~view ~item ~exclude =
+  let candidates = eligible ~self ~exclude peers in
+  match candidates with
+  | [] -> None
+  | _ -> (
+      match t.selection with
+      | Selection.Base_first -> base_first candidates
+      | Selection.Random -> Some (Rng.pick rng (Array.of_list candidates))
+      | Selection.Round_robin ->
+          let n = List.length candidates in
+          let choice = List.nth candidates (state.rr_cursor mod n) in
+          state.rr_cursor <- state.rr_cursor + 1;
+          Some choice
+      | Selection.Richest_known -> (
+          (* Only consider sites we actually have observations for; among
+             the rest fall back to base-first so a cold cache still makes
+             progress. *)
+          let not_candidate site = not (List.exists (Address.equal site) candidates) in
+          let exclude_non_candidates =
+            List.fold_left
+              (fun acc o -> if not_candidate o.Peer_view.site then Address.Set.add o.site acc else acc)
+              exclude (Peer_view.known view ~item)
+          in
+          match Peer_view.richest view ~item ~exclude:exclude_non_candidates with
+          | Some site -> Some site
+          | None -> base_first candidates))

@@ -1,0 +1,67 @@
+(** The accelerator's selecting and deciding functions (§3.3, §3.4).
+
+    The paper factors AV management into {e selecting} (which site to ask)
+    and {e deciding} (how much to request and how much a donor grants).
+    Each axis is a small closed variant so ablation benches can sweep them
+    independently. The paper's simulated configuration — select the
+    believed-richest site, request exactly the shortage, grant half of the
+    donor's holdings (after Kawazoe et al., SODA '99) — is {!paper}. *)
+
+(** Which peer to ask for AV. *)
+module Selection : sig
+  type t =
+    | Richest_known
+        (** the site with the largest last-observed AV (the paper's rule);
+            falls back to [Base_first] order when nothing is known *)
+    | Base_first  (** always try the base (lowest address) first *)
+    | Round_robin  (** rotate through peers, remembering the last target *)
+    | Random  (** uniform among non-excluded peers *)
+
+  val name : t -> string
+  val of_name : string -> (t, string) result
+  val all : t list
+end
+
+(** How much a donor grants from its available AV. *)
+module Granting : sig
+  type t =
+    | Half  (** ⌊available / 2⌋, the SODA '99 rule the paper adopts *)
+    | Exact  (** min(available, requested): minimal transfer *)
+    | All  (** everything available: maximal transfer *)
+    | Demand_plus of float
+        (** min(available, ⌈requested × (1 + f)⌉): requested amount plus an
+            [f] fraction of headroom for future locality *)
+
+  val name : t -> string
+  val of_name : string -> (t, string) result
+  val amount : t -> available:int -> requested:int -> int
+  (** Never negative, never exceeds [available]. *)
+
+  val all : t list
+end
+
+type t = { selection : Selection.t; granting : Granting.t }
+
+val paper : t
+(** [{ selection = Richest_known; granting = Half }]. *)
+
+val name : t -> string
+
+type selection_state
+(** Mutable per-site bookkeeping some selection policies need
+    (round-robin position). *)
+
+val create_state : unit -> selection_state
+
+val select :
+  t ->
+  rng:Avdb_sim.Rng.t ->
+  state:selection_state ->
+  self:Avdb_net.Address.t ->
+  peers:Avdb_net.Address.t list ->
+  view:Peer_view.t ->
+  item:string ->
+  exclude:Avdb_net.Address.Set.t ->
+  Avdb_net.Address.t option
+(** Chooses the next site to ask, never [self] or an excluded site.
+    [None] when every peer is excluded. *)

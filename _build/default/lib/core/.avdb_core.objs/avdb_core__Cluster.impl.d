@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Address Array Av_table Avdb_av Avdb_net Avdb_sim Config Engine Format List Network Product Protocol Rpc Site Stats String Trace

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Avdb_net Avdb_sim Config Site Update

@@ -1,0 +1,1 @@
+lib/core/config.ml: Avdb_av Avdb_net Avdb_sim Format Latency List Product Strategy String Time

@@ -1,0 +1,1 @@
+lib/core/config.mli: Avdb_av Avdb_net Avdb_sim Format Product

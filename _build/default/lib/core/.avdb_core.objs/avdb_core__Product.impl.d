@@ -1,0 +1,1 @@
+lib/core/product.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/core/product.mli: Format

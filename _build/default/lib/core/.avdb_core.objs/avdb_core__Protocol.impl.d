@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Address Avdb_net Avdb_txn Format List String Two_phase

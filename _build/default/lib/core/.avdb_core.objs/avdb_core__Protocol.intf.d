@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Avdb_net Avdb_txn Format

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Avdb_sim Cluster Engine List Site Stdlib Time Update

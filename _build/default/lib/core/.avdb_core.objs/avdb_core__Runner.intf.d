@@ -1,0 +1,1 @@
+lib/core/runner.mli: Avdb_sim Cluster Update

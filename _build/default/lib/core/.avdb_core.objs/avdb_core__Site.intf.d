@@ -1,0 +1,1 @@
+lib/core/site.mli: Avdb_av Avdb_net Avdb_sim Avdb_store Avdb_txn Config Protocol Update

@@ -1,0 +1,1 @@
+lib/core/update.ml: Avdb_metrics Avdb_sim Format Time

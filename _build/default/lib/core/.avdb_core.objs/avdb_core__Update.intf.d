@@ -1,0 +1,1 @@
+lib/core/update.mli: Avdb_metrics Avdb_sim Format

@@ -1,0 +1,155 @@
+open Avdb_sim
+open Avdb_net
+open Avdb_av
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  rpc : (Protocol.request, Protocol.response, Protocol.notice) Rpc.t;
+  shared : Site.shared;
+  mutable sites : Site.t array;
+  trace : Trace.t;
+}
+
+(* Initial AV for one regular product at one site. The remainder of an
+   uneven split goes to the base so no volume is lost. *)
+let initial_av config ~site_index ~initial_amount =
+  let n = config.Config.n_sites in
+  match config.Config.allocation with
+  | Config.All_at_base -> if site_index = 0 then initial_amount else 0
+  | Config.Even ->
+      let share = initial_amount / n in
+      if site_index = 0 then initial_amount - (share * (n - 1)) else share
+  | Config.Retailers_only ->
+      if n = 1 then if site_index = 0 then initial_amount else 0
+      else begin
+        let retailers = n - 1 in
+        let share = initial_amount / retailers in
+        if site_index = 0 then 0
+        else if site_index = 1 then initial_amount - (share * (retailers - 1))
+        else share
+      end
+
+let create config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Cluster.create: " ^ e));
+  let engine = Engine.create ~seed:config.Config.seed () in
+  let rpc =
+    Rpc.create ~engine ~latency:config.Config.latency
+      ~drop_probability:config.Config.drop_probability
+      ?bandwidth_bytes_per_sec:config.Config.bandwidth_bytes_per_sec
+      ~default_timeout:config.Config.rpc_timeout
+      ~request_size:Protocol.wire_size_request ~response_size:Protocol.wire_size_response
+      ~notice_size:Protocol.wire_size_notice ()
+  in
+  let all_addrs = List.init config.Config.n_sites Address.of_int in
+  let trace = Trace.create () in
+  let shared = { Site.engine; rpc; config; all_addrs; trace } in
+  let sites =
+    Array.init config.Config.n_sites (fun site_index ->
+        let av_init =
+          List.filter_map
+            (fun product ->
+              if Product.is_regular product then
+                Some
+                  ( product.Product.name,
+                    initial_av config ~site_index
+                      ~initial_amount:product.Product.initial_amount )
+              else None)
+            config.Config.products
+        in
+        Site.create shared ~addr:(Address.of_int site_index) ~av_init)
+  in
+  { config; engine; rpc; shared; sites; trace }
+
+let config t = t.config
+let engine t = t.engine
+let sites t = t.sites
+let site t i = t.sites.(i)
+let base_site t = t.sites.(0)
+let n_sites t = Array.length t.sites
+let run ?until t = ignore (Engine.run ?until t.engine)
+let net_stats t = Rpc.stats t.rpc
+let trace t = t.trace
+
+(* A retailer entering the live system (the dynamic cooperation of the
+   paper's introduction): register on the network, bootstrap the catalogue
+   locally with zero AV on every regular item, then fetch the current
+   data and sync state from the base. AV arrives on demand through the
+   ordinary circulation. *)
+let add_retailer t callback =
+  let site_index = Array.length t.sites in
+  let addr = Address.of_int site_index in
+  t.shared.Site.all_addrs <- t.shared.Site.all_addrs @ [ addr ];
+  let av_init =
+    List.filter_map
+      (fun product ->
+        if Product.is_regular product then Some (product.Product.name, 0) else None)
+      t.config.Config.products
+  in
+  let site = Site.create t.shared ~addr ~av_init in
+  t.sites <- Array.append t.sites [| site |];
+  Site.join site (fun result -> callback (site_index, result));
+  site_index
+
+let partition t i j =
+  Network.partition (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
+
+let heal t i j = Network.heal (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
+
+let total_correspondences t = Stats.total_correspondences (net_stats t)
+
+let per_site_correspondences t =
+  List.map
+    (fun (a, s) -> (Address.to_int a, s.Stats.correspondences))
+    (Stats.sites (net_stats t))
+  |> List.sort compare
+
+let flush_all_syncs t =
+  Array.iter Site.flush_sync t.sites;
+  run t
+
+let replica_amounts t ~item =
+  Array.to_list
+    (Array.map
+       (fun s ->
+         match Site.amount_of s ~item with
+         | Some n -> n
+         | None -> invalid_arg ("Cluster.replica_amounts: unknown item " ^ item))
+       t.sites)
+
+let av_sum t ~item =
+  Array.fold_left (fun acc s -> acc + Av_table.total (Site.av_table s) ~item) 0 t.sites
+
+let check_invariants t =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun product ->
+      let item = product.Product.name in
+      let amounts = replica_amounts t ~item in
+      (* In centralized mode only the base copy is authoritative; retailer
+         replicas are never written, so agreement is not expected. *)
+      (match amounts with
+      | first :: rest
+        when t.config.Config.mode = Config.Autonomous
+             && List.exists (fun a -> a <> first) rest ->
+          add "%s: replicas diverge: %s" item
+            (String.concat "," (List.map string_of_int amounts))
+      | _ -> ());
+      if Product.is_regular product && t.config.Config.mode = Config.Autonomous then begin
+        let sum = av_sum t ~item in
+        let amount = List.hd amounts in
+        if sum <> amount then add "%s: AV sum %d <> replicated amount %d" item sum amount;
+        Array.iter
+          (fun s ->
+            let av = Site.av_table s in
+            if Av_table.available av ~item < 0 || Av_table.held av ~item < 0 then
+              add "%s: negative AV at %a" item Address.pp (Site.addr s))
+          t.sites
+      end)
+    t.config.Config.products;
+  match List.rev !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " ps)

@@ -1,0 +1,68 @@
+(** Builds and owns a whole simulated system (Fig. 2): one engine, one
+    network, site 0 as the base (maker) plus retailers, with the product
+    catalogue replicated to every local database "initially from the base"
+    and the initial AV distributed per the configured allocation. *)
+
+type t
+
+val create : Config.t -> t
+(** Raises [Invalid_argument] if {!Config.validate} fails. *)
+
+val config : t -> Config.t
+val engine : t -> Avdb_sim.Engine.t
+val sites : t -> Site.t array
+val site : t -> int -> Site.t
+val base_site : t -> Site.t
+val n_sites : t -> int
+
+val run : ?until:Avdb_sim.Time.t -> t -> unit
+(** Drains the event queue (bounded by [until] if given). *)
+
+val net_stats : t -> Avdb_net.Stats.t
+
+val trace : t -> Avdb_sim.Trace.t
+(** The shared structured trace: sites record AV transfers ("av"),
+    Immediate Update decisions ("2pc") and crash/recovery ("fault"). *)
+
+val total_correspondences : t -> int
+(** Sum of per-site RPC correspondences (the paper's metric). *)
+
+val per_site_correspondences : t -> (int * int) list
+(** [(site_index, correspondences)], sorted. *)
+
+val flush_all_syncs : t -> unit
+(** Forces every site to broadcast its pending Delay Update deltas, then
+    drains the network — afterwards (absent message loss or down sites)
+    replicas agree. *)
+
+val add_retailer : t -> (int * (unit, Update.reason) result -> unit) -> int
+(** Adds a retailer to the {e live} system: registers it on the network,
+    bootstraps its local database from the catalogue with zero AV, and
+    asynchronously fetches the base's current data and sync state
+    ({!Site.join}). Returns the new site index immediately; the callback
+    fires with the join outcome once the snapshot round-trip completes
+    (run the cluster). The newcomer acquires AV on demand through ordinary
+    circulation. *)
+
+(** {2 Fault injection} *)
+
+val partition : t -> int -> int -> unit
+(** Cuts both directions between two sites (by index). *)
+
+val heal : t -> int -> int -> unit
+
+(** {2 Whole-system introspection for invariant checks} *)
+
+val replica_amounts : t -> item:string -> int list
+(** The item's amount at each site, in site order. *)
+
+val av_sum : t -> item:string -> int
+(** Σ over sites of (available + held) AV. At quiescence with no
+    in-flight grants this equals the item's globally-agreed amount when
+    the initial AV equals the initial stock. *)
+
+val check_invariants : t -> (unit, string) result
+(** At quiescence after {!flush_all_syncs} (no crashes, no message loss):
+    for every regular item, all replicas agree (autonomous mode — in
+    centralized mode only the base copy is authoritative) and the AV sum
+    equals the replicated amount; AV entries are non-negative. *)

@@ -1,0 +1,75 @@
+open Avdb_sim
+open Avdb_net
+open Avdb_av
+
+type mode = Autonomous | Centralized
+
+type av_allocation = Even | All_at_base | Retailers_only
+
+type t = {
+  n_sites : int;
+  products : Product.t list;
+  mode : mode;
+  allocation : av_allocation;
+  strategy : Strategy.t;
+  latency : Latency.t;
+  drop_probability : float;
+  bandwidth_bytes_per_sec : int option;
+  rpc_timeout : Time.t;
+  prepare_timeout : Time.t;
+  ack_timeout : Time.t;
+  lock_timeout : Time.t;
+  decision_timeout : Time.t;
+  sync_interval : Time.t option;
+  record_history : bool;
+  prefetch_low : int option;
+  seed : int;
+}
+
+let default =
+  {
+    n_sites = 3;
+    products = Product.catalogue ~n_regular:100 ~n_non_regular:0 ~initial_amount:100;
+    mode = Autonomous;
+    allocation = Even;
+    strategy = Strategy.paper;
+    latency = Latency.Constant (Time.of_ms 1.);
+    drop_probability = 0.;
+    bandwidth_bytes_per_sec = None;
+    rpc_timeout = Time.of_ms 100.;
+    prepare_timeout = Time.of_ms 250.;
+    ack_timeout = Time.of_ms 250.;
+    lock_timeout = Time.of_ms 50.;
+    decision_timeout = Time.of_ms 500.;
+    sync_interval = None;
+    record_history = false;
+    prefetch_low = None;
+    seed = 42;
+  }
+
+let validate t =
+  if t.n_sites < 1 then Error "n_sites must be >= 1"
+  else if t.products = [] then Error "no products"
+  else if t.drop_probability < 0. || t.drop_probability > 1. then
+    Error "drop_probability out of [0,1]"
+  else if (match t.prefetch_low with Some low -> low < 1 | None -> false) then
+    Error "prefetch_low must be >= 1"
+  else if (match t.bandwidth_bytes_per_sec with Some b -> b <= 0 | None -> false) then
+    Error "bandwidth must be positive"
+  else begin
+    let names = List.map (fun p -> p.Product.name) t.products in
+    if List.length (List.sort_uniq String.compare names) <> List.length names then
+      Error "duplicate product names"
+    else Ok ()
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>sites=%d products=%d mode=%s allocation=%s strategy=%s latency=%a seed=%d@]"
+    t.n_sites (List.length t.products)
+    (match t.mode with Autonomous -> "autonomous" | Centralized -> "centralized")
+    (match t.allocation with
+    | Even -> "even"
+    | All_at_base -> "all-at-base"
+    | Retailers_only -> "retailers-only")
+    (Strategy.name t.strategy) Latency.pp t.latency t.seed

@@ -1,0 +1,55 @@
+(** System configuration. *)
+
+(** Which consistency machinery the cluster runs. *)
+type mode =
+  | Autonomous  (** the paper's proposal: AV + Delay/Immediate Update *)
+  | Centralized  (** the baseline: every remote update round-trips to base *)
+
+(** Where the initial AV for regular products lives. *)
+type av_allocation =
+  | Even  (** split equally across sites (remainder to the base) *)
+  | All_at_base
+  | Retailers_only  (** split equally across non-base sites *)
+
+type t = {
+  n_sites : int;  (** ≥ 1; site 0 is the base (maker) *)
+  products : Product.t list;
+  mode : mode;
+  allocation : av_allocation;
+  strategy : Avdb_av.Strategy.t;
+  latency : Avdb_net.Latency.t;
+  drop_probability : float;
+  bandwidth_bytes_per_sec : int option;
+      (** finite per-link bandwidth: messages serialise behind each other
+          before the propagation delay; [None] = infinite (default) *)
+  rpc_timeout : Avdb_sim.Time.t;
+  prepare_timeout : Avdb_sim.Time.t;  (** Immediate Update vote collection *)
+  ack_timeout : Avdb_sim.Time.t;  (** Immediate Update decision acks *)
+  lock_timeout : Avdb_sim.Time.t;  (** participant lock wait *)
+  decision_timeout : Avdb_sim.Time.t;
+      (** how long a prepared participant waits for the decision before
+          running the termination protocol (query the coordinator;
+          presume abort if it has no record) *)
+  sync_interval : Avdb_sim.Time.t option;
+      (** period of Delay Update's lazy delta broadcast; [None] disables *)
+  record_history : bool;
+      (** when true every applied local update also appends a row to a
+          ["history"] audit table (item, delta, path) in the same storage
+          engine — queryable with {!Avdb_store.Query} and recovered with
+          the WAL like any other table *)
+  prefetch_low : int option;
+      (** autonomous AV circulation (§3.4, extension): after a Delay
+          Update leaves an item's available AV below this watermark, the
+          accelerator replenishes in the background up to twice the
+          watermark. [None] keeps the paper's purely on-demand scheme. *)
+  seed : int;
+}
+
+val default : t
+(** The paper's §4 setup: 3 sites (1 maker + 2 retailers), 100 regular
+    products of initial stock 100 with AV split evenly, paper strategy
+    (richest-known selection, half granting), 1 ms constant latency,
+    no loss, lazy sync disabled. *)
+
+val validate : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

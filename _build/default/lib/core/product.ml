@@ -1,0 +1,21 @@
+type kind = Regular | Non_regular
+
+type t = { name : string; initial_amount : int; kind : kind }
+
+let make kind name ~initial_amount =
+  if initial_amount < 0 then invalid_arg "Product: negative initial amount";
+  { name; initial_amount; kind }
+
+let regular = make Regular
+let non_regular = make Non_regular
+let is_regular t = t.kind = Regular
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s, %d)" t.name
+    (match t.kind with Regular -> "regular" | Non_regular -> "non-regular")
+    t.initial_amount
+
+let catalogue ~n_regular ~n_non_regular ~initial_amount =
+  List.init n_regular (fun i -> regular (Printf.sprintf "product%d" i) ~initial_amount)
+  @ List.init n_non_regular (fun i ->
+        non_regular (Printf.sprintf "special%d" i) ~initial_amount)

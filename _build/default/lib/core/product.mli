@@ -1,0 +1,18 @@
+(** Product catalogue entries (§1.1).
+
+    Regular products are kept in stock and may be updated autonomously
+    under AV (Delay Update); non-regular products are made to order and
+    every site must see their updates immediately (Immediate Update). *)
+
+type kind = Regular | Non_regular
+
+type t = { name : string; initial_amount : int; kind : kind }
+
+val regular : string -> initial_amount:int -> t
+val non_regular : string -> initial_amount:int -> t
+val is_regular : t -> bool
+val pp : Format.formatter -> t -> unit
+
+val catalogue : n_regular:int -> n_non_regular:int -> initial_amount:int -> t list
+(** ["product0".."productN-1"] regular then ["special0"...] non-regular,
+    all with the same initial stock. *)

@@ -1,0 +1,99 @@
+open Avdb_net
+open Avdb_txn
+
+type decision_status = Decided of Two_phase.decision | Still_pending | Unknown_txn
+
+type request =
+  | Av_request of { item : string; amount : int; requester_available : int }
+  | Central_update of { item : string; delta : int }
+  | Prepare of { txid : int; coordinator : Address.t; item : string; delta : int }
+  | Decision of { txid : int; decision : Two_phase.decision }
+  | Read_request of { item : string }
+  | Query_decision of { txid : int }
+  | Join_request
+
+type response =
+  | Av_grant of { granted : int; donor_available : int }
+  | Central_ack of { applied : bool; new_amount : int }
+  | Vote of { txid : int; vote : Two_phase.vote }
+  | Decision_ack of { txid : int }
+  | Read_value of { amount : int option }
+  | Decision_status of { txid : int; status : decision_status }
+  | Join_snapshot of {
+      rows : (string * int * bool) list;
+      sync_state : (int * string * int) list;
+    }
+  | Bad_request of string
+
+type notice = Sync_counters of { counters : (string * int) list; av_info : (string * int) list }
+
+(* Rough wire sizes: a fixed header plus per-field costs; strings count
+   their bytes, ints 8. Only relative magnitudes matter for the bandwidth
+   model, not exact encodings. *)
+let header = 16
+
+let wire_size_request = function
+  | Av_request { item; _ } -> header + String.length item + 16
+  | Central_update { item; _ } -> header + String.length item + 8
+  | Prepare { item; _ } -> header + String.length item + 24
+  | Decision _ -> header + 9
+  | Read_request { item } -> header + String.length item
+  | Query_decision _ -> header + 8
+  | Join_request -> header
+
+let wire_size_response = function
+  | Av_grant _ -> header + 16
+  | Central_ack _ -> header + 9
+  | Vote _ -> header + 9
+  | Decision_ack _ -> header + 8
+  | Read_value _ -> header + 9
+  | Decision_status _ -> header + 9
+  | Join_snapshot { rows; sync_state } ->
+      header
+      + List.fold_left (fun acc (item, _, _) -> acc + String.length item + 9) 0 rows
+      + (List.length sync_state * 20)
+  | Bad_request msg -> header + String.length msg
+
+let wire_size_notice = function
+  | Sync_counters { counters; av_info } ->
+      header
+      + List.fold_left (fun acc (item, _) -> acc + String.length item + 8) 0 counters
+      + List.fold_left (fun acc (item, _) -> acc + String.length item + 8) 0 av_info
+
+let pp_request ppf = function
+  | Av_request { item; amount; requester_available } ->
+      Format.fprintf ppf "av_request(%s, %d, have=%d)" item amount requester_available
+  | Central_update { item; delta } -> Format.fprintf ppf "central_update(%s, %+d)" item delta
+  | Prepare { txid; coordinator; item; delta } ->
+      Format.fprintf ppf "prepare(tx%d, coord=%a, %s, %+d)" txid Address.pp coordinator item
+        delta
+  | Decision { txid; decision } ->
+      Format.fprintf ppf "decision(tx%d, %a)" txid Two_phase.pp_decision decision
+  | Read_request { item } -> Format.fprintf ppf "read_request(%s)" item
+  | Query_decision { txid } -> Format.fprintf ppf "query_decision(tx%d)" txid
+  | Join_request -> Format.pp_print_string ppf "join_request"
+
+let pp_response ppf = function
+  | Av_grant { granted; donor_available } ->
+      Format.fprintf ppf "av_grant(%d, donor_has=%d)" granted donor_available
+  | Central_ack { applied; new_amount } ->
+      Format.fprintf ppf "central_ack(%b, %d)" applied new_amount
+  | Vote { txid; vote } -> Format.fprintf ppf "vote(tx%d, %a)" txid Two_phase.pp_vote vote
+  | Decision_ack { txid } -> Format.fprintf ppf "decision_ack(tx%d)" txid
+  | Read_value { amount } ->
+      Format.fprintf ppf "read_value(%s)"
+        (match amount with Some n -> string_of_int n | None -> "none")
+  | Join_snapshot { rows; sync_state } ->
+      Format.fprintf ppf "join_snapshot(%d rows, %d counters)" (List.length rows)
+        (List.length sync_state)
+  | Decision_status { txid; status } ->
+      Format.fprintf ppf "decision_status(tx%d, %s)" txid
+        (match status with
+        | Decided d -> Format.asprintf "%a" Two_phase.pp_decision d
+        | Still_pending -> "pending"
+        | Unknown_txn -> "unknown")
+  | Bad_request msg -> Format.fprintf ppf "bad_request(%s)" msg
+
+let pp_notice ppf = function
+  | Sync_counters { counters; av_info = _ } ->
+      Format.fprintf ppf "sync_counters(%d items)" (List.length counters)

@@ -1,0 +1,76 @@
+(** Wire messages between accelerators.
+
+    One request/response enum covers all three protocols — Delay Update's
+    AV transfer, Immediate Update's primary-copy 2PC, and the centralized
+    baseline — so a single {!Avdb_net.Rpc.t} carries everything and the
+    correspondence accounting is uniform. *)
+
+(** Coordinator's answer to {!Query_decision}. [Unknown_txn] means the
+    coordinator has no record — with outcomes logged at decision time this
+    implies it never decided, so the participant may presume abort. *)
+type decision_status =
+  | Decided of Avdb_txn.Two_phase.decision
+  | Still_pending
+  | Unknown_txn
+
+type request =
+  | Av_request of { item : string; amount : int; requester_available : int }
+      (** ask for AV; [requester_available] piggybacks the caller's own
+          holdings so the donor's peer view stays warm *)
+  | Central_update of { item : string; delta : int }
+      (** centralized baseline: forward the user update to the base *)
+  | Prepare of { txid : int; coordinator : Avdb_net.Address.t; item : string; delta : int }
+      (** Immediate Update phase 1: lock and tentatively apply *)
+  | Decision of { txid : int; decision : Avdb_txn.Two_phase.decision }
+      (** Immediate Update phase 2 *)
+  | Read_request of { item : string }
+      (** authoritative read served by the base replica *)
+  | Query_decision of { txid : int }
+      (** termination protocol: a prepared participant asks the
+          coordinator for the outcome after its decision timeout *)
+  | Join_request
+      (** a new site asks the base for its initial data ("all data are
+          assumed to be delivered to all the sites initially from the
+          base", §3.2) *)
+
+type response =
+  | Av_grant of { granted : int; donor_available : int }
+      (** [donor_available] piggybacks the donor's remaining holdings *)
+  | Central_ack of { applied : bool; new_amount : int }
+  | Vote of { txid : int; vote : Avdb_txn.Two_phase.vote }
+  | Decision_ack of { txid : int }
+  | Read_value of { amount : int option }
+      (** [None] when the item does not exist at the serving site *)
+  | Decision_status of { txid : int; status : decision_status }
+  | Join_snapshot of {
+      rows : (string * int * bool) list;  (** item, amount, regular *)
+      sync_state : (int * string * int) list;
+          (** per (origin site, item): the cumulative sync counter already
+              folded into [rows] — the joiner seeds its receiver state
+              with these so later notices apply only newer deltas *)
+    }
+  | Bad_request of string
+      (** protocol mismatch, e.g. a [Central_update] at a non-base site *)
+
+type notice =
+  | Sync_counters of { counters : (string * int) list; av_info : (string * int) list }
+      (** Delay Update's lazy propagation. [counters] carries the sender's
+          {e cumulative} net delta per item since the system started -
+          receivers apply the difference against the last counter they saw
+          from that sender, so lost or duplicated notices never lose or
+          double-apply updates (a grow-only counter per origin). [av_info]
+          piggybacks the sender's current available AV for those items,
+          keeping peers' selection caches warm at zero extra messages
+          (§4: "information is collected at the necessary
+          communication"). *)
+
+val wire_size_request : request -> int
+(** Rough serialized size in bytes, feeding the network byte counters and
+    the optional bandwidth model. *)
+
+val wire_size_response : response -> int
+val wire_size_notice : notice -> int
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+val pp_notice : Format.formatter -> notice -> unit

@@ -1,0 +1,67 @@
+open Avdb_sim
+
+type checkpoint = {
+  updates_done : int;
+  total_correspondences : int;
+  per_site_correspondences : (int * int) list;
+  applied : int;
+  rejected : int;
+  virtual_time : Time.t;
+}
+
+type outcome = {
+  checkpoints : checkpoint list;
+  final : checkpoint;
+  results : Update.result list;
+}
+
+let snapshot cluster ~updates_done ~applied ~rejected =
+  {
+    updates_done;
+    total_correspondences = Cluster.total_correspondences cluster;
+    per_site_correspondences = Cluster.per_site_correspondences cluster;
+    applied;
+    rejected;
+    virtual_time = Avdb_sim.Engine.now (Cluster.engine cluster);
+  }
+
+let run cluster ~nth_update ~total_updates ?(interval = Time.of_ms 10.)
+    ?checkpoint_every () =
+  if total_updates < 0 then invalid_arg "Runner.run: negative total_updates";
+  let checkpoint_every =
+    match checkpoint_every with
+    | Some c when c > 0 -> c
+    | Some _ -> invalid_arg "Runner.run: checkpoint_every must be positive"
+    | None -> Stdlib.max 1 (total_updates / 10)
+  in
+  let engine = Cluster.engine cluster in
+  let done_count = ref 0 in
+  let applied = ref 0 in
+  let rejected = ref 0 in
+  let rev_results = ref [] in
+  let rev_checkpoints = ref [] in
+  let on_result result =
+    incr done_count;
+    rev_results := result :: !rev_results;
+    if Update.is_applied result then incr applied else incr rejected;
+    if !done_count mod checkpoint_every = 0 then
+      rev_checkpoints :=
+        snapshot cluster ~updates_done:!done_count ~applied:!applied ~rejected:!rejected
+        :: !rev_checkpoints
+  in
+  (* Relative to the current virtual time, so several runs compose on one
+     cluster (e.g. add sites between phases). *)
+  let start = Avdb_sim.Engine.now engine in
+  for k = 0 to total_updates - 1 do
+    let site_index, item, delta = nth_update k in
+    let site = Cluster.site cluster site_index in
+    ignore
+      (Engine.schedule_at engine
+         ~at:(Time.add start (Time.mul interval (float_of_int k)))
+         (fun () -> Site.submit_update site ~item ~delta on_result))
+  done;
+  Cluster.run cluster;
+  let final =
+    snapshot cluster ~updates_done:!done_count ~applied:!applied ~rejected:!rejected
+  in
+  { checkpoints = List.rev !rev_checkpoints; final; results = List.rev !rev_results }

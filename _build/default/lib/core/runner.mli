@@ -1,0 +1,35 @@
+(** Experiment driver: feeds a stream of user updates into a cluster and
+    snapshots the paper's metrics at fixed completion counts.
+
+    Update [k] is submitted at virtual time [k × interval] at the site the
+    workload names; completions are asynchronous. Checkpoints are taken
+    when the number of {e finished} updates crosses each multiple of
+    [checkpoint_every], which is exactly the x-axis of Fig. 6 / the column
+    headers of Table 1. *)
+
+type checkpoint = {
+  updates_done : int;
+  total_correspondences : int;
+  per_site_correspondences : (int * int) list;
+  applied : int;
+  rejected : int;
+  virtual_time : Avdb_sim.Time.t;
+}
+
+type outcome = {
+  checkpoints : checkpoint list;  (** in increasing [updates_done] order *)
+  final : checkpoint;
+  results : Update.result list;  (** per update, in completion order *)
+}
+
+val run :
+  Cluster.t ->
+  nth_update:(int -> int * string * int) ->
+  total_updates:int ->
+  ?interval:Avdb_sim.Time.t ->
+  ?checkpoint_every:int ->
+  unit ->
+  outcome
+(** [nth_update k] returns [(site_index, item, delta)] for the k-th update
+    (0-based). [interval] defaults to 10 ms, [checkpoint_every] to
+    [max 1 (total_updates / 10)]. Runs the engine to quiescence. *)

@@ -1,0 +1,976 @@
+open Avdb_sim
+open Avdb_net
+open Avdb_store
+open Avdb_av
+open Avdb_txn
+
+let src_log = Logs.Src.create "avdb.site" ~doc:"site / accelerator"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type role = Maker | Retailer
+
+type shared = {
+  engine : Engine.t;
+  rpc : (Protocol.request, Protocol.response, Protocol.notice) Rpc.t;
+  config : Config.t;
+  mutable all_addrs : Address.t list;  (* grows when sites join at runtime *)
+  trace : Trace.t;
+}
+
+type participant_txn = {
+  p_txn : Database.txn;
+  p_coordinator : Address.t;
+  p_item : string;
+  p_delta : int;
+  mutable p_queries : int;  (* termination-protocol attempts so far *)
+}
+
+type coord = {
+  machine : Two_phase.Coordinator.t;
+  finish : Update.outcome -> unit;
+  mutable local_txn : Database.txn option;
+  mutable local_finalized : bool;
+}
+
+type t = {
+  shared : shared;
+  addr : Address.t;
+  role : role;
+  base_addr : Address.t;
+  mutable db : Database.t;
+  av : Av_table.t;
+  view : Peer_view.t;
+  sel_state : Strategy.selection_state;
+  rng : Rng.t;
+  mutable locks : Lock_manager.t;
+  participant : Two_phase.Participant.t;
+  participant_txns : (int, participant_txn) Hashtbl.t;
+  coordinators : (int, coord) Hashtbl.t;
+  txn_log : Txn_log.t;
+  metrics : Update.Metrics.t;
+  pending_sync : (string, int) Hashtbl.t;
+  (* Cumulative net local delta per item since startup; survives crashes
+     (persisted metadata, like the AV table). The receiver-side
+     counterpart below makes lazy propagation loss- and duplicate-proof. *)
+  sync_counters : (string, int) Hashtbl.t;
+  applied_sync : (int * string, int) Hashtbl.t;
+      (* (origin site, item) -> last counter applied from that origin *)
+  prefetch_in_flight : (string, unit) Hashtbl.t;
+  mutable history_seq : int;
+  mutable sync_flush_scheduled : bool;
+  mutable next_txn_seq : int;
+}
+
+let stock_table = "stock"
+let history_table = "history"
+
+let addr t = t.addr
+let role t = t.role
+let base t = t.base_addr
+let database t = t.db
+let av_table t = t.av
+let peer_view t = t.view
+let metrics t = t.metrics
+let txn_log t = t.txn_log
+
+let network t = Rpc.network t.shared.rpc
+let engine t = t.shared.engine
+let config t = t.shared.config
+let now t = Engine.now (engine t)
+let is_down t = Network.is_down (network t) t.addr
+let peers t = List.filter (fun a -> not (Address.equal a t.addr)) t.shared.all_addrs
+
+let trace t ?level ~category fmt =
+  Trace.recordf t.shared.trace ~at:(now t) ?level ~category fmt
+
+let amount_of t ~item =
+  match Database.get_col t.db ~table:stock_table ~key:item ~col:"amount" with
+  | Ok (Value.Int n) -> Some n
+  | Ok _ | Error _ -> None
+
+let item_known t ~item = Option.is_some (amount_of t ~item)
+
+(* Transaction ids for Immediate Update must be globally unique; reserve a
+   large per-site range keyed by the address. *)
+let fresh_txid t =
+  let txid = (Address.to_int t.addr * 1_000_000) + t.next_txn_seq in
+  t.next_txn_seq <- t.next_txn_seq + 1;
+  txid
+
+let pending_sync_deltas t =
+  Hashtbl.fold (fun item delta acc -> (item, delta) :: acc) t.pending_sync []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let add_pending_sync t ~item ~delta =
+  (match Hashtbl.find_opt t.pending_sync item with
+  | Some prev ->
+      if prev + delta = 0 then Hashtbl.remove t.pending_sync item
+      else Hashtbl.replace t.pending_sync item (prev + delta)
+  | None -> if delta <> 0 then Hashtbl.add t.pending_sync item delta);
+  Hashtbl.replace t.sync_counters item
+    (delta + Option.value ~default:0 (Hashtbl.find_opt t.sync_counters item))
+
+(* Audit trail: one row per locally-applied update when configured. Runs in
+   its own committed transaction right after the stock change - the WAL
+   orders them, so recovery keeps history and stock consistent. *)
+let record_history t ~item ~delta ~path =
+  if (config t).Config.record_history then begin
+    let txn = Database.begin_txn t.db in
+    let key = Printf.sprintf "%06d" t.history_seq in
+    t.history_seq <- t.history_seq + 1;
+    let row = [| Value.Str item; Value.Int delta; Value.Str path |] in
+    match Database.insert txn ~table:history_table ~key row with
+    | Ok () -> Database.commit txn
+    | Error e ->
+        Database.abort txn;
+        failwith ("Site.record_history: " ^ e)
+  end
+
+let flush_sync t =
+  (* Broadcast every nonzero cumulative counter (not just recent deltas):
+     a receiver that missed earlier notices catches up from any later one. *)
+  if (not (is_down t)) && Hashtbl.length t.sync_counters > 0 then begin
+    Hashtbl.reset t.pending_sync;
+    t.metrics.Update.Metrics.sync_batches_sent <-
+      t.metrics.Update.Metrics.sync_batches_sent + 1;
+    let counters =
+      Hashtbl.fold (fun item counter acc -> (item, counter) :: acc) t.sync_counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let av_info =
+      List.filter_map
+        (fun (item, _) ->
+          if Av_table.is_defined t.av ~item then Some (item, Av_table.available t.av ~item)
+          else None)
+        counters
+    in
+    List.iter
+      (fun peer ->
+        Rpc.notify t.shared.rpc ~src:t.addr ~dst:peer
+          (Protocol.Sync_counters { counters; av_info }))
+      (peers t)
+  end
+
+(* Apply a committed local delta to the replicated stock value and queue it
+   for lazy propagation. Only called after AV accounting has authorised the
+   delta, so a failure here is a bug, not an input error. *)
+let rec apply_local_delta t ~item ~delta =
+  let txn = Database.begin_txn t.db in
+  match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+  | Ok _new_amount ->
+      Database.commit txn;
+      record_history t ~item ~delta ~path:"delay";
+      add_pending_sync t ~item ~delta;
+      schedule_sync_flush t
+  | Error e ->
+      Database.abort txn;
+      failwith (Printf.sprintf "Site.apply_local_delta %s: %s" item e)
+
+(* Lazy propagation is debounced rather than a free-running timer: the
+   first delta after a quiet period arms one flush event [sync_interval]
+   later. A drained event queue therefore means true quiescence. *)
+and schedule_sync_flush t =
+  match (config t).Config.sync_interval with
+  | None -> ()
+  | Some interval ->
+      if (not t.sync_flush_scheduled) && Hashtbl.length t.pending_sync > 0 then begin
+        t.sync_flush_scheduled <- true;
+        ignore
+          (Engine.schedule (engine t) ~delay:interval (fun () ->
+               t.sync_flush_scheduled <- false;
+               flush_sync t))
+      end
+
+(* --- request handling (the accelerator's server side) --- *)
+
+let handle_av_request t ~src ~item ~amount ~requester_available ~reply =
+  Peer_view.observe t.view ~site:src ~item ~volume:requester_available ~at:(now t);
+  let available = Av_table.available t.av ~item in
+  let granting = (config t).Config.strategy.Strategy.granting in
+  let granted = Strategy.Granting.amount granting ~available ~requested:amount in
+  let granted =
+    if granted = 0 then 0
+    else
+      match Av_table.withdraw t.av ~item granted with
+      | Ok () -> granted
+      | Error _ -> 0
+  in
+  t.metrics.Update.Metrics.av_volume_granted <-
+    t.metrics.Update.Metrics.av_volume_granted + granted;
+  Log.debug (fun m ->
+      m "%a grants %d AV of %s to %a" Address.pp t.addr granted item Address.pp src);
+  trace t ~category:"av" "%a grants %d of %s to %a (keeps %d)" Address.pp t.addr granted item
+    Address.pp src (Av_table.available t.av ~item);
+  reply (Protocol.Av_grant { granted; donor_available = Av_table.available t.av ~item })
+
+let handle_central_update t ~item ~delta ~reply =
+  if not (Address.equal t.addr t.base_addr) then
+    reply (Protocol.Bad_request "central update at non-base site")
+  else
+    match amount_of t ~item with
+    | None -> reply (Protocol.Central_ack { applied = false; new_amount = 0 })
+    | Some current ->
+        if current + delta < 0 then
+          reply (Protocol.Central_ack { applied = false; new_amount = current })
+        else begin
+          let txn = Database.begin_txn t.db in
+          match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+          | Ok new_amount ->
+              Database.commit txn;
+              record_history t ~item ~delta ~path:"central";
+              reply (Protocol.Central_ack { applied = true; new_amount })
+          | Error _ ->
+              Database.abort txn;
+              reply (Protocol.Central_ack { applied = false; new_amount = current })
+        end
+
+(* Finalise a prepared transaction at this participant (from a Decision
+   message or the termination protocol). *)
+let finalize_participant t ~txid decision =
+  match Two_phase.Participant.on_decision t.participant ~txid decision with
+  | Two_phase.Participant.Apply -> (
+      match Hashtbl.find_opt t.participant_txns txid with
+      | Some p ->
+          Database.commit p.p_txn;
+          record_history t ~item:p.p_item ~delta:p.p_delta ~path:"immediate";
+          Hashtbl.remove t.participant_txns txid;
+          Lock_manager.release_all t.locks ~owner:txid;
+          Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t)
+      | None -> ())
+  | Two_phase.Participant.Revert -> (
+      match Hashtbl.find_opt t.participant_txns txid with
+      | Some p ->
+          Database.abort p.p_txn;
+          Hashtbl.remove t.participant_txns txid;
+          Lock_manager.release_all t.locks ~owner:txid;
+          Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t)
+      | None -> ())
+  | Two_phase.Participant.Ignore -> ()
+
+(* Termination protocol: a participant left prepared past the decision
+   timeout asks the coordinator for the outcome. [Unknown_txn] means the
+   coordinator never decided (outcomes are logged at decision time), so
+   abort is safe (presumed abort). An unreachable coordinator keeps the
+   participant blocked - the classic 2PC window - retried a bounded number
+   of times before a heuristic abort. *)
+let max_decision_queries = 25
+
+let rec schedule_termination_check t ~txid =
+  ignore
+    (Engine.schedule (engine t) ~delay:(config t).Config.decision_timeout (fun () ->
+         match Hashtbl.find_opt t.participant_txns txid with
+         | None -> () (* decision arrived meanwhile *)
+         | Some p ->
+             if is_down t then schedule_termination_check t ~txid
+             else begin
+               p.p_queries <- p.p_queries + 1;
+               if p.p_queries > max_decision_queries then begin
+                 trace t ~level:Trace.Warn ~category:"2pc"
+                   "tx%d heuristically aborted at %a (coordinator unreachable)" txid
+                   Address.pp t.addr;
+                 finalize_participant t ~txid Two_phase.Abort
+               end
+               else
+                 Rpc.call t.shared.rpc ~src:t.addr ~dst:p.p_coordinator
+                   ~timeout:(config t).Config.rpc_timeout
+                   (Protocol.Query_decision { txid })
+                   (fun response ->
+                     match response with
+                     | Ok (Protocol.Decision_status { status; _ }) -> (
+                         match status with
+                         | Protocol.Decided decision ->
+                             trace t ~category:"2pc"
+                               "tx%d outcome recovered via termination protocol at %a" txid
+                               Address.pp t.addr;
+                             finalize_participant t ~txid decision
+                         | Protocol.Still_pending -> schedule_termination_check t ~txid
+                         | Protocol.Unknown_txn ->
+                             trace t ~category:"2pc" "tx%d presumed aborted at %a" txid
+                               Address.pp t.addr;
+                             finalize_participant t ~txid Two_phase.Abort)
+                     | Ok _ | Error _ -> schedule_termination_check t ~txid)
+             end))
+
+let handle_prepare t ~txid ~coordinator ~item ~delta ~reply =
+  if not (item_known t ~item) then begin
+    ignore (Two_phase.Participant.on_prepare t.participant ~txid ~can_apply:false);
+    reply (Protocol.Vote { txid; vote = Two_phase.Refuse })
+  end
+  else
+    Lock_manager.acquire t.locks ~owner:txid ~key:item Lock_manager.Exclusive
+      ~timeout:(config t).Config.lock_timeout (fun lock_result ->
+        let can_apply =
+          match lock_result with
+          | Error `Timeout -> false
+          | Ok () -> (
+              match amount_of t ~item with
+              | Some current -> current + delta >= 0
+              | None -> false)
+        in
+        let can_apply =
+          can_apply
+          &&
+          let txn = Database.begin_txn t.db in
+          match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+          | Ok _ ->
+              Hashtbl.replace t.participant_txns txid
+                { p_txn = txn; p_coordinator = coordinator; p_item = item; p_delta = delta; p_queries = 0 };
+              true
+          | Error _ ->
+              Database.abort txn;
+              false
+        in
+        let vote = Two_phase.Participant.on_prepare t.participant ~txid ~can_apply in
+        if vote = Two_phase.Refuse then Lock_manager.release_all t.locks ~owner:txid
+        else begin
+          if Txn_log.find t.txn_log ~txid = None then
+            Txn_log.record_start t.txn_log ~txid ~coordinator ~item ~delta ~at:(now t);
+          schedule_termination_check t ~txid
+        end;
+        reply (Protocol.Vote { txid; vote }))
+
+let handle_decision t ~txid ~decision ~reply =
+  finalize_participant t ~txid decision;
+  reply (Protocol.Decision_ack { txid })
+
+let handle_query_decision t ~txid ~reply =
+  let status =
+    match Hashtbl.find_opt t.coordinators txid with
+    | Some coord -> (
+        match Two_phase.Coordinator.decision coord.machine with
+        | Some d -> Protocol.Decided d
+        | None -> Protocol.Still_pending)
+    | None -> (
+        match Txn_log.find t.txn_log ~txid with
+        | Some { Txn_log.outcome = Some d; _ } -> Protocol.Decided d
+        | Some { Txn_log.outcome = None; _ } ->
+            (* we know the txn but not its outcome: only possible while it
+               is still being coordinated elsewhere *)
+            Protocol.Still_pending
+        | None -> Protocol.Unknown_txn)
+  in
+  reply (Protocol.Decision_status { txid; status })
+
+let handle_sync t ~src ~counters ~av_info =
+  if not (is_down t) then begin
+    List.iter
+      (fun (item, volume) -> Peer_view.observe t.view ~site:src ~item ~volume ~at:(now t))
+      av_info;
+    let origin = Address.to_int src in
+    (* Counters are cumulative per origin: apply only the unseen part, so
+       lost or replayed notices can never lose or double-apply deltas. *)
+    let fresh_deltas =
+      List.filter_map
+        (fun (item, counter) ->
+          let last =
+            Option.value ~default:0 (Hashtbl.find_opt t.applied_sync (origin, item))
+          in
+          if counter <> last then Some (item, counter - last, counter) else None)
+        counters
+    in
+    if fresh_deltas <> [] then begin
+      let txn = Database.begin_txn t.db in
+      let ok =
+        List.for_all
+          (fun (item, delta, _) ->
+            Result.is_ok
+              (Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta))
+          fresh_deltas
+      in
+      if ok then begin
+        Database.commit txn;
+        List.iter
+          (fun (item, _, counter) -> Hashtbl.replace t.applied_sync (origin, item) counter)
+          fresh_deltas
+      end
+      else Database.abort txn
+    end
+  end
+
+(* --- autonomous AV circulation (extension of the paper's Â§3.4) ---
+
+   When a Delay Update leaves an item's available AV below the configured
+   low watermark, refill in the background from one peer, aiming at twice
+   the watermark. One in-flight refill per item; failures are silent (the
+   foreground path still works on demand). *)
+
+let rec maybe_prefetch t ~item =
+  match (config t).Config.prefetch_low with
+  | None -> ()
+  | Some low ->
+      if
+        (not (is_down t))
+        && (not (Hashtbl.mem t.prefetch_in_flight item))
+        && Av_table.is_defined t.av ~item
+        && Av_table.available t.av ~item < low
+      then begin
+        let strategy = (config t).Config.strategy in
+        let exclude = Address.Set.singleton t.addr in
+        match
+          Strategy.select strategy ~rng:t.rng ~state:t.sel_state ~self:t.addr
+            ~peers:t.shared.all_addrs ~view:t.view ~item ~exclude
+        with
+        | None -> ()
+        | Some target ->
+            Hashtbl.replace t.prefetch_in_flight item ();
+            t.metrics.Update.Metrics.prefetch_requests <-
+              t.metrics.Update.Metrics.prefetch_requests + 1;
+            let want = (2 * low) - Av_table.available t.av ~item in
+            let request =
+              Protocol.Av_request
+                { item; amount = want; requester_available = Av_table.available t.av ~item }
+            in
+            Rpc.call t.shared.rpc ~src:t.addr ~dst:target
+              ~timeout:(config t).Config.rpc_timeout request (fun response ->
+                Hashtbl.remove t.prefetch_in_flight item;
+                match response with
+                | Ok (Protocol.Av_grant { granted; donor_available }) ->
+                    Peer_view.observe t.view ~site:target ~item ~volume:donor_available
+                      ~at:(now t);
+                    if granted > 0 then begin
+                      t.metrics.Update.Metrics.av_volume_received <-
+                        t.metrics.Update.Metrics.av_volume_received + granted;
+                      match Av_table.deposit t.av ~item granted with
+                      | Ok () -> maybe_prefetch t ~item
+                      | Error e -> failwith ("Site.maybe_prefetch deposit: " ^ e)
+                    end
+                | Ok _ | Error _ -> ())
+      end
+
+(* --- Delay Update (client side) --- *)
+
+(* Acquire [need] units of AV on [item], leaving exactly [need] held on
+   success. On shortage, holds everything local and circulates AV from
+   peers (the selecting + deciding functions), one correspondence per peer
+   asked; surplus from a final over-grant stays available locally
+   ("remaining AV is stored at the local AV table"). On failure every
+   volume gathered is released back to available - nothing is lost, and
+   what peers sent stays at this site for future updates. *)
+let acquire_av t ~item ~need k =
+  let av_ok tag = function
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "Site.acquire_av %s: %s" tag e)
+  in
+  if need < 0 then invalid_arg "Site.acquire_av: negative need";
+  if need = 0 then k (Ok 0)
+  else if Av_table.available t.av ~item >= need then begin
+    av_ok "hold" (Av_table.hold t.av ~item need);
+    k (Ok 0)
+  end
+  else begin
+    let acquired = ref (Av_table.hold_all t.av ~item) in
+    let tried = ref (Address.Set.singleton t.addr) in
+    let rounds = ref 0 in
+    let give_up reason =
+      av_ok "release" (Av_table.release t.av ~item !acquired);
+      trace t ~level:Trace.Warn ~category:"av" "%a gives up acquiring %d of %s (%a)" Address.pp
+        t.addr need item Update.pp_reason reason;
+      k (Error reason)
+    in
+    let rec step () =
+      if is_down t then give_up Update.Unreachable
+      else if !acquired >= need then begin
+        av_ok "release surplus" (Av_table.release t.av ~item (!acquired - need));
+        trace t ~category:"av" "%a acquired %d of %s in %d rounds" Address.pp t.addr need item
+          !rounds;
+        k (Ok !rounds)
+      end
+      else begin
+        let strategy = (config t).Config.strategy in
+        match
+          Strategy.select strategy ~rng:t.rng ~state:t.sel_state ~self:t.addr
+            ~peers:t.shared.all_addrs ~view:t.view ~item ~exclude:!tried
+        with
+        | None -> give_up Update.Av_exhausted
+        | Some target ->
+            tried := Address.Set.add target !tried;
+            incr rounds;
+            t.metrics.Update.Metrics.av_requests_sent <-
+              t.metrics.Update.Metrics.av_requests_sent + 1;
+            let request =
+              Protocol.Av_request
+                {
+                  item;
+                  amount = need - !acquired;
+                  requester_available = Av_table.available t.av ~item;
+                }
+            in
+            Rpc.call t.shared.rpc ~src:t.addr ~dst:target
+              ~timeout:(config t).Config.rpc_timeout request (fun response ->
+                (match response with
+                | Ok (Protocol.Av_grant { granted; donor_available }) ->
+                    Peer_view.observe t.view ~site:target ~item ~volume:donor_available
+                      ~at:(now t);
+                    if granted > 0 then begin
+                      t.metrics.Update.Metrics.av_volume_received <-
+                        t.metrics.Update.Metrics.av_volume_received + granted;
+                      av_ok "deposit grant" (Av_table.deposit t.av ~item granted);
+                      av_ok "hold grant" (Av_table.hold t.av ~item granted);
+                      acquired := !acquired + granted
+                    end
+                | Ok _ | Error _ -> ());
+                step ())
+      end
+    in
+    step ()
+  end
+
+let delay_update t ~item ~delta ~finish =
+  if delta >= 0 then begin
+    (* Positive deltas create AV; no communication at all. *)
+    (match Av_table.deposit t.av ~item delta with
+    | Ok () -> ()
+    | Error e -> failwith ("Site.delay_update deposit: " ^ e));
+    apply_local_delta t ~item ~delta;
+    finish (Update.Applied Update.Local)
+  end
+  else begin
+    let need = -delta in
+    acquire_av t ~item ~need (function
+      | Error reason -> finish (Update.Rejected reason)
+      | Ok rounds ->
+          apply_local_delta t ~item ~delta;
+          (match Av_table.consume t.av ~item need with
+          | Ok () -> ()
+          | Error e -> failwith ("Site.delay_update consume: " ^ e));
+          maybe_prefetch t ~item;
+          finish
+            (Update.Applied
+               (if rounds = 0 then Update.Local else Update.With_transfer rounds)))
+  end
+
+(* Atomic multi-item Delay Update: acquire AV for every negative delta
+   first (sequentially), then apply all deltas in one local storage
+   transaction. If any acquisition fails, holds taken for earlier items
+   are released and nothing is applied. *)
+let batch_update t ~deltas ~finish =
+  let coalesced =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (item, delta) ->
+        Hashtbl.replace tbl item (delta + Option.value ~default:0 (Hashtbl.find_opt tbl item)))
+      deltas;
+    Hashtbl.fold (fun item delta acc -> (item, delta) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let release_held held =
+    List.iter
+      (fun (item, need) ->
+        match Av_table.release t.av ~item need with
+        | Ok () -> ()
+        | Error e -> failwith ("Site.batch_update release: " ^ e))
+      held
+  in
+  let apply_all () =
+    let txn = Database.begin_txn t.db in
+    List.iter
+      (fun (item, delta) ->
+        match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+        | Ok _ -> ()
+        | Error e -> failwith ("Site.batch_update apply: " ^ e))
+      coalesced;
+    Database.commit txn;
+    List.iter
+      (fun (item, delta) ->
+        record_history t ~item ~delta ~path:"delay-batch";
+        add_pending_sync t ~item ~delta;
+        if delta >= 0 then begin
+          match Av_table.deposit t.av ~item delta with
+          | Ok () -> ()
+          | Error e -> failwith ("Site.batch_update deposit: " ^ e)
+        end
+        else begin
+          match Av_table.consume t.av ~item (-delta) with
+          | Ok () -> ()
+          | Error e -> failwith ("Site.batch_update consume: " ^ e)
+        end)
+      coalesced;
+    schedule_sync_flush t;
+    List.iter (fun (item, _) -> maybe_prefetch t ~item) coalesced
+  in
+  let rec acquire_loop pending held total_rounds =
+    match pending with
+    | [] ->
+        apply_all ();
+        finish
+          (Update.Applied
+             (if total_rounds = 0 then Update.Local else Update.With_transfer total_rounds))
+    | (item, delta) :: rest ->
+        if delta >= 0 then acquire_loop rest held total_rounds
+        else begin
+          let need = -delta in
+          acquire_av t ~item ~need (function
+            | Ok rounds -> acquire_loop rest ((item, need) :: held) (total_rounds + rounds)
+            | Error reason ->
+                release_held held;
+                finish (Update.Rejected reason))
+        end
+  in
+  acquire_loop coalesced [] 0
+
+(* --- Immediate Update (coordinator side) --- *)
+
+let immediate_update t ~item ~delta ~finish =
+  let txid = fresh_txid t in
+  let participant_addrs = peers t in
+  let machine =
+    Two_phase.Coordinator.create ~txid ~participants:participant_addrs ~base:t.base_addr
+  in
+  Txn_log.record_start t.txn_log ~txid ~coordinator:t.addr ~item ~delta ~at:(now t);
+  let coord = { machine; finish; local_txn = None; local_finalized = false } in
+  Hashtbl.add t.coordinators txid coord;
+  let rec execute actions = List.iter execute_one actions
+  and execute_one action =
+    match action with
+    | Two_phase.Coordinator.Broadcast_prepare ->
+        List.iter
+          (fun p ->
+            Rpc.call t.shared.rpc ~src:t.addr ~dst:p
+              ~timeout:(config t).Config.prepare_timeout
+              (Protocol.Prepare { txid; coordinator = t.addr; item; delta })
+              (fun response ->
+                match response with
+                | Ok (Protocol.Vote { txid = _; vote }) ->
+                    execute (Two_phase.Coordinator.on_vote machine ~from:p vote)
+                | Ok _ | Error _ ->
+                    execute (Two_phase.Coordinator.on_vote machine ~from:p Two_phase.Refuse)))
+          participant_addrs;
+        ignore
+          (Engine.schedule (engine t) ~delay:(config t).Config.prepare_timeout (fun () ->
+               execute (Two_phase.Coordinator.on_vote_timeout machine)))
+    | Two_phase.Coordinator.Broadcast_decision decision ->
+        (* Log the outcome before telling anyone (presumed abort depends on
+           "no record => never decided"), then finalise the local part. *)
+        Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t);
+        if not coord.local_finalized then begin
+          coord.local_finalized <- true;
+          (match coord.local_txn with
+          | Some txn -> (
+              match decision with
+              | Two_phase.Commit ->
+                  Database.commit txn;
+                  record_history t ~item ~delta ~path:"immediate"
+              | Two_phase.Abort -> Database.abort txn)
+          | None -> ());
+          Lock_manager.release_all t.locks ~owner:txid
+        end;
+        List.iter
+          (fun p ->
+            Rpc.call t.shared.rpc ~src:t.addr ~dst:p ~timeout:(config t).Config.ack_timeout
+              (Protocol.Decision { txid; decision })
+              (fun response ->
+                match response with
+                | Ok (Protocol.Decision_ack _) ->
+                    execute (Two_phase.Coordinator.on_ack machine ~from:p)
+                | Ok _ | Error _ -> ()))
+          participant_addrs;
+        ignore
+          (Engine.schedule (engine t) ~delay:(config t).Config.ack_timeout (fun () ->
+               execute (Two_phase.Coordinator.on_ack_timeout machine)))
+    | Two_phase.Coordinator.Completed decision ->
+        trace t ~category:"2pc" "tx%d %a at coordinator %a" txid Two_phase.pp_decision decision
+          Address.pp t.addr;
+        Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t);
+        let outcome =
+          match decision with
+          | Two_phase.Commit -> Update.Applied Update.Immediate
+          | Two_phase.Abort -> Update.Rejected Update.Txn_aborted
+        in
+        coord.finish outcome
+    | Two_phase.Coordinator.Cleanup _ -> Hashtbl.remove t.coordinators txid
+  in
+  (* Local participation: lock, tentatively apply, derive the local vote. *)
+  Lock_manager.acquire t.locks ~owner:txid ~key:item Lock_manager.Exclusive
+    ~timeout:(config t).Config.lock_timeout (fun lock_result ->
+      let local_vote =
+        match lock_result with
+        | Error `Timeout -> Two_phase.Refuse
+        | Ok () -> (
+            match amount_of t ~item with
+            | Some current when current + delta >= 0 -> (
+                let txn = Database.begin_txn t.db in
+                match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+                | Ok _ ->
+                    coord.local_txn <- Some txn;
+                    Two_phase.Ready
+                | Error _ ->
+                    Database.abort txn;
+                    Two_phase.Refuse)
+            | Some _ | None -> Two_phase.Refuse)
+      in
+      if local_vote = Two_phase.Refuse then Lock_manager.release_all t.locks ~owner:txid;
+      execute (Two_phase.Coordinator.start machine ~local_vote))
+
+(* --- Centralized baseline (client side) --- *)
+
+let centralized_update t ~item ~delta ~finish =
+  if Address.equal t.addr t.base_addr then
+    match amount_of t ~item with
+    | None -> finish (Update.Rejected (Update.Unknown_item item))
+    | Some current ->
+        if current + delta < 0 then finish (Update.Rejected Update.Insufficient_stock)
+        else begin
+          let txn = Database.begin_txn t.db in
+          (match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+          | Ok _ ->
+              Database.commit txn;
+              record_history t ~item ~delta ~path:"central"
+          | Error e ->
+              Database.abort txn;
+              failwith ("Site.centralized_update: " ^ e));
+          finish (Update.Applied Update.Central)
+        end
+  else
+    Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
+      ~timeout:(config t).Config.rpc_timeout
+      (Protocol.Central_update { item; delta })
+      (fun response ->
+        match response with
+        | Ok (Protocol.Central_ack { applied = true; _ }) ->
+            finish (Update.Applied Update.Central)
+        | Ok (Protocol.Central_ack { applied = false; _ }) ->
+            finish (Update.Rejected Update.Insufficient_stock)
+        | Ok _ -> finish (Update.Rejected Update.Txn_aborted)
+        | Error _ -> finish (Update.Rejected Update.Unreachable))
+
+(* --- dynamic membership --- *)
+
+(* Serve a joiner with the current replica plus the sync counters already
+   folded into it: our own cumulative counters and everything we have
+   applied from other origins. The joiner seeds its receiver state with
+   these, so later notices apply only what the snapshot missed. *)
+let handle_join t ~reply =
+  let rows =
+    Table.fold (Database.table t.db stock_table) ~init:[] ~f:(fun acc item row ->
+        (item, Value.as_int row.(0), Value.as_bool row.(1)) :: acc)
+    |> List.rev
+  in
+  let own =
+    Hashtbl.fold
+      (fun item counter acc -> (Address.to_int t.addr, item, counter) :: acc)
+      t.sync_counters []
+  in
+  let applied =
+    Hashtbl.fold
+      (fun (origin, item) counter acc -> (origin, item, counter) :: acc)
+      t.applied_sync []
+  in
+  reply (Protocol.Join_snapshot { rows; sync_state = own @ applied })
+
+(* Fetch the initial data from the base (the paper's initial delivery) and
+   overwrite the locally-bootstrapped catalogue with the live amounts. *)
+let join t callback =
+  if Address.equal t.addr t.base_addr then callback (Ok ())
+  else
+    Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
+      ~timeout:(config t).Config.rpc_timeout Protocol.Join_request (fun response ->
+        match response with
+        | Ok (Protocol.Join_snapshot { rows; sync_state }) ->
+            let txn = Database.begin_txn t.db in
+            let ok =
+              List.for_all
+                (fun (item, amount, _regular) ->
+                  match
+                    Database.set_col txn ~table:stock_table ~key:item ~col:"amount"
+                      (Value.Int amount)
+                  with
+                  | Ok () -> true
+                  | Error _ -> false)
+                rows
+            in
+            if ok then begin
+              Database.commit txn;
+              List.iter
+                (fun (origin, item, counter) ->
+                  Hashtbl.replace t.applied_sync (origin, item) counter)
+                sync_state;
+              trace t ~category:"membership" "%a joined (%d items from base)" Address.pp
+                t.addr (List.length rows);
+              callback (Ok ())
+            end
+            else begin
+              Database.abort txn;
+              callback (Error Update.Txn_aborted)
+            end
+        | Ok _ -> callback (Error Update.Txn_aborted)
+        | Error _ -> callback (Error Update.Unreachable))
+
+(* --- public update entry point: the checking function --- *)
+
+let submit_update t ~item ~delta callback =
+  let started = now t in
+  t.metrics.Update.Metrics.submitted <- t.metrics.Update.Metrics.submitted + 1;
+  let finish outcome =
+    let result = { Update.outcome; latency = Time.diff (now t) started } in
+    Update.Metrics.record t.metrics result;
+    callback result
+  in
+  if is_down t then finish (Update.Rejected Update.Unreachable)
+  else if not (item_known t ~item) then
+    finish (Update.Rejected (Update.Unknown_item item))
+  else
+    match (config t).Config.mode with
+    | Config.Centralized -> centralized_update t ~item ~delta ~finish
+    | Config.Autonomous ->
+        (* The checking function: AV defined => Delay Update, otherwise
+           Immediate Update. *)
+        if Av_table.is_defined t.av ~item then delay_update t ~item ~delta ~finish
+        else immediate_update t ~item ~delta ~finish
+
+(* Reads with heterogeneous consistency: a local read is free and possibly
+   stale (the retailer requirement); an authoritative read round-trips to
+   the base replica (the maker requirement) and costs one correspondence. *)
+let read_local t ~item = amount_of t ~item
+
+let read_authoritative t ~item callback =
+  if is_down t then
+    ignore (Engine.schedule (engine t) ~delay:Time.zero (fun () -> callback (Error Update.Unreachable)))
+  else if Address.equal t.addr t.base_addr then callback (Ok (amount_of t ~item))
+  else
+    Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
+      ~timeout:(config t).Config.rpc_timeout
+      (Protocol.Read_request { item })
+      (fun response ->
+        match response with
+        | Ok (Protocol.Read_value { amount }) -> callback (Ok amount)
+        | Ok _ -> callback (Error Update.Txn_aborted)
+        | Error Rpc.Timeout -> callback (Error Update.Unreachable)
+        | Error Rpc.Unreachable -> callback (Error Update.Unreachable))
+
+let submit_batch t ~deltas callback =
+  let started = now t in
+  t.metrics.Update.Metrics.submitted <- t.metrics.Update.Metrics.submitted + 1;
+  let finish outcome =
+    let result = { Update.outcome; latency = Time.diff (now t) started } in
+    Update.Metrics.record t.metrics result;
+    callback result
+  in
+  if is_down t || (config t).Config.mode = Config.Centralized then
+    finish (Update.Rejected Update.Unreachable)
+  else begin
+    let bad =
+      List.find_map
+        (fun (item, _) ->
+          if not (item_known t ~item) then Some (Update.Unknown_item item)
+          else if not (Av_table.is_defined t.av ~item) then Some (Update.Not_regular item)
+          else None)
+        deltas
+    in
+    match bad with
+    | Some reason -> finish (Update.Rejected reason)
+    | None -> batch_update t ~deltas ~finish
+  end
+
+(* --- fault injection --- *)
+
+let crash t =
+  trace t ~level:Trace.Warn ~category:"fault" "%a crashed" Address.pp t.addr;
+  Network.set_down (network t) t.addr true
+
+let recover t =
+  (* Restart: committed state only, from the write-ahead log. In-flight
+     participant transactions and locks die with the process. *)
+  t.db <- Database.recover ~name:(Database.name t.db) (Database.wal t.db);
+  (* Resume the audit sequence after the recovered rows to keep keys
+     unique (history rows are never deleted). *)
+  (match Database.table_opt t.db history_table with
+  | Some tbl -> t.history_seq <- Table.size tbl
+  | None -> ());
+  Hashtbl.reset t.participant_txns;
+  ignore (Two_phase.Participant.abort_pending t.participant);
+  t.locks <- Lock_manager.create ~engine:(engine t) ~default_timeout:(config t).Config.lock_timeout ();
+  Network.set_down (network t) t.addr false;
+  trace t ~category:"fault" "%a recovered (WAL replayed)" Address.pp t.addr
+
+(* --- construction --- *)
+
+let stock_schema =
+  Schema.create
+    [
+      { Schema.name = "amount"; ty = Value.Tint };
+      { Schema.name = "regular"; ty = Value.Tbool };
+    ]
+
+let history_schema =
+  Schema.create
+    [
+      { Schema.name = "item"; ty = Value.Tstr };
+      { Schema.name = "delta"; ty = Value.Tint };
+      { Schema.name = "path"; ty = Value.Tstr };
+    ]
+
+let create shared ~addr ~av_init =
+  let config = shared.config in
+  let db = Database.create ~name:(Address.to_string addr) () in
+  ignore (Database.create_table db ~name:stock_table stock_schema);
+  if config.Config.record_history then
+    ignore (Database.create_table db ~name:history_table history_schema);
+  let txn = Database.begin_txn db in
+  List.iter
+    (fun product ->
+      let row =
+        [|
+          Value.Int product.Product.initial_amount;
+          Value.Bool (Product.is_regular product);
+        |]
+      in
+      match Database.insert txn ~table:stock_table ~key:product.Product.name row with
+      | Ok () -> ()
+      | Error e -> failwith ("Site.create: " ^ e))
+    config.Config.products;
+  Database.commit txn;
+  let av = Av_table.create () in
+  if config.Config.mode = Config.Autonomous then
+    List.iter (fun (item, volume) -> Av_table.define av ~item ~volume) av_init;
+  let base_addr =
+    match List.sort Address.compare shared.all_addrs with
+    | [] -> invalid_arg "Site.create: empty cluster"
+    | lowest :: _ -> lowest
+  in
+  let t =
+    {
+      shared;
+      addr;
+      role = (if Address.equal addr base_addr then Maker else Retailer);
+      base_addr;
+      db;
+      av;
+      view = Peer_view.create ();
+      sel_state = Strategy.create_state ();
+      rng = Rng.split (Engine.rng shared.engine);
+      locks =
+        Lock_manager.create ~engine:shared.engine
+          ~default_timeout:config.Config.lock_timeout ();
+      participant = Two_phase.Participant.create ();
+      participant_txns = Hashtbl.create 16;
+      coordinators = Hashtbl.create 16;
+      txn_log = Txn_log.create ();
+      metrics = Update.Metrics.create ();
+      pending_sync = Hashtbl.create 16;
+      sync_counters = Hashtbl.create 16;
+      applied_sync = Hashtbl.create 64;
+      prefetch_in_flight = Hashtbl.create 16;
+      history_seq = 0;
+      sync_flush_scheduled = false;
+      next_txn_seq = 0;
+    }
+  in
+  Rpc.serve shared.rpc addr
+    ~handler:(fun ~src request ~reply ->
+      match request with
+      | Protocol.Av_request { item; amount; requester_available } ->
+          handle_av_request t ~src ~item ~amount ~requester_available ~reply
+      | Protocol.Central_update { item; delta } -> handle_central_update t ~item ~delta ~reply
+      | Protocol.Prepare { txid; coordinator; item; delta } ->
+          handle_prepare t ~txid ~coordinator ~item ~delta ~reply
+      | Protocol.Decision { txid; decision } -> handle_decision t ~txid ~decision ~reply
+      | Protocol.Read_request { item } ->
+          reply (Protocol.Read_value { amount = amount_of t ~item })
+      | Protocol.Query_decision { txid } -> handle_query_decision t ~txid ~reply
+      | Protocol.Join_request -> handle_join t ~reply)
+    ~notice:(fun ~src notice ->
+      match notice with
+      | Protocol.Sync_counters { counters; av_info } -> handle_sync t ~src ~counters ~av_info)
+    ();
+  t

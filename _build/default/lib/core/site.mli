@@ -1,0 +1,109 @@
+(** A site: local database + accelerator (§3).
+
+    The accelerator implements the paper's three protocols:
+
+    - {e Delay Update} for regular products: the checking function finds AV
+      defined on the item; negative deltas consume local AV, acquiring more
+      from peers (selecting/deciding functions of the configured
+      {!Avdb_av.Strategy.t}) only on shortage; positive deltas create AV
+      locally. Applied deltas propagate lazily via periodic
+      [Sync_deltas] notices when [sync_interval] is configured.
+    - {e Immediate Update} for non-regular products: primary-copy 2PC with
+      this site as coordinator; user-visible completion on the base
+      site's acknowledgement.
+    - {e Centralized} baseline mode: every update round-trips to the base
+      (base-local updates apply directly).
+
+    Sites are built by {!Cluster}; this interface is what examples and
+    benches drive. *)
+
+type role = Maker | Retailer
+
+type t
+
+val addr : t -> Avdb_net.Address.t
+val role : t -> role
+val base : t -> Avdb_net.Address.t
+val database : t -> Avdb_store.Database.t
+val av_table : t -> Avdb_av.Av_table.t
+val peer_view : t -> Avdb_av.Peer_view.t
+val metrics : t -> Update.Metrics.t
+val txn_log : t -> Avdb_txn.Txn_log.t
+
+val stock_table : string
+(** Name of the replicated stock table (["stock"]). *)
+
+val history_table : string
+(** Name of the optional audit table (["history"]; exists only when
+    [record_history] is configured). Columns: item, delta, path
+    ("delay" | "delay-batch" | "immediate" | "central"). *)
+
+val amount_of : t -> item:string -> int option
+(** Current local replica amount for an item. *)
+
+val submit_update : t -> item:string -> delta:int -> (Update.result -> unit) -> unit
+(** Submits a user update at this site. The continuation fires exactly
+    once, possibly synchronously for purely local Delay Updates. Updates
+    submitted at a crashed site are rejected [Unreachable]. *)
+
+val read_local : t -> item:string -> int option
+(** The site's replica value: zero communication, possibly stale until the
+    next lazy sync (the retailer's real-time requirement). Same as
+    {!amount_of}. *)
+
+val read_authoritative :
+  t -> item:string -> ((int option, Update.reason) result -> unit) -> unit
+(** Reads the base (primary) replica: one correspondence from a retailer,
+    free at the base (the maker's consistency requirement). [Ok None]
+    means the base does not know the item. *)
+
+val submit_batch : t -> deltas:(string * int) list -> (Update.result -> unit) -> unit
+(** Atomic multi-item Delay Update at this site: acquires AV for every
+    negative delta (transferring from peers as needed), then applies all
+    deltas in one local storage transaction - all or nothing. Duplicate
+    items are coalesced by summing. Every item must be a regular product
+    (AV defined); non-regular items reject with [Not_regular], unknown
+    ones with [Unknown_item]. Only available in autonomous mode
+    ([Unreachable] in centralized mode or when the site is down). *)
+
+val flush_sync : t -> unit
+(** Immediately broadcasts pending Delay Update deltas to all peers
+    (flushes are otherwise debounced: the first pending delta arms one flush [sync_interval] later). *)
+
+val pending_sync_deltas : t -> (string * int) list
+(** Net per-item deltas applied locally and not yet broadcast, sorted. *)
+
+val join : t -> ((unit, Update.reason) result -> unit) -> unit
+(** Fetches the base's current replica and sync state — the paper's
+    "initial delivery from the base" — used by {!Cluster.add_retailer}
+    when a site enters a live system. A no-op [Ok] at the base itself. *)
+
+(** {2 Fault injection} *)
+
+val crash : t -> unit
+(** Marks the site down: its messages are lost, peers' calls to it time
+    out, its own submissions are rejected. In-memory protocol state for
+    in-flight coordinations is abandoned. *)
+
+val recover : t -> unit
+(** Brings the site back. The local database is rebuilt from its
+    write-ahead log (committed state only) — an in-flight local
+    transaction at crash time is lost, exactly as on a real restart. *)
+
+val is_down : t -> bool
+
+(** {2 Internal — used by Cluster} *)
+
+type shared = {
+  engine : Avdb_sim.Engine.t;
+  rpc : (Protocol.request, Protocol.response, Protocol.notice) Avdb_net.Rpc.t;
+  config : Config.t;
+  mutable all_addrs : Avdb_net.Address.t list;
+      (** grows when sites join at runtime; every site reads it live *)
+  trace : Avdb_sim.Trace.t;
+}
+
+val create : shared -> addr:Avdb_net.Address.t -> av_init:(string * int) list -> t
+(** Builds the site, loads the product catalogue into its local database,
+    defines AV per [av_init] (regular items only, autonomous mode only)
+    and registers its RPC handlers. *)

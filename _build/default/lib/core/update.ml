@@ -1,0 +1,92 @@
+open Avdb_sim
+
+type kind = Local | With_transfer of int | Immediate | Central
+
+type reason =
+  | Av_exhausted
+  | Txn_aborted
+  | Unreachable
+  | Insufficient_stock
+  | Not_regular of string
+  | Unknown_item of string
+
+type outcome = Applied of kind | Rejected of reason
+
+type result = { outcome : outcome; latency : Time.t }
+
+let pp_kind ppf = function
+  | Local -> Format.pp_print_string ppf "local"
+  | With_transfer n -> Format.fprintf ppf "transfer(%d rounds)" n
+  | Immediate -> Format.pp_print_string ppf "immediate"
+  | Central -> Format.pp_print_string ppf "central"
+
+let pp_reason ppf = function
+  | Av_exhausted -> Format.pp_print_string ppf "av-exhausted"
+  | Txn_aborted -> Format.pp_print_string ppf "txn-aborted"
+  | Unreachable -> Format.pp_print_string ppf "unreachable"
+  | Insufficient_stock -> Format.pp_print_string ppf "insufficient-stock"
+  | Not_regular item -> Format.fprintf ppf "not-regular(%s)" item
+  | Unknown_item item -> Format.fprintf ppf "unknown-item(%s)" item
+
+let pp_result ppf t =
+  match t.outcome with
+  | Applied kind -> Format.fprintf ppf "applied(%a) in %a" pp_kind kind Time.pp t.latency
+  | Rejected reason ->
+      Format.fprintf ppf "rejected(%a) in %a" pp_reason reason Time.pp t.latency
+
+let is_applied t = match t.outcome with Applied _ -> true | Rejected _ -> false
+
+module Metrics = struct
+  type t = {
+    mutable submitted : int;
+    mutable applied_local : int;
+    mutable applied_transfer : int;
+    mutable applied_immediate : int;
+    mutable applied_central : int;
+    mutable rejected : int;
+    mutable av_requests_sent : int;
+    mutable prefetch_requests : int;
+    mutable av_volume_received : int;
+    mutable av_volume_granted : int;
+    mutable sync_batches_sent : int;
+    latency : Avdb_metrics.Histogram.t;
+    transfer_rounds : Avdb_metrics.Histogram.t;
+  }
+
+  let create () =
+    {
+      submitted = 0;
+      applied_local = 0;
+      applied_transfer = 0;
+      applied_immediate = 0;
+      applied_central = 0;
+      rejected = 0;
+      av_requests_sent = 0;
+      prefetch_requests = 0;
+      av_volume_received = 0;
+      av_volume_granted = 0;
+      sync_batches_sent = 0;
+      latency = Avdb_metrics.Histogram.create ();
+      transfer_rounds = Avdb_metrics.Histogram.create ();
+    }
+
+  let applied t =
+    t.applied_local + t.applied_transfer + t.applied_immediate + t.applied_central
+
+  let record t (update_result : result) =
+    Avdb_metrics.Histogram.add t.latency (Time.to_ms update_result.latency);
+    match update_result.outcome with
+    | Applied Local -> t.applied_local <- t.applied_local + 1
+    | Applied (With_transfer rounds) ->
+        t.applied_transfer <- t.applied_transfer + 1;
+        Avdb_metrics.Histogram.add t.transfer_rounds (float_of_int rounds)
+    | Applied Immediate -> t.applied_immediate <- t.applied_immediate + 1
+    | Applied Central -> t.applied_central <- t.applied_central + 1
+    | Rejected _ -> t.rejected <- t.rejected + 1
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "submitted=%d local=%d transfer=%d immediate=%d central=%d rejected=%d av_req=%d"
+      t.submitted t.applied_local t.applied_transfer t.applied_immediate t.applied_central
+      t.rejected t.av_requests_sent
+end

@@ -1,0 +1,58 @@
+(** User update requests, their outcomes, and per-site counters. *)
+
+(** How an applied update was executed. *)
+type kind =
+  | Local  (** Delay Update, covered entirely by local AV *)
+  | With_transfer of int  (** Delay Update after N AV-transfer rounds *)
+  | Immediate  (** primary-copy 2PC *)
+  | Central  (** forwarded to the base (baseline mode) *)
+
+type reason =
+  | Av_exhausted  (** every peer was asked; system-wide AV short *)
+  | Txn_aborted  (** Immediate Update aborted (refuse or timeout) *)
+  | Unreachable  (** site down or base unreachable *)
+  | Insufficient_stock  (** centralized baseline: base stock would go negative *)
+  | Not_regular of string
+      (** a batch update named an item without AV; batches are a
+          Delay-Update-only facility *)
+  | Unknown_item of string
+
+type outcome = Applied of kind | Rejected of reason
+
+type result = {
+  outcome : outcome;
+  latency : Avdb_sim.Time.t;  (** virtual time from submission to outcome *)
+}
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_reason : Format.formatter -> reason -> unit
+val pp_result : Format.formatter -> result -> unit
+val is_applied : result -> bool
+
+(** Mutable per-site counters maintained by {!Site}. *)
+module Metrics : sig
+  type t = {
+    mutable submitted : int;
+    mutable applied_local : int;
+    mutable applied_transfer : int;
+    mutable applied_immediate : int;
+    mutable applied_central : int;
+    mutable rejected : int;
+    mutable av_requests_sent : int;  (** AV-transfer rounds initiated *)
+    mutable prefetch_requests : int;  (** background watermark refills *)
+    mutable av_volume_received : int;
+    mutable av_volume_granted : int;  (** as a donor *)
+    mutable sync_batches_sent : int;
+    latency : Avdb_metrics.Histogram.t;  (** in virtual milliseconds *)
+    transfer_rounds : Avdb_metrics.Histogram.t;
+        (** rounds per transfer-assisted update *)
+  }
+
+  val create : unit -> t
+  val applied : t -> int
+  val record : t -> result -> unit
+  (** Folds one update result into the counters ([submitted] is counted at
+      submission time by the site, not here). *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/metrics/ascii_table.ml: List Printf Stdlib String

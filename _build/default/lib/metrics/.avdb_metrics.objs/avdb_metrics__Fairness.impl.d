@@ -1,0 +1,1 @@
+lib/metrics/fairness.ml: Float List

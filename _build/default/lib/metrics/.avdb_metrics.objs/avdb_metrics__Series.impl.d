@@ -1,0 +1,1 @@
+lib/metrics/series.ml: Buffer Format List Printf

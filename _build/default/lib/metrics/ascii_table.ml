@@ -1,0 +1,35 @@
+type t = { headers : string list; mutable rev_rows : string list list }
+
+let create ~headers = { headers; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Ascii_table.add_row: %d cells, %d headers" (List.length row)
+         (List.length t.headers));
+  t.rev_rows <- row :: t.rev_rows
+
+let add_int_row t label ints = add_row t (label :: List.map string_of_int ints)
+let rows t = List.rev t.rev_rows
+
+let render t =
+  let all = t.headers :: rows t in
+  let ncols = List.length t.headers in
+  let width col =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row col))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  (* trailing padding on the last column is dropped *)
+  let render_row row = String.concat "  " (List.map2 pad row widths) |> String.trim in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row t.headers :: sep :: List.map render_row (rows t))
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.headers :: List.map line (rows t))

@@ -1,0 +1,17 @@
+(** Aligned ASCII tables for the benchmark harness output. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the arity differs from the headers. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** First cell a label, the rest integers. *)
+
+val rows : t -> string list list
+val render : t -> string
+(** Column-aligned with a header separator line. *)
+
+val to_csv : t -> string
+(** Cells containing commas or quotes are quoted per RFC 4180. *)

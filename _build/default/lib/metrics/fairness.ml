@@ -1,0 +1,28 @@
+let check_non_negative values =
+  if List.exists (fun x -> x < 0.) values then
+    invalid_arg "Fairness: negative measurement"
+
+let jain_index values =
+  check_non_negative values;
+  let n = List.length values in
+  let sum = List.fold_left ( +. ) 0. values in
+  let sumsq = List.fold_left (fun acc x -> acc +. (x *. x)) 0. values in
+  if n = 0 || sumsq = 0. then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+
+let max_min_ratio values =
+  check_non_negative values;
+  match values with
+  | [] -> 1.0
+  | v :: rest ->
+      let mx = List.fold_left Float.max v rest in
+      let mn = List.fold_left Float.min v rest in
+      if mx = 0. then 1.0 else if mn = 0. then Float.infinity else mx /. mn
+
+let spread values =
+  check_non_negative values;
+  match values with
+  | [] -> 0.
+  | v :: rest ->
+      let mx = List.fold_left Float.max v rest in
+      let mn = List.fold_left Float.min v rest in
+      mx -. mn

@@ -1,0 +1,18 @@
+(** Fairness measures for the paper's assurance claim.
+
+    The paper argues the integrated system satisfies heterogeneous
+    requirements "fairly"; these indices quantify that over per-site
+    measurements (correspondences, latencies). *)
+
+val jain_index : float list -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)]: 1.0 when all values are
+    equal, 1/n when one site takes everything. Conventionally 1.0 for an
+    empty or all-zero population (nothing to share unfairly). Raises
+    [Invalid_argument] on negative inputs. *)
+
+val max_min_ratio : float list -> float
+(** max/min over strictly-positive populations; [infinity] when some
+    value is zero but not all, 1.0 when empty or all-zero. *)
+
+val spread : float list -> float
+(** max − min (0 when empty). *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable values : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { values = [||]; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.values then begin
+    let ncap = Stdlib.max 16 (2 * t.len) in
+    let nvalues = Array.make ncap 0. in
+    Array.blit t.values 0 nvalues 0 t.len;
+    t.values <- nvalues
+  end;
+  t.values.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let slice = Array.sub t.values 0 t.len in
+    Array.sort Float.compare slice;
+    Array.blit slice 0 t.values 0 t.len;
+    t.sorted <- true
+  end
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.values.(i)
+  done;
+  !acc
+
+let sum t = fold ( +. ) 0. t
+let mean t = if t.len = 0 then Float.nan else sum t /. float_of_int t.len
+
+let min t =
+  if t.len = 0 then Float.nan else fold Float.min Float.infinity t
+
+let max t =
+  if t.len = 0 then Float.nan else fold Float.max Float.neg_infinity t
+
+let stddev t =
+  if t.len = 0 then Float.nan
+  else begin
+    let m = mean t in
+    let var = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. t /. float_of_int t.len in
+    sqrt var
+  end
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of [0,100]";
+  if t.len = 0 then Float.nan
+  else begin
+    ensure_sorted t;
+    let rank = p /. 100. *. float_of_int (t.len - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (t.values.(lo) *. (1. -. frac)) +. (t.values.(hi) *. frac)
+  end
+
+let median t = percentile t 50.
+
+let clear t =
+  t.len <- 0;
+  t.sorted <- true
+
+let pp ppf t =
+  if count t = 0 then Format.pp_print_string ppf "empty"
+  else
+    Format.fprintf ppf "count=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" (count t) (mean t)
+      (median t) (percentile t 99.) (max t)

@@ -1,0 +1,29 @@
+(** Exact histogram of float samples (stores all values).
+
+    Simulation-scale sample counts are small enough that exact quantiles
+    beat approximate sketches; everything is computed lazily over a sorted
+    snapshot. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min : t -> float
+val max : t -> float
+val stddev : t -> float
+(** Population standard deviation; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0,100], linear interpolation between
+    order statistics. Raises [Invalid_argument] out of range; [nan] when
+    empty. *)
+
+val median : t -> float
+val sum : t -> float
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit
+(** "count=…, mean=…, p50=…, p99=…, max=…". *)

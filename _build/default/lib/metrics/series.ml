@@ -1,0 +1,31 @@
+type t = { name : string; mutable rev_points : (float * float) list; mutable len : int }
+
+let create ~name = { name; rev_points = []; len = 0 }
+let name t = t.name
+
+let add t ~x ~y =
+  t.rev_points <- (x, y) :: t.rev_points;
+  t.len <- t.len + 1
+
+let points t = List.rev t.rev_points
+let length t = t.len
+let last t = match t.rev_points with [] -> None | p :: _ -> Some p
+
+let ys_at t ~x =
+  List.filter_map (fun (px, py) -> if px = x then Some py else None) (points t)
+
+let map_y t ~f =
+  let fresh = create ~name:t.name in
+  List.iter (fun (x, y) -> add fresh ~x ~y:(f y)) (points t);
+  fresh
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "x,%s\n" t.name);
+  List.iter (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%g,%g\n" x y)) (points t);
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:@ " t.name;
+  List.iter (fun (x, y) -> Format.fprintf ppf "  %g -> %g@ " x y) (points t);
+  Format.fprintf ppf "@]"

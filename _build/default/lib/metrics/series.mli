@@ -1,0 +1,23 @@
+(** An ordered sequence of (x, y) points — one plotted line of a figure. *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+val add : t -> x:float -> y:float -> unit
+val points : t -> (float * float) list
+(** In insertion order. *)
+
+val length : t -> int
+val last : t -> (float * float) option
+
+val ys_at : t -> x:float -> float list
+(** All y recorded at exactly this x. *)
+
+val map_y : t -> f:(float -> float) -> t
+(** Fresh series with transformed y values (same name). *)
+
+val to_csv : t -> string
+(** Header "x,<name>" then one point per line. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/net/latency.ml: Avdb_sim Format Rng Stdlib Time

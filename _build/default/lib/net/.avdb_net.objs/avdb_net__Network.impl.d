@@ -1,0 +1,1 @@
+lib/net/network.ml: Address Avdb_sim Engine Format Hashtbl Latency List Logs Option Rng Set Stats Stdlib Time

@@ -1,0 +1,1 @@
+lib/net/network.mli: Address Avdb_sim Latency Stats

@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Avdb_sim Engine Format Hashtbl Network Option Stats Time

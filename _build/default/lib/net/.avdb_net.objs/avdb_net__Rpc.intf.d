@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Address Avdb_sim Format Latency Network Stats

@@ -1,0 +1,1 @@
+lib/net/stats.ml: Address Format Hashtbl List

@@ -1,0 +1,28 @@
+open Avdb_sim
+
+type t =
+  | Constant of Time.t
+  | Uniform of Time.t * Time.t
+  | Gaussian of { mean : Time.t; stddev : Time.t }
+
+let default = Constant (Time.of_ms 1.)
+
+let sample t rng =
+  match t with
+  | Constant d -> d
+  | Uniform (lo, hi) ->
+      if Time.(hi < lo) then invalid_arg "Latency.sample: empty uniform range";
+      if Time.equal lo hi then lo
+      else Time.of_us (Rng.int_in rng (Time.to_us lo) (Time.to_us hi - 1))
+  | Gaussian { mean; stddev } ->
+      let x =
+        Rng.gaussian rng ~mean:(float_of_int (Time.to_us mean))
+          ~stddev:(float_of_int (Time.to_us stddev))
+      in
+      Time.of_us (Stdlib.max 0 (int_of_float x))
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%a)" Time.pp d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%a,%a)" Time.pp lo Time.pp hi
+  | Gaussian { mean; stddev } ->
+      Format.fprintf ppf "gaussian(mean=%a,stddev=%a)" Time.pp mean Time.pp stddev

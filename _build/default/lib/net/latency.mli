@@ -1,0 +1,17 @@
+(** Link latency models. *)
+
+type t =
+  | Constant of Avdb_sim.Time.t
+  | Uniform of Avdb_sim.Time.t * Avdb_sim.Time.t
+      (** inclusive lower bound, exclusive upper bound *)
+  | Gaussian of { mean : Avdb_sim.Time.t; stddev : Avdb_sim.Time.t }
+      (** truncated below at zero *)
+
+val default : t
+(** [Constant 1ms] — a LAN-ish default. *)
+
+val sample : t -> Avdb_sim.Rng.t -> Avdb_sim.Time.t
+(** Draws one latency. Raises [Invalid_argument] if a [Uniform] model has
+    an empty range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+open Avdb_sim
+
+let src_log = Logs.Src.create "avdb.net" ~doc:"simulated network"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type 'a node = { handler : src:Address.t -> 'a -> unit; mutable down : bool }
+
+module Pair = struct
+  (* Unordered address pair, normalised so (a,b) = (b,a). *)
+  type t = Address.t * Address.t
+
+  let make a b = if Address.compare a b <= 0 then (a, b) else (b, a)
+
+  let compare (a1, b1) (a2, b2) =
+    match Address.compare a1 a2 with 0 -> Address.compare b1 b2 | c -> c
+end
+
+module Pair_set = Set.Make (Pair)
+
+type 'a t = {
+  engine : Engine.t;
+  latency : Latency.t;
+  drop_probability : float;
+  bandwidth_bytes_per_sec : int option;
+  rng : Rng.t;
+  nodes : (Address.t, 'a node) Hashtbl.t;
+  stats : Stats.t;
+  (* FIFO guarantee: remember the last scheduled delivery instant per
+     directed link and never deliver earlier than it. *)
+  last_delivery : (Address.t * Address.t, Time.t) Hashtbl.t;
+  (* With finite bandwidth: when the link finishes transmitting its
+     current backlog; the next message starts serialising after that. *)
+  link_busy_until : (Address.t * Address.t, Time.t) Hashtbl.t;
+  link_overrides : (Pair.t, Latency.t) Hashtbl.t;
+  mutable partitions : Pair_set.t;
+}
+
+let create ~engine ?(latency = Latency.default) ?(drop_probability = 0.)
+    ?bandwidth_bytes_per_sec () =
+  if drop_probability < 0. || drop_probability > 1. then
+    invalid_arg "Network.create: drop_probability out of [0,1]";
+  (match bandwidth_bytes_per_sec with
+  | Some b when b <= 0 -> invalid_arg "Network.create: bandwidth must be positive"
+  | Some _ | None -> ());
+  {
+    engine;
+    latency;
+    drop_probability;
+    bandwidth_bytes_per_sec;
+    rng = Rng.split (Engine.rng engine);
+    nodes = Hashtbl.create 16;
+    stats = Stats.create ();
+    last_delivery = Hashtbl.create 64;
+    link_busy_until = Hashtbl.create 64;
+    link_overrides = Hashtbl.create 8;
+    partitions = Pair_set.empty;
+  }
+
+let engine t = t.engine
+let stats t = t.stats
+
+let add_node t addr handler =
+  if Hashtbl.mem t.nodes addr then
+    invalid_arg (Format.asprintf "Network.add_node: %a already registered" Address.pp addr);
+  Hashtbl.add t.nodes addr { handler; down = false }
+
+let remove_node t addr = Hashtbl.remove t.nodes addr
+
+let nodes t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.nodes [] |> List.sort Address.compare
+
+let node t addr =
+  match Hashtbl.find_opt t.nodes addr with
+  | Some n -> n
+  | None -> invalid_arg (Format.asprintf "Network: unknown node %a" Address.pp addr)
+
+let set_down t addr down = (node t addr).down <- down
+
+let set_link_latency t a b latency = Hashtbl.replace t.link_overrides (Pair.make a b) latency
+
+let link_latency t ~src ~dst =
+  Option.value ~default:t.latency (Hashtbl.find_opt t.link_overrides (Pair.make src dst))
+let is_down t addr = (node t addr).down
+let partition t a b = t.partitions <- Pair_set.add (Pair.make a b) t.partitions
+let heal t a b = t.partitions <- Pair_set.remove (Pair.make a b) t.partitions
+let is_partitioned t a b = Pair_set.mem (Pair.make a b) t.partitions
+
+let send t ~src ~dst ?(size = 64) payload =
+  let dst_node = node t dst in
+  let src_down = (node t src).down in
+  Stats.on_sent t.stats src ~bytes:size;
+  if src_down || dst_node.down || is_partitioned t src dst then begin
+    Log.debug (fun m -> m "drop %a->%a (down/partition)" Address.pp src Address.pp dst);
+    Stats.on_dropped t.stats src
+  end
+  else if Rng.bernoulli t.rng t.drop_probability then begin
+    Log.debug (fun m -> m "drop %a->%a (loss)" Address.pp src Address.pp dst);
+    Stats.on_dropped t.stats src
+  end
+  else begin
+    let now = Engine.now t.engine in
+    (* Finite bandwidth: serialise behind the link's backlog first. *)
+    let departure =
+      match t.bandwidth_bytes_per_sec with
+      | None -> now
+      | Some bandwidth ->
+          let start =
+            match Hashtbl.find_opt t.link_busy_until (src, dst) with
+            | Some busy -> Time.max now busy
+            | None -> now
+          in
+          let transmit_us = size * 1_000_000 / bandwidth in
+          let finished = Time.add start (Time.of_us (Stdlib.max 1 transmit_us)) in
+          Hashtbl.replace t.link_busy_until (src, dst) finished;
+          finished
+    in
+    let natural = Time.add departure (Latency.sample (link_latency t ~src ~dst) t.rng) in
+    let deliver_at =
+      match Hashtbl.find_opt t.last_delivery (src, dst) with
+      | Some last -> Time.max natural last
+      | None -> natural
+    in
+    Hashtbl.replace t.last_delivery (src, dst) deliver_at;
+    ignore
+      (Engine.schedule_at t.engine ~at:deliver_at (fun () ->
+           (* Crash between send and delivery loses the message. *)
+           if dst_node.down || is_partitioned t src dst then Stats.on_dropped t.stats src
+           else begin
+             Stats.on_received t.stats dst;
+             dst_node.handler ~src payload
+           end))
+  end

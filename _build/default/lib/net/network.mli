@@ -1,0 +1,68 @@
+(** Simulated message-passing network.
+
+    A set of nodes identified by {!Address.t}, connected all-to-all. Each
+    directed link delivers messages FIFO with latency drawn from a
+    {!Latency.t} model; links may drop messages probabilistically, pairs of
+    nodes may be partitioned, and whole nodes may be taken down (crash
+    model: messages to or from a down node are silently lost and counted as
+    dropped). Delivery is a scheduled event on the shared {!Avdb_sim.Engine.t},
+    so all network behaviour is deterministic given the engine seed. *)
+
+type 'a t
+(** A network carrying payloads of type ['a]. *)
+
+val create :
+  engine:Avdb_sim.Engine.t ->
+  ?latency:Latency.t ->
+  ?drop_probability:float ->
+  ?bandwidth_bytes_per_sec:int ->
+  unit ->
+  'a t
+(** [latency] defaults to {!Latency.default}; [drop_probability] (default
+    [0.]) applies independently to every message. With
+    [bandwidth_bytes_per_sec] set, each directed link also serialises
+    messages: a message of [size] bytes occupies the link for
+    [size / bandwidth] before its propagation delay starts, so bursts
+    queue behind each other. [None] (default) models infinite bandwidth.
+    The network draws its randomness from a stream split off the engine's
+    root RNG at creation. *)
+
+val engine : 'a t -> Avdb_sim.Engine.t
+val stats : 'a t -> Stats.t
+
+val add_node : 'a t -> Address.t -> (src:Address.t -> 'a -> unit) -> unit
+(** Registers a node and its delivery handler. Raises [Invalid_argument] if
+    the address is already registered. *)
+
+val remove_node : 'a t -> Address.t -> unit
+
+val nodes : 'a t -> Address.t list
+(** Registered addresses, sorted. *)
+
+val set_link_latency : 'a t -> Address.t -> Address.t -> Latency.t -> unit
+(** Overrides the latency model for both directions between two nodes
+    (e.g. a WAN link between distant sites); other links keep the
+    network-wide default. *)
+
+val link_latency : 'a t -> src:Address.t -> dst:Address.t -> Latency.t
+(** The model governing one directed link. *)
+
+val send : 'a t -> src:Address.t -> dst:Address.t -> ?size:int -> 'a -> unit
+(** Queues a message for delivery. [size] (default 64 bytes) only feeds the
+    byte counters. Sending to an unregistered address raises
+    [Invalid_argument]; sending to or from a down node silently drops.
+    Self-sends deliver with the same latency as any other link. *)
+
+(** {2 Fault injection} *)
+
+val set_down : 'a t -> Address.t -> bool -> unit
+(** Marks a node crashed/recovered. In-flight messages to a node that
+    crashes before delivery are lost. *)
+
+val is_down : 'a t -> Address.t -> bool
+
+val partition : 'a t -> Address.t -> Address.t -> unit
+(** Cuts both directions between two nodes. *)
+
+val heal : 'a t -> Address.t -> Address.t -> unit
+val is_partitioned : 'a t -> Address.t -> Address.t -> bool

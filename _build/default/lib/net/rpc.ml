@@ -1,0 +1,102 @@
+open Avdb_sim
+
+type ('req, 'resp, 'note) envelope =
+  | Request of { id : int; body : 'req }
+  | Response of { id : int; body : 'resp }
+  | Notice of 'note
+
+type error = Timeout | Unreachable
+
+let pp_error ppf = function
+  | Timeout -> Format.pp_print_string ppf "timeout"
+  | Unreachable -> Format.pp_print_string ppf "unreachable"
+
+type ('req, 'resp) pending = {
+  continuation : ('resp, error) result -> unit;
+  timeout_handle : Engine.handle;
+}
+
+type ('req, 'resp, 'note) t = {
+  net : ('req, 'resp, 'note) envelope Network.t;
+  engine : Engine.t;
+  default_timeout : Time.t;
+  request_size : 'req -> int;
+  response_size : 'resp -> int;
+  notice_size : 'note -> int;
+  mutable next_id : int;
+  pending : (int, ('req, 'resp) pending) Hashtbl.t;
+}
+
+let flat _ = 64
+
+let create ~engine ?latency ?drop_probability ?bandwidth_bytes_per_sec
+    ?(default_timeout = Time.of_ms 100.) ?(request_size = flat) ?(response_size = flat)
+    ?(notice_size = flat) () =
+  let net = Network.create ~engine ?latency ?drop_probability ?bandwidth_bytes_per_sec () in
+  {
+    net;
+    engine;
+    default_timeout;
+    request_size;
+    response_size;
+    notice_size;
+    next_id = 0;
+    pending = Hashtbl.create 64;
+  }
+
+let network t = t.net
+let engine t = t.engine
+let stats t = Network.stats t.net
+
+let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
+  let deliver ~src envelope =
+    match envelope with
+    | Request { id; body } ->
+        let replied = ref false in
+        let reply body =
+          if not !replied then begin
+            replied := true;
+            Network.send t.net ~src:addr ~dst:src ~size:(t.response_size body)
+              (Response { id; body })
+          end
+        in
+        handler ~src body ~reply
+    | Response { id; body } -> (
+        match Hashtbl.find_opt t.pending id with
+        | None -> () (* response after timeout: drop *)
+        | Some p ->
+            Hashtbl.remove t.pending id;
+            Engine.cancel t.engine p.timeout_handle;
+            p.continuation (Ok body))
+    | Notice body -> notice ~src body
+  in
+  Network.add_node t.net addr deliver
+
+let call t ~src ~dst ?timeout body continuation =
+  let timeout = Option.value timeout ~default:t.default_timeout in
+  if Network.is_down t.net src || Network.is_down t.net dst then
+    (* Deliver the failure asynchronously so callers observe a uniform
+       event-driven discipline regardless of outcome. *)
+    ignore (Engine.schedule t.engine ~delay:Time.zero (fun () -> continuation (Error Unreachable)))
+  else begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let timeout_handle =
+      Engine.schedule t.engine ~delay:timeout (fun () ->
+          match Hashtbl.find_opt t.pending id with
+          | None -> ()
+          | Some p ->
+              Hashtbl.remove t.pending id;
+              p.continuation (Error Timeout))
+    in
+    Hashtbl.replace t.pending id { continuation; timeout_handle };
+    (* One request/response exchange = one correspondence, attributed to the
+       caller whether or not the response ultimately arrives (the messages
+       were exchanged either way in the common case). *)
+    Stats.add_correspondence (Network.stats t.net) src;
+    Network.send t.net ~src ~dst ~size:(t.request_size body) (Request { id; body })
+  end
+
+let notify t ~src ~dst body =
+  Network.send t.net ~src ~dst ~size:(t.notice_size body) (Notice body)
+let pending_calls t = Hashtbl.length t.pending

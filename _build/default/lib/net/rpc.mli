@@ -1,0 +1,68 @@
+(** Request/response messaging over {!Network}, with timeouts.
+
+    Wraps a network whose payload is the private {!type-envelope}: callers
+    see typed requests ['req], responses ['resp] and one-way notices
+    ['note]. Every completed (or sent-then-timed-out) call counts one
+    {e correspondence} against the calling site, matching the paper's
+    metric of request/response pairs. *)
+
+type ('req, 'resp, 'note) envelope
+
+type ('req, 'resp, 'note) t
+
+type error =
+  | Timeout  (** no response within the deadline *)
+  | Unreachable  (** caller or callee marked down at send time *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  engine:Avdb_sim.Engine.t ->
+  ?latency:Latency.t ->
+  ?drop_probability:float ->
+  ?bandwidth_bytes_per_sec:int ->
+  ?default_timeout:Avdb_sim.Time.t ->
+  ?request_size:('req -> int) ->
+  ?response_size:('resp -> int) ->
+  ?notice_size:('note -> int) ->
+  unit ->
+  ('req, 'resp, 'note) t
+(** Builds the underlying network too. [default_timeout] defaults to
+    100 ms of virtual time. The three [*_size] estimators feed the byte
+    counters and the optional bandwidth model; each defaults to a flat
+    64 bytes. *)
+
+val network : ('req, 'resp, 'note) t -> ('req, 'resp, 'note) envelope Network.t
+val engine : ('req, 'resp, 'note) t -> Avdb_sim.Engine.t
+val stats : ('req, 'resp, 'note) t -> Stats.t
+
+val serve :
+  ('req, 'resp, 'note) t ->
+  Address.t ->
+  handler:(src:Address.t -> 'req -> reply:('resp -> unit) -> unit) ->
+  ?notice:(src:Address.t -> 'note -> unit) ->
+  unit ->
+  unit
+(** Registers a node. [handler] receives each request with a [reply]
+    function that may be invoked immediately or from a later event (at most
+    once; later invocations are ignored). [notice] handles one-way
+    messages; the default drops them. *)
+
+val call :
+  ('req, 'resp, 'note) t ->
+  src:Address.t ->
+  dst:Address.t ->
+  ?timeout:Avdb_sim.Time.t ->
+  'req ->
+  (('resp, error) result -> unit) ->
+  unit
+(** Issues a request; the continuation runs exactly once, either with the
+    response or with an error. Counts one correspondence for [src] unless
+    the call failed as [Unreachable] before any message left. *)
+
+val notify : ('req, 'resp, 'note) t -> src:Address.t -> dst:Address.t -> 'note -> unit
+(** Fire-and-forget one-way message (half a correspondence in the paper's
+    message-pair accounting; not counted as a correspondence here). *)
+
+val pending_calls : ('req, 'resp, 'note) t -> int
+(** Number of calls awaiting a response or timeout (diagnostic). *)

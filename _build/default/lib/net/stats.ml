@@ -1,0 +1,59 @@
+type site = {
+  mutable sent : int;
+  mutable received : int;
+  mutable bytes_sent : int;
+  mutable dropped : int;
+  mutable correspondences : int;
+}
+
+type t = { per_site : (Address.t, site) Hashtbl.t }
+
+let create () = { per_site = Hashtbl.create 16 }
+
+let site t addr =
+  match Hashtbl.find_opt t.per_site addr with
+  | Some s -> s
+  | None ->
+      let s = { sent = 0; received = 0; bytes_sent = 0; dropped = 0; correspondences = 0 } in
+      Hashtbl.add t.per_site addr s;
+      s
+
+let on_sent t addr ~bytes =
+  let s = site t addr in
+  s.sent <- s.sent + 1;
+  s.bytes_sent <- s.bytes_sent + bytes
+
+let on_received t addr =
+  let s = site t addr in
+  s.received <- s.received + 1
+
+let on_dropped t addr =
+  let s = site t addr in
+  s.dropped <- s.dropped + 1
+
+let add_correspondence t addr =
+  let s = site t addr in
+  s.correspondences <- s.correspondences + 1
+
+let fold f t init = Hashtbl.fold (fun _ s acc -> f acc s) t.per_site init
+let total_sent t = fold (fun acc s -> acc + s.sent) t 0
+let total_received t = fold (fun acc s -> acc + s.received) t 0
+let total_dropped t = fold (fun acc s -> acc + s.dropped) t 0
+let total_correspondences t = fold (fun acc s -> acc + s.correspondences) t 0
+let message_pair_correspondences t = float_of_int (total_sent t) /. 2.
+
+let sites t =
+  Hashtbl.fold (fun addr s acc -> (addr, s) :: acc) t.per_site []
+  |> List.sort (fun (a, _) (b, _) -> Address.compare a b)
+
+let reset t = Hashtbl.reset t.per_site
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (addr, s) ->
+      Format.fprintf ppf "%a: sent=%d recv=%d bytes=%d dropped=%d corr=%d@ " Address.pp addr
+        s.sent s.received s.bytes_sent s.dropped s.correspondences)
+    (sites t);
+  Format.fprintf ppf "total: sent=%d recv=%d dropped=%d corr=%d@]" (total_sent t)
+    (total_received t) (total_dropped t) (total_correspondences t)

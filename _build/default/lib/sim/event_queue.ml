@@ -1,0 +1,105 @@
+type handle = { mutable cancelled : bool }
+
+type 'a entry = { time : Time.t; seq : int; payload : 'a; handle : handle }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots at index >= size are physically present but logically
+     absent; a dummy entry fills slot 0 of a fresh queue until first use. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let entry_before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nheap = Array.make ncap entry in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time payload =
+  let handle = { cancelled = false } in
+  let entry = { time; seq = t.next_seq; payload; handle } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  handle
+
+let cancel h =
+  h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let remove_root t =
+  let root = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  root
+
+(* Discard cancelled entries sitting at the root: a cancel leaves its entry
+   in the heap, so dead entries are skipped lazily when they surface. *)
+let rec drop_cancelled t =
+  if t.size > 0 && t.heap.(0).handle.cancelled then begin
+    ignore (remove_root t);
+    drop_cancelled t
+  end
+
+let pop t =
+  drop_cancelled t;
+  if t.size = 0 then None
+  else begin
+    let e = remove_root t in
+    Some (e.time, e.payload)
+  end
+
+let peek_time t =
+  drop_cancelled t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let live_count t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).handle.cancelled then incr n
+  done;
+  !n
+
+let is_empty t = live_count t = 0
+let length t = live_count t
+let scheduled_total t = t.next_seq

@@ -1,0 +1,39 @@
+(** Cancellable priority queue of timed events.
+
+    A binary min-heap ordered by [(time, sequence)]; the sequence number
+    makes dequeue order total and deterministic — two events scheduled for
+    the same instant fire in scheduling order. Cancellation is O(1): the
+    handle is flagged and the entry discarded lazily when it reaches the
+    heap root, so cancelling never moves heap entries. *)
+
+type 'a t
+
+type handle
+(** Identity of a scheduled event, usable to cancel it. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Time.t -> 'a -> handle
+(** Schedules a payload at an absolute time. *)
+
+val cancel : handle -> unit
+(** Cancels the event. Harmless if the event already fired or was already
+    cancelled. *)
+
+val is_cancelled : handle -> bool
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Removes and returns the earliest live event, skipping cancelled
+    entries. [None] if the queue holds no live events. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest live event without removing it. *)
+
+val is_empty : 'a t -> bool
+(** True iff no live events remain. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val scheduled_total : 'a t -> int
+(** Total number of [add]s over the queue's lifetime (diagnostic). *)

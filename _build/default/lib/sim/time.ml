@@ -1,0 +1,47 @@
+type t = int
+
+let zero = 0
+
+let of_us n =
+  if n < 0 then invalid_arg "Time.of_us: negative";
+  n
+
+let of_ms x =
+  if not (Float.is_finite x) || x < 0. then invalid_arg "Time.of_ms";
+  int_of_float (Float.round (x *. 1_000.))
+
+let of_sec x =
+  if not (Float.is_finite x) || x < 0. then invalid_arg "Time.of_sec";
+  int_of_float (Float.round (x *. 1_000_000.))
+
+let to_us t = t
+let to_ms t = float_of_int t /. 1_000.
+let to_sec t = float_of_int t /. 1_000_000.
+let add a b = a + b
+
+let diff a b =
+  if a < b then invalid_arg "Time.diff: negative result";
+  a - b
+
+let mul t k =
+  if not (Float.is_finite k) || k < 0. then invalid_arg "Time.mul";
+  int_of_float (Float.round (float_of_int t *. k))
+
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : t) b = a <= b
+let ( < ) (a : t) b = a < b
+let ( >= ) (a : t) b = a >= b
+let ( > ) (a : t) b = a > b
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t =
+  if t = 0 then Format.pp_print_string ppf "0us"
+  else if t mod 1_000_000 = 0 then Format.fprintf ppf "%ds" (t / 1_000_000)
+  else if t >= 1_000_000 then Format.fprintf ppf "%.3fs" (to_sec t)
+  else if t mod 1_000 = 0 then Format.fprintf ppf "%dms" (t / 1_000)
+  else if t >= 1_000 then Format.fprintf ppf "%.3fms" (to_ms t)
+  else Format.fprintf ppf "%dus" t
+
+let to_string t = Format.asprintf "%a" pp t

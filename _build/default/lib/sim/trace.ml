@@ -1,0 +1,63 @@
+type level = Debug | Info | Warn
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+type event = { at : Time.t; level : level; category : string; message : string }
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;  (* slot for the next write *)
+  mutable count : int;  (* retained events, <= capacity *)
+  mutable dropped : int;
+  mutable subscribers : (event -> unit) list;
+}
+
+let create ?(capacity = 4096) () =
+  let capacity = Stdlib.max 1 capacity in
+  {
+    capacity;
+    buffer = Array.make capacity None;
+    next = 0;
+    count = 0;
+    dropped = 0;
+    subscribers = [];
+  }
+
+let record t ~at ?(level = Info) ~category message =
+  let event = { at; level; category; message } in
+  if t.count = t.capacity then t.dropped <- t.dropped + 1 else t.count <- t.count + 1;
+  t.buffer.(t.next) <- Some event;
+  t.next <- (t.next + 1) mod t.capacity;
+  List.iter (fun f -> f event) t.subscribers
+
+let recordf t ~at ?level ~category fmt =
+  Format.kasprintf (fun message -> record t ~at ?level ~category message) fmt
+
+let events ?category ?min_level t =
+  let keep e =
+    (match category with Some c -> String.equal e.category c | None -> true)
+    && match min_level with Some l -> level_rank e.level >= level_rank l | None -> true
+  in
+  let out = ref [] in
+  (* oldest event sits at [next] when full, at 0 otherwise *)
+  let start = if t.count = t.capacity then t.next else 0 in
+  for i = 0 to t.count - 1 do
+    match t.buffer.((start + i) mod t.capacity) with
+    | Some e when keep e -> out := e :: !out
+    | Some _ | None -> ()
+  done;
+  List.rev !out
+
+let length t = t.count
+let dropped t = t.dropped
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a] %s %s: %s" Time.pp e.at (level_name e.level) e.category e.message

@@ -1,0 +1,53 @@
+(** Structured event tracing for simulated components.
+
+    A bounded ring buffer of timestamped events plus live subscribers.
+    Components record events under a category ("av", "2pc", "fault", ...);
+    tests and debugging tools filter by category/level or subscribe to see
+    events as they happen. Recording is cheap and never raises; when the
+    buffer is full the oldest events are dropped (and counted). *)
+
+type level = Debug | Info | Warn
+
+val level_name : level -> string
+
+type event = {
+  at : Time.t;
+  level : level;
+  category : string;
+  message : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the retained events (default 4096, minimum 1). *)
+
+val record : t -> at:Time.t -> ?level:level -> category:string -> string -> unit
+(** [level] defaults to [Info]. *)
+
+val recordf :
+  t ->
+  at:Time.t ->
+  ?level:level ->
+  category:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted variant. *)
+
+val events : ?category:string -> ?min_level:level -> t -> event list
+(** Retained events, oldest first, optionally filtered. *)
+
+val length : t -> int
+(** Retained events. *)
+
+val dropped : t -> int
+(** Events evicted by the capacity bound over the trace's lifetime. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** Calls back on every future [record]; subscribers cannot be removed
+    (create a fresh trace instead). *)
+
+val clear : t -> unit
+(** Drops retained events (subscribers and the dropped counter stay). *)
+
+val pp_event : Format.formatter -> event -> unit

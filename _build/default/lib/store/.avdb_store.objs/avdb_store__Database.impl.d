@@ -1,0 +1,1 @@
+lib/store/database.ml: Hashtbl List Printf Result Schema Stdlib String Sys Table Value Wal

@@ -1,0 +1,1 @@
+lib/store/database.mli: Schema Table Value Wal

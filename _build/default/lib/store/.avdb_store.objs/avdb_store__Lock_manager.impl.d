@@ -1,0 +1,1 @@
+lib/store/lock_manager.ml: Avdb_sim Engine Hashtbl Lazy List Option String Time

@@ -1,0 +1,1 @@
+lib/store/query.ml: Array List Option Printf Result Schema Stdlib String Table Value

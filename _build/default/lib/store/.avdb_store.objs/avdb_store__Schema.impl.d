@@ -1,0 +1,1 @@
+lib/store/schema.ml: Array Format Hashtbl List Printf Value

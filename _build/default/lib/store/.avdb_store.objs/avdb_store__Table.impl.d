@@ -1,0 +1,1 @@
+lib/store/table.ml: Array Btree Hashtbl List Map Option Printf Schema Set String Value

@@ -1,0 +1,1 @@
+lib/store/value.ml: Bool Buffer Char Float Format Int Printf Result String

@@ -1,0 +1,1 @@
+lib/store/wal.ml: Array Format Hashtbl List Printf Result Schema String Value

@@ -1,0 +1,338 @@
+(* CLRS-style B-tree with minimum degree [t]: single-pass insert with
+   preemptive splits, single-pass delete with borrow/merge on the way
+   down. Nodes store keys/values in small sorted arrays; all array
+   surgery is bounded by the node capacity [2t - 1]. *)
+
+type 'a node = {
+  mutable keys : string array;
+  mutable values : 'a array;
+  mutable children : 'a node array;  (* [||] for leaves; else length keys+1 *)
+}
+
+type 'a t = { t_min : int; mutable root : 'a node; mutable size : int }
+
+let leaf () = { keys = [||]; values = [||]; children = [||] }
+let is_leaf node = Array.length node.children = 0
+let n_keys node = Array.length node.keys
+
+let create ?(min_degree = 8) () =
+  if min_degree < 2 then invalid_arg "Btree.create: min_degree must be >= 2";
+  { t_min = min_degree; root = leaf (); size = 0 }
+
+let size t = t.size
+
+(* Index of the first key >= k, or n_keys if all smaller. *)
+let lower_bound node k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if String.compare node.keys.(mid) k < 0 then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 (n_keys node)
+
+let key_at_eq node i k = i < n_keys node && String.equal node.keys.(i) k
+
+let rec find_in node ~key =
+  let i = lower_bound node key in
+  if key_at_eq node i key then Some node.values.(i)
+  else if is_leaf node then None
+  else find_in node.children.(i) ~key
+
+let find t ~key = find_in t.root ~key
+let mem t ~key = Option.is_some (find t ~key)
+
+(* --- array surgery helpers --- *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let array_sub = Array.sub
+
+(* --- insert --- *)
+
+(* Split the full child [child = parent.children.(i)]: its median key moves
+   up into [parent] at position [i]. *)
+let split_child t parent i =
+  let child = parent.children.(i) in
+  let tm = t.t_min in
+  let median_key = child.keys.(tm - 1) in
+  let median_value = child.values.(tm - 1) in
+  let right =
+    {
+      keys = array_sub child.keys tm (tm - 1);
+      values = array_sub child.values tm (tm - 1);
+      children = (if is_leaf child then [||] else array_sub child.children tm tm);
+    }
+  in
+  child.keys <- array_sub child.keys 0 (tm - 1);
+  child.values <- array_sub child.values 0 (tm - 1);
+  if not (is_leaf child) then child.children <- array_sub child.children 0 tm;
+  parent.keys <- array_insert parent.keys i median_key;
+  parent.values <- array_insert parent.values i median_value;
+  parent.children <- array_insert parent.children (i + 1) right
+
+let rec insert_nonfull t node ~key value =
+  let i = lower_bound node key in
+  if key_at_eq node i key then node.values.(i) <- value (* replace *)
+  else if is_leaf node then begin
+    node.keys <- array_insert node.keys i key;
+    node.values <- array_insert node.values i value;
+    t.size <- t.size + 1
+  end
+  else begin
+    let i =
+      if n_keys node.children.(i) = (2 * t.t_min) - 1 then begin
+        split_child t node i;
+        (* the median moved up to position i; re-aim *)
+        if key_at_eq node i key then begin
+          node.values.(i) <- value;
+          -1 (* handled: replaced the promoted key's value *)
+        end
+        else if String.compare key node.keys.(i) > 0 then i + 1
+        else i
+      end
+      else i
+    in
+    if i >= 0 then insert_nonfull t node.children.(i) ~key value
+  end
+
+let insert t ~key value =
+  if n_keys t.root = (2 * t.t_min) - 1 then begin
+    let old_root = t.root in
+    let new_root = { keys = [||]; values = [||]; children = [| old_root |] } in
+    split_child t new_root 0;
+    t.root <- new_root
+  end;
+  insert_nonfull t t.root ~key value
+
+(* --- delete --- *)
+
+let rec max_binding_of node =
+  if is_leaf node then
+    let n = n_keys node in
+    if n = 0 then None else Some (node.keys.(n - 1), node.values.(n - 1))
+  else max_binding_of node.children.(n_keys node)
+
+let rec min_binding_of node =
+  if is_leaf node then
+    if n_keys node = 0 then None else Some (node.keys.(0), node.values.(0))
+  else min_binding_of node.children.(0)
+
+(* Merge children i and i+1 of [node] around separator key i. *)
+let merge_children node i =
+  let left = node.children.(i) and right = node.children.(i + 1) in
+  left.keys <- Array.concat [ left.keys; [| node.keys.(i) |]; right.keys ];
+  left.values <- Array.concat [ left.values; [| node.values.(i) |]; right.values ];
+  if not (is_leaf left) then left.children <- Array.append left.children right.children;
+  node.keys <- array_remove node.keys i;
+  node.values <- array_remove node.values i;
+  node.children <- array_remove node.children (i + 1)
+
+(* Guarantee child i of [node] has >= t keys before descending, by
+   borrowing from a sibling or merging. Returns the (possibly shifted)
+   index of the child to descend into. *)
+let ensure_child_big_enough t node i =
+  let tm = t.t_min in
+  let child = node.children.(i) in
+  if n_keys child >= tm then i
+  else if i > 0 && n_keys node.children.(i - 1) >= tm then begin
+    (* borrow from left sibling through the separator *)
+    let left = node.children.(i - 1) in
+    let ln = n_keys left in
+    child.keys <- array_insert child.keys 0 node.keys.(i - 1);
+    child.values <- array_insert child.values 0 node.values.(i - 1);
+    node.keys.(i - 1) <- left.keys.(ln - 1);
+    node.values.(i - 1) <- left.values.(ln - 1);
+    left.keys <- array_sub left.keys 0 (ln - 1);
+    left.values <- array_sub left.values 0 (ln - 1);
+    if not (is_leaf left) then begin
+      child.children <- array_insert child.children 0 left.children.(ln);
+      left.children <- array_sub left.children 0 ln
+    end;
+    i
+  end
+  else if i < n_keys node && n_keys node.children.(i + 1) >= tm then begin
+    (* borrow from right sibling *)
+    let right = node.children.(i + 1) in
+    child.keys <- Array.append child.keys [| node.keys.(i) |];
+    child.values <- Array.append child.values [| node.values.(i) |];
+    node.keys.(i) <- right.keys.(0);
+    node.values.(i) <- right.values.(0);
+    right.keys <- array_remove right.keys 0;
+    right.values <- array_remove right.values 0;
+    if not (is_leaf right) then begin
+      child.children <- Array.append child.children [| right.children.(0) |];
+      right.children <- array_remove right.children 0
+    end;
+    i
+  end
+  else if i > 0 then begin
+    merge_children node (i - 1);
+    i - 1
+  end
+  else begin
+    merge_children node i;
+    i
+  end
+
+let rec delete_from t node ~key =
+  let i = lower_bound node key in
+  if key_at_eq node i key then begin
+    if is_leaf node then begin
+      let removed = node.values.(i) in
+      node.keys <- array_remove node.keys i;
+      node.values <- array_remove node.values i;
+      Some removed
+    end
+    else begin
+      let tm = t.t_min in
+      let removed = node.values.(i) in
+      if n_keys node.children.(i) >= tm then begin
+        (* replace with predecessor, then delete the predecessor below *)
+        match max_binding_of node.children.(i) with
+        | Some (pk, pv) ->
+            node.keys.(i) <- pk;
+            node.values.(i) <- pv;
+            ignore (delete_from t node.children.(i) ~key:pk);
+            Some removed
+        | None -> assert false
+      end
+      else if n_keys node.children.(i + 1) >= tm then begin
+        match min_binding_of node.children.(i + 1) with
+        | Some (sk, sv) ->
+            node.keys.(i) <- sk;
+            node.values.(i) <- sv;
+            ignore (delete_from t node.children.(i + 1) ~key:sk);
+            Some removed
+        | None -> assert false
+      end
+      else begin
+        merge_children node i;
+        delete_from t node.children.(i) ~key
+      end
+    end
+  end
+  else if is_leaf node then None
+  else begin
+    (* A borrow only rotates keys strictly outside [key]'s gap and a merge
+       pulls the (non-matching) separator down into the child we are about
+       to visit, so the returned index is always the right one to follow. *)
+    let i = ensure_child_big_enough t node i in
+    delete_from t node.children.(i) ~key
+  end
+
+let remove t ~key =
+  let removed = delete_from t t.root ~key in
+  if removed <> None then t.size <- t.size - 1;
+  (* shrink the root when it empties out *)
+  if n_keys t.root = 0 && not (is_leaf t.root) then t.root <- t.root.children.(0);
+  removed
+
+(* --- traversal --- *)
+
+let rec iter_node node f =
+  if is_leaf node then
+    for i = 0 to n_keys node - 1 do
+      f node.keys.(i) node.values.(i)
+    done
+  else begin
+    for i = 0 to n_keys node - 1 do
+      iter_node node.children.(i) f;
+      f node.keys.(i) node.values.(i)
+    done;
+    iter_node node.children.(n_keys node) f
+  end
+
+let iter t f = iter_node t.root f
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let keys t = List.rev (fold t ~init:[] ~f:(fun acc k _ -> k :: acc))
+let min_binding t = min_binding_of t.root
+let max_binding t = max_binding_of t.root
+
+let range t ~lo ~hi =
+  let rec collect node acc =
+    if is_leaf node then begin
+      let acc = ref acc in
+      for i = n_keys node - 1 downto 0 do
+        let k = node.keys.(i) in
+        if String.compare lo k <= 0 && String.compare k hi <= 0 then
+          acc := (k, node.values.(i)) :: !acc
+      done;
+      !acc
+    end
+    else begin
+      (* visit children whose subtree can intersect [lo, hi] *)
+      let acc = ref acc in
+      for i = n_keys node downto 0 do
+        let subtree_can_match =
+          (i = 0 || String.compare node.keys.(i - 1) hi <= 0)
+          && (i = n_keys node || String.compare lo node.keys.(i) <= 0)
+        in
+        (if i < n_keys node then begin
+           let k = node.keys.(i) in
+           if String.compare lo k <= 0 && String.compare k hi <= 0 then
+             acc := (k, node.values.(i)) :: !acc
+         end);
+        if subtree_can_match then acc := collect node.children.(i) !acc
+      done;
+      !acc
+    end
+  in
+  if String.compare lo hi > 0 then [] else collect t.root []
+
+let rec height_of node = if is_leaf node then 1 else 1 + height_of node.children.(0)
+let height t = if t.size = 0 then 0 else height_of t.root
+
+let check_invariants t =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let leaf_depths = ref [] in
+  let rec walk node ~depth ~is_root ~lo ~hi =
+    let n = n_keys node in
+    if (not is_root) && n < t.t_min - 1 then add "underfull node (%d keys) at depth %d" n depth;
+    if n > (2 * t.t_min) - 1 then add "overfull node (%d keys)" n;
+    for i = 0 to n - 2 do
+      if String.compare node.keys.(i) node.keys.(i + 1) >= 0 then
+        add "unsorted keys %S >= %S" node.keys.(i) node.keys.(i + 1)
+    done;
+    (match lo with
+    | Some l ->
+        if n > 0 && String.compare node.keys.(0) l <= 0 then
+          add "key %S violates lower bound %S" node.keys.(0) l
+    | None -> ());
+    (match hi with
+    | Some h ->
+        if n > 0 && String.compare node.keys.(n - 1) h >= 0 then
+          add "key %S violates upper bound %S" node.keys.(n - 1) h
+    | None -> ());
+    if is_leaf node then leaf_depths := depth :: !leaf_depths
+    else begin
+      if Array.length node.children <> n + 1 then
+        add "child count %d for %d keys" (Array.length node.children) n;
+      Array.iteri
+        (fun i child ->
+          let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+          let hi = if i = n then hi else Some node.keys.(i) in
+          walk child ~depth:(depth + 1) ~is_root:false ~lo ~hi)
+        node.children
+    end
+  in
+  walk t.root ~depth:0 ~is_root:true ~lo:None ~hi:None;
+  (match List.sort_uniq compare !leaf_depths with
+  | [] | [ _ ] -> ()
+  | depths -> add "leaves at different depths: %d distinct" (List.length depths));
+  let counted = fold t ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  if counted <> t.size then add "size %d but %d bindings" t.size counted;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " (List.rev ps))

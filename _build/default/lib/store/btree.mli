@@ -1,0 +1,47 @@
+(** In-memory B-tree keyed by strings.
+
+    A classic B-tree (Knuth order [2*t]): every node except the root holds
+    between [t-1] and [2t-1] keys; insertion splits full children on the
+    way down, deletion merges/borrows on the way down, so both are
+    single-pass. Used by {!Table} as its ordered primary index — sorted
+    iteration and range scans without re-sorting — and available
+    standalone. *)
+
+type 'a t
+
+val create : ?min_degree:int -> unit -> 'a t
+(** [min_degree] is Knuth's [t] (default 8; minimum 2): nodes hold at most
+    [2*t - 1] keys. Raises [Invalid_argument] if [min_degree < 2]. *)
+
+val insert : 'a t -> key:string -> 'a -> unit
+(** Adds or replaces the binding. *)
+
+val find : 'a t -> key:string -> 'a option
+val mem : 'a t -> key:string -> bool
+
+val remove : 'a t -> key:string -> 'a option
+(** Removes and returns the binding, if present. *)
+
+val size : 'a t -> int
+
+val min_binding : 'a t -> (string * 'a) option
+val max_binding : 'a t -> (string * 'a) option
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+(** In ascending key order. *)
+
+val fold : 'a t -> init:'b -> f:('b -> string -> 'a -> 'b) -> 'b
+(** In ascending key order. *)
+
+val range : 'a t -> lo:string -> hi:string -> (string * 'a) list
+(** Bindings with [lo <= key <= hi], ascending. *)
+
+val keys : 'a t -> string list
+(** Ascending. *)
+
+val height : 'a t -> int
+(** Levels from root to leaf (0 for an empty tree) — diagnostic. *)
+
+val check_invariants : 'a t -> (unit, string) result
+(** Verifies key ordering, node fill bounds and uniform leaf depth —
+    test harness hook. *)

@@ -1,0 +1,186 @@
+type predicate =
+  | All
+  | Key_range of { lo : string; hi : string }
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | And of predicate list
+  | Or of predicate list
+  | Not of predicate
+
+type order = By_key_asc | By_key_desc | Asc of string | Desc of string
+
+type row = { key : string; values : Value.t array }
+
+let ( let* ) = Result.bind
+
+(* Validate every column mentioned and the type of the compared value. *)
+let rec validate schema predicate =
+  let check_col col value =
+    match Schema.index_opt schema col with
+    | None -> Error (Printf.sprintf "no such column %S" col)
+    | Some _ ->
+        if Value.type_of value <> Schema.column_ty schema col then
+          Error
+            (Printf.sprintf "column %S expects %s, compared with %s" col
+               (Value.ty_name (Schema.column_ty schema col))
+               (Value.ty_name (Value.type_of value)))
+        else Ok ()
+  in
+  match predicate with
+  | All | Key_range _ -> Ok ()
+  | Eq (c, v) | Ne (c, v) | Lt (c, v) | Le (c, v) | Gt (c, v) | Ge (c, v) -> check_col c v
+  | And ps | Or ps ->
+      List.fold_left (fun acc p -> Result.bind acc (fun () -> validate schema p)) (Ok ()) ps
+  | Not p -> validate schema p
+
+let rec matches schema ~key ~row predicate =
+  let col_value col = row.(Schema.index schema col) in
+  let cmp col value = Value.compare (col_value col) value in
+  match predicate with
+  | All -> true
+  | Key_range { lo; hi } -> String.compare lo key <= 0 && String.compare key hi <= 0
+  | Eq (c, v) -> cmp c v = 0
+  | Ne (c, v) -> cmp c v <> 0
+  | Lt (c, v) -> cmp c v < 0
+  | Le (c, v) -> cmp c v <= 0
+  | Gt (c, v) -> cmp c v > 0
+  | Ge (c, v) -> cmp c v >= 0
+  | And ps -> List.for_all (matches schema ~key ~row) ps
+  | Or ps -> List.exists (matches schema ~key ~row) ps
+  | Not p -> not (matches schema ~key ~row p)
+
+(* Best-effort key window for pushdown: a top-level Key_range, or the
+   intersection of the ranges found directly under an And. *)
+let rec key_window = function
+  | Key_range { lo; hi } -> Some (lo, hi)
+  | And ps ->
+      List.fold_left
+        (fun acc p ->
+          match (acc, key_window p) with
+          | None, w | w, None -> w
+          | Some (lo1, hi1), Some (lo2, hi2) ->
+              Some (Stdlib.max lo1 lo2, Stdlib.min hi1 hi2))
+        None ps
+  | All | Eq _ | Ne _ | Lt _ | Le _ | Gt _ | Ge _ | Or _ | Not _ -> None
+
+(* Candidate keys from a secondary index, when one covers an (in)equality
+   at the top level or directly under an [And]. Inclusive supersets are
+   fine: the full predicate still filters afterwards. *)
+let rec index_candidates table = function
+  | Eq (col, v) -> Table.lookup_eq table ~col v
+  | Ge (col, v) | Gt (col, v) -> Table.lookup_range table ~col ~lo:v ()
+  | Le (col, v) | Lt (col, v) -> Table.lookup_range table ~col ~hi:v ()
+  | And ps -> List.find_map (index_candidates table) ps
+  | All | Key_range _ | Ne _ | Or _ | Not _ -> None
+
+let candidate_rows table predicate =
+  match index_candidates table predicate with
+  | Some keys ->
+      (* re-establish primary-key order, which the pipeline relies on *)
+      List.filter_map
+        (fun key -> Option.map (fun row -> (key, row)) (Table.get table ~key))
+        (List.sort_uniq String.compare keys)
+  | None -> (
+      match key_window predicate with
+      | Some (lo, hi) -> Table.range table ~lo ~hi
+      | None ->
+          List.rev (Table.fold table ~init:[] ~f:(fun acc k row -> (k, Array.copy row) :: acc)))
+
+let filtered table predicate =
+  let schema = Table.schema table in
+  let* () = validate schema predicate in
+  Ok
+    (List.filter_map
+       (fun (key, row) ->
+         if matches schema ~key ~row predicate then Some { key; values = row } else None)
+       (candidate_rows table predicate))
+
+let order_rows schema order rows =
+  match order with
+  | By_key_asc -> Ok rows (* candidate enumeration is already key-ascending *)
+  | By_key_desc -> Ok (List.rev rows)
+  | Asc col | Desc col -> (
+      match Schema.index_opt schema col with
+      | None -> Error (Printf.sprintf "no such column %S" col)
+      | Some i ->
+          let cmp a b =
+            match Value.compare a.values.(i) b.values.(i) with
+            | 0 -> String.compare a.key b.key (* deterministic tie-break *)
+            | c -> c
+          in
+          let sorted = List.stable_sort cmp rows in
+          Ok (match order with Desc _ -> List.rev sorted | _ -> sorted))
+
+let take limit rows =
+  match limit with
+  | None -> Ok rows
+  | Some n when n < 0 -> Error "negative limit"
+  | Some n ->
+      let rec go k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | r :: rest -> r :: go (k - 1) rest
+      in
+      Ok (go n rows)
+
+let select table ?(where = All) ?(order_by = By_key_asc) ?limit () =
+  let* rows = filtered table where in
+  let* rows = order_rows (Table.schema table) order_by rows in
+  take limit rows
+
+let project table rows ~columns =
+  let schema = Table.schema table in
+  let* indices =
+    List.fold_left
+      (fun acc col ->
+        let* acc = acc in
+        match Schema.index_opt schema col with
+        | Some i -> Ok (i :: acc)
+        | None -> Error (Printf.sprintf "no such column %S" col))
+      (Ok []) columns
+  in
+  let indices = List.rev indices in
+  Ok (List.map (fun r -> List.map (fun i -> r.values.(i)) indices) rows)
+
+let count table ?(where = All) () =
+  let* rows = filtered table where in
+  Ok (List.length rows)
+
+let int_col_values table col where =
+  let schema = Table.schema table in
+  let* () =
+    match Schema.index_opt schema col with
+    | None -> Error (Printf.sprintf "no such column %S" col)
+    | Some _ ->
+        if Schema.column_ty schema col <> Value.Tint then
+          Error (Printf.sprintf "column %S is not int" col)
+        else Ok ()
+  in
+  let i = Schema.index schema col in
+  let* rows = filtered table where in
+  Ok (List.map (fun r -> Value.as_int r.values.(i)) rows)
+
+let sum_int table ~col ?(where = All) () =
+  let* vs = int_col_values table col where in
+  Ok (List.fold_left ( + ) 0 vs)
+
+let min_int table ~col ?(where = All) () =
+  let* vs = int_col_values table col where in
+  Ok (match vs with [] -> None | v :: rest -> Some (List.fold_left Stdlib.min v rest))
+
+let max_int table ~col ?(where = All) () =
+  let* vs = int_col_values table col where in
+  Ok (match vs with [] -> None | v :: rest -> Some (List.fold_left Stdlib.max v rest))
+
+let avg_int table ~col ?(where = All) () =
+  let* vs = int_col_values table col where in
+  match vs with
+  | [] -> Ok None
+  | _ ->
+      Ok
+        (Some
+           (float_of_int (List.fold_left ( + ) 0 vs) /. float_of_int (List.length vs)))

@@ -1,0 +1,53 @@
+(** Predicate-based queries over a {!Table}.
+
+    A small relational veneer: filtering, projection, ordering,
+    limits and aggregates. Queries never mutate; rows are returned as
+    defensive copies. Two pushdowns avoid full scans: a top-level key
+    range (possibly inside [And]) uses the B-tree's range scan, and an
+    (in)equality on a column with a {!Table.create_index} secondary index
+    uses the index. *)
+
+type predicate =
+  | All
+  | Key_range of { lo : string; hi : string }  (** inclusive *)
+  | Eq of string * Value.t  (** column = value *)
+  | Ne of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | And of predicate list
+  | Or of predicate list
+  | Not of predicate
+
+type order =
+  | By_key_asc
+  | By_key_desc
+  | Asc of string  (** by column, ascending ({!Value.compare}) *)
+  | Desc of string
+
+type row = { key : string; values : Value.t array }
+
+val select :
+  Table.t ->
+  ?where:predicate ->
+  ?order_by:order ->
+  ?limit:int ->
+  unit ->
+  (row list, string) result
+(** Default: all rows in key order, no limit. Fails on unknown columns or
+    comparisons against a value of the wrong type. [limit] applies after
+    ordering; negative limits are an error. *)
+
+val project : Table.t -> row list -> columns:string list -> (Value.t list list, string) result
+(** Keeps only the named columns, in the order given. *)
+
+val count : Table.t -> ?where:predicate -> unit -> (int, string) result
+
+val sum_int : Table.t -> col:string -> ?where:predicate -> unit -> (int, string) result
+(** Sum of an int column over matching rows (0 if none match). *)
+
+val min_int : Table.t -> col:string -> ?where:predicate -> unit -> (int option, string) result
+val max_int : Table.t -> col:string -> ?where:predicate -> unit -> (int option, string) result
+
+val avg_int : Table.t -> col:string -> ?where:predicate -> unit -> (float option, string) result

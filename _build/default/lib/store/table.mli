@@ -1,0 +1,65 @@
+(** A single keyed table: primary key (string) to row, schema-checked. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+
+val insert : t -> key:string -> Value.t array -> (unit, string) result
+(** Fails if the key exists or the row does not match the schema. *)
+
+val get : t -> key:string -> Value.t array option
+(** A defensive copy: mutating the result does not affect the table. *)
+
+val get_col : t -> key:string -> col:string -> (Value.t, string) result
+
+val set_col : t -> key:string -> col:string -> Value.t -> (Value.t, string) result
+(** Returns the previous value. Fails on a missing key, unknown column or
+    type mismatch. *)
+
+val add_int : t -> key:string -> col:string -> int -> (int, string) result
+(** Adds a delta to a numeric column; returns the new value as int
+    (truncated for float columns). *)
+
+val delete : t -> key:string -> Value.t array option
+(** Returns the removed row, or [None] if the key was absent. *)
+
+val mem : t -> key:string -> bool
+val size : t -> int
+val keys : t -> string list
+(** Sorted (the row store is an ordered B-tree). *)
+
+val range : t -> lo:string -> hi:string -> (string * Value.t array) list
+(** Rows with [lo <= key <= hi] in key order, as defensive copies. *)
+
+val iter : t -> (string -> Value.t array -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> string -> Value.t array -> 'a) -> 'a
+
+val copy : t -> t
+(** Deep copy (snapshot), including secondary indexes. *)
+
+(** {2 Secondary indexes}
+
+    An index maps a column's values to the keys of the rows holding them,
+    ordered by {!Value.compare}. Indexes are maintained automatically by
+    every mutation ([insert], [set_col], [add_int], [delete]). *)
+
+val create_index : t -> col:string -> (unit, string) result
+(** Builds an index over existing rows. Fails on unknown columns or if
+    the index already exists. *)
+
+val drop_index : t -> col:string -> unit
+val indexed_columns : t -> string list
+(** Sorted. *)
+
+val lookup_eq : t -> col:string -> Value.t -> string list option
+(** Keys of rows whose column equals the value, sorted — [None] when the
+    column has no index. *)
+
+val lookup_range : t -> col:string -> ?lo:Value.t -> ?hi:Value.t -> unit -> string list option
+(** Keys of rows with [lo <= column <= hi] (either bound optional),
+    ordered by column value then key — [None] when not indexed. *)
+
+val equal_contents : t -> t -> bool
+(** Same keys and equal rows, schemas compared by column names/types. *)

@@ -1,0 +1,178 @@
+type record =
+  | Create_table of { table : string; columns : Schema.column list }
+  | Begin of int
+  | Insert of { txid : int; table : string; key : string; row : Value.t array }
+  | Update of { txid : int; table : string; key : string; col : string; before : Value.t; after : Value.t }
+  | Delete of { txid : int; table : string; key : string; row : Value.t array }
+  | Commit of int
+  | Abort of int
+
+type t = { mutable records : record list; mutable count : int }
+(* Records are kept newest-first for O(1) append. *)
+
+let create () = { records = []; count = 0 }
+
+let append t r =
+  t.records <- r :: t.records;
+  t.count <- t.count + 1;
+  t.count - 1
+
+let length t = t.count
+let records t = List.rev t.records
+
+let nth t i =
+  if i < 0 || i >= t.count then invalid_arg "Wal.nth";
+  List.nth t.records (t.count - 1 - i)
+
+let truncate t n =
+  if n < 0 || n > t.count then invalid_arg "Wal.truncate";
+  let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+  t.records <- drop (t.count - n) t.records;
+  t.count <- n
+
+let committed_txids t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (function Commit txid -> Hashtbl.replace tbl txid () | _ -> ()) t.records;
+  tbl
+
+(* --- encoding --- *)
+
+(* Fields are separated by '|'; strings (table names, keys, columns) are
+   hex-escaped through Value.encode's Str case so the separator can never
+   appear inside a field. *)
+let enc_str s = Value.encode (Value.Str s)
+
+let dec_str s =
+  match Value.decode s with
+  | Ok (Value.Str s) -> Ok s
+  | Ok _ -> Error "expected string field"
+  | Error e -> Error e
+
+let enc_row row = String.concat "," (Array.to_list (Array.map Value.encode row))
+
+let dec_row s =
+  if s = "" then Ok [||]
+  else
+    let parts = String.split_on_char ',' s in
+    let rec loop acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest -> (
+          match Value.decode p with Ok v -> loop (v :: acc) rest | Error e -> Error e)
+    in
+    loop [] parts
+
+let ty_of_name = function
+  | "int" -> Ok Value.Tint
+  | "float" -> Ok Value.Tfloat
+  | "string" -> Ok Value.Tstr
+  | "bool" -> Ok Value.Tbool
+  | s -> Error ("unknown type " ^ s)
+
+let encode_record = function
+  | Create_table { table; columns } ->
+      let cols =
+        String.concat ","
+          (List.map
+             (fun { Schema.name; ty } -> enc_str name ^ "=" ^ Value.ty_name ty)
+             columns)
+      in
+      Printf.sprintf "T|%s|%s" (enc_str table) cols
+  | Begin txid -> Printf.sprintf "B|%d" txid
+  | Insert { txid; table; key; row } ->
+      Printf.sprintf "I|%d|%s|%s|%s" txid (enc_str table) (enc_str key) (enc_row row)
+  | Update { txid; table; key; col; before; after } ->
+      Printf.sprintf "U|%d|%s|%s|%s|%s|%s" txid (enc_str table) (enc_str key) (enc_str col)
+        (Value.encode before) (Value.encode after)
+  | Delete { txid; table; key; row } ->
+      Printf.sprintf "D|%d|%s|%s|%s" txid (enc_str table) (enc_str key) (enc_row row)
+  | Commit txid -> Printf.sprintf "C|%d" txid
+  | Abort txid -> Printf.sprintf "A|%d" txid
+
+let ( let* ) = Result.bind
+
+let int_field s =
+  match int_of_string_opt s with Some n -> Ok n | None -> Error ("bad int " ^ s)
+
+let decode_record line =
+  match String.split_on_char '|' line with
+  | [ "T"; table; cols ] ->
+      let* table = dec_str table in
+      let col_parts = if cols = "" then [] else String.split_on_char ',' cols in
+      let rec loop acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match String.index_opt p '=' with
+            | None -> Error ("bad column spec " ^ p)
+            | Some i ->
+                let* name = dec_str (String.sub p 0 i) in
+                let* ty = ty_of_name (String.sub p (i + 1) (String.length p - i - 1)) in
+                loop ({ Schema.name; ty } :: acc) rest)
+      in
+      let* columns = loop [] col_parts in
+      Ok (Create_table { table; columns })
+  | [ "B"; txid ] ->
+      let* txid = int_field txid in
+      Ok (Begin txid)
+  | [ "I"; txid; table; key; row ] ->
+      let* txid = int_field txid in
+      let* table = dec_str table in
+      let* key = dec_str key in
+      let* row = dec_row row in
+      Ok (Insert { txid; table; key; row })
+  | [ "U"; txid; table; key; col; before; after ] ->
+      let* txid = int_field txid in
+      let* table = dec_str table in
+      let* key = dec_str key in
+      let* col = dec_str col in
+      let* before = Value.decode before in
+      let* after = Value.decode after in
+      Ok (Update { txid; table; key; col; before; after })
+  | [ "D"; txid; table; key; row ] ->
+      let* txid = int_field txid in
+      let* table = dec_str table in
+      let* key = dec_str key in
+      let* row = dec_row row in
+      Ok (Delete { txid; table; key; row })
+  | [ "C"; txid ] ->
+      let* txid = int_field txid in
+      Ok (Commit txid)
+  | [ "A"; txid ] ->
+      let* txid = int_field txid in
+      Ok (Abort txid)
+  | _ -> Error ("Wal.decode_record: malformed line " ^ line)
+
+let to_string t = String.concat "\n" (List.map encode_record (records t))
+
+let of_string s =
+  let t = create () in
+  let lines = if s = "" then [] else String.split_on_char '\n' s in
+  let rec loop = function
+    | [] -> Ok t
+    | line :: rest -> (
+        match decode_record line with
+        | Ok r ->
+            ignore (append t r);
+            loop rest
+        | Error e -> Error e)
+  in
+  loop lines
+
+let equal_record a b =
+  match (a, b) with
+  | Create_table x, Create_table y -> x.table = y.table && x.columns = y.columns
+  | Begin x, Begin y | Commit x, Commit y | Abort x, Abort y -> x = y
+  | Insert x, Insert y ->
+      x.txid = y.txid && x.table = y.table && x.key = y.key
+      && Array.length x.row = Array.length y.row
+      && Array.for_all2 Value.equal x.row y.row
+  | Update x, Update y ->
+      x.txid = y.txid && x.table = y.table && x.key = y.key && x.col = y.col
+      && Value.equal x.before y.before && Value.equal x.after y.after
+  | Delete x, Delete y ->
+      x.txid = y.txid && x.table = y.table && x.key = y.key
+      && Array.length x.row = Array.length y.row
+      && Array.for_all2 Value.equal x.row y.row
+  | (Create_table _ | Begin _ | Insert _ | Update _ | Delete _ | Commit _ | Abort _), _ ->
+      false
+
+let pp_record ppf r = Format.pp_print_string ppf (encode_record r)

@@ -1,0 +1,1 @@
+lib/txn/two_phase.ml: Address Avdb_net Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/txn/two_phase.mli: Avdb_net Format

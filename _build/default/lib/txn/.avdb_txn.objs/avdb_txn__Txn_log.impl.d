@@ -1,0 +1,1 @@
+lib/txn/txn_log.ml: Address Avdb_net Avdb_sim Hashtbl List Time Two_phase

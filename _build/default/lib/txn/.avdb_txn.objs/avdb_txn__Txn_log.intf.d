@@ -1,0 +1,1 @@
+lib/txn/txn_log.mli: Avdb_net Avdb_sim Two_phase

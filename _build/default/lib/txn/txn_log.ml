@@ -1,0 +1,41 @@
+open Avdb_sim
+open Avdb_net
+
+type entry = {
+  txid : int;
+  coordinator : Address.t;
+  item : string;
+  delta : int;
+  started_at : Time.t;
+  mutable outcome : Two_phase.decision option;
+  mutable finished_at : Time.t option;
+}
+
+type t = { entries : (int, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 32 }
+
+let record_start t ~txid ~coordinator ~item ~delta ~at =
+  if Hashtbl.mem t.entries txid then invalid_arg "Txn_log.record_start: duplicate txid";
+  Hashtbl.add t.entries txid
+    { txid; coordinator; item; delta; started_at = at; outcome = None; finished_at = None }
+
+let record_outcome t ~txid outcome ~at =
+  match Hashtbl.find_opt t.entries txid with
+  | None -> ()
+  | Some e ->
+      if e.outcome = None then begin
+        e.outcome <- Some outcome;
+        e.finished_at <- Some at
+      end
+
+let find t ~txid = Hashtbl.find_opt t.entries txid
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b -> compare a.txid b.txid)
+
+let count p t = Hashtbl.fold (fun _ e acc -> if p e then acc + 1 else acc) t.entries 0
+let committed t = count (fun e -> e.outcome = Some Two_phase.Commit) t
+let aborted t = count (fun e -> e.outcome = Some Two_phase.Abort) t
+let in_flight t = count (fun e -> e.outcome = None) t

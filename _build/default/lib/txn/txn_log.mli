@@ -1,0 +1,37 @@
+(** Audit log of distributed transactions at one site. *)
+
+type entry = {
+  txid : int;
+  coordinator : Avdb_net.Address.t;
+  item : string;
+  delta : int;
+  started_at : Avdb_sim.Time.t;
+  mutable outcome : Two_phase.decision option;
+  mutable finished_at : Avdb_sim.Time.t option;
+}
+
+type t
+
+val create : unit -> t
+
+val record_start :
+  t ->
+  txid:int ->
+  coordinator:Avdb_net.Address.t ->
+  item:string ->
+  delta:int ->
+  at:Avdb_sim.Time.t ->
+  unit
+(** Raises [Invalid_argument] on a duplicate txid. *)
+
+val record_outcome : t -> txid:int -> Two_phase.decision -> at:Avdb_sim.Time.t -> unit
+(** Idempotent: only the first outcome is kept. Unknown txids are
+    ignored (the prepare may have been refused before logging). *)
+
+val find : t -> txid:int -> entry option
+val entries : t -> entry list
+(** Sorted by txid. *)
+
+val committed : t -> int
+val aborted : t -> int
+val in_flight : t -> int

@@ -1,0 +1,1 @@
+lib/workload/order_stream.ml: Array Avdb_sim Engine Rng Stdlib Time

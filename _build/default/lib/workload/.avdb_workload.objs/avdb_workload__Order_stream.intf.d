@@ -1,0 +1,1 @@
+lib/workload/order_stream.mli: Avdb_sim

@@ -1,0 +1,1 @@
+lib/workload/scm.ml: Array Avdb_sim Hashtbl Printf Rng Stdlib Zipf

@@ -1,0 +1,51 @@
+open Avdb_sim
+
+type order = { item : string; quantity : int }
+
+type t = {
+  items : (string * int) array;
+  total_weight : int;
+  mean_interarrival : Time.t;
+  max_quantity : int;
+  rng : Rng.t;
+}
+
+let create ~items ~mean_interarrival ~max_quantity ~seed =
+  if Array.length items = 0 then invalid_arg "Order_stream: no items";
+  Array.iter (fun (_, w) -> if w <= 0 then invalid_arg "Order_stream: weight <= 0") items;
+  if max_quantity < 1 then invalid_arg "Order_stream: max_quantity < 1";
+  if Time.equal mean_interarrival Time.zero then
+    invalid_arg "Order_stream: zero inter-arrival";
+  let total_weight = Array.fold_left (fun acc (_, w) -> acc + w) 0 items in
+  { items; total_weight; mean_interarrival; max_quantity; rng = Rng.create seed }
+
+let pick_item t =
+  let target = Rng.int t.rng t.total_weight in
+  let rec go i acc =
+    let name, w = t.items.(i) in
+    if acc + w > target then name else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let next t =
+  let gap_us =
+    Rng.exponential t.rng (float_of_int (Time.to_us t.mean_interarrival))
+  in
+  let gap = Time.of_us (Stdlib.max 1 (int_of_float gap_us)) in
+  let order = { item = pick_item t; quantity = Rng.int_in t.rng 1 t.max_quantity } in
+  (gap, order)
+
+let schedule t ~engine ~until f =
+  let count = ref 0 in
+  let at = ref Time.zero in
+  let continue = ref true in
+  while !continue do
+    let gap, order = next t in
+    at := Time.add !at gap;
+    if Time.(!at > until) then continue := false
+    else begin
+      incr count;
+      ignore (Engine.schedule_at engine ~at:!at (fun () -> f order))
+    end
+  done;
+  !count

@@ -1,0 +1,29 @@
+(** Poisson order arrivals — used by examples to drive sites with
+    asynchronous customer orders instead of the fixed-interval sweep. *)
+
+type order = { item : string; quantity : int }
+
+type t
+
+val create :
+  items:(string * int) array ->
+  mean_interarrival:Avdb_sim.Time.t ->
+  max_quantity:int ->
+  seed:int ->
+  t
+(** [items] are (name, weight) pairs — order probability proportional to
+    weight. Raises [Invalid_argument] on empty items, non-positive
+    weights, quantities or inter-arrival times. *)
+
+val next : t -> Avdb_sim.Time.t * order
+(** Draws the next inter-arrival gap (exponential) and order (weighted
+    item, uniform quantity in [\[1, max_quantity\]]). *)
+
+val schedule :
+  t ->
+  engine:Avdb_sim.Engine.t ->
+  until:Avdb_sim.Time.t ->
+  (order -> unit) ->
+  int
+(** Pre-schedules orders on the engine up to the virtual-time horizon;
+    returns how many were scheduled. *)

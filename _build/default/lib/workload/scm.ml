@@ -1,0 +1,89 @@
+open Avdb_sim
+
+type update = { site_index : int; item : string; delta : int }
+
+type spec = {
+  n_sites : int;
+  items : (string * int) array;
+  maker_increase_pct : float;
+  retailer_decrease_pct : float;
+  item_skew : float;
+  maker_weight : int;
+}
+
+let paper_spec ?(n_sites = 3) ?(n_items = 100) ?(initial_amount = 100) () =
+  {
+    n_sites;
+    items = Array.init n_items (fun i -> (Printf.sprintf "product%d" i, initial_amount));
+    maker_increase_pct = 0.2;
+    retailer_decrease_pct = 0.1;
+    item_skew = 0.;
+    maker_weight = 1;
+  }
+
+type t = {
+  spec : spec;
+  rng : Rng.t;
+  zipf : Zipf.t;
+  memo : (int, update) Hashtbl.t;
+  mutable generated_up_to : int;  (* updates [0, generated_up_to) are memoised *)
+}
+
+let validate spec =
+  if spec.n_sites < 1 then invalid_arg "Scm: n_sites must be >= 1";
+  if Array.length spec.items = 0 then invalid_arg "Scm: no items";
+  if spec.maker_increase_pct <= 0. || spec.maker_increase_pct > 1. then
+    invalid_arg "Scm: maker_increase_pct out of (0,1]";
+  if spec.retailer_decrease_pct <= 0. || spec.retailer_decrease_pct > 1. then
+    invalid_arg "Scm: retailer_decrease_pct out of (0,1]";
+  if spec.maker_weight < 1 then invalid_arg "Scm: maker_weight < 1";
+  Array.iter
+    (fun (_, initial) -> if initial < 1 then invalid_arg "Scm: initial amount < 1")
+    spec.items
+
+let create spec ~seed =
+  validate spec;
+  {
+    spec;
+    rng = Rng.create seed;
+    zipf = Zipf.create ~n:(Array.length spec.items) ~theta:spec.item_skew;
+    memo = Hashtbl.create 1024;
+    generated_up_to = 0;
+  }
+
+let spec t = t.spec
+
+let max_delta pct initial = Stdlib.max 1 (int_of_float (pct *. float_of_int initial))
+
+(* A cycle is [maker_weight] maker slots followed by one per retailer. *)
+let site_of_slot spec k =
+  let retailers = spec.n_sites - 1 in
+  if retailers = 0 then 0
+  else begin
+    let cycle = spec.maker_weight + retailers in
+    let pos = k mod cycle in
+    if pos < spec.maker_weight then 0 else pos - spec.maker_weight + 1
+  end
+
+let generate_next t =
+  let k = t.generated_up_to in
+  let site_index = site_of_slot t.spec k in
+  let item_index = Zipf.sample t.zipf t.rng in
+  let name, initial = t.spec.items.(item_index) in
+  let delta =
+    if site_index = 0 then Rng.int_in t.rng 1 (max_delta t.spec.maker_increase_pct initial)
+    else -(Rng.int_in t.rng 1 (max_delta t.spec.retailer_decrease_pct initial))
+  in
+  Hashtbl.add t.memo k { site_index; item = name; delta };
+  t.generated_up_to <- k + 1
+
+let nth t k =
+  if k < 0 then invalid_arg "Scm.nth: negative index";
+  while t.generated_up_to <= k do
+    generate_next t
+  done;
+  Hashtbl.find t.memo k
+
+let generator t k =
+  let { site_index; item; delta } = nth t k in
+  (site_index, item, delta)

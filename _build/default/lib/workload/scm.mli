@@ -1,0 +1,44 @@
+(** The paper's §4 SCM workload.
+
+    Site 0 (the maker) increases a random item "by at most 20% of the
+    initial amount of data"; the retailers decrease by at most 10%. Deltas
+    are uniform in [\[1, pct × initial\]] (never zero — a zero update would
+    be a no-op and inflate the x-axis for free). Sites take turns
+    round-robin so the total update count divides evenly, which is what
+    makes the per-site fairness of Table 1 measurable. *)
+
+type update = { site_index : int; item : string; delta : int }
+
+type spec = {
+  n_sites : int;  (** site 0 is the maker *)
+  items : (string * int) array;  (** (name, initial amount) *)
+  maker_increase_pct : float;  (** paper: 0.2 *)
+  retailer_decrease_pct : float;  (** paper: 0.1 *)
+  item_skew : float;  (** Zipf θ over items; 0 = uniform (paper) *)
+  maker_weight : int;
+      (** how many slots per rotation cycle the maker takes (paper: 1).
+          Raising it keeps production matching demand when there are many
+          retailers: a cycle is [maker_weight] maker updates followed by
+          one update per retailer. *)
+}
+
+val paper_spec : ?n_sites:int -> ?n_items:int -> ?initial_amount:int -> unit -> spec
+(** Defaults: 3 sites, 100 items named ["product<i>"], initial 100,
+    +20 % / −10 %, uniform item choice. *)
+
+type t
+
+val create : spec -> seed:int -> t
+(** Raises [Invalid_argument] on nonsensical specs (no sites, no items,
+    percentages outside (0, 1], initial amounts < 1). *)
+
+val spec : t -> spec
+
+val nth : t -> int -> update
+(** The k-th update (0-based): deterministic for a given [seed] —
+    computed once and memoised, so repeated calls agree. Sites rotate
+    round-robin in cycles of [maker_weight + n_sites - 1] slots: the
+    maker takes the first [maker_weight] slots, then each retailer one. *)
+
+val generator : t -> int -> int * string * int
+(** Adapter for [Runner.run]'s [nth_update]. *)

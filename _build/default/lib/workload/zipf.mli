@@ -1,0 +1,18 @@
+(** Zipf-distributed index sampler.
+
+    P(i) ∝ 1 / (i+1)^θ over [0, n). θ = 0 degenerates to uniform. Uses a
+    precomputed CDF and binary search, so sampling is O(log n). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Raises [Invalid_argument] if [n <= 0] or [theta < 0]. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Avdb_sim.Rng.t -> int
+(** An index in [\[0, n)]. *)
+
+val pmf : t -> int -> float
+(** Exact probability of an index. *)

@@ -1,0 +1,1 @@
+test/test_av_table.ml: Alcotest Av_table Avdb_av Gen List QCheck QCheck_alcotest Test

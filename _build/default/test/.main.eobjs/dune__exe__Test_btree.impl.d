@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Avdb_sim Avdb_store Btree Fun Gen Hashtbl List Printf QCheck QCheck_alcotest Result Stdlib Test

@@ -1,0 +1,1 @@
+test/test_config_protocol.ml: Address Alcotest Avdb_core Avdb_net Avdb_txn Cluster Config Format List Option Product Protocol Site String Update

@@ -1,0 +1,1 @@
+test/test_core_batch.ml: Alcotest Array Av_table Avdb_av Avdb_core Avdb_sim Cluster Config Option Product Site Update

@@ -1,0 +1,1 @@
+test/test_core_cluster.ml: Alcotest Av_table Avdb_av Avdb_core Avdb_net Avdb_sim Avdb_store Avdb_workload Cluster Config Database Engine List Option Product Runner Scm Site Time Update

@@ -1,0 +1,1 @@
+test/test_core_delay.ml: Address Alcotest Array Av_table Avdb_av Avdb_core Avdb_net Avdb_sim Cluster Config Format Gen List Peer_view Product QCheck QCheck_alcotest Site Strategy Test Time Update

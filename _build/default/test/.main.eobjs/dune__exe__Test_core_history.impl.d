@@ -1,0 +1,1 @@
+test/test_core_history.ml: Alcotest Array Avdb_core Avdb_store Cluster Config Database List Option Printf Product Query Site Table Update Value

@@ -1,0 +1,1 @@
+test/test_core_immediate.ml: Alcotest Avdb_core Avdb_sim Avdb_txn Cluster Config List Product Site Txn_log Update

@@ -1,0 +1,1 @@
+test/test_core_membership.ml: Alcotest Av_table Avdb_av Avdb_core Avdb_sim Cluster Config Gen List Option Product QCheck QCheck_alcotest Result Site Test Time Update

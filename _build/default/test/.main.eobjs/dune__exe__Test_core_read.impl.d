@@ -1,0 +1,1 @@
+test/test_core_read.ml: Alcotest Avdb_core Cluster Config Product Site Update

@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Avdb_store Database Filename Fun Gen List Option QCheck QCheck_alcotest Result Schema Sys Table Test Value Wal

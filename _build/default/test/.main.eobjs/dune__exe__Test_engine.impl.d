@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Avdb_sim Engine Gen List Printf QCheck QCheck_alcotest Rng Test Time

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Avdb_sim Event_queue Gen List Option QCheck QCheck_alcotest Test Time

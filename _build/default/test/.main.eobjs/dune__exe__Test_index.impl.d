@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Avdb_store Fun Gen List Option QCheck QCheck_alcotest Query Result Schema Table Test Value

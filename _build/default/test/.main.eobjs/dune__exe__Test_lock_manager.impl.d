@@ -1,0 +1,1 @@
+test/test_lock_manager.ml: Alcotest Avdb_sim Avdb_store Engine Gen List Lock_manager QCheck QCheck_alcotest Test Time

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Ascii_table Avdb_metrics Fairness Float Gen Histogram List QCheck QCheck_alcotest Series String Test

@@ -1,0 +1,1 @@
+test/test_net.ml: Address Alcotest Avdb_net Avdb_sim Engine Float Gen Latency List Network QCheck QCheck_alcotest Rng Stats Test Time

@@ -1,0 +1,1 @@
+test/test_peer_view.ml: Address Alcotest Avdb_av Avdb_net Avdb_sim Gen Hashtbl List Option Peer_view QCheck QCheck_alcotest Test Time

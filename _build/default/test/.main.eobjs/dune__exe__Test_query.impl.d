@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Avdb_store Gen List Printf QCheck QCheck_alcotest Query Result Schema Stdlib Table Test Value

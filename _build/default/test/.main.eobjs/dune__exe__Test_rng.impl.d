@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Avdb_sim Float Fun List QCheck QCheck_alcotest Rng Test

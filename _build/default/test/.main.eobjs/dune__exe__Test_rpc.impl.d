@@ -1,0 +1,1 @@
+test/test_rpc.ml: Address Alcotest Avdb_net Avdb_sim Engine Latency List Network Rpc Stats Time

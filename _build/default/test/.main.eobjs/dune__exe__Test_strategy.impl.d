@@ -1,0 +1,1 @@
+test/test_strategy.ml: Address Alcotest Avdb_av Avdb_net Avdb_sim Gen Hashtbl List Option Peer_view QCheck QCheck_alcotest Result Rng Strategy Test Time

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Avdb_store Gen Hashtbl List Option QCheck QCheck_alcotest Result Schema Table Test Value

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Avdb_sim Float List QCheck QCheck_alcotest Test Time

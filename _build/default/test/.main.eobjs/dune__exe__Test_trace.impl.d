@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Avdb_core Avdb_sim Cluster Config Format List Product Site String Time Trace

@@ -1,0 +1,1 @@
+test/test_two_phase.ml: Address Alcotest Avdb_net Avdb_sim Avdb_txn Format Gen List Option QCheck QCheck_alcotest Test Time Two_phase Txn_log

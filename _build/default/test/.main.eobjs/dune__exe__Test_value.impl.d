@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Avdb_store Gen List QCheck QCheck_alcotest Stdlib Test Value

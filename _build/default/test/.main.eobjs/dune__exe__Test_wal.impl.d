@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Avdb_store Gen Hashtbl List QCheck QCheck_alcotest Schema Test Value Wal

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Avdb_sim Avdb_workload Engine Float List Order_stream Rng Scm Time Zipf

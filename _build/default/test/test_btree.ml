@@ -1,0 +1,178 @@
+open Avdb_store
+
+let check_ok tree tag =
+  match Btree.check_invariants tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" tag e
+
+let key i = Printf.sprintf "k%04d" i
+
+let test_empty () =
+  let t : int Btree.t = Btree.create () in
+  Alcotest.(check int) "size" 0 (Btree.size t);
+  Alcotest.(check (option int)) "find" None (Btree.find t ~key:"x");
+  Alcotest.(check (option int)) "remove" None (Btree.remove t ~key:"x");
+  Alcotest.(check int) "height" 0 (Btree.height t);
+  Alcotest.(check (option (pair string int))) "min" None (Btree.min_binding t);
+  check_ok t "empty"
+
+let test_insert_find () =
+  let t = Btree.create ~min_degree:2 () in
+  for i = 0 to 99 do
+    Btree.insert t ~key:(key i) (i * 10)
+  done;
+  Alcotest.(check int) "size" 100 (Btree.size t);
+  for i = 0 to 99 do
+    Alcotest.(check (option int)) "find" (Some (i * 10)) (Btree.find t ~key:(key i))
+  done;
+  Alcotest.(check bool) "mem miss" false (Btree.mem t ~key:"zzz");
+  check_ok t "after inserts"
+
+let test_replace () =
+  let t = Btree.create ~min_degree:2 () in
+  for i = 0 to 30 do
+    Btree.insert t ~key:(key i) i
+  done;
+  Btree.insert t ~key:(key 7) 777;
+  Btree.insert t ~key:(key 0) (-1);
+  Alcotest.(check int) "size unchanged" 31 (Btree.size t);
+  Alcotest.(check (option int)) "replaced" (Some 777) (Btree.find t ~key:(key 7));
+  Alcotest.(check (option int)) "replaced min" (Some (-1)) (Btree.find t ~key:(key 0));
+  check_ok t "after replace"
+
+let test_sorted_iteration () =
+  let t = Btree.create ~min_degree:3 () in
+  (* insert in a scrambled order *)
+  let ids = Array.init 200 Fun.id in
+  let rng = Avdb_sim.Rng.create 5 in
+  Avdb_sim.Rng.shuffle rng ids;
+  Array.iter (fun i -> Btree.insert t ~key:(key i) i) ids;
+  Alcotest.(check (list string)) "keys sorted" (List.init 200 key) (Btree.keys t);
+  let folded = Btree.fold t ~init:[] ~f:(fun acc _ v -> v :: acc) in
+  Alcotest.(check (list int)) "fold ascending" (List.init 200 Fun.id) (List.rev folded);
+  Alcotest.(check (option (pair string int))) "min" (Some (key 0, 0)) (Btree.min_binding t);
+  Alcotest.(check (option (pair string int))) "max" (Some (key 199, 199)) (Btree.max_binding t)
+
+let test_remove () =
+  let t = Btree.create ~min_degree:2 () in
+  for i = 0 to 63 do
+    Btree.insert t ~key:(key i) i
+  done;
+  (* remove evens, keep odds *)
+  for i = 0 to 63 do
+    if i mod 2 = 0 then begin
+      Alcotest.(check (option int)) "removed value" (Some i) (Btree.remove t ~key:(key i));
+      check_ok t (Printf.sprintf "after removing %d" i)
+    end
+  done;
+  Alcotest.(check int) "half left" 32 (Btree.size t);
+  for i = 0 to 63 do
+    Alcotest.(check bool) "presence" (i mod 2 = 1) (Btree.mem t ~key:(key i))
+  done;
+  Alcotest.(check (option int)) "double remove" None (Btree.remove t ~key:(key 0))
+
+let test_remove_all_then_reuse () =
+  let t = Btree.create ~min_degree:2 () in
+  for i = 0 to 40 do
+    Btree.insert t ~key:(key i) i
+  done;
+  for i = 40 downto 0 do
+    ignore (Btree.remove t ~key:(key i))
+  done;
+  Alcotest.(check int) "emptied" 0 (Btree.size t);
+  check_ok t "emptied";
+  Btree.insert t ~key:"fresh" 1;
+  Alcotest.(check (option int)) "usable after drain" (Some 1) (Btree.find t ~key:"fresh")
+
+let test_range () =
+  let t = Btree.create ~min_degree:2 () in
+  for i = 0 to 99 do
+    Btree.insert t ~key:(key i) i
+  done;
+  let r = Btree.range t ~lo:(key 10) ~hi:(key 19) in
+  Alcotest.(check (list string)) "inclusive bounds"
+    (List.init 10 (fun i -> key (10 + i)))
+    (List.map fst r);
+  Alcotest.(check (list int)) "values" (List.init 10 (fun i -> 10 + i)) (List.map snd r);
+  Alcotest.(check int) "full range" 100 (List.length (Btree.range t ~lo:"" ~hi:"z"));
+  Alcotest.(check (list (pair string int))) "empty range" [] (Btree.range t ~lo:(key 5) ~hi:(key 4));
+  Alcotest.(check int) "singleton" 1 (List.length (Btree.range t ~lo:(key 42) ~hi:(key 42)))
+
+let test_height_logarithmic () =
+  let t = Btree.create ~min_degree:8 () in
+  for i = 0 to 9_999 do
+    Btree.insert t ~key:(key i) i
+  done;
+  (* with t=8 (fanout >= 8) 10k keys need at most ~5 levels *)
+  Alcotest.(check bool) "shallow" true (Btree.height t <= 5);
+  check_ok t "10k keys"
+
+let test_min_degree_validation () =
+  match Btree.create ~min_degree:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "min_degree 1 accepted"
+
+let qcheck_tests =
+  let open QCheck in
+  let ops_gen =
+    list_of_size Gen.(int_range 0 400)
+      (pair (int_bound 60) (option (int_bound 1000)))
+    (* (key, Some v) = insert, (key, None) = remove *)
+  in
+  let model_run ~min_degree ops =
+    let t = Btree.create ~min_degree () in
+    let model = Hashtbl.create 32 in
+    List.iter
+      (fun (k, op) ->
+        let k = key k in
+        match op with
+        | Some v ->
+            Btree.insert t ~key:k v;
+            Hashtbl.replace model k v
+        | None ->
+            ignore (Btree.remove t ~key:k);
+            Hashtbl.remove model k)
+      ops;
+    (t, model)
+  in
+  [
+    Test.make ~name:"btree matches hashtable model" ~count:300 ops_gen (fun ops ->
+        let t, model = model_run ~min_degree:2 ops in
+        Btree.size t = Hashtbl.length model
+        && Hashtbl.fold (fun k v acc -> acc && Btree.find t ~key:k = Some v) model true
+        && Btree.keys t = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) model []));
+    Test.make ~name:"invariants hold under random ops" ~count:300 ops_gen (fun ops ->
+        let t, _ = model_run ~min_degree:2 ops in
+        Result.is_ok (Btree.check_invariants t));
+    Test.make ~name:"invariants hold with larger degree" ~count:150 ops_gen (fun ops ->
+        let t, _ = model_run ~min_degree:5 ops in
+        Result.is_ok (Btree.check_invariants t));
+    Test.make ~name:"range equals filtered keys" ~count:200
+      (triple ops_gen (int_bound 60) (int_bound 60))
+      (fun (ops, a, b) ->
+        let t, model = model_run ~min_degree:3 ops in
+        let lo = key (Stdlib.min a b) and hi = key (Stdlib.max a b) in
+        let expect =
+          Hashtbl.fold (fun k _ acc -> k :: acc) model []
+          |> List.filter (fun k -> k >= lo && k <= hi)
+          |> List.sort compare
+        in
+        List.map fst (Btree.range t ~lo ~hi) = expect);
+  ]
+
+let suites =
+  [
+    ( "store.btree",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "insert/find" `Quick test_insert_find;
+        Alcotest.test_case "replace" `Quick test_replace;
+        Alcotest.test_case "sorted iteration" `Quick test_sorted_iteration;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "remove all then reuse" `Quick test_remove_all_then_reuse;
+        Alcotest.test_case "range" `Quick test_range;
+        Alcotest.test_case "height logarithmic" `Quick test_height_logarithmic;
+        Alcotest.test_case "min_degree validation" `Quick test_min_degree_validation;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

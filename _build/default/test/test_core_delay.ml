@@ -1,0 +1,278 @@
+open Avdb_sim
+open Avdb_net
+open Avdb_core
+open Avdb_av
+
+(* One regular item, 3 sites, even AV allocation (34/33/33 of 100). *)
+let small_config ?(n_sites = 3) ?(allocation = Config.Even) ?(strategy = Strategy.paper)
+    ?(initial_amount = 100) () =
+  {
+    Config.default with
+    Config.n_sites;
+    allocation;
+    strategy;
+    products = [ Product.regular "widget" ~initial_amount ];
+    seed = 99;
+  }
+
+let make ?n_sites ?allocation ?strategy ?initial_amount () =
+  Cluster.create (small_config ?n_sites ?allocation ?strategy ?initial_amount ())
+
+let submit cluster site_index ~delta =
+  let result = ref None in
+  Site.submit_update (Cluster.site cluster site_index) ~item:"widget" ~delta (fun r ->
+      result := Some r);
+  Cluster.run cluster;
+  match !result with Some r -> r | None -> Alcotest.fail "update never completed"
+
+let applied_kind = function
+  | { Update.outcome = Update.Applied kind; _ } -> kind
+  | r -> Alcotest.failf "expected applied, got %a" Update.pp_result r
+
+let corr cluster = Cluster.total_correspondences cluster
+
+let test_positive_delta_is_local () =
+  let cluster = make () in
+  let result = submit cluster 0 ~delta:15 in
+  Alcotest.(check bool) "local" true (applied_kind result = Update.Local);
+  Alcotest.(check int) "no correspondences" 0 (corr cluster);
+  Alcotest.(check (option int)) "maker replica updated" (Some 115)
+    (Site.amount_of (Cluster.site cluster 0) ~item:"widget");
+  Alcotest.(check int) "maker AV grew" 49
+    (Av_table.available (Site.av_table (Cluster.site cluster 0)) ~item:"widget");
+  Alcotest.(check (option int)) "retailer replica untouched until sync" (Some 100)
+    (Site.amount_of (Cluster.site cluster 1) ~item:"widget")
+
+let test_negative_within_av_is_local () =
+  let cluster = make () in
+  let result = submit cluster 1 ~delta:(-20) in
+  Alcotest.(check bool) "local" true (applied_kind result = Update.Local);
+  Alcotest.(check int) "no correspondences" 0 (corr cluster);
+  Alcotest.(check (option int)) "replica decreased" (Some 80)
+    (Site.amount_of (Cluster.site cluster 1) ~item:"widget");
+  Alcotest.(check int) "AV consumed" 13
+    (Av_table.available (Site.av_table (Cluster.site cluster 1)) ~item:"widget");
+  Alcotest.(check int) "latency zero for local path" 0 (Time.to_us result.Update.latency)
+
+let test_fig1_transfer () =
+  (* Reshape AV to the paper's Fig. 1: 40 / 20 / 40, then update -30 at
+     site 1. The shortage is 10; the cold-cache selection falls back to the
+     base, which holds 40 and (Half) grants 20. *)
+  let cluster = make () in
+  let av i = Site.av_table (Cluster.site cluster i) in
+  let force_ok = function Ok () -> () | Error e -> Alcotest.fail e in
+  force_ok (Av_table.withdraw (av 0) ~item:"widget" 34);
+  force_ok (Av_table.deposit (av 0) ~item:"widget" 40);
+  force_ok (Av_table.withdraw (av 1) ~item:"widget" 33);
+  force_ok (Av_table.deposit (av 1) ~item:"widget" 20);
+  force_ok (Av_table.withdraw (av 2) ~item:"widget" 33);
+  force_ok (Av_table.deposit (av 2) ~item:"widget" 40);
+  let result = submit cluster 1 ~delta:(-30) in
+  (match applied_kind result with
+  | Update.With_transfer 1 -> ()
+  | k -> Alcotest.failf "expected 1 transfer round, got %a" Update.pp_kind k);
+  Alcotest.(check int) "one correspondence" 1 (corr cluster);
+  Alcotest.(check (option int)) "data updated at site 1" (Some 70)
+    (Site.amount_of (Cluster.site cluster 1) ~item:"widget");
+  Alcotest.(check int) "site1 keeps surplus AV" 10 (Av_table.total (av 1) ~item:"widget");
+  Alcotest.(check int) "site0 donated half" 20 (Av_table.total (av 0) ~item:"widget");
+  Alcotest.(check int) "site2 untouched" 40 (Av_table.total (av 2) ~item:"widget");
+  Alcotest.(check bool) "transfer has nonzero latency" true
+    Time.(result.Update.latency > Time.zero)
+
+let test_multi_round_transfer () =
+  (* Exact granting: each donor gives only the shortage it can cover, so a
+     large demand walks several peers. Sites hold 25/25/25/25; site 3 asks
+     for 80: needs grants from all three peers. *)
+  let strategy = { Strategy.paper with Strategy.granting = Strategy.Granting.Exact } in
+  let cluster = make ~n_sites:4 ~strategy ~allocation:Config.Even () in
+  let result = submit cluster 3 ~delta:(-80) in
+  (match applied_kind result with
+  | Update.With_transfer 3 -> ()
+  | k -> Alcotest.failf "expected 3 rounds, got %a" Update.pp_kind k);
+  Alcotest.(check int) "three correspondences" 3 (corr cluster);
+  Alcotest.(check int) "system AV = 100 - 80" 20
+    (Cluster.av_sum cluster ~item:"widget")
+
+let test_exhaustion_rejected_and_av_conserved () =
+  let cluster = make () in
+  (* Total system AV is 100; ask for 150. *)
+  let result = submit cluster 2 ~delta:(-150) in
+  (match result.Update.outcome with
+  | Update.Rejected Update.Av_exhausted -> ()
+  | _ -> Alcotest.failf "expected Av_exhausted, got %a" Update.pp_result result);
+  Alcotest.(check int) "AV fully conserved after give-up" 100
+    (Cluster.av_sum cluster ~item:"widget");
+  Alcotest.(check (option int)) "no data change" (Some 100)
+    (Site.amount_of (Cluster.site cluster 2) ~item:"widget");
+  (* The accumulated AV stays at the requesting site (paper: "all
+     accumulated AV is stored in the local AV table"). *)
+  Alcotest.(check bool) "requester accumulated peers' AV" true
+    (Av_table.available (Site.av_table (Cluster.site cluster 2)) ~item:"widget" > 33);
+  (* A follow-up affordable update succeeds locally thanks to it. *)
+  let result2 = submit cluster 2 ~delta:(-40) in
+  Alcotest.(check bool) "follow-up local" true (applied_kind result2 = Update.Local)
+
+let test_unknown_item () =
+  let cluster = make () in
+  let result = ref None in
+  Site.submit_update (Cluster.site cluster 1) ~item:"nope" ~delta:(-1) (fun r ->
+      result := Some r);
+  Cluster.run cluster;
+  match !result with
+  | Some { Update.outcome = Update.Rejected (Update.Unknown_item "nope"); _ } -> ()
+  | _ -> Alcotest.fail "expected Unknown_item"
+
+let test_concurrent_updates_same_item () =
+  (* Two retailers each drain more than their own share concurrently; both
+     must settle (applied or cleanly rejected) with AV conserved. *)
+  let cluster = make () in
+  let outcomes = ref [] in
+  Site.submit_update (Cluster.site cluster 1) ~item:"widget" ~delta:(-40) (fun r ->
+      outcomes := r :: !outcomes);
+  Site.submit_update (Cluster.site cluster 2) ~item:"widget" ~delta:(-40) (fun r ->
+      outcomes := r :: !outcomes);
+  Cluster.run cluster;
+  Alcotest.(check int) "both settled" 2 (List.length !outcomes);
+  let applied_total =
+    List.fold_left
+      (fun acc r -> if Update.is_applied r then acc + 40 else acc)
+      0 !outcomes
+  in
+  Alcotest.(check int) "AV conserved" (100 - applied_total)
+    (Cluster.av_sum cluster ~item:"widget")
+
+let test_sync_convergence () =
+  let config =
+    { (small_config ()) with Config.sync_interval = Some (Time.of_ms 50.) }
+  in
+  let cluster = Cluster.create config in
+  ignore (submit cluster 0 ~delta:18);
+  ignore (submit cluster 1 ~delta:(-9));
+  ignore (submit cluster 2 ~delta:(-4));
+  Cluster.flush_all_syncs cluster;
+  Alcotest.(check (list int)) "replicas converge to 105" [ 105; 105; 105 ]
+    (Cluster.replica_amounts cluster ~item:"widget");
+  (match Cluster.check_invariants cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "no pending deltas after flush" true
+    (Array.for_all
+       (fun s -> Site.pending_sync_deltas s = [])
+       (Cluster.sites cluster))
+
+let test_periodic_sync_runs_unaided () =
+  let config =
+    { (small_config ()) with Config.sync_interval = Some (Time.of_ms 20.) }
+  in
+  let cluster = Cluster.create config in
+  let done_ = ref false in
+  Site.submit_update (Cluster.site cluster 1) ~item:"widget" ~delta:(-5) (fun _ ->
+      done_ := true);
+  (* Run past a few sync ticks; the periodic timer reschedules forever so
+     bound the run by time. *)
+  Cluster.run ~until:(Time.of_ms 100.) cluster;
+  Alcotest.(check bool) "update done" true !done_;
+  Alcotest.(check (list int)) "periodic sync propagated" [ 95; 95; 95 ]
+    (Cluster.replica_amounts cluster ~item:"widget")
+
+let test_view_warms_up () =
+  (* After one transfer, the requester knows the donor's remaining AV. *)
+  let cluster = make () in
+  ignore (submit cluster 1 ~delta:(-40));
+  let view = Site.peer_view (Cluster.site cluster 1) in
+  match Peer_view.volume_of view ~site:(Address.of_int 0) ~item:"widget" with
+  | Some v -> Alcotest.(check bool) "donor volume observed" true (v >= 0)
+  | None -> Alcotest.fail "no observation recorded"
+
+let test_metrics_accounting () =
+  let cluster = make () in
+  ignore (submit cluster 1 ~delta:(-10));
+  ignore (submit cluster 1 ~delta:(-40));
+  ignore (submit cluster 1 ~delta:(-200));
+  let m = Site.metrics (Cluster.site cluster 1) in
+  Alcotest.(check int) "submitted" 3 m.Update.Metrics.submitted;
+  Alcotest.(check int) "local" 1 m.Update.Metrics.applied_local;
+  Alcotest.(check int) "transfer" 1 m.Update.Metrics.applied_transfer;
+  Alcotest.(check int) "rejected" 1 m.Update.Metrics.rejected;
+  Alcotest.(check bool) "av requests counted" true (m.Update.Metrics.av_requests_sent >= 2)
+
+let test_deterministic_replay () =
+  let run () =
+    let cluster = make () in
+    let outcomes = ref [] in
+    for i = 1 to 20 do
+      let site = 1 + (i mod 2) in
+      Site.submit_update (Cluster.site cluster site) ~item:"widget" ~delta:(-7) (fun r ->
+          outcomes := Format.asprintf "%a" Update.pp_result r :: !outcomes)
+    done;
+    Cluster.run cluster;
+    (!outcomes, Cluster.total_correspondences cluster)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical outcome traces" true (a = b)
+
+
+let test_sync_gossips_av_info () =
+  (* Sync notices piggyback the sender's available AV; peers' selection
+     caches warm up without any dedicated messages. *)
+  let config =
+    { (small_config ()) with Config.sync_interval = Some (Time.of_ms 10.) }
+  in
+  let cluster = Cluster.create config in
+  ignore (submit cluster 1 ~delta:(-5));
+  Cluster.flush_all_syncs cluster;
+  let expected = Av_table.available (Site.av_table (Cluster.site cluster 1)) ~item:"widget" in
+  List.iter
+    (fun observer ->
+      match
+        Peer_view.volume_of
+          (Site.peer_view (Cluster.site cluster observer))
+          ~site:(Address.of_int 1) ~item:"widget"
+      with
+      | Some v -> Alcotest.(check int) "gossiped AV" expected v
+      | None -> Alcotest.failf "site%d never heard about site1's AV" observer)
+    [ 0; 2 ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    (* Global safety under random SCM-ish traffic: AV conservation and
+       replica convergence after a full sync flush. *)
+    Test.make ~name:"random traffic keeps invariants" ~count:30
+      (pair small_int (list_of_size Gen.(int_range 1 60) (pair (int_bound 2) (int_range (-30) 30))))
+      (fun (seed, ops) ->
+        let config = { (small_config ()) with Config.seed = 1 + (seed mod 1000) } in
+        let cluster = Cluster.create config in
+        List.iter
+          (fun (site, delta) ->
+            if delta <> 0 then
+              Site.submit_update (Cluster.site cluster site) ~item:"widget" ~delta
+                (fun _ -> ()))
+          ops;
+        Cluster.run cluster;
+        Cluster.flush_all_syncs cluster;
+        match Cluster.check_invariants cluster with Ok () -> true | Error _ -> false);
+  ]
+
+let suites =
+  [
+    ( "core.delay_update",
+      [
+        Alcotest.test_case "positive delta is local" `Quick test_positive_delta_is_local;
+        Alcotest.test_case "negative within AV is local" `Quick test_negative_within_av_is_local;
+        Alcotest.test_case "fig.1 transfer" `Quick test_fig1_transfer;
+        Alcotest.test_case "multi-round transfer" `Quick test_multi_round_transfer;
+        Alcotest.test_case "exhaustion rejected, AV conserved" `Quick
+          test_exhaustion_rejected_and_av_conserved;
+        Alcotest.test_case "unknown item" `Quick test_unknown_item;
+        Alcotest.test_case "concurrent updates same item" `Quick test_concurrent_updates_same_item;
+        Alcotest.test_case "sync convergence" `Quick test_sync_convergence;
+        Alcotest.test_case "periodic sync" `Quick test_periodic_sync_runs_unaided;
+        Alcotest.test_case "peer view warms up" `Quick test_view_warms_up;
+        Alcotest.test_case "sync gossips AV info" `Quick test_sync_gossips_av_info;
+        Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+        Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,189 @@
+open Avdb_sim
+
+let t_us = Time.of_us
+
+let test_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := (tag, Time.to_us (Engine.now e)) :: !log in
+  ignore (Engine.schedule e ~delay:(t_us 30) (record "c"));
+  ignore (Engine.schedule e ~delay:(t_us 10) (record "a"));
+  ignore (Engine.schedule e ~delay:(t_us 20) (record "b"));
+  let stats = Engine.run e in
+  Alcotest.(check int) "events executed" 3 stats.events_executed;
+  Alcotest.(check bool) "not stopped early" false stats.stopped_early;
+  Alcotest.(check (list (pair string int)))
+    "order and clock"
+    [ ("a", 10); ("b", 20); ("c", 30) ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(t_us 5) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~delay:(t_us 5) (fun () ->
+                log := Printf.sprintf "inner@%d" (Time.to_us (Engine.now e)) :: !log))));
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "nested event runs" [ "outer"; "inner@10" ] (List.rev !log)
+
+let test_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> ignore (Engine.schedule e ~delay:(t_us d) (fun () -> fired := d :: !fired)))
+    [ 10; 20; 30; 40 ];
+  let stats = Engine.run ~until:(t_us 20) e in
+  Alcotest.(check (list int)) "only events <= horizon" [ 10; 20 ] (List.rev !fired);
+  Alcotest.(check int) "clock advanced to horizon" 20 (Time.to_us stats.end_time);
+  (* Resume: remaining events still fire. *)
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "resume completes" [ 10; 20; 30; 40 ] (List.rev !fired)
+
+let test_until_advances_clock_past_last_event () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:(t_us 5) ignore);
+  let stats = Engine.run ~until:(t_us 100) e in
+  Alcotest.(check int) "clock at horizon even after queue drained" 100
+    (Time.to_us stats.end_time);
+  Alcotest.(check int) "now agrees" 100 (Time.to_us (Engine.now e))
+
+let test_max_events () =
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(t_us i) ignore)
+  done;
+  let stats = Engine.run ~max_events:4 e in
+  Alcotest.(check int) "budget respected" 4 stats.events_executed;
+  Alcotest.(check bool) "flagged early stop" true stats.stopped_early;
+  Alcotest.(check int) "pending remainder" 6 (Engine.pending e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule e ~delay:(t_us i) (fun () ->
+           incr count;
+           if !count = 3 then Engine.stop e))
+  done;
+  let stats = Engine.run e in
+  Alcotest.(check int) "stopped after third" 3 !count;
+  Alcotest.(check bool) "stopped early" true stats.stopped_early;
+  (* A later run resumes cleanly. *)
+  let stats2 = Engine.run e in
+  Alcotest.(check int) "resumed rest" 7 stats2.events_executed
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:(t_us 5) (fun () -> fired := true) in
+  Engine.cancel e h;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cancelled callback never fires" false !fired
+
+let test_schedule_at_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:(t_us 50) ignore);
+  ignore (Engine.run e);
+  match Engine.schedule_at e ~at:(t_us 10) ignore with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_step () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  ignore (Engine.schedule e ~delay:(t_us 1) (fun () -> incr n));
+  ignore (Engine.schedule e ~delay:(t_us 2) (fun () -> incr n));
+  Alcotest.(check bool) "step true" true (Engine.step e);
+  Alcotest.(check int) "one executed" 1 !n;
+  Alcotest.(check bool) "step true" true (Engine.step e);
+  Alcotest.(check bool) "step false on empty" false (Engine.step e);
+  Alcotest.(check int) "lifetime count" 2 (Engine.events_executed e)
+
+let test_determinism_across_engines () =
+  (* Two engines with the same seed and same scheduling program produce the
+     same execution trace. *)
+  let trace seed =
+    let e = Engine.create ~seed () in
+    let rng = Rng.split (Engine.rng e) in
+    let log = ref [] in
+    let rec spawn n =
+      if n > 0 then
+        ignore
+          (Engine.schedule e
+             ~delay:(t_us (1 + Rng.int rng 100))
+             (fun () ->
+               log := (n, Time.to_us (Engine.now e)) :: !log;
+               spawn (n - 1)))
+    in
+    spawn 20;
+    ignore (Engine.run e);
+    !log
+  in
+  Alcotest.(check (list (pair int int))) "identical traces" (trace 9) (trace 9);
+  Alcotest.(check bool) "different seed differs" true (trace 9 <> trace 10)
+
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    (* Execution order is exactly (time, seq) over random programs with
+       cancellations sprinkled in. *)
+    Test.make ~name:"executes in (time, seq) order with cancels" ~count:300
+      (list_of_size Gen.(int_range 0 120) (pair (int_bound 1_000) bool))
+      (fun entries ->
+        let e = Engine.create () in
+        let fired = ref [] in
+        let expected = ref [] in
+        List.iteri
+          (fun seq (time, cancel) ->
+            let h =
+              Engine.schedule_at e ~at:(t_us time) (fun () -> fired := (time, seq) :: !fired)
+            in
+            if cancel then Engine.cancel e h else expected := (time, seq) :: !expected)
+          entries;
+        ignore (Engine.run e);
+        List.rev !fired = List.sort compare !expected);
+    (* Events scheduled from inside callbacks are interleaved correctly. *)
+    Test.make ~name:"nested scheduling keeps clock monotone" ~count:200
+      (pair small_int (int_range 1 40))
+      (fun (seed, n) ->
+        let e = Engine.create ~seed () in
+        let rng = Rng.split (Engine.rng e) in
+        let last = ref Time.zero in
+        let monotone = ref true in
+        let rec spawn k =
+          if k > 0 then
+            ignore
+              (Engine.schedule e
+                 ~delay:(t_us (Rng.int rng 50))
+                 (fun () ->
+                   if Time.(Engine.now e < !last) then monotone := false;
+                   last := Engine.now e;
+                   spawn (k - 1)))
+        in
+        spawn n;
+        ignore (Engine.run e);
+        !monotone);
+  ]
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "runs in order" `Quick test_runs_in_order;
+        Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+        Alcotest.test_case "until horizon" `Quick test_until_horizon;
+        Alcotest.test_case "horizon advances clock" `Quick test_until_advances_clock_past_last_event;
+        Alcotest.test_case "max_events" `Quick test_max_events;
+        Alcotest.test_case "stop" `Quick test_stop;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "schedule_at past rejected" `Quick test_schedule_at_past_rejected;
+        Alcotest.test_case "step" `Quick test_step;
+        Alcotest.test_case "deterministic replay" `Quick test_determinism_across_engines;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

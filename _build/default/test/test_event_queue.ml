@@ -1,0 +1,138 @@
+open Avdb_sim
+
+let t_us = Time.of_us
+
+let drain q =
+  let rec loop acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (time, v) -> loop ((Time.to_us time, v) :: acc)
+  in
+  loop []
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(t_us 30) "c");
+  ignore (Event_queue.add q ~time:(t_us 10) "a");
+  ignore (Event_queue.add q ~time:(t_us 20) "b");
+  Alcotest.(check (list (pair int string)))
+    "time order"
+    [ (10, "a"); (20, "b"); (30, "c") ]
+    (drain q)
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(t_us 5) "first");
+  ignore (Event_queue.add q ~time:(t_us 5) "second");
+  ignore (Event_queue.add q ~time:(t_us 5) "third");
+  Alcotest.(check (list (pair int string)))
+    "insertion order at equal times"
+    [ (5, "first"); (5, "second"); (5, "third") ]
+    (drain q)
+
+let test_cancel () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(t_us 1) "keep1");
+  let h = Event_queue.add q ~time:(t_us 2) "dropped" in
+  ignore (Event_queue.add q ~time:(t_us 3) "keep2");
+  Event_queue.cancel h;
+  Alcotest.(check bool) "is_cancelled" true (Event_queue.is_cancelled h);
+  Alcotest.(check int) "length excludes cancelled" 2 (Event_queue.length q);
+  Alcotest.(check (list (pair int string)))
+    "cancelled never pops"
+    [ (1, "keep1"); (3, "keep2") ]
+    (drain q)
+
+let test_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:(t_us 1) () in
+  Event_queue.cancel h;
+  Event_queue.cancel h;
+  Alcotest.(check bool) "empty after cancel" true (Event_queue.is_empty q);
+  Alcotest.(check (list (pair int unit))) "drains empty" [] (drain q)
+
+let test_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "peek empty" None (Option.map Time.to_us (Event_queue.peek_time q));
+  let h = Event_queue.add q ~time:(t_us 4) "x" in
+  ignore (Event_queue.add q ~time:(t_us 9) "y");
+  Alcotest.(check (option int)) "peek min" (Some 4) (Option.map Time.to_us (Event_queue.peek_time q));
+  Event_queue.cancel h;
+  Alcotest.(check (option int))
+    "peek skips cancelled" (Some 9)
+    (Option.map Time.to_us (Event_queue.peek_time q))
+
+let test_counters () =
+  let q = Event_queue.create () in
+  for i = 1 to 5 do
+    ignore (Event_queue.add q ~time:(t_us i) i)
+  done;
+  Alcotest.(check int) "scheduled_total" 5 (Event_queue.scheduled_total q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check int) "length after pop" 4 (Event_queue.length q);
+  Alcotest.(check int) "scheduled_total is lifetime" 5 (Event_queue.scheduled_total q)
+
+let test_interleaved_add_pop () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(t_us 10) 10);
+  ignore (Event_queue.add q ~time:(t_us 5) 5);
+  (match Event_queue.pop q with
+  | Some (_, 5) -> ()
+  | _ -> Alcotest.fail "expected 5");
+  ignore (Event_queue.add q ~time:(t_us 1) 1);
+  (match Event_queue.pop q with
+  | Some (_, 1) -> ()
+  | _ -> Alcotest.fail "expected 1 (added after a pop)");
+  match Event_queue.pop q with
+  | Some (_, 10) -> ()
+  | _ -> Alcotest.fail "expected 10"
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"pop sequence is sorted by time" ~count:300
+      (list_of_size Gen.(int_range 0 200) (int_bound 1_000))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iter (fun time -> ignore (Event_queue.add q ~time:(t_us time) time)) times;
+        let popped = List.map fst (drain q) in
+        popped = List.sort compare times);
+    Test.make ~name:"cancelled subset never surfaces" ~count:300
+      (list_of_size Gen.(int_range 0 100) (pair (int_bound 1_000) bool))
+      (fun entries ->
+        let q = Event_queue.create () in
+        let kept = ref [] in
+        List.iter
+          (fun (time, cancel) ->
+            let h = Event_queue.add q ~time:(t_us time) time in
+            if cancel then Event_queue.cancel h else kept := time :: !kept)
+          entries;
+        let popped = List.map fst (drain q) in
+        popped = List.sort compare !kept);
+    Test.make ~name:"length counts live entries" ~count:300
+      (list_of_size Gen.(int_range 0 100) (pair (int_bound 1_000) bool))
+      (fun entries ->
+        let q = Event_queue.create () in
+        let live = ref 0 in
+        List.iter
+          (fun (time, cancel) ->
+            let h = Event_queue.add q ~time:(t_us time) () in
+            if cancel then Event_queue.cancel h else incr live)
+          entries;
+        Event_queue.length q = !live);
+  ]
+
+let suites =
+  [
+    ( "sim.event_queue",
+      [
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "FIFO at equal times" `Quick test_fifo_ties;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+        Alcotest.test_case "peek" `Quick test_peek;
+        Alcotest.test_case "counters" `Quick test_counters;
+        Alcotest.test_case "interleaved add/pop" `Quick test_interleaved_add_pop;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

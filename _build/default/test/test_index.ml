@@ -1,0 +1,152 @@
+open Avdb_store
+
+let schema () =
+  Schema.create
+    [ { Schema.name = "amount"; ty = Value.Tint }; { Schema.name = "category"; ty = Value.Tstr } ]
+
+let make ?(index = true) () =
+  let t = Table.create ~name:"t" (schema ()) in
+  (if index then
+     match Table.create_index t ~col:"amount" with
+     | Ok () -> ()
+     | Error e -> failwith e);
+  List.iter
+    (fun (key, amount, category) ->
+      match Table.insert t ~key [| Value.Int amount; Value.Str category |] with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    [ ("a", 10, "x"); ("b", 20, "y"); ("c", 10, "x"); ("d", 30, "y"); ("e", 20, "x") ];
+  t
+
+let test_create_and_list () =
+  let t = make () in
+  Alcotest.(check (list string)) "indexed" [ "amount" ] (Table.indexed_columns t);
+  Alcotest.(check bool) "duplicate rejected" true (Result.is_error (Table.create_index t ~col:"amount"));
+  Alcotest.(check bool) "unknown col rejected" true (Result.is_error (Table.create_index t ~col:"zzz"));
+  Table.drop_index t ~col:"amount";
+  Alcotest.(check (list string)) "dropped" [] (Table.indexed_columns t);
+  Alcotest.(check (option (list string))) "lookup after drop" None
+    (Table.lookup_eq t ~col:"amount" (Value.Int 10))
+
+let test_lookup_eq () =
+  let t = make () in
+  Alcotest.(check (option (list string))) "two rows at 10" (Some [ "a"; "c" ])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 10));
+  Alcotest.(check (option (list string))) "none at 99" (Some [])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 99));
+  Alcotest.(check (option (list string))) "unindexed column" None
+    (Table.lookup_eq t ~col:"category" (Value.Str "x"))
+
+let test_lookup_range () =
+  let t = make () in
+  Alcotest.(check (option (list string))) "10..20 in value order"
+    (Some [ "a"; "c"; "b"; "e" ])
+    (Table.lookup_range t ~col:"amount" ~lo:(Value.Int 10) ~hi:(Value.Int 20) ());
+  Alcotest.(check (option (list string))) "open low" (Some [ "a"; "c" ])
+    (Table.lookup_range t ~col:"amount" ~hi:(Value.Int 15) ());
+  Alcotest.(check (option (list string))) "open high" (Some [ "b"; "e"; "d" ])
+    (Table.lookup_range t ~col:"amount" ~lo:(Value.Int 20) ());
+  Alcotest.(check (option (list string))) "unbounded = all"
+    (Some [ "a"; "c"; "b"; "e"; "d" ])
+    (Table.lookup_range t ~col:"amount" ())
+
+let test_maintained_by_mutations () =
+  let t = make () in
+  (* update moves a key between buckets *)
+  ignore (Table.set_col t ~key:"a" ~col:"amount" (Value.Int 30));
+  Alcotest.(check (option (list string))) "left old bucket" (Some [ "c" ])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 10));
+  Alcotest.(check (option (list string))) "joined new bucket" (Some [ "a"; "d" ])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 30));
+  (* add_int too *)
+  ignore (Table.add_int t ~key:"c" ~col:"amount" 10);
+  Alcotest.(check (option (list string))) "add_int reindexed" (Some [ "b"; "c"; "e" ])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 20));
+  (* delete removes *)
+  ignore (Table.delete t ~key:"b");
+  Alcotest.(check (option (list string))) "delete removed" (Some [ "c"; "e" ])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 20));
+  (* insert adds *)
+  ignore (Table.insert t ~key:"f" [| Value.Int 20; Value.Str "z" |]);
+  Alcotest.(check (option (list string))) "insert added" (Some [ "c"; "e"; "f" ])
+    (Table.lookup_eq t ~col:"amount" (Value.Int 20))
+
+let test_index_built_over_existing_rows () =
+  let t = make ~index:false () in
+  (match Table.create_index t ~col:"category" with Ok () -> () | Error e -> failwith e);
+  Alcotest.(check (option (list string))) "built from current rows" (Some [ "a"; "c"; "e" ])
+    (Table.lookup_eq t ~col:"category" (Value.Str "x"))
+
+let test_copy_preserves_indexes () =
+  let t = make () in
+  let snapshot = Table.copy t in
+  ignore (Table.set_col t ~key:"a" ~col:"amount" (Value.Int 99));
+  Alcotest.(check (list string)) "copied index list" [ "amount" ]
+    (Table.indexed_columns snapshot);
+  Alcotest.(check (option (list string))) "copy unaffected by original" (Some [ "a"; "c" ])
+    (Table.lookup_eq snapshot ~col:"amount" (Value.Int 10))
+
+let test_query_uses_index () =
+  (* Behavioural equivalence: same results with and without the index. *)
+  let with_idx = make () and without = make ~index:false () in
+  let run t where = Result.map (List.map (fun r -> r.Query.key)) (Query.select t ~where ()) in
+  List.iter
+    (fun where ->
+      Alcotest.(check (result (list string) string)) "same rows" (run without where)
+        (run with_idx where))
+    [
+      Query.Eq ("amount", Value.Int 10);
+      Query.Ge ("amount", Value.Int 20);
+      Query.Lt ("amount", Value.Int 20);
+      Query.And [ Query.Eq ("amount", Value.Int 20); Query.Eq ("category", Value.Str "x") ];
+      Query.And [ Query.Gt ("amount", Value.Int 10); Query.Ne ("category", Value.Str "y") ];
+    ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    (* Index lookups always agree with a scan, under random mutations. *)
+    Test.make ~name:"index = scan under random ops" ~count:300
+      (list_of_size Gen.(int_range 0 120)
+         (triple (int_bound 15) (int_range 0 8) (int_bound 2)))
+      (fun ops ->
+        let t = Table.create ~name:"t" (schema ()) in
+        (match Table.create_index t ~col:"amount" with Ok () -> () | Error e -> failwith e);
+        List.iter
+          (fun (k, v, op) ->
+            let key = "k" ^ string_of_int k in
+            match op with
+            | 0 ->
+                if Table.mem t ~key then ignore (Table.set_col t ~key ~col:"amount" (Value.Int v))
+                else ignore (Table.insert t ~key [| Value.Int v; Value.Str "c" |])
+            | 1 -> ignore (Table.delete t ~key)
+            | _ -> if Table.mem t ~key then ignore (Table.add_int t ~key ~col:"amount" 1))
+          ops;
+        List.for_all
+          (fun v ->
+            let via_index =
+              Option.value ~default:[] (Table.lookup_eq t ~col:"amount" (Value.Int v))
+            in
+            let via_scan =
+              Table.fold t ~init:[] ~f:(fun acc k row ->
+                  if Value.as_int row.(0) = v then k :: acc else acc)
+              |> List.sort compare
+            in
+            via_index = via_scan)
+          (List.init 12 Fun.id));
+  ]
+
+let suites =
+  [
+    ( "store.index",
+      [
+        Alcotest.test_case "create and list" `Quick test_create_and_list;
+        Alcotest.test_case "lookup_eq" `Quick test_lookup_eq;
+        Alcotest.test_case "lookup_range" `Quick test_lookup_range;
+        Alcotest.test_case "maintained by mutations" `Quick test_maintained_by_mutations;
+        Alcotest.test_case "built over existing rows" `Quick test_index_built_over_existing_rows;
+        Alcotest.test_case "copy preserves indexes" `Quick test_copy_preserves_indexes;
+        Alcotest.test_case "query uses index" `Quick test_query_uses_index;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,282 @@
+open Avdb_sim
+open Avdb_store
+
+let t_us = Time.of_us
+
+let make () =
+  let engine = Engine.create ~seed:3 () in
+  (engine, Lock_manager.create ~engine ())
+
+let expect_grant tag outcome =
+  match outcome with
+  | Ok () -> ()
+  | Error `Timeout -> Alcotest.failf "%s: unexpected timeout" tag
+
+let test_immediate_grant () =
+  let _, lm = make () in
+  let granted = ref false in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (fun r ->
+      expect_grant "x" r;
+      granted := true);
+  Alcotest.(check bool) "granted synchronously" true !granted;
+  Alcotest.(check (list (pair int bool))) "holders" [ (1, true) ]
+    (List.map (fun (o, m) -> (o, m = Lock_manager.Exclusive)) (Lock_manager.holders lm ~key:"a"))
+
+let test_shared_sharing () =
+  let _, lm = make () in
+  let grants = ref 0 in
+  for owner = 1 to 3 do
+    Lock_manager.acquire lm ~owner ~key:"a" Shared (fun r ->
+        expect_grant "s" r;
+        incr grants)
+  done;
+  Alcotest.(check int) "all shared granted" 3 !grants;
+  Alcotest.(check int) "three holders" 3 (List.length (Lock_manager.holders lm ~key:"a"))
+
+let test_exclusive_blocks () =
+  let engine, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "first");
+  let second = ref false in
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun r ->
+      expect_grant "second" r;
+      second := true);
+  Alcotest.(check bool) "second waits" false !second;
+  Alcotest.(check int) "one waiting" 1 (Lock_manager.waiting lm ~key:"a");
+  Lock_manager.release lm ~owner:1 ~key:"a";
+  Alcotest.(check bool) "granted on release" true !second;
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair int bool))) "ownership moved" [ (2, true) ]
+    (List.map (fun (o, m) -> (o, m = Lock_manager.Exclusive)) (Lock_manager.holders lm ~key:"a"))
+
+let test_fifo_no_barging () =
+  (* S1 held; X2 queued; S3 arriving later must NOT overtake X2 even though
+     it is compatible with S1. *)
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Shared (expect_grant "s1");
+  let order = ref [] in
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun r ->
+      expect_grant "x2" r;
+      order := 2 :: !order);
+  Lock_manager.acquire lm ~owner:3 ~key:"a" Shared (fun r ->
+      expect_grant "s3" r;
+      order := 3 :: !order);
+  Alcotest.(check (list int)) "nobody granted yet" [] !order;
+  Lock_manager.release lm ~owner:1 ~key:"a";
+  Alcotest.(check (list int)) "exclusive first" [ 2 ] !order;
+  Lock_manager.release lm ~owner:2 ~key:"a";
+  Alcotest.(check (list int)) "then shared" [ 3; 2 ] !order
+
+let test_reentrant () =
+  let _, lm = make () in
+  let grants = ref 0 in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (fun _ -> incr grants);
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (fun _ -> incr grants);
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Shared (fun _ -> incr grants);
+  Alcotest.(check int) "re-grants immediately" 3 !grants;
+  Alcotest.(check int) "single holder entry" 1 (List.length (Lock_manager.holders lm ~key:"a"))
+
+let test_upgrade_sole_holder () =
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Shared (expect_grant "s");
+  let upgraded = ref false in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (fun r ->
+      expect_grant "up" r;
+      upgraded := true);
+  Alcotest.(check bool) "sole-holder upgrade immediate" true !upgraded;
+  match Lock_manager.holders lm ~key:"a" with
+  | [ (1, Lock_manager.Exclusive) ] -> ()
+  | _ -> Alcotest.fail "expected exclusive hold"
+
+let test_upgrade_waits_for_others () =
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Shared (expect_grant "s1");
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Shared (expect_grant "s2");
+  let upgraded = ref false in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (fun r ->
+      expect_grant "up" r;
+      upgraded := true);
+  Alcotest.(check bool) "upgrade blocked by second reader" false !upgraded;
+  Lock_manager.release lm ~owner:2 ~key:"a";
+  Alcotest.(check bool) "upgrade after reader leaves" true !upgraded
+
+let test_timeout () =
+  let engine, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "x1");
+  let outcome = ref None in
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive ~timeout:(t_us 100) (fun r ->
+      outcome := Some r);
+  ignore (Engine.run engine);
+  (match !outcome with
+  | Some (Error `Timeout) -> ()
+  | _ -> Alcotest.fail "expected timeout");
+  (* The timed-out waiter must not receive the lock later. *)
+  Lock_manager.release lm ~owner:1 ~key:"a";
+  Alcotest.(check bool) "lock free after release" false (Lock_manager.is_held lm ~key:"a")
+
+let test_timeout_skips_dead_waiter () =
+  let engine, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "x1");
+  let w2 = ref None and w3 = ref false in
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive ~timeout:(t_us 100) (fun r -> w2 := Some r);
+  Lock_manager.acquire lm ~owner:3 ~key:"a" Exclusive ~timeout:(t_us 100_000) (fun r ->
+      expect_grant "x3" r;
+      w3 := true);
+  (* Let owner 2 time out, then release: owner 3 should be granted. *)
+  ignore (Engine.run ~until:(t_us 200) engine);
+  (match !w2 with Some (Error `Timeout) -> () | _ -> Alcotest.fail "w2 should time out");
+  Lock_manager.release lm ~owner:1 ~key:"a";
+  Alcotest.(check bool) "third granted, dead waiter skipped" true !w3
+
+let test_release_all () =
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "a");
+  Lock_manager.acquire lm ~owner:1 ~key:"b" Shared (expect_grant "b");
+  Lock_manager.acquire lm ~owner:1 ~key:"c" Exclusive (expect_grant "c");
+  Alcotest.(check (list string)) "held keys" [ "a"; "b"; "c" ] (Lock_manager.held_keys lm ~owner:1);
+  let granted = ref false in
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun _ -> granted := true);
+  Lock_manager.release_all lm ~owner:1;
+  Alcotest.(check (list string)) "nothing held" [] (Lock_manager.held_keys lm ~owner:1);
+  Alcotest.(check bool) "waiter promoted" true !granted
+
+let test_release_all_drops_queued () =
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "x1");
+  let fired = ref false in
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun _ -> fired := true);
+  (* Owner 2 gives up (e.g. its transaction aborts elsewhere). *)
+  Lock_manager.release_all lm ~owner:2;
+  Lock_manager.release lm ~owner:1 ~key:"a";
+  Alcotest.(check bool) "dropped request never granted" false !fired;
+  Alcotest.(check bool) "lock left free" false (Lock_manager.is_held lm ~key:"a")
+
+let test_unknown_release_ignored () =
+  let _, lm = make () in
+  Lock_manager.release lm ~owner:9 ~key:"nothing";
+  Lock_manager.release_all lm ~owner:9;
+  Alcotest.(check bool) "no-op" false (Lock_manager.is_held lm ~key:"nothing")
+
+
+(* --- deadlock detection --- *)
+
+let test_wait_for_graph () =
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "x1a");
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun _ -> ());
+  Lock_manager.acquire lm ~owner:3 ~key:"a" Exclusive (fun _ -> ());
+  Alcotest.(check (list (pair int (list int)))) "waiters block on holders and queue order"
+    [ (2, [ 1 ]); (3, [ 1; 2 ]) ]
+    (Lock_manager.wait_for_graph lm);
+  Alcotest.(check (option (list int))) "no cycle" None (Lock_manager.find_deadlock lm)
+
+let test_deadlock_two_owners () =
+  let _, lm = make () in
+  (* 1 holds a, 2 holds b; then each requests the other's key. *)
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "1a");
+  Lock_manager.acquire lm ~owner:2 ~key:"b" Exclusive (expect_grant "2b");
+  Lock_manager.acquire lm ~owner:1 ~key:"b" Exclusive (fun _ -> ());
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun _ -> ());
+  match Lock_manager.find_deadlock lm with
+  | Some cycle ->
+      Alcotest.(check (list int)) "two-owner cycle" [ 1; 2 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "deadlock not detected"
+
+let test_deadlock_three_owners () =
+  let _, lm = make () in
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "1a");
+  Lock_manager.acquire lm ~owner:2 ~key:"b" Exclusive (expect_grant "2b");
+  Lock_manager.acquire lm ~owner:3 ~key:"c" Exclusive (expect_grant "3c");
+  Lock_manager.acquire lm ~owner:1 ~key:"b" Exclusive (fun _ -> ());
+  Lock_manager.acquire lm ~owner:2 ~key:"c" Exclusive (fun _ -> ());
+  Lock_manager.acquire lm ~owner:3 ~key:"a" Exclusive (fun _ -> ());
+  (match Lock_manager.find_deadlock lm with
+  | Some cycle -> Alcotest.(check (list int)) "ring of three" [ 1; 2; 3 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "deadlock not detected");
+  (* Breaking the cycle clears the report. *)
+  Lock_manager.release_all lm ~owner:3;
+  Alcotest.(check (option (list int))) "cycle broken" None (Lock_manager.find_deadlock lm)
+
+let test_no_false_deadlock_on_chain () =
+  let _, lm = make () in
+  (* A plain chain 3 -> 2 -> 1 is not a deadlock. *)
+  Lock_manager.acquire lm ~owner:1 ~key:"a" Exclusive (expect_grant "1a");
+  Lock_manager.acquire lm ~owner:2 ~key:"a" Exclusive (fun _ -> ());
+  Lock_manager.acquire lm ~owner:2 ~key:"b" Exclusive (expect_grant "2b");
+  Lock_manager.acquire lm ~owner:3 ~key:"b" Exclusive (fun _ -> ());
+  Alcotest.(check (option (list int))) "chain is acyclic" None (Lock_manager.find_deadlock lm)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    (* Safety: at any point, never two distinct exclusive holders; shared
+       and exclusive never coexist across distinct owners. *)
+    Test.make ~name:"mutual exclusion invariant" ~count:200
+      (list_of_size Gen.(int_range 1 80)
+         (triple (int_bound 5) (int_bound 3) bool))
+      (fun ops ->
+        let engine = Engine.create ~seed:1 () in
+        let lm = Lock_manager.create ~engine ~default_timeout:(t_us 50) () in
+        let violation = ref false in
+        let check_key key =
+          let holders = Lock_manager.holders lm ~key in
+          let exclusives =
+            List.filter (fun (_, m) -> m = Lock_manager.Exclusive) holders
+          in
+          let distinct_owners =
+            List.sort_uniq compare (List.map fst holders)
+          in
+          if List.length exclusives > 1 then violation := true;
+          if exclusives <> [] && List.length distinct_owners > 1 then violation := true
+        in
+        List.iter
+          (fun (owner, k, exclusive) ->
+            let key = "k" ^ string_of_int k in
+            if exclusive then
+              Lock_manager.acquire lm ~owner ~key Lock_manager.Exclusive (fun _ -> ())
+            else Lock_manager.acquire lm ~owner ~key Lock_manager.Shared (fun _ -> ());
+            check_key key;
+            (* Sometimes release. *)
+            if owner mod 2 = 0 then Lock_manager.release lm ~owner ~key;
+            check_key key)
+          ops;
+        ignore (Engine.run engine);
+        not !violation);
+    (* Liveness under timeouts: every continuation eventually fires. *)
+    Test.make ~name:"every acquire terminates" ~count:100
+      (list_of_size Gen.(int_range 1 60) (pair (int_bound 4) (int_bound 2)))
+      (fun ops ->
+        let engine = Engine.create ~seed:2 () in
+        let lm = Lock_manager.create ~engine ~default_timeout:(t_us 100) () in
+        let outcomes = ref 0 in
+        List.iter
+          (fun (owner, k) ->
+            Lock_manager.acquire lm ~owner ~key:("k" ^ string_of_int k)
+              Lock_manager.Exclusive (fun _ -> incr outcomes))
+          ops;
+        ignore (Engine.run engine);
+        !outcomes = List.length ops);
+  ]
+
+let suites =
+  [
+    ( "store.lock_manager",
+      [
+        Alcotest.test_case "immediate grant" `Quick test_immediate_grant;
+        Alcotest.test_case "shared sharing" `Quick test_shared_sharing;
+        Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
+        Alcotest.test_case "FIFO no barging" `Quick test_fifo_no_barging;
+        Alcotest.test_case "reentrant" `Quick test_reentrant;
+        Alcotest.test_case "upgrade sole holder" `Quick test_upgrade_sole_holder;
+        Alcotest.test_case "upgrade waits for others" `Quick test_upgrade_waits_for_others;
+        Alcotest.test_case "timeout" `Quick test_timeout;
+        Alcotest.test_case "timeout skips dead waiter" `Quick test_timeout_skips_dead_waiter;
+        Alcotest.test_case "release_all" `Quick test_release_all;
+        Alcotest.test_case "release_all drops queued" `Quick test_release_all_drops_queued;
+        Alcotest.test_case "unknown release ignored" `Quick test_unknown_release_ignored;
+        Alcotest.test_case "wait-for graph" `Quick test_wait_for_graph;
+        Alcotest.test_case "deadlock two owners" `Quick test_deadlock_two_owners;
+        Alcotest.test_case "deadlock three owners" `Quick test_deadlock_three_owners;
+        Alcotest.test_case "no false deadlock on chain" `Quick test_no_false_deadlock_on_chain;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,171 @@
+open Avdb_metrics
+
+(* --- Histogram --- *)
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Histogram.mean h));
+  Alcotest.(check bool) "median nan" true (Float.is_nan (Histogram.median h))
+
+let test_hist_stats () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 4.; 1.; 3.; 2.; 5. ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1. (Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 5. (Histogram.max h);
+  Alcotest.(check (float 1e-9)) "median" 3. (Histogram.median h);
+  Alcotest.(check (float 1e-9)) "sum" 15. (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Histogram.percentile h 0.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Histogram.percentile h 100.);
+  Alcotest.(check (float 1e-9)) "p25 interpolated" 2. (Histogram.percentile h 25.);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.) (Histogram.stddev h)
+
+let test_hist_interpolation () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.; 10. ];
+  Alcotest.(check (float 1e-9)) "p50 between" 5. (Histogram.median h);
+  Alcotest.(check (float 1e-9)) "p75" 7.5 (Histogram.percentile h 75.)
+
+let test_hist_add_after_percentile () =
+  (* Percentile sorts lazily; later adds must still be seen. *)
+  let h = Histogram.create () in
+  Histogram.add h 10.;
+  ignore (Histogram.median h);
+  Histogram.add h 0.;
+  Alcotest.(check (float 1e-9)) "new min seen" 0. (Histogram.percentile h 0.)
+
+let test_hist_clear () =
+  let h = Histogram.create () in
+  Histogram.add h 1.;
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h)
+
+let test_hist_bad_percentile () =
+  let h = Histogram.create () in
+  Histogram.add h 1.;
+  match Histogram.percentile h 101. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted p=101"
+
+(* --- Series --- *)
+
+let test_series () =
+  let s = Series.create ~name:"proposed" in
+  Series.add s ~x:100. ~y:25.;
+  Series.add s ~x:200. ~y:31.;
+  Alcotest.(check string) "name" "proposed" (Series.name s);
+  Alcotest.(check int) "length" 2 (Series.length s);
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "points in order"
+    [ (100., 25.); (200., 31.) ] (Series.points s);
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "last" (Some (200., 31.))
+    (Series.last s);
+  Alcotest.(check (list (float 0.))) "ys_at" [ 25. ] (Series.ys_at s ~x:100.);
+  let doubled = Series.map_y s ~f:(fun y -> 2. *. y) in
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "map_y"
+    [ (100., 50.); (200., 62.) ] (Series.points doubled);
+  Alcotest.(check string) "csv" "x,proposed\n100,25\n200,31\n" (Series.to_csv s)
+
+(* --- Ascii_table --- *)
+
+let test_table_render () =
+  let t = Ascii_table.create ~headers:[ "site"; "500"; "1000" ] in
+  Ascii_table.add_int_row t "site0" [ 0; 0 ];
+  Ascii_table.add_row t [ "site1"; "12"; "25" ];
+  let rendered = Ascii_table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check bool) "header first" true
+    (String.length (List.nth lines 0) >= 5 && String.sub (List.nth lines 0) 0 4 = "site");
+  Alcotest.(check bool) "separator dashes" true
+    (String.for_all (fun c -> c = '-' || c = ' ') (List.nth lines 1))
+
+let test_table_arity_check () =
+  let t = Ascii_table.create ~headers:[ "a"; "b" ] in
+  match Ascii_table.add_row t [ "only-one" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "arity mismatch accepted"
+
+let test_table_csv_quoting () =
+  let t = Ascii_table.create ~headers:[ "name"; "value" ] in
+  Ascii_table.add_row t [ "with,comma"; "with\"quote" ];
+  Alcotest.(check string) "quoted csv" "name,value\n\"with,comma\",\"with\"\"quote\""
+    (Ascii_table.to_csv t)
+
+
+(* --- Fairness --- *)
+
+let test_jain_index () =
+  Alcotest.(check (float 1e-9)) "equal shares" 1.0 (Fairness.jain_index [ 5.; 5.; 5. ]);
+  Alcotest.(check (float 1e-9)) "one hog" (1. /. 3.) (Fairness.jain_index [ 9.; 0.; 0. ]);
+  Alcotest.(check (float 1e-9)) "empty is fair" 1.0 (Fairness.jain_index []);
+  Alcotest.(check (float 1e-9)) "all zero is fair" 1.0 (Fairness.jain_index [ 0.; 0. ]);
+  Alcotest.(check (float 1e-3)) "mild skew" 0.9 (Fairness.jain_index [ 1.; 2. ] *. 1.);
+  match Fairness.jain_index [ -1. ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative accepted"
+
+let test_max_min_ratio () =
+  Alcotest.(check (float 1e-9)) "ratio" 3.0 (Fairness.max_min_ratio [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 0.)) "zero among positive" Float.infinity
+    (Fairness.max_min_ratio [ 1.; 0. ]);
+  Alcotest.(check (float 1e-9)) "all zero" 1.0 (Fairness.max_min_ratio [ 0.; 0. ]);
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Fairness.max_min_ratio [])
+
+let test_spread () =
+  Alcotest.(check (float 1e-9)) "spread" 4.0 (Fairness.spread [ 1.; 5.; 3. ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Fairness.spread [])
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"jain index in [1/n, 1]" ~count:500
+      (list_of_size Gen.(int_range 1 30) (float_bound_inclusive 100.))
+      (fun values ->
+        let j = Fairness.jain_index values in
+        let n = float_of_int (List.length values) in
+        j >= (1. /. n) -. 1e-9 && j <= 1. +. 1e-9);
+    Test.make ~name:"histogram percentiles monotone" ~count:300
+      (list_of_size Gen.(int_range 1 100) (float_bound_exclusive 1000.))
+      (fun values ->
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) values;
+        let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ] in
+        let qs = List.map (Histogram.percentile h) ps in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> a <= b && monotone rest
+          | _ -> true
+        in
+        monotone qs
+        && Histogram.percentile h 0. = Histogram.min h
+        && Histogram.percentile h 100. = Histogram.max h);
+    Test.make ~name:"histogram mean matches fold" ~count:300
+      (list_of_size Gen.(int_range 1 100) (float_bound_exclusive 100.))
+      (fun values ->
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) values;
+        let expect = List.fold_left ( +. ) 0. values /. float_of_int (List.length values) in
+        Float.abs (Histogram.mean h -. expect) < 1e-6);
+  ]
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "histogram empty" `Quick test_hist_empty;
+        Alcotest.test_case "histogram stats" `Quick test_hist_stats;
+        Alcotest.test_case "histogram interpolation" `Quick test_hist_interpolation;
+        Alcotest.test_case "histogram lazy sort" `Quick test_hist_add_after_percentile;
+        Alcotest.test_case "histogram clear" `Quick test_hist_clear;
+        Alcotest.test_case "histogram bad percentile" `Quick test_hist_bad_percentile;
+        Alcotest.test_case "series" `Quick test_series;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+        Alcotest.test_case "table csv quoting" `Quick test_table_csv_quoting;
+        Alcotest.test_case "jain index" `Quick test_jain_index;
+        Alcotest.test_case "max/min ratio" `Quick test_max_min_ratio;
+        Alcotest.test_case "spread" `Quick test_spread;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,197 @@
+open Avdb_store
+
+let schema () =
+  Schema.create
+    [
+      { Schema.name = "amount"; ty = Value.Tint };
+      { Schema.name = "regular"; ty = Value.Tbool };
+      { Schema.name = "category"; ty = Value.Tstr };
+    ]
+
+let make () =
+  let t = Table.create ~name:"stock" (schema ()) in
+  List.iter
+    (fun (key, amount, regular, category) ->
+      match
+        Table.insert t ~key [| Value.Int amount; Value.Bool regular; Value.Str category |]
+      with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    [
+      ("apple", 50, true, "fruit");
+      ("banana", 10, true, "fruit");
+      ("cherry", 80, false, "fruit");
+      ("daikon", 30, true, "vegetable");
+      ("endive", 0, false, "vegetable");
+    ];
+  t
+
+let keys_of rows = List.map (fun r -> r.Query.key) rows
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "query failed: %s" e
+
+let test_select_all () =
+  let t = make () in
+  let rows = ok (Query.select t ()) in
+  Alcotest.(check (list string)) "all rows key-ascending"
+    [ "apple"; "banana"; "cherry"; "daikon"; "endive" ]
+    (keys_of rows)
+
+let test_where_comparisons () =
+  let t = make () in
+  let q where = keys_of (ok (Query.select t ~where ())) in
+  Alcotest.(check (list string)) "eq" [ "daikon" ] (q (Query.Eq ("amount", Value.Int 30)));
+  Alcotest.(check (list string)) "ne"
+    [ "apple"; "banana"; "cherry"; "endive" ]
+    (q (Query.Ne ("amount", Value.Int 30)));
+  Alcotest.(check (list string)) "lt" [ "banana"; "endive" ] (q (Query.Lt ("amount", Value.Int 30)));
+  Alcotest.(check (list string)) "le"
+    [ "banana"; "daikon"; "endive" ]
+    (q (Query.Le ("amount", Value.Int 30)));
+  Alcotest.(check (list string)) "gt" [ "apple"; "cherry" ] (q (Query.Gt ("amount", Value.Int 30)));
+  Alcotest.(check (list string)) "ge"
+    [ "apple"; "cherry"; "daikon" ]
+    (q (Query.Ge ("amount", Value.Int 30)));
+  Alcotest.(check (list string)) "bool eq" [ "cherry"; "endive" ]
+    (q (Query.Eq ("regular", Value.Bool false)));
+  Alcotest.(check (list string)) "string eq" [ "daikon"; "endive" ]
+    (q (Query.Eq ("category", Value.Str "vegetable")))
+
+let test_boolean_combinators () =
+  let t = make () in
+  let q where = keys_of (ok (Query.select t ~where ())) in
+  Alcotest.(check (list string)) "and" [ "apple" ]
+    (q (Query.And [ Query.Eq ("category", Value.Str "fruit"); Query.Ge ("amount", Value.Int 50); Query.Eq ("regular", Value.Bool true) ]));
+  Alcotest.(check (list string)) "or" [ "banana"; "endive" ]
+    (q (Query.Or [ Query.Eq ("amount", Value.Int 10); Query.Eq ("amount", Value.Int 0) ]));
+  Alcotest.(check (list string)) "not" [ "cherry"; "daikon"; "endive" ]
+    (q (Query.Not (Query.And [ Query.Eq ("category", Value.Str "fruit"); Query.Eq ("regular", Value.Bool true) ])));
+  Alcotest.(check (list string)) "empty and = all" (keys_of (ok (Query.select t ())))
+    (q (Query.And []));
+  Alcotest.(check (list string)) "empty or = none" [] (q (Query.Or []))
+
+let test_key_range_pushdown () =
+  let t = make () in
+  let q where = keys_of (ok (Query.select t ~where ())) in
+  Alcotest.(check (list string)) "range" [ "banana"; "cherry" ]
+    (q (Query.Key_range { lo = "b"; hi = "cz" }));
+  Alcotest.(check (list string)) "range + filter" [ "cherry" ]
+    (q (Query.And [ Query.Key_range { lo = "b"; hi = "d" }; Query.Gt ("amount", Value.Int 20) ]));
+  Alcotest.(check (list string)) "intersected ranges" [ "cherry" ]
+    (q
+       (Query.And
+          [ Query.Key_range { lo = "b"; hi = "z" }; Query.Key_range { lo = "c"; hi = "cz" } ]))
+
+let test_order_and_limit () =
+  let t = make () in
+  let rows = ok (Query.select t ~order_by:(Query.Asc "amount") ()) in
+  Alcotest.(check (list string)) "asc by amount"
+    [ "endive"; "banana"; "daikon"; "apple"; "cherry" ]
+    (keys_of rows);
+  let rows = ok (Query.select t ~order_by:(Query.Desc "amount") ~limit:2 ()) in
+  Alcotest.(check (list string)) "top-2 by amount" [ "cherry"; "apple" ] (keys_of rows);
+  let rows = ok (Query.select t ~order_by:Query.By_key_desc ()) in
+  Alcotest.(check (list string)) "key desc"
+    [ "endive"; "daikon"; "cherry"; "banana"; "apple" ]
+    (keys_of rows);
+  Alcotest.(check (list string)) "limit 0" []
+    (keys_of (ok (Query.select t ~limit:0 ())));
+  Alcotest.(check bool) "negative limit rejected" true
+    (Result.is_error (Query.select t ~limit:(-1) ()))
+
+let test_projection () =
+  let t = make () in
+  let rows = ok (Query.select t ~where:(Query.Eq ("category", Value.Str "vegetable")) ()) in
+  let projected = ok (Query.project t rows ~columns:[ "amount" ]) in
+  Alcotest.(check (list (list int))) "amounts only" [ [ 30 ]; [ 0 ] ]
+    (List.map (List.map Value.as_int) projected);
+  Alcotest.(check bool) "unknown column" true
+    (Result.is_error (Query.project t rows ~columns:[ "zzz" ]))
+
+let test_validation_errors () =
+  let t = make () in
+  Alcotest.(check bool) "unknown column" true
+    (Result.is_error (Query.select t ~where:(Query.Eq ("zzz", Value.Int 1)) ()));
+  Alcotest.(check bool) "type mismatch" true
+    (Result.is_error (Query.select t ~where:(Query.Eq ("amount", Value.Str "ten")) ()));
+  Alcotest.(check bool) "nested validation" true
+    (Result.is_error
+       (Query.select t ~where:(Query.Not (Query.Or [ Query.All; Query.Eq ("zzz", Value.Int 1) ])) ()));
+  Alcotest.(check bool) "unknown order column" true
+    (Result.is_error (Query.select t ~order_by:(Query.Asc "zzz") ()))
+
+let test_aggregates () =
+  let t = make () in
+  Alcotest.(check int) "count all" 5 (ok (Query.count t ()));
+  Alcotest.(check int) "count where" 3
+    (ok (Query.count t ~where:(Query.Eq ("regular", Value.Bool true)) ()));
+  Alcotest.(check int) "sum" 170 (ok (Query.sum_int t ~col:"amount" ()));
+  Alcotest.(check int) "sum where" 40
+    (ok (Query.sum_int t ~col:"amount" ~where:(Query.Lt ("amount", Value.Int 50)) ()));
+  Alcotest.(check (option int)) "min" (Some 0) (ok (Query.min_int t ~col:"amount" ()));
+  Alcotest.(check (option int)) "max" (Some 80) (ok (Query.max_int t ~col:"amount" ()));
+  Alcotest.(check (option (float 0.001))) "avg" (Some 34.) (ok (Query.avg_int t ~col:"amount" ()));
+  Alcotest.(check (option int)) "min of empty" None
+    (ok (Query.min_int t ~col:"amount" ~where:(Query.Gt ("amount", Value.Int 999)) ()));
+  Alcotest.(check (option (float 0.))) "avg of empty" None
+    (ok (Query.avg_int t ~col:"amount" ~where:(Query.Gt ("amount", Value.Int 999)) ()));
+  Alcotest.(check bool) "sum of non-int col" true
+    (Result.is_error (Query.sum_int t ~col:"category" ()))
+
+let test_rows_are_copies () =
+  let t = make () in
+  let rows = ok (Query.select t ~where:(Query.Eq ("amount", Value.Int 50)) ()) in
+  (match rows with
+  | [ r ] -> r.Query.values.(0) <- Value.Int 9999
+  | _ -> Alcotest.fail "expected one row");
+  match Table.get_col t ~key:"apple" ~col:"amount" with
+  | Ok (Value.Int 50) -> ()
+  | _ -> Alcotest.fail "query result aliased table storage"
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    (* Pushdown equivalence: Key_range under And gives the same rows as
+       pure filtering. *)
+    Test.make ~name:"range pushdown = naive filter" ~count:300
+      (triple
+         (list_of_size Gen.(int_range 0 60) (pair (int_bound 40) (int_bound 100)))
+         (int_bound 40) (int_bound 40))
+      (fun (entries, a, b) ->
+        let t = Table.create ~name:"t" (Schema.create [ { Schema.name = "v"; ty = Value.Tint } ]) in
+        List.iter
+          (fun (k, v) ->
+            ignore (Table.insert t ~key:(Printf.sprintf "k%03d" k) [| Value.Int v |]))
+          entries;
+        let lo = Printf.sprintf "k%03d" (Stdlib.min a b)
+        and hi = Printf.sprintf "k%03d" (Stdlib.max a b) in
+        let where =
+          Query.And [ Query.Key_range { lo; hi }; Query.Ge ("v", Value.Int 50) ]
+        in
+        let with_pushdown =
+          match Query.select t ~where () with Ok rows -> List.map (fun r -> r.Query.key) rows | Error _ -> []
+        in
+        let naive =
+          Table.fold t ~init:[] ~f:(fun acc k row ->
+              if k >= lo && k <= hi && Value.as_int row.(0) >= 50 then k :: acc else acc)
+          |> List.rev
+        in
+        with_pushdown = naive);
+  ]
+
+let suites =
+  [
+    ( "store.query",
+      [
+        Alcotest.test_case "select all" `Quick test_select_all;
+        Alcotest.test_case "where comparisons" `Quick test_where_comparisons;
+        Alcotest.test_case "boolean combinators" `Quick test_boolean_combinators;
+        Alcotest.test_case "key range pushdown" `Quick test_key_range_pushdown;
+        Alcotest.test_case "order and limit" `Quick test_order_and_limit;
+        Alcotest.test_case "projection" `Quick test_projection;
+        Alcotest.test_case "validation errors" `Quick test_validation_errors;
+        Alcotest.test_case "aggregates" `Quick test_aggregates;
+        Alcotest.test_case "rows are copies" `Quick test_rows_are_copies;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,211 @@
+open Avdb_sim
+open Avdb_net
+
+let addr = Address.of_int
+let t_us = Time.of_us
+
+(* A tiny echo/increment service on site 0; callers live on other sites. *)
+let make ?latency ?drop_probability () =
+  let engine = Engine.create ~seed:11 () in
+  let rpc : (int, int, string) Rpc.t =
+    Rpc.create ~engine ?latency ?drop_probability ()
+  in
+  (engine, rpc)
+
+let serve_incr ?notice rpc a =
+  Rpc.serve rpc a ~handler:(fun ~src:_ n ~reply -> reply (n + 1)) ?notice ()
+
+let serve_silent rpc a =
+  (* A server that never replies: exercises the timeout path. *)
+  Rpc.serve rpc a ~handler:(fun ~src:_ _ ~reply:_ -> ()) ()
+
+let test_call_response () =
+  let engine, rpc = make ~latency:(Latency.Constant (t_us 10)) () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 41 (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  (match !result with
+  | Some (Ok 42) -> ()
+  | _ -> Alcotest.fail "expected Ok 42");
+  Alcotest.(check int) "round trip = 2 * latency" 20 (Time.to_us (Engine.now engine));
+  Alcotest.(check int) "one correspondence for caller" 1
+    (Stats.site (Rpc.stats rpc) (addr 1)).Stats.correspondences;
+  Alcotest.(check int) "no correspondence for server" 0
+    (Stats.site (Rpc.stats rpc) (addr 0)).Stats.correspondences;
+  Alcotest.(check int) "no pending calls" 0 (Rpc.pending_calls rpc)
+
+let test_timeout () =
+  let engine, rpc = make () in
+  serve_silent rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  (match !result with
+  | Some (Error Rpc.Timeout) -> ()
+  | _ -> Alcotest.fail "expected Timeout");
+  Alcotest.(check int) "pending cleaned up" 0 (Rpc.pending_calls rpc)
+
+let test_late_response_ignored () =
+  (* Server replies after the caller's timeout: continuation must fire
+     exactly once, with the timeout. *)
+  let engine, rpc = make ~latency:(Latency.Constant (t_us 400)) () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let calls = ref [] in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> calls := r :: !calls);
+  ignore (Engine.run engine);
+  match !calls with
+  | [ Error Rpc.Timeout ] -> ()
+  | l -> Alcotest.failf "continuation fired %d times" (List.length l)
+
+let test_down_destination_unreachable () =
+  let engine, rpc = make () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Network.set_down (Rpc.network rpc) (addr 0) true;
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 1 (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  (match !result with
+  | Some (Error Rpc.Unreachable) -> ()
+  | _ -> Alcotest.fail "expected Unreachable");
+  Alcotest.(check int) "unreachable costs no correspondence" 0
+    (Stats.site (Rpc.stats rpc) (addr 1)).Stats.correspondences
+
+let test_notice () =
+  let engine, rpc = make () in
+  let notices = ref [] in
+  serve_incr rpc (addr 0) ~notice:(fun ~src note ->
+      notices := (Address.to_int src, note) :: !notices);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.notify rpc ~src:(addr 1) ~dst:(addr 0) "gossip";
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair int string))) "notice delivered" [ (1, "gossip") ] !notices;
+  Alcotest.(check int) "notify is not a correspondence" 0
+    (Stats.total_correspondences (Rpc.stats rpc))
+
+let test_deferred_reply () =
+  (* Server answers from a later event, e.g. after consulting a third
+     site; reply must still be routed to the original caller. *)
+  let engine, rpc = make ~latency:(Latency.Constant (t_us 5)) () in
+  Rpc.serve rpc (addr 0)
+    ~handler:(fun ~src:_ n ~reply ->
+      ignore (Engine.schedule engine ~delay:(t_us 100) (fun () -> reply (n * 2))))
+    ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 1_000) 21 (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  match !result with
+  | Some (Ok 42) -> ()
+  | _ -> Alcotest.fail "expected deferred Ok 42"
+
+let test_double_reply_ignored () =
+  let engine, rpc = make () in
+  Rpc.serve rpc (addr 0)
+    ~handler:(fun ~src:_ n ~reply ->
+      reply n;
+      reply (n + 100))
+    ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let results = ref [] in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 7 (fun r -> results := r :: !results);
+  ignore (Engine.run engine);
+  match !results with
+  | [ Ok 7 ] -> ()
+  | _ -> Alcotest.fail "second reply should be ignored"
+
+let test_concurrent_calls_matched () =
+  (* Many overlapping calls with jittery latency: each response must reach
+     its own continuation. *)
+  let engine, rpc = make ~latency:(Latency.Uniform (t_us 1, t_us 200)) () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 2) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let ok = ref 0 in
+  for i = 1 to 100 do
+    let caller = addr (1 + (i mod 2)) in
+    Rpc.call rpc ~src:caller ~dst:(addr 0) i (function
+      | Ok r when r = i + 1 -> incr ok
+      | _ -> Alcotest.failf "mismatched response for %d" i)
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "all matched" 100 !ok
+
+let test_lossy_calls_all_terminate () =
+  (* Under heavy loss every call still terminates (response or timeout). *)
+  let engine, rpc = make ~drop_probability:0.4 () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let outcomes = ref 0 in
+  for i = 1 to 200 do
+    Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 10_000) i (fun _ -> incr outcomes)
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "every call terminated" 200 !outcomes;
+  Alcotest.(check int) "no pending entries leak" 0 (Rpc.pending_calls rpc)
+
+
+let test_partitioned_call_times_out () =
+  let engine, rpc = make () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Network.partition (Rpc.network rpc) (addr 0) (addr 1);
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  (match !result with
+  | Some (Error Rpc.Timeout) -> ()
+  | _ -> Alcotest.fail "expected Timeout through partition");
+  (* Healing restores calls. *)
+  Network.heal (Rpc.network rpc) (addr 0) (addr 1);
+  let result2 = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 1 (fun r -> result2 := Some r);
+  ignore (Engine.run engine);
+  match !result2 with
+  | Some (Ok 2) -> ()
+  | _ -> Alcotest.fail "expected Ok after heal"
+
+let test_response_lost_to_partition () =
+  (* Partition cut between request delivery and response: the server
+     processed the request but the caller times out - the classic
+     at-most-once ambiguity, surfaced as Timeout. *)
+  let engine, rpc = make ~latency:(Latency.Constant (t_us 100)) () in
+  let served = ref 0 in
+  Rpc.serve rpc (addr 0)
+    ~handler:(fun ~src:_ n ~reply ->
+      incr served;
+      reply (n + 1))
+    ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  ignore
+    (Engine.schedule engine ~delay:(t_us 150) (fun () ->
+         Network.partition (Rpc.network rpc) (addr 0) (addr 1)));
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 1_000) 1 (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "server did process it" 1 !served;
+  match !result with
+  | Some (Error Rpc.Timeout) -> ()
+  | _ -> Alcotest.fail "expected Timeout when response lost"
+
+let suites =
+  [
+    ( "net.rpc",
+      [
+        Alcotest.test_case "call/response" `Quick test_call_response;
+        Alcotest.test_case "timeout" `Quick test_timeout;
+        Alcotest.test_case "late response ignored" `Quick test_late_response_ignored;
+        Alcotest.test_case "down destination unreachable" `Quick test_down_destination_unreachable;
+        Alcotest.test_case "notice" `Quick test_notice;
+        Alcotest.test_case "deferred reply" `Quick test_deferred_reply;
+        Alcotest.test_case "double reply ignored" `Quick test_double_reply_ignored;
+        Alcotest.test_case "concurrent calls matched" `Quick test_concurrent_calls_matched;
+        Alcotest.test_case "lossy calls all terminate" `Quick test_lossy_calls_all_terminate;
+        Alcotest.test_case "partitioned call times out" `Quick test_partitioned_call_times_out;
+        Alcotest.test_case "response lost to partition" `Quick test_response_lost_to_partition;
+      ] );
+  ]

@@ -1,0 +1,218 @@
+open Avdb_sim
+open Avdb_net
+open Avdb_av
+
+let addr = Address.of_int
+let at us = Time.of_us us
+let peers = [ addr 0; addr 1; addr 2; addr 3 ]
+let no_exclude = Address.Set.empty
+
+let select ?(selection = Strategy.Selection.Richest_known) ?(exclude = no_exclude)
+    ?(view = Peer_view.create ()) ?(self = addr 1) () =
+  let strategy = { Strategy.selection; granting = Strategy.Granting.Half } in
+  Strategy.select strategy ~rng:(Rng.create 5) ~state:(Strategy.create_state ()) ~self ~peers
+    ~view ~item:"x" ~exclude
+
+(* --- Granting --- *)
+
+let grant = Strategy.Granting.amount
+
+let test_grant_half () =
+  Alcotest.(check int) "half of 40" 20 (grant Strategy.Granting.Half ~available:40 ~requested:5);
+  Alcotest.(check int) "floor" 3 (grant Strategy.Granting.Half ~available:7 ~requested:100);
+  Alcotest.(check int) "half of 1" 0 (grant Strategy.Granting.Half ~available:1 ~requested:1);
+  Alcotest.(check int) "half of 0" 0 (grant Strategy.Granting.Half ~available:0 ~requested:10)
+
+let test_grant_exact () =
+  Alcotest.(check int) "covers request" 5 (grant Strategy.Granting.Exact ~available:40 ~requested:5);
+  Alcotest.(check int) "capped" 40 (grant Strategy.Granting.Exact ~available:40 ~requested:99)
+
+let test_grant_all () =
+  Alcotest.(check int) "everything" 40 (grant Strategy.Granting.All ~available:40 ~requested:1)
+
+let test_grant_demand_plus () =
+  let g = Strategy.Granting.Demand_plus 0.5 in
+  Alcotest.(check int) "1.5x request" 15 (grant g ~available:40 ~requested:10);
+  Alcotest.(check int) "capped by available" 12 (grant g ~available:12 ~requested:10)
+
+let test_grant_rejects_negative () =
+  match grant Strategy.Granting.Half ~available:(-1) ~requested:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative accepted"
+
+let test_grant_names_roundtrip () =
+  List.iter
+    (fun g ->
+      match Strategy.Granting.of_name (Strategy.Granting.name g) with
+      | Ok g' -> Alcotest.(check string) "roundtrip" (Strategy.Granting.name g) (Strategy.Granting.name g')
+      | Error e -> Alcotest.fail e)
+    Strategy.Granting.all;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Strategy.Granting.of_name "bogus"));
+  Alcotest.(check bool) "negative demand fraction rejected" true
+    (Result.is_error (Strategy.Granting.of_name "demand+-1"));
+  Alcotest.(check bool) "garbage demand fraction rejected" true
+    (Result.is_error (Strategy.Granting.of_name "demand+abc"))
+
+(* --- Selection --- *)
+
+let test_select_never_self_or_excluded () =
+  List.iter
+    (fun selection ->
+      let exclude = Address.Set.of_list [ addr 0; addr 2 ] in
+      match select ~selection ~exclude () with
+      | Some site ->
+          Alcotest.(check int)
+            (Strategy.Selection.name selection ^ " picks the only candidate")
+            3 (Address.to_int site)
+      | None -> Alcotest.fail "expected a candidate")
+    Strategy.Selection.all
+
+let test_select_all_excluded () =
+  let exclude = Address.Set.of_list [ addr 0; addr 2; addr 3 ] in
+  (* self = 1 and everything else excluded *)
+  List.iter
+    (fun selection ->
+      Alcotest.(check bool)
+        (Strategy.Selection.name selection ^ " exhausted")
+        true
+        (Option.is_none (select ~selection ~exclude ())))
+    Strategy.Selection.all
+
+let test_richest_known_uses_view () =
+  let view = Peer_view.create () in
+  Peer_view.observe view ~site:(addr 0) ~item:"x" ~volume:10 ~at:(at 1);
+  Peer_view.observe view ~site:(addr 3) ~item:"x" ~volume:99 ~at:(at 1);
+  (match select ~view () with
+  | Some site -> Alcotest.(check int) "richest picked" 3 (Address.to_int site)
+  | None -> Alcotest.fail "expected a site");
+  (* Excluding the richest falls back to the next one. *)
+  match select ~view ~exclude:(Address.Set.singleton (addr 3)) () with
+  | Some site -> Alcotest.(check int) "second richest" 0 (Address.to_int site)
+  | None -> Alcotest.fail "expected a site"
+
+let test_richest_known_ignores_self_observation () =
+  (* A site may have observations about itself; selection must not return
+     self even if self is the richest in view. *)
+  let view = Peer_view.create () in
+  Peer_view.observe view ~site:(addr 1) ~item:"x" ~volume:1000 ~at:(at 1);
+  Peer_view.observe view ~site:(addr 2) ~item:"x" ~volume:5 ~at:(at 1);
+  match select ~view ~self:(addr 1) () with
+  | Some site -> Alcotest.(check int) "self skipped" 2 (Address.to_int site)
+  | None -> Alcotest.fail "expected a site"
+
+let test_richest_cold_cache_falls_back () =
+  match select () with
+  | Some site -> Alcotest.(check int) "base-first fallback" 0 (Address.to_int site)
+  | None -> Alcotest.fail "expected fallback choice"
+
+let test_base_first () =
+  match select ~selection:Strategy.Selection.Base_first ~self:(addr 0) () with
+  | Some site -> Alcotest.(check int) "lowest non-self" 1 (Address.to_int site)
+  | None -> Alcotest.fail "expected a site"
+
+let test_round_robin_rotates () =
+  let strategy =
+    { Strategy.selection = Strategy.Selection.Round_robin; granting = Strategy.Granting.Half }
+  in
+  let state = Strategy.create_state () in
+  let rng = Rng.create 5 in
+  let view = Peer_view.create () in
+  let pick () =
+    match
+      Strategy.select strategy ~rng ~state ~self:(addr 1) ~peers ~view ~item:"x"
+        ~exclude:no_exclude
+    with
+    | Some site -> Address.to_int site
+    | None -> Alcotest.fail "expected a site"
+  in
+  let picks = ref [] in
+  for _ = 1 to 5 do
+    picks := pick () :: !picks
+  done;
+  Alcotest.(check (list int)) "cycles through peers" [ 0; 2; 3; 0; 2 ] (List.rev !picks)
+
+let test_random_covers_all_peers () =
+  let strategy =
+    { Strategy.selection = Strategy.Selection.Random; granting = Strategy.Granting.Half }
+  in
+  let state = Strategy.create_state () in
+  let rng = Rng.create 17 in
+  let view = Peer_view.create () in
+  let seen = Hashtbl.create 4 in
+  for _ = 1 to 200 do
+    match
+      Strategy.select strategy ~rng ~state ~self:(addr 1) ~peers ~view ~item:"x"
+        ~exclude:no_exclude
+    with
+    | Some site -> Hashtbl.replace seen (Address.to_int site) ()
+    | None -> Alcotest.fail "expected a site"
+  done;
+  Alcotest.(check (list int)) "all candidates hit" [ 0; 2; 3 ]
+    (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []))
+
+let test_selection_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Strategy.Selection.of_name (Strategy.Selection.name s) with
+      | Ok s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | Error e -> Alcotest.fail e)
+    Strategy.Selection.all;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Strategy.Selection.of_name "bogus"))
+
+let test_paper_strategy () =
+  Alcotest.(check string) "paper default" "richest-known/half" (Strategy.name Strategy.paper)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"grant never exceeds available, never negative" ~count:1000
+      (triple (int_bound 3) (int_bound 1000) (int_bound 1000))
+      (fun (which, available, requested) ->
+        let g = List.nth Strategy.Granting.all which in
+        let amount = Strategy.Granting.amount g ~available ~requested in
+        amount >= 0 && amount <= available);
+    Test.make ~name:"select returns eligible site or None" ~count:500
+      (triple (int_bound 3) (int_bound 4) (list_of_size Gen.(int_range 0 4) (int_bound 4)))
+      (fun (which, self, excluded) ->
+        let selection = List.nth Strategy.Selection.all which in
+        let exclude = Address.Set.of_list (List.map addr excluded) in
+        let strategy = { Strategy.selection; granting = Strategy.Granting.Half } in
+        let all_peers = List.init 5 addr in
+        match
+          Strategy.select strategy ~rng:(Rng.create 3) ~state:(Strategy.create_state ())
+            ~self:(addr self) ~peers:all_peers ~view:(Peer_view.create ()) ~item:"x" ~exclude
+        with
+        | None ->
+            (* Must mean every peer is self or excluded. *)
+            List.for_all
+              (fun p -> Address.to_int p = self || Address.Set.mem p exclude)
+              all_peers
+        | Some site ->
+            Address.to_int site <> self && not (Address.Set.mem site exclude));
+  ]
+
+let suites =
+  [
+    ( "av.strategy",
+      [
+        Alcotest.test_case "grant half" `Quick test_grant_half;
+        Alcotest.test_case "grant exact" `Quick test_grant_exact;
+        Alcotest.test_case "grant all" `Quick test_grant_all;
+        Alcotest.test_case "grant demand+" `Quick test_grant_demand_plus;
+        Alcotest.test_case "grant rejects negative" `Quick test_grant_rejects_negative;
+        Alcotest.test_case "grant names roundtrip" `Quick test_grant_names_roundtrip;
+        Alcotest.test_case "never self or excluded" `Quick test_select_never_self_or_excluded;
+        Alcotest.test_case "all excluded" `Quick test_select_all_excluded;
+        Alcotest.test_case "richest-known uses view" `Quick test_richest_known_uses_view;
+        Alcotest.test_case "richest-known ignores self" `Quick test_richest_known_ignores_self_observation;
+        Alcotest.test_case "cold cache falls back" `Quick test_richest_cold_cache_falls_back;
+        Alcotest.test_case "base-first" `Quick test_base_first;
+        Alcotest.test_case "round-robin rotates" `Quick test_round_robin_rotates;
+        Alcotest.test_case "random covers peers" `Quick test_random_covers_all_peers;
+        Alcotest.test_case "selection names roundtrip" `Quick test_selection_names_roundtrip;
+        Alcotest.test_case "paper strategy" `Quick test_paper_strategy;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

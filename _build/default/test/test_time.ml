@@ -1,0 +1,78 @@
+open Avdb_sim
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_constructors () =
+  check_int "of_us" 42 (Time.to_us (Time.of_us 42));
+  check_int "of_ms" 1_500 (Time.to_us (Time.of_ms 1.5));
+  check_int "of_sec" 2_000_000 (Time.to_us (Time.of_sec 2.0));
+  check_int "zero" 0 (Time.to_us Time.zero);
+  check_float "to_ms" 1.5 (Time.to_ms (Time.of_us 1_500));
+  check_float "to_sec" 0.002 (Time.to_sec (Time.of_ms 2.))
+
+let test_rejects_negative () =
+  Alcotest.check_raises "of_us -1" (Invalid_argument "Time.of_us: negative") (fun () ->
+      ignore (Time.of_us (-1)));
+  Alcotest.check_raises "of_ms -1" (Invalid_argument "Time.of_ms") (fun () ->
+      ignore (Time.of_ms (-1.)));
+  Alcotest.check_raises "of_ms nan" (Invalid_argument "Time.of_ms") (fun () ->
+      ignore (Time.of_ms Float.nan))
+
+let test_arithmetic () =
+  let a = Time.of_us 100 and b = Time.of_us 40 in
+  check_int "add" 140 (Time.to_us (Time.add a b));
+  check_int "diff" 60 (Time.to_us (Time.diff a b));
+  check_int "mul" 250 (Time.to_us (Time.mul a 2.5));
+  Alcotest.check_raises "diff negative" (Invalid_argument "Time.diff: negative result")
+    (fun () -> ignore (Time.diff b a))
+
+let test_comparisons () =
+  let a = Time.of_us 1 and b = Time.of_us 2 in
+  Alcotest.(check bool) "lt" true Time.(a < b);
+  Alcotest.(check bool) "le" true Time.(a <= a);
+  Alcotest.(check bool) "gt" true Time.(b > a);
+  Alcotest.(check bool) "ge" true Time.(b >= b);
+  Alcotest.(check bool) "equal" true (Time.equal a a);
+  check_int "compare" (-1) (Time.compare a b);
+  check_int "min" 1 (Time.to_us (Time.min a b));
+  check_int "max" 2 (Time.to_us (Time.max a b))
+
+let test_pp () =
+  let s t = Time.to_string t in
+  Alcotest.(check string) "zero" "0us" (s Time.zero);
+  Alcotest.(check string) "us" "500us" (s (Time.of_us 500));
+  Alcotest.(check string) "ms" "3ms" (s (Time.of_us 3_000));
+  Alcotest.(check string) "ms frac" "1.500ms" (s (Time.of_us 1_500));
+  Alcotest.(check string) "s" "2s" (s (Time.of_sec 2.));
+  Alcotest.(check string) "s frac" "1.500s" (s (Time.of_ms 1_500.))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"add is commutative" ~count:200
+      (pair (int_bound 1_000_000) (int_bound 1_000_000))
+      (fun (a, b) ->
+        Time.equal
+          (Time.add (Time.of_us a) (Time.of_us b))
+          (Time.add (Time.of_us b) (Time.of_us a)));
+    Test.make ~name:"diff inverts add" ~count:200
+      (pair (int_bound 1_000_000) (int_bound 1_000_000))
+      (fun (a, b) ->
+        Time.equal (Time.of_us a) (Time.diff (Time.add (Time.of_us a) (Time.of_us b)) (Time.of_us b)));
+    Test.make ~name:"ms roundtrip" ~count:200 (int_bound 10_000_000) (fun us ->
+        Time.to_us (Time.of_ms (Time.to_ms (Time.of_us us))) = us);
+  ]
+
+let suites =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "constructors" `Quick test_constructors;
+        Alcotest.test_case "rejects negative" `Quick test_rejects_negative;
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "pretty printing" `Quick test_pp;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

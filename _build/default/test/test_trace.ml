@@ -1,0 +1,119 @@
+open Avdb_sim
+open Avdb_core
+
+let at us = Time.of_us us
+
+let test_record_and_read () =
+  let t = Trace.create () in
+  Trace.record t ~at:(at 1) ~category:"av" "first";
+  Trace.record t ~at:(at 2) ~level:Trace.Warn ~category:"fault" "second";
+  Trace.recordf t ~at:(at 3) ~category:"av" "third %d" 42;
+  Alcotest.(check int) "length" 3 (Trace.length t);
+  Alcotest.(check (list string)) "oldest first" [ "first"; "second"; "third 42" ]
+    (List.map (fun e -> e.Trace.message) (Trace.events t));
+  Alcotest.(check (list string)) "category filter" [ "first"; "third 42" ]
+    (List.map (fun e -> e.Trace.message) (Trace.events ~category:"av" t));
+  Alcotest.(check (list string)) "level filter" [ "second" ]
+    (List.map (fun e -> e.Trace.message) (Trace.events ~min_level:Trace.Warn t))
+
+let test_ring_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~at:(at i) ~category:"c" (string_of_int i)
+  done;
+  Alcotest.(check int) "capped length" 3 (Trace.length t);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+  Alcotest.(check (list string)) "newest three survive, in order" [ "3"; "4"; "5" ]
+    (List.map (fun e -> e.Trace.message) (Trace.events t))
+
+let test_subscribe () =
+  let t = Trace.create () in
+  let seen = ref [] in
+  Trace.subscribe t (fun e -> seen := e.Trace.message :: !seen);
+  Trace.record t ~at:(at 1) ~category:"c" "live";
+  Alcotest.(check (list string)) "subscriber fired" [ "live" ] !seen
+
+let test_clear () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.record t ~at:(at 1) ~category:"c" "a";
+  Trace.record t ~at:(at 2) ~category:"c" "b";
+  Trace.record t ~at:(at 3) ~category:"c" "c";
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.length t);
+  Alcotest.(check int) "dropped counter kept" 1 (Trace.dropped t);
+  Trace.record t ~at:(at 4) ~category:"c" "after";
+  Alcotest.(check (list string)) "usable after clear" [ "after" ]
+    (List.map (fun e -> e.Trace.message) (Trace.events t))
+
+let test_pp () =
+  let e = { Trace.at = at 1500; level = Trace.Warn; category = "av"; message = "m" } in
+  Alcotest.(check string) "render" "[1.500ms] warn av: m"
+    (Format.asprintf "%a" Trace.pp_event e)
+
+(* --- integration: sites record into the cluster trace --- *)
+
+let test_cluster_trace_av_events () =
+  let cluster =
+    Cluster.create
+      {
+        Config.default with
+        Config.products = [ Product.regular "widget" ~initial_amount:60 ];
+        seed = 3;
+      }
+  in
+  (* Force a transfer: drain beyond the local share (20 each). *)
+  Site.submit_update (Cluster.site cluster 1) ~item:"widget" ~delta:(-30) (fun _ -> ());
+  Cluster.run cluster;
+  let av_events = Trace.events ~category:"av" (Cluster.trace cluster) in
+  Alcotest.(check bool) "grant + acquisition recorded" true (List.length av_events >= 2);
+  Alcotest.(check bool) "mentions the item" true
+    (List.exists
+       (fun e ->
+         let msg = e.Trace.message in
+         String.length msg >= 6
+         &&
+         let found = ref false in
+         String.iteri
+           (fun i _ ->
+             if i + 6 <= String.length msg && String.sub msg i 6 = "widget" then found := true)
+           msg;
+         !found)
+       av_events)
+
+let test_cluster_trace_fault_events () =
+  let cluster = Cluster.create { Config.default with Config.seed = 3 } in
+  Site.crash (Cluster.site cluster 2);
+  Site.recover (Cluster.site cluster 2);
+  let faults = Trace.events ~category:"fault" (Cluster.trace cluster) in
+  Alcotest.(check int) "crash + recovery" 2 (List.length faults);
+  Alcotest.(check bool) "crash is a warning" true
+    (match faults with e :: _ -> e.Trace.level = Trace.Warn | [] -> false)
+
+let test_cluster_trace_2pc_events () =
+  let cluster =
+    Cluster.create
+      {
+        Config.default with
+        Config.products = [ Product.non_regular "special" ~initial_amount:10 ];
+        seed = 3;
+      }
+  in
+  Site.submit_update (Cluster.site cluster 1) ~item:"special" ~delta:(-1) (fun _ -> ());
+  Cluster.run cluster;
+  let tpc = Trace.events ~category:"2pc" (Cluster.trace cluster) in
+  Alcotest.(check int) "one decision traced" 1 (List.length tpc)
+
+let suites =
+  [
+    ( "sim.trace",
+      [
+        Alcotest.test_case "record and read" `Quick test_record_and_read;
+        Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+        Alcotest.test_case "subscribe" `Quick test_subscribe;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "pp" `Quick test_pp;
+        Alcotest.test_case "cluster av events" `Quick test_cluster_trace_av_events;
+        Alcotest.test_case "cluster fault events" `Quick test_cluster_trace_fault_events;
+        Alcotest.test_case "cluster 2pc events" `Quick test_cluster_trace_2pc_events;
+      ] );
+  ]

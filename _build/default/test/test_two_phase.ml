@@ -1,0 +1,245 @@
+open Avdb_net
+open Avdb_txn
+
+let addr = Address.of_int
+
+module C = Two_phase.Coordinator
+module P = Two_phase.Participant
+
+let action =
+  let pp ppf = function
+    | C.Broadcast_prepare -> Format.pp_print_string ppf "prepare"
+    | C.Broadcast_decision d -> Format.fprintf ppf "decision(%a)" Two_phase.pp_decision d
+    | C.Completed d -> Format.fprintf ppf "completed(%a)" Two_phase.pp_decision d
+    | C.Cleanup d -> Format.fprintf ppf "cleanup(%a)" Two_phase.pp_decision d
+  in
+  Alcotest.testable pp ( = )
+
+(* Paper topology: coordinator = retailer site 1, participants = base site 0
+   and retailer site 2; base ack signals completion. *)
+let make () = C.create ~txid:7 ~participants:[ addr 0; addr 2 ] ~base:(addr 0)
+
+let test_commit_flow () =
+  let c = make () in
+  Alcotest.(check (list action)) "start broadcasts prepare" [ C.Broadcast_prepare ]
+    (C.start c ~local_vote:Two_phase.Ready);
+  Alcotest.(check (list action)) "first vote pending" [] (C.on_vote c ~from:(addr 2) Two_phase.Ready);
+  Alcotest.(check (list action)) "all votes -> commit"
+    [ C.Broadcast_decision Two_phase.Commit ]
+    (C.on_vote c ~from:(addr 0) Two_phase.Ready);
+  Alcotest.(check (option bool)) "decision" (Some true)
+    (Option.map (fun d -> d = Two_phase.Commit) (C.decision c));
+  (* Non-base ack: nothing user-visible. *)
+  Alcotest.(check (list action)) "retailer ack silent" [] (C.on_ack c ~from:(addr 2));
+  (* Base ack: completion + everyone acked -> cleanup. *)
+  Alcotest.(check (list action)) "base ack completes"
+    [ C.Completed Two_phase.Commit; C.Cleanup Two_phase.Commit ]
+    (C.on_ack c ~from:(addr 0));
+  Alcotest.(check bool) "done" true (C.is_done c)
+
+let test_base_ack_before_others () =
+  let c = make () in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 0) Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 2) Two_phase.Ready);
+  Alcotest.(check (list action)) "base ack -> completed, not yet cleanup"
+    [ C.Completed Two_phase.Commit ]
+    (C.on_ack c ~from:(addr 0));
+  Alcotest.(check bool) "not done yet" false (C.is_done c);
+  Alcotest.(check (list action)) "last ack -> cleanup only"
+    [ C.Cleanup Two_phase.Commit ]
+    (C.on_ack c ~from:(addr 2))
+
+let test_refuse_aborts_immediately () =
+  let c = make () in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  Alcotest.(check (list action)) "refuse -> abort broadcast"
+    [ C.Broadcast_decision Two_phase.Abort ]
+    (C.on_vote c ~from:(addr 2) Two_phase.Refuse);
+  (* A straggler Ready vote after the decision is ignored. *)
+  Alcotest.(check (list action)) "straggler ignored" [] (C.on_vote c ~from:(addr 0) Two_phase.Ready)
+
+let test_local_refuse () =
+  let c = make () in
+  (* Coordinator's own site cannot apply: abort without any prepare. *)
+  Alcotest.(check (list action)) "local refuse"
+    [ C.Broadcast_decision Two_phase.Abort ]
+    (C.start c ~local_vote:Two_phase.Refuse)
+
+let test_vote_timeout () =
+  let c = make () in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 0) Two_phase.Ready);
+  Alcotest.(check (list action)) "timeout aborts"
+    [ C.Broadcast_decision Two_phase.Abort ]
+    (C.on_vote_timeout c);
+  Alcotest.(check (list action)) "second timeout no-op" [] (C.on_vote_timeout c)
+
+let test_ack_timeout () =
+  let c = make () in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 0) Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 2) Two_phase.Ready);
+  ignore (C.on_ack c ~from:(addr 2));
+  (* Base never acks; give up. Completion must still be reported exactly
+     once. *)
+  Alcotest.(check (list action)) "ack timeout completes and cleans"
+    [ C.Completed Two_phase.Commit; C.Cleanup Two_phase.Commit ]
+    (C.on_ack_timeout c);
+  Alcotest.(check bool) "done" true (C.is_done c)
+
+let test_no_participants () =
+  let c = C.create ~txid:1 ~participants:[] ~base:(addr 0) in
+  Alcotest.(check (list action)) "solo commit"
+    [ C.Completed Two_phase.Commit; C.Cleanup Two_phase.Commit ]
+    (C.start c ~local_vote:Two_phase.Ready)
+
+let test_coordinator_is_base () =
+  (* Base not among remote participants: completion at decision time. *)
+  let c = C.create ~txid:2 ~participants:[ addr 1; addr 2 ] ~base:(addr 0) in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 1) Two_phase.Ready);
+  Alcotest.(check (list action)) "decision includes completion"
+    [ C.Broadcast_decision Two_phase.Commit; C.Completed Two_phase.Commit ]
+    (C.on_vote c ~from:(addr 2) Two_phase.Ready);
+  Alcotest.(check (list action)) "acks then cleanup only" []
+    (C.on_ack c ~from:(addr 1));
+  Alcotest.(check (list action)) "last ack"
+    [ C.Cleanup Two_phase.Commit ]
+    (C.on_ack c ~from:(addr 2))
+
+let test_duplicate_and_foreign_votes_ignored () =
+  let c = make () in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  ignore (C.on_vote c ~from:(addr 0) Two_phase.Ready);
+  Alcotest.(check (list action)) "duplicate" [] (C.on_vote c ~from:(addr 0) Two_phase.Ready);
+  Alcotest.(check (list action)) "foreign site" [] (C.on_vote c ~from:(addr 9) Two_phase.Ready);
+  Alcotest.(check bool) "still undecided" true (C.decision c = None)
+
+let test_double_start_rejected () =
+  let c = make () in
+  ignore (C.start c ~local_vote:Two_phase.Ready);
+  match C.start c ~local_vote:Two_phase.Ready with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double start accepted"
+
+(* --- Participant --- *)
+
+let test_participant_lifecycle () =
+  let p = P.create () in
+  Alcotest.(check bool) "votes ready" true (P.on_prepare p ~txid:1 ~can_apply:true = Two_phase.Ready);
+  Alcotest.(check bool) "votes refuse" true
+    (P.on_prepare p ~txid:2 ~can_apply:false = Two_phase.Refuse);
+  Alcotest.(check (list int)) "pending tracks ready only" [ 1 ] (P.pending p);
+  Alcotest.(check bool) "commit -> apply" true (P.on_decision p ~txid:1 Two_phase.Commit = P.Apply);
+  Alcotest.(check (list int)) "cleared" [] (P.pending p);
+  Alcotest.(check bool) "unknown decision ignored" true
+    (P.on_decision p ~txid:2 Two_phase.Abort = P.Ignore);
+  Alcotest.(check bool) "duplicate decision ignored" true
+    (P.on_decision p ~txid:1 Two_phase.Commit = P.Ignore)
+
+let test_participant_abort () =
+  let p = P.create () in
+  ignore (P.on_prepare p ~txid:5 ~can_apply:true);
+  Alcotest.(check bool) "abort -> revert" true (P.on_decision p ~txid:5 Two_phase.Abort = P.Revert)
+
+let test_participant_idempotent_prepare () =
+  let p = P.create () in
+  ignore (P.on_prepare p ~txid:5 ~can_apply:true);
+  Alcotest.(check bool) "re-prepare same vote" true
+    (P.on_prepare p ~txid:5 ~can_apply:false = Two_phase.Ready);
+  Alcotest.(check (list int)) "still one pending" [ 5 ] (P.pending p)
+
+let test_participant_abort_pending () =
+  let p = P.create () in
+  ignore (P.on_prepare p ~txid:1 ~can_apply:true);
+  ignore (P.on_prepare p ~txid:2 ~can_apply:true);
+  Alcotest.(check (list int)) "all returned" [ 1; 2 ] (P.abort_pending p);
+  Alcotest.(check (list int)) "emptied" [] (P.pending p)
+
+(* --- Txn_log --- *)
+
+let test_txn_log () =
+  let open Avdb_sim in
+  let log = Txn_log.create () in
+  Txn_log.record_start log ~txid:1 ~coordinator:(addr 1) ~item:"x" ~delta:(-5)
+    ~at:(Time.of_us 10);
+  Txn_log.record_start log ~txid:2 ~coordinator:(addr 2) ~item:"y" ~delta:3 ~at:(Time.of_us 20);
+  Alcotest.(check int) "in flight" 2 (Txn_log.in_flight log);
+  Txn_log.record_outcome log ~txid:1 Two_phase.Commit ~at:(Time.of_us 30);
+  Txn_log.record_outcome log ~txid:2 Two_phase.Abort ~at:(Time.of_us 40);
+  (* Second outcome is ignored. *)
+  Txn_log.record_outcome log ~txid:1 Two_phase.Abort ~at:(Time.of_us 50);
+  Alcotest.(check int) "committed" 1 (Txn_log.committed log);
+  Alcotest.(check int) "aborted" 1 (Txn_log.aborted log);
+  Alcotest.(check int) "none in flight" 0 (Txn_log.in_flight log);
+  (match Txn_log.find log ~txid:1 with
+  | Some e ->
+      Alcotest.(check bool) "kept first outcome" true (e.Txn_log.outcome = Some Two_phase.Commit);
+      Alcotest.(check (option int)) "finish time" (Some 30)
+        (Option.map Time.to_us e.Txn_log.finished_at)
+  | None -> Alcotest.fail "entry missing");
+  Txn_log.record_outcome log ~txid:99 Two_phase.Commit ~at:(Time.of_us 1);
+  Alcotest.(check int) "unknown txid ignored" 1 (Txn_log.committed log);
+  match Txn_log.record_start log ~txid:1 ~coordinator:(addr 1) ~item:"x" ~delta:0 ~at:Time.zero with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate start accepted"
+
+let qcheck_tests =
+  let open QCheck in
+  (* Random vote/ack sequences: exactly one Completed, exactly one Cleanup,
+     decision consistent (commit only if every participant voted ready
+     before any refuse/timeout decision point). *)
+  [
+    Test.make ~name:"coordinator emits exactly one Completed and Cleanup" ~count:500
+      (pair (int_range 0 5)
+         (list_of_size Gen.(int_range 0 30) (pair (int_bound 5) (int_bound 3))))
+      (fun (n_participants, events) ->
+        let participants = List.init n_participants addr in
+        let c = C.create ~txid:1 ~participants ~base:(addr 0) in
+        let completed = ref 0 and cleanups = ref 0 in
+        let run actions =
+          List.iter
+            (function C.Completed _ -> incr completed | C.Cleanup _ -> incr cleanups | _ -> ())
+            actions
+        in
+        run (C.start c ~local_vote:Two_phase.Ready);
+        List.iter
+          (fun (site, kind) ->
+            let from = addr site in
+            match kind with
+            | 0 -> run (C.on_vote c ~from Two_phase.Ready)
+            | 1 -> run (C.on_vote c ~from Two_phase.Refuse)
+            | 2 -> run (C.on_ack c ~from)
+            | _ -> run (C.on_vote_timeout c))
+          events;
+        (* Force completion at the end, like a site shutting down. *)
+        run (C.on_ack_timeout c);
+        (match C.decision c with
+        | None -> run (C.on_vote_timeout c); run (C.on_ack_timeout c)
+        | Some _ -> ());
+        !completed = 1 && !cleanups = 1 && C.is_done c);
+  ]
+
+let suites =
+  [
+    ( "txn.two_phase",
+      [
+        Alcotest.test_case "commit flow" `Quick test_commit_flow;
+        Alcotest.test_case "base ack before others" `Quick test_base_ack_before_others;
+        Alcotest.test_case "refuse aborts immediately" `Quick test_refuse_aborts_immediately;
+        Alcotest.test_case "local refuse" `Quick test_local_refuse;
+        Alcotest.test_case "vote timeout" `Quick test_vote_timeout;
+        Alcotest.test_case "ack timeout" `Quick test_ack_timeout;
+        Alcotest.test_case "no participants" `Quick test_no_participants;
+        Alcotest.test_case "coordinator is base" `Quick test_coordinator_is_base;
+        Alcotest.test_case "duplicate/foreign votes" `Quick test_duplicate_and_foreign_votes_ignored;
+        Alcotest.test_case "double start rejected" `Quick test_double_start_rejected;
+        Alcotest.test_case "participant lifecycle" `Quick test_participant_lifecycle;
+        Alcotest.test_case "participant abort" `Quick test_participant_abort;
+        Alcotest.test_case "participant idempotent prepare" `Quick test_participant_idempotent_prepare;
+        Alcotest.test_case "participant abort_pending" `Quick test_participant_abort_pending;
+        Alcotest.test_case "txn log" `Quick test_txn_log;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,146 @@
+open Avdb_store
+
+let wal_record = Alcotest.testable Wal.pp_record Wal.equal_record
+
+let sample_records =
+  [
+    Wal.Create_table
+      {
+        table = "stock";
+        columns =
+          [ { Schema.name = "amount"; ty = Value.Tint }; { Schema.name = "n|ame"; ty = Value.Tstr } ];
+      };
+    Wal.Begin 0;
+    Wal.Insert { txid = 0; table = "stock"; key = "p|1"; row = [| Value.Int 5; Value.Str "a,b" |] };
+    Wal.Update
+      {
+        txid = 0;
+        table = "stock";
+        key = "p|1";
+        col = "amount";
+        before = Value.Int 5;
+        after = Value.Int 8;
+      };
+    Wal.Commit 0;
+    Wal.Begin 1;
+    Wal.Delete { txid = 1; table = "stock"; key = "p|1"; row = [| Value.Int 8; Value.Str "a,b" |] };
+    Wal.Abort 1;
+  ]
+
+let test_append_order () =
+  let w = Wal.create () in
+  List.iteri
+    (fun i r -> Alcotest.(check int) "lsn" i (Wal.append w r))
+    sample_records;
+  Alcotest.(check int) "length" (List.length sample_records) (Wal.length w);
+  Alcotest.(check (list wal_record)) "records in order" sample_records (Wal.records w);
+  Alcotest.check wal_record "nth" (List.nth sample_records 2) (Wal.nth w 2)
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wal.decode_record (Wal.encode_record r) with
+      | Ok r' -> Alcotest.check wal_record "roundtrip" r r'
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    sample_records
+
+let test_serialise_roundtrip () =
+  let w = Wal.create () in
+  List.iter (fun r -> ignore (Wal.append w r)) sample_records;
+  match Wal.of_string (Wal.to_string w) with
+  | Ok w' -> Alcotest.(check (list wal_record)) "full log roundtrip" (Wal.records w) (Wal.records w')
+  | Error e -> Alcotest.failf "of_string failed: %s" e
+
+let test_empty_log_roundtrip () =
+  let w = Wal.create () in
+  match Wal.of_string (Wal.to_string w) with
+  | Ok w' -> Alcotest.(check int) "empty" 0 (Wal.length w')
+  | Error e -> Alcotest.failf "of_string failed: %s" e
+
+let test_decode_garbage () =
+  List.iter
+    (fun line ->
+      match Wal.decode_record line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded garbage %S" line)
+    [ ""; "X|1"; "B|x"; "I|1|s:70"; "U|1|a|b|c"; "T|s:70|noeq" ]
+
+let test_truncate () =
+  let w = Wal.create () in
+  List.iter (fun r -> ignore (Wal.append w r)) sample_records;
+  Wal.truncate w 3;
+  Alcotest.(check int) "shorter" 3 (Wal.length w);
+  Alcotest.(check (list wal_record)) "prefix kept"
+    (List.filteri (fun i _ -> i < 3) sample_records)
+    (Wal.records w);
+  (* Appending after truncation continues cleanly. *)
+  ignore (Wal.append w (Wal.Commit 9));
+  Alcotest.(check int) "append after truncate" 4 (Wal.length w)
+
+let test_committed_txids () =
+  let w = Wal.create () in
+  List.iter (fun r -> ignore (Wal.append w r)) sample_records;
+  let committed = Wal.committed_txids w in
+  Alcotest.(check bool) "txn 0 committed" true (Hashtbl.mem committed 0);
+  Alcotest.(check bool) "txn 1 not committed" false (Hashtbl.mem committed 1)
+
+let qcheck_tests =
+  let open QCheck in
+  let record_gen =
+    let open Gen in
+    let value_gen =
+      oneof
+        [
+          map (fun n -> Value.Int n) int;
+          map (fun s -> Value.Str s) (string_size (int_range 0 10));
+          map (fun b -> Value.Bool b) bool;
+        ]
+    in
+    let str = string_size (int_range 0 8) in
+    oneof
+      [
+        map (fun t -> Wal.Begin t) nat;
+        map (fun t -> Wal.Commit t) nat;
+        map (fun t -> Wal.Abort t) nat;
+        map
+          (fun (txid, table, key, row) -> Wal.Insert { txid; table; key; row = Array.of_list row })
+          (quad nat str str (list_size (int_range 0 4) value_gen));
+        map
+          (fun ((txid, table), (key, col), (before, after)) ->
+            Wal.Update { txid; table; key; col; before; after })
+          (triple (pair nat str) (pair str str) (pair value_gen value_gen));
+        map
+          (fun (txid, table, key, row) -> Wal.Delete { txid; table; key; row = Array.of_list row })
+          (quad nat str str (list_size (int_range 0 4) value_gen));
+      ]
+  in
+  let arb = make ~print:(fun r -> Wal.encode_record r) record_gen in
+  [
+    Test.make ~name:"record encode/decode roundtrip" ~count:1000 arb (fun r ->
+        match Wal.decode_record (Wal.encode_record r) with
+        | Ok r' -> Wal.equal_record r r'
+        | Error _ -> false);
+    Test.make ~name:"log serialise roundtrip" ~count:200
+      (list_of_size Gen.(int_range 0 50) arb)
+      (fun records ->
+        let w = Wal.create () in
+        List.iter (fun r -> ignore (Wal.append w r)) records;
+        match Wal.of_string (Wal.to_string w) with
+        | Ok w' -> List.for_all2 Wal.equal_record (Wal.records w) (Wal.records w')
+        | Error _ -> false);
+  ]
+
+let suites =
+  [
+    ( "store.wal",
+      [
+        Alcotest.test_case "append order" `Quick test_append_order;
+        Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+        Alcotest.test_case "serialise roundtrip" `Quick test_serialise_roundtrip;
+        Alcotest.test_case "empty log roundtrip" `Quick test_empty_log_roundtrip;
+        Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+        Alcotest.test_case "truncate" `Quick test_truncate;
+        Alcotest.test_case "committed txids" `Quick test_committed_txids;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -1,0 +1,190 @@
+open Avdb_sim
+open Avdb_workload
+
+(* --- Zipf --- *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~theta:0. in
+  let rng = Rng.create 3 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let expect = float_of_int n /. 10. in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expect) /. expect in
+      if dev > 0.15 then Alcotest.failf "theta=0 bucket %d deviates %.2f" i dev)
+    counts
+
+let test_zipf_skewed () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let rng = Rng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "head much hotter than tail" true (counts.(0) > 10 * counts.(99));
+  Alcotest.(check bool) "monotone-ish head" true (counts.(0) > counts.(10))
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:50 ~theta:0.8 in
+  let total = ref 0. in
+  for i = 0 to 49 do
+    total := !total +. Zipf.pmf z i
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1.0 !total
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:7 ~theta:1.5 in
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let i = Zipf.sample z rng in
+    if i < 0 || i >= 7 then Alcotest.failf "out of range %d" i
+  done;
+  (match Zipf.create ~n:0 ~theta:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=0 accepted");
+  match Zipf.create ~n:3 ~theta:(-1.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative theta accepted"
+
+(* --- Scm --- *)
+
+let test_scm_roles_and_signs () =
+  let wl = Scm.create (Scm.paper_spec ()) ~seed:1 in
+  for k = 0 to 2_999 do
+    let u = Scm.nth wl k in
+    Alcotest.(check int) "round robin" (k mod 3) u.Scm.site_index;
+    if u.Scm.site_index = 0 then begin
+      if u.Scm.delta < 1 || u.Scm.delta > 20 then
+        Alcotest.failf "maker delta %d out of [1,20]" u.Scm.delta
+    end
+    else if u.Scm.delta > -1 || u.Scm.delta < -10 then
+      Alcotest.failf "retailer delta %d out of [-10,-1]" u.Scm.delta
+  done
+
+let test_scm_deterministic_and_memoised () =
+  let a = Scm.create (Scm.paper_spec ()) ~seed:42 in
+  let b = Scm.create (Scm.paper_spec ()) ~seed:42 in
+  (* Access out of order: memoisation must keep answers stable. *)
+  let a100 = Scm.nth a 100 in
+  let a50 = Scm.nth a 50 in
+  Alcotest.(check bool) "same seed same stream" true
+    (Scm.nth b 100 = a100 && Scm.nth b 50 = a50);
+  Alcotest.(check bool) "re-query stable" true (Scm.nth a 100 = a100);
+  let c = Scm.create (Scm.paper_spec ()) ~seed:43 in
+  let differs = ref false in
+  for k = 0 to 50 do
+    if Scm.nth c k <> Scm.nth a k then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let test_scm_generator_adapter () =
+  let wl = Scm.create (Scm.paper_spec ()) ~seed:3 in
+  let site, item, delta = Scm.generator wl 4 in
+  let u = Scm.nth wl 4 in
+  Alcotest.(check bool) "adapter agrees" true
+    (site = u.Scm.site_index && item = u.Scm.item && delta = u.Scm.delta)
+
+let test_scm_item_names_valid () =
+  let spec = Scm.paper_spec ~n_items:10 () in
+  let wl = Scm.create spec ~seed:3 in
+  let names = Array.to_list (Array.map fst spec.Scm.items) in
+  for k = 0 to 500 do
+    let u = Scm.nth wl k in
+    if not (List.mem u.Scm.item names) then Alcotest.failf "foreign item %s" u.Scm.item
+  done
+
+let test_scm_validation () =
+  let bad_specs =
+    [
+      { (Scm.paper_spec ()) with Scm.n_sites = 0 };
+      { (Scm.paper_spec ()) with Scm.items = [||] };
+      { (Scm.paper_spec ()) with Scm.maker_increase_pct = 0. };
+      { (Scm.paper_spec ()) with Scm.retailer_decrease_pct = 1.5 };
+      { (Scm.paper_spec ()) with Scm.items = [| ("p", 0) |] };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Scm.create spec ~seed:1 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "invalid spec accepted")
+    bad_specs
+
+let test_scm_small_initial_amounts () =
+  (* initial=1 with 10% pct: max delta clamps to 1, never 0. *)
+  let spec =
+    { (Scm.paper_spec ()) with Scm.items = Array.make 3 ("tiny", 1) }
+  in
+  let wl = Scm.create spec ~seed:1 in
+  for k = 0 to 100 do
+    let u = Scm.nth wl k in
+    if u.Scm.delta = 0 then Alcotest.fail "zero delta generated"
+  done
+
+(* --- Order_stream --- *)
+
+let test_order_stream_distribution () =
+  let s =
+    Order_stream.create
+      ~items:[| ("hot", 9); ("cold", 1) |]
+      ~mean_interarrival:(Time.of_ms 10.) ~max_quantity:5 ~seed:3
+  in
+  let hot = ref 0 and cold = ref 0 and total_gap = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let gap, order = Order_stream.next s in
+    total_gap := !total_gap +. Time.to_ms gap;
+    if order.Order_stream.item = "hot" then incr hot else incr cold;
+    if order.Order_stream.quantity < 1 || order.Order_stream.quantity > 5 then
+      Alcotest.failf "quantity %d out of range" order.Order_stream.quantity
+  done;
+  let hot_rate = float_of_int !hot /. float_of_int n in
+  if Float.abs (hot_rate -. 0.9) > 0.02 then Alcotest.failf "hot rate %.3f" hot_rate;
+  let mean_gap = !total_gap /. float_of_int n in
+  if Float.abs (mean_gap -. 10.) > 0.5 then Alcotest.failf "mean gap %.2fms" mean_gap
+
+let test_order_stream_schedule () =
+  let engine = Engine.create ~seed:1 () in
+  let s =
+    Order_stream.create ~items:[| ("x", 1) |] ~mean_interarrival:(Time.of_ms 5.)
+      ~max_quantity:3 ~seed:7
+  in
+  let fired = ref 0 in
+  let scheduled =
+    Order_stream.schedule s ~engine ~until:(Time.of_sec 1.) (fun _ -> incr fired)
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "all scheduled orders fire" scheduled !fired;
+  Alcotest.(check bool) "roughly 200 orders in 1s at 5ms" true
+    (scheduled > 120 && scheduled < 300)
+
+let suites =
+  [
+    ( "workload.zipf",
+      [
+        Alcotest.test_case "uniform at theta 0" `Slow test_zipf_uniform;
+        Alcotest.test_case "skewed at theta 1" `Slow test_zipf_skewed;
+        Alcotest.test_case "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+        Alcotest.test_case "bounds and validation" `Quick test_zipf_bounds;
+      ] );
+    ( "workload.scm",
+      [
+        Alcotest.test_case "roles and signs" `Quick test_scm_roles_and_signs;
+        Alcotest.test_case "deterministic and memoised" `Quick test_scm_deterministic_and_memoised;
+        Alcotest.test_case "generator adapter" `Quick test_scm_generator_adapter;
+        Alcotest.test_case "item names valid" `Quick test_scm_item_names_valid;
+        Alcotest.test_case "validation" `Quick test_scm_validation;
+        Alcotest.test_case "small initial amounts" `Quick test_scm_small_initial_amounts;
+      ] );
+    ( "workload.order_stream",
+      [
+        Alcotest.test_case "distribution" `Slow test_order_stream_distribution;
+        Alcotest.test_case "schedule" `Quick test_order_stream_schedule;
+      ] );
+  ]
