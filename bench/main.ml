@@ -370,6 +370,81 @@ let exp_fault () =
   note "total applied %d/3000; rejections: unreachable=%d (base outage) av-exhausted=%d other=%d"
     outcome.Runner.final.Runner.applied unreachable av_exhausted other
 
+let exp_fault_script () =
+  section "Fault injection - scripted loss/dup/reorder/partition/crash scenario";
+  note "Every fault class the network models, staged over one SCM run, with";
+  note "retries on; afterwards replicas must reconverge and the AV conservation";
+  note "ledger reports how much volume (if any) died with lost grant replies.";
+  let config =
+    {
+      Config.default with
+      Config.seed = 2000;
+      sync_interval = Some (Avdb_sim.Time.of_ms 50.);
+      rpc_timeout = Avdb_sim.Time.of_ms 30.;
+      rpc_retry =
+        {
+          Avdb_net.Rpc.max_attempts = 5;
+          base_backoff = Avdb_sim.Time.of_ms 10.;
+          backoff_multiplier = 2.;
+          jitter = 0.5;
+        };
+    }
+  in
+  let cluster = Cluster.create config in
+  let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+  let engine = Cluster.engine cluster in
+  let at_ms ms f = ignore (Avdb_sim.Engine.schedule_at engine ~at:(Avdb_sim.Time.of_ms ms) f) in
+  (* 30s run (3000 updates x 10ms); each fault gets its own window. *)
+  at_ms 2_000. (fun () -> Cluster.set_drop_probability cluster 0.3);
+  at_ms 5_000. (fun () -> Cluster.set_drop_probability cluster 0.);
+  at_ms 7_000. (fun () ->
+      Cluster.set_duplicate_probability cluster 0.3;
+      Cluster.set_reorder_probability cluster 0.3);
+  at_ms 10_000. (fun () ->
+      Cluster.set_duplicate_probability cluster 0.;
+      Cluster.set_reorder_probability cluster 0.);
+  at_ms 12_000. (fun () -> Cluster.partition cluster 1 2);
+  at_ms 15_000. (fun () -> Cluster.heal cluster 1 2);
+  at_ms 18_000. (fun () -> Site.crash (Cluster.site cluster 2));
+  at_ms 21_000. (fun () -> Site.recover (Cluster.site cluster 2));
+  let outcome =
+    Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:3000
+      ~interval:(Avdb_sim.Time.of_ms 10.) ~checkpoint_every:300 ()
+  in
+  let stats = Cluster.net_stats cluster in
+  note "applied %d / rejected %d of 3000; wire: %d sent, %d dropped, %d duplicated, %d reordered, %d rpc retries"
+    outcome.Runner.final.Runner.applied outcome.Runner.final.Runner.rejected
+    (Avdb_net.Stats.total_sent stats) (Avdb_net.Stats.total_dropped stats)
+    (Avdb_net.Stats.total_duplicated stats) (Avdb_net.Stats.total_reordered stats)
+    (Avdb_net.Stats.total_retries stats);
+  Cluster.flush_all_syncs cluster;
+  (match Cluster.check_invariants cluster with
+  | Ok () -> note "replica convergence at quiescence: OK"
+  | Error e -> note "replica convergence: VIOLATED - %s" e);
+  let conserved, lost_volume =
+    List.fold_left
+      (fun (ok, lost) p ->
+        let item = p.Product.name in
+        match Cluster.av_conservation cluster ~item with
+        | Ok () -> (ok + 1, lost)
+        | Error _ ->
+            let sum f =
+              Array.fold_left
+                (fun acc s -> acc + f (Site.av_table s) ~item)
+                0 (Cluster.sites cluster)
+            in
+            let missing =
+              sum Avdb_av.Av_table.defined_volume
+              + sum Avdb_av.Av_table.minted
+              - sum Avdb_av.Av_table.consumed
+              - Cluster.av_sum cluster ~item
+            in
+            (ok, lost + missing))
+      (0, 0) config.Config.products
+  in
+  note "AV conservation: %d/%d items conserved; %d units lost to grant replies that died in the fault windows"
+    conserved (List.length config.Config.products) lost_volume
+
 (* --- immediate update --- *)
 
 let exp_immediate () =
@@ -744,6 +819,7 @@ let experiments =
     ("ablation-allocation", exp_ablation_allocation);
     ("ablation-prefetch", exp_ablation_prefetch);
     ("fault", exp_fault);
+    ("fault-script", exp_fault_script);
     ("immediate", exp_immediate);
     ("sync", exp_sync);
     ("staleness", exp_staleness);

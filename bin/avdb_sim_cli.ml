@@ -49,8 +49,19 @@ let granting_conv =
   Arg.conv (parse, fun ppf g -> Format.pp_print_string ppf (Avdb_av.Strategy.Granting.name g))
 
 let run retailers items initial updates mode allocation selection granting skew
-    maker_weight latency_ms drop sync_ms prefetch seed checkpoints csv =
+    maker_weight latency_ms drop dup reorder rpc_retries rpc_backoff_ms sync_ms prefetch seed
+    checkpoints csv =
   let n_sites = retailers + 1 in
+  let rpc_retry =
+    if rpc_retries <= 1 then Avdb_net.Rpc.no_retry
+    else
+      {
+        Avdb_net.Rpc.max_attempts = rpc_retries;
+        base_backoff = Avdb_sim.Time.of_ms rpc_backoff_ms;
+        backoff_multiplier = 2.;
+        jitter = 0.5;
+      }
+  in
   let config =
     {
       Config.default with
@@ -61,6 +72,9 @@ let run retailers items initial updates mode allocation selection granting skew
       products = Product.catalogue ~n_regular:items ~n_non_regular:0 ~initial_amount:initial;
       latency = Avdb_net.Latency.Constant (Avdb_sim.Time.of_ms latency_ms);
       drop_probability = drop;
+      duplicate_probability = dup;
+      reorder_probability = reorder;
+      rpc_retry;
       sync_interval = Option.map Avdb_sim.Time.of_ms sync_ms;
       prefetch_low = prefetch;
       seed;
@@ -163,6 +177,25 @@ let cmd =
   let drop =
     Arg.(value & opt float 0. & info [ "drop" ] ~docv:"P" ~doc:"Message drop probability.")
   in
+  let dup =
+    Arg.(value & opt float 0.
+        & info [ "dup" ] ~docv:"P" ~doc:"Message duplication probability.")
+  in
+  let reorder =
+    Arg.(value & opt float 0.
+        & info [ "reorder" ] ~docv:"P"
+            ~doc:"Probability a message bypasses per-link FIFO ordering.")
+  in
+  let rpc_retries =
+    Arg.(value & opt int 1
+        & info [ "rpc-retries" ] ~docv:"N"
+            ~doc:"Max RPC attempts per call (1 = no retransmission).")
+  in
+  let rpc_backoff_ms =
+    Arg.(value & opt float 25.
+        & info [ "rpc-backoff-ms" ] ~docv:"MS"
+            ~doc:"Base retransmission backoff; doubles per attempt with jitter.")
+  in
   let sync_ms =
     Arg.(value & opt (some float) None
         & info [ "sync-ms" ] ~docv:"MS" ~doc:"Lazy-propagation flush interval (off if absent).")
@@ -180,8 +213,8 @@ let cmd =
   let term =
     Term.(
       const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
-      $ granting $ skew $ maker_weight $ latency_ms $ drop $ sync_ms $ prefetch $ seed
-      $ checkpoints $ csv)
+      $ granting $ skew $ maker_weight $ latency_ms $ drop $ dup $ reorder $ rpc_retries
+      $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints $ csv)
   in
   Cmd.v
     (Cmd.info "avdb-sim" ~version:"1.0.0"

@@ -1,4 +1,16 @@
-type entry = { mutable available : int; mutable held : int }
+type entry = {
+  mutable available : int;
+  mutable held : int;
+  (* Process-lifetime conservation ledger (not serialised): volume defined
+     at creation, created by positive local updates, and destroyed by
+     committed negative updates. Grants move volume between tables and
+     touch none of these, so at quiescence
+       available + held = defined + minted - consumed
+     summed across sites, whatever faults occurred in between. *)
+  mutable defined_volume : int;
+  mutable minted : int;
+  mutable consumed_total : int;
+}
 
 type t = { entries : (string, entry) Hashtbl.t }
 
@@ -8,7 +20,8 @@ let define t ~item ~volume =
   if volume < 0 then invalid_arg "Av_table.define: negative volume";
   if Hashtbl.mem t.entries item then
     invalid_arg ("Av_table.define: AV already defined on " ^ item);
-  Hashtbl.add t.entries item { available = volume; held = 0 }
+  Hashtbl.add t.entries item
+    { available = volume; held = 0; defined_volume = volume; minted = 0; consumed_total = 0 }
 
 let undefine t ~item = Hashtbl.remove t.entries item
 let is_defined t ~item = Hashtbl.mem t.entries item
@@ -66,6 +79,7 @@ let consume t ~item amount =
         Error (Printf.sprintf "consume exceeds hold on %S: held %d < %d" item e.held amount)
       else begin
         e.held <- e.held - amount;
+        e.consumed_total <- e.consumed_total + amount;
         Ok ()
       end)
 
@@ -74,6 +88,24 @@ let deposit t ~item amount =
   with_entry t item (fun e ->
       e.available <- e.available + amount;
       Ok ())
+
+let mint t ~item amount =
+  let amount = check_amount amount in
+  with_entry t item (fun e ->
+      e.available <- e.available + amount;
+      e.minted <- e.minted + amount;
+      Ok ())
+
+let release_all t =
+  Hashtbl.iter
+    (fun _ e ->
+      e.available <- e.available + e.held;
+      e.held <- 0)
+    t.entries
+
+let defined_volume t ~item = match entry t item with Some e -> e.defined_volume | None -> 0
+let minted t ~item = match entry t item with Some e -> e.minted | None -> 0
+let consumed t ~item = match entry t item with Some e -> e.consumed_total | None -> 0
 
 let withdraw t ~item amount =
   let amount = check_amount amount in
@@ -129,7 +161,16 @@ let decode s =
             | Ok item, Some available, Some held when available >= 0 && held >= 0 ->
                 if Hashtbl.mem t.entries item then Error ("duplicate item " ^ item)
                 else begin
-                  Hashtbl.add t.entries item { available; held };
+                  (* The ledger is not serialised: a decoded table starts a
+                     fresh conservation baseline at its current volume. *)
+                  Hashtbl.add t.entries item
+                    {
+                      available;
+                      held;
+                      defined_volume = available + held;
+                      minted = 0;
+                      consumed_total = 0;
+                    };
                   loop rest
                 end
             | _ -> Error ("Av_table.decode: bad line " ^ line))

@@ -51,11 +51,37 @@ val consume : t -> item:string -> int -> (unit, string) result
 (** Destroys held volume — the negative update committed. *)
 
 val deposit : t -> item:string -> int -> (unit, string) result
-(** Adds fresh available volume: a positive update at this site, or a
-    grant received from a peer. Fails on undefined items. *)
+(** Adds available volume {e transferred} from a peer (a grant received).
+    Fails on undefined items. For volume created by a positive local
+    update use {!mint}, which also feeds the conservation ledger. *)
+
+val mint : t -> item:string -> int -> (unit, string) result
+(** Adds {e newly created} available volume (a positive local update) and
+    records it in the conservation ledger. *)
 
 val withdraw : t -> item:string -> int -> (unit, string) result
 (** Removes available volume to grant it to a peer. *)
+
+val release_all : t -> unit
+(** Returns every held volume on every item to available — crash recovery
+    abandons the in-flight transactions that held them. *)
+
+(** {2 Conservation ledger}
+
+    Per-item process-lifetime counters (never serialised):
+    [total = defined_volume + minted - consumed] holds at this site in the
+    absence of transfers; summed across all sites it holds at quiescence
+    whatever transfers occurred — unless a fault genuinely destroyed
+    in-flight volume, which is exactly what conservation checks detect. *)
+
+val defined_volume : t -> item:string -> int
+(** Volume given to {!define} (0 for undefined items). *)
+
+val minted : t -> item:string -> int
+(** Cumulative volume created by {!mint}. *)
+
+val consumed : t -> item:string -> int
+(** Cumulative volume destroyed by {!consume}. *)
 
 val items : t -> string list
 (** Items with AV defined, sorted. *)

@@ -49,7 +49,9 @@ module Granting = struct
     if available < 0 || requested < 0 then invalid_arg "Granting.amount: negative input";
     let raw =
       match t with
-      | Half -> available / 2
+      (* Round up: flooring would grant 0 from a donor holding 1 unit,
+         leaving the system's last AV unit permanently stuck at one site. *)
+      | Half -> (available + 1) / 2
       | Exact -> Stdlib.min available requested
       | All -> available
       | Demand_plus f ->

@@ -38,6 +38,8 @@ let create config =
   let rpc =
     Rpc.create ~engine ~latency:config.Config.latency
       ~drop_probability:config.Config.drop_probability
+      ~duplicate_probability:config.Config.duplicate_probability
+      ~reorder_probability:config.Config.reorder_probability
       ?bandwidth_bytes_per_sec:config.Config.bandwidth_bytes_per_sec
       ~default_timeout:config.Config.rpc_timeout
       ~request_size:Protocol.wire_size_request ~response_size:Protocol.wire_size_response
@@ -98,6 +100,12 @@ let partition t i j =
 
 let heal t i j = Network.heal (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
 
+(* Runtime fault knobs, so scripted scenarios can open and close lossy /
+   duplicating / reordering windows mid-run. *)
+let set_drop_probability t p = Network.set_drop_probability (Rpc.network t.rpc) p
+let set_duplicate_probability t p = Network.set_duplicate_probability (Rpc.network t.rpc) p
+let set_reorder_probability t p = Network.set_reorder_probability (Rpc.network t.rpc) p
+
 let total_correspondences t = Stats.total_correspondences (net_stats t)
 
 let per_site_correspondences t =
@@ -121,6 +129,23 @@ let replica_amounts t ~item =
 
 let av_sum t ~item =
   Array.fold_left (fun acc s -> acc + Av_table.total (Site.av_table s) ~item) 0 t.sites
+
+(* AV conservation: volume is only created by [define] and [mint] and only
+   destroyed by [consume]; grants merely move it between sites. Holds even
+   while replicas still disagree, so it is checkable right after a fault
+   window closes, before convergence. *)
+let av_conservation t ~item =
+  let sum f = Array.fold_left (fun acc s -> acc + f (Site.av_table s) ~item) 0 t.sites in
+  let live = sum Av_table.total in
+  let consumed = sum Av_table.consumed in
+  let minted = sum Av_table.minted in
+  let defined = sum Av_table.defined_volume in
+  if live + consumed - minted = defined then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "%s: AV not conserved: live %d + consumed %d - minted %d <> defined %d" item live
+         consumed minted defined)
 
 let check_invariants t =
   let problems = ref [] in

@@ -51,6 +51,13 @@ val partition : t -> int -> int -> unit
 
 val heal : t -> int -> int -> unit
 
+val set_drop_probability : t -> float -> unit
+(** Change the per-message loss rate mid-run; scripted fault scenarios use
+    these to open and close a lossy window. *)
+
+val set_duplicate_probability : t -> float -> unit
+val set_reorder_probability : t -> float -> unit
+
 (** {2 Whole-system introspection for invariant checks} *)
 
 val replica_amounts : t -> item:string -> int list
@@ -60,6 +67,13 @@ val av_sum : t -> item:string -> int
 (** Σ over sites of (available + held) AV. At quiescence with no
     in-flight grants this equals the item's globally-agreed amount when
     the initial AV equals the initial stock. *)
+
+val av_conservation : t -> item:string -> (unit, string) result
+(** Σ over sites of live AV (available + held) plus consumed volume, minus
+    locally minted volume, must equal the initially defined volume. Grants
+    move volume between sites without changing the sum, so — unlike replica
+    agreement — this holds even before convergence, as long as no grant
+    response is currently in flight or was permanently lost. *)
 
 val check_invariants : t -> (unit, string) result
 (** At quiescence after {!flush_all_syncs} (no crashes, no message loss):

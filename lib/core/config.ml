@@ -14,8 +14,11 @@ type t = {
   strategy : Strategy.t;
   latency : Latency.t;
   drop_probability : float;
+  duplicate_probability : float;
+  reorder_probability : float;
   bandwidth_bytes_per_sec : int option;
   rpc_timeout : Time.t;
+  rpc_retry : Rpc.retry_policy;
   prepare_timeout : Time.t;
   ack_timeout : Time.t;
   lock_timeout : Time.t;
@@ -35,8 +38,11 @@ let default =
     strategy = Strategy.paper;
     latency = Latency.Constant (Time.of_ms 1.);
     drop_probability = 0.;
+    duplicate_probability = 0.;
+    reorder_probability = 0.;
     bandwidth_bytes_per_sec = None;
     rpc_timeout = Time.of_ms 100.;
+    rpc_retry = Rpc.no_retry;
     prepare_timeout = Time.of_ms 250.;
     ack_timeout = Time.of_ms 250.;
     lock_timeout = Time.of_ms 50.;
@@ -52,6 +58,11 @@ let validate t =
   else if t.products = [] then Error "no products"
   else if t.drop_probability < 0. || t.drop_probability > 1. then
     Error "drop_probability out of [0,1]"
+  else if t.duplicate_probability < 0. || t.duplicate_probability > 1. then
+    Error "duplicate_probability out of [0,1]"
+  else if t.reorder_probability < 0. || t.reorder_probability > 1. then
+    Error "reorder_probability out of [0,1]"
+  else if t.rpc_retry.Rpc.max_attempts < 1 then Error "rpc_retry.max_attempts must be >= 1"
   else if (match t.prefetch_low with Some low -> low < 1 | None -> false) then
     Error "prefetch_low must be >= 1"
   else if (match t.bandwidth_bytes_per_sec with Some b -> b <= 0 | None -> false) then

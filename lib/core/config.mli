@@ -19,10 +19,20 @@ type t = {
   strategy : Avdb_av.Strategy.t;
   latency : Avdb_net.Latency.t;
   drop_probability : float;
+  duplicate_probability : float;
+      (** per-message chance the network delivers an extra copy; the RPC
+          reply cache and the cumulative sync counters absorb these *)
+  reorder_probability : float;
+      (** per-message chance of bypassing the per-link FIFO guarantee *)
   bandwidth_bytes_per_sec : int option;
       (** finite per-link bandwidth: messages serialise behind each other
           before the propagation delay; [None] = infinite (default) *)
   rpc_timeout : Avdb_sim.Time.t;
+  rpc_retry : Avdb_net.Rpc.retry_policy;
+      (** retransmission policy for AV requests, the centralized baseline,
+          membership and the 2PC termination protocol; retransmissions
+          reuse the request id so servers execute at most once. Default
+          {!Avdb_net.Rpc.no_retry} (the paper's single-shot calls). *)
   prepare_timeout : Avdb_sim.Time.t;  (** Immediate Update vote collection *)
   ack_timeout : Avdb_sim.Time.t;  (** Immediate Update decision acks *)
   lock_timeout : Avdb_sim.Time.t;  (** participant lock wait *)

@@ -3,6 +3,8 @@ open Avdb_txn
 
 type decision_status = Decided of Two_phase.decision | Still_pending | Unknown_txn
 
+type central_status = Central_applied | Central_insufficient | Central_unknown_item
+
 type request =
   | Av_request of { item : string; amount : int; requester_available : int }
   | Central_update of { item : string; delta : int }
@@ -14,7 +16,7 @@ type request =
 
 type response =
   | Av_grant of { granted : int; donor_available : int }
-  | Central_ack of { applied : bool; new_amount : int }
+  | Central_ack of { status : central_status; new_amount : int }
   | Vote of { txid : int; vote : Two_phase.vote }
   | Decision_ack of { txid : int }
   | Read_value of { amount : int option }
@@ -76,8 +78,13 @@ let pp_request ppf = function
 let pp_response ppf = function
   | Av_grant { granted; donor_available } ->
       Format.fprintf ppf "av_grant(%d, donor_has=%d)" granted donor_available
-  | Central_ack { applied; new_amount } ->
-      Format.fprintf ppf "central_ack(%b, %d)" applied new_amount
+  | Central_ack { status; new_amount } ->
+      Format.fprintf ppf "central_ack(%s, %d)"
+        (match status with
+        | Central_applied -> "applied"
+        | Central_insufficient -> "insufficient"
+        | Central_unknown_item -> "unknown-item")
+        new_amount
   | Vote { txid; vote } -> Format.fprintf ppf "vote(tx%d, %a)" txid Two_phase.pp_vote vote
   | Decision_ack { txid } -> Format.fprintf ppf "decision_ack(tx%d)" txid
   | Read_value { amount } ->

@@ -13,6 +13,11 @@ type decision_status =
   | Still_pending
   | Unknown_txn
 
+(** Base's answer to a {!Central_update}: rejection distinguishes an item
+    the base does not stock from one with insufficient stock, so the caller
+    can surface the right {!Update.reason}. *)
+type central_status = Central_applied | Central_insufficient | Central_unknown_item
+
 type request =
   | Av_request of { item : string; amount : int; requester_available : int }
       (** ask for AV; [requester_available] piggybacks the caller's own
@@ -36,7 +41,7 @@ type request =
 type response =
   | Av_grant of { granted : int; donor_available : int }
       (** [donor_available] piggybacks the donor's remaining holdings *)
-  | Central_ack of { applied : bool; new_amount : int }
+  | Central_ack of { status : central_status; new_amount : int }
   | Vote of { txid : int; vote : Avdb_txn.Two_phase.vote }
   | Decision_ack of { txid : int }
   | Read_value of { amount : int option }

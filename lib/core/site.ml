@@ -60,6 +60,17 @@ type t = {
   mutable history_seq : int;
   mutable sync_flush_scheduled : bool;
   mutable next_txn_seq : int;
+  (* Incarnation epoch, bumped by both crash and recover: every closure the
+     site hands to the engine or the RPC layer is fenced on the epoch it
+     was created under, so a continuation scheduled before a crash can
+     never mutate post-recovery state. *)
+  mutable epoch : int;
+  (* Client operations still awaiting their outcome. Fencing would leave
+     them unanswered across a crash (their continuations die with the
+     incarnation), so [crash] fails each one explicitly - the submitting
+     client is colocated with the site and observes the failure. *)
+  inflight : (int, Update.outcome -> unit) Hashtbl.t;
+  mutable next_op_seq : int;
 }
 
 let stock_table = "stock"
@@ -83,6 +94,24 @@ let peers t = List.filter (fun a -> not (Address.equal a t.addr)) t.shared.all_a
 
 let trace t ?level ~category fmt =
   Trace.recordf t.shared.trace ~at:(now t) ?level ~category fmt
+
+(* Epoch fence: [fenced t k] is [k] while the site stays in its current
+   incarnation and a no-op after any crash or recovery in between. *)
+let fenced t k =
+  let epoch = t.epoch in
+  fun x -> if t.epoch = epoch then k x
+
+let retry_policy t = (config t).Config.rpc_retry
+
+let track_inflight t finish =
+  let op = t.next_op_seq in
+  t.next_op_seq <- t.next_op_seq + 1;
+  Hashtbl.replace t.inflight op finish;
+  fun outcome ->
+    if Hashtbl.mem t.inflight op then begin
+      Hashtbl.remove t.inflight op;
+      finish outcome
+    end
 
 let amount_of t ~item =
   match Database.get_col t.db ~table:stock_table ~key:item ~col:"amount" with
@@ -177,9 +206,10 @@ and schedule_sync_flush t =
       if (not t.sync_flush_scheduled) && Hashtbl.length t.pending_sync > 0 then begin
         t.sync_flush_scheduled <- true;
         ignore
-          (Engine.schedule (engine t) ~delay:interval (fun () ->
-               t.sync_flush_scheduled <- false;
-               flush_sync t))
+          (Engine.schedule (engine t) ~delay:interval
+             (fenced t (fun () ->
+                  t.sync_flush_scheduled <- false;
+                  flush_sync t)))
       end
 
 (* --- request handling (the accelerator's server side) --- *)
@@ -209,20 +239,26 @@ let handle_central_update t ~item ~delta ~reply =
     reply (Protocol.Bad_request "central update at non-base site")
   else
     match amount_of t ~item with
-    | None -> reply (Protocol.Central_ack { applied = false; new_amount = 0 })
+    | None ->
+        reply
+          (Protocol.Central_ack { status = Protocol.Central_unknown_item; new_amount = 0 })
     | Some current ->
         if current + delta < 0 then
-          reply (Protocol.Central_ack { applied = false; new_amount = current })
+          reply
+            (Protocol.Central_ack
+               { status = Protocol.Central_insufficient; new_amount = current })
         else begin
           let txn = Database.begin_txn t.db in
           match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
           | Ok new_amount ->
               Database.commit txn;
               record_history t ~item ~delta ~path:"central";
-              reply (Protocol.Central_ack { applied = true; new_amount })
+              reply (Protocol.Central_ack { status = Protocol.Central_applied; new_amount })
           | Error _ ->
               Database.abort txn;
-              reply (Protocol.Central_ack { applied = false; new_amount = current })
+              reply
+                (Protocol.Central_ack
+                   { status = Protocol.Central_insufficient; new_amount = current })
         end
 
 (* Finalise a prepared transaction at this participant (from a Decision
@@ -258,39 +294,40 @@ let max_decision_queries = 25
 
 let rec schedule_termination_check t ~txid =
   ignore
-    (Engine.schedule (engine t) ~delay:(config t).Config.decision_timeout (fun () ->
-         match Hashtbl.find_opt t.participant_txns txid with
-         | None -> () (* decision arrived meanwhile *)
-         | Some p ->
-             if is_down t then schedule_termination_check t ~txid
-             else begin
-               p.p_queries <- p.p_queries + 1;
-               if p.p_queries > max_decision_queries then begin
-                 trace t ~level:Trace.Warn ~category:"2pc"
-                   "tx%d heuristically aborted at %a (coordinator unreachable)" txid
-                   Address.pp t.addr;
-                 finalize_participant t ~txid Two_phase.Abort
-               end
-               else
-                 Rpc.call t.shared.rpc ~src:t.addr ~dst:p.p_coordinator
-                   ~timeout:(config t).Config.rpc_timeout
-                   (Protocol.Query_decision { txid })
-                   (fun response ->
-                     match response with
-                     | Ok (Protocol.Decision_status { status; _ }) -> (
-                         match status with
-                         | Protocol.Decided decision ->
-                             trace t ~category:"2pc"
-                               "tx%d outcome recovered via termination protocol at %a" txid
-                               Address.pp t.addr;
-                             finalize_participant t ~txid decision
-                         | Protocol.Still_pending -> schedule_termination_check t ~txid
-                         | Protocol.Unknown_txn ->
-                             trace t ~category:"2pc" "tx%d presumed aborted at %a" txid
-                               Address.pp t.addr;
-                             finalize_participant t ~txid Two_phase.Abort)
-                     | Ok _ | Error _ -> schedule_termination_check t ~txid)
-             end))
+    (Engine.schedule (engine t) ~delay:(config t).Config.decision_timeout
+       (fenced t (fun () ->
+            match Hashtbl.find_opt t.participant_txns txid with
+            | None -> () (* decision arrived meanwhile *)
+            | Some p ->
+                if is_down t then schedule_termination_check t ~txid
+                else begin
+                  p.p_queries <- p.p_queries + 1;
+                  if p.p_queries > max_decision_queries then begin
+                    trace t ~level:Trace.Warn ~category:"2pc"
+                      "tx%d heuristically aborted at %a (coordinator unreachable)" txid
+                      Address.pp t.addr;
+                    finalize_participant t ~txid Two_phase.Abort
+                  end
+                  else
+                    Rpc.call t.shared.rpc ~src:t.addr ~dst:p.p_coordinator
+                      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
+                      (Protocol.Query_decision { txid })
+                      (fenced t (fun response ->
+                           match response with
+                           | Ok (Protocol.Decision_status { status; _ }) -> (
+                               match status with
+                               | Protocol.Decided decision ->
+                                   trace t ~category:"2pc"
+                                     "tx%d outcome recovered via termination protocol at %a"
+                                     txid Address.pp t.addr;
+                                   finalize_participant t ~txid decision
+                               | Protocol.Still_pending -> schedule_termination_check t ~txid
+                               | Protocol.Unknown_txn ->
+                                   trace t ~category:"2pc" "tx%d presumed aborted at %a" txid
+                                     Address.pp t.addr;
+                                   finalize_participant t ~txid Two_phase.Abort)
+                           | Ok _ | Error _ -> schedule_termination_check t ~txid))
+                end)))
 
 let handle_prepare t ~txid ~coordinator ~item ~delta ~reply =
   if not (item_known t ~item) then begin
@@ -299,7 +336,8 @@ let handle_prepare t ~txid ~coordinator ~item ~delta ~reply =
   end
   else
     Lock_manager.acquire t.locks ~owner:txid ~key:item Lock_manager.Exclusive
-      ~timeout:(config t).Config.lock_timeout (fun lock_result ->
+      ~timeout:(config t).Config.lock_timeout
+      (fenced t (fun lock_result ->
         let can_apply =
           match lock_result with
           | Error `Timeout -> false
@@ -328,7 +366,7 @@ let handle_prepare t ~txid ~coordinator ~item ~delta ~reply =
             Txn_log.record_start t.txn_log ~txid ~coordinator ~item ~delta ~at:(now t);
           schedule_termination_check t ~txid
         end;
-        reply (Protocol.Vote { txid; vote }))
+        reply (Protocol.Vote { txid; vote })))
 
 let handle_decision t ~txid ~decision ~reply =
   finalize_participant t ~txid decision;
@@ -344,6 +382,15 @@ let handle_query_decision t ~txid ~reply =
     | None -> (
         match Txn_log.find t.txn_log ~txid with
         | Some { Txn_log.outcome = Some d; _ } -> Protocol.Decided d
+        | Some { Txn_log.outcome = None; coordinator; _ }
+          when Address.equal coordinator t.addr ->
+            (* We coordinated this txn but hold neither an in-memory
+               machine (reset on recovery) nor a logged outcome: we
+               crashed before deciding. Outcomes are logged before any
+               Commit is broadcast, so abort is the only possible verdict
+               (presumed abort); log it so repeated queries agree. *)
+            Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
+            Protocol.Decided Two_phase.Abort
         | Some { Txn_log.outcome = None; _ } ->
             (* we know the txn but not its outcome: only possible while it
                is still being coordinated elsewhere *)
@@ -422,7 +469,8 @@ let rec maybe_prefetch t ~item =
                 { item; amount = want; requester_available = Av_table.available t.av ~item }
             in
             Rpc.call t.shared.rpc ~src:t.addr ~dst:target
-              ~timeout:(config t).Config.rpc_timeout request (fun response ->
+              ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) request
+              (fenced t (fun response ->
                 Hashtbl.remove t.prefetch_in_flight item;
                 match response with
                 | Ok (Protocol.Av_grant { granted; donor_available }) ->
@@ -435,7 +483,7 @@ let rec maybe_prefetch t ~item =
                       | Ok () -> maybe_prefetch t ~item
                       | Error e -> failwith ("Site.maybe_prefetch deposit: " ^ e)
                     end
-                | Ok _ | Error _ -> ())
+                | Ok _ | Error _ -> ()))
       end
 
 (* --- Delay Update (client side) --- *)
@@ -497,7 +545,8 @@ let acquire_av t ~item ~need k =
                 }
             in
             Rpc.call t.shared.rpc ~src:t.addr ~dst:target
-              ~timeout:(config t).Config.rpc_timeout request (fun response ->
+              ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) request
+              (fenced t (fun response ->
                 (match response with
                 | Ok (Protocol.Av_grant { granted; donor_available }) ->
                     Peer_view.observe t.view ~site:target ~item ~volume:donor_available
@@ -510,7 +559,7 @@ let acquire_av t ~item ~need k =
                       acquired := !acquired + granted
                     end
                 | Ok _ | Error _ -> ());
-                step ())
+                step ()))
       end
     in
     step ()
@@ -518,10 +567,12 @@ let acquire_av t ~item ~need k =
 
 let delay_update t ~item ~delta ~finish =
   if delta >= 0 then begin
-    (* Positive deltas create AV; no communication at all. *)
-    (match Av_table.deposit t.av ~item delta with
+    (* Positive deltas create AV; no communication at all. [mint] rather
+       than [deposit]: new volume enters the conservation ledger here,
+       whereas grants from peers merely move existing volume. *)
+    (match Av_table.mint t.av ~item delta with
     | Ok () -> ()
-    | Error e -> failwith ("Site.delay_update deposit: " ^ e));
+    | Error e -> failwith ("Site.delay_update mint: " ^ e));
     apply_local_delta t ~item ~delta;
     finish (Update.Applied Update.Local)
   end
@@ -576,9 +627,9 @@ let batch_update t ~deltas ~finish =
         record_history t ~item ~delta ~path:"delay-batch";
         add_pending_sync t ~item ~delta;
         if delta >= 0 then begin
-          match Av_table.deposit t.av ~item delta with
+          match Av_table.mint t.av ~item delta with
           | Ok () -> ()
-          | Error e -> failwith ("Site.batch_update deposit: " ^ e)
+          | Error e -> failwith ("Site.batch_update mint: " ^ e)
         end
         else begin
           match Av_table.consume t.av ~item (-delta) with
@@ -624,21 +675,24 @@ let immediate_update t ~item ~delta ~finish =
   and execute_one action =
     match action with
     | Two_phase.Coordinator.Broadcast_prepare ->
+        (* Prepare and Decision deliberately run without the retry policy:
+           a lost prepare is a Refuse vote, a lost decision is recovered by
+           the participant's termination protocol. *)
         List.iter
           (fun p ->
             Rpc.call t.shared.rpc ~src:t.addr ~dst:p
               ~timeout:(config t).Config.prepare_timeout
               (Protocol.Prepare { txid; coordinator = t.addr; item; delta })
-              (fun response ->
-                match response with
-                | Ok (Protocol.Vote { txid = _; vote }) ->
-                    execute (Two_phase.Coordinator.on_vote machine ~from:p vote)
-                | Ok _ | Error _ ->
-                    execute (Two_phase.Coordinator.on_vote machine ~from:p Two_phase.Refuse)))
+              (fenced t (fun response ->
+                   match response with
+                   | Ok (Protocol.Vote { txid = _; vote }) ->
+                       execute (Two_phase.Coordinator.on_vote machine ~from:p vote)
+                   | Ok _ | Error _ ->
+                       execute (Two_phase.Coordinator.on_vote machine ~from:p Two_phase.Refuse))))
           participant_addrs;
         ignore
-          (Engine.schedule (engine t) ~delay:(config t).Config.prepare_timeout (fun () ->
-               execute (Two_phase.Coordinator.on_vote_timeout machine)))
+          (Engine.schedule (engine t) ~delay:(config t).Config.prepare_timeout
+             (fenced t (fun () -> execute (Two_phase.Coordinator.on_vote_timeout machine))))
     | Two_phase.Coordinator.Broadcast_decision decision ->
         (* Log the outcome before telling anyone (presumed abort depends on
            "no record => never decided"), then finalise the local part. *)
@@ -659,15 +713,15 @@ let immediate_update t ~item ~delta ~finish =
           (fun p ->
             Rpc.call t.shared.rpc ~src:t.addr ~dst:p ~timeout:(config t).Config.ack_timeout
               (Protocol.Decision { txid; decision })
-              (fun response ->
-                match response with
-                | Ok (Protocol.Decision_ack _) ->
-                    execute (Two_phase.Coordinator.on_ack machine ~from:p)
-                | Ok _ | Error _ -> ()))
+              (fenced t (fun response ->
+                   match response with
+                   | Ok (Protocol.Decision_ack _) ->
+                       execute (Two_phase.Coordinator.on_ack machine ~from:p)
+                   | Ok _ | Error _ -> ())))
           participant_addrs;
         ignore
-          (Engine.schedule (engine t) ~delay:(config t).Config.ack_timeout (fun () ->
-               execute (Two_phase.Coordinator.on_ack_timeout machine)))
+          (Engine.schedule (engine t) ~delay:(config t).Config.ack_timeout
+             (fenced t (fun () -> execute (Two_phase.Coordinator.on_ack_timeout machine))))
     | Two_phase.Coordinator.Completed decision ->
         trace t ~category:"2pc" "tx%d %a at coordinator %a" txid Two_phase.pp_decision decision
           Address.pp t.addr;
@@ -682,7 +736,8 @@ let immediate_update t ~item ~delta ~finish =
   in
   (* Local participation: lock, tentatively apply, derive the local vote. *)
   Lock_manager.acquire t.locks ~owner:txid ~key:item Lock_manager.Exclusive
-    ~timeout:(config t).Config.lock_timeout (fun lock_result ->
+    ~timeout:(config t).Config.lock_timeout
+    (fenced t (fun lock_result ->
       let local_vote =
         match lock_result with
         | Error `Timeout -> Two_phase.Refuse
@@ -700,7 +755,7 @@ let immediate_update t ~item ~delta ~finish =
             | Some _ | None -> Two_phase.Refuse)
       in
       if local_vote = Two_phase.Refuse then Lock_manager.release_all t.locks ~owner:txid;
-      execute (Two_phase.Coordinator.start machine ~local_vote))
+      execute (Two_phase.Coordinator.start machine ~local_vote)))
 
 (* --- Centralized baseline (client side) --- *)
 
@@ -723,16 +778,18 @@ let centralized_update t ~item ~delta ~finish =
         end
   else
     Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout
+      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
       (Protocol.Central_update { item; delta })
-      (fun response ->
-        match response with
-        | Ok (Protocol.Central_ack { applied = true; _ }) ->
-            finish (Update.Applied Update.Central)
-        | Ok (Protocol.Central_ack { applied = false; _ }) ->
-            finish (Update.Rejected Update.Insufficient_stock)
-        | Ok _ -> finish (Update.Rejected Update.Txn_aborted)
-        | Error _ -> finish (Update.Rejected Update.Unreachable))
+      (fenced t (fun response ->
+           match response with
+           | Ok (Protocol.Central_ack { status = Protocol.Central_applied; _ }) ->
+               finish (Update.Applied Update.Central)
+           | Ok (Protocol.Central_ack { status = Protocol.Central_insufficient; _ }) ->
+               finish (Update.Rejected Update.Insufficient_stock)
+           | Ok (Protocol.Central_ack { status = Protocol.Central_unknown_item; _ }) ->
+               finish (Update.Rejected (Update.Unknown_item item))
+           | Ok _ -> finish (Update.Rejected Update.Txn_aborted)
+           | Error Rpc.Timeout -> finish (Update.Rejected Update.Unreachable)))
 
 (* --- dynamic membership --- *)
 
@@ -764,7 +821,8 @@ let join t callback =
   if Address.equal t.addr t.base_addr then callback (Ok ())
   else
     Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout Protocol.Join_request (fun response ->
+      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) Protocol.Join_request
+      (fenced t (fun response ->
         match response with
         | Ok (Protocol.Join_snapshot { rows; sync_state }) ->
             let txn = Database.begin_txn t.db in
@@ -794,17 +852,18 @@ let join t callback =
               callback (Error Update.Txn_aborted)
             end
         | Ok _ -> callback (Error Update.Txn_aborted)
-        | Error _ -> callback (Error Update.Unreachable))
+        | Error Rpc.Timeout -> callback (Error Update.Unreachable)))
 
 (* --- public update entry point: the checking function --- *)
 
 let submit_update t ~item ~delta callback =
   let started = now t in
   t.metrics.Update.Metrics.submitted <- t.metrics.Update.Metrics.submitted + 1;
-  let finish outcome =
-    let result = { Update.outcome; latency = Time.diff (now t) started } in
-    Update.Metrics.record t.metrics result;
-    callback result
+  let finish =
+    track_inflight t (fun outcome ->
+        let result = { Update.outcome; latency = Time.diff (now t) started } in
+        Update.Metrics.record t.metrics result;
+        callback result)
   in
   if is_down t then finish (Update.Rejected Update.Unreachable)
   else if not (item_known t ~item) then
@@ -829,22 +888,22 @@ let read_authoritative t ~item callback =
   else if Address.equal t.addr t.base_addr then callback (Ok (amount_of t ~item))
   else
     Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout
+      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
       (Protocol.Read_request { item })
-      (fun response ->
-        match response with
-        | Ok (Protocol.Read_value { amount }) -> callback (Ok amount)
-        | Ok _ -> callback (Error Update.Txn_aborted)
-        | Error Rpc.Timeout -> callback (Error Update.Unreachable)
-        | Error Rpc.Unreachable -> callback (Error Update.Unreachable))
+      (fenced t (fun response ->
+           match response with
+           | Ok (Protocol.Read_value { amount }) -> callback (Ok amount)
+           | Ok _ -> callback (Error Update.Txn_aborted)
+           | Error Rpc.Timeout -> callback (Error Update.Unreachable)))
 
 let submit_batch t ~deltas callback =
   let started = now t in
   t.metrics.Update.Metrics.submitted <- t.metrics.Update.Metrics.submitted + 1;
-  let finish outcome =
-    let result = { Update.outcome; latency = Time.diff (now t) started } in
-    Update.Metrics.record t.metrics result;
-    callback result
+  let finish =
+    track_inflight t (fun outcome ->
+        let result = { Update.outcome; latency = Time.diff (now t) started } in
+        Update.Metrics.record t.metrics result;
+        callback result)
   in
   if is_down t || (config t).Config.mode = Config.Centralized then
     finish (Update.Rejected Update.Unreachable)
@@ -866,11 +925,25 @@ let submit_batch t ~deltas callback =
 
 let crash t =
   trace t ~level:Trace.Warn ~category:"fault" "%a crashed" Address.pp t.addr;
-  Network.set_down (network t) t.addr true
+  (* Bumping the epoch fences every closure created so far: timers and RPC
+     continuations belonging to the dead incarnation become no-ops. *)
+  t.epoch <- t.epoch + 1;
+  Network.set_down (network t) t.addr true;
+  (* Fail client operations caught in flight: their fenced continuations
+     will never fire, and the colocated client sees the crash directly. *)
+  let pending =
+    Hashtbl.fold (fun op finish acc -> (op, finish) :: acc) t.inflight []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Hashtbl.reset t.inflight;
+  List.iter (fun (_, finish) -> finish (Update.Rejected Update.Unreachable)) pending
 
 let recover t =
   (* Restart: committed state only, from the write-ahead log. In-flight
-     participant transactions and locks die with the process. *)
+     participant transactions, locks, holds and timers die with the
+     process; bump the epoch again so even closures created while down
+     (there should be none, but belt and braces) cannot fire. *)
+  t.epoch <- t.epoch + 1;
   t.db <- Database.recover ~name:(Database.name t.db) (Database.wal t.db);
   (* Resume the audit sequence after the recovered rows to keep keys
      unique (history rows are never deleted). *)
@@ -878,9 +951,18 @@ let recover t =
   | Some tbl -> t.history_seq <- Table.size tbl
   | None -> ());
   Hashtbl.reset t.participant_txns;
+  Hashtbl.reset t.coordinators;
   ignore (Two_phase.Participant.abort_pending t.participant);
   t.locks <- Lock_manager.create ~engine:(engine t) ~default_timeout:(config t).Config.lock_timeout ();
+  (* Transient per-incarnation state: holds taken by in-flight updates go
+     back to available (their owners are gone), background refills restart
+     from scratch, and the debounced flush timer is re-armed if committed
+     deltas are still waiting to propagate. *)
+  Av_table.release_all t.av;
+  Hashtbl.reset t.prefetch_in_flight;
+  t.sync_flush_scheduled <- false;
   Network.set_down (network t) t.addr false;
+  schedule_sync_flush t;
   trace t ~category:"fault" "%a recovered (WAL replayed)" Address.pp t.addr
 
 (* --- construction --- *)
@@ -954,6 +1036,9 @@ let create shared ~addr ~av_init =
       history_seq = 0;
       sync_flush_scheduled = false;
       next_txn_seq = 0;
+      epoch = 0;
+      inflight = Hashtbl.create 8;
+      next_op_seq = 0;
     }
   in
   Rpc.serve shared.rpc addr

@@ -83,12 +83,24 @@ val join : t -> ((unit, Update.reason) result -> unit) -> unit
 val crash : t -> unit
 (** Marks the site down: its messages are lost, peers' calls to it time
     out, its own submissions are rejected. In-memory protocol state for
-    in-flight coordinations is abandoned. *)
+    in-flight coordinations is abandoned, and the site's incarnation
+    epoch is bumped so every continuation scheduled by the old
+    incarnation (RPC completions, 2PC timeouts, sync-flush timers) is
+    fenced: it fires in the event queue but no-ops instead of touching
+    the next incarnation's state. Submissions still awaiting an outcome
+    fail immediately with [Rejected Unreachable] — the colocated client
+    observes its server die; its callback never fires twice. *)
 
 val recover : t -> unit
-(** Brings the site back. The local database is rebuilt from its
-    write-ahead log (committed state only) — an in-flight local
-    transaction at crash time is lost, exactly as on a real restart. *)
+(** Brings the site back as a {e new incarnation} (the epoch is bumped
+    again). The local database is rebuilt from its write-ahead log
+    (committed state only) — an in-flight local transaction at crash
+    time is lost, exactly as on a real restart. Transient protocol
+    state is reset: AV held by abandoned operations returns to the
+    available pool, locks and in-memory 2PC coordinations are dropped
+    (prepared participants resolve via the termination protocol and the
+    coordinator's presumed-abort answer from its transaction log), and
+    the lazy-sync timer is re-armed if deltas are still pending. *)
 
 val is_down : t -> bool
 

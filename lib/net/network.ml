@@ -21,7 +21,9 @@ module Pair_set = Set.Make (Pair)
 type 'a t = {
   engine : Engine.t;
   latency : Latency.t;
-  drop_probability : float;
+  mutable drop_probability : float;
+  mutable duplicate_probability : float;
+  mutable reorder_probability : float;
   bandwidth_bytes_per_sec : int option;
   rng : Rng.t;
   nodes : (Address.t, 'a node) Hashtbl.t;
@@ -36,17 +38,21 @@ type 'a t = {
   mutable partitions : Pair_set.t;
 }
 
+let check_probability what p =
+  if p < 0. || p > 1. then invalid_arg (Printf.sprintf "Network: %s out of [0,1]" what);
+  p
+
 let create ~engine ?(latency = Latency.default) ?(drop_probability = 0.)
-    ?bandwidth_bytes_per_sec () =
-  if drop_probability < 0. || drop_probability > 1. then
-    invalid_arg "Network.create: drop_probability out of [0,1]";
+    ?(duplicate_probability = 0.) ?(reorder_probability = 0.) ?bandwidth_bytes_per_sec () =
   (match bandwidth_bytes_per_sec with
   | Some b when b <= 0 -> invalid_arg "Network.create: bandwidth must be positive"
   | Some _ | None -> ());
   {
     engine;
     latency;
-    drop_probability;
+    drop_probability = check_probability "drop_probability" drop_probability;
+    duplicate_probability = check_probability "duplicate_probability" duplicate_probability;
+    reorder_probability = check_probability "reorder_probability" reorder_probability;
     bandwidth_bytes_per_sec;
     rng = Rng.split (Engine.rng engine);
     nodes = Hashtbl.create 16;
@@ -76,6 +82,14 @@ let node t addr =
   | None -> invalid_arg (Format.asprintf "Network: unknown node %a" Address.pp addr)
 
 let set_down t addr down = (node t addr).down <- down
+
+let set_drop_probability t p = t.drop_probability <- check_probability "drop_probability" p
+
+let set_duplicate_probability t p =
+  t.duplicate_probability <- check_probability "duplicate_probability" p
+
+let set_reorder_probability t p =
+  t.reorder_probability <- check_probability "reorder_probability" p
 
 let set_link_latency t a b latency = Hashtbl.replace t.link_overrides (Pair.make a b) latency
 
@@ -115,19 +129,43 @@ let send t ~src ~dst ?(size = 64) payload =
           Hashtbl.replace t.link_busy_until (src, dst) finished;
           finished
     in
-    let natural = Time.add departure (Latency.sample (link_latency t ~src ~dst) t.rng) in
-    let deliver_at =
-      match Hashtbl.find_opt t.last_delivery (src, dst) with
-      | Some last -> Time.max natural last
-      | None -> natural
+    let latency_model = link_latency t ~src ~dst in
+    let natural = Time.add departure (Latency.sample latency_model t.rng) in
+    let deliver payload_at =
+      ignore
+        (Engine.schedule_at t.engine ~at:payload_at (fun () ->
+             (* Crash between send and delivery loses the message. *)
+             if dst_node.down || is_partitioned t src dst then Stats.on_dropped t.stats src
+             else begin
+               Stats.on_received t.stats dst;
+               dst_node.handler ~src payload
+             end))
     in
-    Hashtbl.replace t.last_delivery (src, dst) deliver_at;
-    ignore
-      (Engine.schedule_at t.engine ~at:deliver_at (fun () ->
-           (* Crash between send and delivery loses the message. *)
-           if dst_node.down || is_partitioned t src dst then Stats.on_dropped t.stats src
-           else begin
-             Stats.on_received t.stats dst;
-             dst_node.handler ~src payload
-           end))
+    (* The [> 0.] guards keep disabled injections from consuming RNG draws,
+       so seeded runs are bit-identical with the features off. *)
+    let deliver_at =
+      if t.reorder_probability > 0. && Rng.bernoulli t.rng t.reorder_probability then begin
+        (* Reordering injection: delay this message by one extra latency
+           sample and bypass the FIFO clamp, so messages sent after it may
+           overtake it on the same link. *)
+        Stats.on_reordered t.stats src;
+        Time.add natural (Latency.sample latency_model t.rng)
+      end
+      else begin
+        let clamped =
+          match Hashtbl.find_opt t.last_delivery (src, dst) with
+          | Some last -> Time.max natural last
+          | None -> natural
+        in
+        Hashtbl.replace t.last_delivery (src, dst) clamped;
+        clamped
+      end
+    in
+    deliver deliver_at;
+    if t.duplicate_probability > 0. && Rng.bernoulli t.rng t.duplicate_probability then begin
+      (* Duplication injection: a second copy arrives one extra latency
+         sample later, outside the FIFO clamp. *)
+      Stats.on_duplicated t.stats src;
+      deliver (Time.add deliver_at (Latency.sample latency_model t.rng))
+    end
   end

@@ -15,11 +15,17 @@ val create :
   engine:Avdb_sim.Engine.t ->
   ?latency:Latency.t ->
   ?drop_probability:float ->
+  ?duplicate_probability:float ->
+  ?reorder_probability:float ->
   ?bandwidth_bytes_per_sec:int ->
   unit ->
   'a t
 (** [latency] defaults to {!Latency.default}; [drop_probability] (default
-    [0.]) applies independently to every message. With
+    [0.]) applies independently to every message. [duplicate_probability]
+    (default [0.]) delivers an extra copy of the message one extra latency
+    sample later; [reorder_probability] (default [0.]) exempts the message
+    from the per-link FIFO guarantee and delays it by one extra latency
+    sample, so later messages can overtake it. With
     [bandwidth_bytes_per_sec] set, each directed link also serialises
     messages: a message of [size] bytes occupies the link for
     [size / bandwidth] before its propagation delay starts, so bursts
@@ -58,6 +64,14 @@ val send : 'a t -> src:Address.t -> dst:Address.t -> ?size:int -> 'a -> unit
 val set_down : 'a t -> Address.t -> bool -> unit
 (** Marks a node crashed/recovered. In-flight messages to a node that
     crashes before delivery are lost. *)
+
+val set_drop_probability : 'a t -> float -> unit
+(** Changes the loss rate at runtime — scripted fault scenarios open and
+    close lossy windows with this. Raises [Invalid_argument] outside
+    [0,1]. *)
+
+val set_duplicate_probability : 'a t -> float -> unit
+val set_reorder_probability : 'a t -> float -> unit
 
 val is_down : 'a t -> Address.t -> bool
 

@@ -5,20 +5,44 @@ type ('req, 'resp, 'note) envelope =
   | Response of { id : int; body : 'resp }
   | Notice of 'note
 
-type error = Timeout | Unreachable
+type error = Timeout
 
-let pp_error ppf = function
-  | Timeout -> Format.pp_print_string ppf "timeout"
-  | Unreachable -> Format.pp_print_string ppf "unreachable"
+let pp_error ppf = function Timeout -> Format.pp_print_string ppf "timeout"
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff : Time.t;
+  backoff_multiplier : float;
+  jitter : float;
+}
+
+let no_retry =
+  { max_attempts = 1; base_backoff = Time.zero; backoff_multiplier = 2.; jitter = 0. }
+
+let default_retry =
+  { max_attempts = 4; base_backoff = Time.of_ms 25.; backoff_multiplier = 2.; jitter = 0.5 }
+
+let validate_retry p =
+  if p.max_attempts < 1 then invalid_arg "Rpc: retry max_attempts must be >= 1";
+  if p.backoff_multiplier < 1. then invalid_arg "Rpc: backoff_multiplier must be >= 1";
+  if p.jitter < 0. || p.jitter > 1. then invalid_arg "Rpc: jitter out of [0,1]"
 
 type ('req, 'resp) pending = {
   continuation : ('resp, error) result -> unit;
-  timeout_handle : Engine.handle;
+  mutable timeout_handle : Engine.handle option;
 }
+
+(* Bounded at-most-once reply cache per served node: remembers replies so a
+   retransmitted or network-duplicated request is answered from the cache
+   instead of re-running the (possibly non-idempotent) handler. *)
+let reply_cache_capacity = 8192
 
 type ('req, 'resp, 'note) t = {
   net : ('req, 'resp, 'note) envelope Network.t;
   engine : Engine.t;
+  (* Lazy so transports that never jitter a backoff leave the engine's RNG
+     stream untouched (seeded runs stay bit-identical with retries off). *)
+  rng : Rng.t Lazy.t;
   default_timeout : Time.t;
   request_size : 'req -> int;
   response_size : 'resp -> int;
@@ -29,13 +53,17 @@ type ('req, 'resp, 'note) t = {
 
 let flat _ = 64
 
-let create ~engine ?latency ?drop_probability ?bandwidth_bytes_per_sec
-    ?(default_timeout = Time.of_ms 100.) ?(request_size = flat) ?(response_size = flat)
-    ?(notice_size = flat) () =
-  let net = Network.create ~engine ?latency ?drop_probability ?bandwidth_bytes_per_sec () in
+let create ~engine ?latency ?drop_probability ?duplicate_probability ?reorder_probability
+    ?bandwidth_bytes_per_sec ?(default_timeout = Time.of_ms 100.) ?(request_size = flat)
+    ?(response_size = flat) ?(notice_size = flat) () =
+  let net =
+    Network.create ~engine ?latency ?drop_probability ?duplicate_probability
+      ?reorder_probability ?bandwidth_bytes_per_sec ()
+  in
   {
     net;
     engine;
+    rng = lazy (Rng.split (Engine.rng engine));
     default_timeout;
     request_size;
     response_size;
@@ -49,53 +77,88 @@ let engine t = t.engine
 let stats t = Network.stats t.net
 
 let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
+  (* id -> None while the handler owes a reply, Some resp once replied. *)
+  let replies : (int, 'resp option) Hashtbl.t = Hashtbl.create 64 in
+  let order = Queue.create () in
+  let send_response ~dst ~id body =
+    Network.send t.net ~src:addr ~dst ~size:(t.response_size body) (Response { id; body })
+  in
   let deliver ~src envelope =
     match envelope with
-    | Request { id; body } ->
-        let replied = ref false in
-        let reply body =
-          if not !replied then begin
-            replied := true;
-            Network.send t.net ~src:addr ~dst:src ~size:(t.response_size body)
-              (Response { id; body })
-          end
-        in
-        handler ~src body ~reply
+    | Request { id; body } -> (
+        match Hashtbl.find_opt replies id with
+        | Some (Some cached) ->
+            (* Duplicate of an already-answered request: replay the reply. *)
+            send_response ~dst:src ~id cached
+        | Some None -> () (* duplicate while the first copy is still in the handler *)
+        | None ->
+            Hashtbl.replace replies id None;
+            Queue.push id order;
+            if Queue.length order > reply_cache_capacity then
+              Hashtbl.remove replies (Queue.pop order);
+            let reply body =
+              match Hashtbl.find_opt replies id with
+              | Some None ->
+                  Hashtbl.replace replies id (Some body);
+                  send_response ~dst:src ~id body
+              | Some (Some _) -> () (* double reply: ignored *)
+              | None ->
+                  (* evicted from the cache before the (very late) reply *)
+                  send_response ~dst:src ~id body
+            in
+            handler ~src body ~reply)
     | Response { id; body } -> (
         match Hashtbl.find_opt t.pending id with
-        | None -> () (* response after timeout: drop *)
+        | None -> () (* response after timeout or duplicate response: drop *)
         | Some p ->
             Hashtbl.remove t.pending id;
-            Engine.cancel t.engine p.timeout_handle;
+            Option.iter (Engine.cancel t.engine) p.timeout_handle;
             p.continuation (Ok body))
     | Notice body -> notice ~src body
   in
   Network.add_node t.net addr deliver
 
-let call t ~src ~dst ?timeout body continuation =
+(* Exponential backoff before attempt [n+1], scaled by a deterministic
+   jitter factor in [1-j, 1+j] drawn from the transport's own stream. *)
+let backoff_delay t policy ~attempt =
+  let scale = policy.backoff_multiplier ** float_of_int (attempt - 1) in
+  let factor =
+    if policy.jitter = 0. then 1.
+    else 1. +. (policy.jitter *. Rng.float_in (Lazy.force t.rng) (-1.) 1.)
+  in
+  let us = float_of_int (Time.to_us policy.base_backoff) *. scale *. factor in
+  Time.of_us (int_of_float (Float.max 0. us))
+
+let call t ~src ~dst ?timeout ?(retry = no_retry) body continuation =
+  validate_retry retry;
   let timeout = Option.value timeout ~default:t.default_timeout in
-  if Network.is_down t.net src || Network.is_down t.net dst then
-    (* Deliver the failure asynchronously so callers observe a uniform
-       event-driven discipline regardless of outcome. *)
-    ignore (Engine.schedule t.engine ~delay:Time.zero (fun () -> continuation (Error Unreachable)))
-  else begin
-    let id = t.next_id in
-    t.next_id <- t.next_id + 1;
-    let timeout_handle =
-      Engine.schedule t.engine ~delay:timeout (fun () ->
-          match Hashtbl.find_opt t.pending id with
-          | None -> ()
-          | Some p ->
-              Hashtbl.remove t.pending id;
-              p.continuation (Error Timeout))
-    in
-    Hashtbl.replace t.pending id { continuation; timeout_handle };
-    (* One request/response exchange = one correspondence, attributed to the
-       caller whether or not the response ultimately arrives (the messages
-       were exchanged either way in the common case). *)
-    Stats.add_correspondence (Network.stats t.net) src;
-    Network.send t.net ~src ~dst ~size:(t.request_size body) (Request { id; body })
-  end
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let p = { continuation; timeout_handle = None } in
+  Hashtbl.replace t.pending id p;
+  (* One logical call = one correspondence for the caller, regardless of
+     retransmissions or outcome: failure is only ever detected by timeout
+     now, so the request was genuinely put on the wire every time. *)
+  Stats.add_correspondence (Network.stats t.net) src;
+  let rec attempt n =
+    Network.send t.net ~src ~dst ~size:(t.request_size body) (Request { id; body });
+    p.timeout_handle <-
+      Some
+        (Engine.schedule t.engine ~delay:timeout (fun () ->
+             if Hashtbl.mem t.pending id then
+               if n >= retry.max_attempts then begin
+                 Hashtbl.remove t.pending id;
+                 p.continuation (Error Timeout)
+               end
+               else begin
+                 Stats.add_retry (Network.stats t.net) src;
+                 p.timeout_handle <-
+                   Some
+                     (Engine.schedule t.engine ~delay:(backoff_delay t retry ~attempt:n)
+                        (fun () -> if Hashtbl.mem t.pending id then attempt (n + 1)))
+               end))
+  in
+  attempt 1
 
 let notify t ~src ~dst body =
   Network.send t.net ~src ~dst ~size:(t.notice_size body) (Notice body)

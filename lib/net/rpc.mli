@@ -1,25 +1,50 @@
-(** Request/response messaging over {!Network}, with timeouts.
+(** Request/response messaging over {!Network}, with timeouts, retries and
+    at-most-once execution.
 
     Wraps a network whose payload is the private {!type-envelope}: callers
     see typed requests ['req], responses ['resp] and one-way notices
-    ['note]. Every completed (or sent-then-timed-out) call counts one
-    {e correspondence} against the calling site, matching the paper's
-    metric of request/response pairs. *)
+    ['note]. Every call counts one {e correspondence} against the calling
+    site, matching the paper's metric of request/response pairs.
+
+    Failure detection is {e timeout-only}: the transport never consults
+    global knowledge about whether a peer is down or partitioned, so a call
+    to a dead peer fails exactly like a call over a lossy link — with
+    [Timeout] after the deadline (times the configured attempts). A server
+    keeps a bounded reply cache keyed by request id, so retransmitted or
+    network-duplicated requests are answered from the cache instead of
+    re-running the handler: handlers observe at-most-once execution even
+    for non-idempotent operations. *)
 
 type ('req, 'resp, 'note) envelope
 
 type ('req, 'resp, 'note) t
 
-type error =
-  | Timeout  (** no response within the deadline *)
-  | Unreachable  (** caller or callee marked down at send time *)
+type error = Timeout  (** no response within the deadline(s) *)
 
 val pp_error : Format.formatter -> error -> unit
+
+type retry_policy = {
+  max_attempts : int;  (** total send attempts, >= 1; 1 = no retry *)
+  base_backoff : Avdb_sim.Time.t;  (** wait before the 2nd attempt *)
+  backoff_multiplier : float;  (** >= 1; backoff grows by this per attempt *)
+  jitter : float;
+      (** in [0,1]: each backoff is scaled by a factor uniform in
+          [1-jitter, 1+jitter], drawn deterministically from the
+          transport's own RNG stream *)
+}
+
+val no_retry : retry_policy
+(** Single attempt — the classic fire-and-wait call. *)
+
+val default_retry : retry_policy
+(** 4 attempts, 25 ms base backoff, doubling, 0.5 jitter. *)
 
 val create :
   engine:Avdb_sim.Engine.t ->
   ?latency:Latency.t ->
   ?drop_probability:float ->
+  ?duplicate_probability:float ->
+  ?reorder_probability:float ->
   ?bandwidth_bytes_per_sec:int ->
   ?default_timeout:Avdb_sim.Time.t ->
   ?request_size:('req -> int) ->
@@ -30,7 +55,8 @@ val create :
 (** Builds the underlying network too. [default_timeout] defaults to
     100 ms of virtual time. The three [*_size] estimators feed the byte
     counters and the optional bandwidth model; each defaults to a flat
-    64 bytes. *)
+    64 bytes. The fault-injection probabilities are forwarded to
+    {!Network.create}. *)
 
 val network : ('req, 'resp, 'note) t -> ('req, 'resp, 'note) envelope Network.t
 val engine : ('req, 'resp, 'note) t -> Avdb_sim.Engine.t
@@ -43,26 +69,34 @@ val serve :
   ?notice:(src:Address.t -> 'note -> unit) ->
   unit ->
   unit
-(** Registers a node. [handler] receives each request with a [reply]
-    function that may be invoked immediately or from a later event (at most
-    once; later invocations are ignored). [notice] handles one-way
-    messages; the default drops them. *)
+(** Registers a node. [handler] receives each distinct request once, with a
+    [reply] function that may be invoked immediately or from a later event
+    (at most once; later invocations are ignored). Duplicates of an
+    already-answered request are answered from the reply cache without
+    re-invoking [handler]. [notice] handles one-way messages; the default
+    drops them. *)
 
 val call :
   ('req, 'resp, 'note) t ->
   src:Address.t ->
   dst:Address.t ->
   ?timeout:Avdb_sim.Time.t ->
+  ?retry:retry_policy ->
   'req ->
   (('resp, error) result -> unit) ->
   unit
 (** Issues a request; the continuation runs exactly once, either with the
-    response or with an error. Counts one correspondence for [src] unless
-    the call failed as [Unreachable] before any message left. *)
+    response or with [Error Timeout] once every attempt's deadline passed.
+    Retransmissions reuse the same request id, so a server that already
+    executed the request replays its cached reply rather than executing it
+    again. A response arriving during a backoff pause completes the call
+    and cancels the pending retransmission. Counts exactly one
+    correspondence for [src] per call (never per attempt). *)
 
 val notify : ('req, 'resp, 'note) t -> src:Address.t -> dst:Address.t -> 'note -> unit
 (** Fire-and-forget one-way message (half a correspondence in the paper's
     message-pair accounting; not counted as a correspondence here). *)
 
 val pending_calls : ('req, 'resp, 'note) t -> int
-(** Number of calls awaiting a response or timeout (diagnostic). *)
+(** Number of calls awaiting a response, retransmission or timeout
+    (diagnostic). *)

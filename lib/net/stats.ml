@@ -3,6 +3,9 @@ type site = {
   mutable received : int;
   mutable bytes_sent : int;
   mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable retries : int;
   mutable correspondences : int;
 }
 
@@ -14,7 +17,18 @@ let site t addr =
   match Hashtbl.find_opt t.per_site addr with
   | Some s -> s
   | None ->
-      let s = { sent = 0; received = 0; bytes_sent = 0; dropped = 0; correspondences = 0 } in
+      let s =
+        {
+          sent = 0;
+          received = 0;
+          bytes_sent = 0;
+          dropped = 0;
+          duplicated = 0;
+          reordered = 0;
+          retries = 0;
+          correspondences = 0;
+        }
+      in
       Hashtbl.add t.per_site addr s;
       s
 
@@ -31,6 +45,18 @@ let on_dropped t addr =
   let s = site t addr in
   s.dropped <- s.dropped + 1
 
+let on_duplicated t addr =
+  let s = site t addr in
+  s.duplicated <- s.duplicated + 1
+
+let on_reordered t addr =
+  let s = site t addr in
+  s.reordered <- s.reordered + 1
+
+let add_retry t addr =
+  let s = site t addr in
+  s.retries <- s.retries + 1
+
 let add_correspondence t addr =
   let s = site t addr in
   s.correspondences <- s.correspondences + 1
@@ -40,6 +66,9 @@ let total_sent t = fold (fun acc s -> acc + s.sent) t 0
 let total_received t = fold (fun acc s -> acc + s.received) t 0
 let total_dropped t = fold (fun acc s -> acc + s.dropped) t 0
 let total_correspondences t = fold (fun acc s -> acc + s.correspondences) t 0
+let total_duplicated t = fold (fun acc s -> acc + s.duplicated) t 0
+let total_reordered t = fold (fun acc s -> acc + s.reordered) t 0
+let total_retries t = fold (fun acc s -> acc + s.retries) t 0
 let message_pair_correspondences t = float_of_int (total_sent t) /. 2.
 
 let sites t =

@@ -12,6 +12,9 @@ type site = {
   mutable received : int;
   mutable bytes_sent : int;
   mutable dropped : int;  (** messages lost to drops, partitions or down nodes *)
+  mutable duplicated : int;  (** extra copies injected by duplication *)
+  mutable reordered : int;  (** messages exempted from FIFO by reordering injection *)
+  mutable retries : int;  (** RPC retransmissions after per-attempt timeouts *)
   mutable correspondences : int;
 }
 
@@ -25,12 +28,24 @@ val site : t -> Address.t -> site
 val on_sent : t -> Address.t -> bytes:int -> unit
 val on_received : t -> Address.t -> unit
 val on_dropped : t -> Address.t -> unit
+val on_duplicated : t -> Address.t -> unit
+val on_reordered : t -> Address.t -> unit
+val add_retry : t -> Address.t -> unit
 val add_correspondence : t -> Address.t -> unit
 
 val total_sent : t -> int
 val total_received : t -> int
 val total_dropped : t -> int
 val total_correspondences : t -> int
+
+val total_duplicated : t -> int
+(** Injected duplicate deliveries. When nonzero,
+    [total_received + total_dropped] exceeds [total_sent] by up to this
+    amount (each duplicate is a received message that was never "sent"
+    by a site). *)
+
+val total_reordered : t -> int
+val total_retries : t -> int
 
 val message_pair_correspondences : t -> float
 (** [total_sent / 2.] — the paper's counting rule applied to raw message

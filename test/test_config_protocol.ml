@@ -79,7 +79,9 @@ let test_protocol_printers () =
   let resps =
     [
       Protocol.Av_grant { granted = 1; donor_available = 2 };
-      Protocol.Central_ack { applied = true; new_amount = 3 };
+      Protocol.Central_ack { status = Protocol.Central_applied; new_amount = 3 };
+      Protocol.Central_ack { status = Protocol.Central_insufficient; new_amount = 0 };
+      Protocol.Central_ack { status = Protocol.Central_unknown_item; new_amount = 0 };
       Protocol.Vote { txid = 1; vote = Avdb_txn.Two_phase.Ready };
       Protocol.Decision_ack { txid = 1 };
       Protocol.Read_value { amount = None };

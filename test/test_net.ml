@@ -136,6 +136,66 @@ let test_drop_probability () =
   Alcotest.(check int) "sent + dropped accounted" n
     (Stats.total_received (Network.stats net) + Stats.total_dropped (Network.stats net))
 
+let test_duplicate_probability () =
+  let engine = Engine.create ~seed:7 () in
+  let net =
+    Network.create ~engine ~latency:(Latency.Constant (t_us 10)) ~duplicate_probability:1.0 ()
+  in
+  let received = ref 0 in
+  for i = 0 to 1 do
+    Network.add_node net (addr i) (fun ~src:_ (_ : string) -> incr received)
+  done;
+  for _ = 1 to 20 do
+    Network.send net ~src:(addr 0) ~dst:(addr 1) "m"
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "every message delivered twice" 40 !received;
+  Alcotest.(check int) "duplications counted" 20 (Stats.total_duplicated (Network.stats net));
+  (* The runtime setter turns it back off. *)
+  Network.set_duplicate_probability net 0.;
+  received := 0;
+  Network.send net ~src:(addr 0) ~dst:(addr 1) "m";
+  ignore (Engine.run engine);
+  Alcotest.(check int) "single delivery after setter" 1 !received
+
+let test_reorder_probability () =
+  (* Force reordering on a jittery link: delivery order must differ from
+     send order at least once over many messages (with FIFO intact it
+     never would). *)
+  let engine = Engine.create ~seed:7 () in
+  let net =
+    Network.create ~engine
+      ~latency:(Latency.Uniform (t_us 1, t_us 1_000))
+      ~reorder_probability:0.5 ()
+  in
+  let received = ref [] in
+  for i = 0 to 1 do
+    Network.add_node net (addr i) (fun ~src:_ payload -> received := payload :: !received)
+  done;
+  for i = 1 to 50 do
+    Network.send net ~src:(addr 0) ~dst:(addr 1) (string_of_int i)
+  done;
+  ignore (Engine.run engine);
+  let order = List.rev_map int_of_string !received in
+  Alcotest.(check int) "nothing lost" 50 (List.length order);
+  Alcotest.(check bool) "some message overtaken" true
+    (order <> List.init 50 (fun i -> i + 1));
+  Alcotest.(check bool) "reorders counted" true (Stats.total_reordered (Network.stats net) > 0)
+
+let test_fault_probability_setters_validate () =
+  let engine = Engine.create ~seed:7 () in
+  let net : string Network.t = Network.create ~engine () in
+  List.iter
+    (fun set ->
+      match set net 1.5 with
+      | () -> Alcotest.fail "out-of-range probability accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      Network.set_drop_probability;
+      Network.set_duplicate_probability;
+      Network.set_reorder_probability;
+    ]
+
 let test_stats_counting () =
   let engine, net, _ = make_net () in
   Network.send net ~src:(addr 0) ~dst:(addr 1) ~size:100 "a";
@@ -296,6 +356,9 @@ let suites =
         Alcotest.test_case "crash loses in-flight" `Quick test_crash_loses_in_flight;
         Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
         Alcotest.test_case "drop probability" `Slow test_drop_probability;
+        Alcotest.test_case "duplicate probability" `Quick test_duplicate_probability;
+        Alcotest.test_case "reorder probability" `Quick test_reorder_probability;
+        Alcotest.test_case "fault setters validate" `Quick test_fault_probability_setters_validate;
         Alcotest.test_case "stats counting" `Quick test_stats_counting;
         Alcotest.test_case "nodes listing" `Quick test_nodes_listing;
         Alcotest.test_case "self send" `Quick test_self_send;

@@ -61,19 +61,101 @@ let test_late_response_ignored () =
   | [ Error Rpc.Timeout ] -> ()
   | l -> Alcotest.failf "continuation fired %d times" (List.length l)
 
-let test_down_destination_unreachable () =
+let test_down_destination_times_out () =
+  (* Failure detection is timeout-only: a caller has no oracle for the
+     peer's liveness, so a call to a down site resolves as Timeout after
+     the full rpc timeout, never instantly. *)
   let engine, rpc = make () in
   serve_incr rpc (addr 0);
   Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
   Network.set_down (Rpc.network rpc) (addr 0) true;
   let result = ref None in
-  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 1 (fun r -> result := Some r);
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> result := Some r);
   ignore (Engine.run engine);
   (match !result with
-  | Some (Error Rpc.Unreachable) -> ()
-  | _ -> Alcotest.fail "expected Unreachable");
-  Alcotest.(check int) "unreachable costs no correspondence" 0
+  | Some (Error Rpc.Timeout) -> ()
+  | _ -> Alcotest.fail "expected Timeout to down destination");
+  Alcotest.(check int) "timeout observed only after the full rpc timeout" 500
+    (Time.to_us (Engine.now engine));
+  Alcotest.(check int) "the attempt still costs one correspondence" 1
     (Stats.site (Rpc.stats rpc) (addr 1)).Stats.correspondences
+
+let retry_fast =
+  { Rpc.max_attempts = 5; base_backoff = t_us 100; backoff_multiplier = 2.; jitter = 0. }
+
+let test_retry_recovers_after_outage () =
+  (* All messages dropped until t=1500us; a retrying call rides out the
+     outage and completes, and the handler runs exactly once. *)
+  let engine, rpc = make ~latency:(Latency.Constant (t_us 10)) () in
+  let served = ref 0 in
+  Rpc.serve rpc (addr 0)
+    ~handler:(fun ~src:_ n ~reply ->
+      incr served;
+      reply (n + 1))
+    ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Network.set_drop_probability (Rpc.network rpc) 1.0;
+  ignore
+    (Engine.schedule engine ~delay:(t_us 1_500) (fun () ->
+         Network.set_drop_probability (Rpc.network rpc) 0.));
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 1_000) ~retry:retry_fast 41
+    (fun r -> result := Some r);
+  ignore (Engine.run engine);
+  (match !result with
+  | Some (Ok 42) -> ()
+  | _ -> Alcotest.fail "expected Ok 42 after outage healed");
+  Alcotest.(check int) "handler executed once" 1 !served;
+  Alcotest.(check int) "one logical call = one correspondence" 1
+    (Stats.site (Rpc.stats rpc) (addr 1)).Stats.correspondences;
+  Alcotest.(check bool) "retransmissions were counted" true
+    (Stats.total_retries (Rpc.stats rpc) >= 1)
+
+let test_retry_exhaustion () =
+  let engine, rpc = make () in
+  serve_incr rpc (addr 0);
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Network.set_drop_probability (Rpc.network rpc) 1.0;
+  let retry = { retry_fast with Rpc.max_attempts = 3 } in
+  let result = ref None in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 1_000) ~retry 1 (fun r ->
+      result := Some r);
+  ignore (Engine.run engine);
+  (match !result with
+  | Some (Error Rpc.Timeout) -> ()
+  | _ -> Alcotest.fail "expected Timeout after exhausting retries");
+  Alcotest.(check int) "two retransmissions after the first attempt" 2
+    (Stats.total_retries (Rpc.stats rpc));
+  Alcotest.(check int) "still one correspondence" 1
+    (Stats.site (Rpc.stats rpc) (addr 1)).Stats.correspondences;
+  Alcotest.(check int) "pending cleaned up" 0 (Rpc.pending_calls rpc)
+
+let test_duplicate_request_executes_once () =
+  (* The network delivers every message twice; the reply cache makes the
+     handler (which may be non-idempotent, e.g. an AV grant) run once. *)
+  let engine, rpc =
+    let engine = Engine.create ~seed:11 () in
+    let rpc : (int, int, string) Rpc.t =
+      Rpc.create ~engine ~latency:(Latency.Constant (t_us 10)) ~duplicate_probability:1.0 ()
+    in
+    (engine, rpc)
+  in
+  let served = ref 0 in
+  Rpc.serve rpc (addr 0)
+    ~handler:(fun ~src:_ n ~reply ->
+      incr served;
+      reply (n + 1))
+    ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  let results = ref [] in
+  Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 7 (fun r -> results := r :: !results);
+  ignore (Engine.run engine);
+  (match !results with
+  | [ Ok 8 ] -> ()
+  | l -> Alcotest.failf "continuation fired %d times" (List.length l));
+  Alcotest.(check int) "handler executed once despite duplication" 1 !served;
+  Alcotest.(check bool) "duplicates observed on the wire" true
+    (Stats.total_duplicated (Rpc.stats rpc) >= 1)
 
 let test_notice () =
   let engine, rpc = make () in
@@ -199,7 +281,11 @@ let suites =
         Alcotest.test_case "call/response" `Quick test_call_response;
         Alcotest.test_case "timeout" `Quick test_timeout;
         Alcotest.test_case "late response ignored" `Quick test_late_response_ignored;
-        Alcotest.test_case "down destination unreachable" `Quick test_down_destination_unreachable;
+        Alcotest.test_case "down destination times out" `Quick test_down_destination_times_out;
+        Alcotest.test_case "retry recovers after outage" `Quick test_retry_recovers_after_outage;
+        Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
+        Alcotest.test_case "duplicate request executes once" `Quick
+          test_duplicate_request_executes_once;
         Alcotest.test_case "notice" `Quick test_notice;
         Alcotest.test_case "deferred reply" `Quick test_deferred_reply;
         Alcotest.test_case "double reply ignored" `Quick test_double_reply_ignored;

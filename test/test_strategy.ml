@@ -19,9 +19,24 @@ let grant = Strategy.Granting.amount
 
 let test_grant_half () =
   Alcotest.(check int) "half of 40" 20 (grant Strategy.Granting.Half ~available:40 ~requested:5);
-  Alcotest.(check int) "floor" 3 (grant Strategy.Granting.Half ~available:7 ~requested:100);
-  Alcotest.(check int) "half of 1" 0 (grant Strategy.Granting.Half ~available:1 ~requested:1);
+  (* Rounded up, not down: with flooring a donor whose whole stock is one
+     unit would grant 0, and a cluster where every site holds exactly one
+     unit could never serve a need of 1 from anyone (livelock). *)
+  Alcotest.(check int) "odd rounds up" 4 (grant Strategy.Granting.Half ~available:7 ~requested:100);
+  Alcotest.(check int) "half of 1 is 1" 1 (grant Strategy.Granting.Half ~available:1 ~requested:1);
   Alcotest.(check int) "half of 0" 0 (grant Strategy.Granting.Half ~available:0 ~requested:10)
+
+let test_grant_half_no_livelock () =
+  (* Regression: need=1 while every donor holds exactly 1 unit. Each donor
+     must be able to part with its single unit, otherwise the requester
+     asks every peer, receives 0 from all, and gives up despite the
+     cluster holding plenty of AV in aggregate. *)
+  let total_grantable =
+    List.fold_left
+      (fun acc available -> acc + grant Strategy.Granting.Half ~available ~requested:1)
+      0 [ 1; 1; 1 ]
+  in
+  Alcotest.(check bool) "single-unit donors can serve need=1" true (total_grantable >= 1)
 
 let test_grant_exact () =
   Alcotest.(check int) "covers request" 5 (grant Strategy.Granting.Exact ~available:40 ~requested:5);
@@ -198,6 +213,7 @@ let suites =
     ( "av.strategy",
       [
         Alcotest.test_case "grant half" `Quick test_grant_half;
+        Alcotest.test_case "grant half no livelock" `Quick test_grant_half_no_livelock;
         Alcotest.test_case "grant exact" `Quick test_grant_exact;
         Alcotest.test_case "grant all" `Quick test_grant_all;
         Alcotest.test_case "grant demand+" `Quick test_grant_demand_plus;
