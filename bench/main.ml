@@ -15,6 +15,61 @@ open Avdb_metrics
 let section title = Printf.printf "\n=== %s ===\n%!" title
 let note fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* --- observability artifacts (optional) ---
+
+   With [--out DIR] (or AVDB_BENCH_OUT=DIR) every cluster an experiment
+   builds also dumps its span tree and metric time series:
+     BENCH_<exp>_<seq>.trace.json    Chrome trace_event (chrome://tracing)
+     BENCH_<exp>_<seq>.spans.jsonl   one span per line
+     BENCH_<exp>_<seq>.metrics.csv   snapshot time series
+   and each experiment writes a BENCH_<exp>.json manifest listing them. *)
+
+let out_dir = ref None
+let current_exp = ref "adhoc"
+let artifact_seq = ref 0
+let rev_artifacts = ref []
+
+let ensure_dir dir = try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let with_snapshots config =
+  match !out_dir with
+  | None -> config
+  | Some _ ->
+      { config with Config.snapshot_interval = Some (Avdb_sim.Time.of_ms 100.) }
+
+let export_cluster cluster =
+  match !out_dir with
+  | None -> ()
+  | Some dir ->
+      incr artifact_seq;
+      let module Exporter = Avdb_obs.Exporter in
+      let stem = Printf.sprintf "BENCH_%s_%02d" !current_exp !artifact_seq in
+      let write suffix contents =
+        Exporter.write_file ~path:(Filename.concat dir (stem ^ suffix)) contents;
+        rev_artifacts := (stem ^ suffix) :: !rev_artifacts
+      in
+      write ".trace.json" (Exporter.chrome_trace (Cluster.tracer cluster));
+      write ".spans.jsonl" (Exporter.spans_to_jsonl (Cluster.tracer cluster));
+      if Avdb_obs.Registry.snapshot_count (Cluster.registry cluster) = 0 then
+        Cluster.snapshot_now cluster;
+      write ".metrics.csv" (Exporter.series_csv (Cluster.registry cluster))
+
+let write_manifest name =
+  match !out_dir with
+  | None -> ()
+  | Some dir ->
+      let module J = Avdb_obs.Json in
+      let manifest =
+        J.Obj
+          [
+            ("experiment", J.Str name);
+            ("artifacts", J.Arr (List.rev_map (fun a -> J.Str a) !rev_artifacts));
+          ]
+      in
+      Avdb_obs.Exporter.write_file
+        ~path:(Filename.concat dir (Printf.sprintf "BENCH_%s.json" name))
+        (J.to_string manifest ^ "\n")
+
 (* --- shared experiment plumbing --- *)
 
 type scm_setup = {
@@ -63,7 +118,7 @@ let run_scm setup =
       seed = setup.seed;
     }
   in
-  let cluster = Cluster.create config in
+  let cluster = Cluster.create (with_snapshots config) in
   let spec =
     {
       (Scm.paper_spec ~n_sites:setup.n_sites ~n_items:setup.n_items
@@ -78,6 +133,7 @@ let run_scm setup =
     Runner.run cluster ~nth_update:(Scm.generator workload)
       ~total_updates:setup.total_updates ~checkpoint_every:setup.checkpoint_every ()
   in
+  export_cluster cluster;
   (cluster, outcome)
 
 let final_corr outcome = outcome.Runner.final.Runner.total_correspondences
@@ -331,7 +387,7 @@ let exp_fault () =
   section "Fault injection - base site outage during the SCM run";
   note "Paper's claim: updates proceed autonomously while peers are down.";
   let config = { Config.default with Config.seed = 2000 } in
-  let cluster = Cluster.create config in
+  let cluster = Cluster.create (with_snapshots config) in
   let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
   (* Crash the base a third of the way in, recover it at two thirds. *)
   let interval = Avdb_sim.Time.of_ms 10. in
@@ -368,7 +424,8 @@ let exp_fault () =
       (0, 0, 0) outcome.Runner.results
   in
   note "total applied %d/3000; rejections: unreachable=%d (base outage) av-exhausted=%d other=%d"
-    outcome.Runner.final.Runner.applied unreachable av_exhausted other
+    outcome.Runner.final.Runner.applied unreachable av_exhausted other;
+  export_cluster cluster
 
 let exp_fault_script () =
   section "Fault injection - scripted loss/dup/reorder/partition/crash scenario";
@@ -390,7 +447,7 @@ let exp_fault_script () =
         };
     }
   in
-  let cluster = Cluster.create config in
+  let cluster = Cluster.create (with_snapshots config) in
   let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
   let engine = Cluster.engine cluster in
   let at_ms ms f = ignore (Avdb_sim.Engine.schedule_at engine ~at:(Avdb_sim.Time.of_ms ms) f) in
@@ -443,7 +500,8 @@ let exp_fault_script () =
       (0, 0) config.Config.products
   in
   note "AV conservation: %d/%d items conserved; %d units lost to grant replies that died in the fault windows"
-    conserved (List.length config.Config.products) lost_volume
+    conserved (List.length config.Config.products) lost_volume;
+  export_cluster cluster
 
 (* --- immediate update --- *)
 
@@ -668,7 +726,7 @@ let exp_elastic () =
   note "spread over four. Joiners bootstrap from the base and acquire AV on";
   note "demand - no reconfiguration, no downtime.";
   let config = { Config.default with Config.seed = 2000; Config.sync_interval = Some (Avdb_sim.Time.of_ms 100.) } in
-  let cluster = Cluster.create config in
+  let cluster = Cluster.create (with_snapshots config) in
   let phase1 = Scm.create (Scm.paper_spec ()) ~seed:2000 in
   let o1 = Runner.run cluster ~nth_update:(Scm.generator phase1) ~total_updates:1000 () in
   let join_results = ref [] in
@@ -701,9 +759,10 @@ let exp_elastic () =
   note "phase totals: %d + %d applied of 3000"
     o1.Runner.final.Runner.applied o2.Runner.final.Runner.applied;
   Cluster.flush_all_syncs cluster;
-  match Cluster.check_invariants cluster with
+  (match Cluster.check_invariants cluster with
   | Ok () -> note "invariants hold across the membership change"
-  | Error e -> note "INVARIANT VIOLATION: %s" e
+  | Error e -> note "INVARIANT VIOLATION: %s" e);
+  export_cluster cluster
 
 (* --- micro-benchmarks --- *)
 
@@ -829,21 +888,40 @@ let experiments =
     ("micro", exp_micro);
   ]
 
+let run_experiment name f =
+  current_exp := name;
+  artifact_seq := 0;
+  rev_artifacts := [];
+  f ();
+  write_manifest name
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_out acc = function
+    | "--out" :: dir :: rest ->
+        out_dir := Some dir;
+        strip_out acc rest
+    | x :: rest -> strip_out (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_out [] (List.tl (Array.to_list Sys.argv)) in
+  (if !out_dir = None then
+     match Sys.getenv_opt "AVDB_BENCH_OUT" with
+     | Some dir when dir <> "" -> out_dir := Some dir
+     | _ -> ());
+  Option.iter ensure_dir !out_dir;
   match args with
   | [] ->
-      exp_fig6 ();
-      exp_table1 ()
+      run_experiment "fig6" exp_fig6;
+      run_experiment "table1" exp_table1
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) experiments;
       print_endline "all"
-  | [ "all" ] -> List.iter (fun (_, f) -> f ()) experiments
+  | [ "all" ] -> List.iter (fun (name, f) -> run_experiment name f) experiments
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment name f
           | None ->
               Printf.eprintf "unknown experiment %S (try 'list')\n" name;
               exit 1)

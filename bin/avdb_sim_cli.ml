@@ -50,8 +50,15 @@ let granting_conv =
 
 let run retailers items initial updates mode allocation selection granting skew
     maker_weight latency_ms drop dup reorder rpc_retries rpc_backoff_ms sync_ms prefetch seed
-    checkpoints csv =
+    checkpoints csv trace_out metrics_out snapshot_every_ms =
   let n_sites = retailers + 1 in
+  (* Metrics output implies snapshots; default cadence 100 ms. *)
+  let snapshot_interval =
+    match (snapshot_every_ms, metrics_out) with
+    | Some ms, _ -> Some (Avdb_sim.Time.of_ms ms)
+    | None, Some _ -> Some (Avdb_sim.Time.of_ms 100.)
+    | None, None -> None
+  in
   let rpc_retry =
     if rpc_retries <= 1 then Avdb_net.Rpc.no_retry
     else
@@ -76,6 +83,7 @@ let run retailers items initial updates mode allocation selection granting skew
       reorder_probability = reorder;
       rpc_retry;
       sync_interval = Option.map Avdb_sim.Time.of_ms sync_ms;
+      snapshot_interval;
       prefetch_low = prefetch;
       seed;
     }
@@ -133,7 +141,35 @@ let run retailers items initial updates mode allocation selection granting skew
       | Ok () -> print_endline "invariants: OK (replicas agree; AV conserved)"
       | Error e -> Printf.printf "invariants: VIOLATED - %s\n" e
     end
-  end
+  end;
+  (* Observability artifacts; a .jsonl suffix selects line-delimited JSON
+     over the default Chrome trace / CSV shape. *)
+  let module Exporter = Avdb_obs.Exporter in
+  Option.iter
+    (fun path ->
+      let contents =
+        if Filename.check_suffix path ".jsonl" then
+          Exporter.spans_to_jsonl (Cluster.tracer cluster)
+        else Exporter.chrome_trace (Cluster.tracer cluster)
+      in
+      Exporter.write_file ~path contents;
+      Printf.eprintf "wrote %d spans to %s\n%!"
+        (Avdb_obs.Tracer.length (Cluster.tracer cluster))
+        path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      if config.Config.snapshot_interval = None then Cluster.snapshot_now cluster;
+      let contents =
+        if Filename.check_suffix path ".jsonl" then
+          Exporter.metrics_to_jsonl (Cluster.registry cluster)
+        else Exporter.series_csv (Cluster.registry cluster)
+      in
+      Exporter.write_file ~path contents;
+      Printf.eprintf "wrote %d metric snapshots to %s\n%!"
+        (Avdb_obs.Registry.snapshot_count (Cluster.registry cluster))
+        path)
+    metrics_out
 
 let cmd =
   let retailers =
@@ -210,11 +246,35 @@ let cmd =
     Arg.(value & opt int 10 & info [ "checkpoints" ] ~docv:"N" ~doc:"Number of progress rows.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the checkpoint table as CSV.") in
+  let trace_out =
+    Arg.(value & opt (some string) None
+        & info [ "trace-out" ] ~docv:"FILE"
+            ~doc:
+              "Write the causal span trace to $(docv): Chrome trace_event JSON (open in \
+               chrome://tracing or Perfetto), or span-per-line JSONL if $(docv) ends in \
+               .jsonl.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:
+              "Write the metric time series to $(docv): wide CSV (one row per snapshot), or \
+               sample-per-line JSONL if $(docv) ends in .jsonl. Enables periodic snapshots \
+               (default every 100 ms) if $(b,--snapshot-every-ms) is not given.")
+  in
+  let snapshot_every_ms =
+    Arg.(value & opt (some float) None
+        & info [ "snapshot-every-ms" ] ~docv:"MS"
+            ~doc:
+              "Sample every registered metric and run the invariant probes every $(docv) of \
+               virtual time.")
+  in
   let term =
     Term.(
       const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
       $ granting $ skew $ maker_weight $ latency_ms $ drop $ dup $ reorder $ rpc_retries
-      $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints $ csv)
+      $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints $ csv $ trace_out
+      $ metrics_out $ snapshot_every_ms)
   in
   Cmd.v
     (Cmd.info "avdb-sim" ~version:"1.0.0"

@@ -12,6 +12,7 @@ let () =
     {
       Config.default with
       Config.products = [ Product.regular "productA" ~initial_amount:300 ];
+      snapshot_interval = Some (Avdb_sim.Time.of_ms 50.);
       rpc_timeout = Avdb_sim.Time.of_ms 30.;
       rpc_retry =
         {
@@ -88,4 +89,12 @@ let () =
   | Error e -> Printf.printf "AV conservation VIOLATED: %s\n" e);
   print_endline
     "No update ever blocked on a dead site: the autonomy of the AV\n\
-     mechanism is what delivers the paper's fault-tolerance claim."
+     mechanism is what delivers the paper's fault-tolerance claim.";
+
+  (* Every crash, retry storm and partition above left spans behind; the
+     trace makes the recovery choreography visible on a timeline. *)
+  Avdb_obs.Exporter.write_file ~path:"fault_tolerance.trace.json"
+    (Avdb_obs.Exporter.chrome_trace (Cluster.tracer cluster));
+  Printf.printf
+    "\nWrote fault_tolerance.trace.json (%d spans - load in chrome://tracing)\n"
+    (Avdb_obs.Tracer.length (Cluster.tracer cluster))

@@ -1,6 +1,8 @@
 open Avdb_sim
 open Avdb_net
 open Avdb_av
+module Obs_registry = Avdb_obs.Registry
+module Tracer = Avdb_obs.Tracer
 
 type t = {
   config : Config.t;
@@ -9,6 +11,12 @@ type t = {
   shared : Site.shared;
   mutable sites : Site.t array;
   trace : Trace.t;
+  tracer : Tracer.t;
+  registry : Obs_registry.t;
+  violations : Obs_registry.counter;
+  (* One free-running snapshot chain at a time; it parks itself when the
+     event queue drains so quiescence still terminates [run]. *)
+  mutable snapshots_armed : bool;
 }
 
 (* Initial AV for one regular product at one site. The remainder of an
@@ -30,11 +38,57 @@ let initial_av config ~site_index ~initial_amount =
         else share
       end
 
+(* Everything a site counts, exposed as gauges sourced from the mutable
+   records the hot paths already maintain — registration is the only cost. *)
+let register_site_metrics t site =
+  let site_label = Address.to_string (Site.addr site) in
+  let labels = [ ("site", site_label) ] in
+  let g name f = Obs_registry.gauge t.registry ~labels name f in
+  let m = Site.metrics site in
+  let open Update.Metrics in
+  g "update.submitted" (fun () -> float_of_int m.submitted);
+  g "update.applied_local" (fun () -> float_of_int m.applied_local);
+  g "update.applied_transfer" (fun () -> float_of_int m.applied_transfer);
+  g "update.applied_immediate" (fun () -> float_of_int m.applied_immediate);
+  g "update.applied_central" (fun () -> float_of_int m.applied_central);
+  g "update.rejected" (fun () -> float_of_int m.rejected);
+  g "update.latency_ms.p99" (fun () ->
+      let h = m.latency in
+      if Avdb_metrics.Histogram.count h = 0 then 0.
+      else Avdb_metrics.Histogram.percentile h 99.);
+  g "av.requests_sent" (fun () -> float_of_int m.av_requests_sent);
+  g "av.prefetch_requests" (fun () -> float_of_int m.prefetch_requests);
+  g "av.volume_received" (fun () -> float_of_int m.av_volume_received);
+  g "av.volume_granted" (fun () -> float_of_int m.av_volume_granted);
+  g "sync.batches_sent" (fun () -> float_of_int m.sync_batches_sent);
+  let s = Stats.site (Rpc.stats t.rpc) (Site.addr site) in
+  g "net.sent" (fun () -> float_of_int s.Stats.sent);
+  g "net.received" (fun () -> float_of_int s.Stats.received);
+  g "net.bytes_sent" (fun () -> float_of_int s.Stats.bytes_sent);
+  g "net.dropped" (fun () -> float_of_int s.Stats.dropped);
+  g "net.duplicated" (fun () -> float_of_int s.Stats.duplicated);
+  g "net.reordered" (fun () -> float_of_int s.Stats.reordered);
+  g "net.retries" (fun () -> float_of_int s.Stats.retries);
+  g "net.correspondences" (fun () -> float_of_int s.Stats.correspondences);
+  if t.config.Config.mode = Config.Autonomous then
+    List.iter
+      (fun product ->
+        if Product.is_regular product then begin
+          let item = product.Product.name in
+          let av = Site.av_table site in
+          Obs_registry.gauge t.registry
+            ~labels:(labels @ [ ("item", item) ])
+            "av.available"
+            (fun () -> float_of_int (Av_table.available av ~item))
+        end)
+      t.config.Config.products
+
 let create config =
   (match Config.validate config with
   | Ok () -> ()
   | Error e -> invalid_arg ("Cluster.create: " ^ e));
   let engine = Engine.create ~seed:config.Config.seed () in
+  let tracer = Tracer.create () in
   let rpc =
     Rpc.create ~engine ~latency:config.Config.latency
       ~drop_probability:config.Config.drop_probability
@@ -43,11 +97,12 @@ let create config =
       ?bandwidth_bytes_per_sec:config.Config.bandwidth_bytes_per_sec
       ~default_timeout:config.Config.rpc_timeout
       ~request_size:Protocol.wire_size_request ~response_size:Protocol.wire_size_response
-      ~notice_size:Protocol.wire_size_notice ()
+      ~notice_size:Protocol.wire_size_notice ~tracer
+      ~request_label:Protocol.request_label ()
   in
   let all_addrs = List.init config.Config.n_sites Address.of_int in
   let trace = Trace.create () in
-  let shared = { Site.engine; rpc; config; all_addrs; trace } in
+  let shared = { Site.engine; rpc; config; all_addrs; trace; tracer } in
   let sites =
     Array.init config.Config.n_sites (fun site_index ->
         let av_init =
@@ -63,7 +118,24 @@ let create config =
         in
         Site.create shared ~addr:(Address.of_int site_index) ~av_init)
   in
-  { config; engine; rpc; shared; sites; trace }
+  let registry = Obs_registry.create () in
+  let violations = Obs_registry.counter registry "invariant.violations" in
+  let t =
+    {
+      config;
+      engine;
+      rpc;
+      shared;
+      sites;
+      trace;
+      tracer;
+      registry;
+      violations;
+      snapshots_armed = false;
+    }
+  in
+  Array.iter (register_site_metrics t) sites;
+  t
 
 let config t = t.config
 let engine t = t.engine
@@ -71,52 +143,10 @@ let sites t = t.sites
 let site t i = t.sites.(i)
 let base_site t = t.sites.(0)
 let n_sites t = Array.length t.sites
-let run ?until t = ignore (Engine.run ?until t.engine)
 let net_stats t = Rpc.stats t.rpc
 let trace t = t.trace
-
-(* A retailer entering the live system (the dynamic cooperation of the
-   paper's introduction): register on the network, bootstrap the catalogue
-   locally with zero AV on every regular item, then fetch the current
-   data and sync state from the base. AV arrives on demand through the
-   ordinary circulation. *)
-let add_retailer t callback =
-  let site_index = Array.length t.sites in
-  let addr = Address.of_int site_index in
-  t.shared.Site.all_addrs <- t.shared.Site.all_addrs @ [ addr ];
-  let av_init =
-    List.filter_map
-      (fun product ->
-        if Product.is_regular product then Some (product.Product.name, 0) else None)
-      t.config.Config.products
-  in
-  let site = Site.create t.shared ~addr ~av_init in
-  t.sites <- Array.append t.sites [| site |];
-  Site.join site (fun result -> callback (site_index, result));
-  site_index
-
-let partition t i j =
-  Network.partition (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
-
-let heal t i j = Network.heal (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
-
-(* Runtime fault knobs, so scripted scenarios can open and close lossy /
-   duplicating / reordering windows mid-run. *)
-let set_drop_probability t p = Network.set_drop_probability (Rpc.network t.rpc) p
-let set_duplicate_probability t p = Network.set_duplicate_probability (Rpc.network t.rpc) p
-let set_reorder_probability t p = Network.set_reorder_probability (Rpc.network t.rpc) p
-
-let total_correspondences t = Stats.total_correspondences (net_stats t)
-
-let per_site_correspondences t =
-  List.map
-    (fun (a, s) -> (Address.to_int a, s.Stats.correspondences))
-    (Stats.sites (net_stats t))
-  |> List.sort compare
-
-let flush_all_syncs t =
-  Array.iter Site.flush_sync t.sites;
-  run t
+let tracer t = t.tracer
+let registry t = t.registry
 
 let replica_amounts t ~item =
   Array.to_list
@@ -146,6 +176,110 @@ let av_conservation t ~item =
       (Printf.sprintf
          "%s: AV not conserved: live %d + consumed %d - minted %d <> defined %d" item live
          consumed minted defined)
+
+(* --- invariant probes + periodic snapshots --- *)
+
+let violation t name detail =
+  Obs_registry.inc t.violations 1;
+  Trace.record t.trace ~at:(Engine.now t.engine) ~level:Trace.Warn ~category:"invariant"
+    detail;
+  ignore
+    (Tracer.instant t.tracer ~at:(Engine.now t.engine) ~status:Avdb_obs.Span.Warn
+       ~fields:[ ("detail", detail) ]
+       ~category:"invariant" name)
+
+let run_probes t =
+  (* AV conservation is only meaningful between grants: a grant response in
+     flight carries volume that is on neither ledger yet. *)
+  if t.config.Config.mode = Config.Autonomous && Rpc.pending_calls t.rpc = 0 then
+    List.iter
+      (fun product ->
+        if Product.is_regular product then
+          match av_conservation t ~item:product.Product.name with
+          | Ok () -> ()
+          | Error msg -> violation t "invariant.av_conservation" msg)
+      t.config.Config.products;
+  let stats = net_stats t in
+  let sent = Stats.total_sent stats
+  and received = Stats.total_received stats
+  and dropped = Stats.total_dropped stats
+  and duplicated = Stats.total_duplicated stats in
+  (* Every delivery or loss traces back to a send or an injected duplicate;
+     messages still in flight make the left side smaller, never larger. *)
+  if received + dropped > sent + duplicated then
+    violation t "invariant.net_conservation"
+      (Printf.sprintf "net stats not conserved: received %d + dropped %d > sent %d + duplicated %d"
+         received dropped sent duplicated)
+
+let snapshot_now t =
+  run_probes t;
+  Obs_registry.snapshot t.registry ~at:(Engine.now t.engine)
+
+let arm_snapshots t =
+  match t.config.Config.snapshot_interval with
+  | None -> ()
+  | Some interval ->
+      if not t.snapshots_armed then begin
+        t.snapshots_armed <- true;
+        let rec tick () =
+          snapshot_now t;
+          (* Reschedule only while other work is queued: the chain parks
+             itself at quiescence instead of keeping the engine alive
+             forever, and [run] re-arms it. *)
+          if Engine.pending t.engine > 0 then
+            ignore (Engine.schedule t.engine ~delay:interval tick)
+          else t.snapshots_armed <- false
+        in
+        ignore (Engine.schedule t.engine ~delay:interval tick)
+      end
+
+let run ?until t =
+  arm_snapshots t;
+  ignore (Engine.run ?until t.engine)
+
+(* A retailer entering the live system (the dynamic cooperation of the
+   paper's introduction): register on the network, bootstrap the catalogue
+   locally with zero AV on every regular item, then fetch the current
+   data and sync state from the base. AV arrives on demand through the
+   ordinary circulation. *)
+let add_retailer t callback =
+  let site_index = Array.length t.sites in
+  let addr = Address.of_int site_index in
+  t.shared.Site.all_addrs <- t.shared.Site.all_addrs @ [ addr ];
+  let av_init =
+    List.filter_map
+      (fun product ->
+        if Product.is_regular product then Some (product.Product.name, 0) else None)
+      t.config.Config.products
+  in
+  let site = Site.create t.shared ~addr ~av_init in
+  t.sites <- Array.append t.sites [| site |];
+  register_site_metrics t site;
+  Site.join site (fun result -> callback (site_index, result));
+  site_index
+
+let partition t i j =
+  Network.partition (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
+
+let heal t i j = Network.heal (Rpc.network t.rpc) (Address.of_int i) (Address.of_int j)
+
+(* Runtime fault knobs, so scripted scenarios can open and close lossy /
+   duplicating / reordering windows mid-run. *)
+let set_drop_probability t p = Network.set_drop_probability (Rpc.network t.rpc) p
+let set_duplicate_probability t p = Network.set_duplicate_probability (Rpc.network t.rpc) p
+let set_reorder_probability t p = Network.set_reorder_probability (Rpc.network t.rpc) p
+
+let total_correspondences t = Stats.total_correspondences (net_stats t)
+
+let per_site_correspondences t =
+  List.map
+    (fun (a, s) -> (Address.to_int a, s.Stats.correspondences))
+    (Stats.sites (net_stats t))
+  |> List.sort compare
+
+let flush_all_syncs t =
+  Array.iter Site.flush_sync t.sites;
+  run t
 
 let check_invariants t =
   let problems = ref [] in

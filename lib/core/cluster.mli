@@ -24,6 +24,28 @@ val trace : t -> Avdb_sim.Trace.t
 (** The shared structured trace: sites record AV transfers ("av"),
     Immediate Update decisions ("2pc") and crash/recovery ("fault"). *)
 
+(** {2 Observability} *)
+
+val tracer : t -> Avdb_obs.Tracer.t
+(** The shared causal span collector: update roots ("update"), AV
+    acquisition and grants ("av"), RPC call/serve pairs linked across the
+    wire ("rpc"), 2PC phases ("2pc"), lazy sync ("sync"), faults ("fault"),
+    invariant violations ("invariant"). Export with {!Avdb_obs.Exporter}. *)
+
+val registry : t -> Avdb_obs.Registry.t
+(** The unified metrics registry: every site's update counters, AV flow
+    volumes and per-item AV levels, plus per-site network stats — all
+    registered at construction and sampled by {!snapshot_now} or the
+    periodic snapshot when [snapshot_interval] is configured. *)
+
+val snapshot_now : t -> unit
+(** Runs the invariant probes (AV conservation per regular item — skipped
+    while grant responses are in flight — and network stats conservation),
+    recording any violation as a Warn span, a Warn trace event and a bump
+    of the ["invariant.violations"] counter; then appends one sample of
+    every registered metric at the current sim-time. The periodic snapshot
+    calls exactly this. *)
+
 val total_correspondences : t -> int
 (** Sum of per-site RPC correspondences (the paper's metric). *)
 

@@ -24,6 +24,7 @@ type t = {
   lock_timeout : Time.t;
   decision_timeout : Time.t;
   sync_interval : Time.t option;
+  snapshot_interval : Time.t option;
   record_history : bool;
   prefetch_low : int option;
   seed : int;
@@ -48,6 +49,7 @@ let default =
     lock_timeout = Time.of_ms 50.;
     decision_timeout = Time.of_ms 500.;
     sync_interval = None;
+    snapshot_interval = None;
     record_history = false;
     prefetch_low = None;
     seed = 42;
@@ -67,6 +69,12 @@ let validate t =
     Error "prefetch_low must be >= 1"
   else if (match t.bandwidth_bytes_per_sec with Some b -> b <= 0 | None -> false) then
     Error "bandwidth must be positive"
+  else if
+    (* a zero interval would re-fire at the same instant forever *)
+    match t.snapshot_interval with
+    | Some i -> Time.equal i Time.zero
+    | None -> false
+  then Error "snapshot_interval must be positive"
   else begin
     let names = List.map (fun p -> p.Product.name) t.products in
     if List.length (List.sort_uniq String.compare names) <> List.length names then

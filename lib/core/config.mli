@@ -42,6 +42,13 @@ type t = {
           presume abort if it has no record) *)
   sync_interval : Avdb_sim.Time.t option;
       (** period of Delay Update's lazy delta broadcast; [None] disables *)
+  snapshot_interval : Avdb_sim.Time.t option;
+      (** period of the observability snapshot: samples every registered
+          metric into the cluster's time series and runs the invariant
+          probes (AV conservation, network stats conservation). Must be
+          positive; [None] disables (default). Snapshots only fire while
+          the event queue is non-empty, so an idle cluster still reaches
+          quiescence *)
   record_history : bool;
       (** when true every applied local update also appends a row to a
           ["history"] audit table (item, delta, path) in the same storage

@@ -62,6 +62,16 @@ let wire_size_notice = function
       + List.fold_left (fun acc (item, _) -> acc + String.length item + 8) 0 counters
       + List.fold_left (fun acc (item, _) -> acc + String.length item + 8) 0 av_info
 
+(* Span names for the RPC tracer: constructor only, no payload. *)
+let request_label = function
+  | Av_request _ -> "av_request"
+  | Central_update _ -> "central_update"
+  | Prepare _ -> "prepare"
+  | Decision _ -> "decision"
+  | Read_request _ -> "read"
+  | Query_decision _ -> "query_decision"
+  | Join_request -> "join"
+
 let pp_request ppf = function
   | Av_request { item; amount; requester_available } ->
       Format.fprintf ppf "av_request(%s, %d, have=%d)" item amount requester_available

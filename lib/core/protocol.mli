@@ -76,6 +76,10 @@ val wire_size_request : request -> int
 val wire_size_response : response -> int
 val wire_size_notice : notice -> int
 
+val request_label : request -> string
+(** Short constructor name ("av_request", "prepare", ...) used to name RPC
+    spans. *)
+
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit
 val pp_notice : Format.formatter -> notice -> unit

@@ -16,6 +16,7 @@ type shared = {
   config : Config.t;
   mutable all_addrs : Address.t list;  (* grows when sites join at runtime *)
   trace : Trace.t;
+  tracer : Avdb_obs.Tracer.t;
 }
 
 type participant_txn = {
@@ -23,6 +24,7 @@ type participant_txn = {
   p_coordinator : Address.t;
   p_item : string;
   p_delta : int;
+  p_span : Avdb_obs.Span.id;  (* open from prepare until the decision *)
   mutable p_queries : int;  (* termination-protocol attempts so far *)
 }
 
@@ -95,6 +97,22 @@ let peers t = List.filter (fun a -> not (Address.equal a t.addr)) t.shared.all_a
 let trace t ?level ~category fmt =
   Trace.recordf t.shared.trace ~at:(now t) ?level ~category fmt
 
+(* Causal spans, always attributed to this site at the current sim-time.
+   Parents are either local enclosing spans or the server-side RPC span
+   handed to request handlers (the caller's context across the wire). *)
+let span_start t ?parent ~category name =
+  Avdb_obs.Tracer.start t.shared.tracer ~at:(now t) ?parent
+    ~site:(Address.to_int t.addr) ~category name
+
+let span_field t sp key value = Avdb_obs.Tracer.set_field t.shared.tracer sp key value
+let span_warn t sp = Avdb_obs.Tracer.warn t.shared.tracer sp
+let span_end t sp = Avdb_obs.Tracer.finish t.shared.tracer ~at:(now t) sp
+
+let span_instant t ?parent ?status ?fields ~category name =
+  ignore
+    (Avdb_obs.Tracer.instant t.shared.tracer ~at:(now t) ?parent
+       ~site:(Address.to_int t.addr) ?status ?fields ~category name)
+
 (* Epoch fence: [fenced t k] is [k] while the site stays in its current
    incarnation and a no-op after any crash or recovery in between. *)
 let fenced t k =
@@ -163,6 +181,8 @@ let flush_sync t =
     Hashtbl.reset t.pending_sync;
     t.metrics.Update.Metrics.sync_batches_sent <-
       t.metrics.Update.Metrics.sync_batches_sent + 1;
+    span_instant t ~category:"sync" "sync.flush"
+      ~fields:[ ("items", string_of_int (Hashtbl.length t.sync_counters)) ];
     let counters =
       Hashtbl.fold (fun item counter acc -> (item, counter) :: acc) t.sync_counters []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -214,7 +234,7 @@ and schedule_sync_flush t =
 
 (* --- request handling (the accelerator's server side) --- *)
 
-let handle_av_request t ~src ~item ~amount ~requester_available ~reply =
+let handle_av_request t ~src ~span ~item ~amount ~requester_available ~reply =
   Peer_view.observe t.view ~site:src ~item ~volume:requester_available ~at:(now t);
   let available = Av_table.available t.av ~item in
   let granting = (config t).Config.strategy.Strategy.granting in
@@ -232,6 +252,13 @@ let handle_av_request t ~src ~item ~amount ~requester_available ~reply =
       m "%a grants %d AV of %s to %a" Address.pp t.addr granted item Address.pp src);
   trace t ~category:"av" "%a grants %d of %s to %a (keeps %d)" Address.pp t.addr granted item
     Address.pp src (Av_table.available t.av ~item);
+  span_instant t ?parent:span ~category:"av" "av.grant"
+    ~fields:
+      [
+        ("item", item);
+        ("granted", string_of_int granted);
+        ("to", Address.to_string src);
+      ];
   reply (Protocol.Av_grant { granted; donor_available = Av_table.available t.av ~item })
 
 let handle_central_update t ~item ~delta ~reply =
@@ -272,6 +299,8 @@ let finalize_participant t ~txid decision =
           record_history t ~item:p.p_item ~delta:p.p_delta ~path:"immediate";
           Hashtbl.remove t.participant_txns txid;
           Lock_manager.release_all t.locks ~owner:txid;
+          span_field t p.p_span "decision" "commit";
+          span_end t p.p_span;
           Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t)
       | None -> ())
   | Two_phase.Participant.Revert -> (
@@ -280,6 +309,9 @@ let finalize_participant t ~txid decision =
           Database.abort p.p_txn;
           Hashtbl.remove t.participant_txns txid;
           Lock_manager.release_all t.locks ~owner:txid;
+          span_field t p.p_span "decision" "abort";
+          span_warn t p.p_span;
+          span_end t p.p_span;
           Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t)
       | None -> ())
   | Two_phase.Participant.Ignore -> ()
@@ -329,9 +361,21 @@ let rec schedule_termination_check t ~txid =
                            | Ok _ | Error _ -> schedule_termination_check t ~txid))
                 end)))
 
-let handle_prepare t ~txid ~coordinator ~item ~delta ~reply =
+let handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply =
+  (* Participant span: open from the prepare through lock wait and
+     tentative apply, closed by the decision (it outlives the RPC span,
+     which only covers prepare-to-vote). *)
+  let psp = span_start t ?parent:span ~category:"2pc" "2pc.participant" in
+  span_field t psp "txid" (string_of_int txid);
+  span_field t psp "item" item;
+  let refuse () =
+    span_field t psp "vote" "refuse";
+    span_warn t psp;
+    span_end t psp
+  in
   if not (item_known t ~item) then begin
     ignore (Two_phase.Participant.on_prepare t.participant ~txid ~can_apply:false);
+    refuse ();
     reply (Protocol.Vote { txid; vote = Two_phase.Refuse })
   end
   else
@@ -353,15 +397,20 @@ let handle_prepare t ~txid ~coordinator ~item ~delta ~reply =
           match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
           | Ok _ ->
               Hashtbl.replace t.participant_txns txid
-                { p_txn = txn; p_coordinator = coordinator; p_item = item; p_delta = delta; p_queries = 0 };
+                { p_txn = txn; p_coordinator = coordinator; p_item = item; p_delta = delta;
+                  p_span = psp; p_queries = 0 };
               true
           | Error _ ->
               Database.abort txn;
               false
         in
         let vote = Two_phase.Participant.on_prepare t.participant ~txid ~can_apply in
-        if vote = Two_phase.Refuse then Lock_manager.release_all t.locks ~owner:txid
+        if vote = Two_phase.Refuse then begin
+          Lock_manager.release_all t.locks ~owner:txid;
+          refuse ()
+        end
         else begin
+          span_field t psp "vote" "ready";
           if Txn_log.find t.txn_log ~txid = None then
             Txn_log.record_start t.txn_log ~txid ~coordinator ~item ~delta ~at:(now t);
           schedule_termination_check t ~txid
@@ -429,7 +478,13 @@ let handle_sync t ~src ~counters ~av_info =
         Database.commit txn;
         List.iter
           (fun (item, _, counter) -> Hashtbl.replace t.applied_sync (origin, item) counter)
-          fresh_deltas
+          fresh_deltas;
+        span_instant t ~category:"sync" "sync.apply"
+          ~fields:
+            [
+              ("from", Address.to_string src);
+              ("items", string_of_int (List.length fresh_deltas));
+            ]
       end
       else Database.abort txn
     end
@@ -464,18 +519,23 @@ let rec maybe_prefetch t ~item =
             t.metrics.Update.Metrics.prefetch_requests <-
               t.metrics.Update.Metrics.prefetch_requests + 1;
             let want = (2 * low) - Av_table.available t.av ~item in
+            let sp = span_start t ~category:"av" "av.prefetch" in
+            span_field t sp "item" item;
+            span_field t sp "want" (string_of_int want);
             let request =
               Protocol.Av_request
                 { item; amount = want; requester_available = Av_table.available t.av ~item }
             in
             Rpc.call t.shared.rpc ~src:t.addr ~dst:target
-              ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) request
+              ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:sp request
               (fenced t (fun response ->
                 Hashtbl.remove t.prefetch_in_flight item;
                 match response with
                 | Ok (Protocol.Av_grant { granted; donor_available }) ->
                     Peer_view.observe t.view ~site:target ~item ~volume:donor_available
                       ~at:(now t);
+                    span_field t sp "granted" (string_of_int granted);
+                    span_end t sp;
                     if granted > 0 then begin
                       t.metrics.Update.Metrics.av_volume_received <-
                         t.metrics.Update.Metrics.av_volume_received + granted;
@@ -483,7 +543,9 @@ let rec maybe_prefetch t ~item =
                       | Ok () -> maybe_prefetch t ~item
                       | Error e -> failwith ("Site.maybe_prefetch deposit: " ^ e)
                     end
-                | Ok _ | Error _ -> ()))
+                | Ok _ | Error _ ->
+                    span_warn t sp;
+                    span_end t sp))
       end
 
 (* --- Delay Update (client side) --- *)
@@ -495,7 +557,7 @@ let rec maybe_prefetch t ~item =
    ("remaining AV is stored at the local AV table"). On failure every
    volume gathered is released back to available - nothing is lost, and
    what peers sent stays at this site for future updates. *)
-let acquire_av t ~item ~need k =
+let acquire_av t ?parent ~item ~need k =
   let av_ok tag = function
     | Ok () -> ()
     | Error e -> failwith (Printf.sprintf "Site.acquire_av %s: %s" tag e)
@@ -507,6 +569,11 @@ let acquire_av t ~item ~need k =
     k (Ok 0)
   end
   else begin
+    (* Only the shortage path gets a span: a locally-satisfied hold is not
+       an acquisition, and the quiet case would swamp the trace. *)
+    let sp = span_start t ?parent ~category:"av" "av.acquire" in
+    span_field t sp "item" item;
+    span_field t sp "need" (string_of_int need);
     let acquired = ref (Av_table.hold_all t.av ~item) in
     let tried = ref (Address.Set.singleton t.addr) in
     let rounds = ref 0 in
@@ -514,6 +581,9 @@ let acquire_av t ~item ~need k =
       av_ok "release" (Av_table.release t.av ~item !acquired);
       trace t ~level:Trace.Warn ~category:"av" "%a gives up acquiring %d of %s (%a)" Address.pp
         t.addr need item Update.pp_reason reason;
+      span_field t sp "reason" (Format.asprintf "%a" Update.pp_reason reason);
+      span_warn t sp;
+      span_end t sp;
       k (Error reason)
     in
     let rec step () =
@@ -522,6 +592,8 @@ let acquire_av t ~item ~need k =
         av_ok "release surplus" (Av_table.release t.av ~item (!acquired - need));
         trace t ~category:"av" "%a acquired %d of %s in %d rounds" Address.pp t.addr need item
           !rounds;
+        span_field t sp "rounds" (string_of_int !rounds);
+        span_end t sp;
         k (Ok !rounds)
       end
       else begin
@@ -545,7 +617,7 @@ let acquire_av t ~item ~need k =
                 }
             in
             Rpc.call t.shared.rpc ~src:t.addr ~dst:target
-              ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) request
+              ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:sp request
               (fenced t (fun response ->
                 (match response with
                 | Ok (Protocol.Av_grant { granted; donor_available }) ->
@@ -566,6 +638,16 @@ let acquire_av t ~item ~need k =
   end
 
 let delay_update t ~item ~delta ~finish =
+  let root = span_start t ~category:"update" "update.delay" in
+  span_field t root "item" item;
+  span_field t root "delta" (string_of_int delta);
+  let finish outcome =
+    (match outcome with
+    | Update.Rejected _ -> span_warn t root
+    | Update.Applied _ -> ());
+    span_end t root;
+    finish outcome
+  in
   if delta >= 0 then begin
     (* Positive deltas create AV; no communication at all. [mint] rather
        than [deposit]: new volume enters the conservation ledger here,
@@ -578,7 +660,7 @@ let delay_update t ~item ~delta ~finish =
   end
   else begin
     let need = -delta in
-    acquire_av t ~item ~need (function
+    acquire_av t ~parent:root ~item ~need (function
       | Error reason -> finish (Update.Rejected reason)
       | Ok rounds ->
           apply_local_delta t ~item ~delta;
@@ -596,6 +678,15 @@ let delay_update t ~item ~delta ~finish =
    transaction. If any acquisition fails, holds taken for earlier items
    are released and nothing is applied. *)
 let batch_update t ~deltas ~finish =
+  let root = span_start t ~category:"update" "update.delay_batch" in
+  span_field t root "items" (string_of_int (List.length deltas));
+  let finish outcome =
+    (match outcome with
+    | Update.Rejected _ -> span_warn t root
+    | Update.Applied _ -> ());
+    span_end t root;
+    finish outcome
+  in
   let coalesced =
     let tbl = Hashtbl.create 8 in
     List.iter
@@ -651,7 +742,7 @@ let batch_update t ~deltas ~finish =
         if delta >= 0 then acquire_loop rest held total_rounds
         else begin
           let need = -delta in
-          acquire_av t ~item ~need (function
+          acquire_av t ~parent:root ~item ~need (function
             | Ok rounds -> acquire_loop rest ((item, need) :: held) (total_rounds + rounds)
             | Error reason ->
                 release_held held;
@@ -664,6 +755,17 @@ let batch_update t ~deltas ~finish =
 
 let immediate_update t ~item ~delta ~finish =
   let txid = fresh_txid t in
+  let root = span_start t ~category:"update" "update.immediate" in
+  span_field t root "item" item;
+  span_field t root "delta" (string_of_int delta);
+  span_field t root "txid" (string_of_int txid);
+  let finish outcome =
+    (match outcome with
+    | Update.Rejected _ -> span_warn t root
+    | Update.Applied _ -> ());
+    span_end t root;
+    finish outcome
+  in
   let participant_addrs = peers t in
   let machine =
     Two_phase.Coordinator.create ~txid ~participants:participant_addrs ~base:t.base_addr
@@ -671,17 +773,29 @@ let immediate_update t ~item ~delta ~finish =
   Txn_log.record_start t.txn_log ~txid ~coordinator:t.addr ~item ~delta ~at:(now t);
   let coord = { machine; finish; local_txn = None; local_finalized = false } in
   Hashtbl.add t.coordinators txid coord;
+  (* Phase spans: prepare runs from Broadcast_prepare until a decision is
+     reached; the decision round from the broadcast until Completed. *)
+  let prepare_span = ref None and decision_span = ref None in
+  let close_phase r =
+    match !r with
+    | Some sp ->
+        r := None;
+        span_end t sp
+    | None -> ()
+  in
   let rec execute actions = List.iter execute_one actions
   and execute_one action =
     match action with
     | Two_phase.Coordinator.Broadcast_prepare ->
+        let psp = span_start t ~parent:root ~category:"2pc" "2pc.prepare" in
+        prepare_span := Some psp;
         (* Prepare and Decision deliberately run without the retry policy:
            a lost prepare is a Refuse vote, a lost decision is recovered by
            the participant's termination protocol. *)
         List.iter
           (fun p ->
             Rpc.call t.shared.rpc ~src:t.addr ~dst:p
-              ~timeout:(config t).Config.prepare_timeout
+              ~timeout:(config t).Config.prepare_timeout ~span:psp
               (Protocol.Prepare { txid; coordinator = t.addr; item; delta })
               (fenced t (fun response ->
                    match response with
@@ -694,6 +808,11 @@ let immediate_update t ~item ~delta ~finish =
           (Engine.schedule (engine t) ~delay:(config t).Config.prepare_timeout
              (fenced t (fun () -> execute (Two_phase.Coordinator.on_vote_timeout machine))))
     | Two_phase.Coordinator.Broadcast_decision decision ->
+        close_phase prepare_span;
+        let dsp = span_start t ~parent:root ~category:"2pc" "2pc.decision" in
+        span_field t dsp "decision"
+          (match decision with Two_phase.Commit -> "commit" | Two_phase.Abort -> "abort");
+        decision_span := Some dsp;
         (* Log the outcome before telling anyone (presumed abort depends on
            "no record => never decided"), then finalise the local part. *)
         Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t);
@@ -712,6 +831,7 @@ let immediate_update t ~item ~delta ~finish =
         List.iter
           (fun p ->
             Rpc.call t.shared.rpc ~src:t.addr ~dst:p ~timeout:(config t).Config.ack_timeout
+              ~span:dsp
               (Protocol.Decision { txid; decision })
               (fenced t (fun response ->
                    match response with
@@ -723,6 +843,8 @@ let immediate_update t ~item ~delta ~finish =
           (Engine.schedule (engine t) ~delay:(config t).Config.ack_timeout
              (fenced t (fun () -> execute (Two_phase.Coordinator.on_ack_timeout machine))))
     | Two_phase.Coordinator.Completed decision ->
+        close_phase prepare_span;
+        close_phase decision_span;
         trace t ~category:"2pc" "tx%d %a at coordinator %a" txid Two_phase.pp_decision decision
           Address.pp t.addr;
         Txn_log.record_outcome t.txn_log ~txid decision ~at:(now t);
@@ -760,6 +882,16 @@ let immediate_update t ~item ~delta ~finish =
 (* --- Centralized baseline (client side) --- *)
 
 let centralized_update t ~item ~delta ~finish =
+  let root = span_start t ~category:"update" "update.central" in
+  span_field t root "item" item;
+  span_field t root "delta" (string_of_int delta);
+  let finish outcome =
+    (match outcome with
+    | Update.Rejected _ -> span_warn t root
+    | Update.Applied _ -> ());
+    span_end t root;
+    finish outcome
+  in
   if Address.equal t.addr t.base_addr then
     match amount_of t ~item with
     | None -> finish (Update.Rejected (Update.Unknown_item item))
@@ -778,7 +910,7 @@ let centralized_update t ~item ~delta ~finish =
         end
   else
     Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
+      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:root
       (Protocol.Central_update { item; delta })
       (fenced t (fun response ->
            match response with
@@ -819,9 +951,16 @@ let handle_join t ~reply =
    overwrite the locally-bootstrapped catalogue with the live amounts. *)
 let join t callback =
   if Address.equal t.addr t.base_addr then callback (Ok ())
-  else
+  else begin
+    let root = span_start t ~category:"membership" "membership.join" in
+    let callback result =
+      (match result with Error _ -> span_warn t root | Ok () -> ());
+      span_end t root;
+      callback result
+    in
     Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) Protocol.Join_request
+      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:root
+      Protocol.Join_request
       (fenced t (fun response ->
         match response with
         | Ok (Protocol.Join_snapshot { rows; sync_state }) ->
@@ -853,6 +992,7 @@ let join t callback =
             end
         | Ok _ -> callback (Error Update.Txn_aborted)
         | Error Rpc.Timeout -> callback (Error Update.Unreachable)))
+  end
 
 (* --- public update entry point: the checking function --- *)
 
@@ -886,15 +1026,23 @@ let read_authoritative t ~item callback =
   if is_down t then
     ignore (Engine.schedule (engine t) ~delay:Time.zero (fun () -> callback (Error Update.Unreachable)))
   else if Address.equal t.addr t.base_addr then callback (Ok (amount_of t ~item))
-  else
+  else begin
+    let root = span_start t ~category:"read" "read.authoritative" in
+    span_field t root "item" item;
+    let callback result =
+      (match result with Error _ -> span_warn t root | Ok _ -> ());
+      span_end t root;
+      callback result
+    in
     Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
+      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:root
       (Protocol.Read_request { item })
       (fenced t (fun response ->
            match response with
            | Ok (Protocol.Read_value { amount }) -> callback (Ok amount)
            | Ok _ -> callback (Error Update.Txn_aborted)
            | Error Rpc.Timeout -> callback (Error Update.Unreachable)))
+  end
 
 let submit_batch t ~deltas callback =
   let started = now t in
@@ -925,6 +1073,8 @@ let submit_batch t ~deltas callback =
 
 let crash t =
   trace t ~level:Trace.Warn ~category:"fault" "%a crashed" Address.pp t.addr;
+  span_instant t ~status:Avdb_obs.Span.Warn ~category:"fault" "fault.crash"
+    ~fields:[ ("epoch", string_of_int t.epoch) ];
   (* Bumping the epoch fences every closure created so far: timers and RPC
      continuations belonging to the dead incarnation become no-ops. *)
   t.epoch <- t.epoch + 1;
@@ -963,6 +1113,8 @@ let recover t =
   t.sync_flush_scheduled <- false;
   Network.set_down (network t) t.addr false;
   schedule_sync_flush t;
+  span_instant t ~category:"fault" "fault.recover"
+    ~fields:[ ("epoch", string_of_int t.epoch) ];
   trace t ~category:"fault" "%a recovered (WAL replayed)" Address.pp t.addr
 
 (* --- construction --- *)
@@ -1042,13 +1194,13 @@ let create shared ~addr ~av_init =
     }
   in
   Rpc.serve shared.rpc addr
-    ~handler:(fun ~src request ~reply ->
+    ~handler:(fun ~src ~span request ~reply ->
       match request with
       | Protocol.Av_request { item; amount; requester_available } ->
-          handle_av_request t ~src ~item ~amount ~requester_available ~reply
+          handle_av_request t ~src ~span ~item ~amount ~requester_available ~reply
       | Protocol.Central_update { item; delta } -> handle_central_update t ~item ~delta ~reply
       | Protocol.Prepare { txid; coordinator; item; delta } ->
-          handle_prepare t ~txid ~coordinator ~item ~delta ~reply
+          handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply
       | Protocol.Decision { txid; decision } -> handle_decision t ~txid ~decision ~reply
       | Protocol.Read_request { item } ->
           reply (Protocol.Read_value { amount = amount_of t ~item })

@@ -113,6 +113,8 @@ type shared = {
   mutable all_addrs : Avdb_net.Address.t list;
       (** grows when sites join at runtime; every site reads it live *)
   trace : Avdb_sim.Trace.t;
+  tracer : Avdb_obs.Tracer.t;
+      (** causal span collector shared by every site and the RPC layer *)
 }
 
 val create : shared -> addr:Avdb_net.Address.t -> av_init:(string * int) list -> t

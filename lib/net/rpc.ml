@@ -1,7 +1,7 @@
 open Avdb_sim
 
 type ('req, 'resp, 'note) envelope =
-  | Request of { id : int; body : 'req }
+  | Request of { id : int; span : Avdb_obs.Span.id option; body : 'req }
   | Response of { id : int; body : 'resp }
   | Notice of 'note
 
@@ -30,6 +30,7 @@ let validate_retry p =
 type ('req, 'resp) pending = {
   continuation : ('resp, error) result -> unit;
   mutable timeout_handle : Engine.handle option;
+  call_span : Avdb_obs.Span.id option;
 }
 
 (* Bounded at-most-once reply cache per served node: remembers replies so a
@@ -49,13 +50,16 @@ type ('req, 'resp, 'note) t = {
   notice_size : 'note -> int;
   mutable next_id : int;
   pending : (int, ('req, 'resp) pending) Hashtbl.t;
+  tracer : Avdb_obs.Tracer.t option;
+  request_label : 'req -> string;
 }
 
 let flat _ = 64
 
 let create ~engine ?latency ?drop_probability ?duplicate_probability ?reorder_probability
     ?bandwidth_bytes_per_sec ?(default_timeout = Time.of_ms 100.) ?(request_size = flat)
-    ?(response_size = flat) ?(notice_size = flat) () =
+    ?(response_size = flat) ?(notice_size = flat) ?tracer
+    ?(request_label = fun _ -> "request") () =
   let net =
     Network.create ~engine ?latency ?drop_probability ?duplicate_probability
       ?reorder_probability ?bandwidth_bytes_per_sec ()
@@ -70,6 +74,8 @@ let create ~engine ?latency ?drop_probability ?duplicate_probability ?reorder_pr
     notice_size;
     next_id = 0;
     pending = Hashtbl.create 64;
+    tracer;
+    request_label;
   }
 
 let network t = t.net
@@ -85,7 +91,7 @@ let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
   in
   let deliver ~src envelope =
     match envelope with
-    | Request { id; body } -> (
+    | Request { id; span = ctx; body } -> (
         match Hashtbl.find_opt replies id with
         | Some (Some cached) ->
             (* Duplicate of an already-answered request: replay the reply. *)
@@ -96,23 +102,45 @@ let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
             Queue.push id order;
             if Queue.length order > reply_cache_capacity then
               Hashtbl.remove replies (Queue.pop order);
+            (* Server-side span, child of the caller's span carried in the
+               envelope: covers handler start to the reply hitting the wire. *)
+            let serve_span =
+              Option.map
+                (fun tracer ->
+                  Avdb_obs.Tracer.start tracer ~at:(Engine.now t.engine)
+                    ?parent:ctx ~site:(Address.to_int addr) ~category:"rpc"
+                    ("serve:" ^ t.request_label body))
+                t.tracer
+            in
+            let finish_serve_span () =
+              match (t.tracer, serve_span) with
+              | Some tracer, Some sp ->
+                  Avdb_obs.Tracer.finish tracer ~at:(Engine.now t.engine) sp
+              | _ -> ()
+            in
             let reply body =
               match Hashtbl.find_opt replies id with
               | Some None ->
                   Hashtbl.replace replies id (Some body);
+                  finish_serve_span ();
                   send_response ~dst:src ~id body
               | Some (Some _) -> () (* double reply: ignored *)
               | None ->
                   (* evicted from the cache before the (very late) reply *)
+                  finish_serve_span ();
                   send_response ~dst:src ~id body
             in
-            handler ~src body ~reply)
+            handler ~src ~span:serve_span body ~reply)
     | Response { id; body } -> (
         match Hashtbl.find_opt t.pending id with
         | None -> () (* response after timeout or duplicate response: drop *)
         | Some p ->
             Hashtbl.remove t.pending id;
             Option.iter (Engine.cancel t.engine) p.timeout_handle;
+            (match (t.tracer, p.call_span) with
+            | Some tracer, Some sp ->
+                Avdb_obs.Tracer.finish tracer ~at:(Engine.now t.engine) sp
+            | _ -> ());
             p.continuation (Ok body))
     | Notice body -> notice ~src body
   in
@@ -129,29 +157,63 @@ let backoff_delay t policy ~attempt =
   let us = float_of_int (Time.to_us policy.base_backoff) *. scale *. factor in
   Time.of_us (int_of_float (Float.max 0. us))
 
-let call t ~src ~dst ?timeout ?(retry = no_retry) body continuation =
+let call t ~src ~dst ?timeout ?(retry = no_retry) ?span body continuation =
   validate_retry retry;
   let timeout = Option.value timeout ~default:t.default_timeout in
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
-  let p = { continuation; timeout_handle = None } in
+  (* With a tracer, the envelope carries a per-call client span (child of
+     [span]); without one, [span] itself propagates so servers can still
+     parent onto the caller's context. *)
+  let call_span =
+    Option.map
+      (fun tracer ->
+        let sp =
+          Avdb_obs.Tracer.start tracer ~at:(Engine.now t.engine) ?parent:span
+            ~site:(Address.to_int src) ~category:"rpc"
+            ("call:" ^ t.request_label body)
+        in
+        Avdb_obs.Tracer.set_field tracer sp "dst" (Address.to_string dst);
+        sp)
+      t.tracer
+  in
+  let ctx = match call_span with Some _ -> call_span | None -> span in
+  let p = { continuation; timeout_handle = None; call_span } in
   Hashtbl.replace t.pending id p;
   (* One logical call = one correspondence for the caller, regardless of
      retransmissions or outcome: failure is only ever detected by timeout
      now, so the request was genuinely put on the wire every time. *)
   Stats.add_correspondence (Network.stats t.net) src;
+  let fail_span () =
+    match (t.tracer, call_span) with
+    | Some tracer, Some sp ->
+        Avdb_obs.Tracer.warn tracer sp;
+        Avdb_obs.Tracer.set_field tracer sp "error" "timeout";
+        Avdb_obs.Tracer.finish tracer ~at:(Engine.now t.engine) sp
+    | _ -> ()
+  in
+  let note_attempts n =
+    match (t.tracer, call_span) with
+    | Some tracer, Some sp ->
+        Avdb_obs.Tracer.set_field tracer sp "attempts" (string_of_int n)
+    | _ -> ()
+  in
   let rec attempt n =
-    Network.send t.net ~src ~dst ~size:(t.request_size body) (Request { id; body });
+    Network.send t.net ~src ~dst ~size:(t.request_size body)
+      (Request { id; span = ctx; body });
     p.timeout_handle <-
       Some
         (Engine.schedule t.engine ~delay:timeout (fun () ->
              if Hashtbl.mem t.pending id then
                if n >= retry.max_attempts then begin
                  Hashtbl.remove t.pending id;
+                 if n > 1 then note_attempts n;
+                 fail_span ();
                  p.continuation (Error Timeout)
                end
                else begin
                  Stats.add_retry (Network.stats t.net) src;
+                 note_attempts (n + 1);
                  p.timeout_handle <-
                    Some
                      (Engine.schedule t.engine ~delay:(backoff_delay t retry ~attempt:n)

@@ -50,13 +50,22 @@ val create :
   ?request_size:('req -> int) ->
   ?response_size:('resp -> int) ->
   ?notice_size:('note -> int) ->
+  ?tracer:Avdb_obs.Tracer.t ->
+  ?request_label:('req -> string) ->
   unit ->
   ('req, 'resp, 'note) t
 (** Builds the underlying network too. [default_timeout] defaults to
     100 ms of virtual time. The three [*_size] estimators feed the byte
     counters and the optional bandwidth model; each defaults to a flat
     64 bytes. The fault-injection probabilities are forwarded to
-    {!Network.create}. *)
+    {!Network.create}.
+
+    With a [tracer], every {!call} opens a client span ["call:<label>"]
+    (finished when the response arrives, or warned and finished on final
+    timeout) and every first delivery of a request opens a server span
+    ["serve:<label>"] that is a {e child of the caller's span across the
+    wire} — the envelope carries the span id. [request_label] names those
+    spans per request (default ["request"]). *)
 
 val network : ('req, 'resp, 'note) t -> ('req, 'resp, 'note) envelope Network.t
 val engine : ('req, 'resp, 'note) t -> Avdb_sim.Engine.t
@@ -65,7 +74,12 @@ val stats : ('req, 'resp, 'note) t -> Stats.t
 val serve :
   ('req, 'resp, 'note) t ->
   Address.t ->
-  handler:(src:Address.t -> 'req -> reply:('resp -> unit) -> unit) ->
+  handler:
+    (src:Address.t ->
+    span:Avdb_obs.Span.id option ->
+    'req ->
+    reply:('resp -> unit) ->
+    unit) ->
   ?notice:(src:Address.t -> 'note -> unit) ->
   unit ->
   unit
@@ -73,8 +87,10 @@ val serve :
     [reply] function that may be invoked immediately or from a later event
     (at most once; later invocations are ignored). Duplicates of an
     already-answered request are answered from the reply cache without
-    re-invoking [handler]. [notice] handles one-way messages; the default
-    drops them. *)
+    re-invoking [handler]. [span] is the server-side span for this request
+    (present only when the transport has a tracer); handlers may parent
+    their own spans onto it. It is finished when [reply]'s response hits
+    the wire. [notice] handles one-way messages; the default drops them. *)
 
 val call :
   ('req, 'resp, 'note) t ->
@@ -82,11 +98,14 @@ val call :
   dst:Address.t ->
   ?timeout:Avdb_sim.Time.t ->
   ?retry:retry_policy ->
+  ?span:Avdb_obs.Span.id ->
   'req ->
   (('resp, error) result -> unit) ->
   unit
 (** Issues a request; the continuation runs exactly once, either with the
     response or with [Error Timeout] once every attempt's deadline passed.
+    [span] is the caller's enclosing span: the per-call client span (and,
+    across the wire, the server span) becomes its child.
     Retransmissions reuse the same request id, so a server that already
     executed the request replays its cached reply rather than executing it
     again. A response arriving during a backoff pause completes the call

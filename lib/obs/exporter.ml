@@ -1,0 +1,203 @@
+open Avdb_sim
+
+let fields_obj fields = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) fields)
+
+let span_to_json (s : Span.t) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Span.id);
+      ( "parent",
+        match s.Span.parent with Some p -> Json.Int p | None -> Json.Null );
+      ("site", match s.Span.site with Some i -> Json.Int i | None -> Json.Null);
+      ("category", Json.Str s.Span.category);
+      ("name", Json.Str s.Span.name);
+      ("start_us", Json.Int (Time.to_us s.Span.start));
+      ( "end_us",
+        match s.Span.stop with
+        | Some e -> Json.Int (Time.to_us e)
+        | None -> Json.Null );
+      ("status", Json.Str (Span.status_name s.Span.status));
+      ("fields", fields_obj (Span.fields s));
+    ]
+
+let spans_to_jsonl tracer =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (span_to_json s));
+      Buffer.add_char buf '\n')
+    (Tracer.spans tracer);
+  Buffer.contents buf
+
+let metrics_to_jsonl registry =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let obj =
+        Json.Obj
+          [
+            ("at_us", Json.Int (Time.to_us s.Registry.at));
+            ("name", Json.Str s.Registry.name);
+            ("labels", fields_obj s.Registry.labels);
+            ("value", Json.Float s.Registry.value);
+          ]
+      in
+      Buffer.add_string buf (Json.to_string obj);
+      Buffer.add_char buf '\n')
+    (Registry.samples registry);
+  Buffer.contents buf
+
+(* Chrome trace_event format. pid/tid is the site index (or 0 for spans with
+   no site, e.g. cluster-level probes). Flow events ("s" start / "f" finish)
+   draw arrows for parent links whose endpoints are on different sites, which
+   is exactly the RPC boundaries. *)
+let chrome_trace tracer =
+  let spans = Tracer.spans tracer in
+  let lane (s : Span.t) = Option.value s.Span.site ~default:0 in
+  let sites =
+    List.sort_uniq compare (List.map lane spans)
+  in
+  let meta =
+    List.map
+      (fun site ->
+        Json.Obj
+          [
+            ("ph", Json.Str "M");
+            ("name", Json.Str "process_name");
+            ("pid", Json.Int site);
+            ("tid", Json.Int site);
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.Str
+                      (if site = 0 then "site 0 / cluster"
+                       else Printf.sprintf "site %d" site) );
+                ] );
+          ])
+      sites
+  in
+  let complete (s : Span.t) =
+    let start_us = Time.to_us s.Span.start in
+    let dur_us, open_arg =
+      match s.Span.stop with
+      | Some e -> (Time.to_us e - start_us, [])
+      | None -> (0, [ ("open", Json.Bool true) ])
+    in
+    let args =
+      [ ("span_id", Json.Int s.Span.id) ]
+      @ (match s.Span.parent with
+        | Some p -> [ ("parent_id", Json.Int p) ]
+        | None -> [])
+      @ [ ("status", Json.Str (Span.status_name s.Span.status)) ]
+      @ open_arg
+      @ List.map (fun (k, v) -> (k, Json.Str v)) (Span.fields s)
+    in
+    Json.Obj
+      [
+        ("ph", Json.Str "X");
+        ("name", Json.Str s.Span.name);
+        ("cat", Json.Str s.Span.category);
+        ("ts", Json.Int start_us);
+        ("dur", Json.Int dur_us);
+        ("pid", Json.Int (lane s));
+        ("tid", Json.Int (lane s));
+        ("args", Json.Obj args);
+      ]
+  in
+  let flows =
+    List.concat_map
+      (fun (s : Span.t) ->
+        match s.Span.parent with
+        | None -> []
+        | Some pid -> (
+            match Tracer.find tracer pid with
+            | Some parent when lane parent <> lane s ->
+                let flow ph (at : Time.t) sp =
+                  Json.Obj
+                    ([
+                       ("ph", Json.Str ph);
+                       ("id", Json.Int s.Span.id);
+                       ("name", Json.Str s.Span.name);
+                       ("cat", Json.Str s.Span.category);
+                       ("ts", Json.Int (Time.to_us at));
+                       ("pid", Json.Int (lane sp));
+                       ("tid", Json.Int (lane sp));
+                     ]
+                    @ if ph = "f" then [ ("bp", Json.Str "e") ] else [])
+                in
+                [ flow "s" parent.Span.start parent; flow "f" s.Span.start s ]
+            | _ -> []))
+      spans
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (meta @ List.map complete spans @ flows));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let csv_cell s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let series_csv registry =
+  let samples = Registry.samples registry in
+  (* Column order: first appearance; row order: distinct sample times. *)
+  let columns = Hashtbl.create 64 in
+  let rev_columns = ref [] in
+  let rows = Hashtbl.create 64 in
+  let rev_times = ref [] in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let key = Registry.series_key ~name:s.Registry.name ~labels:s.Registry.labels in
+      if not (Hashtbl.mem columns key) then begin
+        Hashtbl.replace columns key ();
+        rev_columns := key :: !rev_columns
+      end;
+      let t_us = Time.to_us s.Registry.at in
+      if not (Hashtbl.mem rows t_us) then begin
+        Hashtbl.replace rows t_us (Hashtbl.create 16);
+        rev_times := t_us :: !rev_times
+      end;
+      Hashtbl.replace (Hashtbl.find rows t_us) key s.Registry.value)
+    samples;
+  let columns = List.rev !rev_columns in
+  let times = List.rev !rev_times in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (String.concat "," ("time_ms" :: List.map csv_cell columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t_us ->
+      let row = Hashtbl.find rows t_us in
+      let cells =
+        Printf.sprintf "%.3f" (float_of_int t_us /. 1000.)
+        :: List.map
+             (fun key ->
+               match Hashtbl.find_opt row key with
+               | Some v -> Printf.sprintf "%.6g" v
+               | None -> "")
+             columns
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    times;
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = Out_channel.open_text path in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close oc)
+    (fun () -> Out_channel.output_string oc contents)

@@ -1,0 +1,35 @@
+(** Serialization of spans and metric time series.
+
+    Three formats:
+    - JSONL: one self-describing JSON object per line, per span or sample —
+      the format for ad-hoc [jq] analysis;
+    - Chrome [trace_event] JSON: loadable in [chrome://tracing] or
+      {{:https://ui.perfetto.dev}Perfetto}, with one process lane per site
+      and flow arrows linking parent/child spans that live on different
+      sites (an AV request crossing an RPC boundary renders as an arrow
+      from the requester's call span to the donor's serve span);
+    - CSV: the metric time series pivoted wide — one row per snapshot
+      instant, one column per metric identity — for spreadsheet plotting.
+
+    All timestamps are simulated microseconds. *)
+
+val spans_to_jsonl : Tracer.t -> string
+(** One object per retained span, creation order:
+    [{"id":…,"parent":…,"site":…,"category":…,"name":…,"start_us":…,
+      "end_us":…|null,"status":"ok"|"warn","fields":{…}}]. *)
+
+val metrics_to_jsonl : Registry.t -> string
+(** One object per sample, chronological:
+    [{"at_us":…,"name":…,"labels":{…},"value":…}]. *)
+
+val chrome_trace : Tracer.t -> string
+(** A [{"traceEvents":[…]}] document: ["M"] process-name metadata per site,
+    one ["X"] complete event per finished span (open spans get a zero
+    duration and an ["open":true] arg), and ["s"]/["f"] flow events for
+    parent links that cross sites. *)
+
+val series_csv : Registry.t -> string
+(** Header [time_ms,<key>,…] with keys per {!Registry.series_key} in
+    registration order; one row per snapshot. Cells are RFC 4180-quoted. *)
+
+val write_file : path:string -> string -> unit

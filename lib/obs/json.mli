@@ -1,0 +1,20 @@
+(** Minimal JSON writer for the exporters.
+
+    Only serialisation, no parsing: the exporters hand-build values and
+    render them with {!to_string}. Strings are escaped per RFC 8259;
+    non-finite floats (which JSON cannot represent) render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val escape : string -> string
+(** The escaped body of a JSON string literal, without the quotes. *)

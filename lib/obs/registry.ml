@@ -1,0 +1,94 @@
+type labels = (string * string) list
+
+type counter = int ref
+
+type histogram = Avdb_metrics.Histogram.t
+
+type source =
+  | Src_counter of counter
+  | Src_gauge of (unit -> float)
+  | Src_histogram of histogram
+
+type metric = { name : string; labels : labels; source : source }
+
+type sample = {
+  at : Avdb_sim.Time.t;
+  name : string;
+  labels : labels;
+  value : float;
+}
+
+type t = {
+  by_key : (string * labels, metric) Hashtbl.t;
+  mutable rev_metrics : metric list;  (* registration order, newest first *)
+  mutable rev_samples : sample list;
+  mutable snapshots : int;
+}
+
+let create () =
+  { by_key = Hashtbl.create 64; rev_metrics = []; rev_samples = []; snapshots = 0 }
+
+let series_key ~name ~labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
+
+let register t name labels source =
+  let metric = { name; labels; source } in
+  Hashtbl.replace t.by_key (name, labels) metric;
+  t.rev_metrics <- metric :: t.rev_metrics;
+  metric
+
+let counter t ?(labels = []) name =
+  match Hashtbl.find_opt t.by_key (name, labels) with
+  | Some { source = Src_counter c; _ } -> c
+  | Some _ ->
+      invalid_arg
+        ("Registry.counter: " ^ series_key ~name ~labels ^ " registered as another kind")
+  | None ->
+      let c = ref 0 in
+      ignore (register t name labels (Src_counter c));
+      c
+
+let inc c by = c := !c + by
+let counter_value c = !c
+
+let gauge t ?(labels = []) name f =
+  if Hashtbl.mem t.by_key (name, labels) then
+    invalid_arg ("Registry.gauge: duplicate " ^ series_key ~name ~labels)
+  else ignore (register t name labels (Src_gauge f))
+
+let histogram t ?(labels = []) name =
+  match Hashtbl.find_opt t.by_key (name, labels) with
+  | Some { source = Src_histogram h; _ } -> h
+  | Some _ ->
+      invalid_arg
+        ("Registry.histogram: " ^ series_key ~name ~labels ^ " registered as another kind")
+  | None ->
+      let h = Avdb_metrics.Histogram.create () in
+      ignore (register t name labels (Src_histogram h));
+      h
+
+let observe h x = Avdb_metrics.Histogram.add h x
+
+let snapshot t ~at =
+  t.snapshots <- t.snapshots + 1;
+  List.iter
+    (fun (m : metric) ->
+      let add name value = t.rev_samples <- { at; name; labels = m.labels; value } :: t.rev_samples in
+      match m.source with
+      | Src_counter c -> add m.name (float_of_int !c)
+      | Src_gauge f -> add m.name (f ())
+      | Src_histogram h ->
+          let open Avdb_metrics in
+          let count = Histogram.count h in
+          add (m.name ^ ".count") (float_of_int count);
+          add (m.name ^ ".mean") (if count = 0 then 0. else Histogram.mean h);
+          add (m.name ^ ".p99") (if count = 0 then 0. else Histogram.percentile h 99.))
+    (List.rev t.rev_metrics)
+
+let snapshot_count t = t.snapshots
+let samples t = List.rev t.rev_samples

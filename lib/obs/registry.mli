@@ -1,0 +1,58 @@
+(** Unified metrics registry.
+
+    One registration API for everything the system counts: native counters
+    and histograms, plus {e sourced gauges} — closures over existing mutable
+    state (the per-site {!Avdb_core.Update.Metrics} record, the network's
+    {!Avdb_net.Stats} totals, AV table levels) sampled lazily, so the hot
+    paths keep their cheap field increments and still show up in one
+    exported namespace.
+
+    Metric identity is [(name, labels)]; labels are ordered
+    [(key, value)] pairs, conventionally [("site", "1")] and/or
+    [("item", "product3")]. Registering the same counter or histogram twice
+    returns the existing instrument; registering a gauge under a taken
+    identity raises.
+
+    {!snapshot} appends one sample per registered metric (three for
+    histograms: [.count], [.mean], [.p99]) to an in-memory time series that
+    the exporters turn into CSV / JSONL. *)
+
+type t
+
+type labels = (string * string) list
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+val inc : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:labels -> string -> (unit -> float) -> unit
+(** [gauge t name f]: [f] is called at each {!snapshot}. Raises
+    [Invalid_argument] if [(name, labels)] is already registered. *)
+
+val histogram : t -> ?labels:labels -> string -> histogram
+val observe : histogram -> float -> unit
+
+type sample = {
+  at : Avdb_sim.Time.t;
+  name : string;
+  labels : labels;
+  value : float;
+}
+
+val snapshot : t -> at:Avdb_sim.Time.t -> unit
+(** Samples every registered metric, in registration order. *)
+
+val snapshot_count : t -> int
+
+val samples : t -> sample list
+(** All samples, chronological (snapshot order, registration order within
+    a snapshot). *)
+
+val series_key : name:string -> labels:labels -> string
+(** Canonical rendering of a metric identity, e.g.
+    ["av.available{site=1,item=p3}"]. *)

@@ -1,0 +1,32 @@
+open Avdb_sim
+
+type id = int
+
+type status = Ok | Warn
+
+let status_name = function Ok -> "ok" | Warn -> "warn"
+
+type t = {
+  id : id;
+  parent : id option;
+  site : int option;
+  category : string;
+  name : string;
+  start : Time.t;
+  mutable stop : Time.t option;
+  mutable status : status;
+  mutable rev_fields : (string * string) list;
+}
+
+let is_finished s = Option.is_some s.stop
+
+let duration s = Option.map (fun stop -> Time.diff stop s.start) s.stop
+
+let fields s = List.rev s.rev_fields
+
+let pp ppf s =
+  Format.fprintf ppf "#%d%s %s/%s [%a..%s]%s" s.id
+    (match s.parent with Some p -> Printf.sprintf "<-#%d" p | None -> "")
+    s.category s.name Time.pp s.start
+    (match s.stop with Some e -> Time.to_string e | None -> "open")
+    (match s.status with Ok -> "" | Warn -> " WARN")

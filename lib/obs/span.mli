@@ -1,0 +1,39 @@
+(** Causal spans.
+
+    A span is one timed operation in the simulated system: it has an id, an
+    optional parent (same-site nesting {e or} a cross-site causal edge when
+    the id was carried inside an RPC envelope), the site it ran on, a
+    category ("update", "av", "2pc", "rpc", "sync", "fault", "invariant",
+    "membership"), a name, start/end virtual times, a status and free-form
+    string fields. Spans are created and mutated through {!Tracer}. *)
+
+type id = int
+(** Dense, deterministic: allocated from a per-tracer counter in engine
+    execution order, so two runs with the same seed produce identical
+    id assignments. *)
+
+type status = Ok | Warn
+
+val status_name : status -> string
+
+type t = {
+  id : id;
+  parent : id option;
+  site : int option;  (** [Address.to_int], [None] for siteless spans *)
+  category : string;
+  name : string;
+  start : Avdb_sim.Time.t;
+  mutable stop : Avdb_sim.Time.t option;  (** [None] while the span is open *)
+  mutable status : status;
+  mutable rev_fields : (string * string) list;
+}
+
+val is_finished : t -> bool
+
+val duration : t -> Avdb_sim.Time.t option
+(** [stop - start]; [None] while open. *)
+
+val fields : t -> (string * string) list
+(** In the order they were set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t = {
+  capacity : int;
+  mutable next_id : int;
+  mutable rev_spans : Span.t list;
+  mutable count : int;
+  mutable dropped : int;
+  by_id : (Span.id, Span.t) Hashtbl.t;
+}
+
+let create ?(capacity = 262144) () =
+  {
+    capacity = Stdlib.max 1 capacity;
+    next_id = 1;
+    rev_spans = [];
+    count = 0;
+    dropped = 0;
+    by_id = Hashtbl.create 1024;
+  }
+
+let start t ~at ?parent ?site ~category name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  if t.count >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    let span =
+      {
+        Span.id;
+        parent;
+        site;
+        category;
+        name;
+        start = at;
+        stop = None;
+        status = Span.Ok;
+        rev_fields = [];
+      }
+    in
+    t.rev_spans <- span :: t.rev_spans;
+    t.count <- t.count + 1;
+    Hashtbl.replace t.by_id id span
+  end;
+  id
+
+let find t id = Hashtbl.find_opt t.by_id id
+
+let set_field t id key value =
+  match find t id with
+  | Some s -> s.Span.rev_fields <- (key, value) :: s.Span.rev_fields
+  | None -> ()
+
+let warn t id =
+  match find t id with Some s -> s.Span.status <- Span.Warn | None -> ()
+
+let finish t ~at id =
+  match find t id with
+  | Some s -> if s.Span.stop = None then s.Span.stop <- Some at
+  | None -> ()
+
+let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category name =
+  let id = start t ~at ?parent ?site ~category name in
+  List.iter (fun (k, v) -> set_field t id k v) fields;
+  if status = Span.Warn then warn t id;
+  finish t ~at id;
+  id
+
+let spans t = List.rev t.rev_spans
+let length t = t.count
+let dropped t = t.dropped

@@ -1,0 +1,55 @@
+(** Span collector.
+
+    Components {!start} a span when an operation begins, optionally attach
+    string fields, and {!finish} it when the operation completes; spans that
+    never finish (a crashed incarnation's continuations are fenced) stay
+    open and are exported as such. Span ids are allocated densely in
+    creation order, which is engine execution order, so a seeded run always
+    yields the same tree.
+
+    The tracer retains at most [capacity] spans; past that, new spans are
+    allocated an id but not retained (counted in {!dropped}), and mutations
+    on unretained ids are no-ops. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 262144 spans (minimum 1). *)
+
+val start :
+  t ->
+  at:Avdb_sim.Time.t ->
+  ?parent:Span.id ->
+  ?site:int ->
+  category:string ->
+  string ->
+  Span.id
+(** Opens a span and returns its id. [parent] may be a local enclosing span
+    or an id received across an RPC boundary. *)
+
+val set_field : t -> Span.id -> string -> string -> unit
+val warn : t -> Span.id -> unit
+
+val finish : t -> at:Avdb_sim.Time.t -> Span.id -> unit
+(** Idempotent: finishing a finished (or dropped) span is a no-op. *)
+
+val instant :
+  t ->
+  at:Avdb_sim.Time.t ->
+  ?parent:Span.id ->
+  ?site:int ->
+  ?status:Span.status ->
+  ?fields:(string * string) list ->
+  category:string ->
+  string ->
+  Span.id
+(** A zero-duration span: started and finished at [at]. *)
+
+val find : t -> Span.id -> Span.t option
+(** [None] for dropped or never-allocated ids. *)
+
+val spans : t -> Span.t list
+(** Retained spans in creation order. *)
+
+val length : t -> int
+val dropped : t -> int

@@ -11,8 +11,11 @@ type t = {
   mutable next : int;  (* slot for the next write *)
   mutable count : int;  (* retained events, <= capacity *)
   mutable dropped : int;
-  mutable subscribers : (event -> unit) list;
+  mutable next_subscription : int;
+  mutable subscribers : (int * (event -> unit)) list;
 }
+
+type subscription = int
 
 let create ?(capacity = 4096) () =
   let capacity = Stdlib.max 1 capacity in
@@ -22,6 +25,7 @@ let create ?(capacity = 4096) () =
     next = 0;
     count = 0;
     dropped = 0;
+    next_subscription = 0;
     subscribers = [];
   }
 
@@ -30,7 +34,7 @@ let record t ~at ?(level = Info) ~category message =
   if t.count = t.capacity then t.dropped <- t.dropped + 1 else t.count <- t.count + 1;
   t.buffer.(t.next) <- Some event;
   t.next <- (t.next + 1) mod t.capacity;
-  List.iter (fun f -> f event) t.subscribers
+  List.iter (fun (_, f) -> f event) t.subscribers
 
 let recordf t ~at ?level ~category fmt =
   Format.kasprintf (fun message -> record t ~at ?level ~category message) fmt
@@ -52,7 +56,14 @@ let events ?category ?min_level t =
 
 let length t = t.count
 let dropped t = t.dropped
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let subscribe t f =
+  let id = t.next_subscription in
+  t.next_subscription <- id + 1;
+  t.subscribers <- t.subscribers @ [ (id, f) ];
+  id
+
+let unsubscribe t subscription =
+  t.subscribers <- List.filter (fun (id, _) -> id <> subscription) t.subscribers
 
 let clear t =
   Array.fill t.buffer 0 t.capacity None;

@@ -43,9 +43,16 @@ val length : t -> int
 val dropped : t -> int
 (** Events evicted by the capacity bound over the trace's lifetime. *)
 
-val subscribe : t -> (event -> unit) -> unit
-(** Calls back on every future [record]; subscribers cannot be removed
-    (create a fresh trace instead). *)
+type subscription
+(** Token identifying a registered subscriber. *)
+
+val subscribe : t -> (event -> unit) -> subscription
+(** Calls back on every future [record], in subscription order, until
+    {!unsubscribe}d. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Removes a subscriber. Unknown (or already removed) tokens are a
+    no-op. *)
 
 val clear : t -> unit
 (** Drops retained events (subscribers and the dropped counter stay). *)

@@ -93,6 +93,16 @@ let test_table_csv_quoting () =
   Alcotest.(check string) "quoted csv" "name,value\n\"with,comma\",\"with\"\"quote\""
     (Ascii_table.to_csv t)
 
+let test_table_csv_newline () =
+  (* RFC 4180: a cell containing a line break must be quoted, and the break
+     is preserved verbatim inside the quotes. *)
+  let t = Ascii_table.create ~headers:[ "name"; "value" ] in
+  Ascii_table.add_row t [ "line1\nline2"; "plain" ];
+  Ascii_table.add_row t [ "\"already,\nquoted\""; "x" ];
+  Alcotest.(check string) "newline cells quoted"
+    "name,value\n\"line1\nline2\",plain\n\"\"\"already,\nquoted\"\"\",x"
+    (Ascii_table.to_csv t)
+
 
 (* --- Fairness --- *)
 
@@ -163,6 +173,7 @@ let suites =
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "table arity check" `Quick test_table_arity_check;
         Alcotest.test_case "table csv quoting" `Quick test_table_csv_quoting;
+        Alcotest.test_case "table csv newline quoting" `Quick test_table_csv_newline;
         Alcotest.test_case "jain index" `Quick test_jain_index;
         Alcotest.test_case "max/min ratio" `Quick test_max_min_ratio;
         Alcotest.test_case "spread" `Quick test_spread;

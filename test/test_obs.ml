@@ -1,0 +1,433 @@
+(* The observability subsystem: span collection and causal linking across
+   RPC boundaries, the unified metrics registry, periodic snapshots with
+   invariant probes, exporter well-formedness, and the determinism of the
+   whole pipeline under a fixed seed. *)
+
+open Avdb_sim
+open Avdb_core
+open Avdb_av
+module Obs = Avdb_obs
+
+(* --- a minimal JSON validator (RFC 8259 grammar, no decoding) --- *)
+
+exception Bad of int
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail () = raise (Bad !pos) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = Some c then advance () else fail () in
+  let literal lit = String.iter expect lit in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail ()
+              done;
+              go ()
+          | _ -> fail ())
+      | Some c when Char.code c >= 0x20 ->
+          advance ();
+          go ()
+      | _ -> fail ()
+    in
+    go ()
+  in
+  let digits () =
+    match peek () with
+    | Some ('0' .. '9') ->
+        let rec go () =
+          match peek () with
+          | Some ('0' .. '9') ->
+              advance ();
+              go ()
+          | _ -> ()
+        in
+        go ()
+    | _ -> fail ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then (
+      advance ();
+      digits ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '"' -> string_lit ()
+    | Some '{' -> (
+        advance ();
+        skip_ws ();
+        match peek () with
+        | Some '}' -> advance ()
+        | _ ->
+            let rec members () =
+              skip_ws ();
+              string_lit ();
+              skip_ws ();
+              expect ':';
+              value ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ()
+              | Some '}' -> advance ()
+              | _ -> fail ()
+            in
+            members ())
+    | Some '[' -> (
+        advance ();
+        skip_ws ();
+        match peek () with
+        | Some ']' -> advance ()
+        | _ ->
+            let rec elements () =
+              value ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements ()
+              | Some ']' -> advance ()
+              | _ -> fail ()
+            in
+            elements ())
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail ());
+    skip_ws ()
+  in
+  match
+    value ();
+    if !pos <> n then fail ()
+  with
+  | () -> Ok ()
+  | exception Bad i -> Error i
+
+let check_json label s =
+  match validate_json s with
+  | Ok () -> ()
+  | Error i ->
+      Alcotest.failf "%s: invalid JSON at byte %d: ...%s..." label i
+        (String.sub s (Stdlib.max 0 (i - 30)) (Stdlib.min 60 (String.length s - Stdlib.max 0 (i - 30))))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* --- tracer --- *)
+
+let test_tracer_basics () =
+  let tr = Obs.Tracer.create () in
+  let root = Obs.Tracer.start tr ~at:(Time.of_us 10) ~site:1 ~category:"update" "outer" in
+  let child = Obs.Tracer.start tr ~at:(Time.of_us 20) ~parent:root ~site:1 ~category:"av" "inner" in
+  Obs.Tracer.set_field tr child "item" "widget";
+  Obs.Tracer.set_field tr child "need" "10";
+  Obs.Tracer.finish tr ~at:(Time.of_us 35) child;
+  Obs.Tracer.finish tr ~at:(Time.of_us 40) root;
+  Obs.Tracer.finish tr ~at:(Time.of_us 99) root (* idempotent *);
+  let get id = Option.get (Obs.Tracer.find tr id) in
+  let r = get root and c = get child in
+  Alcotest.(check (option int)) "child links parent" (Some root) c.Obs.Span.parent;
+  Alcotest.(check (option int)) "root has no parent" None r.Obs.Span.parent;
+  Alcotest.(check bool) "both finished" true
+    (Obs.Span.is_finished r && Obs.Span.is_finished c);
+  Alcotest.(check int) "root stop kept first finish" 40
+    (Time.to_us (Option.get r.Obs.Span.stop));
+  Alcotest.(check int) "child duration" 15 (Time.to_us (Option.get (Obs.Span.duration c)));
+  Alcotest.(check (list (pair string string))) "fields in set order"
+    [ ("item", "widget"); ("need", "10") ]
+    (Obs.Span.fields c);
+  Obs.Tracer.warn tr child;
+  Alcotest.(check bool) "warned" true (c.Obs.Span.status = Obs.Span.Warn);
+  let i =
+    Obs.Tracer.instant tr ~at:(Time.of_us 50) ~site:2 ~category:"fault"
+      ~fields:[ ("epoch", "1") ] "fault.crash"
+  in
+  Alcotest.(check bool) "instant is finished" true (Obs.Span.is_finished (get i));
+  Alcotest.(check int) "creation order" 3 (List.length (Obs.Tracer.spans tr))
+
+let test_tracer_capacity () =
+  let tr = Obs.Tracer.create ~capacity:2 () in
+  let a = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "a" in
+  let b = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "b" in
+  let c = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "c" in
+  Alcotest.(check (list int)) "ids still dense" [ 1; 2; 3 ] [ a; b; c ];
+  Alcotest.(check int) "retained" 2 (Obs.Tracer.length tr);
+  Alcotest.(check int) "dropped" 1 (Obs.Tracer.dropped tr);
+  Alcotest.(check bool) "dropped id not found" true (Obs.Tracer.find tr c = None);
+  (* mutations on a dropped id must be harmless *)
+  Obs.Tracer.set_field tr c "k" "v";
+  Obs.Tracer.warn tr c;
+  Obs.Tracer.finish tr ~at:(Time.of_us 5) c
+
+(* --- registry --- *)
+
+let test_registry () =
+  let r = Obs.Registry.create () in
+  let c1 = Obs.Registry.counter r "hits" ~labels:[ ("site", "1") ] in
+  let c2 = Obs.Registry.counter r "hits" ~labels:[ ("site", "1") ] in
+  Obs.Registry.inc c1 2;
+  Obs.Registry.inc c2 3;
+  Alcotest.(check int) "re-registration shares the instrument" 5
+    (Obs.Registry.counter_value c1);
+  (match Obs.Registry.histogram r "hits" ~labels:[ ("site", "1") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  Obs.Registry.gauge r "level" (fun () -> 7.5);
+  (match Obs.Registry.gauge r "level" (fun () -> 0.) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate gauge accepted");
+  let h = Obs.Registry.histogram r "lat" in
+  Obs.Registry.snapshot r ~at:(Time.of_ms 1.);
+  Obs.Registry.observe h 10.;
+  Obs.Registry.observe h 20.;
+  Obs.Registry.snapshot r ~at:(Time.of_ms 2.);
+  Alcotest.(check int) "two snapshots" 2 (Obs.Registry.snapshot_count r);
+  let samples = Obs.Registry.samples r in
+  let value ~at name =
+    match
+      List.find_opt
+        (fun s -> s.Obs.Registry.name = name && Time.equal s.Obs.Registry.at at)
+        samples
+    with
+    | Some s -> s.Obs.Registry.value
+    | None -> Alcotest.failf "sample %s missing" name
+  in
+  Alcotest.(check (float 1e-9)) "counter sampled" 5. (value ~at:(Time.of_ms 1.) "hits");
+  Alcotest.(check (float 1e-9)) "gauge sampled" 7.5 (value ~at:(Time.of_ms 1.) "level");
+  Alcotest.(check (float 1e-9)) "empty histogram count" 0.
+    (value ~at:(Time.of_ms 1.) "lat.count");
+  Alcotest.(check (float 1e-9)) "histogram count" 2. (value ~at:(Time.of_ms 2.) "lat.count");
+  Alcotest.(check (float 1e-9)) "histogram mean" 15. (value ~at:(Time.of_ms 2.) "lat.mean");
+  Alcotest.(check string) "series key"
+    "av.available{site=1,item=p3}"
+    (Obs.Registry.series_key ~name:"av.available"
+       ~labels:[ ("site", "1"); ("item", "p3") ])
+
+(* --- cluster fixtures --- *)
+
+let small_config () =
+  {
+    Config.default with
+    Config.n_sites = 3;
+    products = [ Product.regular "widget" ~initial_amount:100 ];
+    seed = 99;
+  }
+
+let force_ok = function Ok () -> () | Error e -> Alcotest.fail e
+
+(* Reshape AV to Fig. 1 (40/20/40) and sell 30 at site 1: the shortage of
+   10 forces one AV transfer from the base. *)
+let run_forced_transfer () =
+  let cluster = Cluster.create (small_config ()) in
+  let av i = Site.av_table (Cluster.site cluster i) in
+  force_ok (Av_table.withdraw (av 0) ~item:"widget" 34);
+  force_ok (Av_table.deposit (av 0) ~item:"widget" 40);
+  force_ok (Av_table.withdraw (av 1) ~item:"widget" 33);
+  force_ok (Av_table.deposit (av 1) ~item:"widget" 20);
+  force_ok (Av_table.withdraw (av 2) ~item:"widget" 33);
+  force_ok (Av_table.deposit (av 2) ~item:"widget" 40);
+  let result = ref None in
+  Site.submit_update (Cluster.site cluster 1) ~item:"widget" ~delta:(-30) (fun r ->
+      result := Some r);
+  Cluster.run cluster;
+  (match !result with
+  | Some r when Update.is_applied r -> ()
+  | _ -> Alcotest.fail "forced transfer did not apply");
+  cluster
+
+let span_named tracer name =
+  match List.find_opt (fun s -> s.Obs.Span.name = name) (Obs.Tracer.spans tracer) with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S missing" name
+
+let parent_of tracer (sp : Obs.Span.t) =
+  match sp.Obs.Span.parent with
+  | None -> Alcotest.failf "span %S has no parent" sp.Obs.Span.name
+  | Some pid -> (
+      match Obs.Tracer.find tracer pid with
+      | Some p -> p
+      | None -> Alcotest.failf "parent of %S not retained" sp.Obs.Span.name)
+
+let test_av_span_tree () =
+  let cluster = run_forced_transfer () in
+  let tracer = Cluster.tracer cluster in
+  (* Walk the causal chain upward from the donor-side grant: it must cross
+     the RPC boundary (different sites on the two ends) and bottom out at
+     the requester's update root. *)
+  let grant = span_named tracer "av.grant" in
+  Alcotest.(check (option int)) "grant runs at the donor" (Some 0) grant.Obs.Span.site;
+  let serve = parent_of tracer grant in
+  Alcotest.(check string) "grant nests in the serve span" "serve:av_request"
+    serve.Obs.Span.name;
+  let call = parent_of tracer serve in
+  Alcotest.(check string) "serve links back to the call" "call:av_request"
+    call.Obs.Span.name;
+  Alcotest.(check (option int)) "call runs at the requester" (Some 1) call.Obs.Span.site;
+  Alcotest.(check bool) "the edge crosses sites" true
+    (call.Obs.Span.site <> serve.Obs.Span.site);
+  let acquire = parent_of tracer call in
+  Alcotest.(check string) "call nests in the acquisition" "av.acquire"
+    acquire.Obs.Span.name;
+  Alcotest.(check (option string)) "acquisition knows the item" (Some "widget")
+    (List.assoc_opt "item" (Obs.Span.fields acquire));
+  let root = parent_of tracer acquire in
+  Alcotest.(check string) "rooted at the update" "update.delay" root.Obs.Span.name;
+  Alcotest.(check (option int)) "root is a root" None root.Obs.Span.parent;
+  List.iter
+    (fun sp ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %S finished" sp.Obs.Span.name)
+        true (Obs.Span.is_finished sp))
+    [ grant; serve; call; acquire; root ]
+
+(* --- periodic snapshots --- *)
+
+let test_snapshot_cadence () =
+  let config = { (small_config ()) with Config.snapshot_interval = Some (Time.of_ms 10.) } in
+  let cluster = Cluster.create config in
+  let nth_update k = ((k mod 3), "widget", if k mod 3 = 0 then 2 else -1) in
+  ignore (Runner.run cluster ~nth_update ~total_updates:20 ());
+  let registry = Cluster.registry cluster in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough snapshots (%d)" (Obs.Registry.snapshot_count registry))
+    true
+    (Obs.Registry.snapshot_count registry >= 9);
+  List.iter
+    (fun s ->
+      let us = Time.to_us s.Obs.Registry.at in
+      if us mod 10_000 <> 0 then
+        Alcotest.failf "sample at %dus is off the 10ms cadence" us)
+    (Obs.Registry.samples registry)
+
+(* --- invariant probes --- *)
+
+let test_invariant_probe () =
+  let cluster = Cluster.create (small_config ()) in
+  Cluster.snapshot_now cluster;
+  let warns tracer =
+    List.length
+      (List.filter
+         (fun s -> s.Obs.Span.category = "invariant")
+         (Obs.Tracer.spans tracer))
+  in
+  Alcotest.(check int) "clean cluster has no violations" 0
+    (warns (Cluster.tracer cluster));
+  (* Conjure 5 units of AV out of thin air: conservation must trip. *)
+  force_ok (Av_table.deposit (Site.av_table (Cluster.site cluster 0)) ~item:"widget" 5);
+  Cluster.snapshot_now cluster;
+  let sp = span_named (Cluster.tracer cluster) "invariant.av_conservation" in
+  Alcotest.(check bool) "violation span is a warning" true
+    (sp.Obs.Span.status = Obs.Span.Warn);
+  let latest_violations =
+    List.fold_left
+      (fun acc s ->
+        if s.Obs.Registry.name = "invariant.violations" then s.Obs.Registry.value else acc)
+      0.
+      (Obs.Registry.samples (Cluster.registry cluster))
+  in
+  Alcotest.(check bool) "violations counter bumped" true (latest_violations >= 1.)
+
+(* --- exporters --- *)
+
+let seeded_scm_run () =
+  (* A tight catalogue (5 items, AV of 10 per site) so the workload actually
+     exhausts AV and triggers cross-site transfers within 300 updates. *)
+  let config =
+    {
+      Config.default with
+      Config.products =
+        Product.catalogue ~n_regular:5 ~n_non_regular:0 ~initial_amount:30;
+      snapshot_interval = Some (Time.of_ms 50.);
+    }
+  in
+  let cluster = Cluster.create config in
+  let workload =
+    Avdb_workload.Scm.create
+      (Avdb_workload.Scm.paper_spec ~n_items:5 ~initial_amount:30 ())
+      ~seed:2000
+  in
+  ignore
+    (Runner.run cluster ~nth_update:(Avdb_workload.Scm.generator workload)
+       ~total_updates:300 ());
+  cluster
+
+let test_exporters_well_formed () =
+  let cluster = seeded_scm_run () in
+  let tracer = Cluster.tracer cluster in
+  let registry = Cluster.registry cluster in
+  let chrome = Obs.Exporter.chrome_trace tracer in
+  check_json "chrome trace" chrome;
+  Alcotest.(check bool) "has traceEvents" true (contains chrome "\"traceEvents\"");
+  Alcotest.(check bool) "has flow arrows for cross-site edges" true
+    (contains chrome "\"ph\":\"s\"" && contains chrome "\"ph\":\"f\"");
+  let lines s = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  let span_lines = lines (Obs.Exporter.spans_to_jsonl tracer) in
+  Alcotest.(check int) "jsonl covers every retained span"
+    (Obs.Tracer.length tracer) (List.length span_lines);
+  List.iter (check_json "span jsonl line") span_lines;
+  List.iter (check_json "metric jsonl line") (lines (Obs.Exporter.metrics_to_jsonl registry));
+  let csv = Obs.Exporter.series_csv registry in
+  (match String.split_on_char '\n' csv with
+  | header :: _ :: _ ->
+      Alcotest.(check bool) "csv header leads with time_ms" true
+        (String.length header >= 7 && String.sub header 0 7 = "time_ms")
+  | _ -> Alcotest.fail "csv has no data rows")
+
+let test_determinism () =
+  let export cluster =
+    ( Obs.Exporter.spans_to_jsonl (Cluster.tracer cluster),
+      Obs.Exporter.series_csv (Cluster.registry cluster) )
+  in
+  let spans1, csv1 = export (seeded_scm_run ()) in
+  let spans2, csv2 = export (seeded_scm_run ()) in
+  Alcotest.(check bool) "traced something" true (String.length spans1 > 0);
+  Alcotest.(check string) "same seed, same span tree" spans1 spans2;
+  Alcotest.(check string) "same seed, same time series" csv1 csv2
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "tracer basics" `Quick test_tracer_basics;
+        Alcotest.test_case "tracer capacity" `Quick test_tracer_capacity;
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "av span tree crosses the wire" `Quick test_av_span_tree;
+        Alcotest.test_case "snapshot cadence" `Quick test_snapshot_cadence;
+        Alcotest.test_case "invariant probe" `Quick test_invariant_probe;
+        Alcotest.test_case "exporters well-formed" `Quick test_exporters_well_formed;
+        Alcotest.test_case "deterministic exports" `Quick test_determinism;
+      ] );
+  ]

@@ -13,16 +13,16 @@ let make ?latency ?drop_probability () =
   (engine, rpc)
 
 let serve_incr ?notice rpc a =
-  Rpc.serve rpc a ~handler:(fun ~src:_ n ~reply -> reply (n + 1)) ?notice ()
+  Rpc.serve rpc a ~handler:(fun ~src:_ ~span:_ n ~reply -> reply (n + 1)) ?notice ()
 
 let serve_silent rpc a =
   (* A server that never replies: exercises the timeout path. *)
-  Rpc.serve rpc a ~handler:(fun ~src:_ _ ~reply:_ -> ()) ()
+  Rpc.serve rpc a ~handler:(fun ~src:_ ~span:_ _ ~reply:_ -> ()) ()
 
 let test_call_response () =
   let engine, rpc = make ~latency:(Latency.Constant (t_us 10)) () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let result = ref None in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 41 (fun r -> result := Some r);
   ignore (Engine.run engine);
@@ -39,7 +39,7 @@ let test_call_response () =
 let test_timeout () =
   let engine, rpc = make () in
   serve_silent rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let result = ref None in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> result := Some r);
   ignore (Engine.run engine);
@@ -53,7 +53,7 @@ let test_late_response_ignored () =
      exactly once, with the timeout. *)
   let engine, rpc = make ~latency:(Latency.Constant (t_us 400)) () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let calls = ref [] in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> calls := r :: !calls);
   ignore (Engine.run engine);
@@ -67,7 +67,7 @@ let test_down_destination_times_out () =
      the full rpc timeout, never instantly. *)
   let engine, rpc = make () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   Network.set_down (Rpc.network rpc) (addr 0) true;
   let result = ref None in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> result := Some r);
@@ -89,11 +89,11 @@ let test_retry_recovers_after_outage () =
   let engine, rpc = make ~latency:(Latency.Constant (t_us 10)) () in
   let served = ref 0 in
   Rpc.serve rpc (addr 0)
-    ~handler:(fun ~src:_ n ~reply ->
+    ~handler:(fun ~src:_ ~span:_ n ~reply ->
       incr served;
       reply (n + 1))
     ();
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   Network.set_drop_probability (Rpc.network rpc) 1.0;
   ignore
     (Engine.schedule engine ~delay:(t_us 1_500) (fun () ->
@@ -114,7 +114,7 @@ let test_retry_recovers_after_outage () =
 let test_retry_exhaustion () =
   let engine, rpc = make () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   Network.set_drop_probability (Rpc.network rpc) 1.0;
   let retry = { retry_fast with Rpc.max_attempts = 3 } in
   let result = ref None in
@@ -142,11 +142,11 @@ let test_duplicate_request_executes_once () =
   in
   let served = ref 0 in
   Rpc.serve rpc (addr 0)
-    ~handler:(fun ~src:_ n ~reply ->
+    ~handler:(fun ~src:_ ~span:_ n ~reply ->
       incr served;
       reply (n + 1))
     ();
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let results = ref [] in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 7 (fun r -> results := r :: !results);
   ignore (Engine.run engine);
@@ -162,7 +162,7 @@ let test_notice () =
   let notices = ref [] in
   serve_incr rpc (addr 0) ~notice:(fun ~src note ->
       notices := (Address.to_int src, note) :: !notices);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   Rpc.notify rpc ~src:(addr 1) ~dst:(addr 0) "gossip";
   ignore (Engine.run engine);
   Alcotest.(check (list (pair int string))) "notice delivered" [ (1, "gossip") ] !notices;
@@ -174,10 +174,10 @@ let test_deferred_reply () =
      site; reply must still be routed to the original caller. *)
   let engine, rpc = make ~latency:(Latency.Constant (t_us 5)) () in
   Rpc.serve rpc (addr 0)
-    ~handler:(fun ~src:_ n ~reply ->
+    ~handler:(fun ~src:_ ~span:_ n ~reply ->
       ignore (Engine.schedule engine ~delay:(t_us 100) (fun () -> reply (n * 2))))
     ();
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let result = ref None in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 1_000) 21 (fun r -> result := Some r);
   ignore (Engine.run engine);
@@ -188,11 +188,11 @@ let test_deferred_reply () =
 let test_double_reply_ignored () =
   let engine, rpc = make () in
   Rpc.serve rpc (addr 0)
-    ~handler:(fun ~src:_ n ~reply ->
+    ~handler:(fun ~src:_ ~span:_ n ~reply ->
       reply n;
       reply (n + 100))
     ();
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let results = ref [] in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) 7 (fun r -> results := r :: !results);
   ignore (Engine.run engine);
@@ -205,8 +205,8 @@ let test_concurrent_calls_matched () =
      its own continuation. *)
   let engine, rpc = make ~latency:(Latency.Uniform (t_us 1, t_us 200)) () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
-  Rpc.serve rpc (addr 2) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 2) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let ok = ref 0 in
   for i = 1 to 100 do
     let caller = addr (1 + (i mod 2)) in
@@ -221,7 +221,7 @@ let test_lossy_calls_all_terminate () =
   (* Under heavy loss every call still terminates (response or timeout). *)
   let engine, rpc = make ~drop_probability:0.4 () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   let outcomes = ref 0 in
   for i = 1 to 200 do
     Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 10_000) i (fun _ -> incr outcomes)
@@ -234,7 +234,7 @@ let test_lossy_calls_all_terminate () =
 let test_partitioned_call_times_out () =
   let engine, rpc = make () in
   serve_incr rpc (addr 0);
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   Network.partition (Rpc.network rpc) (addr 0) (addr 1);
   let result = ref None in
   Rpc.call rpc ~src:(addr 1) ~dst:(addr 0) ~timeout:(t_us 500) 1 (fun r -> result := Some r);
@@ -258,11 +258,11 @@ let test_response_lost_to_partition () =
   let engine, rpc = make ~latency:(Latency.Constant (t_us 100)) () in
   let served = ref 0 in
   Rpc.serve rpc (addr 0)
-    ~handler:(fun ~src:_ n ~reply ->
+    ~handler:(fun ~src:_ ~span:_ n ~reply ->
       incr served;
       reply (n + 1))
     ();
-  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ _ ~reply -> reply 0) ();
+  Rpc.serve rpc (addr 1) ~handler:(fun ~src:_ ~span:_ _ ~reply -> reply 0) ();
   ignore
     (Engine.schedule engine ~delay:(t_us 150) (fun () ->
          Network.partition (Rpc.network rpc) (addr 0) (addr 1)));

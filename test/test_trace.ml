@@ -29,9 +29,23 @@ let test_ring_eviction () =
 let test_subscribe () =
   let t = Trace.create () in
   let seen = ref [] in
-  Trace.subscribe t (fun e -> seen := e.Trace.message :: !seen);
+  let _sub = Trace.subscribe t (fun e -> seen := e.Trace.message :: !seen) in
   Trace.record t ~at:(at 1) ~category:"c" "live";
   Alcotest.(check (list string)) "subscriber fired" [ "live" ] !seen
+
+let test_unsubscribe () =
+  let t = Trace.create () in
+  let a = ref 0 and b = ref 0 in
+  let sub_a = Trace.subscribe t (fun _ -> incr a) in
+  let _sub_b = Trace.subscribe t (fun _ -> incr b) in
+  Trace.record t ~at:(at 1) ~category:"c" "one";
+  Trace.unsubscribe t sub_a;
+  Trace.record t ~at:(at 2) ~category:"c" "two";
+  (* removing twice is a no-op *)
+  Trace.unsubscribe t sub_a;
+  Trace.record t ~at:(at 3) ~category:"c" "three";
+  Alcotest.(check int) "a stopped after unsubscribe" 1 !a;
+  Alcotest.(check int) "b kept firing" 3 !b
 
 let test_clear () =
   let t = Trace.create ~capacity:2 () in
@@ -110,6 +124,7 @@ let suites =
         Alcotest.test_case "record and read" `Quick test_record_and_read;
         Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
         Alcotest.test_case "subscribe" `Quick test_subscribe;
+        Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
         Alcotest.test_case "clear" `Quick test_clear;
         Alcotest.test_case "pp" `Quick test_pp;
         Alcotest.test_case "cluster av events" `Quick test_cluster_trace_av_events;
