@@ -1,0 +1,123 @@
+(* avdb-nemesis: sweep the randomized fault harness over a range of seeds
+   and fail loudly (exit 1) on the first invariant violation, printing the
+   failing seed and its shrunk minimal fault schedule so the run can be
+   replayed exactly.
+
+   Examples:
+     dune exec bin/avdb_nemesis_cli.exe -- --seeds 100
+     dune exec bin/avdb_nemesis_cli.exe -- --seed 42 --verbose
+     dune exec bin/avdb_nemesis_cli.exe -- --seeds 100 --start 1000 --out nemesis-reports *)
+
+open Cmdliner
+open Avdb_chaos
+
+let run_seed ~cfg ~verbose ~out seed =
+  let report = Nemesis.check ~shrink:true { cfg with Nemesis.seed } in
+  let failed = not (Nemesis.passed report) in
+  if failed || verbose then Format.printf "%a@." Nemesis.pp_report report
+  else Format.printf "seed %d: PASS@." seed;
+  (match out with
+  | Some dir when failed ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (Printf.sprintf "nemesis-seed-%d.txt" seed) in
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Nemesis.pp_report report;
+      close_out oc;
+      Format.printf "report written to %s@." path
+  | _ -> ());
+  not failed
+
+let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes partitions
+    net_windows no_crash_base verbose out =
+  let cfg =
+    {
+      (Nemesis.default ~seed:0) with
+      Nemesis.n_sites = sites;
+      n_regular = regular;
+      n_non_regular = non_regular;
+      n_ops = ops;
+      horizon_ms;
+      max_crashes = crashes;
+      max_partitions = partitions;
+      max_net_windows = net_windows;
+      crash_base = not no_crash_base;
+    }
+  in
+  let seed_list =
+    match seed_opt with
+    | Some s -> [ s ]
+    | None -> List.init seeds (fun i -> start + i)
+  in
+  let failures =
+    List.filter (fun seed -> not (run_seed ~cfg ~verbose ~out seed)) seed_list
+  in
+  match failures with
+  | [] ->
+      Format.printf "all %d seeds passed@." (List.length seed_list);
+      0
+  | fs ->
+      Format.printf "FAILING SEEDS: %s@."
+        (String.concat " " (List.map string_of_int fs));
+      1
+
+let seeds_arg =
+  Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+
+let start_arg =
+  Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"First seed of the sweep.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Run exactly one seed (overrides --seeds/--start).")
+
+let sites_arg =
+  Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Cluster size (site 0 is the base).")
+
+let regular_arg =
+  Arg.(value & opt int 4 & info [ "regular" ] ~doc:"Regular (Delay Update) products.")
+
+let non_regular_arg =
+  Arg.(
+    value & opt int 3 & info [ "non-regular" ] ~doc:"Non-regular (Immediate Update) products.")
+
+let ops_arg = Arg.(value & opt int 160 & info [ "ops" ] ~doc:"Workload submissions per run.")
+
+let horizon_arg =
+  Arg.(value & opt float 3000. & info [ "horizon-ms" ] ~doc:"Fault-phase length (sim ms).")
+
+let crashes_arg =
+  Arg.(value & opt int 4 & info [ "max-crashes" ] ~doc:"Max crash windows per run.")
+
+let partitions_arg =
+  Arg.(value & opt int 2 & info [ "max-partitions" ] ~doc:"Max partition windows per run.")
+
+let net_windows_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-net-windows" ] ~doc:"Max loss/duplication/reordering windows per run.")
+
+let no_crash_base_arg =
+  Arg.(value & flag & info [ "no-crash-base" ] ~doc:"Never crash site 0 (the base).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report for passing seeds too.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Write a per-seed report file for every failing seed.")
+
+let cmd =
+  let doc = "randomized crash/partition/loss nemesis for the autonomous-consistency cluster" in
+  Cmd.v
+    (Cmd.info "avdb-nemesis" ~doc)
+    Term.(
+      const run $ seeds_arg $ start_arg $ seed_arg $ sites_arg $ regular_arg
+      $ non_regular_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
+      $ net_windows_arg $ no_crash_base_arg $ verbose_arg $ out_arg)
+
+let () = exit (Cmd.eval' cmd)

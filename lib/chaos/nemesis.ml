@@ -1,0 +1,411 @@
+(* Seeded randomized fault injection over a live cluster, with
+   whole-system invariant checking and greedy schedule shrinking. See the
+   interface for the invariant list; the design constraint throughout is
+   determinism — [execute] must be a pure function of (config, schedule)
+   so a failing seed replays exactly. *)
+
+open Avdb_sim
+open Avdb_core
+open Avdb_av
+open Avdb_workload
+
+type fault =
+  | Crash of { site : int; at_ms : float; for_ms : float }
+  | Partition of { a : int; b : int; at_ms : float; for_ms : float }
+  | Drop of { p : float; at_ms : float; for_ms : float }
+  | Duplicate of { p : float; at_ms : float; for_ms : float }
+  | Reorder of { p : float; at_ms : float; for_ms : float }
+
+type config = {
+  seed : int;
+  n_sites : int;
+  n_regular : int;
+  n_non_regular : int;
+  n_ops : int;
+  horizon_ms : float;
+  max_crashes : int;
+  max_partitions : int;
+  max_net_windows : int;
+  crash_base : bool;
+}
+
+let default ~seed =
+  {
+    seed;
+    n_sites = 4;
+    n_regular = 4;
+    n_non_regular = 3;
+    n_ops = 160;
+    horizon_ms = 3000.;
+    max_crashes = 4;
+    max_partitions = 2;
+    max_net_windows = 3;
+    crash_base = true;
+  }
+
+(* --- schedule generation --- *)
+
+let fault_window = function
+  | Crash { at_ms; for_ms; _ }
+  | Partition { at_ms; for_ms; _ }
+  | Drop { at_ms; for_ms; _ }
+  | Duplicate { at_ms; for_ms; _ }
+  | Reorder { at_ms; for_ms; _ } ->
+      (at_ms, at_ms +. for_ms)
+
+let fault_start f = fst (fault_window f)
+
+(* Two faults conflict when letting their windows overlap would make the
+   schedule ill-formed (a crash of an already-down site, a double cut of
+   the same link, clobbered open/close events on a shared network knob). *)
+let conflicts a b =
+  match (a, b) with
+  | Crash x, Crash y -> x.site = y.site
+  | Partition x, Partition y ->
+      (min x.a x.b, max x.a x.b) = (min y.a y.b, max y.a y.b)
+  | Drop _, Drop _ | Duplicate _, Duplicate _ | Reorder _, Reorder _ -> true
+  | _ -> false
+
+let overlaps a b =
+  let s1, e1 = fault_window a and s2, e2 = fault_window b in
+  s1 < e2 && s2 < e1
+
+let generate cfg =
+  let rng = Rng.create cfg.seed in
+  (* Windows live in [5%, 70%] of the horizon and are short enough that
+     every one closes well before the final heal-the-world phase. Loss
+     probability is capped at 0.15 so that a 10-attempt retransmission
+     policy makes a permanently lost grant reply (the one legitimate
+     conservation leak besides a crashed requester) vanishingly rare. *)
+  let window lo_dur hi_dur =
+    let at = Rng.float_in rng (0.05 *. cfg.horizon_ms) (0.7 *. cfg.horizon_ms) in
+    (at, Rng.float_in rng lo_dur hi_dur)
+  in
+  let candidates = ref [] in
+  let push f = candidates := f :: !candidates in
+  if cfg.max_crashes > 0 then
+    for _ = 1 to Rng.int_in rng 1 cfg.max_crashes do
+      let lo = if cfg.crash_base then 0 else 1 in
+      if cfg.n_sites > lo then begin
+        let site = Rng.int_in rng lo (cfg.n_sites - 1) in
+        let at_ms, for_ms = window 150. 400. in
+        push (Crash { site; at_ms; for_ms })
+      end
+    done;
+  if cfg.max_partitions > 0 && cfg.n_sites >= 2 then
+    for _ = 1 to Rng.int_in rng 0 cfg.max_partitions do
+      let a = Rng.int rng cfg.n_sites and b = Rng.int rng cfg.n_sites in
+      if a <> b then begin
+        let at_ms, for_ms = window 150. 500. in
+        push (Partition { a; b; at_ms; for_ms })
+      end
+    done;
+  if cfg.max_net_windows > 0 then
+    for _ = 1 to Rng.int_in rng 1 cfg.max_net_windows do
+      let at_ms, for_ms = window 100. 300. in
+      match Rng.int rng 3 with
+      | 0 -> push (Drop { p = Rng.float_in rng 0.05 0.15; at_ms; for_ms })
+      | 1 -> push (Duplicate { p = Rng.float_in rng 0.1 0.4; at_ms; for_ms })
+      | _ -> push (Reorder { p = Rng.float_in rng 0.1 0.4; at_ms; for_ms })
+    done;
+  let sorted =
+    List.sort (fun x y -> compare (fault_start x) (fault_start y)) !candidates
+  in
+  List.rev
+    (List.fold_left
+       (fun kept f ->
+         if List.exists (fun g -> conflicts f g && overlaps f g) kept then kept
+         else f :: kept)
+       [] sorted)
+
+(* --- execution --- *)
+
+type stats = {
+  applied : int;
+  rejected : int;
+  crashes : int;
+  partitions : int;
+  net_windows : int;
+  in_doubt_recovered : int;
+  termination_queries : int;
+  decision_rebroadcasts : int;
+  leaked_av : int;
+  messages_dropped : int;
+}
+
+type outcome = { violations : string list; stats : stats }
+
+let mk_cluster cfg =
+  let products =
+    Product.catalogue ~n_regular:cfg.n_regular ~n_non_regular:cfg.n_non_regular
+      ~initial_amount:100
+  in
+  Cluster.create
+    {
+      Config.default with
+      Config.n_sites = cfg.n_sites;
+      products;
+      rpc_timeout = Time.of_ms 20.;
+      rpc_retry =
+        {
+          Avdb_net.Rpc.max_attempts = 10;
+          base_backoff = Time.of_ms 5.;
+          backoff_multiplier = 2.;
+          jitter = 0.3;
+        };
+      sync_interval = Some (Time.of_ms 25.);
+      seed = cfg.seed;
+    }
+
+let execute cfg schedule =
+  let cluster = mk_cluster cfg in
+  let engine = Cluster.engine cluster in
+  let site i = Cluster.site cluster i in
+  let at ms f = ignore (Engine.schedule_at engine ~at:(Time.of_ms ms) f) in
+  let violations = ref [] in
+  let violate fmt =
+    Format.kasprintf
+      (fun s ->
+        if List.length !violations < 32 && not (List.mem s !violations) then
+          violations := s :: !violations)
+      fmt
+  in
+  (* Install the fault schedule as open/close event pairs. *)
+  List.iter
+    (fun f ->
+      match f with
+      | Crash { site = i; at_ms; for_ms } ->
+          at at_ms (fun () -> if not (Site.is_down (site i)) then Site.crash (site i));
+          at (at_ms +. for_ms) (fun () ->
+              if Site.is_down (site i) then Site.recover (site i))
+      | Partition { a; b; at_ms; for_ms } ->
+          at at_ms (fun () -> Cluster.partition cluster a b);
+          at (at_ms +. for_ms) (fun () -> Cluster.heal cluster a b)
+      | Drop { p; at_ms; for_ms } ->
+          at at_ms (fun () -> Cluster.set_drop_probability cluster p);
+          at (at_ms +. for_ms) (fun () -> Cluster.set_drop_probability cluster 0.)
+      | Duplicate { p; at_ms; for_ms } ->
+          at at_ms (fun () -> Cluster.set_duplicate_probability cluster p);
+          at (at_ms +. for_ms) (fun () -> Cluster.set_duplicate_probability cluster 0.)
+      | Reorder { p; at_ms; for_ms } ->
+          at at_ms (fun () -> Cluster.set_reorder_probability cluster p);
+          at (at_ms +. for_ms) (fun () -> Cluster.set_reorder_probability cluster 0.))
+    schedule;
+  (* Decision agreement is an any-instant invariant: probe it throughout
+     the fault phase, not just at quiescence. *)
+  let rec probe ms =
+    if ms < cfg.horizon_ms then begin
+      at ms (fun () ->
+          match Cluster.decision_agreement cluster with
+          | Ok () -> ()
+          | Error e -> violate "mid-run decision agreement: %s" e);
+      probe (ms +. 100.)
+    end
+  in
+  probe 50.;
+  (* The workload: the paper's SCM generator over the full mixed catalogue,
+     so Delay Update (AV) and Immediate Update (2PC) both run under fire. *)
+  let products = (Cluster.config cluster).Config.products in
+  let items =
+    Array.of_list (List.map (fun p -> (p.Product.name, p.Product.initial_amount)) products)
+  in
+  let wl =
+    Scm.create
+      {
+        Scm.n_sites = cfg.n_sites;
+        items;
+        maker_increase_pct = 0.2;
+        retailer_decrease_pct = 0.1;
+        item_skew = 0.;
+        maker_weight = 1;
+      }
+      ~seed:cfg.seed
+  in
+  let fired = Array.make (max 1 cfg.n_ops) 0 in
+  let applied = ref 0 and rejected = ref 0 in
+  let op_interval = 0.9 *. cfg.horizon_ms /. float_of_int (max 1 cfg.n_ops) in
+  for i = 0 to cfg.n_ops - 1 do
+    let s, item, delta = Scm.generator wl i in
+    at
+      (float_of_int i *. op_interval)
+      (fun () ->
+        Site.submit_update (site s) ~item ~delta (fun r ->
+            fired.(i) <- fired.(i) + 1;
+            if Update.is_applied r then incr applied else incr rejected))
+  done;
+  (* Horizon: heal the world, then drain to quiescence. *)
+  at cfg.horizon_ms (fun () ->
+      Cluster.set_drop_probability cluster 0.;
+      Cluster.set_duplicate_probability cluster 0.;
+      Cluster.set_reorder_probability cluster 0.;
+      for a = 0 to cfg.n_sites - 1 do
+        for b = a + 1 to cfg.n_sites - 1 do
+          Cluster.heal cluster a b
+        done
+      done;
+      for i = 0 to cfg.n_sites - 1 do
+        if Site.is_down (site i) then Site.recover (site i)
+      done);
+  Cluster.run cluster;
+  let item_names = List.map (fun p -> p.Product.name) products in
+  let converged item =
+    match Cluster.replica_amounts cluster ~item with
+    | first :: rest -> List.for_all (( = ) first) rest
+    | [] -> false
+  in
+  let attempts = ref 0 in
+  while (not (List.for_all converged item_names)) && !attempts < 40 do
+    incr attempts;
+    Cluster.flush_all_syncs cluster
+  done;
+  (* --- the invariants --- *)
+  Array.iteri
+    (fun i n ->
+      if i < cfg.n_ops then
+        if n = 0 then violate "op %d never settled" i
+        else if n > 1 then violate "op %d fired %d times (double-fired continuation)" i n)
+    fired;
+  (match Cluster.decision_agreement cluster with
+  | Ok () -> ()
+  | Error e -> violate "final decision agreement: %s" e);
+  let in_doubt = Cluster.in_doubt_total cluster in
+  if in_doubt > 0 then violate "%d transactions still in doubt at quiescence" in_doubt;
+  List.iter
+    (fun item ->
+      if not (converged item) then
+        violate "replicas of %s disagree at quiescence: [%s]" item
+          (String.concat ", "
+             (List.map string_of_int (Cluster.replica_amounts cluster ~item))))
+    item_names;
+  (* AV ledger: per item, volume must never be created; globally, the
+     books must balance exactly once the measured grant leak (granted
+     minus received — volume stranded by a crash or exhausted
+     retransmission while a grant reply was in flight) is accounted. *)
+  let sites = Cluster.sites cluster in
+  let per_item f item =
+    Array.fold_left (fun acc s -> acc + f (Site.av_table s) ~item) 0 sites
+  in
+  let deficit =
+    List.fold_left
+      (fun acc item ->
+        let live = per_item Av_table.total item
+        and consumed = per_item Av_table.consumed item
+        and minted = per_item Av_table.minted item
+        and defined = per_item Av_table.defined_volume item in
+        let d = defined + minted - consumed - live in
+        if d < 0 then violate "AV volume created out of thin air on %s (%d units)" item (-d);
+        acc + d)
+      0 item_names
+  in
+  let sum_metric f =
+    Array.fold_left (fun acc s -> acc + f (Site.metrics s)) 0 sites
+  in
+  let granted = sum_metric (fun m -> m.Update.Metrics.av_volume_granted)
+  and received = sum_metric (fun m -> m.Update.Metrics.av_volume_received) in
+  let leaked = granted - received in
+  if leaked < 0 then
+    violate "more AV received than granted (%d units conjured in flight)" (-leaked);
+  if deficit <> leaked then
+    violate "AV ledger imbalance: defined+minted-consumed-live = %d but measured grant leak = %d"
+      deficit leaked;
+  (* With no leak the stricter whole-system check applies verbatim. *)
+  if leaked = 0 then begin
+    match Cluster.check_invariants cluster with
+    | Ok () -> ()
+    | Error e -> violate "check_invariants: %s" e
+  end;
+  let count p = List.length (List.filter p schedule) in
+  let stats =
+    {
+      applied = !applied;
+      rejected = !rejected;
+      crashes = count (function Crash _ -> true | _ -> false);
+      partitions = count (function Partition _ -> true | _ -> false);
+      net_windows =
+        count (function Drop _ | Duplicate _ | Reorder _ -> true | _ -> false);
+      in_doubt_recovered = sum_metric (fun m -> m.Update.Metrics.in_doubt_recovered);
+      termination_queries = sum_metric (fun m -> m.Update.Metrics.termination_queries);
+      decision_rebroadcasts =
+        sum_metric (fun m -> m.Update.Metrics.decision_rebroadcasts);
+      leaked_av = max 0 leaked;
+      messages_dropped = Avdb_net.Stats.total_dropped (Cluster.net_stats cluster);
+    }
+  in
+  { violations = List.rev !violations; stats }
+
+(* --- shrinking --- *)
+
+type report = {
+  config : config;
+  schedule : fault list;
+  outcome : outcome;
+  minimal : fault list option;
+}
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* Greedy delta-debugging over single faults: drop one at a time, keep the
+   removal whenever the shrunk schedule still fails. The result is locally
+   minimal — every remaining fault is necessary for the failure. *)
+let shrink_schedule cfg schedule =
+  let failing s = (execute cfg s).violations <> [] in
+  let rec loop sched i =
+    if i >= List.length sched then sched
+    else
+      let candidate = remove_nth i sched in
+      if failing candidate then loop candidate i else loop sched (i + 1)
+  in
+  loop schedule 0
+
+let check ?(shrink = true) cfg =
+  let schedule = generate cfg in
+  let outcome = execute cfg schedule in
+  let minimal =
+    if outcome.violations = [] || not shrink then None
+    else Some (shrink_schedule cfg schedule)
+  in
+  { config = cfg; schedule; outcome; minimal }
+
+let passed r = r.outcome.violations = []
+
+(* --- reporting --- *)
+
+let pp_fault ppf = function
+  | Crash { site; at_ms; for_ms } ->
+      Format.fprintf ppf "crash site%d at %.0fms for %.0fms" site at_ms for_ms
+  | Partition { a; b; at_ms; for_ms } ->
+      Format.fprintf ppf "partition %d-%d at %.0fms for %.0fms" a b at_ms for_ms
+  | Drop { p; at_ms; for_ms } ->
+      Format.fprintf ppf "drop p=%.2f at %.0fms for %.0fms" p at_ms for_ms
+  | Duplicate { p; at_ms; for_ms } ->
+      Format.fprintf ppf "duplicate p=%.2f at %.0fms for %.0fms" p at_ms for_ms
+  | Reorder { p; at_ms; for_ms } ->
+      Format.fprintf ppf "reorder p=%.2f at %.0fms for %.0fms" p at_ms for_ms
+
+let pp_schedule ppf = function
+  | [] -> Format.pp_print_string ppf "(no faults)"
+  | faults ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fault ppf faults
+
+let pp_report ppf r =
+  let s = r.outcome.stats in
+  Format.fprintf ppf "@[<v>nemesis seed %d: %s@," r.config.seed
+    (if passed r then "PASS" else "FAIL");
+  Format.fprintf ppf
+    "  ops: %d applied, %d rejected; faults: %d crashes, %d partitions, %d net \
+     windows; %d msgs dropped@,"
+    s.applied s.rejected s.crashes s.partitions s.net_windows s.messages_dropped;
+  Format.fprintf ppf
+    "  recovery: %d in-doubt re-installed, %d termination queries, %d decision \
+     rebroadcasts, %d AV leaked@,"
+    s.in_doubt_recovered s.termination_queries s.decision_rebroadcasts s.leaked_av;
+  Format.fprintf ppf "  schedule:@,    @[<v>%a@]@," pp_schedule r.schedule;
+  if r.outcome.violations <> [] then begin
+    Format.fprintf ppf "  violations:@,";
+    List.iter (fun v -> Format.fprintf ppf "    %s@," v) r.outcome.violations
+  end;
+  (match r.minimal with
+  | None -> ()
+  | Some m ->
+      Format.fprintf ppf "  minimal failing schedule:@,    @[<v>%a@]@," pp_schedule m);
+  Format.fprintf ppf "@]"

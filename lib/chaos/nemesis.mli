@@ -1,0 +1,102 @@
+(** Randomized fault-injection harness ("nemesis").
+
+    From a single integer seed the nemesis derives a schedule of fault
+    windows — site crashes with later recovery, link partitions with later
+    healing, and message loss / duplication / reordering windows — and
+    injects them into a fresh cluster while a mixed Delay-/Immediate-Update
+    workload runs. Every window closes before the horizon; the final phase
+    heals everything, recovers every down site, drains the system to
+    quiescence and checks the whole-system invariants:
+
+    - every submitted operation settled {e exactly} once (a crashed
+      incarnation must neither swallow nor double-fire a continuation);
+    - 2PC decision agreement across every site's durable protocol log
+      (probed periodically {e during} the faults, not just at the end);
+    - no transaction left in doubt once every site is up and quiescent;
+    - all replicas of every item agree after the sync flush;
+    - per-item AV safety: no site sequence of grants/crashes may ever
+      {e create} volume;
+    - the global AV ledger balances exactly: defined + minted volume equals
+      live + consumed volume plus the grant volume measurably lost to
+      crash/loss windows (granted minus received — the model's one
+      documented leak channel), and that leak is never negative.
+
+    Runs are deterministic: the same [config] and schedule always produce
+    the same outcome, so a failing seed is a reproducible bug report. On
+    violation the harness can greedily shrink the schedule to a minimal
+    failing fault list. *)
+
+type fault =
+  | Crash of { site : int; at_ms : float; for_ms : float }
+      (** [site] crashes at [at_ms] and recovers at [at_ms +. for_ms]. *)
+  | Partition of { a : int; b : int; at_ms : float; for_ms : float }
+      (** both directions of the [a]–[b] link cut, healed after [for_ms]. *)
+  | Drop of { p : float; at_ms : float; for_ms : float }
+      (** global message-loss window at probability [p]. *)
+  | Duplicate of { p : float; at_ms : float; for_ms : float }
+  | Reorder of { p : float; at_ms : float; for_ms : float }
+
+type config = {
+  seed : int;
+  n_sites : int;
+  n_regular : int;  (** Delay-Update products (AV circulation) *)
+  n_non_regular : int;  (** Immediate-Update products (2PC) *)
+  n_ops : int;  (** workload submissions over the first 90% of the horizon *)
+  horizon_ms : float;  (** every fault window closes before this *)
+  max_crashes : int;
+  max_partitions : int;
+  max_net_windows : int;  (** loss/duplication/reordering windows *)
+  crash_base : bool;  (** whether site 0 (the base) may crash too *)
+}
+
+val default : seed:int -> config
+(** 4 sites, 4 regular + 3 non-regular products, 160 ops over a 3 s
+    horizon, up to 4 crashes (base included), 2 partitions and 3 network
+    windows. *)
+
+val generate : config -> fault list
+(** The deterministic fault schedule for [config.seed]: windows are sorted
+    by start time; crash windows never overlap on the same site, partition
+    windows never overlap on the same link, network windows never overlap
+    with another of the same kind. *)
+
+type stats = {
+  applied : int;
+  rejected : int;
+  crashes : int;
+  partitions : int;
+  net_windows : int;
+  in_doubt_recovered : int;  (** participants re-installed from the log *)
+  termination_queries : int;  (** cooperative-termination RPCs sent *)
+  decision_rebroadcasts : int;  (** recovered-coordinator decision pushes *)
+  leaked_av : int;  (** grant volume lost to the documented leak channel *)
+  messages_dropped : int;
+}
+
+type outcome = { violations : string list; stats : stats }
+(** [violations = []] means every invariant held. *)
+
+val execute : config -> fault list -> outcome
+(** Build a fresh cluster from [config], inject the schedule over the
+    workload, heal + recover everything at the horizon, drain to
+    quiescence and evaluate the invariants. Deterministic. *)
+
+type report = {
+  config : config;
+  schedule : fault list;
+  outcome : outcome;
+  minimal : fault list option;
+      (** on failure with shrinking enabled: a locally-minimal sub-schedule
+          that still fails (removing any single fault makes it pass) *)
+}
+
+val check : ?shrink:bool -> config -> report
+(** [generate] + [execute]; when [shrink] (default [true]) and the run
+    fails, greedily re-executes with single faults removed to find a
+    minimal failing schedule. *)
+
+val passed : report -> bool
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_schedule : Format.formatter -> fault list -> unit
+val pp_report : Format.formatter -> report -> unit

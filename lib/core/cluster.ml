@@ -61,6 +61,10 @@ let register_site_metrics t site =
   g "av.volume_received" (fun () -> float_of_int m.av_volume_received);
   g "av.volume_granted" (fun () -> float_of_int m.av_volume_granted);
   g "sync.batches_sent" (fun () -> float_of_int m.sync_batches_sent);
+  g "2pc.termination_queries" (fun () -> float_of_int m.termination_queries);
+  g "2pc.in_doubt_recovered" (fun () -> float_of_int m.in_doubt_recovered);
+  g "2pc.decision_rebroadcasts" (fun () -> float_of_int m.decision_rebroadcasts);
+  g "2pc.in_doubt" (fun () -> float_of_int (Avdb_txn.Txn_log.in_flight (Site.txn_log site)));
   let s = Stats.site (Rpc.stats t.rpc) (Site.addr site) in
   g "net.sent" (fun () -> float_of_int s.Stats.sent);
   g "net.received" (fun () -> float_of_int s.Stats.received);
@@ -280,6 +284,42 @@ let per_site_correspondences t =
 let flush_all_syncs t =
   Array.iter Site.flush_sync t.sites;
   run t
+
+(* 2PC decision agreement across the whole system: every site's durable
+   protocol log must assign each txid at most one outcome. Unlike replica
+   agreement this is checkable at any instant — outcomes are logged before
+   they are acted on, so a Commit/Abort split for one txid is a protocol
+   bug, never a transient. *)
+let decision_agreement t =
+  let outcomes : (int, Avdb_txn.Two_phase.decision * Address.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let problems = ref [] in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun (e : Avdb_txn.Txn_log.entry) ->
+          match e.Avdb_txn.Txn_log.outcome with
+          | None -> ()
+          | Some d -> (
+              let txid = e.Avdb_txn.Txn_log.txid in
+              match Hashtbl.find_opt outcomes txid with
+              | None -> Hashtbl.add outcomes txid (d, Site.addr s)
+              | Some (d', witness) ->
+                  if d <> d' then
+                    problems :=
+                      Format.asprintf "tx%d decided %a at %a but %a at %a" txid
+                        Avdb_txn.Two_phase.pp_decision d' Address.pp witness
+                        Avdb_txn.Two_phase.pp_decision d Address.pp (Site.addr s)
+                      :: !problems))
+        (Avdb_txn.Txn_log.entries (Site.txn_log s)))
+    t.sites;
+  match List.rev !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+let in_doubt_total t =
+  Array.fold_left
+    (fun acc s -> acc + Avdb_txn.Txn_log.in_flight (Site.txn_log s))
+    0 t.sites
 
 let check_invariants t =
   let problems = ref [] in

@@ -97,6 +97,17 @@ val av_conservation : t -> item:string -> (unit, string) result
     agreement — this holds even before convergence, as long as no grant
     response is currently in flight or was permanently lost. *)
 
+val decision_agreement : t -> (unit, string) result
+(** Across every site's durable protocol log, each transaction id carries
+    at most one outcome — a txid both committed somewhere and aborted
+    somewhere else is a 2PC safety violation. Outcomes are logged before
+    they are acted on, so this holds at {e every} instant, including
+    mid-fault — no quiescence required. *)
+
+val in_doubt_total : t -> int
+(** Transactions without a logged outcome, summed over all sites' protocol
+    logs. Zero at true quiescence with every site up. *)
+
 val check_invariants : t -> (unit, string) result
 (** At quiescence after {!flush_all_syncs} (no crashes, no message loss):
     for every regular item, all replicas agree (autonomous mode — in

@@ -23,6 +23,8 @@ type t = {
   ack_timeout : Time.t;
   lock_timeout : Time.t;
   decision_timeout : Time.t;
+  rebroadcast_interval : Time.t;
+  rebroadcast_rounds : int;
   sync_interval : Time.t option;
   snapshot_interval : Time.t option;
   record_history : bool;
@@ -48,6 +50,8 @@ let default =
     ack_timeout = Time.of_ms 250.;
     lock_timeout = Time.of_ms 50.;
     decision_timeout = Time.of_ms 500.;
+    rebroadcast_interval = Time.of_ms 250.;
+    rebroadcast_rounds = 8;
     sync_interval = None;
     snapshot_interval = None;
     record_history = false;
@@ -69,6 +73,9 @@ let validate t =
     Error "prefetch_low must be >= 1"
   else if (match t.bandwidth_bytes_per_sec with Some b -> b <= 0 | None -> false) then
     Error "bandwidth must be positive"
+  else if Time.equal t.rebroadcast_interval Time.zero then
+    Error "rebroadcast_interval must be positive"
+  else if t.rebroadcast_rounds < 0 then Error "rebroadcast_rounds must be >= 0"
   else if
     (* a zero interval would re-fire at the same instant forever *)
     match t.snapshot_interval with

@@ -38,8 +38,18 @@ type t = {
   lock_timeout : Avdb_sim.Time.t;  (** participant lock wait *)
   decision_timeout : Avdb_sim.Time.t;
       (** how long a prepared participant waits for the decision before
-          running the termination protocol (query the coordinator;
-          presume abort if it has no record) *)
+          running the termination protocol (query the coordinator, then
+          the base and fellow cohort members; presume abort only when
+          the coordinator durably reports it never decided) *)
+  rebroadcast_interval : Avdb_sim.Time.t;
+      (** pacing of a recovered coordinator's decision re-broadcast while
+          acks are outstanding. Must be positive. *)
+  rebroadcast_rounds : int;
+      (** how many re-broadcast rounds a recovered coordinator attempts
+          before giving up the push path (≥ 0). Bounded so a permanently
+          down participant cannot keep the event queue alive forever; the
+          participants' pull-side termination protocol remains the safety
+          net. *)
   sync_interval : Avdb_sim.Time.t option;
       (** period of Delay Update's lazy delta broadcast; [None] disables *)
   snapshot_interval : Avdb_sim.Time.t option;

@@ -3,15 +3,27 @@ open Avdb_txn
 
 type decision_status = Decided of Two_phase.decision | Still_pending | Unknown_txn
 
+type peer_status =
+  | Peer_decided of Two_phase.decision
+  | Peer_prepared
+  | Peer_will_refuse
+
 type central_status = Central_applied | Central_insufficient | Central_unknown_item
 
 type request =
   | Av_request of { item : string; amount : int; requester_available : int }
   | Central_update of { item : string; delta : int }
-  | Prepare of { txid : int; coordinator : Address.t; item : string; delta : int }
+  | Prepare of {
+      txid : int;
+      coordinator : Address.t;
+      cohort : Address.t list;
+      item : string;
+      delta : int;
+    }
   | Decision of { txid : int; decision : Two_phase.decision }
   | Read_request of { item : string }
   | Query_decision of { txid : int }
+  | Peer_decision_query of { txid : int }
   | Join_request
 
 type response =
@@ -21,6 +33,7 @@ type response =
   | Decision_ack of { txid : int }
   | Read_value of { amount : int option }
   | Decision_status of { txid : int; status : decision_status }
+  | Peer_decision_status of { txid : int; status : peer_status }
   | Join_snapshot of {
       rows : (string * int * bool) list;
       sync_state : (int * string * int) list;
@@ -37,10 +50,11 @@ let header = 16
 let wire_size_request = function
   | Av_request { item; _ } -> header + String.length item + 16
   | Central_update { item; _ } -> header + String.length item + 8
-  | Prepare { item; _ } -> header + String.length item + 24
+  | Prepare { item; cohort; _ } -> header + String.length item + 24 + (8 * List.length cohort)
   | Decision _ -> header + 9
   | Read_request { item } -> header + String.length item
   | Query_decision _ -> header + 8
+  | Peer_decision_query _ -> header + 8
   | Join_request -> header
 
 let wire_size_response = function
@@ -50,6 +64,7 @@ let wire_size_response = function
   | Decision_ack _ -> header + 8
   | Read_value _ -> header + 9
   | Decision_status _ -> header + 9
+  | Peer_decision_status _ -> header + 9
   | Join_snapshot { rows; sync_state } ->
       header
       + List.fold_left (fun acc (item, _, _) -> acc + String.length item + 9) 0 rows
@@ -70,19 +85,21 @@ let request_label = function
   | Decision _ -> "decision"
   | Read_request _ -> "read"
   | Query_decision _ -> "query_decision"
+  | Peer_decision_query _ -> "peer_decision_query"
   | Join_request -> "join"
 
 let pp_request ppf = function
   | Av_request { item; amount; requester_available } ->
       Format.fprintf ppf "av_request(%s, %d, have=%d)" item amount requester_available
   | Central_update { item; delta } -> Format.fprintf ppf "central_update(%s, %+d)" item delta
-  | Prepare { txid; coordinator; item; delta } ->
-      Format.fprintf ppf "prepare(tx%d, coord=%a, %s, %+d)" txid Address.pp coordinator item
-        delta
+  | Prepare { txid; coordinator; cohort; item; delta } ->
+      Format.fprintf ppf "prepare(tx%d, coord=%a, cohort=%d, %s, %+d)" txid Address.pp
+        coordinator (List.length cohort) item delta
   | Decision { txid; decision } ->
       Format.fprintf ppf "decision(tx%d, %a)" txid Two_phase.pp_decision decision
   | Read_request { item } -> Format.fprintf ppf "read_request(%s)" item
   | Query_decision { txid } -> Format.fprintf ppf "query_decision(tx%d)" txid
+  | Peer_decision_query { txid } -> Format.fprintf ppf "peer_decision_query(tx%d)" txid
   | Join_request -> Format.pp_print_string ppf "join_request"
 
 let pp_response ppf = function
@@ -109,6 +126,12 @@ let pp_response ppf = function
         | Decided d -> Format.asprintf "%a" Two_phase.pp_decision d
         | Still_pending -> "pending"
         | Unknown_txn -> "unknown")
+  | Peer_decision_status { txid; status } ->
+      Format.fprintf ppf "peer_decision_status(tx%d, %s)" txid
+        (match status with
+        | Peer_decided d -> Format.asprintf "%a" Two_phase.pp_decision d
+        | Peer_prepared -> "prepared"
+        | Peer_will_refuse -> "will-refuse")
   | Bad_request msg -> Format.fprintf ppf "bad_request(%s)" msg
 
 let pp_notice ppf = function

@@ -13,6 +13,16 @@ type decision_status =
   | Still_pending
   | Unknown_txn
 
+(** A fellow cohort member's answer to {!Peer_decision_query} (cooperative
+    termination, used when the coordinator is unreachable). [Peer_will_refuse]
+    is a durable pledge: the peer has never prepared the transaction and has
+    logged a refusal record, so it can never vote Ready later — since commit
+    requires every cohort vote, the asker may safely abort. *)
+type peer_status =
+  | Peer_decided of Avdb_txn.Two_phase.decision
+  | Peer_prepared
+  | Peer_will_refuse
+
 (** Base's answer to a {!Central_update}: rejection distinguishes an item
     the base does not stock from one with insufficient stock, so the caller
     can surface the right {!Update.reason}. *)
@@ -24,8 +34,16 @@ type request =
           holdings so the donor's peer view stays warm *)
   | Central_update of { item : string; delta : int }
       (** centralized baseline: forward the user update to the base *)
-  | Prepare of { txid : int; coordinator : Avdb_net.Address.t; item : string; delta : int }
-      (** Immediate Update phase 1: lock and tentatively apply *)
+  | Prepare of {
+      txid : int;
+      coordinator : Avdb_net.Address.t;
+      cohort : Avdb_net.Address.t list;
+          (** every participant of the transaction (coordinator excluded);
+              logged durably so an in-doubt participant knows whom to ask
+              during cooperative termination *)
+      item : string;
+      delta : int;
+    }  (** Immediate Update phase 1: lock and tentatively apply *)
   | Decision of { txid : int; decision : Avdb_txn.Two_phase.decision }
       (** Immediate Update phase 2 *)
   | Read_request of { item : string }
@@ -33,6 +51,10 @@ type request =
   | Query_decision of { txid : int }
       (** termination protocol: a prepared participant asks the
           coordinator for the outcome after its decision timeout *)
+  | Peer_decision_query of { txid : int }
+      (** cooperative termination: a prepared participant whose
+          coordinator is unreachable asks a fellow cohort member what it
+          knows about the transaction *)
   | Join_request
       (** a new site asks the base for its initial data ("all data are
           assumed to be delivered to all the sites initially from the
@@ -47,6 +69,7 @@ type response =
   | Read_value of { amount : int option }
       (** [None] when the item does not exist at the serving site *)
   | Decision_status of { txid : int; status : decision_status }
+  | Peer_decision_status of { txid : int; status : peer_status }
   | Join_snapshot of {
       rows : (string * int * bool) list;  (** item, amount, regular *)
       sync_state : (int * string * int) list;

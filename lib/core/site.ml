@@ -22,6 +22,7 @@ type shared = {
 type participant_txn = {
   p_txn : Database.txn;
   p_coordinator : Address.t;
+  p_cohort : Address.t list;  (* everyone prepared, coordinator excluded *)
   p_item : string;
   p_delta : int;
   p_span : Avdb_obs.Span.id;  (* open from prepare until the decision *)
@@ -316,13 +317,37 @@ let finalize_participant t ~txid decision =
       | None -> ())
   | Two_phase.Participant.Ignore -> ()
 
-(* Termination protocol: a participant left prepared past the decision
-   timeout asks the coordinator for the outcome. [Unknown_txn] means the
-   coordinator never decided (outcomes are logged at decision time), so
-   abort is safe (presumed abort). An unreachable coordinator keeps the
-   participant blocked - the classic 2PC window - retried a bounded number
-   of times before a heuristic abort. *)
-let max_decision_queries = 25
+(* Termination protocol (cooperative, Bernstein et al. §7): a participant
+   left prepared past the decision timeout round-robins over the
+   coordinator, the base and its fellow cohort members.
+
+   - The coordinator answers {!Protocol.Query_decision} from its durable
+     log: [Decided] resolves the doubt, [Unknown_txn] means it never
+     started the transaction (Start is logged before the prepare
+     broadcast), so abort is safe (presumed abort).
+   - A cohort member answers {!Protocol.Peer_decision_query}:
+     [Peer_decided] resolves; [Peer_will_refuse] is a durable pledge
+     never to vote Ready, and since commit requires every cohort vote the
+     asker may abort; [Peer_prepared] means the peer is equally in doubt.
+
+   No heuristic decision is ever taken: if nobody knows, the participant
+   stays prepared (holding its lock) and retries. The retry budget is
+   bounded so a permanently-dead coordinator cannot keep the event queue
+   alive forever; resolution is then driven by the recovered
+   coordinator's decision re-broadcast, or by this site's own next
+   recovery restarting the checks with a fresh budget. *)
+let max_decision_queries = 64
+
+let termination_targets t ~coordinator ~cohort =
+  let fellows =
+    List.filter
+      (fun a -> not (Address.equal a t.addr || Address.equal a coordinator))
+      cohort
+  in
+  (* the base first among the fellows: it is the one whose ack defines
+     user-visible completion, so it is the most likely to know *)
+  let base, rest = List.partition (Address.equal t.base_addr) fellows in
+  coordinator :: (base @ rest)
 
 let rec schedule_termination_check t ~txid =
   ignore
@@ -332,16 +357,26 @@ let rec schedule_termination_check t ~txid =
             | None -> () (* decision arrived meanwhile *)
             | Some p ->
                 if is_down t then schedule_termination_check t ~txid
+                else if p.p_queries >= max_decision_queries then
+                  trace t ~level:Trace.Warn ~category:"2pc"
+                    "tx%d still in doubt at %a after %d queries; blocked until the \
+                     coordinator resurfaces"
+                    txid Address.pp t.addr p.p_queries
                 else begin
+                  let targets =
+                    termination_targets t ~coordinator:p.p_coordinator ~cohort:p.p_cohort
+                  in
+                  let target = List.nth targets (p.p_queries mod List.length targets) in
                   p.p_queries <- p.p_queries + 1;
-                  if p.p_queries > max_decision_queries then begin
-                    trace t ~level:Trace.Warn ~category:"2pc"
-                      "tx%d heuristically aborted at %a (coordinator unreachable)" txid
-                      Address.pp t.addr;
-                    finalize_participant t ~txid Two_phase.Abort
-                  end
-                  else
-                    Rpc.call t.shared.rpc ~src:t.addr ~dst:p.p_coordinator
+                  t.metrics.Update.Metrics.termination_queries <-
+                    t.metrics.Update.Metrics.termination_queries + 1;
+                  span_instant t ~category:"2pc" "2pc.termination_query"
+                    ~fields:
+                      [
+                        ("txid", string_of_int txid); ("target", Address.to_string target);
+                      ];
+                  if Address.equal target p.p_coordinator then
+                    Rpc.call t.shared.rpc ~src:t.addr ~dst:target
                       ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
                       (Protocol.Query_decision { txid })
                       (fenced t (fun response ->
@@ -359,9 +394,30 @@ let rec schedule_termination_check t ~txid =
                                      Address.pp t.addr;
                                    finalize_participant t ~txid Two_phase.Abort)
                            | Ok _ | Error _ -> schedule_termination_check t ~txid))
+                  else
+                    Rpc.call t.shared.rpc ~src:t.addr ~dst:target
+                      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
+                      (Protocol.Peer_decision_query { txid })
+                      (fenced t (fun response ->
+                           match response with
+                           | Ok (Protocol.Peer_decision_status { status; _ }) -> (
+                               match status with
+                               | Protocol.Peer_decided decision ->
+                                   trace t ~category:"2pc"
+                                     "tx%d outcome learned from cohort member %a at %a" txid
+                                     Address.pp target Address.pp t.addr;
+                                   finalize_participant t ~txid decision
+                               | Protocol.Peer_will_refuse ->
+                                   trace t ~category:"2pc"
+                                     "tx%d aborted at %a (%a pledged to refuse)" txid
+                                     Address.pp t.addr Address.pp target;
+                                   finalize_participant t ~txid Two_phase.Abort
+                               | Protocol.Peer_prepared ->
+                                   schedule_termination_check t ~txid)
+                           | Ok _ | Error _ -> schedule_termination_check t ~txid))
                 end)))
 
-let handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply =
+let handle_prepare t ~span ~txid ~coordinator ~cohort ~item ~delta ~reply =
   (* Participant span: open from the prepare through lock wait and
      tentative apply, closed by the decision (it outlives the RPC span,
      which only covers prepare-to-vote). *)
@@ -373,7 +429,17 @@ let handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply =
     span_warn t psp;
     span_end t psp
   in
-  if not (item_known t ~item) then begin
+  (* A refusal pledge (cooperative termination) or an already-finalised
+     outcome poisons the txid: a late or duplicated prepare must never
+     re-open it. *)
+  let poisoned () =
+    Txn_log.is_refused t.txn_log ~txid
+    ||
+    match Txn_log.find t.txn_log ~txid with
+    | Some { Txn_log.outcome = Some _; _ } -> true
+    | Some _ | None -> false
+  in
+  if poisoned () || not (item_known t ~item) then begin
     ignore (Two_phase.Participant.on_prepare t.participant ~txid ~can_apply:false);
     refuse ();
     reply (Protocol.Vote { txid; vote = Two_phase.Refuse })
@@ -386,6 +452,10 @@ let handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply =
           match lock_result with
           | Error `Timeout -> false
           | Ok () -> (
+              (* re-check the poison: a refusal pledge given to a cohort
+                 member while we waited for the lock binds this vote *)
+              (not (poisoned ()))
+              &&
               match amount_of t ~item with
               | Some current -> current + delta >= 0
               | None -> false)
@@ -397,8 +467,8 @@ let handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply =
           match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
           | Ok _ ->
               Hashtbl.replace t.participant_txns txid
-                { p_txn = txn; p_coordinator = coordinator; p_item = item; p_delta = delta;
-                  p_span = psp; p_queries = 0 };
+                { p_txn = txn; p_coordinator = coordinator; p_cohort = cohort;
+                  p_item = item; p_delta = delta; p_span = psp; p_queries = 0 };
               true
           | Error _ ->
               Database.abort txn;
@@ -411,8 +481,11 @@ let handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply =
         end
         else begin
           span_field t psp "vote" "ready";
+          (* The prepared record: logged in the same atomic event as the
+             Ready vote, so a crash can never leave us Ready-but-unlogged. *)
           if Txn_log.find t.txn_log ~txid = None then
-            Txn_log.record_start t.txn_log ~txid ~coordinator ~item ~delta ~at:(now t);
+            Txn_log.record_start t.txn_log ~txid ~coordinator ~cohort ~item ~delta
+              ~at:(now t);
           schedule_termination_check t ~txid
         end;
         reply (Protocol.Vote { txid; vote })))
@@ -447,6 +520,36 @@ let handle_query_decision t ~txid ~reply =
         | None -> Protocol.Unknown_txn)
   in
   reply (Protocol.Decision_status { txid; status })
+
+(* Cooperative termination, server side: tell a fellow in-doubt cohort
+   member what we know. Answering a query for a transaction we have never
+   heard of logs a durable refusal pledge first — from then on any late
+   prepare for that txid is refused, which is what makes the asker's
+   abort sound. *)
+let handle_peer_decision_query t ~txid ~reply =
+  let status =
+    match Hashtbl.find_opt t.coordinators txid with
+    | Some coord -> (
+        match Two_phase.Coordinator.decision coord.machine with
+        | Some d -> Protocol.Peer_decided d
+        | None -> Protocol.Peer_prepared)
+    | None -> (
+        match Txn_log.find t.txn_log ~txid with
+        | Some { Txn_log.outcome = Some d; _ } -> Protocol.Peer_decided d
+        | Some { Txn_log.outcome = None; coordinator; _ }
+          when Address.equal coordinator t.addr ->
+            (* our own coordination, crashed before deciding: presumed
+               abort, logged so every answer agrees from now on *)
+            Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
+            Protocol.Peer_decided Two_phase.Abort
+        | Some { Txn_log.outcome = None; _ } -> Protocol.Peer_prepared
+        | None ->
+            Txn_log.record_refused t.txn_log ~txid ~at:(now t);
+            span_instant t ~category:"2pc" "2pc.refuse_pledge"
+              ~fields:[ ("txid", string_of_int txid) ];
+            Protocol.Peer_will_refuse)
+  in
+  reply (Protocol.Peer_decision_status { txid; status })
 
 let handle_sync t ~src ~counters ~av_info =
   if not (is_down t) then begin
@@ -770,7 +873,8 @@ let immediate_update t ~item ~delta ~finish =
   let machine =
     Two_phase.Coordinator.create ~txid ~participants:participant_addrs ~base:t.base_addr
   in
-  Txn_log.record_start t.txn_log ~txid ~coordinator:t.addr ~item ~delta ~at:(now t);
+  Txn_log.record_start t.txn_log ~txid ~coordinator:t.addr ~cohort:participant_addrs ~item
+    ~delta ~at:(now t);
   let coord = { machine; finish; local_txn = None; local_finalized = false } in
   Hashtbl.add t.coordinators txid coord;
   (* Phase spans: prepare runs from Broadcast_prepare until a decision is
@@ -796,7 +900,8 @@ let immediate_update t ~item ~delta ~finish =
           (fun p ->
             Rpc.call t.shared.rpc ~src:t.addr ~dst:p
               ~timeout:(config t).Config.prepare_timeout ~span:psp
-              (Protocol.Prepare { txid; coordinator = t.addr; item; delta })
+              (Protocol.Prepare
+                 { txid; coordinator = t.addr; cohort = participant_addrs; item; delta })
               (fenced t (fun response ->
                    match response with
                    | Ok (Protocol.Vote { txid = _; vote }) ->
@@ -854,7 +959,13 @@ let immediate_update t ~item ~delta ~finish =
           | Two_phase.Abort -> Update.Rejected Update.Txn_aborted
         in
         coord.finish outcome
-    | Two_phase.Coordinator.Cleanup _ -> Hashtbl.remove t.coordinators txid
+    | Two_phase.Coordinator.Cleanup _ ->
+        (* The coordination is closed (all acks, or we gave up waiting):
+           mark it ended so recovery does not re-broadcast. Stragglers
+           that missed the decision resolve through the pull-side
+           termination protocol, served from the log. *)
+        Txn_log.record_end t.txn_log ~txid ~at:(now t);
+        Hashtbl.remove t.coordinators txid
   in
   (* Local participation: lock, tentatively apply, derive the local vote. *)
   Lock_manager.acquire t.locks ~owner:txid ~key:item Lock_manager.Exclusive
@@ -1088,6 +1199,146 @@ let crash t =
   Hashtbl.reset t.inflight;
   List.iter (fun (_, finish) -> finish (Update.Rejected Update.Unreachable)) pending
 
+(* Re-install one in-doubt participant transaction from its durable Start
+   record: re-acquire the exclusive lock (always free right after
+   recovery — at most one in-doubt txn can exist per item, precisely
+   because prepare holds the exclusive lock), redo the tentative write,
+   re-register with the 2PC machine and restart the termination checks
+   with a fresh budget. *)
+let reinstall_in_doubt t (e : Txn_log.entry) =
+  let txid = e.Txn_log.txid in
+  Lock_manager.acquire t.locks ~owner:txid ~key:e.Txn_log.item Lock_manager.Exclusive
+    ~timeout:(config t).Config.lock_timeout
+    (fenced t (fun lock_result ->
+         match lock_result with
+         | Error `Timeout ->
+             failwith
+               (Printf.sprintf "Site.recover: lock unavailable for in-doubt tx%d" txid)
+         | Ok () ->
+             let txn = Database.begin_txn t.db in
+             (match
+                Database.add_int txn ~table:stock_table ~key:e.Txn_log.item ~col:"amount"
+                  e.Txn_log.delta
+              with
+             | Ok _ -> ()
+             | Error err ->
+                 failwith (Printf.sprintf "Site.recover: re-apply tx%d: %s" txid err));
+             ignore (Two_phase.Participant.on_prepare t.participant ~txid ~can_apply:true);
+             let psp = span_start t ~category:"2pc" "2pc.participant.recovered" in
+             span_field t psp "txid" (string_of_int txid);
+             span_field t psp "item" e.Txn_log.item;
+             Hashtbl.replace t.participant_txns txid
+               {
+                 p_txn = txn;
+                 p_coordinator = e.Txn_log.coordinator;
+                 p_cohort = e.Txn_log.cohort;
+                 p_item = e.Txn_log.item;
+                 p_delta = e.Txn_log.delta;
+                 p_span = psp;
+                 p_queries = 0;
+               };
+             t.metrics.Update.Metrics.in_doubt_recovered <-
+               t.metrics.Update.Metrics.in_doubt_recovered + 1;
+             trace t ~category:"2pc" "tx%d re-installed in doubt at %a" txid Address.pp
+               t.addr;
+             schedule_termination_check t ~txid))
+
+(* A coordination whose decision is logged but whose ack round never
+   closed: rebuild the machine in the ack-collection phase and push the
+   decision again, a bounded number of rounds (the participants' pull
+   side is the unconditional safety net, so giving up the push cannot
+   lose the outcome — it only delays stragglers). *)
+let install_recovered_coordinator t ~txid ~cohort decision =
+  if cohort = [] then Txn_log.record_end t.txn_log ~txid ~at:(now t)
+  else begin
+    let machine =
+      Two_phase.Coordinator.recovered ~txid ~participants:cohort ~base:t.base_addr decision
+    in
+    let coord =
+      { machine; finish = (fun _ -> ()); local_txn = None; local_finalized = true }
+    in
+    Hashtbl.replace t.coordinators txid coord;
+    let rec execute actions = List.iter execute_one actions
+    and execute_one = function
+      | Two_phase.Coordinator.Broadcast_decision d ->
+          t.metrics.Update.Metrics.decision_rebroadcasts <-
+            t.metrics.Update.Metrics.decision_rebroadcasts + 1;
+          span_instant t ~category:"2pc" "2pc.rebroadcast"
+            ~fields:
+              [
+                ("txid", string_of_int txid);
+                ("decision", Format.asprintf "%a" Two_phase.pp_decision d);
+              ];
+          List.iter
+            (fun p ->
+              Rpc.call t.shared.rpc ~src:t.addr ~dst:p
+                ~timeout:(config t).Config.ack_timeout
+                (Protocol.Decision { txid; decision = d })
+                (fenced t (fun response ->
+                     match response with
+                     | Ok (Protocol.Decision_ack _) ->
+                         execute (Two_phase.Coordinator.on_ack machine ~from:p)
+                     | Ok _ | Error _ -> ())))
+            cohort
+      | Two_phase.Coordinator.Completed _ ->
+          (* the submitting client died with the crashed incarnation;
+             [recovered] marks completion as already emitted, so this
+             cannot happen — and must never call anyone's continuation *)
+          ()
+      | Two_phase.Coordinator.Cleanup _ ->
+          Txn_log.record_end t.txn_log ~txid ~at:(now t);
+          Hashtbl.remove t.coordinators txid
+      | Two_phase.Coordinator.Broadcast_prepare -> ()
+    in
+    let rec round n =
+      if Hashtbl.mem t.coordinators txid && not (is_down t) then
+        if n >= (config t).Config.rebroadcast_rounds then
+          trace t ~level:Trace.Warn ~category:"2pc"
+            "tx%d rebroadcast gave up after %d rounds at %a (pull path takes over)" txid n
+            Address.pp t.addr
+        else begin
+          execute (Two_phase.Coordinator.rebroadcast machine);
+          ignore
+            (Engine.schedule (engine t) ~delay:(config t).Config.rebroadcast_interval
+               (fenced t (fun () -> round (n + 1))))
+        end
+    in
+    round 0
+  end
+
+(* Replay the durable protocol log into live 2PC state. Participant-side
+   in-doubt entries are re-installed as prepared transactions; our own
+   coordinations are closed out: no outcome logged means we crashed
+   before deciding, and since the outcome record always precedes the
+   Commit broadcast, abort is the only possible verdict (presumed
+   abort) — log it and tell the cohort. A logged decision without an
+   [End] restarts the ack round. *)
+let replay_protocol_log t =
+  List.iter
+    (fun (e : Txn_log.entry) ->
+      (* keep the txid allocator above everything we ever coordinated *)
+      if Address.equal e.Txn_log.coordinator t.addr then begin
+        let seq = e.Txn_log.txid - (Address.to_int t.addr * 1_000_000) in
+        if seq >= t.next_txn_seq then t.next_txn_seq <- seq + 1
+      end)
+    (Txn_log.entries t.txn_log);
+  List.iter
+    (fun (e : Txn_log.entry) ->
+      let txid = e.Txn_log.txid in
+      if Address.equal e.Txn_log.coordinator t.addr then begin
+        match e.Txn_log.outcome with
+        | None ->
+            trace t ~level:Trace.Warn ~category:"2pc"
+              "tx%d presumed aborted on recovery at %a" txid Address.pp t.addr;
+            Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
+            install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort Two_phase.Abort
+        | Some d when not e.Txn_log.ended ->
+            install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort d
+        | Some _ -> ()
+      end
+      else if e.Txn_log.outcome = None then reinstall_in_doubt t e)
+    (Txn_log.entries t.txn_log)
+
 let recover t =
   (* Restart: committed state only, from the write-ahead log. In-flight
      participant transactions, locks, holds and timers die with the
@@ -1102,7 +1353,7 @@ let recover t =
   | None -> ());
   Hashtbl.reset t.participant_txns;
   Hashtbl.reset t.coordinators;
-  ignore (Two_phase.Participant.abort_pending t.participant);
+  Two_phase.Participant.reset t.participant;
   t.locks <- Lock_manager.create ~engine:(engine t) ~default_timeout:(config t).Config.lock_timeout ();
   (* Transient per-incarnation state: holds taken by in-flight updates go
      back to available (their owners are gone), background refills restart
@@ -1112,10 +1363,13 @@ let recover t =
   Hashtbl.reset t.prefetch_in_flight;
   t.sync_flush_scheduled <- false;
   Network.set_down (network t) t.addr false;
+  (* Re-install in-doubt 2PC state from the durable protocol log — after
+     the network is back up, so the replay can speak to the cohort. *)
+  replay_protocol_log t;
   schedule_sync_flush t;
   span_instant t ~category:"fault" "fault.recover"
     ~fields:[ ("epoch", string_of_int t.epoch) ];
-  trace t ~category:"fault" "%a recovered (WAL replayed)" Address.pp t.addr
+  trace t ~category:"fault" "%a recovered (WAL + protocol log replayed)" Address.pp t.addr
 
 (* --- construction --- *)
 
@@ -1199,12 +1453,13 @@ let create shared ~addr ~av_init =
       | Protocol.Av_request { item; amount; requester_available } ->
           handle_av_request t ~src ~span ~item ~amount ~requester_available ~reply
       | Protocol.Central_update { item; delta } -> handle_central_update t ~item ~delta ~reply
-      | Protocol.Prepare { txid; coordinator; item; delta } ->
-          handle_prepare t ~span ~txid ~coordinator ~item ~delta ~reply
+      | Protocol.Prepare { txid; coordinator; cohort; item; delta } ->
+          handle_prepare t ~span ~txid ~coordinator ~cohort ~item ~delta ~reply
       | Protocol.Decision { txid; decision } -> handle_decision t ~txid ~decision ~reply
       | Protocol.Read_request { item } ->
           reply (Protocol.Read_value { amount = amount_of t ~item })
       | Protocol.Query_decision { txid } -> handle_query_decision t ~txid ~reply
+      | Protocol.Peer_decision_query { txid } -> handle_peer_decision_query t ~txid ~reply
       | Protocol.Join_request -> handle_join t ~reply)
     ~notice:(fun ~src notice ->
       match notice with

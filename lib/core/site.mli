@@ -95,12 +95,26 @@ val recover : t -> unit
 (** Brings the site back as a {e new incarnation} (the epoch is bumped
     again). The local database is rebuilt from its write-ahead log
     (committed state only) — an in-flight local transaction at crash
-    time is lost, exactly as on a real restart. Transient protocol
-    state is reset: AV held by abandoned operations returns to the
-    available pool, locks and in-memory 2PC coordinations are dropped
-    (prepared participants resolve via the termination protocol and the
-    coordinator's presumed-abort answer from its transaction log), and
-    the lazy-sync timer is re-armed if deltas are still pending. *)
+    time is lost, exactly as on a real restart — and in-doubt 2PC state
+    is re-installed from the durable protocol log:
+
+    - a prepared (Ready-voted, undecided) participant transaction
+      re-acquires its lock, redoes the tentative write and resumes the
+      termination protocol (query the coordinator, then the base and
+      fellow cohort members) until the outcome is known — it is never
+      aborted unilaterally;
+    - an own coordination without a logged outcome is presumed aborted
+      (the outcome record always precedes the Commit broadcast) and the
+      abort is pushed to the cohort;
+    - an own coordination with a logged decision but an unfinished ack
+      round re-broadcasts the decision (bounded rounds, paced by
+      [rebroadcast_interval]) until every participant acknowledges. Its
+      user continuation never re-fires — the client died with the old
+      incarnation.
+
+    Transient state is reset as before: AV held by abandoned operations
+    returns to the available pool, and the lazy-sync timer is re-armed
+    if deltas are still pending. *)
 
 val is_down : t -> bool
 

@@ -49,6 +49,9 @@ module Metrics = struct
     mutable av_volume_received : int;
     mutable av_volume_granted : int;
     mutable sync_batches_sent : int;
+    mutable termination_queries : int;
+    mutable in_doubt_recovered : int;
+    mutable decision_rebroadcasts : int;
     latency : Avdb_metrics.Histogram.t;
     transfer_rounds : Avdb_metrics.Histogram.t;
   }
@@ -66,6 +69,9 @@ module Metrics = struct
       av_volume_received = 0;
       av_volume_granted = 0;
       sync_batches_sent = 0;
+      termination_queries = 0;
+      in_doubt_recovered = 0;
+      decision_rebroadcasts = 0;
       latency = Avdb_metrics.Histogram.create ();
       transfer_rounds = Avdb_metrics.Histogram.create ();
     }

@@ -43,6 +43,12 @@ module Metrics : sig
     mutable av_volume_received : int;
     mutable av_volume_granted : int;  (** as a donor *)
     mutable sync_batches_sent : int;
+    mutable termination_queries : int;
+        (** decision/peer-decision queries sent while in doubt *)
+    mutable in_doubt_recovered : int;
+        (** prepared transactions re-installed from the txn log at recovery *)
+    mutable decision_rebroadcasts : int;
+        (** decision re-broadcast rounds driven by a recovered coordinator *)
     latency : Avdb_metrics.Histogram.t;  (** in virtual milliseconds *)
     transfer_rounds : Avdb_metrics.Histogram.t;
         (** rounds per transfer-assisted update *)

@@ -153,6 +153,10 @@ let of_string s =
         | Ok r ->
             ignore (append t r);
             loop rest
+        (* An undecodable *final* line is a tail torn by a crash mid-append:
+           recover the decoded prefix, exactly what replaying a physical log
+           file does. Anywhere else it is corruption and must fail. *)
+        | Error _ when rest = [] -> Ok t
         | Error e -> Error e)
   in
   loop lines

@@ -41,6 +41,10 @@ val to_string : t -> string
 (** One record per line. *)
 
 val of_string : string -> (t, string) result
+(** Parses a serialised log. An undecodable {e final} line is treated as a
+    tail torn by a crash mid-append and dropped — the decoded prefix is
+    recovered. An undecodable line anywhere before the end is corruption
+    and fails the whole parse. *)
 
 val equal_record : record -> record -> bool
 val pp_record : Format.formatter -> record -> unit

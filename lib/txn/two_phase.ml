@@ -128,6 +128,28 @@ module Coordinator = struct
     | Collecting_acks d -> finish t d
     | Init | Collecting_votes | Done _ -> []
 
+  (* A coordinator rebuilt from its durable log after a crash: the
+     decision is known, nothing about acks is (acks are not logged), so
+     restart the ack round from scratch. [Completed] must never fire —
+     the submitting client died with the old incarnation. *)
+  let recovered ~txid ~participants ~base decision =
+    {
+      txid;
+      participants = Address.Set.of_list participants;
+      base;
+      phase =
+        (if participants = [] then Done decision else Collecting_acks decision);
+      votes = Address.Set.empty;
+      acks = Address.Set.empty;
+      local_vote = Ready;
+      completed_emitted = true;
+    }
+
+  let rebroadcast t =
+    match t.phase with
+    | Collecting_acks d -> [ Broadcast_decision d ]
+    | Init | Collecting_votes | Done _ -> []
+
   let decision t =
     match t.phase with
     | Collecting_acks d | Done d -> Some d
@@ -161,8 +183,7 @@ module Participant = struct
   let pending t =
     Hashtbl.fold (fun txid () acc -> txid :: acc) t.prepared [] |> List.sort compare
 
-  let abort_pending t =
-    let ids = pending t in
-    Hashtbl.reset t.prepared;
-    ids
+  let forget t ~txid = Hashtbl.remove t.prepared txid
+
+  let reset t = Hashtbl.reset t.prepared
 end

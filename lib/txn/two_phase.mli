@@ -57,6 +57,22 @@ module Coordinator : sig
   (** Give up waiting for decision acks: emits the pending [Completed]
       (if the base never acked) and [Cleanup]. *)
 
+  val recovered :
+    txid:int ->
+    participants:Avdb_net.Address.t list ->
+    base:Avdb_net.Address.t ->
+    decision ->
+    t
+  (** Rebuilds a coordinator from its durably-logged decision after a
+      crash: the machine restarts in the ack-collection phase (acks are
+      not logged, so the round restarts from scratch) and [Completed] is
+      already considered emitted — the submitting client died with the
+      crashed incarnation, so recovery must never fire its continuation. *)
+
+  val rebroadcast : t -> action list
+  (** [Broadcast_decision] again while acks are still outstanding; []
+      once done. Recovery drives this until every ack arrives. *)
+
   val decision : t -> decision option
   val is_done : t -> bool
 end
@@ -82,7 +98,13 @@ module Participant : sig
   val pending : t -> int list
   (** Transactions prepared but undecided, sorted. *)
 
-  val abort_pending : t -> int list
-  (** Forget every pending transaction and return their ids — used when a
-      coordinator is presumed dead and local resources must be freed. *)
+  val forget : t -> txid:int -> unit
+  (** Drop one registration (e.g. a refused or stale txid). Prepared
+      transactions must {e not} be forgotten unilaterally — they resolve
+      through the termination protocol.  *)
+
+  val reset : t -> unit
+  (** Fresh incarnation after a crash: clears every registration.
+      Recovery re-installs the prepared (in-doubt) ones from the durable
+      transaction log before processing any new message. *)
 end

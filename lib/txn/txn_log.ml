@@ -1,41 +1,238 @@
 open Avdb_sim
 open Avdb_net
 
+(* The protocol log is append-only, like the storage WAL: every state
+   transition of the commit protocol is a record, and the queryable
+   entry table is just an index rebuilt by replay. The log object (like
+   the WAL) survives a simulated crash — serialisation exists so the
+   same bytes could sit on disk. *)
+
+type record =
+  | Start of {
+      txid : int;
+      coordinator : Address.t;
+      cohort : Address.t list;
+      item : string;
+      delta : int;
+      at : Time.t;
+    }
+  | Outcome of { txid : int; decision : Two_phase.decision; at : Time.t }
+  | End of { txid : int; at : Time.t }
+  | Refused of { txid : int; at : Time.t }
+
 type entry = {
   txid : int;
   coordinator : Address.t;
+  cohort : Address.t list;
   item : string;
   delta : int;
   started_at : Time.t;
   mutable outcome : Two_phase.decision option;
   mutable finished_at : Time.t option;
+  mutable ended : bool;
 }
 
-type t = { entries : (int, entry) Hashtbl.t }
+type t = {
+  mutable records : record list;  (* newest-first for O(1) append *)
+  mutable count : int;
+  entries : (int, entry) Hashtbl.t;
+  refused : (int, unit) Hashtbl.t;
+}
 
-let create () = { entries = Hashtbl.create 32 }
+let create () =
+  { records = []; count = 0; entries = Hashtbl.create 32; refused = Hashtbl.create 8 }
 
-let record_start t ~txid ~coordinator ~item ~delta ~at =
-  if Hashtbl.mem t.entries txid then invalid_arg "Txn_log.record_start: duplicate txid";
-  Hashtbl.add t.entries txid
-    { txid; coordinator; item; delta; started_at = at; outcome = None; finished_at = None }
+let records t = List.rev t.records
+let length t = t.count
+
+let push t r =
+  t.records <- r :: t.records;
+  t.count <- t.count + 1
+
+(* Index maintenance shared by live appends and replay. *)
+let index t = function
+  | Start { txid; coordinator; cohort; item; delta; at } ->
+      if Hashtbl.mem t.entries txid then invalid_arg "Txn_log.record_start: duplicate txid";
+      Hashtbl.add t.entries txid
+        {
+          txid;
+          coordinator;
+          cohort;
+          item;
+          delta;
+          started_at = at;
+          outcome = None;
+          finished_at = None;
+          ended = false;
+        }
+  | Outcome { txid; decision; at } -> (
+      match Hashtbl.find_opt t.entries txid with
+      | None -> ()
+      | Some e ->
+          if e.outcome = None then begin
+            e.outcome <- Some decision;
+            e.finished_at <- Some at
+          end)
+  | End { txid; _ } -> (
+      match Hashtbl.find_opt t.entries txid with
+      | None -> ()
+      | Some e -> e.ended <- true)
+  | Refused { txid; _ } -> Hashtbl.replace t.refused txid ()
+
+let append t r =
+  index t r;
+  push t r
+
+let record_start t ~txid ~coordinator ~cohort ~item ~delta ~at =
+  append t (Start { txid; coordinator; cohort; item; delta; at })
 
 let record_outcome t ~txid outcome ~at =
+  (* Idempotent: only the first outcome is durable. Unknown txids are
+     ignored (the prepare may have been refused before logging). *)
   match Hashtbl.find_opt t.entries txid with
-  | None -> ()
-  | Some e ->
-      if e.outcome = None then begin
-        e.outcome <- Some outcome;
-        e.finished_at <- Some at
-      end
+  | Some e when e.outcome = None -> append t (Outcome { txid; decision = outcome; at })
+  | Some _ | None -> ()
+
+let record_end t ~txid ~at =
+  match Hashtbl.find_opt t.entries txid with
+  | Some e when not e.ended -> append t (End { txid; at })
+  | Some _ | None -> ()
+
+let record_refused t ~txid ~at =
+  if not (Hashtbl.mem t.refused txid) then append t (Refused { txid; at })
 
 let find t ~txid = Hashtbl.find_opt t.entries txid
+let is_refused t ~txid = Hashtbl.mem t.refused txid
 
 let entries t =
   Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
   |> List.sort (fun a b -> compare a.txid b.txid)
 
+let in_doubt t = List.filter (fun e -> e.outcome = None) (entries t)
+
 let count p t = Hashtbl.fold (fun _ e acc -> if p e then acc + 1 else acc) t.entries 0
 let committed t = count (fun e -> e.outcome = Some Two_phase.Commit) t
 let aborted t = count (fun e -> e.outcome = Some Two_phase.Abort) t
 let in_flight t = count (fun e -> e.outcome = None) t
+
+let max_txid t = Hashtbl.fold (fun txid _ acc -> Stdlib.max txid acc) t.entries (-1)
+
+(* --- encoding ---
+
+   One record per line, '|'-separated fields; the item is hex-escaped
+   through Value-style encoding in the WAL, here it is percent-free
+   already but we escape '|' and newline defensively. *)
+
+let enc_str s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '|' | '%' | '\n' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dec_str s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec loop i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 < n then begin
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code ->
+            Buffer.add_char buf (Char.chr code);
+            loop (i + 3)
+        | None -> Error ("bad escape in " ^ s)
+      end
+      else Error ("truncated escape in " ^ s)
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let enc_cohort cohort =
+  String.concat "," (List.map (fun a -> string_of_int (Address.to_int a)) cohort)
+
+let dec_cohort s =
+  if s = "" then Ok []
+  else
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt p with
+          | Some n -> loop (Address.of_int n :: acc) rest
+          | None -> Error ("bad cohort member " ^ p))
+    in
+    loop [] (String.split_on_char ',' s)
+
+let enc_decision = function Two_phase.Commit -> "C" | Two_phase.Abort -> "A"
+
+let dec_decision = function
+  | "C" -> Ok Two_phase.Commit
+  | "A" -> Ok Two_phase.Abort
+  | s -> Error ("bad decision " ^ s)
+
+let encode_record = function
+  | Start { txid; coordinator; cohort; item; delta; at } ->
+      Printf.sprintf "S|%d|%d|%s|%s|%d|%d" txid
+        (Address.to_int coordinator)
+        (enc_cohort cohort) (enc_str item) delta (Time.to_us at)
+  | Outcome { txid; decision; at } ->
+      Printf.sprintf "O|%d|%s|%d" txid (enc_decision decision) (Time.to_us at)
+  | End { txid; at } -> Printf.sprintf "E|%d|%d" txid (Time.to_us at)
+  | Refused { txid; at } -> Printf.sprintf "R|%d|%d" txid (Time.to_us at)
+
+let ( let* ) = Result.bind
+
+let int_field s =
+  match int_of_string_opt s with Some n -> Ok n | None -> Error ("bad int " ^ s)
+
+let decode_record line =
+  match String.split_on_char '|' line with
+  | [ "S"; txid; coordinator; cohort; item; delta; at ] ->
+      let* txid = int_field txid in
+      let* coordinator = Result.map Address.of_int (int_field coordinator) in
+      let* cohort = dec_cohort cohort in
+      let* item = dec_str item in
+      let* delta = int_field delta in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Start { txid; coordinator; cohort; item; delta; at })
+  | [ "O"; txid; decision; at ] ->
+      let* txid = int_field txid in
+      let* decision = dec_decision decision in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Outcome { txid; decision; at })
+  | [ "E"; txid; at ] ->
+      let* txid = int_field txid in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (End { txid; at })
+  | [ "R"; txid; at ] ->
+      let* txid = int_field txid in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Refused { txid; at })
+  | _ -> Error ("Txn_log.decode_record: malformed line " ^ line)
+
+let to_string t = String.concat "\n" (List.map encode_record (records t))
+
+(* Like {!Wal.of_string}: an undecodable final line is a torn tail from a
+   crash mid-append — recover the prefix. Mid-log corruption still fails. *)
+let of_string s =
+  let t = create () in
+  let lines = if s = "" then [] else String.split_on_char '\n' s in
+  let rec loop = function
+    | [] -> Ok t
+    | line :: rest -> (
+        match decode_record line with
+        | Ok r ->
+            append t r;
+            loop rest
+        | Error _ when rest = [] -> Ok t
+        | Error e -> Error e)
+  in
+  loop lines
+
+let pp_record ppf r = Format.pp_print_string ppf (encode_record r)

@@ -1,13 +1,49 @@
-(** Audit log of distributed transactions at one site. *)
+(** Durable protocol log of distributed transactions at one site.
+
+    Append-only, mirroring the storage WAL's discipline: a protocol state
+    transition is logged {e before} the site acts on it, and the
+    queryable entry table is an index rebuilt by replaying records. The
+    log survives a crash (it is the durable medium in the simulation, as
+    the WAL is for table state), so {!Site.recover} can re-install
+    in-doubt 2PC state instead of dropping it:
+
+    - [Start] — coordinator side: logged before the prepare broadcast;
+      participant side: logged at the moment of voting Ready (the
+      "prepared" record). Carries the full cohort so a recovered
+      participant knows whom to ask during cooperative termination.
+    - [Outcome] — the commit/abort decision. A coordinator logs it
+      before broadcasting (presumed abort depends on "no outcome record
+      => never committed"); a participant logs it when finalising.
+    - [End] — coordinator only: every decision ack arrived, the
+      coordination is closed; recovery does not re-broadcast ended txns.
+    - [Refused] — a cooperative-termination pledge: this site has not
+      voted Ready for the txid and promises to refuse any (late) prepare
+      for it, which lets a fellow in-doubt participant presume abort. *)
+
+type record =
+  | Start of {
+      txid : int;
+      coordinator : Avdb_net.Address.t;
+      cohort : Avdb_net.Address.t list;
+      item : string;
+      delta : int;
+      at : Avdb_sim.Time.t;
+    }
+  | Outcome of { txid : int; decision : Two_phase.decision; at : Avdb_sim.Time.t }
+  | End of { txid : int; at : Avdb_sim.Time.t }
+  | Refused of { txid : int; at : Avdb_sim.Time.t }
 
 type entry = {
   txid : int;
   coordinator : Avdb_net.Address.t;
+  cohort : Avdb_net.Address.t list;
+      (** every site involved, coordinator included; [] if unknown *)
   item : string;
   delta : int;
   started_at : Avdb_sim.Time.t;
   mutable outcome : Two_phase.decision option;
   mutable finished_at : Avdb_sim.Time.t option;
+  mutable ended : bool;  (** coordinator: all acks received *)
 }
 
 type t
@@ -18,6 +54,7 @@ val record_start :
   t ->
   txid:int ->
   coordinator:Avdb_net.Address.t ->
+  cohort:Avdb_net.Address.t list ->
   item:string ->
   delta:int ->
   at:Avdb_sim.Time.t ->
@@ -28,10 +65,47 @@ val record_outcome : t -> txid:int -> Two_phase.decision -> at:Avdb_sim.Time.t -
 (** Idempotent: only the first outcome is kept. Unknown txids are
     ignored (the prepare may have been refused before logging). *)
 
+val record_end : t -> txid:int -> at:Avdb_sim.Time.t -> unit
+(** Idempotent; unknown txids ignored. *)
+
+val record_refused : t -> txid:int -> at:Avdb_sim.Time.t -> unit
+(** Pledge never to vote Ready for [txid]. Idempotent. *)
+
 val find : t -> txid:int -> entry option
+val is_refused : t -> txid:int -> bool
+
 val entries : t -> entry list
 (** Sorted by txid. *)
+
+val in_doubt : t -> entry list
+(** Entries with no outcome yet, sorted by txid — the set recovery must
+    re-install. *)
 
 val committed : t -> int
 val aborted : t -> int
 val in_flight : t -> int
+
+val max_txid : t -> int
+(** Largest txid ever started here, or [-1] on an empty log — recovery
+    re-seeds the txid allocator above it. *)
+
+(** {2 Serialisation}
+
+    One record per text line, replayable with {!of_string}; the same
+    torn-tail rule as the WAL applies. *)
+
+val records : t -> record list
+(** In append order. *)
+
+val length : t -> int
+val encode_record : record -> string
+val decode_record : string -> (record, string) result
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Replays a serialised log. An undecodable {e final} line is treated
+    as a tail torn by a crash mid-append and dropped (the prefix is
+    recovered); an undecodable line anywhere else is corruption and
+    fails. *)
+
+val pp_record : Format.formatter -> record -> unit

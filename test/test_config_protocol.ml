@@ -22,6 +22,9 @@ let test_rejections () =
             [ Product.regular "a" ~initial_amount:1; Product.regular "a" ~initial_amount:2 ];
         } );
       ("prefetch < 1", { Config.default with Config.prefetch_low = Some 0 });
+      ( "zero rebroadcast interval",
+        { Config.default with Config.rebroadcast_interval = Avdb_sim.Time.zero } );
+      ("negative rebroadcast rounds", { Config.default with Config.rebroadcast_rounds = -1 });
     ]
   in
   List.iter
@@ -69,10 +72,18 @@ let test_protocol_printers () =
     [
       Protocol.Av_request { item = "x"; amount = 3; requester_available = 1 };
       Protocol.Central_update { item = "x"; delta = -2 };
-      Protocol.Prepare { txid = 1; coordinator = Address.of_int 0; item = "x"; delta = 1 };
+      Protocol.Prepare
+        {
+          txid = 1;
+          coordinator = Address.of_int 0;
+          cohort = [ Address.of_int 1; Address.of_int 2 ];
+          item = "x";
+          delta = 1;
+        };
       Protocol.Decision { txid = 1; decision = Avdb_txn.Two_phase.Commit };
       Protocol.Read_request { item = "x" };
       Protocol.Query_decision { txid = 1 };
+      Protocol.Peer_decision_query { txid = 1 };
     ]
   in
   List.iter (fun r -> Alcotest.(check bool) "request renders" true (render_req r <> "")) reqs;
@@ -86,6 +97,10 @@ let test_protocol_printers () =
       Protocol.Decision_ack { txid = 1 };
       Protocol.Read_value { amount = None };
       Protocol.Decision_status { txid = 1; status = Protocol.Still_pending };
+      Protocol.Peer_decision_status { txid = 1; status = Protocol.Peer_prepared };
+      Protocol.Peer_decision_status { txid = 1; status = Protocol.Peer_will_refuse };
+      Protocol.Peer_decision_status
+        { txid = 1; status = Protocol.Peer_decided Avdb_txn.Two_phase.Abort };
       Protocol.Bad_request "oops";
     ]
   in

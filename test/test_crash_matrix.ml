@@ -1,0 +1,194 @@
+(* Coordinator and participant crashes at every phase boundary of the
+   Immediate Update 2PC, each case ending with cross-log decision
+   agreement, zero in-doubt transactions, converged replicas and
+   exactly-once continuations.
+
+   With the default constant 1 ms latency the protocol phases land at
+   known instants: the coordinator logs Start and broadcasts prepares in
+   the submission handler at t=0; participants log their own Start and
+   vote at t=1; the last vote arrives at t=2, where the outcome record and
+   the coordinator's local commit happen in the same atomic event;
+   decisions are delivered at t=3 and acks close the round at t=4. A crash
+   scheduled strictly between two of those instants therefore hits a
+   precise protocol state. *)
+
+open Avdb_core
+module Time = Avdb_sim.Time
+module Engine = Avdb_sim.Engine
+module Txn_log = Avdb_txn.Txn_log
+
+let item = "special0"
+
+let make_cluster () =
+  Cluster.create
+    {
+      Config.default with
+      Config.n_sites = 4;
+      products = Product.catalogue ~n_regular:1 ~n_non_regular:1 ~initial_amount:100;
+      seed = 7;
+    }
+
+(* Submit one Immediate Update from site 1, crash [crash_site] at
+   [crash_ms], recover it at [recover_ms], drain everything. *)
+let run_case ?(recover_ms = 2000.) ~crash_site ~crash_ms () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let victim = Cluster.site cluster crash_site in
+  let fired = ref 0 and result = ref None in
+  Site.submit_update (Cluster.site cluster 1) ~item ~delta:(-5) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms crash_ms) (fun () -> Site.crash victim));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms recover_ms) (fun () -> Site.recover victim));
+  Cluster.run cluster;
+  (cluster, fired, result)
+
+let assert_clean cluster ~amount =
+  (match Cluster.decision_agreement cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "nothing left in doubt" 0 (Cluster.in_doubt_total cluster);
+  List.iteri
+    (fun i a -> Alcotest.(check int) (Printf.sprintf "site%d replica" i) amount a)
+    (Cluster.replica_amounts cluster ~item)
+
+let rejected_unreachable result =
+  match !result with
+  | Some { Update.outcome = Update.Rejected Update.Unreachable; _ } -> true
+  | _ -> false
+
+(* The prepare broadcast is lost with the crash: the coordinator is cut
+   off from every peer when it submits, so the prepares are dropped in
+   flight, nobody else ever hears of the transaction, and recovery closes
+   the orphaned Start record with a presumed abort. *)
+let test_coordinator_crash_before_prepare () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let coord = Cluster.site cluster 1 in
+  List.iter (fun p -> Cluster.partition cluster 1 p) [ 0; 2; 3 ];
+  let fired = ref 0 and result = ref None in
+  Site.submit_update coord ~item ~delta:(-5) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 0.5) (fun () -> Site.crash coord));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 2000.) (fun () ->
+         List.iter (fun p -> Cluster.heal cluster 1 p) [ 0; 2; 3 ];
+         Site.recover coord));
+  Cluster.run cluster;
+  Alcotest.(check bool) "client saw the crash" true (rejected_unreachable result);
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check int) "no participant ever prepared" 0
+    (Txn_log.length (Site.txn_log (Cluster.site cluster 2)));
+  Alcotest.(check int) "coordinator closed its orphan as an abort" 1
+    (Txn_log.aborted (Site.txn_log coord));
+  assert_clean cluster ~amount:100
+
+(* Crash after the participants prepared but before any decision exists:
+   the cohort is in doubt holding exclusive locks; the recovered
+   coordinator finds Start without an outcome, logs the presumed abort and
+   pushes it, while the participants' termination protocol pulls. *)
+let test_coordinator_crash_after_prepares () =
+  let cluster, fired, result = run_case ~crash_site:1 ~crash_ms:1.5 () in
+  Alcotest.(check bool) "client saw the crash" true (rejected_unreachable result);
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check bool) "participants were in doubt" true
+    (Txn_log.length (Site.txn_log (Cluster.site cluster 2)) > 0);
+  Alcotest.(check int) "aborted at the participant" 1
+    (Txn_log.aborted (Site.txn_log (Cluster.site cluster 2)));
+  assert_clean cluster ~amount:100
+
+(* The acceptance case: crash after the Commit outcome is durably logged
+   (and, same atomic event, the local part committed) but before any
+   participant hears the decision. Recovery must re-broadcast Commit — a
+   participant that aborted here would be a 2PC safety violation. *)
+let test_coordinator_crash_after_commit_logged () =
+  let cluster, fired, result = run_case ~crash_site:1 ~crash_ms:2.5 () in
+  Alcotest.(check bool) "client saw the crash" true (rejected_unreachable result);
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  for i = 0 to Cluster.n_sites cluster - 1 do
+    let log = Site.txn_log (Cluster.site cluster i) in
+    Alcotest.(check int) (Printf.sprintf "site%d committed" i) 1 (Txn_log.committed log);
+    Alcotest.(check int) (Printf.sprintf "site%d never aborted" i) 0 (Txn_log.aborted log)
+  done;
+  assert_clean cluster ~amount:95
+
+(* Crash after the base ack completed the update: the client already got
+   its answer; recovery sees the End record and must not re-install the
+   coordination or fire the continuation a second time. *)
+let test_coordinator_crash_after_completion () =
+  let cluster, fired, result = run_case ~crash_site:1 ~crash_ms:6. () in
+  (match !result with
+  | Some { Update.outcome = Update.Applied Update.Immediate; _ } -> ()
+  | Some r -> Alcotest.failf "expected an immediate apply, got %a" Update.pp_result r
+  | None -> Alcotest.fail "update never settled");
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check int) "recovery re-broadcast nothing" 0
+    (Site.metrics (Cluster.site cluster 1)).Update.Metrics.decision_rebroadcasts;
+  assert_clean cluster ~amount:95
+
+(* A participant (not the coordinator) crashes right after logging its
+   Ready vote: the vote is already on the wire, so the transaction commits
+   without it — the crashed site misses the Decision message, re-installs
+   the in-doubt transaction from its durable Start record on recovery, and
+   learns Commit from the coordinator's log through the termination
+   protocol. Its tentative write must be redone, not lost. *)
+let test_participant_crash_in_doubt () =
+  let cluster, fired, result = run_case ~crash_site:2 ~crash_ms:1.5 () in
+  (match !result with
+  | Some { Update.outcome = Update.Applied Update.Immediate; _ } -> ()
+  | Some r -> Alcotest.failf "expected an immediate apply, got %a" Update.pp_result r
+  | None -> Alcotest.fail "update never settled");
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  let m = Site.metrics (Cluster.site cluster 2) in
+  Alcotest.(check int) "in-doubt transaction re-installed from the log" 1
+    m.Update.Metrics.in_doubt_recovered;
+  Alcotest.(check int) "recovered participant committed" 1
+    (Txn_log.committed (Site.txn_log (Cluster.site cluster 2)));
+  assert_clean cluster ~amount:95
+
+(* Partial votes via a partition: site 3 never receives its prepare, so
+   the coordinator sits on an incomplete vote set when it crashes. The
+   in-doubt survivors exercise the whole termination ladder — the dead
+   coordinator, the (equally in-doubt) base, and finally site 3, whose
+   durable Will-refuse pledge lets them abort without the coordinator. *)
+let test_coordinator_crash_partial_votes () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let coord = Cluster.site cluster 1 in
+  Cluster.partition cluster 1 3;
+  let fired = ref 0 in
+  Site.submit_update coord ~item ~delta:(-5) (fun _ -> incr fired);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 10.) (fun () -> Site.crash coord));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 5000.) (fun () ->
+         Cluster.heal cluster 1 3;
+         Site.recover coord));
+  Cluster.run cluster;
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  let txid = Txn_log.max_txid (Site.txn_log coord) in
+  Alcotest.(check bool) "site3 logged its refusal pledge" true
+    (Txn_log.is_refused (Site.txn_log (Cluster.site cluster 3)) ~txid);
+  Alcotest.(check bool) "survivors ran the termination protocol" true
+    ((Site.metrics (Cluster.site cluster 2)).Update.Metrics.termination_queries > 0);
+  assert_clean cluster ~amount:100
+
+let suites =
+  [
+    ( "core.crash-matrix",
+      [
+        Alcotest.test_case "coordinator crash before prepare" `Quick
+          test_coordinator_crash_before_prepare;
+        Alcotest.test_case "coordinator crash after prepares" `Quick
+          test_coordinator_crash_after_prepares;
+        Alcotest.test_case "coordinator crash after commit logged" `Quick
+          test_coordinator_crash_after_commit_logged;
+        Alcotest.test_case "coordinator crash after completion" `Quick
+          test_coordinator_crash_after_completion;
+        Alcotest.test_case "participant crash in doubt" `Quick
+          test_participant_crash_in_doubt;
+        Alcotest.test_case "coordinator crash with partial votes" `Quick
+          test_coordinator_crash_partial_votes;
+      ] );
+  ]

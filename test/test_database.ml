@@ -231,16 +231,68 @@ let test_load_missing_file () =
   | Ok _ -> Alcotest.fail "loaded a missing file"
 
 let test_load_corrupt_file () =
+  (* Corruption in the middle of the log — a bad line with records after
+     it — must fail the whole load: the history cannot be trusted. *)
   let path = Filename.temp_file "avdb_test" ".wal" in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () ->
       let oc = open_out path in
-      output_string oc "not|a|valid|record";
+      output_string oc "not|a|valid|record\nC|1";
       close_out oc;
       match Database.load_file ~path () with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "loaded corrupt data")
+
+let test_load_torn_tail () =
+  (* An undecodable *final* line is a tail torn by a crash mid-append:
+     the decoded prefix must be recovered, not rejected. *)
+  let db = make () in
+  let txn = Database.begin_txn db in
+  ignore (Database.insert txn ~table:"stock" ~key:"p" (row 47 true));
+  Database.commit txn;
+  let path = Filename.temp_file "avdb_test" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (match Database.save_file db ~path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (* Simulate the crash: append half a record. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "\nU|9|stock|p|amo";
+      close_out oc;
+      match Database.load_file ~path () with
+      | Error e -> Alcotest.fail ("torn tail should recover: " ^ e)
+      | Ok loaded -> Alcotest.(check int) "prefix state recovered" 47 (amount loaded "p"))
+
+let test_wal_mid_record_truncation () =
+  (* Truncation mid-record (not just mid-line): the serialised bytes are
+     cut inside an encoded record, leaving a shorter, undecodable final
+     line. Wal.of_string must recover everything before it. *)
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore
+    (Wal.append wal
+       (Wal.Insert { txid = 1; table = "stock"; key = "p"; row = [| Value.Int 42 |] }));
+  ignore (Wal.append wal (Wal.Commit 1));
+  let s = Wal.to_string wal in
+  (* Cut inside the final record's bytes. *)
+  let torn = String.sub s 0 (String.length s - 2) in
+  (match Wal.of_string torn with
+  | Error e -> Alcotest.fail ("mid-record truncation should recover: " ^ e)
+  | Ok recovered ->
+      Alcotest.(check int) "final record dropped" 2 (Wal.length recovered);
+      Alcotest.(check bool) "prefix intact" true
+        (Wal.equal_record (Wal.nth recovered 0) (Wal.Begin 1)));
+  (* The same torn bytes followed by a valid record are mid-log
+     corruption, not a torn tail, and must fail. *)
+  let lines = String.split_on_char '\n' torn in
+  let torn_line = List.nth lines (List.length lines - 1) in
+  let cut_mid = String.concat "\n" [ List.hd lines; torn_line; "C|1" ] in
+  match Wal.of_string cut_mid with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-log corruption accepted"
 
 let fresh = make
 
@@ -286,6 +338,8 @@ let suites =
         Alcotest.test_case "save/load file" `Quick test_save_load_file;
         Alcotest.test_case "load missing file" `Quick test_load_missing_file;
         Alcotest.test_case "load corrupt file" `Quick test_load_corrupt_file;
+        Alcotest.test_case "load torn tail" `Quick test_load_torn_tail;
+        Alcotest.test_case "wal mid-record truncation" `Quick test_wal_mid_record_truncation;
       ]
       @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
   ]

@@ -1,0 +1,74 @@
+(* The randomized nemesis as a unit test: fixed seeds must pass every
+   whole-system invariant, runs must be reproducible (that is what makes
+   a failing seed a bug report), and generated schedules must be
+   well-formed. The CI sweep runs a much larger seed range through
+   bin/avdb_nemesis_cli.exe. *)
+
+open Avdb_chaos
+
+let test_fixed_seeds () =
+  let in_doubt_recovered = ref 0 in
+  for seed = 0 to 9 do
+    let report = Nemesis.check ~shrink:false (Nemesis.default ~seed) in
+    if not (Nemesis.passed report) then
+      Alcotest.failf "nemesis violation:@.%a" Nemesis.pp_report report;
+    in_doubt_recovered :=
+      !in_doubt_recovered + report.Nemesis.outcome.Nemesis.stats.Nemesis.in_doubt_recovered
+  done;
+  (* The sweep must actually exercise the recovery machinery, or a pass
+     is vacuous. *)
+  Alcotest.(check bool) "in-doubt recovery was exercised" true (!in_doubt_recovered > 0)
+
+let test_deterministic () =
+  let cfg = Nemesis.default ~seed:42 in
+  let schedule = Nemesis.generate cfg in
+  Alcotest.(check bool) "schedule is reproducible" true (Nemesis.generate cfg = schedule);
+  let a = Nemesis.execute cfg schedule and b = Nemesis.execute cfg schedule in
+  Alcotest.(check bool) "execution is reproducible" true (a = b)
+
+let window_end = function
+  | Nemesis.Crash { at_ms; for_ms; _ }
+  | Nemesis.Partition { at_ms; for_ms; _ }
+  | Nemesis.Drop { at_ms; for_ms; _ }
+  | Nemesis.Duplicate { at_ms; for_ms; _ }
+  | Nemesis.Reorder { at_ms; for_ms; _ } ->
+      at_ms +. for_ms
+
+let test_schedules_well_formed () =
+  for seed = 0 to 19 do
+    let cfg = Nemesis.default ~seed in
+    let schedule = Nemesis.generate cfg in
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) "window closes before the horizon" true
+          (window_end f < cfg.Nemesis.horizon_ms))
+      schedule;
+    (* Crash windows never overlap on the same site: overlapping windows
+       would ask to crash an already-down site. *)
+    let crashes =
+      List.filter_map
+        (function
+          | Nemesis.Crash { site; at_ms; for_ms } -> Some (site, at_ms, at_ms +. for_ms)
+          | _ -> None)
+        schedule
+    in
+    List.iteri
+      (fun i (s1, a1, e1) ->
+        List.iteri
+          (fun j (s2, a2, e2) ->
+            if i < j && s1 = s2 then
+              Alcotest.(check bool) "same-site crash windows disjoint" true
+                (e1 <= a2 || e2 <= a1))
+          crashes)
+      crashes
+  done
+
+let suites =
+  [
+    ( "chaos.nemesis",
+      [
+        Alcotest.test_case "fixed seeds pass" `Slow test_fixed_seeds;
+        Alcotest.test_case "deterministic replay" `Quick test_deterministic;
+        Alcotest.test_case "schedules well-formed" `Quick test_schedules_well_formed;
+      ] );
+  ]

@@ -150,22 +150,59 @@ let test_participant_idempotent_prepare () =
     (P.on_prepare p ~txid:5 ~can_apply:false = Two_phase.Ready);
   Alcotest.(check (list int)) "still one pending" [ 5 ] (P.pending p)
 
-let test_participant_abort_pending () =
+let test_participant_forget_and_reset () =
   let p = P.create () in
   ignore (P.on_prepare p ~txid:1 ~can_apply:true);
   ignore (P.on_prepare p ~txid:2 ~can_apply:true);
-  Alcotest.(check (list int)) "all returned" [ 1; 2 ] (P.abort_pending p);
-  Alcotest.(check (list int)) "emptied" [] (P.pending p)
+  P.forget p ~txid:1;
+  Alcotest.(check (list int)) "forgotten" [ 2 ] (P.pending p);
+  Alcotest.(check bool) "decision for forgotten ignored" true
+    (P.on_decision p ~txid:1 Two_phase.Commit = P.Ignore);
+  P.reset p;
+  Alcotest.(check (list int)) "reset empties" [] (P.pending p);
+  (* a fresh incarnation re-installs in-doubt txns from the durable log *)
+  ignore (P.on_prepare p ~txid:2 ~can_apply:true);
+  Alcotest.(check (list int)) "re-installed" [ 2 ] (P.pending p)
+
+(* --- recovered coordinator --- *)
+
+let test_recovered_coordinator () =
+  let c =
+    C.recovered ~txid:9 ~participants:[ addr 0; addr 2 ] ~base:(addr 0) Two_phase.Commit
+  in
+  Alcotest.(check bool) "decision preserved" true (C.decision c = Some Two_phase.Commit);
+  Alcotest.(check bool) "not done until acks" false (C.is_done c);
+  (* Re-broadcast repeats while acks are outstanding and never Completes
+     (the submitting client died with the crashed incarnation). *)
+  Alcotest.(check (list action)) "rebroadcast"
+    [ C.Broadcast_decision Two_phase.Commit ]
+    (C.rebroadcast c);
+  Alcotest.(check (list action)) "rebroadcast again"
+    [ C.Broadcast_decision Two_phase.Commit ]
+    (C.rebroadcast c);
+  Alcotest.(check (list action)) "first ack silent" [] (C.on_ack c ~from:(addr 2));
+  Alcotest.(check (list action)) "last ack cleans up, no Completed"
+    [ C.Cleanup Two_phase.Commit ]
+    (C.on_ack c ~from:(addr 0));
+  Alcotest.(check bool) "done" true (C.is_done c);
+  Alcotest.(check (list action)) "rebroadcast after done" [] (C.rebroadcast c)
+
+let test_recovered_coordinator_no_participants () =
+  let c = C.recovered ~txid:9 ~participants:[] ~base:(addr 0) Two_phase.Abort in
+  Alcotest.(check bool) "immediately done" true (C.is_done c);
+  Alcotest.(check (list action)) "nothing to rebroadcast" [] (C.rebroadcast c)
 
 (* --- Txn_log --- *)
 
 let test_txn_log () =
   let open Avdb_sim in
   let log = Txn_log.create () in
-  Txn_log.record_start log ~txid:1 ~coordinator:(addr 1) ~item:"x" ~delta:(-5)
-    ~at:(Time.of_us 10);
-  Txn_log.record_start log ~txid:2 ~coordinator:(addr 2) ~item:"y" ~delta:3 ~at:(Time.of_us 20);
+  Txn_log.record_start log ~txid:1 ~coordinator:(addr 1) ~cohort:[ addr 0; addr 2 ]
+    ~item:"x" ~delta:(-5) ~at:(Time.of_us 10);
+  Txn_log.record_start log ~txid:2 ~coordinator:(addr 2) ~cohort:[ addr 0; addr 1 ]
+    ~item:"y" ~delta:3 ~at:(Time.of_us 20);
   Alcotest.(check int) "in flight" 2 (Txn_log.in_flight log);
+  Alcotest.(check int) "in doubt" 2 (List.length (Txn_log.in_doubt log));
   Txn_log.record_outcome log ~txid:1 Two_phase.Commit ~at:(Time.of_us 30);
   Txn_log.record_outcome log ~txid:2 Two_phase.Abort ~at:(Time.of_us 40);
   (* Second outcome is ignored. *)
@@ -173,17 +210,63 @@ let test_txn_log () =
   Alcotest.(check int) "committed" 1 (Txn_log.committed log);
   Alcotest.(check int) "aborted" 1 (Txn_log.aborted log);
   Alcotest.(check int) "none in flight" 0 (Txn_log.in_flight log);
+  Alcotest.(check int) "none in doubt" 0 (List.length (Txn_log.in_doubt log));
   (match Txn_log.find log ~txid:1 with
   | Some e ->
       Alcotest.(check bool) "kept first outcome" true (e.Txn_log.outcome = Some Two_phase.Commit);
       Alcotest.(check (option int)) "finish time" (Some 30)
-        (Option.map Time.to_us e.Txn_log.finished_at)
+        (Option.map Time.to_us e.Txn_log.finished_at);
+      Alcotest.(check int) "cohort logged" 2 (List.length e.Txn_log.cohort);
+      Alcotest.(check bool) "not ended yet" false e.Txn_log.ended
+  | None -> Alcotest.fail "entry missing");
+  Txn_log.record_end log ~txid:1 ~at:(Time.of_us 60);
+  (match Txn_log.find log ~txid:1 with
+  | Some e -> Alcotest.(check bool) "ended" true e.Txn_log.ended
   | None -> Alcotest.fail "entry missing");
   Txn_log.record_outcome log ~txid:99 Two_phase.Commit ~at:(Time.of_us 1);
   Alcotest.(check int) "unknown txid ignored" 1 (Txn_log.committed log);
-  match Txn_log.record_start log ~txid:1 ~coordinator:(addr 1) ~item:"x" ~delta:0 ~at:Time.zero with
+  Alcotest.(check int) "max txid" 2 (Txn_log.max_txid log);
+  Alcotest.(check bool) "not refused" false (Txn_log.is_refused log ~txid:7);
+  Txn_log.record_refused log ~txid:7 ~at:(Time.of_us 70);
+  Alcotest.(check bool) "refused pledge durable" true (Txn_log.is_refused log ~txid:7);
+  match
+    Txn_log.record_start log ~txid:1 ~coordinator:(addr 1) ~cohort:[] ~item:"x" ~delta:0
+      ~at:Time.zero
+  with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "duplicate start accepted"
+
+let test_txn_log_serialisation () =
+  let open Avdb_sim in
+  let log = Txn_log.create () in
+  Txn_log.record_start log ~txid:1_000_003 ~coordinator:(addr 1)
+    ~cohort:[ addr 0; addr 2 ] ~item:"weird|item%name" ~delta:(-5) ~at:(Time.of_us 10);
+  Txn_log.record_outcome log ~txid:1_000_003 Two_phase.Commit ~at:(Time.of_us 30);
+  Txn_log.record_end log ~txid:1_000_003 ~at:(Time.of_us 40);
+  Txn_log.record_refused log ~txid:55 ~at:(Time.of_us 50);
+  let s = Txn_log.to_string log in
+  (match Txn_log.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok log' ->
+      Alcotest.(check int) "record count survives" (Txn_log.length log)
+        (Txn_log.length log');
+      Alcotest.(check bool) "refusal survives" true (Txn_log.is_refused log' ~txid:55);
+      (match Txn_log.find log' ~txid:1_000_003 with
+      | Some e ->
+          Alcotest.(check string) "item" "weird|item%name" e.Txn_log.item;
+          Alcotest.(check bool) "outcome" true (e.Txn_log.outcome = Some Two_phase.Commit);
+          Alcotest.(check bool) "ended" true e.Txn_log.ended;
+          Alcotest.(check int) "cohort" 2 (List.length e.Txn_log.cohort)
+      | None -> Alcotest.fail "entry lost"));
+  (* A torn final line is a crash mid-append: recover the prefix. *)
+  let torn = s ^ "\nO|1_000" in
+  (match Txn_log.of_string torn with
+  | Error e -> Alcotest.fail ("torn tail should recover: " ^ e)
+  | Ok log' -> Alcotest.(check int) "prefix recovered" (Txn_log.length log) (Txn_log.length log'));
+  (* The same garbage mid-log is corruption and must fail. *)
+  match Txn_log.of_string ("O|1_000\n" ^ s) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-log corruption accepted"
 
 let qcheck_tests =
   let open QCheck in
@@ -238,8 +321,12 @@ let suites =
         Alcotest.test_case "participant lifecycle" `Quick test_participant_lifecycle;
         Alcotest.test_case "participant abort" `Quick test_participant_abort;
         Alcotest.test_case "participant idempotent prepare" `Quick test_participant_idempotent_prepare;
-        Alcotest.test_case "participant abort_pending" `Quick test_participant_abort_pending;
+        Alcotest.test_case "participant forget/reset" `Quick test_participant_forget_and_reset;
+        Alcotest.test_case "recovered coordinator" `Quick test_recovered_coordinator;
+        Alcotest.test_case "recovered coordinator, no participants" `Quick
+          test_recovered_coordinator_no_participants;
         Alcotest.test_case "txn log" `Quick test_txn_log;
+        Alcotest.test_case "txn log serialisation" `Quick test_txn_log_serialisation;
       ]
       @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
   ]
