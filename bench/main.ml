@@ -952,6 +952,169 @@ let exp_micro () =
     (List.sort compare !rows);
   print_endline (Ascii_table.render table)
 
+(* --- throughput (gated perf benchmark) ---
+
+   Measures the hot paths this repository optimises and writes the
+   numbers to BENCH_throughput.json in the current directory. The
+   committed copy at the repository root is the performance baseline:
+   [throughput-check] re-measures and exits non-zero when a headline
+   number regresses by more than 2x against it, which CI runs as a perf
+   smoke test. CPU time varies across hosts, so the gate is deliberately
+   loose - it catches structural regressions (a hot path growing an
+   allocation, a protocol growing a message per update), not percentage
+   drift. *)
+
+let throughput_json_path = "BENCH_throughput.json"
+
+(* Delay-Update firehose: every update commits locally (ample AV, no
+   transfers), so this times the submit -> AV -> storage -> sync-queue
+   path itself. *)
+let throughput_delay ~tracing =
+  let n_sites = 3 and n_items = 8 in
+  let items = Array.init n_items (fun i -> "product" ^ string_of_int i) in
+  let config =
+    {
+      Config.default with
+      Config.n_sites;
+      tracing;
+      products =
+        Product.catalogue ~n_regular:n_items ~n_non_regular:0 ~initial_amount:30_000_000;
+      seed = 7000;
+    }
+  in
+  let total = 100_000 in
+  let nth k = (k mod n_sites, items.(k mod n_items), if k mod n_sites = 0 then 1 else -1) in
+  let cluster = Cluster.create config in
+  let m0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  let outcome = Runner.run cluster ~nth_update:nth ~total_updates:total () in
+  let cpu = Sys.time () -. t0 in
+  let words = (Gc.minor_words () -. m0) /. float_of_int total in
+  (float_of_int total /. cpu, words, outcome.Runner.final.Runner.applied)
+
+(* Paper-spec mixed workload with lazy propagation on: the message-economy
+   measurement. [fanout] selects broadcast flushes (None) or round-robin
+   rotation (Some k). *)
+let throughput_mixed ~fanout =
+  let total = 3000 in
+  let config =
+    {
+      Config.default with
+      Config.seed = 2000;
+      tracing = false;
+      sync_interval = Some (Avdb_sim.Time.of_ms 50.);
+      sync_fanout = fanout;
+    }
+  in
+  let cluster = Cluster.create config in
+  let workload = Scm.create (Scm.paper_spec ()) ~seed:2000 in
+  let outcome =
+    Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:total ()
+  in
+  let sent = Avdb_net.Stats.total_sent (Cluster.net_stats cluster) in
+  let bytes =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Avdb_net.Stats.bytes_sent)
+      0
+      (Avdb_net.Stats.sites (Cluster.net_stats cluster))
+  in
+  ( float_of_int sent /. float_of_int total,
+    float_of_int bytes /. float_of_int total,
+    outcome.Runner.final.Runner.applied )
+
+type throughput_numbers = {
+  delay_ups : float;  (* updates/s, tracing disabled *)
+  delay_tracing_ups : float;  (* updates/s, tracing enabled *)
+  delay_words : float;  (* minor words allocated per update *)
+  mixed_msgs : float;  (* messages per update, broadcast flushes *)
+  mixed_fanout_msgs : float;  (* messages per update, sync_fanout = 1 *)
+}
+
+let measure_throughput () =
+  let delay_ups, delay_words, delay_applied = throughput_delay ~tracing:false in
+  let delay_tracing_ups, _, _ = throughput_delay ~tracing:true in
+  let mixed_msgs, mixed_bytes, mixed_applied = throughput_mixed ~fanout:None in
+  let mixed_fanout_msgs, mixed_fanout_bytes, _ = throughput_mixed ~fanout:(Some 1) in
+  note "delay: %.0f updates/s (tracing off), %.0f updates/s (tracing on), %.0f minor words/update, applied=%d"
+    delay_ups delay_tracing_ups delay_words delay_applied;
+  note "mixed: %.3f msgs/update %.0f bytes/update (broadcast) | %.3f msgs/update %.0f bytes/update (fanout=1), applied=%d"
+    mixed_msgs mixed_bytes mixed_fanout_msgs mixed_fanout_bytes mixed_applied;
+  { delay_ups; delay_tracing_ups; delay_words; mixed_msgs; mixed_fanout_msgs }
+
+let write_throughput_json n =
+  let oc = open_out throughput_json_path in
+  Printf.fprintf oc
+    "{\n  \"delay_updates_per_sec\": %.0f,\n  \"delay_tracing_updates_per_sec\": %.0f,\n  \"delay_minor_words_per_update\": %.1f,\n  \"mixed_msgs_per_update\": %.3f,\n  \"mixed_fanout_msgs_per_update\": %.3f\n}\n"
+    n.delay_ups n.delay_tracing_ups n.delay_words n.mixed_msgs n.mixed_fanout_msgs;
+  close_out oc;
+  note "wrote %s" throughput_json_path
+
+(* Tolerant field extraction so the check needs no JSON parser: find
+   '"name":' and read the number after it. *)
+let json_number contents name =
+  let needle = Printf.sprintf "%S:" name in
+  match
+    let nlen = String.length needle and len = String.length contents in
+    let rec find i =
+      if i + nlen > len then None
+      else if String.sub contents i nlen = needle then Some (i + nlen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+      let len = String.length contents in
+      let stop = ref start in
+      while
+        !stop < len && (match contents.[!stop] with ',' | '}' | '\n' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub contents start (!stop - start)))
+
+let exp_throughput () =
+  section "Throughput";
+  write_throughput_json (measure_throughput ())
+
+let exp_throughput_check () =
+  section "Throughput check (vs committed baseline)";
+  let baseline =
+    let ic = open_in throughput_json_path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  in
+  let fresh = measure_throughput () in
+  let failures = ref [] in
+  let check name ~fresh ~baseline ~higher_is_better =
+    match json_number baseline name with
+    | None -> failures := Printf.sprintf "%s: missing from baseline" name :: !failures
+    | Some base ->
+        let regressed =
+          if higher_is_better then fresh *. 2. < base else fresh > base *. 2.
+        in
+        note "  %s: baseline=%.3f fresh=%.3f%s" name base fresh
+          (if regressed then "  REGRESSED" else "");
+        if regressed then
+          failures :=
+            Printf.sprintf "%s regressed more than 2x (baseline %.3f, now %.3f)" name base
+              fresh
+            :: !failures
+  in
+  check "delay_updates_per_sec" ~fresh:fresh.delay_ups ~baseline ~higher_is_better:true;
+  check "delay_minor_words_per_update" ~fresh:fresh.delay_words ~baseline
+    ~higher_is_better:false;
+  check "mixed_msgs_per_update" ~fresh:fresh.mixed_msgs ~baseline ~higher_is_better:false;
+  check "mixed_fanout_msgs_per_update" ~fresh:fresh.mixed_fanout_msgs ~baseline
+    ~higher_is_better:false;
+  match !failures with
+  | [] -> note "throughput within 2x of baseline"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) fs;
+      exit 1
+
 (* --- registry --- *)
 
 let experiments =
@@ -975,7 +1138,12 @@ let experiments =
     ("seeds", exp_seeds);
     ("elastic", exp_elastic);
     ("micro", exp_micro);
+    ("throughput", exp_throughput);
   ]
+
+(* Not in [experiments]: needs a committed baseline and exits non-zero on
+   regression, so "all" must not pick it up. *)
+let checks = [ ("throughput-check", exp_throughput_check) ]
 
 let run_experiment name f =
   current_exp := name;
@@ -1004,12 +1172,13 @@ let () =
       run_experiment "table1" exp_table1
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) experiments;
+      List.iter (fun (name, _) -> print_endline name) checks;
       print_endline "all"
   | [ "all" ] -> List.iter (fun (name, f) -> run_experiment name f) experiments
   | names ->
       List.iter
         (fun name ->
-          match List.assoc_opt name experiments with
+          match List.assoc_opt name (experiments @ checks) with
           | Some f -> run_experiment name f
           | None ->
               Printf.eprintf "unknown experiment %S (try 'list')\n" name;

@@ -154,6 +154,9 @@ let mk_cluster cfg =
           jitter = 0.3;
         };
       sync_interval = Some (Time.of_ms 25.);
+      (* Nemesis attaches no exporter; run the tracer disabled so long
+         seed sweeps pay nothing for spans. *)
+      tracing = false;
       seed = cfg.seed;
     }
 

@@ -92,7 +92,7 @@ let create config =
   | Ok () -> ()
   | Error e -> invalid_arg ("Cluster.create: " ^ e));
   let engine = Engine.create ~seed:config.Config.seed () in
-  let tracer = Tracer.create () in
+  let tracer = Tracer.create ~enabled:config.Config.tracing () in
   let rpc =
     Rpc.create ~engine ~latency:config.Config.latency
       ~drop_probability:config.Config.drop_probability
@@ -282,7 +282,7 @@ let per_site_correspondences t =
   |> List.sort compare
 
 let flush_all_syncs t =
-  Array.iter Site.flush_sync t.sites;
+  Array.iter (Site.flush_sync ~force:true) t.sites;
   run t
 
 (* 2PC decision agreement across the whole system: every site's durable

@@ -26,8 +26,10 @@ type t = {
   rebroadcast_interval : Time.t;
   rebroadcast_rounds : int;
   sync_interval : Time.t option;
+  sync_fanout : int option;
   snapshot_interval : Time.t option;
   record_history : bool;
+  tracing : bool;
   prefetch_low : int option;
   seed : int;
 }
@@ -53,8 +55,10 @@ let default =
     rebroadcast_interval = Time.of_ms 250.;
     rebroadcast_rounds = 8;
     sync_interval = None;
+    sync_fanout = None;
     snapshot_interval = None;
     record_history = false;
+    tracing = true;
     prefetch_low = None;
     seed = 42;
   }
@@ -73,6 +77,8 @@ let validate t =
     Error "prefetch_low must be >= 1"
   else if (match t.bandwidth_bytes_per_sec with Some b -> b <= 0 | None -> false) then
     Error "bandwidth must be positive"
+  else if (match t.sync_fanout with Some k -> k < 1 | None -> false) then
+    Error "sync_fanout must be >= 1"
   else if Time.equal t.rebroadcast_interval Time.zero then
     Error "rebroadcast_interval must be positive"
   else if t.rebroadcast_rounds < 0 then Error "rebroadcast_rounds must be >= 0"

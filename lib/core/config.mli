@@ -52,6 +52,15 @@ type t = {
           net. *)
   sync_interval : Avdb_sim.Time.t option;
       (** period of Delay Update's lazy delta broadcast; [None] disables *)
+  sync_fanout : int option;
+      (** [None] (default): every flush notifies every peer — each peer is
+          at most one [sync_interval] behind. [Some k]: each flush
+          notifies only [k] peers, rotating round-robin, dividing sync
+          messages by roughly [(n-1)/k] at the cost of proportionally
+          older replicas. Cumulative versioned counters make the rotation
+          safe: whichever flush finally reaches a peer carries everything
+          it missed. Convergence flushes ({!Site.flush_sync}
+          [~force:true]) always broadcast. Must be ≥ 1 *)
   snapshot_interval : Avdb_sim.Time.t option;
       (** period of the observability snapshot: samples every registered
           metric into the cluster's time series and runs the invariant
@@ -64,6 +73,12 @@ type t = {
           ["history"] audit table (item, delta, path) in the same storage
           engine — queryable with {!Avdb_store.Query} and recovered with
           the WAL like any other table *)
+  tracing : bool;
+      (** when false the cluster's span tracer runs disabled: hot paths
+          skip span construction entirely (near-zero cost) and exporters
+          see no spans. Metric gauges and counters still work. Default
+          [true]; bench and nemesis runs that attach no exporter turn it
+          off. *)
   prefetch_low : int option;
       (** autonomous AV circulation (§3.4, extension): after a Delay
           Update leaves an item's available AV below this watermark, the

@@ -11,7 +11,12 @@ type peer_status =
 type central_status = Central_applied | Central_insufficient | Central_unknown_item
 
 type request =
-  | Av_request of { item : string; amount : int; requester_available : int }
+  | Av_request of {
+      item : string;
+      amount : int;
+      requester_available : int;
+      sync : (string * int * int) list;
+    }
   | Central_update of { item : string; delta : int }
   | Prepare of {
       txid : int;
@@ -27,7 +32,12 @@ type request =
   | Join_request
 
 type response =
-  | Av_grant of { granted : int; donor_available : int }
+  | Av_grant of {
+      granted : int;
+      donor_available : int;
+      av_levels : (string * int) list;
+      sync : (string * int * int) list;
+    }
   | Central_ack of { status : central_status; new_amount : int }
   | Vote of { txid : int; vote : Two_phase.vote }
   | Decision_ack of { txid : int }
@@ -36,19 +46,29 @@ type response =
   | Peer_decision_status of { txid : int; status : peer_status }
   | Join_snapshot of {
       rows : (string * int * bool) list;
-      sync_state : (int * string * int) list;
+      sync_state : (int * string * int * int) list;
     }
   | Bad_request of string
 
-type notice = Sync_counters of { counters : (string * int) list; av_info : (string * int) list }
+type notice =
+  | Sync_counters of {
+      counters : (string * int * int) list;
+      av_info : (string * int) list;
+      ack : (int * int) list;
+    }
 
 (* Rough wire sizes: a fixed header plus per-field costs; strings count
    their bytes, ints 8. Only relative magnitudes matter for the bandwidth
    model, not exact encodings. *)
 let header = 16
 
+(* A (item, version, cum) sync triple: the item's bytes plus two ints. *)
+let sync_size acc (item, _, _) = acc + String.length item + 16
+let level_size acc (item, _) = acc + String.length item + 8
+
 let wire_size_request = function
-  | Av_request { item; _ } -> header + String.length item + 16
+  | Av_request { item; sync; _ } ->
+      header + String.length item + 16 + List.fold_left sync_size 0 sync
   | Central_update { item; _ } -> header + String.length item + 8
   | Prepare { item; cohort; _ } -> header + String.length item + 24 + (8 * List.length cohort)
   | Decision _ -> header + 9
@@ -58,7 +78,10 @@ let wire_size_request = function
   | Join_request -> header
 
 let wire_size_response = function
-  | Av_grant _ -> header + 16
+  | Av_grant { av_levels; sync; _ } ->
+      header + 16
+      + List.fold_left level_size 0 av_levels
+      + List.fold_left sync_size 0 sync
   | Central_ack _ -> header + 9
   | Vote _ -> header + 9
   | Decision_ack _ -> header + 8
@@ -68,14 +91,15 @@ let wire_size_response = function
   | Join_snapshot { rows; sync_state } ->
       header
       + List.fold_left (fun acc (item, _, _) -> acc + String.length item + 9) 0 rows
-      + (List.length sync_state * 20)
+      + (List.length sync_state * 28)
   | Bad_request msg -> header + String.length msg
 
 let wire_size_notice = function
-  | Sync_counters { counters; av_info } ->
+  | Sync_counters { counters; av_info; ack } ->
       header
-      + List.fold_left (fun acc (item, _) -> acc + String.length item + 8) 0 counters
-      + List.fold_left (fun acc (item, _) -> acc + String.length item + 8) 0 av_info
+      + List.fold_left sync_size 0 counters
+      + List.fold_left level_size 0 av_info
+      + (16 * List.length ack)
 
 (* Span names for the RPC tracer: constructor only, no payload. *)
 let request_label = function
@@ -89,8 +113,9 @@ let request_label = function
   | Join_request -> "join"
 
 let pp_request ppf = function
-  | Av_request { item; amount; requester_available } ->
-      Format.fprintf ppf "av_request(%s, %d, have=%d)" item amount requester_available
+  | Av_request { item; amount; requester_available; sync } ->
+      Format.fprintf ppf "av_request(%s, %d, have=%d, sync=%d)" item amount
+        requester_available (List.length sync)
   | Central_update { item; delta } -> Format.fprintf ppf "central_update(%s, %+d)" item delta
   | Prepare { txid; coordinator; cohort; item; delta } ->
       Format.fprintf ppf "prepare(tx%d, coord=%a, cohort=%d, %s, %+d)" txid Address.pp
@@ -103,8 +128,9 @@ let pp_request ppf = function
   | Join_request -> Format.pp_print_string ppf "join_request"
 
 let pp_response ppf = function
-  | Av_grant { granted; donor_available } ->
-      Format.fprintf ppf "av_grant(%d, donor_has=%d)" granted donor_available
+  | Av_grant { granted; donor_available; av_levels; sync } ->
+      Format.fprintf ppf "av_grant(%d, donor_has=%d, levels=%d, sync=%d)" granted
+        donor_available (List.length av_levels) (List.length sync)
   | Central_ack { status; new_amount } ->
       Format.fprintf ppf "central_ack(%s, %d)"
         (match status with
@@ -135,5 +161,6 @@ let pp_response ppf = function
   | Bad_request msg -> Format.fprintf ppf "bad_request(%s)" msg
 
 let pp_notice ppf = function
-  | Sync_counters { counters; av_info = _ } ->
-      Format.fprintf ppf "sync_counters(%d items)" (List.length counters)
+  | Sync_counters { counters; av_info = _; ack } ->
+      Format.fprintf ppf "sync_counters(%d items, %d acks)" (List.length counters)
+        (List.length ack)

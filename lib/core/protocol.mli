@@ -29,9 +29,20 @@ type peer_status =
 type central_status = Central_applied | Central_insufficient | Central_unknown_item
 
 type request =
-  | Av_request of { item : string; amount : int; requester_available : int }
+  | Av_request of {
+      item : string;
+      amount : int;
+      requester_available : int;
+      sync : (string * int * int) list;
+    }
       (** ask for AV; [requester_available] piggybacks the caller's own
-          holdings so the donor's peer view stays warm *)
+          holdings so the donor's peer view stays warm, and [sync]
+          piggybacks the caller's versioned sync counters (item, version,
+          cumulative delta — see {!Sync_counters}) so the donor's replica
+          freshens without a dedicated notice. The grant reply doubles as
+          a delivery acknowledgement: the caller marks these counters as
+          conveyed to the donor and later lazy-propagation notices omit
+          them. *)
   | Central_update of { item : string; delta : int }
       (** centralized baseline: forward the user update to the base *)
   | Prepare of {
@@ -61,8 +72,18 @@ type request =
           base", §3.2) *)
 
 type response =
-  | Av_grant of { granted : int; donor_available : int }
-      (** [donor_available] piggybacks the donor's remaining holdings *)
+  | Av_grant of {
+      granted : int;
+      donor_available : int;
+      av_levels : (string * int) list;
+      sync : (string * int * int) list;
+    }
+      (** [donor_available] piggybacks the donor's remaining holdings on
+          the requested item; [av_levels] extends that to the donor's
+          available AV across items so the requester's whole selection
+          cache warms from one reply; [sync] piggybacks the donor's
+          versioned sync counters (unacknowledged — version checks at the
+          receiver make replays harmless) *)
   | Central_ack of { status : central_status; new_amount : int }
   | Vote of { txid : int; vote : Avdb_txn.Two_phase.vote }
   | Decision_ack of { txid : int }
@@ -72,25 +93,40 @@ type response =
   | Peer_decision_status of { txid : int; status : peer_status }
   | Join_snapshot of {
       rows : (string * int * bool) list;  (** item, amount, regular *)
-      sync_state : (int * string * int) list;
-          (** per (origin site, item): the cumulative sync counter already
-              folded into [rows] — the joiner seeds its receiver state
-              with these so later notices apply only newer deltas *)
+      sync_state : (int * string * int * int) list;
+          (** per (origin site, item): the version and cumulative sync
+              counter already folded into [rows] — the joiner seeds its
+              receiver state with these so later notices apply only newer
+              deltas *)
     }
   | Bad_request of string
       (** protocol mismatch, e.g. a [Central_update] at a non-base site *)
 
 type notice =
-  | Sync_counters of { counters : (string * int) list; av_info : (string * int) list }
-      (** Delay Update's lazy propagation. [counters] carries the sender's
-          {e cumulative} net delta per item since the system started -
-          receivers apply the difference against the last counter they saw
-          from that sender, so lost or duplicated notices never lose or
-          double-apply updates (a grow-only counter per origin). [av_info]
-          piggybacks the sender's current available AV for those items,
-          keeping peers' selection caches warm at zero extra messages
-          (§4: "information is collected at the necessary
-          communication"). *)
+  | Sync_counters of {
+      counters : (string * int * int) list;
+      av_info : (string * int) list;
+      ack : (int * int) list;
+    }
+      (** Delay Update's lazy propagation. Each counter is
+          [(item, version, cum)]: [cum] is the sender's {e cumulative} net
+          delta on [item] since the system started and [version] a
+          strictly increasing per-origin stamp bumped on every local
+          change. A receiver applies [cum - last_cum] iff
+          [version > last_version] for that (origin, item), so lost,
+          duplicated {e or reordered} notices never lose, double-apply or
+          regress updates — the version check is what makes the same
+          triples safe to piggyback on retried RPCs. [av_info] piggybacks
+          the sender's current available AV for those items, keeping
+          peers' selection caches warm at zero extra messages (§4:
+          "information is collected at the necessary communication").
+          [ack] is the sender's cumulative acknowledgement vector:
+          per origin, the highest version it has applied from that
+          origin. Because every payload carries an origin's complete
+          unacknowledged backlog, "applied version v" implies "applied
+          everything ≤ v", so the origin can prune later notices down to
+          the true backlog — TCP-style cumulative acks riding the
+          reverse-direction sync traffic. *)
 
 val wire_size_request : request -> int
 (** Rough serialized size in bytes, feeding the network byte counters and

@@ -36,6 +36,11 @@ type coord = {
   mutable local_finalized : bool;
 }
 
+(* Outgoing lazy-propagation state for one item: the cumulative net local
+   delta and the site-wide sequence number of its latest change. Mutable
+   in place so the per-update hot path costs one hash lookup. *)
+type item_sync = { mutable version : int; mutable cum : int }
+
 type t = {
   shared : shared;
   addr : Address.t;
@@ -52,13 +57,28 @@ type t = {
   coordinators : (int, coord) Hashtbl.t;
   txn_log : Txn_log.t;
   metrics : Update.Metrics.t;
-  pending_sync : (string, int) Hashtbl.t;
-  (* Cumulative net local delta per item since startup; survives crashes
-     (persisted metadata, like the AV table). The receiver-side
-     counterpart below makes lazy propagation loss- and duplicate-proof. *)
-  sync_counters : (string, int) Hashtbl.t;
-  applied_sync : (int * string, int) Hashtbl.t;
-      (* (origin site, item) -> last counter applied from that origin *)
+  (* Cumulative net local delta and a strictly increasing change stamp per
+     item; survives crashes (persisted metadata, like the AV table). The
+     receiver-side counterpart below makes lazy propagation loss-,
+     duplicate- and reorder-proof. One table, one lookup per update. *)
+  sync_out : (string, item_sync) Hashtbl.t;
+  mutable sync_seq : int;
+      (* bumped on every local change; an item's [version] is the seq of
+         its latest change, so versions are strictly monotone per item *)
+  mutable sync_flushed_seq : int;
+      (* everything <= this has been broadcast at least once *)
+  conveyed_sync : (int, int) Hashtbl.t;
+      (* peer -> seq whose delivery that peer has positively acknowledged
+         (via an AV-grant reply to a request carrying the piggyback);
+         flushes skip counters a peer is known to hold *)
+  applied_sync : (int * string, int * int) Hashtbl.t;
+      (* (origin site, item) -> last (version, counter) applied *)
+  applied_high : (int, int) Hashtbl.t;
+      (* origin -> highest version applied from it; gap-free because every
+         payload carries an origin's whole unacknowledged backlog, so this
+         single int is a complete cumulative acknowledgement *)
+  mutable sync_rr : int;  (* rotation cursor for [Config.sync_fanout] *)
+  mutable sync_rot_left : int;  (* fanout flushes still owed this rotation *)
   prefetch_in_flight : (string, unit) Hashtbl.t;
   mutable history_seq : int;
   mutable sync_flush_scheduled : bool;
@@ -109,6 +129,13 @@ let span_field t sp key value = Avdb_obs.Tracer.set_field t.shared.tracer sp key
 let span_warn t sp = Avdb_obs.Tracer.warn t.shared.tracer sp
 let span_end t sp = Avdb_obs.Tracer.finish t.shared.tracer ~at:(now t) sp
 
+(* Hot paths test this before building span arguments (field strings,
+   field lists), so a disabled tracer costs one load and branch. *)
+let tracing t = Avdb_obs.Tracer.enabled t.shared.tracer
+
+let span_field_int t sp key n =
+  if tracing t then span_field t sp key (string_of_int n)
+
 let span_instant t ?parent ?status ?fields ~category name =
   ignore
     (Avdb_obs.Tracer.instant t.shared.tracer ~at:(now t) ?parent
@@ -137,7 +164,7 @@ let amount_of t ~item =
   | Ok (Value.Int n) -> Some n
   | Ok _ | Error _ -> None
 
-let item_known t ~item = Option.is_some (amount_of t ~item)
+let item_known t ~item = Database.mem t.db ~table:stock_table ~key:item
 
 (* Transaction ids for Immediate Update must be globally unique; reserve a
    large per-site range keyed by the address. *)
@@ -147,17 +174,115 @@ let fresh_txid t =
   txid
 
 let pending_sync_deltas t =
-  Hashtbl.fold (fun item delta acc -> (item, delta) :: acc) t.pending_sync []
+  Hashtbl.fold
+    (fun item s acc -> if s.version > t.sync_flushed_seq then (item, s.cum) :: acc else acc)
+    t.sync_out []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let add_pending_sync t ~item ~delta =
-  (match Hashtbl.find_opt t.pending_sync item with
-  | Some prev ->
-      if prev + delta = 0 then Hashtbl.remove t.pending_sync item
-      else Hashtbl.replace t.pending_sync item (prev + delta)
-  | None -> if delta <> 0 then Hashtbl.add t.pending_sync item delta);
-  Hashtbl.replace t.sync_counters item
-    (delta + Option.value ~default:0 (Hashtbl.find_opt t.sync_counters item))
+let queue_sync t ~item ~delta =
+  t.sync_seq <- t.sync_seq + 1;
+  match Hashtbl.find_opt t.sync_out item with
+  | Some s ->
+      s.version <- t.sync_seq;
+      s.cum <- s.cum + delta
+  | None -> Hashtbl.add t.sync_out item { version = t.sync_seq; cum = delta }
+
+(* Counters a peer is not yet known to hold: everything stamped after the
+   last piggyback that peer acknowledged (or everything, when [force]d —
+   recovery and quiescence flushes must not trust optimistic state). *)
+let sync_payload_for t ~force peer =
+  let upto =
+    if force then 0
+    else Option.value ~default:0 (Hashtbl.find_opt t.conveyed_sync (Address.to_int peer))
+  in
+  if t.sync_seq <= upto then []
+  else
+    Hashtbl.fold
+      (fun item s acc -> if s.version > upto then (item, s.version, s.cum) :: acc else acc)
+      t.sync_out []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let note_sync_conveyed t peer ~upto =
+  let p = Address.to_int peer in
+  if upto > Option.value ~default:0 (Hashtbl.find_opt t.conveyed_sync p) then
+    Hashtbl.replace t.conveyed_sync p upto
+
+let sync_av_info t counters =
+  List.filter_map
+    (fun (item, _, _) ->
+      if Av_table.is_defined t.av ~item then Some (item, Av_table.available t.av ~item)
+      else None)
+    counters
+
+(* Receiver side, shared by dedicated notices and payloads piggybacked on
+   AV traffic: apply only counters stamped newer than the last one seen
+   from that origin. Versions are strictly monotone per (origin, item), so
+   losses, replays and reorderings all resolve to "apply the cumulative
+   difference once, in stamp order". *)
+let apply_sync_counters t ~src counters =
+  if counters <> [] && not (is_down t) then begin
+    let origin = Address.to_int src in
+    let fresh_deltas =
+      List.filter_map
+        (fun (item, version, cum) ->
+          match Hashtbl.find_opt t.applied_sync (origin, item) with
+          | Some (last_version, _) when version <= last_version -> None
+          | Some (_, last_cum) -> Some (item, cum - last_cum, version, cum)
+          | None -> Some (item, cum, version, cum))
+        counters
+    in
+    if fresh_deltas <> [] then begin
+      let txn = Database.begin_txn t.db in
+      let ok =
+        List.for_all
+          (fun (item, delta, _, _) ->
+            Result.is_ok
+              (Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta))
+          fresh_deltas
+      in
+      if ok then begin
+        Database.commit txn;
+        List.iter
+          (fun (item, _, version, cum) ->
+            Hashtbl.replace t.applied_sync (origin, item) (version, cum);
+            if version > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin)
+            then Hashtbl.replace t.applied_high origin version)
+          fresh_deltas;
+        if tracing t then
+          span_instant t ~category:"sync" "sync.apply"
+            ~fields:
+              [
+                ("from", Address.to_string src);
+                ("items", string_of_int (List.length fresh_deltas));
+              ]
+      end
+      else Database.abort txn
+    end
+  end
+
+(* History keys must sort lexicographically in insertion order (the audit
+   table iterates rows in key order). Zero-padded six-digit decimals do
+   that for the first million rows; past that, each extra digit is
+   announced by a leading '~' — which sorts after every digit — so longer
+   keys follow all shorter ones (plain "%06d" would interleave them).
+   Hand-rolled over [Printf.sprintf]: this sits on the applied-update hot
+   path and the format-string interpreter was measurable there. *)
+let history_key n =
+  if n < 0 then invalid_arg "Site.history_key: negative";
+  let digits =
+    let rec loop d v = if v < 10 then d else loop (d + 1) (v / 10) in
+    loop 1 n
+  in
+  let prefix = if digits > 6 then digits - 6 else 0 in
+  let width = if digits > 6 then digits else 6 in
+  let b = Bytes.make (prefix + width) '0' in
+  Bytes.fill b 0 prefix '~';
+  let rec fill i v =
+    Bytes.set b i (Char.unsafe_chr (Char.code '0' + (v mod 10)));
+    if v >= 10 then fill (i - 1) (v / 10)
+  in
+  fill (prefix + width - 1) n;
+  Bytes.unsafe_to_string b
 
 (* Audit trail: one row per locally-applied update when configured. Runs in
    its own committed transaction right after the stock change - the WAL
@@ -165,7 +290,7 @@ let add_pending_sync t ~item ~delta =
 let record_history t ~item ~delta ~path =
   if (config t).Config.record_history then begin
     let txn = Database.begin_txn t.db in
-    let key = Printf.sprintf "%06d" t.history_seq in
+    let key = history_key t.history_seq in
     t.history_seq <- t.history_seq + 1;
     let row = [| Value.Str item; Value.Int delta; Value.Str path |] in
     match Database.insert txn ~table:history_table ~key row with
@@ -175,47 +300,70 @@ let record_history t ~item ~delta ~path =
         failwith ("Site.record_history: " ^ e)
   end
 
-let flush_sync t =
-  (* Broadcast every nonzero cumulative counter (not just recent deltas):
-     a receiver that missed earlier notices catches up from any later one. *)
-  if (not (is_down t)) && Hashtbl.length t.sync_counters > 0 then begin
-    Hashtbl.reset t.pending_sync;
-    t.metrics.Update.Metrics.sync_batches_sent <-
-      t.metrics.Update.Metrics.sync_batches_sent + 1;
-    span_instant t ~category:"sync" "sync.flush"
-      ~fields:[ ("items", string_of_int (Hashtbl.length t.sync_counters)) ];
-    let counters =
-      Hashtbl.fold (fun item counter acc -> (item, counter) :: acc) t.sync_counters []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let flush_sync ?(force = false) t =
+  (* Each notified peer gets every counter it has not acknowledged (not
+     just recent deltas): a receiver that missed earlier notices catches
+     up from any later one. Counters a peer acknowledged — through an
+     AV-grant reply or a reverse-direction notice's ack vector — are
+     omitted, and a fully caught-up peer is skipped entirely. With
+     [Config.sync_fanout] set, only that many peers are notified per
+     flush, rotating round-robin; the cumulative counters make the
+     rotation safe because whichever flush finally reaches a peer carries
+     everything it missed. [force] broadcasts everything to everyone:
+     convergence must not depend on acks or rotation position. *)
+  if (not (is_down t)) && Hashtbl.length t.sync_out > 0 then begin
+    let new_deltas = t.sync_seq > t.sync_flushed_seq in
+    t.sync_flushed_seq <- t.sync_seq;
+    let targets =
+      let all = peers t in
+      match (config t).Config.sync_fanout with
+      | Some k when (not force) && k < List.length all ->
+          let n = List.length all in
+          (* A burst of deltas needs ceil(n/k) flushes for the rotation to
+             reach every peer; [sync_rot_left] counts the ones still owed
+             so the debounce re-arms until the cycle completes. *)
+          if new_deltas then t.sync_rot_left <- ((n + k - 1) / k) - 1
+          else if t.sync_rot_left > 0 then t.sync_rot_left <- t.sync_rot_left - 1;
+          let start = t.sync_rr mod n in
+          t.sync_rr <- t.sync_rr + k;
+          List.filteri (fun i _ -> (i - start + n) mod n < k) all
+      | Some _ | None ->
+          t.sync_rot_left <- 0;
+          all
     in
-    let av_info =
-      List.filter_map
-        (fun (item, _) ->
-          if Av_table.is_defined t.av ~item then Some (item, Av_table.available t.av ~item)
-          else None)
-        counters
+    let ack =
+      Hashtbl.fold (fun origin version acc -> (origin, version) :: acc) t.applied_high []
+      |> List.sort compare
     in
+    let sent = ref false in
     List.iter
       (fun peer ->
-        Rpc.notify t.shared.rpc ~src:t.addr ~dst:peer
-          (Protocol.Sync_counters { counters; av_info }))
-      (peers t)
+        match sync_payload_for t ~force peer with
+        | [] -> ()
+        | counters ->
+            sent := true;
+            Rpc.notify t.shared.rpc ~src:t.addr ~dst:peer
+              (Protocol.Sync_counters { counters; av_info = sync_av_info t counters; ack }))
+      targets;
+    if !sent then begin
+      t.metrics.Update.Metrics.sync_batches_sent <-
+        t.metrics.Update.Metrics.sync_batches_sent + 1;
+      if tracing t then
+        span_instant t ~category:"sync" "sync.flush"
+          ~fields:[ ("items", string_of_int (Hashtbl.length t.sync_out)) ]
+    end
   end
 
 (* Apply a committed local delta to the replicated stock value and queue it
    for lazy propagation. Only called after AV accounting has authorised the
    delta, so a failure here is a bug, not an input error. *)
 let rec apply_local_delta t ~item ~delta =
-  let txn = Database.begin_txn t.db in
-  match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+  match Database.apply_int t.db ~table:stock_table ~key:item ~col:"amount" delta with
   | Ok _new_amount ->
-      Database.commit txn;
       record_history t ~item ~delta ~path:"delay";
-      add_pending_sync t ~item ~delta;
+      queue_sync t ~item ~delta;
       schedule_sync_flush t
-  | Error e ->
-      Database.abort txn;
-      failwith (Printf.sprintf "Site.apply_local_delta %s: %s" item e)
+  | Error e -> failwith (Printf.sprintf "Site.apply_local_delta %s: %s" item e)
 
 (* Lazy propagation is debounced rather than a free-running timer: the
    first delta after a quiet period arms one flush event [sync_interval]
@@ -224,19 +372,61 @@ and schedule_sync_flush t =
   match (config t).Config.sync_interval with
   | None -> ()
   | Some interval ->
-      if (not t.sync_flush_scheduled) && Hashtbl.length t.pending_sync > 0 then begin
+      if
+        (not t.sync_flush_scheduled)
+        && (t.sync_seq > t.sync_flushed_seq || t.sync_rot_left > 0)
+      then begin
         t.sync_flush_scheduled <- true;
         ignore
           (Engine.schedule (engine t) ~delay:interval
              (fenced t (fun () ->
                   t.sync_flush_scheduled <- false;
-                  flush_sync t)))
+                  flush_sync t;
+                  (* Keep the timer alive while a fanout rotation still owes
+                     peers their notice. *)
+                  schedule_sync_flush t)))
       end
 
 (* --- request handling (the accelerator's server side) --- *)
 
-let handle_av_request t ~src ~span ~item ~amount ~requester_available ~reply =
+(* Piggybacks are free on an unmetered network but spend the link's
+   bandwidth on a metered one, where inflating an RPC can push it past its
+   own timeout. Budget: roughly a tenth of the bytes the link moves within
+   one RPC timeout, expressed as an entry count (an entry is an item name
+   plus an int or two). *)
+let piggyback_entry_budget t =
+  match (config t).Config.bandwidth_bytes_per_sec with
+  | None -> max_int
+  | Some b ->
+      int_of_float (Time.to_sec (config t).Config.rpc_timeout *. float_of_int b)
+      / (10 * 24)
+
+let rec list_take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: list_take (n - 1) rest
+
+(* The donor's available AV across items, piggybacked on grants so one
+   reply warms the requester's whole selection cache. Zero levels are
+   included: learning a peer ran dry is exactly what steers selection
+   away from it. *)
+let av_levels_snapshot t = list_take
+    (piggyback_entry_budget t)
+    (List.map (fun (item, available, _) -> (item, available)) (Av_table.snapshot t.av))
+
+(* Sync counters to piggyback on an AV request or grant towards [peer],
+   paired with the sequence number the payload covers (0 when nothing may
+   be concluded from it). All-or-nothing: a truncated payload must not be
+   sent, because the requester advances its conveyed-tracking on the
+   reply assuming the whole backlog went through. *)
+let sync_piggyback_for t peer =
+  let payload = sync_payload_for t ~force:false peer in
+  if List.length payload > piggyback_entry_budget t then ([], 0)
+  else (payload, t.sync_seq)
+
+let handle_av_request t ~src ~span ~item ~amount ~requester_available ~sync ~reply =
   Peer_view.observe t.view ~site:src ~item ~volume:requester_available ~at:(now t);
+  apply_sync_counters t ~src sync;
   let available = Av_table.available t.av ~item in
   let granting = (config t).Config.strategy.Strategy.granting in
   let granted = Strategy.Granting.amount granting ~available ~requested:amount in
@@ -253,14 +443,25 @@ let handle_av_request t ~src ~span ~item ~amount ~requester_available ~reply =
       m "%a grants %d AV of %s to %a" Address.pp t.addr granted item Address.pp src);
   trace t ~category:"av" "%a grants %d of %s to %a (keeps %d)" Address.pp t.addr granted item
     Address.pp src (Av_table.available t.av ~item);
-  span_instant t ?parent:span ~category:"av" "av.grant"
-    ~fields:
-      [
-        ("item", item);
-        ("granted", string_of_int granted);
-        ("to", Address.to_string src);
-      ];
-  reply (Protocol.Av_grant { granted; donor_available = Av_table.available t.av ~item })
+  if tracing t then
+    span_instant t ?parent:span ~category:"av" "av.grant"
+      ~fields:
+        [
+          ("item", item);
+          ("granted", string_of_int granted);
+          ("to", Address.to_string src);
+        ];
+  reply
+    (Protocol.Av_grant
+       {
+         granted;
+         donor_available = Av_table.available t.av ~item;
+         av_levels = av_levels_snapshot t;
+         (* Unacknowledged piggyback: the requester's version checks make
+            a replayed reply harmless, and its conveyed-tracking is never
+            advanced by it. *)
+         sync = fst (sync_piggyback_for t src);
+       })
 
 let handle_central_update t ~item ~delta ~reply =
   if not (Address.equal t.addr t.base_addr) then
@@ -370,11 +571,13 @@ let rec schedule_termination_check t ~txid =
                   p.p_queries <- p.p_queries + 1;
                   t.metrics.Update.Metrics.termination_queries <-
                     t.metrics.Update.Metrics.termination_queries + 1;
-                  span_instant t ~category:"2pc" "2pc.termination_query"
-                    ~fields:
-                      [
-                        ("txid", string_of_int txid); ("target", Address.to_string target);
-                      ];
+                  if tracing t then
+                    span_instant t ~category:"2pc" "2pc.termination_query"
+                      ~fields:
+                        [
+                          ("txid", string_of_int txid);
+                          ("target", Address.to_string target);
+                        ];
                   if Address.equal target p.p_coordinator then
                     Rpc.call t.shared.rpc ~src:t.addr ~dst:target
                       ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t)
@@ -422,7 +625,7 @@ let handle_prepare t ~span ~txid ~coordinator ~cohort ~item ~delta ~reply =
      tentative apply, closed by the decision (it outlives the RPC span,
      which only covers prepare-to-vote). *)
   let psp = span_start t ?parent:span ~category:"2pc" "2pc.participant" in
-  span_field t psp "txid" (string_of_int txid);
+  span_field_int t psp "txid" txid;
   span_field t psp "item" item;
   let refuse () =
     span_field t psp "vote" "refuse";
@@ -545,52 +748,25 @@ let handle_peer_decision_query t ~txid ~reply =
         | Some { Txn_log.outcome = None; _ } -> Protocol.Peer_prepared
         | None ->
             Txn_log.record_refused t.txn_log ~txid ~at:(now t);
-            span_instant t ~category:"2pc" "2pc.refuse_pledge"
-              ~fields:[ ("txid", string_of_int txid) ];
+            if tracing t then
+              span_instant t ~category:"2pc" "2pc.refuse_pledge"
+                ~fields:[ ("txid", string_of_int txid) ];
             Protocol.Peer_will_refuse)
   in
   reply (Protocol.Peer_decision_status { txid; status })
 
-let handle_sync t ~src ~counters ~av_info =
+let handle_sync t ~src ~counters ~av_info ~ack =
   if not (is_down t) then begin
     List.iter
       (fun (item, volume) -> Peer_view.observe t.view ~site:src ~item ~volume ~at:(now t))
       av_info;
-    let origin = Address.to_int src in
-    (* Counters are cumulative per origin: apply only the unseen part, so
-       lost or replayed notices can never lose or double-apply deltas. *)
-    let fresh_deltas =
-      List.filter_map
-        (fun (item, counter) ->
-          let last =
-            Option.value ~default:0 (Hashtbl.find_opt t.applied_sync (origin, item))
-          in
-          if counter <> last then Some (item, counter - last, counter) else None)
-        counters
-    in
-    if fresh_deltas <> [] then begin
-      let txn = Database.begin_txn t.db in
-      let ok =
-        List.for_all
-          (fun (item, delta, _) ->
-            Result.is_ok
-              (Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta))
-          fresh_deltas
-      in
-      if ok then begin
-        Database.commit txn;
-        List.iter
-          (fun (item, _, counter) -> Hashtbl.replace t.applied_sync (origin, item) counter)
-          fresh_deltas;
-        span_instant t ~category:"sync" "sync.apply"
-          ~fields:
-            [
-              ("from", Address.to_string src);
-              ("items", string_of_int (List.length fresh_deltas));
-            ]
-      end
-      else Database.abort txn
-    end
+    (* The sender's cumulative ack of OUR counters: it holds everything of
+       ours up to that version, so our later flushes to it shrink to the
+       true backlog. *)
+    (match List.assoc_opt (Address.to_int t.addr) ack with
+    | Some upto -> note_sync_conveyed t src ~upto
+    | None -> ());
+    apply_sync_counters t ~src counters
   end
 
 (* --- autonomous AV circulation (extension of the paper's Â§3.4) ---
@@ -624,20 +800,32 @@ let rec maybe_prefetch t ~item =
             let want = (2 * low) - Av_table.available t.av ~item in
             let sp = span_start t ~category:"av" "av.prefetch" in
             span_field t sp "item" item;
-            span_field t sp "want" (string_of_int want);
+            span_field_int t sp "want" want;
+            let sync, sync_upto = sync_piggyback_for t target in
             let request =
               Protocol.Av_request
-                { item; amount = want; requester_available = Av_table.available t.av ~item }
+                {
+                  item;
+                  amount = want;
+                  requester_available = Av_table.available t.av ~item;
+                  sync;
+                }
             in
             Rpc.call t.shared.rpc ~src:t.addr ~dst:target
               ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:sp request
               (fenced t (fun response ->
                 Hashtbl.remove t.prefetch_in_flight item;
                 match response with
-                | Ok (Protocol.Av_grant { granted; donor_available }) ->
+                | Ok (Protocol.Av_grant { granted; donor_available; av_levels; sync }) ->
+                    note_sync_conveyed t target ~upto:sync_upto;
+                    apply_sync_counters t ~src:target sync;
+                    List.iter
+                      (fun (item, volume) ->
+                        Peer_view.observe t.view ~site:target ~item ~volume ~at:(now t))
+                      av_levels;
                     Peer_view.observe t.view ~site:target ~item ~volume:donor_available
                       ~at:(now t);
-                    span_field t sp "granted" (string_of_int granted);
+                    span_field_int t sp "granted" granted;
                     span_end t sp;
                     if granted > 0 then begin
                       t.metrics.Update.Metrics.av_volume_received <-
@@ -676,7 +864,7 @@ let acquire_av t ?parent ~item ~need k =
        an acquisition, and the quiet case would swamp the trace. *)
     let sp = span_start t ?parent ~category:"av" "av.acquire" in
     span_field t sp "item" item;
-    span_field t sp "need" (string_of_int need);
+    span_field_int t sp "need" need;
     let acquired = ref (Av_table.hold_all t.av ~item) in
     let tried = ref (Address.Set.singleton t.addr) in
     let rounds = ref 0 in
@@ -684,7 +872,8 @@ let acquire_av t ?parent ~item ~need k =
       av_ok "release" (Av_table.release t.av ~item !acquired);
       trace t ~level:Trace.Warn ~category:"av" "%a gives up acquiring %d of %s (%a)" Address.pp
         t.addr need item Update.pp_reason reason;
-      span_field t sp "reason" (Format.asprintf "%a" Update.pp_reason reason);
+      if tracing t then
+        span_field t sp "reason" (Format.asprintf "%a" Update.pp_reason reason);
       span_warn t sp;
       span_end t sp;
       k (Error reason)
@@ -695,7 +884,7 @@ let acquire_av t ?parent ~item ~need k =
         av_ok "release surplus" (Av_table.release t.av ~item (!acquired - need));
         trace t ~category:"av" "%a acquired %d of %s in %d rounds" Address.pp t.addr need item
           !rounds;
-        span_field t sp "rounds" (string_of_int !rounds);
+        span_field_int t sp "rounds" !rounds;
         span_end t sp;
         k (Ok !rounds)
       end
@@ -711,19 +900,30 @@ let acquire_av t ?parent ~item ~need k =
             incr rounds;
             t.metrics.Update.Metrics.av_requests_sent <-
               t.metrics.Update.Metrics.av_requests_sent + 1;
+            let sync, sync_upto = sync_piggyback_for t target in
             let request =
               Protocol.Av_request
                 {
                   item;
                   amount = need - !acquired;
                   requester_available = Av_table.available t.av ~item;
+                  sync;
                 }
             in
             Rpc.call t.shared.rpc ~src:t.addr ~dst:target
               ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:sp request
               (fenced t (fun response ->
                 (match response with
-                | Ok (Protocol.Av_grant { granted; donor_available }) ->
+                | Ok (Protocol.Av_grant { granted; donor_available; av_levels; sync }) ->
+                    (* The reply acknowledges the request's piggyback:
+                       counters up to [sync_upto] reached this peer, so
+                       later flushes can omit them. *)
+                    note_sync_conveyed t target ~upto:sync_upto;
+                    apply_sync_counters t ~src:target sync;
+                    List.iter
+                      (fun (item, volume) ->
+                        Peer_view.observe t.view ~site:target ~item ~volume ~at:(now t))
+                      av_levels;
                     Peer_view.observe t.view ~site:target ~item ~volume:donor_available
                       ~at:(now t);
                     if granted > 0 then begin
@@ -743,7 +943,7 @@ let acquire_av t ?parent ~item ~need k =
 let delay_update t ~item ~delta ~finish =
   let root = span_start t ~category:"update" "update.delay" in
   span_field t root "item" item;
-  span_field t root "delta" (string_of_int delta);
+  span_field_int t root "delta" delta;
   let finish outcome =
     (match outcome with
     | Update.Rejected _ -> span_warn t root
@@ -782,7 +982,7 @@ let delay_update t ~item ~delta ~finish =
    are released and nothing is applied. *)
 let batch_update t ~deltas ~finish =
   let root = span_start t ~category:"update" "update.delay_batch" in
-  span_field t root "items" (string_of_int (List.length deltas));
+  if tracing t then span_field t root "items" (string_of_int (List.length deltas));
   let finish outcome =
     (match outcome with
     | Update.Rejected _ -> span_warn t root
@@ -819,7 +1019,7 @@ let batch_update t ~deltas ~finish =
     List.iter
       (fun (item, delta) ->
         record_history t ~item ~delta ~path:"delay-batch";
-        add_pending_sync t ~item ~delta;
+        queue_sync t ~item ~delta;
         if delta >= 0 then begin
           match Av_table.mint t.av ~item delta with
           | Ok () -> ()
@@ -860,8 +1060,8 @@ let immediate_update t ~item ~delta ~finish =
   let txid = fresh_txid t in
   let root = span_start t ~category:"update" "update.immediate" in
   span_field t root "item" item;
-  span_field t root "delta" (string_of_int delta);
-  span_field t root "txid" (string_of_int txid);
+  span_field_int t root "delta" delta;
+  span_field_int t root "txid" txid;
   let finish outcome =
     (match outcome with
     | Update.Rejected _ -> span_warn t root
@@ -995,7 +1195,7 @@ let immediate_update t ~item ~delta ~finish =
 let centralized_update t ~item ~delta ~finish =
   let root = span_start t ~category:"update" "update.central" in
   span_field t root "item" item;
-  span_field t root "delta" (string_of_int delta);
+  span_field_int t root "delta" delta;
   let finish outcome =
     (match outcome with
     | Update.Rejected _ -> span_warn t root
@@ -1048,12 +1248,12 @@ let handle_join t ~reply =
   in
   let own =
     Hashtbl.fold
-      (fun item counter acc -> (Address.to_int t.addr, item, counter) :: acc)
-      t.sync_counters []
+      (fun item s acc -> (Address.to_int t.addr, item, s.version, s.cum) :: acc)
+      t.sync_out []
   in
   let applied =
     Hashtbl.fold
-      (fun (origin, item) counter acc -> (origin, item, counter) :: acc)
+      (fun (origin, item) (version, counter) acc -> (origin, item, version, counter) :: acc)
       t.applied_sync []
   in
   reply (Protocol.Join_snapshot { rows; sync_state = own @ applied })
@@ -1090,8 +1290,12 @@ let join t callback =
             if ok then begin
               Database.commit txn;
               List.iter
-                (fun (origin, item, counter) ->
-                  Hashtbl.replace t.applied_sync (origin, item) counter)
+                (fun (origin, item, version, counter) ->
+                  Hashtbl.replace t.applied_sync (origin, item) (version, counter);
+                  if
+                    version
+                    > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin)
+                  then Hashtbl.replace t.applied_high origin version)
                 sync_state;
               trace t ~category:"membership" "%a joined (%d items from base)" Address.pp
                 t.addr (List.length rows);
@@ -1184,8 +1388,9 @@ let submit_batch t ~deltas callback =
 
 let crash t =
   trace t ~level:Trace.Warn ~category:"fault" "%a crashed" Address.pp t.addr;
-  span_instant t ~status:Avdb_obs.Span.Warn ~category:"fault" "fault.crash"
-    ~fields:[ ("epoch", string_of_int t.epoch) ];
+  if tracing t then
+    span_instant t ~status:Avdb_obs.Span.Warn ~category:"fault" "fault.crash"
+      ~fields:[ ("epoch", string_of_int t.epoch) ];
   (* Bumping the epoch fences every closure created so far: timers and RPC
      continuations belonging to the dead incarnation become no-ops. *)
   t.epoch <- t.epoch + 1;
@@ -1225,7 +1430,7 @@ let reinstall_in_doubt t (e : Txn_log.entry) =
                  failwith (Printf.sprintf "Site.recover: re-apply tx%d: %s" txid err));
              ignore (Two_phase.Participant.on_prepare t.participant ~txid ~can_apply:true);
              let psp = span_start t ~category:"2pc" "2pc.participant.recovered" in
-             span_field t psp "txid" (string_of_int txid);
+             span_field_int t psp "txid" txid;
              span_field t psp "item" e.Txn_log.item;
              Hashtbl.replace t.participant_txns txid
                {
@@ -1263,12 +1468,13 @@ let install_recovered_coordinator t ~txid ~cohort decision =
       | Two_phase.Coordinator.Broadcast_decision d ->
           t.metrics.Update.Metrics.decision_rebroadcasts <-
             t.metrics.Update.Metrics.decision_rebroadcasts + 1;
-          span_instant t ~category:"2pc" "2pc.rebroadcast"
-            ~fields:
-              [
-                ("txid", string_of_int txid);
-                ("decision", Format.asprintf "%a" Two_phase.pp_decision d);
-              ];
+          if tracing t then
+            span_instant t ~category:"2pc" "2pc.rebroadcast"
+              ~fields:
+                [
+                  ("txid", string_of_int txid);
+                  ("decision", Format.asprintf "%a" Two_phase.pp_decision d);
+                ];
           List.iter
             (fun p ->
               Rpc.call t.shared.rpc ~src:t.addr ~dst:p
@@ -1367,8 +1573,9 @@ let recover t =
      the network is back up, so the replay can speak to the cohort. *)
   replay_protocol_log t;
   schedule_sync_flush t;
-  span_instant t ~category:"fault" "fault.recover"
-    ~fields:[ ("epoch", string_of_int t.epoch) ];
+  if tracing t then
+    span_instant t ~category:"fault" "fault.recover"
+      ~fields:[ ("epoch", string_of_int t.epoch) ];
   trace t ~category:"fault" "%a recovered (WAL + protocol log replayed)" Address.pp t.addr
 
 (* --- construction --- *)
@@ -1435,9 +1642,14 @@ let create shared ~addr ~av_init =
       coordinators = Hashtbl.create 16;
       txn_log = Txn_log.create ();
       metrics = Update.Metrics.create ();
-      pending_sync = Hashtbl.create 16;
-      sync_counters = Hashtbl.create 16;
+      sync_out = Hashtbl.create 16;
+      sync_seq = 0;
+      sync_flushed_seq = 0;
+      conveyed_sync = Hashtbl.create 8;
       applied_sync = Hashtbl.create 64;
+      applied_high = Hashtbl.create 8;
+      sync_rr = 0;
+      sync_rot_left = 0;
       prefetch_in_flight = Hashtbl.create 16;
       history_seq = 0;
       sync_flush_scheduled = false;
@@ -1450,8 +1662,8 @@ let create shared ~addr ~av_init =
   Rpc.serve shared.rpc addr
     ~handler:(fun ~src ~span request ~reply ->
       match request with
-      | Protocol.Av_request { item; amount; requester_available } ->
-          handle_av_request t ~src ~span ~item ~amount ~requester_available ~reply
+      | Protocol.Av_request { item; amount; requester_available; sync } ->
+          handle_av_request t ~src ~span ~item ~amount ~requester_available ~sync ~reply
       | Protocol.Central_update { item; delta } -> handle_central_update t ~item ~delta ~reply
       | Protocol.Prepare { txid; coordinator; cohort; item; delta } ->
           handle_prepare t ~span ~txid ~coordinator ~cohort ~item ~delta ~reply
@@ -1463,6 +1675,7 @@ let create shared ~addr ~av_init =
       | Protocol.Join_request -> handle_join t ~reply)
     ~notice:(fun ~src notice ->
       match notice with
-      | Protocol.Sync_counters { counters; av_info } -> handle_sync t ~src ~counters ~av_info)
+      | Protocol.Sync_counters { counters; av_info; ack } ->
+          handle_sync t ~src ~counters ~av_info ~ack)
     ();
   t

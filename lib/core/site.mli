@@ -38,6 +38,12 @@ val history_table : string
     [record_history] is configured). Columns: item, delta, path
     ("delay" | "delay-batch" | "immediate" | "central"). *)
 
+val history_key : int -> string
+(** Encode the [n]th audit row's key. Keys sort lexicographically in
+    insertion order: zero-padded six-digit decimals up to a million rows,
+    then one leading ['~'] per extra digit so longer keys follow every
+    shorter one. Exposed for the key-ordering test. *)
+
 val amount_of : t -> item:string -> int option
 (** Current local replica amount for an item. *)
 
@@ -66,12 +72,19 @@ val submit_batch : t -> deltas:(string * int) list -> (Update.result -> unit) ->
     ones with [Unknown_item]. Only available in autonomous mode
     ([Unreachable] in centralized mode or when the site is down). *)
 
-val flush_sync : t -> unit
-(** Immediately broadcasts pending Delay Update deltas to all peers
-    (flushes are otherwise debounced: the first pending delta arms one flush [sync_interval] later). *)
+val flush_sync : ?force:bool -> t -> unit
+(** Immediately sends pending Delay Update counters to the peers that do
+    not have them yet (flushes are otherwise debounced: the first pending
+    delta arms one flush [sync_interval] later). Counters a peer has
+    acknowledged through an AV-grant piggyback are omitted, and a fully
+    caught-up peer is skipped. [~force:true] broadcasts every counter to
+    every peer regardless — the convergence flush used at quiescence and
+    after recovery, which must not trust optimistic delivery state. *)
 
 val pending_sync_deltas : t -> (string * int) list
-(** Net per-item deltas applied locally and not yet broadcast, sorted. *)
+(** Cumulative net per-item counters whose latest local change has not yet
+    been broadcast, sorted by item. Empty exactly when every local delta
+    has been through at least one flush. *)
 
 val join : t -> ((unit, Update.reason) result -> unit) -> unit
 (** Fetches the base's current replica and sync state — the paper's

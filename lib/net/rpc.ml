@@ -103,14 +103,16 @@ let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
             if Queue.length order > reply_cache_capacity then
               Hashtbl.remove replies (Queue.pop order);
             (* Server-side span, child of the caller's span carried in the
-               envelope: covers handler start to the reply hitting the wire. *)
+               envelope: covers handler start to the reply hitting the wire.
+               A disabled tracer skips even the label concatenation. *)
             let serve_span =
-              Option.map
-                (fun tracer ->
-                  Avdb_obs.Tracer.start tracer ~at:(Engine.now t.engine)
-                    ?parent:ctx ~site:(Address.to_int addr) ~category:"rpc"
-                    ("serve:" ^ t.request_label body))
-                t.tracer
+              match t.tracer with
+              | Some tracer when Avdb_obs.Tracer.enabled tracer ->
+                  Some
+                    (Avdb_obs.Tracer.start tracer ~at:(Engine.now t.engine)
+                       ?parent:ctx ~site:(Address.to_int addr) ~category:"rpc"
+                       ("serve:" ^ t.request_label body))
+              | Some _ | None -> None
             in
             let finish_serve_span () =
               match (t.tracer, serve_span) with
@@ -166,16 +168,16 @@ let call t ~src ~dst ?timeout ?(retry = no_retry) ?span body continuation =
      [span]); without one, [span] itself propagates so servers can still
      parent onto the caller's context. *)
   let call_span =
-    Option.map
-      (fun tracer ->
+    match t.tracer with
+    | Some tracer when Avdb_obs.Tracer.enabled tracer ->
         let sp =
           Avdb_obs.Tracer.start tracer ~at:(Engine.now t.engine) ?parent:span
             ~site:(Address.to_int src) ~category:"rpc"
             ("call:" ^ t.request_label body)
         in
         Avdb_obs.Tracer.set_field tracer sp "dst" (Address.to_string dst);
-        sp)
-      t.tracer
+        Some sp
+    | Some _ | None -> None
   in
   let ctx = match call_span with Some _ -> call_span | None -> span in
   let p = { continuation; timeout_handle = None; call_span } in

@@ -1,5 +1,11 @@
+(* Span id 0 is the pre-allocated "null" id of the disabled fast path:
+   real ids start at 1, so 0 can never collide with a retained span and
+   every mutation on it is a cheap no-op. *)
+let null_id = 0
+
 type t = {
   capacity : int;
+  mutable enabled : bool;
   mutable next_id : int;
   mutable rev_spans : Span.t list;
   mutable count : int;
@@ -7,9 +13,10 @@ type t = {
   by_id : (Span.id, Span.t) Hashtbl.t;
 }
 
-let create ?(capacity = 262144) () =
+let create ?(capacity = 262144) ?(enabled = true) () =
   {
     capacity = Stdlib.max 1 capacity;
+    enabled;
     next_id = 1;
     rev_spans = [];
     count = 0;
@@ -17,51 +24,83 @@ let create ?(capacity = 262144) () =
     by_id = Hashtbl.create 1024;
   }
 
-let start t ~at ?parent ?site ~category name =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  if t.count >= t.capacity then t.dropped <- t.dropped + 1
-  else begin
-    let span =
-      {
-        Span.id;
-        parent;
-        site;
-        category;
-        name;
-        start = at;
-        stop = None;
-        status = Span.Ok;
-        rev_fields = [];
-      }
-    in
-    t.rev_spans <- span :: t.rev_spans;
-    t.count <- t.count + 1;
-    Hashtbl.replace t.by_id id span
-  end;
-  id
+let enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
 
-let find t id = Hashtbl.find_opt t.by_id id
+let start t ~at ?parent ?site ~category name =
+  if not t.enabled then null_id
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    if t.count >= t.capacity then t.dropped <- t.dropped + 1
+    else begin
+      let span =
+        {
+          Span.id;
+          parent;
+          site;
+          category;
+          name;
+          start = at;
+          stop = None;
+          status = Span.Ok;
+          rev_fields = [];
+        }
+      in
+      t.rev_spans <- span :: t.rev_spans;
+      t.count <- t.count + 1;
+      Hashtbl.replace t.by_id id span
+    end;
+    id
+  end
+
+let find t id = if id = null_id then None else Hashtbl.find_opt t.by_id id
 
 let set_field t id key value =
-  match find t id with
-  | Some s -> s.Span.rev_fields <- (key, value) :: s.Span.rev_fields
-  | None -> ()
+  if t.enabled then
+    match find t id with
+    | Some s -> s.Span.rev_fields <- (key, value) :: s.Span.rev_fields
+    | None -> ()
 
 let warn t id =
-  match find t id with Some s -> s.Span.status <- Span.Warn | None -> ()
+  if t.enabled then
+    match find t id with Some s -> s.Span.status <- Span.Warn | None -> ()
 
 let finish t ~at id =
-  match find t id with
-  | Some s -> if s.Span.stop = None then s.Span.stop <- Some at
-  | None -> ()
+  if t.enabled then
+    match find t id with
+    | Some s -> if s.Span.stop = None then s.Span.stop <- Some at
+    | None -> ()
 
+(* Built in one shot: same id, retention and field order as the historical
+   start -> set_field* -> warn? -> finish sequence, without the per-step
+   [by_id] lookups. *)
 let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category name =
-  let id = start t ~at ?parent ?site ~category name in
-  List.iter (fun (k, v) -> set_field t id k v) fields;
-  if status = Span.Warn then warn t id;
-  finish t ~at id;
-  id
+  if not t.enabled then null_id
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    if t.count >= t.capacity then t.dropped <- t.dropped + 1
+    else begin
+      let span =
+        {
+          Span.id;
+          parent;
+          site;
+          category;
+          name;
+          start = at;
+          stop = Some at;
+          status;
+          rev_fields = List.rev fields;
+        }
+      in
+      t.rev_spans <- span :: t.rev_spans;
+      t.count <- t.count + 1;
+      Hashtbl.replace t.by_id id span
+    end;
+    id
+  end
 
 let spans t = List.rev t.rev_spans
 let length t = t.count

@@ -9,12 +9,26 @@
 
     The tracer retains at most [capacity] spans; past that, new spans are
     allocated an id but not retained (counted in {!dropped}), and mutations
-    on unretained ids are no-ops. *)
+    on unretained ids are no-ops.
+
+    A disabled tracer (see {!set_enabled}) is the zero-overhead fast path:
+    {!start} and {!instant} return {!null_id} without allocating, and every
+    mutation on any id is a no-op. Runs that attach no exporter (bench,
+    nemesis) disable tracing so the hot paths pay nothing for it. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] defaults to 262144 spans (minimum 1). *)
+val null_id : Span.id
+(** The id every disabled-tracer operation returns. Never allocated to a
+    real span, so mutations on it are no-ops even once re-enabled. *)
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] defaults to 262144 spans (minimum 1); [enabled] to [true]. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Toggling does not discard spans already retained. *)
 
 val start :
   t ->
@@ -43,7 +57,9 @@ val instant :
   category:string ->
   string ->
   Span.id
-(** A zero-duration span: started and finished at [at]. *)
+(** A zero-duration span: started and finished at [at]. Built in one
+    allocation; equivalent to [start] followed by [set_field] for each
+    field in order, [warn] when [status] is [Warn], and [finish]. *)
 
 val find : t -> Span.id -> Span.t option
 (** [None] for dropped or never-allocated ids. *)

@@ -1,4 +1,7 @@
-type handle = { mutable cancelled : bool }
+(* A cancelled handle must decrement the live count exactly once, and only
+   while its entry is still in the heap — [in_queue] distinguishes "fired or
+   already swept" from "still pending", so cancel after pop is a no-op. *)
+type handle = { mutable cancelled : bool; mutable in_queue : bool; live : int ref }
 
 type 'a entry = { time : Time.t; seq : int; payload : 'a; handle : handle }
 
@@ -8,9 +11,13 @@ type 'a t = {
      absent; a dummy entry fills slot 0 of a fresh queue until first use. *)
   mutable size : int;
   mutable next_seq : int;
+  (* Count of live (non-cancelled, still-queued) entries, maintained
+     eagerly so [is_empty]/[length] are O(1) instead of a heap scan.
+     Shared with every handle: cancellation happens away from the queue. *)
+  live : int ref;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; live = ref 0 }
 
 let entry_before a b =
   match Time.compare a.time b.time with
@@ -50,22 +57,27 @@ let rec sift_down t i =
   end
 
 let add t ~time payload =
-  let handle = { cancelled = false } in
+  let handle = { cancelled = false; in_queue = true; live = t.live } in
   let entry = { time; seq = t.next_seq; payload; handle } in
   t.next_seq <- t.next_seq + 1;
   grow t entry;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
+  incr t.live;
   handle
 
 let cancel h =
-  h.cancelled <- true
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    if h.in_queue then decr h.live
+  end
 
 let is_cancelled h = h.cancelled
 
 let remove_root t =
   let root = t.heap.(0) in
+  root.handle.in_queue <- false;
   t.size <- t.size - 1;
   if t.size > 0 then begin
     t.heap.(0) <- t.heap.(t.size);
@@ -74,7 +86,8 @@ let remove_root t =
   root
 
 (* Discard cancelled entries sitting at the root: a cancel leaves its entry
-   in the heap, so dead entries are skipped lazily when they surface. *)
+   in the heap, so dead entries are skipped lazily when they surface. Their
+   live-count decrement already happened at [cancel] time. *)
 let rec drop_cancelled t =
   if t.size > 0 && t.heap.(0).handle.cancelled then begin
     ignore (remove_root t);
@@ -86,6 +99,7 @@ let pop t =
   if t.size = 0 then None
   else begin
     let e = remove_root t in
+    decr t.live;
     Some (e.time, e.payload)
   end
 
@@ -93,13 +107,6 @@ let peek_time t =
   drop_cancelled t;
   if t.size = 0 then None else Some t.heap.(0).time
 
-let live_count t =
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).handle.cancelled then incr n
-  done;
-  !n
-
-let is_empty t = live_count t = 0
-let length t = live_count t
+let is_empty t = !(t.live) = 0
+let length t = !(t.live)
 let scheduled_total t = t.next_seq

@@ -30,10 +30,11 @@ val peek_time : 'a t -> Time.t option
 (** Time of the earliest live event without removing it. *)
 
 val is_empty : 'a t -> bool
-(** True iff no live events remain. *)
+(** True iff no live events remain. O(1): a live counter is maintained by
+    [add]/[cancel]/[pop] rather than recomputed by scanning the heap. *)
 
 val length : 'a t -> int
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled) events. O(1). *)
 
 val scheduled_total : 'a t -> int
 (** Total number of [add]s over the queue's lifetime (diagnostic). *)

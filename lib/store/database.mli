@@ -38,6 +38,11 @@ val set_col : txn -> table:string -> key:string -> col:string -> Value.t -> (uni
 val add_int : txn -> table:string -> key:string -> col:string -> int -> (int, string) result
 (** Returns the new column value. *)
 
+val apply_int : t -> table:string -> key:string -> col:string -> int -> (int, string) result
+(** Autocommit [add_int]: a complete single-operation transaction (the WAL
+    records the usual Begin/Update/Commit triple) from one row lookup, with
+    none of the per-[txn] bookkeeping. The write path of Delay Update. *)
+
 val delete : txn -> table:string -> key:string -> (unit, string) result
 
 val get : t -> table:string -> key:string -> Value.t array option
@@ -45,6 +50,9 @@ val get : t -> table:string -> key:string -> Value.t array option
     is the caller's job (see {!Lock_manager}). *)
 
 val get_col : t -> table:string -> key:string -> col:string -> (Value.t, string) result
+
+val mem : t -> table:string -> key:string -> bool
+(** Key existence without materialising the row (no defensive copy). *)
 
 val commit : txn -> unit
 val abort : txn -> unit
@@ -73,6 +81,22 @@ val recover : ?name:string -> Wal.t -> t
 
 val save_file : t -> path:string -> (unit, string) result
 (** Writes the WAL to [path] (atomically: temp file + rename). *)
+
+(** Group-commit persistence: open a sink once, then [flush] after a batch
+    of transactions — each flush appends only the WAL suffix written since
+    the previous one, so a batch of commits costs a single file append.
+    The file always equals {!save_file}'s output for the flushed prefix;
+    {!load_file} reads it back (a torn tail from a crash mid-append is
+    dropped by recovery as usual). If the log was truncated or compacted
+    below the flushed point, the next flush rewrites the file whole. *)
+module Sink : sig
+  type sink
+
+  val open_ : t -> path:string -> (sink, string) result
+  (** Creates/overwrites [path] with the current log. *)
+
+  val flush : sink -> t -> (unit, string) result
+end
 
 val load_file : ?name:string -> path:string -> unit -> (t, string) result
 (** Reads a log written by {!save_file} and {!recover}s from it. *)

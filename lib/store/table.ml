@@ -86,7 +86,7 @@ let set_col t ~key ~col value =
             Ok old
           end)
 
-let add_int t ~key ~col delta =
+let add_int_swap t ~key ~col delta =
   match Btree.find t.rows ~key with
   | None -> Error (Printf.sprintf "no such key %S" key)
   | Some row -> (
@@ -99,7 +99,12 @@ let add_int t ~key ~col delta =
               let before = row.(i) in
               row.(i) <- v;
               indexes_on_update t key ~pos:i ~before ~after:v;
-              Ok (match v with Value.Int n -> n | v -> int_of_float (Value.as_float v))))
+              Ok (before, v)))
+
+let add_int t ~key ~col delta =
+  match add_int_swap t ~key ~col delta with
+  | Error _ as e -> e
+  | Ok (_, v) -> Ok (match v with Value.Int n -> n | v -> int_of_float (Value.as_float v))
 
 let delete t ~key =
   match Btree.remove t.rows ~key with

@@ -22,6 +22,10 @@ val add_int : t -> key:string -> col:string -> int -> (int, string) result
 (** Adds a delta to a numeric column; returns the new value as int
     (truncated for float columns). *)
 
+val add_int_swap : t -> key:string -> col:string -> int -> (Value.t * Value.t, string) result
+(** Like {!add_int} but returns [(before, after)] from a single row
+    lookup — the write path's fast primitive (the WAL needs both sides). *)
+
 val delete : t -> key:string -> Value.t array option
 (** Returns the removed row, or [None] if the key was absent. *)
 

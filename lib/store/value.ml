@@ -73,11 +73,6 @@ let to_string v = Format.asprintf "%a" pp v
 
 (* Encoding: a type tag, ':', then the payload. Strings are hex-escaped so
    the encoding stays single-line regardless of content. *)
-let hex_encode s =
-  let buf = Buffer.create (String.length s * 2) in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
-  Buffer.contents buf
-
 let hex_decode s =
   if String.length s mod 2 <> 0 then Error "odd hex length"
   else
@@ -87,11 +82,35 @@ let hex_decode s =
              Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
     with _ -> Error "bad hex"
 
-let encode = function
+let hex_digit = "0123456789abcdef"
+
+let encode_into buf = function
+  | Int n ->
+      Buffer.add_string buf "i:";
+      Buffer.add_string buf (string_of_int n)
+  | Float x ->
+      Buffer.add_string buf "f:";
+      Buffer.add_string buf (Printf.sprintf "%h" x)
+  | Str s ->
+      Buffer.add_string buf "s:";
+      String.iter
+        (fun c ->
+          let b = Char.code c in
+          Buffer.add_char buf hex_digit.[b lsr 4];
+          Buffer.add_char buf hex_digit.[b land 0xf])
+        s
+  | Bool b ->
+      Buffer.add_string buf "b:";
+      Buffer.add_string buf (string_of_bool b)
+
+let encode v =
+  match v with
   | Int n -> "i:" ^ string_of_int n
-  | Float x -> "f:" ^ Printf.sprintf "%h" x
-  | Str s -> "s:" ^ hex_encode s
   | Bool b -> "b:" ^ string_of_bool b
+  | Float _ | Str _ ->
+      let buf = Buffer.create 24 in
+      encode_into buf v;
+      Buffer.contents buf
 
 let decode s =
   match String.index_opt s ':' with

@@ -33,4 +33,8 @@ val to_string : t -> string
 val encode : t -> string
 (** Reversible single-line encoding, used by the write-ahead log. *)
 
+val encode_into : Buffer.t -> t -> unit
+(** Appends exactly what {!encode} returns — the allocation-free spelling
+    for bulk serialisation (hex escaping writes nibbles directly). *)
+
 val decode : string -> (t, string) result

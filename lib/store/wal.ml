@@ -6,11 +6,21 @@ type record =
   | Delete of { txid : int; table : string; key : string; row : Value.t array }
   | Commit of int
   | Abort of int
+  | Apply of { txid : int; table : string; key : string; col : string; before : Value.t; after : Value.t }
 
-type t = { mutable records : record list; mutable count : int }
+type t = {
+  mutable records : record list;
+  mutable count : int;
+  (* Serialisation cache: [enc] holds the encoding of the first [enc_upto]
+     records, so repeated [to_string]/[output] calls after appends encode
+     only the new suffix instead of the whole history. Invalidated by
+     [truncate] (the only operation that rewrites history). *)
+  enc : Buffer.t;
+  mutable enc_upto : int;
+}
 (* Records are kept newest-first for O(1) append. *)
 
-let create () = { records = []; count = 0 }
+let create () = { records = []; count = 0; enc = Buffer.create 256; enc_upto = 0 }
 
 let append t r =
   t.records <- r :: t.records;
@@ -28,11 +38,17 @@ let truncate t n =
   if n < 0 || n > t.count then invalid_arg "Wal.truncate";
   let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
   t.records <- drop (t.count - n) t.records;
-  t.count <- n
+  t.count <- n;
+  Buffer.reset t.enc;
+  t.enc_upto <- 0
 
 let committed_txids t =
   let tbl = Hashtbl.create 64 in
-  List.iter (function Commit txid -> Hashtbl.replace tbl txid () | _ -> ()) t.records;
+  List.iter
+    (function
+      | Commit txid | Apply { txid; _ } -> Hashtbl.replace tbl txid ()
+      | _ -> ())
+    t.records;
   tbl
 
 (* --- encoding --- *)
@@ -40,7 +56,7 @@ let committed_txids t =
 (* Fields are separated by '|'; strings (table names, keys, columns) are
    hex-escaped through Value.encode's Str case so the separator can never
    appear inside a field. *)
-let enc_str s = Value.encode (Value.Str s)
+let enc_str_into buf s = Value.encode_into buf (Value.Str s)
 
 let dec_str s =
   match Value.decode s with
@@ -48,7 +64,12 @@ let dec_str s =
   | Ok _ -> Error "expected string field"
   | Error e -> Error e
 
-let enc_row row = String.concat "," (Array.to_list (Array.map Value.encode row))
+let enc_row_into buf row =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Value.encode_into buf v)
+    row
 
 let dec_row s =
   if s = "" then Ok [||]
@@ -68,25 +89,66 @@ let ty_of_name = function
   | "bool" -> Ok Value.Tbool
   | s -> Error ("unknown type " ^ s)
 
-let encode_record = function
+let encode_record_into buf record =
+  let tag c txid =
+    Buffer.add_char buf c;
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int txid)
+  in
+  let field_str s =
+    Buffer.add_char buf '|';
+    enc_str_into buf s
+  in
+  match record with
   | Create_table { table; columns } ->
-      let cols =
-        String.concat ","
-          (List.map
-             (fun { Schema.name; ty } -> enc_str name ^ "=" ^ Value.ty_name ty)
-             columns)
-      in
-      Printf.sprintf "T|%s|%s" (enc_str table) cols
-  | Begin txid -> Printf.sprintf "B|%d" txid
+      Buffer.add_string buf "T";
+      field_str table;
+      Buffer.add_char buf '|';
+      List.iteri
+        (fun i { Schema.name; ty } ->
+          if i > 0 then Buffer.add_char buf ',';
+          enc_str_into buf name;
+          Buffer.add_char buf '=';
+          Buffer.add_string buf (Value.ty_name ty))
+        columns
+  | Begin txid -> tag 'B' txid
   | Insert { txid; table; key; row } ->
-      Printf.sprintf "I|%d|%s|%s|%s" txid (enc_str table) (enc_str key) (enc_row row)
+      tag 'I' txid;
+      field_str table;
+      field_str key;
+      Buffer.add_char buf '|';
+      enc_row_into buf row
   | Update { txid; table; key; col; before; after } ->
-      Printf.sprintf "U|%d|%s|%s|%s|%s|%s" txid (enc_str table) (enc_str key) (enc_str col)
-        (Value.encode before) (Value.encode after)
+      tag 'U' txid;
+      field_str table;
+      field_str key;
+      field_str col;
+      Buffer.add_char buf '|';
+      Value.encode_into buf before;
+      Buffer.add_char buf '|';
+      Value.encode_into buf after
   | Delete { txid; table; key; row } ->
-      Printf.sprintf "D|%d|%s|%s|%s" txid (enc_str table) (enc_str key) (enc_row row)
-  | Commit txid -> Printf.sprintf "C|%d" txid
-  | Abort txid -> Printf.sprintf "A|%d" txid
+      tag 'D' txid;
+      field_str table;
+      field_str key;
+      Buffer.add_char buf '|';
+      enc_row_into buf row
+  | Commit txid -> tag 'C' txid
+  | Abort txid -> tag 'A' txid
+  | Apply { txid; table; key; col; before; after } ->
+      tag 'P' txid;
+      field_str table;
+      field_str key;
+      field_str col;
+      Buffer.add_char buf '|';
+      Value.encode_into buf before;
+      Buffer.add_char buf '|';
+      Value.encode_into buf after
+
+let encode_record record =
+  let buf = Buffer.create 64 in
+  encode_record_into buf record;
+  Buffer.contents buf
 
 let ( let* ) = Result.bind
 
@@ -139,9 +201,48 @@ let decode_record line =
   | [ "A"; txid ] ->
       let* txid = int_field txid in
       Ok (Abort txid)
+  | [ "P"; txid; table; key; col; before; after ] ->
+      let* txid = int_field txid in
+      let* table = dec_str table in
+      let* key = dec_str key in
+      let* col = dec_str col in
+      let* before = Value.decode before in
+      let* after = Value.decode after in
+      Ok (Apply { txid; table; key; col; before; after })
   | _ -> Error ("Wal.decode_record: malformed line " ^ line)
 
-let to_string t = String.concat "\n" (List.map encode_record (records t))
+(* Bring the cache up to date: encode records [enc_upto, count) onto the
+   tail of [enc]. The suffix is the first [count - enc_upto] elements of the
+   newest-first list, reversed back into append order. *)
+let refresh_cache t =
+  if t.enc_upto < t.count then begin
+    let rec take n l acc = if n = 0 then acc else take (n - 1) (List.tl l) (List.hd l :: acc) in
+    let suffix = take (t.count - t.enc_upto) t.records [] in
+    List.iter
+      (fun r ->
+        if Buffer.length t.enc > 0 then Buffer.add_char t.enc '\n';
+        encode_record_into t.enc r)
+      suffix;
+    t.enc_upto <- t.count
+  end
+
+let to_string t =
+  refresh_cache t;
+  Buffer.contents t.enc
+
+(* Group commit's flush primitive: records [from, length) as one encoded
+   chunk, O(suffix) not O(log). Each record after the log's very first is
+   preceded by its '\n' separator, so appending successive chunks to a file
+   reproduces [to_string] byte for byte. *)
+let encode_suffix_into buf t ~from =
+  if from < 0 || from > t.count then invalid_arg "Wal.encode_suffix_into";
+  let rec take n l acc = if n = 0 then acc else take (n - 1) (List.tl l) (List.hd l :: acc) in
+  let suffix = take (t.count - from) t.records [] in
+  List.iteri
+    (fun i r ->
+      if from + i > 0 then Buffer.add_char buf '\n';
+      encode_record_into buf r)
+    suffix
 
 let of_string s =
   let t = create () in
@@ -172,11 +273,15 @@ let equal_record a b =
   | Update x, Update y ->
       x.txid = y.txid && x.table = y.table && x.key = y.key && x.col = y.col
       && Value.equal x.before y.before && Value.equal x.after y.after
+  | Apply x, Apply y ->
+      x.txid = y.txid && x.table = y.table && x.key = y.key && x.col = y.col
+      && Value.equal x.before y.before && Value.equal x.after y.after
   | Delete x, Delete y ->
       x.txid = y.txid && x.table = y.table && x.key = y.key
       && Array.length x.row = Array.length y.row
       && Array.for_all2 Value.equal x.row y.row
-  | (Create_table _ | Begin _ | Insert _ | Update _ | Delete _ | Commit _ | Abort _), _ ->
+  | (Create_table _ | Begin _ | Insert _ | Update _ | Delete _ | Commit _ | Abort _ | Apply _), _
+    ->
       false
 
 let pp_record ppf r = Format.pp_print_string ppf (encode_record r)

@@ -14,6 +14,11 @@ type record =
   | Delete of { txid : int; table : string; key : string; row : Value.t array }
   | Commit of int
   | Abort of int
+  | Apply of { txid : int; table : string; key : string; col : string; before : Value.t; after : Value.t }
+      (** A complete single-operation committed transaction in one record —
+          the autocommit write path ({!Database.apply_int}) logs this
+          instead of a Begin/Update/Commit triple. Atomic by construction:
+          a torn tail either keeps the whole update or none of it. *)
 
 type t
 
@@ -35,10 +40,23 @@ val truncate : t -> int -> unit
 val committed_txids : t -> (int, unit) Hashtbl.t
 
 val encode_record : record -> string
+
+val encode_record_into : Buffer.t -> record -> unit
+(** Appends exactly what {!encode_record} returns. *)
+
 val decode_record : string -> (record, string) result
 
 val to_string : t -> string
-(** One record per line. *)
+(** One record per line. Incremental: the log caches the encoding of its
+    stable prefix, so calling this after every few appends costs the new
+    suffix (plus a copy), not a full re-encode. [truncate] drops the
+    cache. *)
+
+val encode_suffix_into : Buffer.t -> t -> from:int -> unit
+(** Appends records [from, length t) — group commit's flush primitive.
+    Chunks written for successive [from] positions concatenate to exactly
+    {!to_string}: every record after the log's first carries a leading
+    newline separator. *)
 
 val of_string : string -> (t, string) result
 (** Parses a serialised log. An undecodable {e final} line is treated as a

@@ -70,7 +70,8 @@ let test_protocol_printers () =
   let render_resp r = Format.asprintf "%a" Protocol.pp_response r in
   let reqs =
     [
-      Protocol.Av_request { item = "x"; amount = 3; requester_available = 1 };
+      Protocol.Av_request
+        { item = "x"; amount = 3; requester_available = 1; sync = [ ("x", 2, 5) ] };
       Protocol.Central_update { item = "x"; delta = -2 };
       Protocol.Prepare
         {
@@ -89,7 +90,8 @@ let test_protocol_printers () =
   List.iter (fun r -> Alcotest.(check bool) "request renders" true (render_req r <> "")) reqs;
   let resps =
     [
-      Protocol.Av_grant { granted = 1; donor_available = 2 };
+      Protocol.Av_grant
+        { granted = 1; donor_available = 2; av_levels = [ ("x", 2) ]; sync = [] };
       Protocol.Central_ack { status = Protocol.Central_applied; new_amount = 3 };
       Protocol.Central_ack { status = Protocol.Central_insufficient; new_amount = 0 };
       Protocol.Central_ack { status = Protocol.Central_unknown_item; new_amount = 0 };
@@ -107,7 +109,7 @@ let test_protocol_printers () =
   List.iter (fun r -> Alcotest.(check bool) "response renders" true (render_resp r <> "")) resps;
   Alcotest.(check bool) "notice renders" true
     (Format.asprintf "%a" Protocol.pp_notice
-       (Protocol.Sync_counters { counters = [ ("x", 1) ]; av_info = [] })
+       (Protocol.Sync_counters { counters = [ ("x", 1, 1) ]; av_info = []; ack = [ (0, 1) ] })
     <> "")
 
 (* --- Centralized-mode edge cases --- *)

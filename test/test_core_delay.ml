@@ -234,6 +234,140 @@ let test_sync_gossips_av_info () =
       | None -> Alcotest.failf "site%d never heard about site1's AV" observer)
     [ 0; 2 ]
 
+let test_sync_fanout_rotation_converges () =
+  (* With [sync_fanout = Some 1] each periodic flush notifies a single
+     peer, rotating round-robin; the cumulative counters mean whichever
+     flush reaches a peer carries everything it missed, so the replicas
+     still converge from the timer alone — just over more intervals. *)
+  let config =
+    {
+      (small_config ()) with
+      Config.sync_interval = Some (Time.of_ms 20.);
+      sync_fanout = Some 1;
+    }
+  in
+  let cluster = Cluster.create config in
+  ignore (submit cluster 0 ~delta:18);
+  ignore (submit cluster 1 ~delta:(-9));
+  Cluster.run ~until:(Time.of_ms 400.) cluster;
+  Alcotest.(check (list int)) "rotation alone converges" [ 109; 109; 109 ]
+    (Cluster.replica_amounts cluster ~item:"widget");
+  match Cluster.check_invariants cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_sync_fanout_sends_fewer_messages () =
+  (* Sustained traffic, broadcast vs rotation: with a fresh delta every
+     interval, broadcast re-notifies every peer per flush while fanout
+     notifies one, so rotation must strictly reduce the message count —
+     and still agree on the final replicas. A single burst would not show
+     the difference (its rotation eventually covers everyone anyway). *)
+  let run fanout =
+    let config =
+      {
+        (small_config ()) with
+        Config.sync_interval = Some (Time.of_ms 20.);
+        sync_fanout = fanout;
+      }
+    in
+    let cluster = Cluster.create config in
+    for round = 0 to 9 do
+      Site.submit_update (Cluster.site cluster 0) ~item:"widget" ~delta:(-1) (fun _ -> ());
+      Cluster.run ~until:(Time.of_ms (20. *. float_of_int (round + 1))) cluster
+    done;
+    Cluster.run cluster;
+    ( Avdb_net.Stats.total_sent (Cluster.net_stats cluster),
+      Cluster.replica_amounts cluster ~item:"widget" )
+  in
+  let broadcast_sent, broadcast_replicas = run None in
+  let fanout_sent, fanout_replicas = run (Some 1) in
+  Alcotest.(check (list int)) "same converged replicas" broadcast_replicas fanout_replicas;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer messages (%d < %d)" fanout_sent broadcast_sent)
+    true (fanout_sent < broadcast_sent)
+
+let test_sync_acks_suppress_resend () =
+  (* Counters a peer has acknowledged — via the ack vector riding its own
+     notices — are omitted from later flushes; once everyone is caught up
+     a flush sends nothing at all. *)
+  let config =
+    { (small_config ()) with Config.sync_interval = Some (Time.of_ms 50.) }
+  in
+  let cluster = Cluster.create config in
+  (* Every site makes a change so every site has notices of its own for
+     the ack vector to ride on. *)
+  ignore (submit cluster 0 ~delta:18);
+  ignore (submit cluster 1 ~delta:(-9));
+  ignore (submit cluster 2 ~delta:(-4));
+  (* First flush round delivers the counters; the second's notices carry
+     each receiver's ack vector back to the origins. *)
+  Cluster.flush_all_syncs cluster;
+  Cluster.flush_all_syncs cluster;
+  let sent_before = Avdb_net.Stats.total_sent (Cluster.net_stats cluster) in
+  (* Nothing new happened: a debounced (non-force) flush must send zero
+     notices because every counter is acknowledged everywhere. *)
+  Array.iter (fun s -> Site.flush_sync s) (Cluster.sites cluster);
+  Cluster.run cluster;
+  Alcotest.(check int) "acked counters not resent" sent_before
+    (Avdb_net.Stats.total_sent (Cluster.net_stats cluster))
+
+let test_av_request_piggybacks_sync () =
+  (* Pending sync counters ride AV requests: the donor's replica freshens
+     from the request itself, before any periodic flush fires. *)
+  let config =
+    { (small_config ()) with Config.sync_interval = Some (Time.of_ms 10_000.) }
+  in
+  let cluster = Cluster.create config in
+  (* Local update queues a delta at site 1 (within its AV share of 33).
+     Bounded runs keep us well inside the 10 s sync interval, so the
+     periodic flush never fires during the test. *)
+  Site.submit_update (Cluster.site cluster 1) ~item:"widget" ~delta:(-20) (fun _ -> ());
+  Cluster.run ~until:(Time.of_ms 50.) cluster;
+  Alcotest.(check (option int)) "donor replica stale before request" (Some 100)
+    (Site.amount_of (Cluster.site cluster 0) ~item:"widget");
+  (* A shortage then forces an AV request carrying that queued delta: the
+     donor's replica freshens from the request alone. *)
+  let result = ref None in
+  Site.submit_update (Cluster.site cluster 1) ~item:"widget" ~delta:(-30) (fun r ->
+      result := Some r);
+  Cluster.run ~until:(Time.of_ms 100.) cluster;
+  Alcotest.(check bool) "transfer applied" true (Update.is_applied (Option.get !result));
+  Alcotest.(check (option int)) "donor replica freshened by piggyback" (Some 80)
+    (Site.amount_of (Cluster.site cluster 0) ~item:"widget")
+
+let test_sync_reorder_duplicate_safety () =
+  (* Heavy duplication + reordering on the sync path: the per-(origin,
+     item) version check must make stale or replayed counters harmless, so
+     replicas converge to the exact total. *)
+  let config =
+    {
+      (small_config ()) with
+      Config.sync_interval = Some (Time.of_ms 20.);
+      duplicate_probability = 0.4;
+      reorder_probability = 0.5;
+    }
+  in
+  let cluster = Cluster.create config in
+  let applied = ref 0 in
+  for i = 1 to 30 do
+    let delta = if i mod 4 = 0 then 3 else -2 in
+    Site.submit_update (Cluster.site cluster (i mod 3)) ~item:"widget" ~delta (fun r ->
+        if Update.is_applied r then applied := !applied + delta)
+  done;
+  Cluster.run cluster;
+  Cluster.set_duplicate_probability cluster 0.;
+  Cluster.set_reorder_probability cluster 0.;
+  Cluster.flush_all_syncs cluster;
+  Alcotest.(check bool) "duplicates actually injected" true
+    (Avdb_net.Stats.total_duplicated (Cluster.net_stats cluster) > 0);
+  let expected = 100 + !applied in
+  Alcotest.(check (list int)) "exact convergence despite chaos"
+    [ expected; expected; expected ]
+    (Cluster.replica_amounts cluster ~item:"widget");
+  match Cluster.check_invariants cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -271,6 +405,14 @@ let suites =
         Alcotest.test_case "periodic sync" `Quick test_periodic_sync_runs_unaided;
         Alcotest.test_case "peer view warms up" `Quick test_view_warms_up;
         Alcotest.test_case "sync gossips AV info" `Quick test_sync_gossips_av_info;
+        Alcotest.test_case "sync fanout rotation converges" `Quick
+          test_sync_fanout_rotation_converges;
+        Alcotest.test_case "sync fanout sends fewer messages" `Quick
+          test_sync_fanout_sends_fewer_messages;
+        Alcotest.test_case "sync acks suppress resend" `Quick test_sync_acks_suppress_resend;
+        Alcotest.test_case "AV request piggybacks sync" `Quick test_av_request_piggybacks_sync;
+        Alcotest.test_case "sync reorder/duplicate safety" `Quick
+          test_sync_reorder_duplicate_safety;
         Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
         Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
       ]

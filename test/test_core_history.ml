@@ -99,6 +99,32 @@ let test_history_queryable () =
   | Ok n -> Alcotest.(check int) "two negative updates" 2 n
   | Error e -> Alcotest.fail e
 
+(* History rows iterate in key order, so the key encoder must keep
+   lexicographic order equal to numeric order — including across the
+   six-digit boundary, where plain "%06d" breaks ("1000000" < "999999"
+   as strings). *)
+let test_history_key_ordering () =
+  Alcotest.(check string) "zero-padded" "000000" (Site.history_key 0);
+  Alcotest.(check string) "matches %06d below a million" (Printf.sprintf "%06d" 4321)
+    (Site.history_key 4321);
+  Alcotest.(check string) "widening is marked" "~1000000" (Site.history_key 1_000_000);
+  let samples =
+    [ 0; 1; 9; 10; 99_999; 100_000; 999_999; 1_000_000; 1_000_001; 9_999_999; 10_000_000 ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "key order %d vs %d" n m)
+            (compare n m < 0)
+            (String.compare (Site.history_key n) (Site.history_key m) < 0))
+        samples)
+    samples;
+  match Site.history_key (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative key accepted"
+
 let test_off_by_default () =
   let cluster =
     Cluster.create
@@ -118,6 +144,7 @@ let suites =
         Alcotest.test_case "central at base only" `Quick test_central_recorded_at_base_only;
         Alcotest.test_case "survives recovery" `Quick test_history_survives_recovery;
         Alcotest.test_case "queryable" `Quick test_history_queryable;
+        Alcotest.test_case "key ordering" `Quick test_history_key_ordering;
         Alcotest.test_case "off by default" `Quick test_off_by_default;
       ] );
   ]

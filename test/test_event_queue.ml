@@ -109,6 +109,52 @@ let qcheck_tests =
           entries;
         let popped = List.map fst (drain q) in
         popped = List.sort compare !kept);
+    (* Interleaved add/cancel/pop against a reference model: after every
+       operation the pop result, live count and emptiness must match a
+       naive sorted-list implementation. Exercises the O(1) live counter
+       through all three mutation paths, including cancelling entries that
+       already popped or were already cancelled. *)
+    Test.make ~name:"add/cancel/pop agrees with reference model" ~count:300
+      (list_of_size Gen.(int_range 0 150) (pair (int_bound 2) (int_bound 1_000)))
+      (fun ops ->
+        let q = Event_queue.create () in
+        (* model: live (seq, time) entries, plus every handle ever made *)
+        let model = ref [] and handles = ref [||] and seq = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun (op, n) ->
+            (match op with
+            | 0 ->
+                let h = Event_queue.add q ~time:(t_us n) !seq in
+                model := (!seq, n) :: !model;
+                handles := Array.append !handles [| (h, !seq) |];
+                incr seq
+            | 1 ->
+                if Array.length !handles > 0 then begin
+                  let h, id = !handles.(n mod Array.length !handles) in
+                  Event_queue.cancel h;
+                  model := List.filter (fun (id', _) -> id' <> id) !model
+                end
+            | _ ->
+                let expect =
+                  match
+                    List.sort (fun (s1, t1) (s2, t2) -> compare (t1, s1) (t2, s2)) !model
+                  with
+                  | [] -> None
+                  | ((id, time) as hd) :: _ ->
+                      model := List.filter (fun e -> e <> hd) !model;
+                      Some (time, id)
+                in
+                let got =
+                  Option.map (fun (time, id) -> (Time.to_us time, id)) (Event_queue.pop q)
+                in
+                if got <> expect then ok := false);
+            if
+              Event_queue.length q <> List.length !model
+              || Event_queue.is_empty q <> (!model = [])
+            then ok := false)
+          ops;
+        !ok);
     Test.make ~name:"length counts live entries" ~count:300
       (list_of_size Gen.(int_range 0 100) (pair (int_bound 1_000) bool))
       (fun entries ->

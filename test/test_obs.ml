@@ -192,6 +192,51 @@ let test_tracer_capacity () =
   Obs.Tracer.warn tr c;
   Obs.Tracer.finish tr ~at:(Time.of_us 5) c
 
+(* [instant] is the one-allocation shortcut for zero-duration spans; it
+   must produce exactly the span the historical start -> set_field* ->
+   warn? -> finish sequence did, id aside. *)
+let test_tracer_instant_equivalence () =
+  let longhand = Obs.Tracer.create () in
+  let id = Obs.Tracer.start longhand ~at:(Time.of_us 7) ~parent:5 ~site:2 ~category:"c" "n" in
+  Obs.Tracer.set_field longhand id "a" "1";
+  Obs.Tracer.set_field longhand id "b" "2";
+  Obs.Tracer.warn longhand id;
+  Obs.Tracer.finish longhand ~at:(Time.of_us 7) id;
+  let shorthand = Obs.Tracer.create () in
+  let id' =
+    Obs.Tracer.instant shorthand ~at:(Time.of_us 7) ~parent:5 ~site:2 ~status:Obs.Span.Warn
+      ~fields:[ ("a", "1"); ("b", "2") ]
+      ~category:"c" "n"
+  in
+  Alcotest.(check int) "same id allocation" id id';
+  let l = Option.get (Obs.Tracer.find longhand id) in
+  let s = Option.get (Obs.Tracer.find shorthand id') in
+  Alcotest.(check bool) "identical span" true (l = s);
+  Alcotest.(check (list (pair string string))) "fields in set order"
+    [ ("a", "1"); ("b", "2") ]
+    (Obs.Span.fields s)
+
+let test_tracer_disabled () =
+  let tr = Obs.Tracer.create ~enabled:false () in
+  Alcotest.(check bool) "reports disabled" false (Obs.Tracer.enabled tr);
+  let a = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "a" in
+  let b = Obs.Tracer.instant tr ~at:Time.zero ~category:"t" "b" in
+  Alcotest.(check (list int)) "both null_id" [ Obs.Tracer.null_id; Obs.Tracer.null_id ] [ a; b ];
+  (* the null id must be dead: mutations no-op, lookups miss *)
+  Obs.Tracer.set_field tr a "k" "v";
+  Obs.Tracer.warn tr a;
+  Obs.Tracer.finish tr ~at:(Time.of_us 1) a;
+  Alcotest.(check int) "nothing retained" 0 (Obs.Tracer.length tr);
+  Alcotest.(check int) "nothing dropped either" 0 (Obs.Tracer.dropped tr);
+  Alcotest.(check bool) "null_id not found" true (Obs.Tracer.find tr a = None);
+  (* re-enabling starts real ids above null_id and never resurrects it *)
+  Obs.Tracer.set_enabled tr true;
+  let c = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "c" in
+  Alcotest.(check bool) "real id after re-enable" true (c <> Obs.Tracer.null_id);
+  Obs.Tracer.set_field tr Obs.Tracer.null_id "k" "v";
+  Alcotest.(check bool) "null_id still dead" true (Obs.Tracer.find tr Obs.Tracer.null_id = None);
+  Alcotest.(check int) "only the live span retained" 1 (Obs.Tracer.length tr)
+
 (* --- registry --- *)
 
 let test_registry () =
@@ -411,11 +456,56 @@ let test_determinism () =
     ( Obs.Exporter.spans_to_jsonl (Cluster.tracer cluster),
       Obs.Exporter.series_csv (Cluster.registry cluster) )
   in
-  let spans1, csv1 = export (seeded_scm_run ()) in
-  let spans2, csv2 = export (seeded_scm_run ()) in
+  let run1 = seeded_scm_run () in
+  let run2 = seeded_scm_run () in
+  let spans1, csv1 = export run1 in
+  let spans2, csv2 = export run2 in
   Alcotest.(check bool) "traced something" true (String.length spans1 > 0);
   Alcotest.(check string) "same seed, same span tree" spans1 spans2;
-  Alcotest.(check string) "same seed, same time series" csv1 csv2
+  Alcotest.(check string) "same seed, same time series" csv1 csv2;
+  Alcotest.(check string) "same seed, same chrome trace"
+    (Obs.Exporter.chrome_trace (Cluster.tracer run1))
+    (Obs.Exporter.chrome_trace (Cluster.tracer run2))
+
+let test_tracing_flag_does_not_perturb_simulation () =
+  (* The disabled-tracer fast path must change only observability, never
+     the simulation: same seed with tracing off reaches the same replicas,
+     metric counters and time series — just no spans. *)
+  let run tracing =
+    let config =
+      {
+        Config.default with
+        Config.products = Product.catalogue ~n_regular:5 ~n_non_regular:0 ~initial_amount:30;
+        snapshot_interval = Some (Time.of_ms 50.);
+        tracing;
+      }
+    in
+    let cluster = Cluster.create config in
+    let workload =
+      Avdb_workload.Scm.create
+        (Avdb_workload.Scm.paper_spec ~n_items:5 ~initial_amount:30 ())
+        ~seed:2000
+    in
+    ignore
+      (Runner.run cluster ~nth_update:(Avdb_workload.Scm.generator workload)
+         ~total_updates:300 ());
+    cluster
+  in
+  let on = run true and off = run false in
+  for i = 0 to 4 do
+    let item = "product" ^ string_of_int i in
+    Alcotest.(check (list int))
+      (item ^ " replicas agree")
+      (Cluster.replica_amounts on ~item)
+      (Cluster.replica_amounts off ~item)
+  done;
+  Alcotest.(check int) "same correspondences" (Cluster.total_correspondences on)
+    (Cluster.total_correspondences off);
+  Alcotest.(check string) "same time series"
+    (Obs.Exporter.series_csv (Cluster.registry on))
+    (Obs.Exporter.series_csv (Cluster.registry off));
+  Alcotest.(check bool) "tracing-on retained spans" true (Obs.Tracer.length (Cluster.tracer on) > 0);
+  Alcotest.(check int) "tracing-off retained none" 0 (Obs.Tracer.length (Cluster.tracer off))
 
 let suites =
   [
@@ -423,11 +513,15 @@ let suites =
       [
         Alcotest.test_case "tracer basics" `Quick test_tracer_basics;
         Alcotest.test_case "tracer capacity" `Quick test_tracer_capacity;
+        Alcotest.test_case "tracer instant equivalence" `Quick test_tracer_instant_equivalence;
+        Alcotest.test_case "tracer disabled" `Quick test_tracer_disabled;
         Alcotest.test_case "registry" `Quick test_registry;
         Alcotest.test_case "av span tree crosses the wire" `Quick test_av_span_tree;
         Alcotest.test_case "snapshot cadence" `Quick test_snapshot_cadence;
         Alcotest.test_case "invariant probe" `Quick test_invariant_probe;
         Alcotest.test_case "exporters well-formed" `Quick test_exporters_well_formed;
         Alcotest.test_case "deterministic exports" `Quick test_determinism;
+        Alcotest.test_case "tracing flag does not perturb simulation" `Quick
+          test_tracing_flag_does_not_perturb_simulation;
       ] );
   ]

@@ -22,6 +22,15 @@ let sample_records =
         after = Value.Int 8;
       };
     Wal.Commit 0;
+    Wal.Apply
+      {
+        txid = 2;
+        table = "stock";
+        key = "p|1";
+        col = "amount";
+        before = Value.Int 8;
+        after = Value.Int 6;
+      };
     Wal.Begin 1;
     Wal.Delete { txid = 1; table = "stock"; key = "p|1"; row = [| Value.Int 8; Value.Str "a,b" |] };
     Wal.Abort 1;
@@ -110,6 +119,10 @@ let qcheck_tests =
             Wal.Update { txid; table; key; col; before; after })
           (triple (pair nat str) (pair str str) (pair value_gen value_gen));
         map
+          (fun ((txid, table), (key, col), (before, after)) ->
+            Wal.Apply { txid; table; key; col; before; after })
+          (triple (pair nat str) (pair str str) (pair value_gen value_gen));
+        map
           (fun (txid, table, key, row) -> Wal.Delete { txid; table; key; row = Array.of_list row })
           (quad nat str str (list_size (int_range 0 4) value_gen));
       ]
@@ -128,6 +141,29 @@ let qcheck_tests =
         match Wal.of_string (Wal.to_string w) with
         | Ok w' -> List.for_all2 Wal.equal_record (Wal.records w) (Wal.records w')
         | Error _ -> false);
+    (* [to_string] keeps an incremental encoding cache that appends must
+       extend and truncation must invalidate. Interleave appends,
+       truncations and serialisations and require every [to_string] to
+       equal a cold encode of the same records (truncation point chosen by
+       the int paired with each record; serialise when it is even). *)
+    Test.make ~name:"incremental to_string = cold encode" ~count:200
+      (list_of_size Gen.(int_range 0 40) (pair arb (int_bound 100)))
+      (fun steps ->
+        let w = Wal.create () in
+        let ok = ref true in
+        let check_serialised () =
+          let cold = Wal.create () in
+          List.iter (fun r -> ignore (Wal.append cold r)) (Wal.records w);
+          if Wal.to_string w <> Wal.to_string cold then ok := false
+        in
+        List.iter
+          (fun (r, n) ->
+            if n < 15 && Wal.length w > 0 then Wal.truncate w (n mod Wal.length w)
+            else ignore (Wal.append w r);
+            if n mod 2 = 0 then check_serialised ())
+          steps;
+        check_serialised ();
+        !ok);
   ]
 
 let suites =
