@@ -29,7 +29,12 @@ let run_seed ~cfg ~verbose ~out seed =
   not failed
 
 let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes partitions
-    net_windows no_crash_base verbose out =
+    net_windows no_crash_base oracle mutations verbose out =
+  Avdb_core.Mutation.reset ();
+  List.iter Avdb_core.Mutation.enable mutations;
+  if mutations <> [] then
+    Printf.eprintf "warning: mutations enabled (%s) — failures are expected\n%!"
+      (String.concat ", " (List.map Avdb_core.Mutation.name mutations));
   let cfg =
     {
       (Nemesis.default ~seed:0) with
@@ -42,6 +47,7 @@ let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes pa
       max_partitions = partitions;
       max_net_windows = net_windows;
       crash_base = not no_crash_base;
+      oracle;
     }
   in
   let seed_list =
@@ -102,6 +108,30 @@ let net_windows_arg =
 let no_crash_base_arg =
   Arg.(value & flag & info [ "no-crash-base" ] ~doc:"Never crash site 0 (the base).")
 
+let oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Record a client-visible history (with injected replica reads) and add the \
+           consistency oracle's verdict — linearizability, session guarantees, model-exact \
+           convergence, AV ledger cross-checks — to the invariants.")
+
+let mutation_conv =
+  let parse s =
+    match Avdb_core.Mutation.of_name s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Avdb_core.Mutation.name m))
+
+let mutate_arg =
+  Arg.(
+    value
+    & opt (list mutation_conv) []
+    & info [ "mutate" ] ~docv:"NAME,..."
+        ~doc:
+          "Enable test-only fault seeding (known-bad behaviors) before the sweep; used to \
+           check that the oracle convicts them. See $(b,avdb-sim --mutate) for names.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report for passing seeds too.")
 
@@ -118,6 +148,6 @@ let cmd =
     Term.(
       const run $ seeds_arg $ start_arg $ seed_arg $ sites_arg $ regular_arg
       $ non_regular_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
-      $ net_windows_arg $ no_crash_base_arg $ verbose_arg $ out_arg)
+      $ net_windows_arg $ no_crash_base_arg $ oracle_arg $ mutate_arg $ verbose_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -50,8 +50,13 @@ let granting_conv =
 
 let run retailers items initial updates mode allocation selection granting skew
     maker_weight latency_ms drop dup reorder rpc_retries rpc_backoff_ms sync_ms prefetch seed
-    checkpoints csv trace_out metrics_out snapshot_every_ms =
+    checkpoints csv trace_out metrics_out snapshot_every_ms check mutations =
   let n_sites = retailers + 1 in
+  Mutation.reset ();
+  List.iter Mutation.enable mutations;
+  if mutations <> [] then
+    Printf.eprintf "mutations enabled (test-only fault seeding): %s\n%!"
+      (String.concat ", " (List.map Mutation.name mutations));
   (* Metrics output implies snapshots; default cadence 100 ms. *)
   let snapshot_interval =
     match (snapshot_every_ms, metrics_out) with
@@ -97,9 +102,24 @@ let run retailers items initial updates mode allocation selection granting skew
     }
   in
   let workload = Scm.create spec ~seed in
+  (* --check threads every submission through the oracle's history
+     recorder; the verdict prints after quiescence. *)
+  let recorder =
+    if not check then None
+    else begin
+      let h = Avdb_check.History.create () in
+      ignore (Avdb_check.History.attach_trace h (Cluster.trace cluster));
+      Some h
+    end
+  in
+  let submit =
+    match recorder with
+    | None -> fun site ~item ~delta k -> Site.submit_update site ~item ~delta k
+    | Some h -> Avdb_check.History.submit_update h ~engine:(Cluster.engine cluster)
+  in
   let outcome =
     Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:updates
-      ~checkpoint_every:(Stdlib.max 1 (updates / checkpoints)) ()
+      ~checkpoint_every:(Stdlib.max 1 (updates / checkpoints)) ~submit ()
   in
   let table =
     Ascii_table.create
@@ -169,7 +189,15 @@ let run retailers items initial updates mode allocation selection granting skew
       Printf.eprintf "wrote %d metric snapshots to %s\n%!"
         (Avdb_obs.Registry.snapshot_count (Cluster.registry cluster))
         path)
-    metrics_out
+    metrics_out;
+  match recorder with
+  | None -> 0
+  | Some h ->
+      if config.Config.mode = Config.Autonomous then Cluster.flush_all_syncs cluster;
+      let snapshot = Avdb_check.Checker.snapshot_of_cluster cluster in
+      let verdict = Avdb_check.Checker.check ~quiescent:true ~history:h snapshot in
+      Format.printf "%a@." Avdb_check.Checker.pp_verdict verdict;
+      if Avdb_check.Checker.ok verdict then 0 else 1
 
 let cmd =
   let retailers =
@@ -269,12 +297,33 @@ let cmd =
               "Sample every registered metric and run the invariant probes every $(docv) of \
                virtual time.")
   in
+  let check =
+    Arg.(value & flag
+        & info [ "check" ]
+            ~doc:
+              "Record every submission into a client-visible history and run the \
+               consistency oracle at quiescence: linearizability of Immediate/Central \
+               updates, model-exact convergence of Delay Updates and AV-ledger \
+               cross-checks. Exit 1 on any violation.")
+  in
+  let mutation_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Mutation.of_name s) in
+    Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Mutation.name m))
+  in
+  let mutations =
+    Arg.(value & opt (list mutation_conv) []
+        & info [ "mutate" ] ~docv:"NAME,..."
+            ~doc:
+              "Enable test-only seeded faults (known-bad behaviors) so the oracle has \
+               something to convict: lossy-sync, double-deposit, unilateral-abort, \
+               stale-reads, forget-own-writes. Pair with $(b,--check).")
+  in
   let term =
     Term.(
       const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
       $ granting $ skew $ maker_weight $ latency_ms $ drop $ dup $ reorder $ rpc_retries
       $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints $ csv $ trace_out
-      $ metrics_out $ snapshot_every_ms)
+      $ metrics_out $ snapshot_every_ms $ check $ mutations)
   in
   Cmd.v
     (Cmd.info "avdb-sim" ~version:"1.0.0"
@@ -283,4 +332,4 @@ let cmd =
           IPPS 2000) on the paper's SCM workload.")
     term
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -27,6 +27,7 @@ type config = {
   max_partitions : int;
   max_net_windows : int;
   crash_base : bool;
+  oracle : bool;
 }
 
 let default ~seed =
@@ -41,6 +42,7 @@ let default ~seed =
     max_partitions = 2;
     max_net_windows = 3;
     crash_base = true;
+    oracle = false;
   }
 
 (* --- schedule generation --- *)
@@ -131,6 +133,7 @@ type stats = {
   decision_rebroadcasts : int;
   leaked_av : int;
   messages_dropped : int;
+  oracle_entries : int;
 }
 
 type outcome = { violations : string list; stats : stats }
@@ -224,6 +227,19 @@ let execute cfg schedule =
       }
       ~seed:cfg.seed
   in
+  (* Oracle mode records every client-visible operation into a history and
+     injects replica reads, so the end-of-run verdict can also judge
+     linearizability, session guarantees and reachability — not just the
+     aggregate invariants below. Off by default: the extra reads change the
+     message traffic, hence the exact outcome, of a given seed. *)
+  let recorder =
+    if not cfg.oracle then None
+    else begin
+      let h = Avdb_check.History.create () in
+      ignore (Avdb_check.History.attach_trace h (Cluster.trace cluster));
+      Some h
+    end
+  in
   let fired = Array.make (max 1 cfg.n_ops) 0 in
   let applied = ref 0 and rejected = ref 0 in
   let op_interval = 0.9 *. cfg.horizon_ms /. float_of_int (max 1 cfg.n_ops) in
@@ -232,10 +248,34 @@ let execute cfg schedule =
     at
       (float_of_int i *. op_interval)
       (fun () ->
-        Site.submit_update (site s) ~item ~delta (fun r ->
-            fired.(i) <- fired.(i) + 1;
-            if Update.is_applied r then incr applied else incr rejected))
+        let k r =
+          fired.(i) <- fired.(i) + 1;
+          if Update.is_applied r then incr applied else incr rejected
+        in
+        match recorder with
+        | Some h -> Avdb_check.History.submit_update h ~engine (site s) ~item ~delta k
+        | None -> Site.submit_update (site s) ~item ~delta k)
   done;
+  (match recorder with
+  | None -> ()
+  | Some h ->
+      (* Interleave reads through the fault phase: mostly local replica
+         reads (session checks), some authoritative base reads
+         (linearizability / base-prefix checks). Down sites are skipped —
+         their in-memory image may hold an uncommitted in-flight write the
+         client could never observe. *)
+      let rrng = Rng.create (cfg.seed lxor 0x0ace5) in
+      for _ = 1 to max 1 (cfg.n_ops / 4) do
+        let ms = Rng.float_in rrng (0.05 *. cfg.horizon_ms) (0.95 *. cfg.horizon_ms) in
+        let s = Rng.int rrng cfg.n_sites in
+        let item, _ = items.(Rng.int rrng (Array.length items)) in
+        let auth = Rng.int rrng 3 = 0 in
+        at ms (fun () ->
+            if not (Site.is_down (site s)) then
+              if auth then
+                Avdb_check.History.read_authoritative h ~engine (site s) ~item (fun _ -> ())
+              else ignore (Avdb_check.History.read_local h ~engine (site s) ~item))
+      done);
   (* Horizon: heal the world, then drain to quiescence. *)
   at cfg.horizon_ms (fun () ->
       Cluster.set_drop_probability cluster 0.;
@@ -317,6 +357,18 @@ let execute cfg schedule =
     | Ok () -> ()
     | Error e -> violate "check_invariants: %s" e
   end;
+  (* The consistency oracle's verdict over the recorded history. *)
+  let oracle_entries = ref 0 in
+  (match recorder with
+  | None -> ()
+  | Some h ->
+      let snapshot = Avdb_check.Checker.snapshot_of_cluster cluster in
+      let verdict = Avdb_check.Checker.check ~quiescent:true ~history:h snapshot in
+      oracle_entries := verdict.Avdb_check.Checker.stats.Avdb_check.Checker.n_entries;
+      List.iter
+        (fun v ->
+          violate "oracle: %s" (Format.asprintf "@[<h>%a@]" Avdb_check.Checker.pp_violation v))
+        verdict.Avdb_check.Checker.violations);
   let count p = List.length (List.filter p schedule) in
   let stats =
     {
@@ -332,6 +384,7 @@ let execute cfg schedule =
         sum_metric (fun m -> m.Update.Metrics.decision_rebroadcasts);
       leaked_av = max 0 leaked;
       messages_dropped = Avdb_net.Stats.total_dropped (Cluster.net_stats cluster);
+      oracle_entries = !oracle_entries;
     }
   in
   { violations = List.rev !violations; stats }
@@ -402,6 +455,8 @@ let pp_report ppf r =
     "  recovery: %d in-doubt re-installed, %d termination queries, %d decision \
      rebroadcasts, %d AV leaked@,"
     s.in_doubt_recovered s.termination_queries s.decision_rebroadcasts s.leaked_av;
+  if s.oracle_entries > 0 then
+    Format.fprintf ppf "  oracle: %d history entries checked@," s.oracle_entries;
   Format.fprintf ppf "  schedule:@,    @[<v>%a@]@," pp_schedule r.schedule;
   if r.outcome.violations <> [] then begin
     Format.fprintf ppf "  violations:@,";

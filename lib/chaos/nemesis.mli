@@ -47,6 +47,14 @@ type config = {
   max_partitions : int;
   max_net_windows : int;  (** loss/duplication/reordering windows *)
   crash_base : bool;  (** whether site 0 (the base) may crash too *)
+  oracle : bool;
+      (** record every client operation into an {!Avdb_check.History.t},
+          inject replica reads through the fault phase, and add the
+          {!Avdb_check.Checker} verdict (linearizability of Immediate
+          Updates, session guarantees, model-exact convergence, AV ledger
+          cross-checks) to the violations. Off by default — the injected
+          reads alter the message traffic, so a given seed's outcome
+          differs between oracle and plain runs. *)
 }
 
 val default : seed:int -> config
@@ -71,6 +79,7 @@ type stats = {
   decision_rebroadcasts : int;  (** recovered-coordinator decision pushes *)
   leaked_av : int;  (** grant volume lost to the documented leak channel *)
   messages_dropped : int;
+  oracle_entries : int;  (** history entries the oracle judged (0 when off) *)
 }
 
 type outcome = { violations : string list; stats : stats }

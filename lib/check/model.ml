@@ -1,0 +1,64 @@
+type register = { amount : int }
+
+let init amount = { amount }
+let apply r ~delta = if r.amount + delta < 0 then None else Some { amount = r.amount + delta }
+let read r = r.amount
+
+let replay ~initial deltas =
+  let rec go i r = function
+    | [] -> Ok r.amount
+    | d :: rest -> (
+        match apply r ~delta:d with
+        | Some r' -> go (i + 1) r' rest
+        | None -> Error (i, r.amount))
+  in
+  go 0 (init initial) deltas
+
+type books = { defined : int; minted : int; consumed : int; live : int }
+
+let deficit b = b.defined + b.minted - b.consumed - b.live
+
+let balance b ~leaked =
+  let d = deficit b in
+  if d < 0 then
+    Error
+      (Printf.sprintf
+         "AV volume created out of thin air: defined %d + minted %d - consumed %d - live %d \
+          = %d"
+         b.defined b.minted b.consumed b.live d)
+  else if leaked < 0 then
+    Error (Printf.sprintf "more AV received than granted (%d units conjured in flight)" (-leaked))
+  else if d <> leaked then
+    Error
+      (Printf.sprintf "AV ledger imbalance: books are short %d units but measured grant leak \
+                       is %d"
+         d leaked)
+  else Ok ()
+
+let dedup l =
+  let tbl = Hashtbl.create (List.length l + 1) in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem tbl x then false
+      else begin
+        Hashtbl.add tbl x ();
+        true
+      end)
+    l
+
+let prefix_sums deltas =
+  let _, rev =
+    List.fold_left (fun (acc, sums) d -> (acc + d, (acc + d) :: sums)) (0, [ 0 ]) deltas
+  in
+  dedup rev
+
+let sum_set ?(cap = 200_000) lists =
+  let rec go acc = function
+    | [] -> Some acc
+    | choices :: rest ->
+        let next = dedup (List.concat_map (fun x -> List.map (fun c -> x + c) choices) acc) in
+        if List.length next > cap then None else go next rest
+  in
+  go [ 0 ] lists
+
+let subset_sums ?cap deltas = sum_set ?cap (List.map (fun d -> [ 0; d ]) deltas)

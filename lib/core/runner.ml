@@ -26,7 +26,8 @@ let snapshot cluster ~updates_done ~applied ~rejected =
   }
 
 let run cluster ~nth_update ~total_updates ?(interval = Time.of_ms 10.)
-    ?checkpoint_every () =
+    ?checkpoint_every ?(submit = fun site ~item ~delta k -> Site.submit_update site ~item ~delta k)
+    () =
   if total_updates < 0 then invalid_arg "Runner.run: negative total_updates";
   let checkpoint_every =
     match checkpoint_every with
@@ -64,7 +65,7 @@ let run cluster ~nth_update ~total_updates ?(interval = Time.of_ms 10.)
            (fun () ->
              arm (k + 1);
              let site_index, item, delta = nth_update k in
-             Site.submit_update (Cluster.site cluster site_index) ~item ~delta on_result))
+             submit (Cluster.site cluster site_index) ~item ~delta on_result))
   in
   arm 0;
   Cluster.run cluster;

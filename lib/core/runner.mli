@@ -28,8 +28,15 @@ val run :
   total_updates:int ->
   ?interval:Avdb_sim.Time.t ->
   ?checkpoint_every:int ->
+  ?submit:(Site.t -> item:string -> delta:int -> (Update.result -> unit) -> unit) ->
   unit ->
   outcome
 (** [nth_update k] returns [(site_index, item, delta)] for the k-th update
     (0-based). [interval] defaults to 10 ms, [checkpoint_every] to
-    [max 1 (total_updates / 10)]. Runs the engine to quiescence. *)
+    [max 1 (total_updates / 10)]. Runs the engine to quiescence.
+
+    [submit] defaults to {!Site.submit_update}; passing a wrapper lets a
+    caller observe every submission and its completion without the runner
+    depending on the observer (the consistency oracle's history recorder
+    plugs in here). The wrapper must eventually call the continuation it
+    is given exactly as the site reports it. *)

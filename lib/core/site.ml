@@ -231,7 +231,18 @@ let apply_sync_counters t ~src counters =
           | None -> Some (item, cum, version, cum))
         counters
     in
-    if fresh_deltas <> [] then begin
+    if fresh_deltas <> [] && Mutation.enabled Mutation.Lossy_sync then
+      (* Mutation: a lossy counter — advance the per-origin version
+         bookkeeping as if the deltas were applied but drop the data.
+         Later counters diff against the recorded cum, so the volume is
+         permanently lost and replicas never converge. *)
+      List.iter
+        (fun (item, _, version, cum) ->
+          Hashtbl.replace t.applied_sync (origin, item) (version, cum);
+          if version > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin)
+          then Hashtbl.replace t.applied_high origin version)
+        fresh_deltas
+    else if fresh_deltas <> [] then begin
       let txn = Database.begin_txn t.db in
       let ok =
         List.for_all
@@ -558,6 +569,14 @@ let rec schedule_termination_check t ~txid =
             | None -> () (* decision arrived meanwhile *)
             | Some p ->
                 if is_down t then schedule_termination_check t ~txid
+                else if Mutation.enabled Mutation.Unilateral_abort then begin
+                  (* Mutation: the removed [abort_pending] path — give up on
+                     the in-doubt transaction without asking anyone. If the
+                     coordinator decided Commit, this site diverges. *)
+                  trace t ~level:Trace.Warn ~category:"2pc"
+                    "tx%d unilaterally aborted at %a (mutation)" txid Address.pp t.addr;
+                  finalize_participant t ~txid Two_phase.Abort
+                end
                 else if p.p_queries >= max_decision_queries then
                   trace t ~level:Trace.Warn ~category:"2pc"
                     "tx%d still in doubt at %a after %d queries; blocked until the \
@@ -930,6 +949,10 @@ let acquire_av t ?parent ~item ~need k =
                       t.metrics.Update.Metrics.av_volume_received <-
                         t.metrics.Update.Metrics.av_volume_received + granted;
                       av_ok "deposit grant" (Av_table.deposit t.av ~item granted);
+                      (* Mutation: credit the grant twice — volume conjured
+                         out of thin air; exact conservation must convict. *)
+                      if Mutation.enabled Mutation.Double_deposit then
+                        av_ok "double deposit" (Av_table.deposit t.av ~item granted);
                       av_ok "hold grant" (Av_table.hold t.av ~item granted);
                       acquired := !acquired + granted
                     end
@@ -1335,7 +1358,16 @@ let submit_update t ~item ~delta callback =
 (* Reads with heterogeneous consistency: a local read is free and possibly
    stale (the retailer requirement); an authoritative read round-trips to
    the base replica (the maker requirement) and costs one correspondence. *)
-let read_local t ~item = amount_of t ~item
+let read_local t ~item =
+  match amount_of t ~item with
+  | Some v when Mutation.enabled Mutation.Forget_own_writes ->
+      (* Mutation: subtract the site's own not-yet-flushed deltas — the
+         replica "forgets" writes this session already committed. *)
+      let pending =
+        Option.value ~default:0 (List.assoc_opt item (pending_sync_deltas t))
+      in
+      Some (v - pending)
+  | r -> r
 
 let read_authoritative t ~item callback =
   if is_down t then
@@ -1669,7 +1701,19 @@ let create shared ~addr ~av_init =
           handle_prepare t ~span ~txid ~coordinator ~cohort ~item ~delta ~reply
       | Protocol.Decision { txid; decision } -> handle_decision t ~txid ~decision ~reply
       | Protocol.Read_request { item } ->
-          reply (Protocol.Read_value { amount = amount_of t ~item })
+          let amount =
+            if Mutation.enabled Mutation.Stale_reads then
+              (* Mutation: serve authoritative reads from a stale snapshot
+                 (the initial catalogue) instead of the live replica. *)
+              List.find_map
+                (fun p ->
+                  if String.equal p.Product.name item then
+                    Some p.Product.initial_amount
+                  else None)
+                config.Config.products
+            else amount_of t ~item
+          in
+          reply (Protocol.Read_value { amount })
       | Protocol.Query_decision { txid } -> handle_query_decision t ~txid ~reply
       | Protocol.Peer_decision_query { txid } -> handle_peer_decision_query t ~txid ~reply
       | Protocol.Join_request -> handle_join t ~reply)

@@ -211,5 +211,5 @@ let suites =
         Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
         Alcotest.test_case "decode empty" `Quick test_decode_empty;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

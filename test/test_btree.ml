@@ -147,6 +147,26 @@ let qcheck_tests =
     Test.make ~name:"invariants hold with larger degree" ~count:150 ops_gen (fun ops ->
         let t, _ = model_run ~min_degree:5 ops in
         Result.is_ok (Btree.check_invariants t));
+    (* Deletion-heavy: build a tree, then drain it in a shuffled order with
+       invariants re-checked after every single removal — this walks through
+       every borrow/merge rebalancing case at the smallest legal degree. *)
+    Test.make ~name:"random-order drain keeps invariants at every step" ~count:100
+      (pair (int_range 1 120) (int_bound 1_000_000))
+      (fun (n, rseed) ->
+        let t = Btree.create ~min_degree:2 () in
+        for i = 0 to n - 1 do
+          Btree.insert t ~key:(key i) i
+        done;
+        let order = Array.init n Fun.id in
+        Avdb_sim.Rng.shuffle (Avdb_sim.Rng.create rseed) order;
+        let ok = ref true in
+        Array.iteri
+          (fun removed i ->
+            if Btree.remove t ~key:(key i) <> Some i then ok := false;
+            if Result.is_error (Btree.check_invariants t) then ok := false;
+            if Btree.size t <> n - removed - 1 then ok := false)
+          order;
+        !ok && Btree.size t = 0 && Btree.height t = 0);
     Test.make ~name:"range equals filtered keys" ~count:200
       (triple ops_gen (int_bound 60) (int_bound 60))
       (fun (ops, a, b) ->
@@ -174,5 +194,5 @@ let suites =
         Alcotest.test_case "height logarithmic" `Quick test_height_logarithmic;
         Alcotest.test_case "min_degree validation" `Quick test_min_degree_validation;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -369,12 +369,12 @@ let test_sync_reorder_duplicate_safety () =
   | Error e -> Alcotest.fail e
 
 let qcheck_tests =
+  let ops_arb = Gen.site_ops ~n_sites:3 () in
   let open QCheck in
   [
     (* Global safety under random SCM-ish traffic: AV conservation and
        replica convergence after a full sync flush. *)
-    Test.make ~name:"random traffic keeps invariants" ~count:30
-      (pair small_int (list_of_size Gen.(int_range 1 60) (pair (int_bound 2) (int_range (-30) 30))))
+    Test.make ~name:"random traffic keeps invariants" ~count:30 (pair small_int ops_arb)
       (fun (seed, ops) ->
         let config = { (small_config ()) with Config.seed = 1 + (seed mod 1000) } in
         let cluster = Cluster.create config in
@@ -416,5 +416,5 @@ let suites =
         Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
         Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

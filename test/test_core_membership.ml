@@ -164,5 +164,5 @@ let suites =
           test_joiner_participates_in_immediate_updates;
         Alcotest.test_case "join with base down" `Quick test_join_with_base_down;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

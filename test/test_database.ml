@@ -380,12 +380,12 @@ let test_sink_rewrite_after_compact () =
 let fresh = make
 
 let qcheck_tests =
-  let open QCheck in
   (* Random committed/aborted transaction mix: recovery must equal the live
-     state exactly. Ops: (key, delta, commit?) — each txn touches one key. *)
+     state exactly. The script shape (key, delta, commit?) is shared. *)
+  let script = Gen.txn_script () in
+  let open QCheck in
   [
-    Test.make ~name:"recover = live state under random txns" ~count:200
-      (list_of_size Gen.(int_range 0 60) (triple (int_bound 10) (int_range (-20) 20) bool))
+    Test.make ~name:"recover = live state under random txns" ~count:200 script
       (fun txns ->
         let db = fresh () in
         List.iter
@@ -427,5 +427,5 @@ let suites =
         Alcotest.test_case "sink torn tail" `Quick test_sink_torn_tail;
         Alcotest.test_case "sink rewrite after compact" `Quick test_sink_rewrite_after_compact;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

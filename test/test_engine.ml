@@ -185,5 +185,5 @@ let suites =
         Alcotest.test_case "step" `Quick test_step;
         Alcotest.test_case "deterministic replay" `Quick test_determinism_across_engines;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -180,5 +180,5 @@ let suites =
         Alcotest.test_case "counters" `Quick test_counters;
         Alcotest.test_case "interleaved add/pop" `Quick test_interleaved_add_pop;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -148,5 +148,5 @@ let suites =
         Alcotest.test_case "copy preserves indexes" `Quick test_copy_preserves_indexes;
         Alcotest.test_case "query uses index" `Quick test_query_uses_index;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

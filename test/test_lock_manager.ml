@@ -255,6 +255,51 @@ let qcheck_tests =
           ops;
         ignore (Engine.run engine);
         !outcomes = List.length ops);
+    (* Deadlock detection: a ring of n owners (owner i holds key i and
+       requests key i+1 mod n) is always reported, the cycle names exactly
+       the ring members, and releasing any one member clears the report. *)
+    Test.make ~name:"find_deadlock detects every ring" ~count:100 (int_range 2 6)
+      (fun n ->
+        let engine = Engine.create ~seed:4 () in
+        let lm = Lock_manager.create ~engine () in
+        for i = 0 to n - 1 do
+          Lock_manager.acquire lm ~owner:i ~key:("k" ^ string_of_int i)
+            Lock_manager.Exclusive (fun _ -> ())
+        done;
+        for i = 0 to n - 1 do
+          Lock_manager.acquire lm ~owner:i ~key:("k" ^ string_of_int ((i + 1) mod n))
+            Lock_manager.Exclusive (fun _ -> ())
+        done;
+        let detected =
+          match Lock_manager.find_deadlock lm with
+          | Some cycle -> List.sort compare cycle = List.init n Fun.id
+          | None -> false
+        in
+        Lock_manager.release_all lm ~owner:0;
+        detected && Lock_manager.find_deadlock lm = None);
+    (* Upgrade semantics: with k shared holders, owner 0's upgrade to
+       exclusive is immediate iff it is the sole holder, and otherwise is
+       granted exactly when the last other reader releases. *)
+    Test.make ~name:"upgrade grants once other readers leave" ~count:100 (int_range 1 6)
+      (fun k ->
+        let engine = Engine.create ~seed:5 () in
+        let lm = Lock_manager.create ~engine () in
+        for owner = 0 to k - 1 do
+          Lock_manager.acquire lm ~owner ~key:"a" Lock_manager.Shared (fun _ -> ())
+        done;
+        let upgraded = ref false in
+        Lock_manager.acquire lm ~owner:0 ~key:"a" Lock_manager.Exclusive (fun _ ->
+            upgraded := true);
+        let ok = ref (!upgraded = (k = 1)) in
+        for owner = 1 to k - 1 do
+          if !upgraded then ok := false;
+          Lock_manager.release lm ~owner ~key:"a"
+        done;
+        !ok && !upgraded
+        &&
+        match Lock_manager.holders lm ~key:"a" with
+        | [ (0, Lock_manager.Exclusive) ] -> true
+        | _ -> false);
   ]
 
 let suites =
@@ -278,5 +323,5 @@ let suites =
         Alcotest.test_case "deadlock three owners" `Quick test_deadlock_three_owners;
         Alcotest.test_case "no false deadlock on chain" `Quick test_no_false_deadlock_on_chain;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

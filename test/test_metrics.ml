@@ -178,5 +178,5 @@ let suites =
         Alcotest.test_case "max/min ratio" `Quick test_max_min_ratio;
         Alcotest.test_case "spread" `Quick test_spread;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

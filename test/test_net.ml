@@ -369,5 +369,5 @@ let suites =
         Alcotest.test_case "infinite bandwidth default" `Quick test_infinite_bandwidth_default;
         Alcotest.test_case "bandwidth validation" `Quick test_bandwidth_validation;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -83,6 +83,25 @@ let qcheck_tests =
         | Some best ->
             let best_vol, _ = Hashtbl.find model (Address.to_int best) in
             Hashtbl.fold (fun _ (vol, _) acc -> acc && vol <= best_vol) model true);
+    (* Staleness monotonicity: per (site, item) the view always holds the
+       observation with the newest timestamp seen so far (a tie lets the
+       later observe win); an older observation never overwrites it. *)
+    Test.make ~name:"stale observations never overwrite newer ones" ~count:500
+      (list_of_size Gen.(int_range 1 40)
+         (quad (int_bound 3) (int_bound 1) (int_bound 50) (int_bound 30)))
+      (fun obs ->
+        let v = Peer_view.create () in
+        let model = Hashtbl.create 8 in
+        List.for_all
+          (fun (site, item_i, volume, time) ->
+            let item = if item_i = 0 then "a" else "b" in
+            Peer_view.observe v ~site:(addr site) ~item ~volume ~at:(at time);
+            (match Hashtbl.find_opt model (site, item) with
+            | Some (_, prev) when prev > time -> ()
+            | _ -> Hashtbl.replace model (site, item) (volume, time));
+            Peer_view.volume_of v ~site:(addr site) ~item
+            = Option.map fst (Hashtbl.find_opt model (site, item)))
+          obs);
   ]
 
 let suites =
@@ -96,5 +115,5 @@ let suites =
         Alcotest.test_case "forget site" `Quick test_forget_site;
         Alcotest.test_case "items" `Quick test_items;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

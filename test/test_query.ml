@@ -193,5 +193,5 @@ let suites =
         Alcotest.test_case "aggregates" `Quick test_aggregates;
         Alcotest.test_case "rows are copies" `Quick test_rows_are_copies;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -158,5 +158,5 @@ let suites =
         Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
         Alcotest.test_case "pick" `Quick test_pick;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

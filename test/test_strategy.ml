@@ -188,6 +188,19 @@ let qcheck_tests =
         let g = List.nth Strategy.Granting.all which in
         let amount = Strategy.Granting.amount g ~available ~requested in
         amount >= 0 && amount <= available);
+    (* Half rounds up, so each grant is exactly ⌈v/2⌉ and the donor keeps
+       ⌊v/2⌋: holdings shrink geometrically, successive grants never grow,
+       and any stock drains to zero within ~log2 v grants. *)
+    Test.make ~name:"half-granting shrinks holdings geometrically" ~count:500
+      (int_bound 1_000_000)
+      (fun v0 ->
+        let rec drain v prev steps =
+          if v = 0 then steps <= 21
+          else
+            let g = Strategy.Granting.amount Strategy.Granting.Half ~available:v ~requested:1 in
+            g = (v + 1) / 2 && g <= prev && v - g = v / 2 && drain (v - g) g (steps + 1)
+        in
+        drain v0 max_int 0);
     Test.make ~name:"select returns eligible site or None" ~count:500
       (triple (int_bound 3) (int_bound 4) (list_of_size Gen.(int_range 0 4) (int_bound 4)))
       (fun (which, self, excluded) ->
@@ -230,5 +243,5 @@ let suites =
         Alcotest.test_case "selection names roundtrip" `Quick test_selection_names_roundtrip;
         Alcotest.test_case "paper strategy" `Quick test_paper_strategy;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

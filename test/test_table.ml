@@ -201,5 +201,5 @@ let suites =
         Alcotest.test_case "copy independent" `Quick test_copy_independent;
         Alcotest.test_case "equal_contents" `Quick test_equal_contents;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -74,5 +74,5 @@ let suites =
         Alcotest.test_case "comparisons" `Quick test_comparisons;
         Alcotest.test_case "pretty printing" `Quick test_pp;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -328,5 +328,5 @@ let suites =
         Alcotest.test_case "txn log" `Quick test_txn_log;
         Alcotest.test_case "txn log serialisation" `Quick test_txn_log_serialisation;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

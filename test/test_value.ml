@@ -105,5 +105,5 @@ let suites =
         Alcotest.test_case "encode/decode" `Quick test_encode_decode;
         Alcotest.test_case "decode errors" `Quick test_decode_errors;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]

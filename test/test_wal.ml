@@ -94,40 +94,9 @@ let test_committed_txids () =
   Alcotest.(check bool) "txn 1 not committed" false (Hashtbl.mem committed 1)
 
 let qcheck_tests =
+  (* record/value generators are shared with the other storage suites *)
+  let arb = Gen.wal_record in
   let open QCheck in
-  let record_gen =
-    let open Gen in
-    let value_gen =
-      oneof
-        [
-          map (fun n -> Value.Int n) int;
-          map (fun s -> Value.Str s) (string_size (int_range 0 10));
-          map (fun b -> Value.Bool b) bool;
-        ]
-    in
-    let str = string_size (int_range 0 8) in
-    oneof
-      [
-        map (fun t -> Wal.Begin t) nat;
-        map (fun t -> Wal.Commit t) nat;
-        map (fun t -> Wal.Abort t) nat;
-        map
-          (fun (txid, table, key, row) -> Wal.Insert { txid; table; key; row = Array.of_list row })
-          (quad nat str str (list_size (int_range 0 4) value_gen));
-        map
-          (fun ((txid, table), (key, col), (before, after)) ->
-            Wal.Update { txid; table; key; col; before; after })
-          (triple (pair nat str) (pair str str) (pair value_gen value_gen));
-        map
-          (fun ((txid, table), (key, col), (before, after)) ->
-            Wal.Apply { txid; table; key; col; before; after })
-          (triple (pair nat str) (pair str str) (pair value_gen value_gen));
-        map
-          (fun (txid, table, key, row) -> Wal.Delete { txid; table; key; row = Array.of_list row })
-          (quad nat str str (list_size (int_range 0 4) value_gen));
-      ]
-  in
-  let arb = make ~print:(fun r -> Wal.encode_record r) record_gen in
   [
     Test.make ~name:"record encode/decode roundtrip" ~count:1000 arb (fun r ->
         match Wal.decode_record (Wal.encode_record r) with
@@ -178,5 +147,5 @@ let suites =
         Alcotest.test_case "truncate" `Quick test_truncate;
         Alcotest.test_case "committed txids" `Quick test_committed_txids;
       ]
-      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+      @ List.map Gen.to_alcotest qcheck_tests );
   ]
