@@ -1115,6 +1115,251 @@ let exp_throughput_check () =
       List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) fs;
       exit 1
 
+(* --- scale (gated topology benchmark) ---
+
+   How the message economy and per-site footprint behave as the cluster
+   grows from the paper's 3 sites toward 1000. Three configurations per
+   size: the legacy flat topology (site 0 bases everything, full
+   replication), the sharded topology (hashed per-item bases, partial
+   replication at [scale_spread] subscribers per item), and the sharded
+   topology under the Centralized baseline (the Fig. 6 conventional
+   curve, re-plotted at scale). BENCH_scale.json at the repository root
+   is the committed baseline; [scale-check] re-measures and gates like
+   [throughput-check], plus two structural claims that need no baseline:
+   at N=1000 sharded msgs/update must stay well below full replication,
+   and it must grow sub-linearly from N=10 to N=1000. *)
+
+let scale_json_path = "BENCH_scale.json"
+let scale_sizes = [ 10; 100; 1000 ]
+let scale_spread = 3
+let scale_items = 50
+let scale_updates = 2000
+let scale_seed = 9000
+
+type scale_point = {
+  sc_msgs : float;  (* messages per update *)
+  sc_corr : int;  (* total correspondences *)
+  sc_words_mean : float;  (* mean Site.live_words across the cluster *)
+  sc_words_max : int;
+  sc_applied : int;
+  sc_checkpoints : Runner.checkpoint list;
+}
+
+let scale_run ~n_sites ~mode ~sharded =
+  (* Deltas are a fixed fraction of the initial amount, so a large initial
+     with small percentages keeps per-update volume constant across
+     cluster sizes. All the volume starts at each item's base
+     (All_at_base): a site's first consuming update on an item must fetch
+     AV, after which "half of holdings" keeps it autonomous — the cold
+     start produces the Fig. 6 rise, local commits the flattening. *)
+  let initial_amount = 100_000 in
+  let config =
+    {
+      Config.default with
+      Config.n_sites;
+      mode;
+      allocation = Config.All_at_base;
+      tracing = false;
+      topology =
+        (if sharded then Topology.sharded ~spread:scale_spread () else Topology.flat);
+      sync_interval = Some (Avdb_sim.Time.of_ms 50.);
+      products =
+        Product.catalogue ~n_regular:scale_items ~n_non_regular:0 ~initial_amount;
+      seed = scale_seed;
+    }
+  in
+  let cluster = Cluster.create config in
+  let spec =
+    {
+      (Scm.paper_spec ~n_sites ~n_items:scale_items ~initial_amount ()) with
+      Scm.maker_increase_pct = 0.0004;
+      retailer_decrease_pct = 0.0002;
+      maker_weight = (if sharded then 1 else Stdlib.max 1 ((n_sites - 1) / 2));
+    }
+  in
+  let workload =
+    if not sharded then Scm.create spec ~seed:scale_seed
+    else
+      (* rotate each item over its own replica holders, base first *)
+      let topology = Cluster.topology cluster in
+      let subscribers item =
+        let base = Topology.base_index topology ~item in
+        Array.of_list
+          (base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item))
+      in
+      Scm.create_sharded spec ~subscribers ~seed:scale_seed
+  in
+  let outcome =
+    Runner.run cluster ~nth_update:(Scm.generator workload) ~total_updates:scale_updates ()
+  in
+  export_cluster cluster;
+  let sent = Avdb_net.Stats.total_sent (Cluster.net_stats cluster) in
+  let words = List.map snd (Cluster.live_words_per_site cluster) in
+  {
+    sc_msgs = float_of_int sent /. float_of_int scale_updates;
+    sc_corr = final_corr outcome;
+    sc_words_mean =
+      float_of_int (List.fold_left ( + ) 0 words) /. float_of_int n_sites;
+    sc_words_max = List.fold_left Stdlib.max 0 words;
+    sc_applied = outcome.Runner.final.Runner.applied;
+    sc_checkpoints = outcome.Runner.checkpoints;
+  }
+
+type scale_numbers = {
+  full : (int * scale_point) list;
+  sharded : (int * scale_point) list;
+  central : (int * scale_point) list;  (* sharded topology, Centralized mode *)
+}
+
+let measure_scale () =
+  let per_size f = List.map (fun n -> (n, f n)) scale_sizes in
+  let full =
+    per_size (fun n -> scale_run ~n_sites:n ~mode:Config.Autonomous ~sharded:false)
+  in
+  let sharded =
+    per_size (fun n -> scale_run ~n_sites:n ~mode:Config.Autonomous ~sharded:true)
+  in
+  let central =
+    per_size (fun n -> scale_run ~n_sites:n ~mode:Config.Centralized ~sharded:true)
+  in
+  let table =
+    Ascii_table.create
+      ~headers:
+        [
+          "sites";
+          "msgs/upd full";
+          "msgs/upd sharded";
+          "corr sharded";
+          "corr central";
+          "words/site full";
+          "words/site sharded";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let f = List.assoc n full and s = List.assoc n sharded in
+      let c = List.assoc n central in
+      Ascii_table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f" f.sc_msgs;
+          Printf.sprintf "%.2f" s.sc_msgs;
+          string_of_int s.sc_corr;
+          string_of_int c.sc_corr;
+          Printf.sprintf "%.0f" f.sc_words_mean;
+          Printf.sprintf "%.0f" s.sc_words_mean;
+        ])
+    scale_sizes;
+  print_endline (Ascii_table.render table);
+  List.iter
+    (fun n ->
+      let s = List.assoc n sharded in
+      note "  N=%d sharded: %d/%d applied, live words max %d" n s.sc_applied
+        scale_updates s.sc_words_max)
+    scale_sizes;
+  (* The Fig. 6 shape at every size: correspondences stay sub-linear under
+     the autonomous technique even on the sharded topology. *)
+  List.iter
+    (fun n ->
+      let s = List.assoc n sharded and c = List.assoc n central in
+      let table =
+        Ascii_table.create
+          ~headers:[ Printf.sprintf "updates (N=%d)" n; "proposed"; "conventional" ]
+      in
+      List.iter2
+        (fun (a : Runner.checkpoint) (b : Runner.checkpoint) ->
+          Ascii_table.add_int_row table
+            (string_of_int a.Runner.updates_done)
+            [ a.Runner.total_correspondences; b.Runner.total_correspondences ])
+        s.sc_checkpoints c.sc_checkpoints;
+      print_endline (Ascii_table.render table))
+    scale_sizes;
+  { full; sharded; central }
+
+let write_scale_json nums =
+  let fields =
+    List.concat_map
+      (fun (prefix, points) ->
+        List.concat_map
+          (fun (n, p) ->
+            [
+              (Printf.sprintf "scale_%s_msgs_per_update_n%d" prefix n, p.sc_msgs);
+              (Printf.sprintf "scale_%s_corr_n%d" prefix n, float_of_int p.sc_corr);
+              ( Printf.sprintf "scale_%s_live_words_per_site_n%d" prefix n,
+                p.sc_words_mean );
+            ])
+          points)
+      [ ("full", nums.full); ("sharded", nums.sharded); ("central", nums.central) ]
+  in
+  let oc = open_out scale_json_path in
+  output_string oc "{\n";
+  let last = List.length fields - 1 in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  \"%s\": %.3f%s\n" name v (if i = last then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  note "wrote %s" scale_json_path
+
+let exp_scale () =
+  section "Scale - message economy and footprint, 10 -> 1000 sites";
+  note "flat full replication vs hashed per-item bases, %d-way partial replication"
+    scale_spread;
+  write_scale_json (measure_scale ())
+
+let exp_scale_check () =
+  section "Scale check (vs committed baseline + structural claims)";
+  let baseline =
+    let ic = open_in scale_json_path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  in
+  let fresh = measure_scale () in
+  let failures = ref [] in
+  let check name ~fresh =
+    (* everything gated here is lower-is-better *)
+    match json_number baseline name with
+    | None -> failures := Printf.sprintf "%s: missing from baseline" name :: !failures
+    | Some base ->
+        let regressed = fresh > base *. 2. in
+        note "  %s: baseline=%.3f fresh=%.3f%s" name base fresh
+          (if regressed then "  REGRESSED" else "");
+        if regressed then
+          failures :=
+            Printf.sprintf "%s regressed more than 2x (baseline %.3f, now %.3f)" name
+              base fresh
+            :: !failures
+  in
+  List.iter
+    (fun (n, p) ->
+      check (Printf.sprintf "scale_sharded_msgs_per_update_n%d" n) ~fresh:p.sc_msgs;
+      check
+        (Printf.sprintf "scale_sharded_live_words_per_site_n%d" n)
+        ~fresh:p.sc_words_mean)
+    fresh.sharded;
+  let msgs n points = (List.assoc n points).sc_msgs in
+  let claim cond msg = if not cond then failures := msg :: !failures in
+  claim
+    (msgs 1000 fresh.sharded *. 4. < msgs 1000 fresh.full)
+    (Printf.sprintf
+       "structural: sharded msgs/update at N=1000 (%.2f) not ≥4x below full \
+        replication (%.2f)"
+       (msgs 1000 fresh.sharded) (msgs 1000 fresh.full));
+  claim
+    (msgs 1000 fresh.sharded < msgs 10 fresh.sharded *. 8.)
+    (Printf.sprintf
+       "structural: sharded msgs/update grew super-linearly, %.2f at N=10 vs %.2f at \
+        N=1000"
+       (msgs 10 fresh.sharded) (msgs 1000 fresh.sharded));
+  match !failures with
+  | [] -> note "scale within 2x of baseline; structural claims hold"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) fs;
+      exit 1
+
 (* --- registry --- *)
 
 let experiments =
@@ -1139,11 +1384,13 @@ let experiments =
     ("elastic", exp_elastic);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
+    ("scale", exp_scale);
   ]
 
 (* Not in [experiments]: needs a committed baseline and exits non-zero on
    regression, so "all" must not pick it up. *)
-let checks = [ ("throughput-check", exp_throughput_check) ]
+let checks =
+  [ ("throughput-check", exp_throughput_check); ("scale-check", exp_scale_check) ]
 
 let run_experiment name f =
   current_exp := name;

@@ -29,7 +29,7 @@ let run_seed ~cfg ~verbose ~out seed =
   not failed
 
 let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes partitions
-    net_windows no_crash_base oracle mutations verbose out =
+    net_windows no_crash_base oracle spread hierarchy mutations verbose out =
   Avdb_core.Mutation.reset ();
   List.iter Avdb_core.Mutation.enable mutations;
   if mutations <> [] then
@@ -48,6 +48,8 @@ let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes pa
       max_net_windows = net_windows;
       crash_base = not no_crash_base;
       oracle;
+      spread;
+      hierarchy;
     }
   in
   let seed_list =
@@ -117,6 +119,25 @@ let oracle_arg =
            consistency oracle's verdict — linearizability, session guarantees, model-exact \
            convergence, AV ledger cross-checks — to the invariants.")
 
+let spread_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "spread" ] ~docv:"K"
+        ~doc:
+          "Run on a sharded topology: per-item hashed bases with partial replication at \
+           $(docv) sites per item. Default: the paper's flat topology (site 0 bases \
+           everything, full replication).")
+
+let hierarchy_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hierarchy" ] ~docv:"F"
+        ~doc:
+          "With --spread: circulate AV requests up an $(docv)-ary tree over each item's \
+           subscribers instead of flat peer selection.")
+
 let mutation_conv =
   let parse s =
     match Avdb_core.Mutation.of_name s with Ok m -> Ok m | Error e -> Error (`Msg e)
@@ -148,6 +169,7 @@ let cmd =
     Term.(
       const run $ seeds_arg $ start_arg $ seed_arg $ sites_arg $ regular_arg
       $ non_regular_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
-      $ net_windows_arg $ no_crash_base_arg $ oracle_arg $ mutate_arg $ verbose_arg $ out_arg)
+      $ net_windows_arg $ no_crash_base_arg $ oracle_arg $ spread_arg $ hierarchy_arg
+      $ mutate_arg $ verbose_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

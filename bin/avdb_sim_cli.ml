@@ -49,9 +49,15 @@ let granting_conv =
   Arg.conv (parse, fun ppf g -> Format.pp_print_string ppf (Avdb_av.Strategy.Granting.name g))
 
 let run retailers items initial updates mode allocation selection granting skew
-    maker_weight latency_ms drop dup reorder rpc_retries rpc_backoff_ms sync_ms prefetch seed
-    checkpoints csv trace_out metrics_out snapshot_every_ms check mutations =
+    maker_weight spread hierarchy latency_ms drop dup reorder rpc_retries rpc_backoff_ms
+    sync_ms prefetch seed checkpoints csv trace_out metrics_out snapshot_every_ms check
+    mutations =
   let n_sites = retailers + 1 in
+  let topology =
+    match spread with
+    | None -> Topology.flat
+    | Some k -> Topology.sharded ~spread:k ?hierarchy_fanout:hierarchy ()
+  in
   Mutation.reset ();
   List.iter Mutation.enable mutations;
   if mutations <> [] then
@@ -82,6 +88,7 @@ let run retailers items initial updates mode allocation selection granting skew
       allocation;
       strategy = { Avdb_av.Strategy.selection; granting };
       products = Product.catalogue ~n_regular:items ~n_non_regular:0 ~initial_amount:initial;
+      topology;
       latency = Avdb_net.Latency.Constant (Avdb_sim.Time.of_ms latency_ms);
       drop_probability = drop;
       duplicate_probability = dup;
@@ -101,7 +108,18 @@ let run retailers items initial updates mode allocation selection granting skew
       maker_weight;
     }
   in
-  let workload = Scm.create spec ~seed in
+  let workload =
+    match spread with
+    | None -> Scm.create spec ~seed
+    | Some _ ->
+        let subscribers item =
+          let topo = Cluster.topology cluster in
+          let base = Topology.base_index topo ~item in
+          Array.of_list
+            (base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item))
+        in
+        Scm.create_sharded spec ~subscribers ~seed
+  in
   (* --check threads every submission through the oracle's history
      recorder; the verdict prints after quiescence. *)
   let recorder =
@@ -235,6 +253,22 @@ let cmd =
   let maker_weight =
     Arg.(value & opt int 1 & info [ "maker-weight" ] ~docv:"N" ~doc:"Maker slots per workload cycle.")
   in
+  let spread =
+    Arg.(value & opt (some int) None
+        & info [ "spread" ] ~docv:"K"
+            ~doc:
+              "Shard the topology: each item gets a hash-chosen base site and is replicated \
+               at only $(docv) sites (partial replication); the workload rotates per item \
+               over its subscribers. Default: flat — site 0 bases everything, full \
+               replication.")
+  in
+  let hierarchy =
+    Arg.(value & opt (some int) None
+        & info [ "hierarchy" ] ~docv:"F"
+            ~doc:
+              "With --spread: AV requests climb an $(docv)-ary tree over each item's \
+               subscribers toward its base instead of flat peer selection.")
+  in
   let latency_ms =
     Arg.(value & opt float 1. & info [ "latency-ms" ] ~docv:"MS" ~doc:"Constant link latency.")
   in
@@ -321,9 +355,9 @@ let cmd =
   let term =
     Term.(
       const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
-      $ granting $ skew $ maker_weight $ latency_ms $ drop $ dup $ reorder $ rpc_retries
-      $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints $ csv $ trace_out
-      $ metrics_out $ snapshot_every_ms $ check $ mutations)
+      $ granting $ skew $ maker_weight $ spread $ hierarchy $ latency_ms $ drop $ dup
+      $ reorder $ rpc_retries $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints
+      $ csv $ trace_out $ metrics_out $ snapshot_every_ms $ check $ mutations)
   in
   Cmd.v
     (Cmd.info "avdb-sim" ~version:"1.0.0"

@@ -47,7 +47,18 @@ let richest t ~item ~exclude =
   | first :: rest -> Some (List.fold_left better first rest).site
 
 let forget_site t site =
-  Hashtbl.iter (fun _ tbl -> Hashtbl.remove tbl site) t.by_item
+  (* Also drop inner tables this removal empties: an item observed only
+     through the departed site would otherwise leave a permanent empty
+     hashtable behind, so join/leave churn would grow the view without
+     bound. *)
+  let emptied =
+    Hashtbl.fold
+      (fun item tbl acc ->
+        Hashtbl.remove tbl site;
+        if Hashtbl.length tbl = 0 then item :: acc else acc)
+      t.by_item []
+  in
+  List.iter (Hashtbl.remove t.by_item) emptied
 
 let items t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.by_item [] |> List.sort String.compare

@@ -30,6 +30,8 @@ val richest : t -> item:string -> exclude:Avdb_net.Address.Set.t -> Avdb_net.Add
     not considered. [None] if nothing qualifies. *)
 
 val forget_site : t -> Avdb_net.Address.t -> unit
-(** Drops all observations of a site (e.g. it crashed). *)
+(** Drops all observations of a site (e.g. it crashed), including any
+    per-item table the removal leaves empty, so repeated join/leave
+    cycles return the view to its prior footprint. *)
 
 val items : t -> string list

@@ -79,13 +79,21 @@ let eligible ~self ~exclude peers =
 
 let base_first candidates = match candidates with [] -> None | p :: _ -> Some p
 
-let select t ~rng ~state ~self ~peers ~view ~item ~exclude =
+(* Cold-start target: the caller-provided fallback (a hierarchy parent,
+   one hop toward the item's base) when it is still a candidate, else the
+   lowest-addressed candidate (the flat legacy order). *)
+let cold_start ~fallback candidates =
+  match fallback with
+  | Some f when List.exists (Address.equal f) candidates -> Some f
+  | Some _ | None -> base_first candidates
+
+let select t ~rng ~state ~self ~peers ~fallback ~view ~item ~exclude =
   let candidates = eligible ~self ~exclude peers in
   match candidates with
   | [] -> None
   | _ -> (
       match t.selection with
-      | Selection.Base_first -> base_first candidates
+      | Selection.Base_first -> cold_start ~fallback candidates
       | Selection.Random -> Some (Rng.pick rng (Array.of_list candidates))
       | Selection.Round_robin ->
           let n = List.length candidates in
@@ -94,8 +102,8 @@ let select t ~rng ~state ~self ~peers ~view ~item ~exclude =
           Some choice
       | Selection.Richest_known -> (
           (* Only consider sites we actually have observations for; among
-             the rest fall back to base-first so a cold cache still makes
-             progress. *)
+             the rest fall back to the cold-start order so a cold cache
+             still makes progress. *)
           let not_candidate site = not (List.exists (Address.equal site) candidates) in
           let exclude_non_candidates =
             List.fold_left
@@ -104,4 +112,4 @@ let select t ~rng ~state ~self ~peers ~view ~item ~exclude =
           in
           match Peer_view.richest view ~item ~exclude:exclude_non_candidates with
           | Some site -> Some site
-          | None -> base_first candidates))
+          | None -> cold_start ~fallback candidates))

@@ -59,9 +59,14 @@ val select :
   state:selection_state ->
   self:Avdb_net.Address.t ->
   peers:Avdb_net.Address.t list ->
+  fallback:Avdb_net.Address.t option ->
   view:Peer_view.t ->
   item:string ->
   exclude:Avdb_net.Address.Set.t ->
   Avdb_net.Address.t option
 (** Chooses the next site to ask, never [self] or an excluded site.
-    [None] when every peer is excluded. *)
+    [None] when every peer is excluded. [fallback] overrides the
+    cold-start order of [Base_first] and of [Richest_known]'s
+    nothing-observed case: a hierarchical topology passes the site's tree
+    parent there so first requests climb toward the item's base instead
+    of every subscriber hammering it directly. *)

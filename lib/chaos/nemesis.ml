@@ -28,6 +28,8 @@ type config = {
   max_net_windows : int;
   crash_base : bool;
   oracle : bool;
+  spread : int option;
+  hierarchy : int option;
 }
 
 let default ~seed =
@@ -43,6 +45,8 @@ let default ~seed =
     max_net_windows = 3;
     crash_base = true;
     oracle = false;
+    spread = None;
+    hierarchy = None;
   }
 
 (* --- schedule generation --- *)
@@ -143,11 +147,17 @@ let mk_cluster cfg =
     Product.catalogue ~n_regular:cfg.n_regular ~n_non_regular:cfg.n_non_regular
       ~initial_amount:100
   in
+  let topology =
+    match cfg.spread with
+    | None -> Topology.flat
+    | Some spread -> Topology.sharded ~spread ?hierarchy_fanout:cfg.hierarchy ()
+  in
   Cluster.create
     {
       Config.default with
       Config.n_sites = cfg.n_sites;
       products;
+      topology;
       rpc_timeout = Time.of_ms 20.;
       rpc_retry =
         {
@@ -215,17 +225,29 @@ let execute cfg schedule =
   let items =
     Array.of_list (List.map (fun p -> (p.Product.name, p.Product.initial_amount)) products)
   in
+  let wl_spec =
+    {
+      Scm.n_sites = cfg.n_sites;
+      items;
+      maker_increase_pct = 0.2;
+      retailer_decrease_pct = 0.1;
+      item_skew = 0.;
+      maker_weight = 1;
+    }
+  in
   let wl =
-    Scm.create
-      {
-        Scm.n_sites = cfg.n_sites;
-        items;
-        maker_increase_pct = 0.2;
-        retailer_decrease_pct = 0.1;
-        item_skew = 0.;
-        maker_weight = 1;
-      }
-      ~seed:cfg.seed
+    match cfg.spread with
+    | None -> Scm.create wl_spec ~seed:cfg.seed
+    | Some _ ->
+        (* partial replication: rotate each item over its own subscribers
+           (base first) so no site updates an item outside its interest *)
+        let subscribers item =
+          let topology = Cluster.topology cluster in
+          let base = Topology.base_index topology ~item in
+          Array.of_list
+            (base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item))
+        in
+        Scm.create_sharded wl_spec ~subscribers ~seed:cfg.seed
   in
   (* Oracle mode records every client-visible operation into a history and
      injects replica reads, so the end-of-run verdict can also judge
@@ -274,7 +296,11 @@ let execute cfg schedule =
             if not (Site.is_down (site s)) then
               if auth then
                 Avdb_check.History.read_authoritative h ~engine (site s) ~item (fun _ -> ())
-              else ignore (Avdb_check.History.read_local h ~engine (site s) ~item))
+              else if
+                (* a local read at a non-subscriber answers None by design,
+                   not staleness — route session checks to replica holders *)
+                Cluster.interested cluster ~site:s ~item
+              then ignore (Avdb_check.History.read_local h ~engine (site s) ~item))
       done);
   (* Horizon: heal the world, then drain to quiescence. *)
   at cfg.horizon_ms (fun () ->

@@ -55,6 +55,15 @@ type config = {
           cross-checks) to the violations. Off by default — the injected
           reads alter the message traffic, so a given seed's outcome
           differs between oracle and plain runs. *)
+  spread : int option;
+      (** [Some k]: run on a sharded topology — per-item hashed bases and
+          partial replication at [k] sites per item
+          ({!Avdb_core.Topology.sharded}). The workload and oracle reads
+          stay within each item's interest set. [None] (default): the
+          paper's flat topology. *)
+  hierarchy : int option;
+      (** with [spread]: hierarchical AV circulation fanout
+          ([hierarchy_fanout]); ignored on the flat topology. *)
 }
 
 val default : seed:int -> config

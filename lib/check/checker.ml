@@ -4,6 +4,7 @@ type snapshot = {
   mode : Config.mode;
   products : Product.t list;
   replicas : (string * int option list) list;
+  bases : (string * int) list;
   books : (string * Model.books) list;
   granted : int;
   received : int;
@@ -13,11 +14,27 @@ let snapshot_of_cluster cluster =
   let config = Cluster.config cluster in
   let sites = Cluster.sites cluster in
   let products = config.Config.products in
+  let topology = Cluster.topology cluster in
+  let bases =
+    List.map
+      (fun (p : Product.t) ->
+        (p.Product.name, Topology.base_index topology ~item:p.Product.name))
+      products
+  in
+  (* An item's replica holders, the base first: the convergence and
+     virtual-final-read checks key on the head being the primary copy.
+     Under partial replication only subscribers appear at all. *)
+  let holder_sites item =
+    let base = Topology.base_index topology ~item in
+    base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item)
+  in
   let replicas =
     List.map
       (fun (p : Product.t) ->
-        ( p.Product.name,
-          Array.to_list (Array.map (fun s -> Site.amount_of s ~item:p.Product.name) sites) ))
+        let item = p.Product.name in
+        ( item,
+          List.map (fun i -> Site.amount_of (Cluster.site cluster i) ~item) (holder_sites item)
+        ))
       products
   in
   let books =
@@ -30,7 +47,10 @@ let snapshot_of_cluster cluster =
             else
               let item = p.Product.name in
               let sum f =
-                Array.fold_left (fun acc s -> acc + f (Site.av_table s) ~item) 0 sites
+                List.fold_left
+                  (fun acc i -> acc + f (Site.av_table (Cluster.site cluster i)) ~item)
+                  0
+                  (Cluster.subscribers cluster ~item)
               in
               Some
                 ( item,
@@ -52,7 +72,7 @@ let snapshot_of_cluster cluster =
       (fun acc s -> acc + (Site.metrics s).Update.Metrics.av_volume_received)
       0 sites
   in
-  { mode = config.Config.mode; products; replicas; books; granted; received }
+  { mode = config.Config.mode; products; replicas; bases; books; granted; received }
 
 type violation =
   | Double_response of { entry : History.entry }
@@ -196,7 +216,7 @@ let minimal_prefix ~initial ops =
    time and reads take no locks, so a read during an in-doubt window
    legitimately sees uncommitted deltas — those reads get the weaker
    subset check below instead of a linearizability slot. *)
-let strong_ops_for_item entries ~item ~with_reads =
+let strong_ops_for_item entries ~item ~base ~with_reads =
   List.filter_map
     (fun (e : History.entry) ->
       match e.History.op with
@@ -245,7 +265,7 @@ let strong_ops_for_item entries ~item ~with_reads =
                 }
           | _ -> None)
       | History.Read_local { item = i }
-        when with_reads && String.equal i item && e.History.site = 0 -> (
+        when with_reads && String.equal i item && e.History.site = base -> (
           (* the base's local replica IS the primary copy in this mode *)
           match e.History.resp with
           | Some (History.Read_value v) ->
@@ -261,8 +281,8 @@ let strong_ops_for_item entries ~item ~with_reads =
       | _ -> None)
     entries
 
-let check_strong_item ~entries ~replicas ~quiescent ~initial ~with_reads item =
-  let ops = strong_ops_for_item entries ~item ~with_reads in
+let check_strong_item ~entries ~replicas ~quiescent ~initial ~base ~with_reads item =
+  let ops = strong_ops_for_item entries ~item ~base ~with_reads in
   let ops =
     if not quiescent then ops
     else
@@ -349,6 +369,8 @@ let check ?(quiescent = true) ~history snapshot =
     | None -> None
   in
   let streams = delay_streams entries in
+  (* the item's primary site; [] bases means the legacy single base 0 *)
+  let base_of item = Option.value ~default:0 (List.assoc_opt item snapshot.bases) in
 
   (* 1. every continuation fires at most once *)
   List.iter
@@ -365,6 +387,7 @@ let check ?(quiescent = true) ~history snapshot =
       | Some initial -> (
           match
             check_strong_item ~entries ~replicas:snapshot.replicas ~quiescent ~initial
+              ~base:(base_of item)
               ~with_reads:(snapshot.mode = Config.Centralized) item
           with
           | `Ok n -> n_lin_ops := !n_lin_ops + n
@@ -424,7 +447,7 @@ let check ?(quiescent = true) ~history snapshot =
       in
       match e.History.op with
       | History.Read_local { item } -> examine ~item ~self:e.History.site
-      | History.Read_auth { item } -> examine ~item ~self:0
+      | History.Read_auth { item } -> examine ~item ~self:(base_of item)
       | _ -> ())
     entries;
 

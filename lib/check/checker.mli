@@ -47,7 +47,13 @@ type snapshot = {
   mode : Avdb_core.Config.mode;
   products : Avdb_core.Product.t list;
   replicas : (string * int option list) list;
-      (** per item, each site's replica value in site order *)
+      (** per item, each {e replica-holding} site's value — the base's
+          first, then the remaining subscribers in site order (every site,
+          under full replication) *)
+  bases : (string * int) list;
+      (** per item, its base (primary) site index; [[]] means the legacy
+          single base, site 0 — manual snapshots for flat topologies can
+          leave it empty *)
   books : (string * Model.books) list;  (** per regular item, autonomous mode *)
   granted : int;  (** Σ sites' AV volume granted to peers *)
   received : int;  (** Σ sites' AV volume received from peers *)
@@ -69,7 +75,8 @@ type violation =
       (** at quiescence: replicas disagree, or agree on a value other than
           the model's replay ([expected], when the model pins one down) *)
   | Negative_amount of { item : string; site : int; value : int }
-      (** a quiesced replica holds negative stock *)
+      (** a quiesced replica holds negative stock; [site] is the position
+          in the snapshot's (base-first) replica list *)
   | Stale_read of { read : History.entry; item : string; value : int option }
       (** a replica read outside the reachable set: it misses the reading
           site's own committed writes, or shows a value no combination of

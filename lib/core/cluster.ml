@@ -9,7 +9,12 @@ type t = {
   engine : Engine.t;
   rpc : (Protocol.request, Protocol.response, Protocol.notice) Rpc.t;
   shared : Site.shared;
-  mutable sites : Site.t array;
+  topology : Topology.t;
+  (* Geometric-growth site store: [add_retailer] appends in amortised O(1)
+     instead of copying the whole array per join (1000 sequential joins
+     used to allocate O(N^2) words). *)
+  mutable store : Site.t array;
+  mutable len : int;
   trace : Trace.t;
   tracer : Tracer.t;
   registry : Obs_registry.t;
@@ -19,27 +24,52 @@ type t = {
   mutable snapshots_armed : bool;
 }
 
-(* Initial AV for one regular product at one site. The remainder of an
-   uneven split goes to the base so no volume is lost. *)
-let initial_av config ~site_index ~initial_amount =
-  let n = config.Config.n_sites in
+let iter_sites t f =
+  for i = 0 to t.len - 1 do
+    f t.store.(i)
+  done
+
+let fold_sites t f init =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.store.(i)
+  done;
+  !acc
+
+let push_site t site =
+  if t.len = Array.length t.store then begin
+    let grown = Array.make (Stdlib.max 8 (2 * Array.length t.store)) site in
+    Array.blit t.store 0 grown 0 t.len;
+    t.store <- grown
+  end;
+  t.store.(t.len) <- site;
+  t.len <- t.len + 1
+
+(* Initial AV for one regular product at one of its subscribers, by the
+   site's rank among them (base = rank 0, [count] subscribers total). The
+   remainder of an uneven split goes to rank 0 so no volume is lost. Under
+   full replication rank/count coincide with site index / N, reproducing
+   the legacy allocation exactly. *)
+let initial_av config ~rank ~count ~initial_amount =
   match config.Config.allocation with
-  | Config.All_at_base -> if site_index = 0 then initial_amount else 0
+  | Config.All_at_base -> if rank = 0 then initial_amount else 0
   | Config.Even ->
-      let share = initial_amount / n in
-      if site_index = 0 then initial_amount - (share * (n - 1)) else share
+      let share = initial_amount / count in
+      if rank = 0 then initial_amount - (share * (count - 1)) else share
   | Config.Retailers_only ->
-      if n = 1 then if site_index = 0 then initial_amount else 0
+      if count = 1 then if rank = 0 then initial_amount else 0
       else begin
-        let retailers = n - 1 in
+        let retailers = count - 1 in
         let share = initial_amount / retailers in
-        if site_index = 0 then 0
-        else if site_index = 1 then initial_amount - (share * (retailers - 1))
+        if rank = 0 then 0
+        else if rank = 1 then initial_amount - (share * (retailers - 1))
         else share
       end
 
 (* Everything a site counts, exposed as gauges sourced from the mutable
-   records the hot paths already maintain — registration is the only cost. *)
+   records the hot paths already maintain — registration is the only cost.
+   Per-item AV gauges are registered only for the site's interest set, so
+   registration stays O(interest), not O(catalogue), per site. *)
 let register_site_metrics t site =
   let site_label = Address.to_string (Site.addr site) in
   let labels = [ ("site", site_label) ] in
@@ -74,10 +104,14 @@ let register_site_metrics t site =
   g "net.reordered" (fun () -> float_of_int s.Stats.reordered);
   g "net.retries" (fun () -> float_of_int s.Stats.retries);
   g "net.correspondences" (fun () -> float_of_int s.Stats.correspondences);
-  if t.config.Config.mode = Config.Autonomous then
+  if t.config.Config.mode = Config.Autonomous then begin
+    let site_index = Address.to_int (Site.addr site) in
     List.iter
       (fun product ->
-        if Product.is_regular product then begin
+        if
+          Product.is_regular product
+          && Topology.interested t.topology ~site:site_index ~item:product.Product.name
+        then begin
           let item = product.Product.name in
           let av = Site.av_table site in
           Obs_registry.gauge t.registry
@@ -86,6 +120,27 @@ let register_site_metrics t site =
             (fun () -> float_of_int (Av_table.available av ~item))
         end)
       t.config.Config.products
+  end
+
+(* Initial per-site AV ledger: a subscriber's slice of every regular item
+   in its interest set. Non-subscribers get no entry at all — their ledger,
+   like their stock table, is bounded by the interest set. *)
+let av_init_for config topology ~site_index =
+  List.filter_map
+    (fun product ->
+      let item = product.Product.name in
+      if Product.is_regular product && Topology.interested topology ~site:site_index ~item
+      then
+        let count = Topology.subscriber_count topology ~item in
+        let rank =
+          match Topology.rank topology ~site:site_index ~item with
+          | Some r -> r
+          | None -> 0 (* unreachable: interested implies ranked *)
+        in
+        Some
+          (item, initial_av config ~rank ~count ~initial_amount:product.Product.initial_amount)
+      else None)
+    config.Config.products
 
 let create config =
   (match Config.validate config with
@@ -104,23 +159,19 @@ let create config =
       ~notice_size:Protocol.wire_size_notice ~tracer
       ~request_label:Protocol.request_label ()
   in
-  let all_addrs = List.init config.Config.n_sites Address.of_int in
+  let topology =
+    Topology.create config.Config.topology ~n_sites:config.Config.n_sites
+      ~items:(List.map (fun p -> p.Product.name) config.Config.products)
+  in
   let trace = Trace.create () in
-  let shared = { Site.engine; rpc; config; all_addrs; trace; tracer } in
-  let sites =
+  let shared =
+    { Site.engine; rpc; config; topology; n_members = config.Config.n_sites; trace; tracer }
+  in
+  let store =
     Array.init config.Config.n_sites (fun site_index ->
-        let av_init =
-          List.filter_map
-            (fun product ->
-              if Product.is_regular product then
-                Some
-                  ( product.Product.name,
-                    initial_av config ~site_index
-                      ~initial_amount:product.Product.initial_amount )
-              else None)
-            config.Config.products
-        in
-        Site.create shared ~addr:(Address.of_int site_index) ~av_init)
+        Site.create shared
+          ~addr:(Address.of_int site_index)
+          ~av_init:(av_init_for config topology ~site_index))
   in
   let registry = Obs_registry.create () in
   let violations = Obs_registry.counter registry "invariant.violations" in
@@ -130,7 +181,9 @@ let create config =
       engine;
       rpc;
       shared;
-      sites;
+      topology;
+      store;
+      len = Array.length store;
       trace;
       tracer;
       registry;
@@ -138,38 +191,52 @@ let create config =
       snapshots_armed = false;
     }
   in
-  Array.iter (register_site_metrics t) sites;
+  Array.iter (register_site_metrics t) store;
   t
 
 let config t = t.config
 let engine t = t.engine
-let sites t = t.sites
-let site t i = t.sites.(i)
-let base_site t = t.sites.(0)
-let n_sites t = Array.length t.sites
+let topology t = t.topology
+let sites t = Array.sub t.store 0 t.len
+
+let site t i =
+  if i < 0 || i >= t.len then invalid_arg "Cluster.site: index out of range";
+  t.store.(i)
+
+let base_site t = t.store.(0)
+let base_site_for t ~item = t.store.(Topology.base_index t.topology ~item)
+let n_sites t = t.len
 let net_stats t = Rpc.stats t.rpc
 let trace t = t.trace
 let tracer t = t.tracer
 let registry t = t.registry
+let subscribers t ~item = Topology.subscribers t.topology ~item
+let interested t ~site ~item = Topology.interested t.topology ~site ~item
 
 let replica_amounts t ~item =
-  Array.to_list
-    (Array.map
-       (fun s ->
-         match Site.amount_of s ~item with
-         | Some n -> n
-         | None -> invalid_arg ("Cluster.replica_amounts: unknown item " ^ item))
-       t.sites)
+  List.map
+    (fun i ->
+      match Site.amount_of t.store.(i) ~item with
+      | Some n -> n
+      | None -> invalid_arg ("Cluster.replica_amounts: unknown item " ^ item))
+    (subscribers t ~item)
 
 let av_sum t ~item =
-  Array.fold_left (fun acc s -> acc + Av_table.total (Site.av_table s) ~item) 0 t.sites
+  List.fold_left
+    (fun acc i -> acc + Av_table.total (Site.av_table t.store.(i)) ~item)
+    0 (subscribers t ~item)
 
 (* AV conservation: volume is only created by [define] and [mint] and only
    destroyed by [consume]; grants merely move it between sites. Holds even
    while replicas still disagree, so it is checkable right after a fault
-   window closes, before convergence. *)
+   window closes, before convergence. Only the item's subscribers can hold
+   its AV, so the fold is O(interest), not O(N). *)
 let av_conservation t ~item =
-  let sum f = Array.fold_left (fun acc s -> acc + f (Site.av_table s) ~item) 0 t.sites in
+  let sum f =
+    List.fold_left
+      (fun acc i -> acc + f (Site.av_table t.store.(i)) ~item)
+      0 (subscribers t ~item)
+  in
   let live = sum Av_table.total in
   let consumed = sum Av_table.consumed in
   let minted = sum Av_table.minted in
@@ -242,22 +309,36 @@ let run ?until t =
   ignore (Engine.run ?until t.engine)
 
 (* A retailer entering the live system (the dynamic cooperation of the
-   paper's introduction): register on the network, bootstrap the catalogue
-   locally with zero AV on every regular item, then fetch the current
-   data and sync state from the base. AV arrives on demand through the
-   ordinary circulation. *)
-let add_retailer t callback =
-  let site_index = Array.length t.sites in
+   paper's introduction): declare an interest set to the shared topology,
+   register on the network, bootstrap the interest-scoped catalogue locally
+   with zero AV, then fetch the current data and sync state from each
+   interest item's base. AV arrives on demand through the ordinary
+   circulation. The membership event itself is O(interest): a topology
+   version bump plus a member-count bump — no address-list copy, no
+   broadcast to existing sites. *)
+let add_retailer ?interest t callback =
+  let site_index = t.len in
+  let items = List.map (fun p -> p.Product.name) t.config.Config.products in
+  let interest =
+    match interest with
+    | Some l -> l
+    | None -> Topology.default_joiner_interest t.topology ~site:site_index ~items
+  in
+  Topology.register_joiner t.topology ~site:site_index ~items:interest;
+  t.shared.Site.n_members <- site_index + 1;
   let addr = Address.of_int site_index in
-  t.shared.Site.all_addrs <- t.shared.Site.all_addrs @ [ addr ];
   let av_init =
     List.filter_map
       (fun product ->
-        if Product.is_regular product then Some (product.Product.name, 0) else None)
+        if
+          Product.is_regular product
+          && Topology.interested t.topology ~site:site_index ~item:product.Product.name
+        then Some (product.Product.name, 0)
+        else None)
       t.config.Config.products
   in
   let site = Site.create t.shared ~addr ~av_init in
-  t.sites <- Array.append t.sites [| site |];
+  push_site t site;
   register_site_metrics t site;
   Site.join site (fun result -> callback (site_index, result));
   site_index
@@ -281,8 +362,11 @@ let per_site_correspondences t =
     (Stats.sites (net_stats t))
   |> List.sort compare
 
+let live_words_per_site t =
+  List.init t.len (fun i -> (i, Site.live_words t.store.(i)))
+
 let flush_all_syncs t =
-  Array.iter (Site.flush_sync ~force:true) t.sites;
+  iter_sites t (Site.flush_sync ~force:true);
   run t
 
 (* 2PC decision agreement across the whole system: every site's durable
@@ -295,8 +379,7 @@ let decision_agreement t =
     Hashtbl.create 64
   in
   let problems = ref [] in
-  Array.iter
-    (fun s ->
+  iter_sites t (fun s ->
       List.iter
         (fun (e : Avdb_txn.Txn_log.entry) ->
           match e.Avdb_txn.Txn_log.outcome with
@@ -312,14 +395,11 @@ let decision_agreement t =
                         Avdb_txn.Two_phase.pp_decision d' Address.pp witness
                         Avdb_txn.Two_phase.pp_decision d Address.pp (Site.addr s)
                       :: !problems))
-        (Avdb_txn.Txn_log.entries (Site.txn_log s)))
-    t.sites;
+        (Avdb_txn.Txn_log.entries (Site.txn_log s)));
   match List.rev !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
 
 let in_doubt_total t =
-  Array.fold_left
-    (fun acc s -> acc + Avdb_txn.Txn_log.in_flight (Site.txn_log s))
-    0 t.sites
+  fold_sites t (fun acc s -> acc + Avdb_txn.Txn_log.in_flight (Site.txn_log s)) 0
 
 let check_invariants t =
   let problems = ref [] in
@@ -329,7 +409,9 @@ let check_invariants t =
       let item = product.Product.name in
       let amounts = replica_amounts t ~item in
       (* In centralized mode only the base copy is authoritative; retailer
-         replicas are never written, so agreement is not expected. *)
+         replicas are never written, so agreement is not expected. Under
+         partial replication only subscribers hold a replica at all, so
+         agreement is checked — and priced — over the interest set. *)
       (match amounts with
       | first :: rest
         when t.config.Config.mode = Config.Autonomous
@@ -339,14 +421,20 @@ let check_invariants t =
       | _ -> ());
       if Product.is_regular product && t.config.Config.mode = Config.Autonomous then begin
         let sum = av_sum t ~item in
-        let amount = List.hd amounts in
-        if sum <> amount then add "%s: AV sum %d <> replicated amount %d" item sum amount;
-        Array.iter
-          (fun s ->
+        let base_amount =
+          match Site.amount_of (base_site_for t ~item) ~item with
+          | Some n -> n
+          | None -> 0
+        in
+        if sum <> base_amount then
+          add "%s: AV sum %d <> replicated amount %d" item sum base_amount;
+        List.iter
+          (fun i ->
+            let s = t.store.(i) in
             let av = Site.av_table s in
             if Av_table.available av ~item < 0 || Av_table.held av ~item < 0 then
               add "%s: negative AV at %a" item Address.pp (Site.addr s))
-          t.sites
+          (subscribers t ~item)
       end)
     t.config.Config.products;
   match List.rev !problems with

@@ -10,10 +10,29 @@ val create : Config.t -> t
 
 val config : t -> Config.t
 val engine : t -> Avdb_sim.Engine.t
+
 val sites : t -> Site.t array
+(** A copy of the current membership, in site order. *)
+
 val site : t -> int -> Site.t
 val base_site : t -> Site.t
+(** Site 0 — the base of every item under the legacy flat topology. Under
+    per-item sharding prefer {!base_site_for}. *)
+
+val base_site_for : t -> item:string -> Site.t
+(** The item's base (primary) site under the configured topology. *)
+
 val n_sites : t -> int
+
+val topology : t -> Topology.t
+(** The resolved shared topology: per-item bases, interest sets, AV
+    hierarchy. *)
+
+val subscribers : t -> item:string -> int list
+(** Sorted indices of the sites replicating the item (base included);
+    every site under full replication. *)
+
+val interested : t -> site:int -> item:string -> bool
 
 val run : ?until:Avdb_sim.Time.t -> t -> unit
 (** Drains the event queue (bounded by [until] if given). *)
@@ -52,19 +71,28 @@ val total_correspondences : t -> int
 val per_site_correspondences : t -> (int * int) list
 (** [(site_index, correspondences)], sorted. *)
 
+val live_words_per_site : t -> (int * int) list
+(** [(site_index, {!Site.live_words})] for every site — the scale bench's
+    per-site footprint probe. *)
+
 val flush_all_syncs : t -> unit
 (** Forces every site to broadcast its pending Delay Update deltas, then
     drains the network — afterwards (absent message loss or down sites)
     replicas agree. *)
 
-val add_retailer : t -> (int * (unit, Update.reason) result -> unit) -> int
-(** Adds a retailer to the {e live} system: registers it on the network,
-    bootstraps its local database from the catalogue with zero AV, and
-    asynchronously fetches the base's current data and sync state
-    ({!Site.join}). Returns the new site index immediately; the callback
-    fires with the join outcome once the snapshot round-trip completes
-    (run the cluster). The newcomer acquires AV on demand through ordinary
-    circulation. *)
+val add_retailer :
+  ?interest:string list -> t -> (int * (unit, Update.reason) result -> unit) -> int
+(** Adds a retailer to the {e live} system: declares its interest set to
+    the shared topology, registers it on the network, bootstraps its local
+    database from the (interest-scoped) catalogue with zero AV, and
+    asynchronously fetches current data and sync state from each interest
+    item's base ({!Site.join}). Returns the new site index immediately;
+    the callback fires with the join outcome once the snapshot round-trips
+    complete (run the cluster). The newcomer acquires AV on demand through
+    ordinary circulation. [interest] defaults to
+    {!Topology.default_joiner_interest} (the whole catalogue under full
+    replication). The membership event is O(|interest|): no address-list
+    copy, no broadcast to existing sites, amortised O(1) appends. *)
 
 (** {2 Fault injection} *)
 
@@ -83,12 +111,13 @@ val set_reorder_probability : t -> float -> unit
 (** {2 Whole-system introspection for invariant checks} *)
 
 val replica_amounts : t -> item:string -> int list
-(** The item's amount at each site, in site order. *)
+(** The item's amount at each {e subscribed} site, in site order — every
+    site under full replication. *)
 
 val av_sum : t -> item:string -> int
-(** Σ over sites of (available + held) AV. At quiescence with no
-    in-flight grants this equals the item's globally-agreed amount when
-    the initial AV equals the initial stock. *)
+(** Σ over the item's subscribers of (available + held) AV. At quiescence
+    with no in-flight grants this equals the item's globally-agreed amount
+    when the initial AV equals the initial stock. *)
 
 val av_conservation : t -> item:string -> (unit, string) result
 (** Σ over sites of live AV (available + held) plus consumed volume, minus

@@ -31,6 +31,7 @@ type t = {
   record_history : bool;
   tracing : bool;
   prefetch_low : int option;
+  topology : Topology.spec;
   seed : int;
 }
 
@@ -60,6 +61,7 @@ let default =
     record_history = false;
     tracing = true;
     prefetch_low = None;
+    topology = Topology.flat;
     seed = 42;
   }
 
@@ -89,10 +91,13 @@ let validate t =
     | None -> false
   then Error "snapshot_interval must be positive"
   else begin
-    let names = List.map (fun p -> p.Product.name) t.products in
-    if List.length (List.sort_uniq String.compare names) <> List.length names then
-      Error "duplicate product names"
-    else Ok ()
+    match Topology.validate_spec t.topology ~n_sites:t.n_sites with
+    | Error _ as e -> e
+    | Ok () ->
+        let names = List.map (fun p -> p.Product.name) t.products in
+        if List.length (List.sort_uniq String.compare names) <> List.length names then
+          Error "duplicate product names"
+        else Ok ()
   end
 
 let pp ppf t =

@@ -84,6 +84,10 @@ type t = {
           Update leaves an item's available AV below this watermark, the
           accelerator replenishes in the background up to twice the
           watermark. [None] keeps the paper's purely on-demand scheme. *)
+  topology : Topology.spec;
+      (** per-item base assignment, replica placement (interest sets) and
+          optional hierarchical AV circulation — {!Topology.flat}
+          reproduces the paper's single-base fully-replicated setup *)
   seed : int;
 }
 

@@ -29,7 +29,10 @@ type request =
   | Read_request of { item : string }
   | Query_decision of { txid : int }
   | Peer_decision_query of { txid : int }
-  | Join_request
+  | Join_request of { wanted : string list option }
+      (** [None]: the whole catalogue (full replication); [Some items]:
+          only the joiner's interest set — a partially-replicating server
+          answers with just the rows and sync counters it holds for them *)
 
 type response =
   | Av_grant of {
@@ -75,7 +78,11 @@ let wire_size_request = function
   | Read_request { item } -> header + String.length item
   | Query_decision _ -> header + 8
   | Peer_decision_query _ -> header + 8
-  | Join_request -> header
+  | Join_request { wanted } ->
+      header
+      + (match wanted with
+        | None -> 0
+        | Some items -> List.fold_left (fun acc i -> acc + String.length i) 0 items)
 
 let wire_size_response = function
   | Av_grant { av_levels; sync; _ } ->
@@ -110,7 +117,7 @@ let request_label = function
   | Read_request _ -> "read"
   | Query_decision _ -> "query_decision"
   | Peer_decision_query _ -> "peer_decision_query"
-  | Join_request -> "join"
+  | Join_request _ -> "join"
 
 let pp_request ppf = function
   | Av_request { item; amount; requester_available; sync } ->
@@ -125,7 +132,11 @@ let pp_request ppf = function
   | Read_request { item } -> Format.fprintf ppf "read_request(%s)" item
   | Query_decision { txid } -> Format.fprintf ppf "query_decision(tx%d)" txid
   | Peer_decision_query { txid } -> Format.fprintf ppf "peer_decision_query(tx%d)" txid
-  | Join_request -> Format.pp_print_string ppf "join_request"
+  | Join_request { wanted } ->
+      Format.fprintf ppf "join_request(%s)"
+        (match wanted with
+        | None -> "all"
+        | Some items -> string_of_int (List.length items) ^ " items")
 
 let pp_response ppf = function
   | Av_grant { granted; donor_available; av_levels; sync } ->

@@ -66,10 +66,13 @@ type request =
       (** cooperative termination: a prepared participant whose
           coordinator is unreachable asks a fellow cohort member what it
           knows about the transaction *)
-  | Join_request
-      (** a new site asks the base for its initial data ("all data are
+  | Join_request of { wanted : string list option }
+      (** a new site asks a base for its initial data ("all data are
           assumed to be delivered to all the sites initially from the
-          base", §3.2) *)
+          base", §3.2). [None] requests the whole catalogue; under partial
+          replication a joiner sends [Some interest_set] to each distinct
+          per-item base so servers answer with only the rows and sync
+          counters they hold for those items *)
 
 type response =
   | Av_grant of {

@@ -14,7 +14,13 @@ type shared = {
   engine : Engine.t;
   rpc : (Protocol.request, Protocol.response, Protocol.notice) Rpc.t;
   config : Config.t;
-  mutable all_addrs : Address.t list;  (* grows when sites join at runtime *)
+  topology : Topology.t;
+      (* per-item bases, interest sets and the AV hierarchy; one copy for
+         the whole cluster *)
+  mutable n_members : int;
+      (* membership is dense (site i has address i), so one counter
+         replaces the old address list — a join is O(1), not an O(N) list
+         copy *)
   trace : Trace.t;
   tracer : Avdb_obs.Tracer.t;
 }
@@ -80,6 +86,10 @@ type t = {
   mutable sync_rr : int;  (* rotation cursor for [Config.sync_fanout] *)
   mutable sync_rot_left : int;  (* fanout flushes still owed this rotation *)
   prefetch_in_flight : (string, unit) Hashtbl.t;
+  (* [peers_for ~item] memo, stamped with the topology version so joins
+     invalidate it without any broadcast. Only populated under partial
+     replication: its size is bounded by the site's interest set. *)
+  peer_cache : (string, int * Address.t list) Hashtbl.t;
   mutable history_seq : int;
   mutable sync_flush_scheduled : bool;
   mutable next_txn_seq : int;
@@ -113,7 +123,49 @@ let engine t = t.shared.engine
 let config t = t.shared.config
 let now t = Engine.now (engine t)
 let is_down t = Network.is_down (network t) t.addr
-let peers t = List.filter (fun a -> not (Address.equal a t.addr)) t.shared.all_addrs
+let site_index t = Address.to_int t.addr
+let topology t = t.shared.topology
+
+let peers t =
+  List.filter_map
+    (fun i -> if i = site_index t then None else Some (Address.of_int i))
+    (List.init t.shared.n_members (fun i -> i))
+
+(* --- per-item topology routing --- *)
+
+let base_addr_for t ~item = Address.of_int (Topology.base_index (topology t) ~item)
+let interested_in t ~item = Topology.interested (topology t) ~site:(site_index t) ~item
+
+let peer_interested t peer ~item =
+  Topology.interested (topology t) ~site:(Address.to_int peer) ~item
+
+(* The item's subscribers minus this site: the AV-selection candidates,
+   the Immediate Update cohort and the sync audience. Cached per item
+   under partial replication (bounded by the interest set); computed
+   directly under full replication, where caching every peer list would
+   cost O(items × N) per site. *)
+let peers_for t ~item =
+  let topo = topology t in
+  if Topology.is_full topo then peers t
+  else begin
+    let v = Topology.version topo in
+    match Hashtbl.find_opt t.peer_cache item with
+    | Some (v', l) when v' = v -> l
+    | _ ->
+        let l =
+          List.filter_map
+            (fun i -> if i = site_index t then None else Some (Address.of_int i))
+            (Topology.subscribers topo ~item)
+        in
+        Hashtbl.replace t.peer_cache item (v, l);
+        l
+  end
+
+(* Hierarchical AV circulation: the cold-cache fallback target is this
+   site's parent in the item's subscriber tree, so requests climb toward
+   the base instead of all N subscribers hammering it directly. *)
+let av_fallback t ~item =
+  Option.map Address.of_int (Topology.av_parent (topology t) ~site:(site_index t) ~item)
 
 let trace t ?level ~category fmt =
   Trace.recordf t.shared.trace ~at:(now t) ?level ~category fmt
@@ -166,6 +218,23 @@ let amount_of t ~item =
 
 let item_known t ~item = Database.mem t.db ~table:stock_table ~key:item
 
+(* Heap words reachable from the site's replica + protocol state: stock
+   rows, AV ledger, peer view, sync sender/receiver tables and the peer
+   cache. Deliberately excludes the WAL and audit history (they grow with
+   applied-update count, not with the catalogue) — this is the quantity
+   partial replication bounds by the interest set. *)
+let live_words t =
+  Obj.reachable_words
+    (Obj.repr
+       ( Database.table t.db stock_table,
+         t.av,
+         t.view,
+         t.sync_out,
+         t.conveyed_sync,
+         t.applied_sync,
+         t.applied_high,
+         t.peer_cache ))
+
 (* Transaction ids for Immediate Update must be globally unique; reserve a
    large per-site range keyed by the address. *)
 let fresh_txid t =
@@ -189,18 +258,26 @@ let queue_sync t ~item ~delta =
 
 (* Counters a peer is not yet known to hold: everything stamped after the
    last piggyback that peer acknowledged (or everything, when [force]d —
-   recovery and quiescence flushes must not trust optimistic state). *)
+   recovery and quiescence flushes must not trust optimistic state).
+   Under partial replication, counters for items the peer does not
+   subscribe to are omitted — it has no row to apply them to and must
+   never be made to track them. *)
 let sync_payload_for t ~force peer =
   let upto =
     if force then 0
     else Option.value ~default:0 (Hashtbl.find_opt t.conveyed_sync (Address.to_int peer))
   in
   if t.sync_seq <= upto then []
-  else
+  else begin
+    let full = Topology.is_full (topology t) in
     Hashtbl.fold
-      (fun item s acc -> if s.version > upto then (item, s.version, s.cum) :: acc else acc)
+      (fun item s acc ->
+        if s.version > upto && (full || peer_interested t peer ~item) then
+          (item, s.version, s.cum) :: acc
+        else acc)
       t.sync_out []
     |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  end
 
 let note_sync_conveyed t peer ~upto =
   let p = Address.to_int peer in
@@ -325,8 +402,26 @@ let flush_sync ?(force = false) t =
   if (not (is_down t)) && Hashtbl.length t.sync_out > 0 then begin
     let new_deltas = t.sync_seq > t.sync_flushed_seq in
     t.sync_flushed_seq <- t.sync_seq;
+    (* The audience: every peer under full replication; under partial
+       replication only the union of the pending items' subscribers — a
+       forced convergence flush included, so nothing here is O(N) per
+       event unless the interest sets themselves are. *)
+    let audience =
+      if Topology.is_full (topology t) then peers t
+      else begin
+        let seen = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun item _ ->
+            List.iter
+              (fun i -> if i <> site_index t then Hashtbl.replace seen i ())
+              (Topology.subscribers (topology t) ~item))
+          t.sync_out;
+        Hashtbl.fold (fun i () acc -> Address.of_int i :: acc) seen []
+        |> List.sort Address.compare
+      end
+    in
     let targets =
-      let all = peers t in
+      let all = audience in
       match (config t).Config.sync_fanout with
       | Some k when (not force) && k < List.length all ->
           let n = List.length all in
@@ -475,7 +570,7 @@ let handle_av_request t ~src ~span ~item ~amount ~requester_available ~sync ~rep
        })
 
 let handle_central_update t ~item ~delta ~reply =
-  if not (Address.equal t.addr t.base_addr) then
+  if not (Address.equal t.addr (base_addr_for t ~item)) then
     reply (Protocol.Bad_request "central update at non-base site")
   else
     match amount_of t ~item with
@@ -550,15 +645,15 @@ let finalize_participant t ~txid decision =
    recovery restarting the checks with a fresh budget. *)
 let max_decision_queries = 64
 
-let termination_targets t ~coordinator ~cohort =
+let termination_targets t ~coordinator ~cohort ~item =
   let fellows =
     List.filter
       (fun a -> not (Address.equal a t.addr || Address.equal a coordinator))
       cohort
   in
-  (* the base first among the fellows: it is the one whose ack defines
-     user-visible completion, so it is the most likely to know *)
-  let base, rest = List.partition (Address.equal t.base_addr) fellows in
+  (* the item's base first among the fellows: it is the one whose ack
+     defines user-visible completion, so it is the most likely to know *)
+  let base, rest = List.partition (Address.equal (base_addr_for t ~item)) fellows in
   coordinator :: (base @ rest)
 
 let rec schedule_termination_check t ~txid =
@@ -585,6 +680,7 @@ let rec schedule_termination_check t ~txid =
                 else begin
                   let targets =
                     termination_targets t ~coordinator:p.p_coordinator ~cohort:p.p_cohort
+                      ~item:p.p_item
                   in
                   let target = List.nth targets (p.p_queries mod List.length targets) in
                   p.p_queries <- p.p_queries + 1;
@@ -809,7 +905,8 @@ let rec maybe_prefetch t ~item =
         let exclude = Address.Set.singleton t.addr in
         match
           Strategy.select strategy ~rng:t.rng ~state:t.sel_state ~self:t.addr
-            ~peers:t.shared.all_addrs ~view:t.view ~item ~exclude
+            ~peers:(peers_for t ~item) ~fallback:(av_fallback t ~item) ~view:t.view ~item
+            ~exclude
         with
         | None -> ()
         | Some target ->
@@ -911,7 +1008,8 @@ let acquire_av t ?parent ~item ~need k =
         let strategy = (config t).Config.strategy in
         match
           Strategy.select strategy ~rng:t.rng ~state:t.sel_state ~self:t.addr
-            ~peers:t.shared.all_addrs ~view:t.view ~item ~exclude:!tried
+            ~peers:(peers_for t ~item) ~fallback:(av_fallback t ~item) ~view:t.view ~item
+            ~exclude:!tried
         with
         | None -> give_up Update.Av_exhausted
         | Some target ->
@@ -1092,9 +1190,12 @@ let immediate_update t ~item ~delta ~finish =
     span_end t root;
     finish outcome
   in
-  let participant_addrs = peers t in
+  (* Cohort = the item's replica set (everyone under full replication);
+     user-visible completion keys on the item's base, not a global one. *)
+  let participant_addrs = peers_for t ~item in
   let machine =
-    Two_phase.Coordinator.create ~txid ~participants:participant_addrs ~base:t.base_addr
+    Two_phase.Coordinator.create ~txid ~participants:participant_addrs
+      ~base:(base_addr_for t ~item)
   in
   Txn_log.record_start t.txn_log ~txid ~coordinator:t.addr ~cohort:participant_addrs ~item
     ~delta ~at:(now t);
@@ -1226,7 +1327,8 @@ let centralized_update t ~item ~delta ~finish =
     span_end t root;
     finish outcome
   in
-  if Address.equal t.addr t.base_addr then
+  let base_addr = base_addr_for t ~item in
+  if Address.equal t.addr base_addr then
     match amount_of t ~item with
     | None -> finish (Update.Rejected (Update.Unknown_item item))
     | Some current ->
@@ -1243,7 +1345,7 @@ let centralized_update t ~item ~delta ~finish =
           finish (Update.Applied Update.Central)
         end
   else
-    Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
+    Rpc.call t.shared.rpc ~src:t.addr ~dst:base_addr
       ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:root
       (Protocol.Central_update { item; delta })
       (fenced t (fun response ->
@@ -1263,73 +1365,130 @@ let centralized_update t ~item ~delta ~finish =
    folded into it: our own cumulative counters and everything we have
    applied from other origins. The joiner seeds its receiver state with
    these, so later notices apply only what the snapshot missed. *)
-let handle_join t ~reply =
+let handle_join t ~wanted ~reply =
+  let want =
+    match wanted with
+    | None -> fun _ -> true
+    | Some items ->
+        let set = Hashtbl.create (List.length items) in
+        List.iter (fun i -> Hashtbl.replace set i ()) items;
+        fun item -> Hashtbl.mem set item
+  in
   let rows =
     Table.fold (Database.table t.db stock_table) ~init:[] ~f:(fun acc item row ->
-        (item, Value.as_int row.(0), Value.as_bool row.(1)) :: acc)
+        if want item then (item, Value.as_int row.(0), Value.as_bool row.(1)) :: acc
+        else acc)
     |> List.rev
   in
   let own =
     Hashtbl.fold
-      (fun item s acc -> (Address.to_int t.addr, item, s.version, s.cum) :: acc)
+      (fun item s acc ->
+        if want item then (Address.to_int t.addr, item, s.version, s.cum) :: acc else acc)
       t.sync_out []
   in
   let applied =
     Hashtbl.fold
-      (fun (origin, item) (version, counter) acc -> (origin, item, version, counter) :: acc)
+      (fun (origin, item) (version, counter) acc ->
+        if want item then (origin, item, version, counter) :: acc else acc)
       t.applied_sync []
   in
   reply (Protocol.Join_snapshot { rows; sync_state = own @ applied })
 
-(* Fetch the initial data from the base (the paper's initial delivery) and
-   overwrite the locally-bootstrapped catalogue with the live amounts. *)
-let join t callback =
-  if Address.equal t.addr t.base_addr then callback (Ok ())
+(* Apply one join snapshot: overwrite the locally-bootstrapped rows with
+   the live amounts and seed the sync receiver state with the counters
+   already folded into them. *)
+let apply_join_snapshot t ~rows ~sync_state =
+  let txn = Database.begin_txn t.db in
+  let ok =
+    List.for_all
+      (fun (item, amount, _regular) ->
+        match
+          Database.set_col txn ~table:stock_table ~key:item ~col:"amount" (Value.Int amount)
+        with
+        | Ok () -> true
+        | Error _ -> false)
+      rows
+  in
+  if ok then begin
+    Database.commit txn;
+    List.iter
+      (fun (origin, item, version, counter) ->
+        Hashtbl.replace t.applied_sync (origin, item) (version, counter);
+        if version > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin) then
+          Hashtbl.replace t.applied_high origin version)
+      sync_state;
+    true
+  end
   else begin
-    let root = span_start t ~category:"membership" "membership.join" in
-    let callback result =
-      (match result with Error _ -> span_warn t root | Ok () -> ());
-      span_end t root;
-      callback result
-    in
-    Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
-      ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:root
-      Protocol.Join_request
+    Database.abort txn;
+    false
+  end
+
+(* Fetch the initial data (the paper's initial delivery). Under full
+   replication: one snapshot from the global base. Under partial
+   replication there is no site that holds everything — the joiner groups
+   its interest set by per-item base and fetches one scoped snapshot per
+   distinct base, so join traffic is bounded by the interest set, never by
+   the catalogue. *)
+let join t callback =
+  let root = span_start t ~category:"membership" "membership.join" in
+  let callback result =
+    (match result with Error _ -> span_warn t root | Ok () -> ());
+    span_end t root;
+    callback result
+  in
+  let fetch ~dst ~wanted k =
+    Rpc.call t.shared.rpc ~src:t.addr ~dst ~timeout:(config t).Config.rpc_timeout
+      ~retry:(retry_policy t) ~span:root
+      (Protocol.Join_request { wanted })
       (fenced t (fun response ->
-        match response with
-        | Ok (Protocol.Join_snapshot { rows; sync_state }) ->
-            let txn = Database.begin_txn t.db in
-            let ok =
-              List.for_all
-                (fun (item, amount, _regular) ->
-                  match
-                    Database.set_col txn ~table:stock_table ~key:item ~col:"amount"
-                      (Value.Int amount)
-                  with
-                  | Ok () -> true
-                  | Error _ -> false)
-                rows
-            in
-            if ok then begin
-              Database.commit txn;
-              List.iter
-                (fun (origin, item, version, counter) ->
-                  Hashtbl.replace t.applied_sync (origin, item) (version, counter);
-                  if
-                    version
-                    > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin)
-                  then Hashtbl.replace t.applied_high origin version)
-                sync_state;
-              trace t ~category:"membership" "%a joined (%d items from base)" Address.pp
-                t.addr (List.length rows);
-              callback (Ok ())
-            end
-            else begin
-              Database.abort txn;
-              callback (Error Update.Txn_aborted)
-            end
-        | Ok _ -> callback (Error Update.Txn_aborted)
-        | Error Rpc.Timeout -> callback (Error Update.Unreachable)))
+           match response with
+           | Ok (Protocol.Join_snapshot { rows; sync_state }) ->
+               if apply_join_snapshot t ~rows ~sync_state then k (Ok (List.length rows))
+               else k (Error Update.Txn_aborted)
+           | Ok _ -> k (Error Update.Txn_aborted)
+           | Error Rpc.Timeout -> k (Error Update.Unreachable)))
+  in
+  if Topology.is_full (topology t) then begin
+    if Address.equal t.addr t.base_addr then callback (Ok ())
+    else
+      fetch ~dst:t.base_addr ~wanted:None (function
+        | Ok rows ->
+            trace t ~category:"membership" "%a joined (%d items from base)" Address.pp t.addr
+              rows;
+            callback (Ok ())
+        | Error e -> callback (Error e))
+  end
+  else begin
+    (* group this site's interest set (= its bootstrapped rows) by base *)
+    let by_base = Hashtbl.create 8 in
+    Table.fold (Database.table t.db stock_table) ~init:() ~f:(fun () item _ ->
+        let b = base_addr_for t ~item in
+        if not (Address.equal b t.addr) then
+          Hashtbl.replace by_base b (item :: Option.value ~default:[] (Hashtbl.find_opt by_base b)));
+    let groups = Hashtbl.fold (fun b items acc -> (b, items) :: acc) by_base [] in
+    match groups with
+    | [] -> callback (Ok ())
+    | _ ->
+        let outstanding = ref (List.length groups) in
+        let failed = ref None in
+        let total_rows = ref 0 in
+        List.iter
+          (fun (dst, items) ->
+            fetch ~dst ~wanted:(Some items) (fun result ->
+                (match result with
+                | Ok n -> total_rows := !total_rows + n
+                | Error e -> if !failed = None then failed := Some e);
+                decr outstanding;
+                if !outstanding = 0 then
+                  match !failed with
+                  | Some e -> callback (Error e)
+                  | None ->
+                      trace t ~category:"membership"
+                        "%a joined (%d items from %d bases)" Address.pp t.addr !total_rows
+                        (List.length groups);
+                      callback (Ok ())))
+          groups
   end
 
 (* --- public update entry point: the checking function --- *)
@@ -1370,9 +1529,10 @@ let read_local t ~item =
   | r -> r
 
 let read_authoritative t ~item callback =
+  let base_addr = base_addr_for t ~item in
   if is_down t then
     ignore (Engine.schedule (engine t) ~delay:Time.zero (fun () -> callback (Error Update.Unreachable)))
-  else if Address.equal t.addr t.base_addr then callback (Ok (amount_of t ~item))
+  else if Address.equal t.addr base_addr then callback (Ok (amount_of t ~item))
   else begin
     let root = span_start t ~category:"read" "read.authoritative" in
     span_field t root "item" item;
@@ -1381,7 +1541,7 @@ let read_authoritative t ~item callback =
       span_end t root;
       callback result
     in
-    Rpc.call t.shared.rpc ~src:t.addr ~dst:t.base_addr
+    Rpc.call t.shared.rpc ~src:t.addr ~dst:base_addr
       ~timeout:(config t).Config.rpc_timeout ~retry:(retry_policy t) ~span:root
       (Protocol.Read_request { item })
       (fenced t (fun response ->
@@ -1485,11 +1645,12 @@ let reinstall_in_doubt t (e : Txn_log.entry) =
    decision again, a bounded number of rounds (the participants' pull
    side is the unconditional safety net, so giving up the push cannot
    lose the outcome — it only delays stragglers). *)
-let install_recovered_coordinator t ~txid ~cohort decision =
+let install_recovered_coordinator t ~txid ~cohort ~item decision =
   if cohort = [] then Txn_log.record_end t.txn_log ~txid ~at:(now t)
   else begin
     let machine =
-      Two_phase.Coordinator.recovered ~txid ~participants:cohort ~base:t.base_addr decision
+      Two_phase.Coordinator.recovered ~txid ~participants:cohort
+        ~base:(base_addr_for t ~item) decision
     in
     let coord =
       { machine; finish = (fun _ -> ()); local_txn = None; local_finalized = true }
@@ -1569,9 +1730,11 @@ let replay_protocol_log t =
             trace t ~level:Trace.Warn ~category:"2pc"
               "tx%d presumed aborted on recovery at %a" txid Address.pp t.addr;
             Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
-            install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort Two_phase.Abort
+            install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort
+              ~item:e.Txn_log.item Two_phase.Abort
         | Some d when not e.Txn_log.ended ->
-            install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort d
+            install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort
+              ~item:e.Txn_log.item d
         | Some _ -> ()
       end
       else if e.Txn_log.outcome = None then reinstall_in_doubt t e)
@@ -1629,32 +1792,36 @@ let history_schema =
 
 let create shared ~addr ~av_init =
   let config = shared.config in
+  let topo = shared.topology in
+  let my_index = Address.to_int addr in
   let db = Database.create ~name:(Address.to_string addr) () in
   ignore (Database.create_table db ~name:stock_table stock_schema);
   if config.Config.record_history then
     ignore (Database.create_table db ~name:history_table history_schema);
   let txn = Database.begin_txn db in
+  (* Partial replication starts here: only the products this site
+     subscribes to get a local row — everything else is neither stored nor
+     tracked, so the site's live state is bounded by its interest set. *)
   List.iter
     (fun product ->
-      let row =
-        [|
-          Value.Int product.Product.initial_amount;
-          Value.Bool (Product.is_regular product);
-        |]
-      in
-      match Database.insert txn ~table:stock_table ~key:product.Product.name row with
-      | Ok () -> ()
-      | Error e -> failwith ("Site.create: " ^ e))
+      if Topology.interested topo ~site:my_index ~item:product.Product.name then begin
+        let row =
+          [|
+            Value.Int product.Product.initial_amount;
+            Value.Bool (Product.is_regular product);
+          |]
+        in
+        match Database.insert txn ~table:stock_table ~key:product.Product.name row with
+        | Ok () -> ()
+        | Error e -> failwith ("Site.create: " ^ e)
+      end)
     config.Config.products;
   Database.commit txn;
   let av = Av_table.create () in
   if config.Config.mode = Config.Autonomous then
     List.iter (fun (item, volume) -> Av_table.define av ~item ~volume) av_init;
-  let base_addr =
-    match List.sort Address.compare shared.all_addrs with
-    | [] -> invalid_arg "Site.create: empty cluster"
-    | lowest :: _ -> lowest
-  in
+  if shared.n_members < 1 then invalid_arg "Site.create: empty cluster";
+  let base_addr = Address.of_int 0 in
   let t =
     {
       shared;
@@ -1683,6 +1850,7 @@ let create shared ~addr ~av_init =
       sync_rr = 0;
       sync_rot_left = 0;
       prefetch_in_flight = Hashtbl.create 16;
+      peer_cache = Hashtbl.create 16;
       history_seq = 0;
       sync_flush_scheduled = false;
       next_txn_seq = 0;
@@ -1716,7 +1884,7 @@ let create shared ~addr ~av_init =
           reply (Protocol.Read_value { amount })
       | Protocol.Query_decision { txid } -> handle_query_decision t ~txid ~reply
       | Protocol.Peer_decision_query { txid } -> handle_peer_decision_query t ~txid ~reply
-      | Protocol.Join_request -> handle_join t ~reply)
+      | Protocol.Join_request { wanted } -> handle_join t ~wanted ~reply)
     ~notice:(fun ~src notice ->
       match notice with
       | Protocol.Sync_counters { counters; av_info; ack } ->

@@ -45,7 +45,19 @@ val history_key : int -> string
     shorter one. Exposed for the key-ordering test. *)
 
 val amount_of : t -> item:string -> int option
-(** Current local replica amount for an item. *)
+(** Current local replica amount for an item. [None] for items outside
+    this site's interest set — an unsubscribed site holds no row at all. *)
+
+val interested_in : t -> item:string -> bool
+(** Whether this site subscribes to the item (always true under full
+    replication). *)
+
+val live_words : t -> int
+(** Heap words reachable from the site's replica and protocol state
+    (stock rows, AV ledger, peer view, sync counters); excludes the WAL
+    and audit history, which grow with update count rather than catalogue
+    size. Under partial replication this is bounded by the interest set,
+    not the global item count. *)
 
 val submit_update : t -> item:string -> delta:int -> (Update.result -> unit) -> unit
 (** Submits a user update at this site. The continuation fires exactly
@@ -137,8 +149,12 @@ type shared = {
   engine : Avdb_sim.Engine.t;
   rpc : (Protocol.request, Protocol.response, Protocol.notice) Avdb_net.Rpc.t;
   config : Config.t;
-  mutable all_addrs : Avdb_net.Address.t list;
-      (** grows when sites join at runtime; every site reads it live *)
+  topology : Topology.t;
+      (** resolved per-item bases, interest sets and AV hierarchy — the
+          single cluster-wide copy every site consults *)
+  mutable n_members : int;
+      (** membership count; site [i] has address [i], so a join is an O(1)
+          bump instead of an O(N) address-list copy *)
   trace : Avdb_sim.Trace.t;
   tracer : Avdb_obs.Tracer.t;
       (** causal span collector shared by every site and the RPC layer *)

@@ -21,10 +21,19 @@ let paper_spec ?(n_sites = 3) ?(n_items = 100) ?(initial_amount = 100) () =
     maker_weight = 1;
   }
 
+(* [Round_robin] is the paper's fixed rotation over the whole membership.
+   [Sharded] serves partial replication: the item is drawn first, then the
+   rotation runs over that item's own subscribers (rank order, base
+   first), so no site ever submits an update for an item it does not
+   replicate. *)
+type placement = Round_robin | Sharded of (string -> int array)
+
 type t = {
   spec : spec;
   rng : Rng.t;
   zipf : Zipf.t;
+  placement : placement;
+  item_cycle : (int, int) Hashtbl.t;  (* per-item rotation position (sharded) *)
   memo : (int, update) Hashtbl.t;
   mutable generated_up_to : int;  (* updates [0, generated_up_to) are memoised *)
 }
@@ -41,15 +50,20 @@ let validate spec =
     (fun (_, initial) -> if initial < 1 then invalid_arg "Scm: initial amount < 1")
     spec.items
 
-let create spec ~seed =
+let make spec ~seed placement =
   validate spec;
   {
     spec;
     rng = Rng.create seed;
     zipf = Zipf.create ~n:(Array.length spec.items) ~theta:spec.item_skew;
+    placement;
+    item_cycle = Hashtbl.create 64;
     memo = Hashtbl.create 1024;
     generated_up_to = 0;
   }
+
+let create spec ~seed = make spec ~seed Round_robin
+let create_sharded spec ~subscribers ~seed = make spec ~seed (Sharded subscribers)
 
 let spec t = t.spec
 
@@ -67,14 +81,47 @@ let site_of_slot spec k =
 
 let generate_next t =
   let k = t.generated_up_to in
-  let site_index = site_of_slot t.spec k in
-  let item_index = Zipf.sample t.zipf t.rng in
-  let name, initial = t.spec.items.(item_index) in
-  let delta =
-    if site_index = 0 then Rng.int_in t.rng 1 (max_delta t.spec.maker_increase_pct initial)
-    else -(Rng.int_in t.rng 1 (max_delta t.spec.retailer_decrease_pct initial))
+  let update =
+    match t.placement with
+    | Round_robin ->
+        let site_index = site_of_slot t.spec k in
+        let item_index = Zipf.sample t.zipf t.rng in
+        let name, initial = t.spec.items.(item_index) in
+        let delta =
+          if site_index = 0 then
+            Rng.int_in t.rng 1 (max_delta t.spec.maker_increase_pct initial)
+          else -(Rng.int_in t.rng 1 (max_delta t.spec.retailer_decrease_pct initial))
+        in
+        { site_index; item = name; delta }
+    | Sharded subscribers ->
+        (* item first, then rotate over that item's subscriber ranks: the
+           item's base takes [maker_weight] producing slots per cycle, each
+           other subscriber one consuming slot *)
+        let item_index = Zipf.sample t.zipf t.rng in
+        let name, initial = t.spec.items.(item_index) in
+        let subs = subscribers name in
+        if Array.length subs = 0 then invalid_arg "Scm: sharded item has no subscribers";
+        let pos_seq =
+          match Hashtbl.find_opt t.item_cycle item_index with Some p -> p | None -> 0
+        in
+        Hashtbl.replace t.item_cycle item_index (pos_seq + 1);
+        let retailers = Array.length subs - 1 in
+        let site_index, delta =
+          if retailers = 0 then
+            (subs.(0), Rng.int_in t.rng 1 (max_delta t.spec.maker_increase_pct initial))
+          else begin
+            let cycle = t.spec.maker_weight + retailers in
+            let pos = pos_seq mod cycle in
+            if pos < t.spec.maker_weight then
+              (subs.(0), Rng.int_in t.rng 1 (max_delta t.spec.maker_increase_pct initial))
+            else
+              ( subs.(pos - t.spec.maker_weight + 1),
+                -(Rng.int_in t.rng 1 (max_delta t.spec.retailer_decrease_pct initial)) )
+          end
+        in
+        { site_index; item = name; delta }
   in
-  Hashtbl.add t.memo k { site_index; item = name; delta };
+  Hashtbl.add t.memo k update;
   t.generated_up_to <- k + 1
 
 let nth t k =

@@ -32,6 +32,16 @@ val create : spec -> seed:int -> t
 (** Raises [Invalid_argument] on nonsensical specs (no sites, no items,
     percentages outside (0, 1], initial amounts < 1). *)
 
+val create_sharded : spec -> subscribers:(string -> int array) -> seed:int -> t
+(** Partial-replication variant: the item is drawn first (Zipf over
+    [items]), then sites rotate {e per item} over [subscribers item] — the
+    item's replica holders in rank order, base first. The base takes
+    [maker_weight] producing (positive) slots per cycle, each other
+    subscriber one consuming (negative) slot, so production tracks demand
+    item-locally and no site ever updates an item outside its interest
+    set. [spec.n_sites] only bounds validation; the callback rules.
+    Deterministic for a given seed as long as [subscribers] is. *)
+
 val spec : t -> spec
 
 val nth : t -> int -> update

@@ -63,6 +63,7 @@ let central_snapshot ~base_value =
     Checker.mode = Config.Centralized;
     products = [ Product.non_regular "x" ~initial_amount:10 ];
     replicas = [ ("x", [ Some base_value ]) ];
+    bases = [];
     books = [];
     granted = 0;
     received = 0;
@@ -115,6 +116,7 @@ let autonomous_snapshot ?(books = { Model.defined = 10; minted = 0; consumed = 0
     Checker.mode = Config.Autonomous;
     products = [ Product.regular "p" ~initial_amount:10 ];
     replicas = [ ("p", replicas) ];
+    bases = [];
     books = [ ("p", books) ];
     granted = 0;
     received = 0;

@@ -115,6 +115,36 @@ let test_join_with_base_down () =
   | _ -> Alcotest.fail "expected Unreachable join failure"
 
 
+let test_thousand_joins_near_linear () =
+  (* Regression: add_retailer used to Array.append the site store, making
+     N sequential joins O(N^2) in copied words. With geometric growth the
+     second 500 joins must allocate about as much as the first 500. *)
+  let cluster =
+    Cluster.create
+      {
+        Config.default with
+        Config.products = [ Product.regular "widget" ~initial_amount:1000 ];
+        seed = 7;
+      }
+  in
+  let join_quietly () =
+    ignore (Cluster.add_retailer cluster (fun _ -> ()));
+    Cluster.run cluster
+  in
+  let measure k =
+    let b0 = Gc.allocated_bytes () in
+    for _ = 1 to k do
+      join_quietly ()
+    done;
+    Gc.allocated_bytes () -. b0
+  in
+  let first = measure 500 in
+  let second = measure 500 in
+  Alcotest.(check int) "all 1000 joins completed" 1003 (Cluster.n_sites cluster);
+  if second > first *. 2. then
+    Alcotest.failf "joins 501-1000 allocated %.0f bytes vs %.0f for joins 1-500" second
+      first
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -163,6 +193,7 @@ let suites =
         Alcotest.test_case "joiner in immediate updates" `Quick
           test_joiner_participates_in_immediate_updates;
         Alcotest.test_case "join with base down" `Quick test_join_with_base_down;
+        Alcotest.test_case "1000 joins near-linear" `Slow test_thousand_joins_near_linear;
       ]
       @ List.map Gen.to_alcotest qcheck_tests );
   ]

@@ -56,6 +56,26 @@ let test_forget_site () =
   Alcotest.(check (option int)) "other site kept" (Some 7)
     (Peer_view.volume_of v ~site:(addr 1) ~item:"a")
 
+let test_forget_restores_footprint () =
+  (* Regression: forget_site used to leave an empty inner table behind for
+     every item the departed site had been the only observer of, so
+     join/leave churn grew the view without bound. *)
+  let v = Peer_view.create () in
+  Peer_view.observe v ~site:(addr 0) ~item:"a" ~volume:40 ~at:(at 1);
+  let baseline = Peer_view.items v in
+  for cycle = 1 to 50 do
+    for i = 1 to 4 do
+      Peer_view.observe v ~site:(addr 9)
+        ~item:(Printf.sprintf "ephemeral%d-%d" cycle i)
+        ~volume:i ~at:(at cycle)
+    done;
+    Peer_view.forget_site v (addr 9)
+  done;
+  Alcotest.(check (list string)) "items back to the prior footprint" baseline
+    (Peer_view.items v);
+  Alcotest.(check (option int)) "survivor untouched" (Some 40)
+    (Peer_view.volume_of v ~site:(addr 0) ~item:"a")
+
 let test_items () =
   let v = Peer_view.create () in
   Peer_view.observe v ~site:(addr 0) ~item:"b" ~volume:1 ~at:(at 1);
@@ -113,6 +133,7 @@ let suites =
         Alcotest.test_case "stale ignored" `Quick test_stale_ignored;
         Alcotest.test_case "richest" `Quick test_richest;
         Alcotest.test_case "forget site" `Quick test_forget_site;
+        Alcotest.test_case "forget restores footprint" `Quick test_forget_restores_footprint;
         Alcotest.test_case "items" `Quick test_items;
       ]
       @ List.map Gen.to_alcotest qcheck_tests );

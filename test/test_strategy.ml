@@ -10,7 +10,7 @@ let no_exclude = Address.Set.empty
 let select ?(selection = Strategy.Selection.Richest_known) ?(exclude = no_exclude)
     ?(view = Peer_view.create ()) ?(self = addr 1) () =
   let strategy = { Strategy.selection; granting = Strategy.Granting.Half } in
-  Strategy.select strategy ~rng:(Rng.create 5) ~state:(Strategy.create_state ()) ~self ~peers
+  Strategy.select strategy ~rng:(Rng.create 5) ~state:(Strategy.create_state ()) ~self ~peers ~fallback:None
     ~view ~item:"x" ~exclude
 
 (* --- Granting --- *)
@@ -135,7 +135,7 @@ let test_round_robin_rotates () =
   let view = Peer_view.create () in
   let pick () =
     match
-      Strategy.select strategy ~rng ~state ~self:(addr 1) ~peers ~view ~item:"x"
+      Strategy.select strategy ~rng ~state ~self:(addr 1) ~peers ~fallback:None ~view ~item:"x"
         ~exclude:no_exclude
     with
     | Some site -> Address.to_int site
@@ -157,7 +157,7 @@ let test_random_covers_all_peers () =
   let seen = Hashtbl.create 4 in
   for _ = 1 to 200 do
     match
-      Strategy.select strategy ~rng ~state ~self:(addr 1) ~peers ~view ~item:"x"
+      Strategy.select strategy ~rng ~state ~self:(addr 1) ~peers ~fallback:None ~view ~item:"x"
         ~exclude:no_exclude
     with
     | Some site -> Hashtbl.replace seen (Address.to_int site) ()
@@ -210,7 +210,7 @@ let qcheck_tests =
         let all_peers = List.init 5 addr in
         match
           Strategy.select strategy ~rng:(Rng.create 3) ~state:(Strategy.create_state ())
-            ~self:(addr self) ~peers:all_peers ~view:(Peer_view.create ()) ~item:"x" ~exclude
+            ~self:(addr self) ~peers:all_peers ~fallback:None ~view:(Peer_view.create ()) ~item:"x" ~exclude
         with
         | None ->
             (* Must mean every peer is self or excluded. *)
