@@ -19,15 +19,20 @@ let note fmt = Printf.printf (fmt ^^ "\n%!")
 
    With [--out DIR] (or AVDB_BENCH_OUT=DIR) every cluster an experiment
    builds also dumps its span tree and metric time series:
-     BENCH_<exp>_<seq>.trace.json    Chrome trace_event (chrome://tracing)
-     BENCH_<exp>_<seq>.spans.jsonl   one span per line
-     BENCH_<exp>_<seq>.metrics.csv   snapshot time series
-   and each experiment writes a BENCH_<exp>.json manifest listing them. *)
+     BENCH_<exp>_<seq>.trace.json     Chrome trace_event (chrome://tracing)
+     BENCH_<exp>_<seq>.spans.jsonl    one span per line
+     BENCH_<exp>_<seq>.metrics.jsonl  one metric sample per line
+     BENCH_<exp>_<seq>.metrics.csv    snapshot time series (wide or long)
+   and each experiment writes a BENCH_<exp>.json manifest listing them
+   plus a BENCH_<exp>.report.txt analyzer summary over all its JSONL
+   artifacts (the same analysis `avdb-obs-report` runs offline). *)
 
 let out_dir = ref None
 let current_exp = ref "adhoc"
 let artifact_seq = ref 0
 let rev_artifacts = ref []
+let rev_span_files = ref []
+let rev_metric_files = ref []
 
 let ensure_dir dir = try Sys.mkdir dir 0o755 with Sys_error _ -> ()
 
@@ -49,16 +54,33 @@ let export_cluster cluster =
         rev_artifacts := (stem ^ suffix) :: !rev_artifacts
       in
       write ".trace.json" (Exporter.chrome_trace (Cluster.tracer cluster));
-      write ".spans.jsonl" (Exporter.spans_to_jsonl (Cluster.tracer cluster));
+      let spans = Exporter.spans_to_jsonl (Cluster.tracer cluster) in
+      write ".spans.jsonl" spans;
+      rev_span_files := (stem ^ ".spans.jsonl", spans) :: !rev_span_files;
       if Avdb_obs.Registry.snapshot_count (Cluster.registry cluster) = 0 then
         Cluster.snapshot_now cluster;
-      write ".metrics.csv" (Exporter.series_csv (Cluster.registry cluster))
+      let metrics = Exporter.metrics_to_jsonl (Cluster.registry cluster) in
+      write ".metrics.jsonl" metrics;
+      rev_metric_files := (stem ^ ".metrics.jsonl", metrics) :: !rev_metric_files;
+      write ".metrics.csv" (Exporter.metrics_csv (Cluster.registry cluster))
 
 let write_manifest name =
   match !out_dir with
   | None -> ()
   | Some dir ->
       let module J = Avdb_obs.Json in
+      (* The analyzer summary rides along with the raw artifacts. *)
+      (if !rev_span_files <> [] || !rev_metric_files <> [] then
+         match
+           Avdb_obs.Report.analyze ~spans:(List.rev !rev_span_files)
+             ~metrics:(List.rev !rev_metric_files)
+         with
+         | Ok report ->
+             let file = Printf.sprintf "BENCH_%s.report.txt" name in
+             Avdb_obs.Exporter.write_file ~path:(Filename.concat dir file)
+               (Avdb_obs.Report.render report);
+             rev_artifacts := file :: !rev_artifacts
+         | Error e -> Printf.eprintf "report for %s failed: %s\n%!" name e);
       let manifest =
         J.Obj
           [
@@ -216,7 +238,7 @@ let exp_ablation_strategy () =
         (fun s ->
           let m = Site.metrics s in
           let h = m.Update.Metrics.transfer_rounds in
-          if Histogram.count h > 0 then Histogram.add rounds (Histogram.mean h))
+          if Sketch.count h > 0 then Histogram.add rounds (Sketch.mean h))
         (Cluster.sites cluster);
       let avg_rounds = if Histogram.count rounds = 0 then 0. else Histogram.mean rounds in
       Ascii_table.add_row table
@@ -366,8 +388,8 @@ let exp_ablation_prefetch () =
           transfers := !transfers + m.Update.Metrics.applied_transfer;
           prefetches := !prefetches + m.Update.Metrics.prefetch_requests;
           (* pool retailers' p99 latencies; the maker is always local *)
-          if i > 0 && Histogram.count m.Update.Metrics.latency > 0 then
-            Histogram.add p99s (Histogram.percentile m.Update.Metrics.latency 99.))
+          if i > 0 && Sketch.count m.Update.Metrics.latency > 0 then
+            Histogram.add p99s (Sketch.percentile m.Update.Metrics.latency 99.))
         (Cluster.sites cluster);
       Ascii_table.add_row table
         [
@@ -533,7 +555,7 @@ let exp_immediate () =
       Array.iter
         (fun s ->
           let h = (Site.metrics s).Update.Metrics.latency in
-          if Histogram.count h > 0 then Histogram.add lat (Histogram.mean h))
+          if Sketch.count h > 0 then Histogram.add lat (Sketch.mean h))
         (Cluster.sites cluster);
       let corr = final_corr outcome in
       Ascii_table.add_row table
@@ -675,9 +697,9 @@ let exp_wan () =
           (fun i s ->
             if i > 0 then begin
               let h = (Site.metrics s).Update.Metrics.latency in
-              if Histogram.count h > 0 then begin
-                Histogram.add means (Histogram.mean h);
-                Histogram.add p99s (Histogram.percentile h 99.)
+              if Sketch.count h > 0 then begin
+                Histogram.add means (Sketch.mean h);
+                Histogram.add p99s (Sketch.percentile h 99.)
               end
             end)
           (Cluster.sites cluster);
@@ -969,20 +991,21 @@ let throughput_json_path = "BENCH_throughput.json"
 (* Delay-Update firehose: every update commits locally (ample AV, no
    transfers), so this times the submit -> AV -> storage -> sync-queue
    path itself. *)
-let throughput_delay ~tracing =
-  let n_sites = 3 and n_items = 8 in
+let throughput_delay ?(n_sites = 3) ?(trace_sample = 1.) ?(total = 100_000) ~tracing () =
+  let n_items = 8 in
   let items = Array.init n_items (fun i -> "product" ^ string_of_int i) in
   let config =
     {
       Config.default with
       Config.n_sites;
       tracing;
+      trace_sample;
       products =
         Product.catalogue ~n_regular:n_items ~n_non_regular:0 ~initial_amount:30_000_000;
       seed = 7000;
     }
   in
-  let total = 100_000 in
+
   let nth k = (k mod n_sites, items.(k mod n_items), if k mod n_sites = 0 then 1 else -1) in
   let cluster = Cluster.create config in
   let m0 = Gc.minor_words () in
@@ -1031,8 +1054,8 @@ type throughput_numbers = {
 }
 
 let measure_throughput () =
-  let delay_ups, delay_words, delay_applied = throughput_delay ~tracing:false in
-  let delay_tracing_ups, _, _ = throughput_delay ~tracing:true in
+  let delay_ups, delay_words, delay_applied = throughput_delay ~tracing:false () in
+  let delay_tracing_ups, _, _ = throughput_delay ~tracing:true () in
   let mixed_msgs, mixed_bytes, mixed_applied = throughput_mixed ~fanout:None in
   let mixed_fanout_msgs, mixed_fanout_bytes, _ = throughput_mixed ~fanout:(Some 1) in
   note "delay: %.0f updates/s (tracing off), %.0f updates/s (tracing on), %.0f minor words/update, applied=%d"
@@ -1114,6 +1137,70 @@ let exp_throughput_check () =
   | fs ->
       List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) fs;
       exit 1
+
+(* --- observability overhead ---
+
+   What tracing costs on the Delay-Update firehose at N=100, in three
+   configurations: tracing off, head-sampled at 1% (the deployment
+   setting — per-root coin flips with warn/slow tail retention still
+   active), and full tracing. The claim the sampled tracer makes is that
+   the 1% point sits within a few percent of off: the sampled-out path
+   records a pending span and discards it at finish without ever
+   touching the retained list. *)
+
+let obs_overhead_json_path = "BENCH_obs_overhead.json"
+
+let exp_obs_overhead () =
+  section "Observability overhead (Delay-Update firehose, 100 sites)";
+  (* Measurement discipline: one discarded warmup (process start runs in
+     a CPU-boost window that would flatter whichever config goes first),
+     then the three configurations interleaved round-robin so frequency
+     drift and heap aging hit them evenly, each round from a compacted
+     heap, and the per-config median of three as the estimate. Measured
+     back-to-back on one host, order bias without this was ~7% — as
+     large as the effect being measured. *)
+  let configs = [| (false, 1.); (true, 0.01); (true, 1.) |] in
+  let samples = Array.map (fun _ -> ref []) configs in
+  let measure (tracing, trace_sample) =
+    Gc.compact ();
+    let ups, words, _ =
+      throughput_delay ~n_sites:100 ~total:200_000 ~tracing ~trace_sample ()
+    in
+    (ups, words)
+  in
+  ignore (measure configs.(0));
+  (* rotate the starting config per round so each configuration occupies
+     each within-round position exactly once *)
+  for round = 0 to 5 do
+    for k = 0 to 2 do
+      let i = (round + k) mod 3 in
+      samples.(i) := measure configs.(i) :: !(samples.(i))
+    done
+  done;
+  let median i =
+    match List.sort compare (List.map fst !(samples.(i))) with
+    | [ _; m; _ ] -> m
+    | l -> List.nth l (List.length l / 2)
+  in
+  Array.iteri
+    (fun i (tracing, trace_sample) ->
+      note "  tracing=%-5b sample=%-4.2f %8.0f updates/s %6.0f minor words/update"
+        tracing trace_sample (median i)
+        (List.fold_left (fun acc (_, w) -> Float.min acc w) infinity !(samples.(i))))
+    configs;
+  let off_ups = median 0 in
+  let sampled_ups = median 1 in
+  let full_ups = median 2 in
+  let ratio = sampled_ups /. off_ups in
+  note "sampled(1%%) runs at %.1f%% of tracing-off throughput; full tracing at %.1f%%"
+    (100. *. ratio)
+    (100. *. full_ups /. off_ups);
+  let oc = open_out obs_overhead_json_path in
+  Printf.fprintf oc
+    "{\n  \"off_updates_per_sec\": %.0f,\n  \"sampled_updates_per_sec\": %.0f,\n  \"full_updates_per_sec\": %.0f,\n  \"sampled_over_off\": %.3f\n}\n"
+    off_ups sampled_ups full_ups ratio;
+  close_out oc;
+  note "wrote %s" obs_overhead_json_path
 
 (* --- scale (gated topology benchmark) ---
 
@@ -1384,6 +1471,7 @@ let experiments =
     ("elastic", exp_elastic);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
+    ("obs-overhead", exp_obs_overhead);
     ("scale", exp_scale);
   ]
 
@@ -1396,6 +1484,8 @@ let run_experiment name f =
   current_exp := name;
   artifact_seq := 0;
   rev_artifacts := [];
+  rev_span_files := [];
+  rev_metric_files := [];
   f ();
   write_manifest name
 

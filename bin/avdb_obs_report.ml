@@ -1,0 +1,101 @@
+(* avdb-obs-report: offline analyzer for exported observability artifacts.
+
+   Reads span files (suffix .spans.jsonl) and metric files (.metrics.jsonl) —
+   given directly or discovered inside directories — and prints the
+   Report.render summary. Exit 1 on malformed input, on a registry
+   memory budget violation, or when no artifacts were found, so CI can
+   gate on it. *)
+
+open Avdb_obs
+
+let is_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let classify path =
+  if is_suffix ~suffix:".spans.jsonl" path then `Spans
+  else if is_suffix ~suffix:".metrics.jsonl" path then `Metrics
+  else `Other
+
+(* Directories are scanned one level deep, entries sorted so the report
+   (and its error messages) are deterministic across filesystems. *)
+let expand path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.map (Filename.concat path)
+  else [ path ]
+
+let read_file path =
+  let ic = In_channel.open_text path in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () -> In_channel.input_all ic)
+
+let run paths budget out =
+  let failf fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let result =
+    let ( let* ) = Result.bind in
+    let* files =
+      try Ok (List.concat_map expand paths)
+      with Sys_error e -> failf "cannot read input: %s" e
+    in
+    let spans = ref [] and metrics = ref [] in
+    List.iter
+      (fun path ->
+        match classify path with
+        | `Spans -> spans := (path, read_file path) :: !spans
+        | `Metrics -> metrics := (path, read_file path) :: !metrics
+        | `Other -> ())
+      files;
+    let spans = List.rev !spans and metrics = List.rev !metrics in
+    if spans = [] && metrics = [] then
+      failf "no *.spans.jsonl or *.metrics.jsonl artifacts found"
+    else
+      let* report = Report.analyze ~spans ~metrics in
+      let text = Report.render report in
+      (match out with
+      | Some path -> Exporter.write_file ~path text
+      | None -> print_string text);
+      (match out with
+      | Some path ->
+          Printf.printf "report: %d spans, %d samples -> %s\n"
+            (Report.n_spans report) (Report.n_samples report) path
+      | None -> ());
+      match (budget, Report.registry_words_max report) with
+      | Some b, Some words when words > float_of_int b ->
+          failf "registry memory %.0f words exceeds budget %d" words b
+      | Some _, None -> failf "budget given but no registry.words gauge in artifacts"
+      | _ -> Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline ("avdb-obs-report: " ^ msg);
+      1
+
+open Cmdliner
+
+let paths =
+  let doc =
+    "Artifact files or directories. Files ending in .spans.jsonl are read as \
+     span exports, .metrics.jsonl as metric exports; directories are scanned \
+     for both."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+let budget =
+  let doc =
+    "Fail (exit 1) if the peak registry.words gauge exceeds this many words."
+  in
+  Arg.(value & opt (some int) None & info [ "budget-registry-words" ] ~doc)
+
+let out =
+  let doc = "Write the report to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "analyze exported avdb observability artifacts" in
+  let info = Cmd.info "avdb-obs-report" ~doc in
+  Cmd.v info Term.(const run $ paths $ budget $ out)
+
+let () = exit (Cmd.eval' cmd)

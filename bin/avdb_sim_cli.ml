@@ -50,8 +50,8 @@ let granting_conv =
 
 let run retailers items initial updates mode allocation selection granting skew
     maker_weight spread hierarchy latency_ms drop dup reorder rpc_retries rpc_backoff_ms
-    sync_ms prefetch seed checkpoints csv trace_out metrics_out snapshot_every_ms check
-    mutations =
+    sync_ms prefetch seed checkpoints csv trace_sample trace_slow_ms trace_out
+    metrics_out metrics_wide snapshot_every_ms check mutations =
   let n_sites = retailers + 1 in
   let topology =
     match spread with
@@ -98,6 +98,8 @@ let run retailers items initial updates mode allocation selection granting skew
       snapshot_interval;
       prefetch_low = prefetch;
       seed;
+      trace_sample;
+      trace_slow = Option.map Avdb_sim.Time.of_ms trace_slow_ms;
     }
   in
   let cluster = Cluster.create config in
@@ -171,7 +173,7 @@ let run retailers items initial updates mode allocation selection granting skew
           m.Update.Metrics.applied_central m.Update.Metrics.rejected
           m.Update.Metrics.av_requests_sent
           (let h = m.Update.Metrics.latency in
-           if Histogram.count h = 0 then 0. else Histogram.percentile h 99.))
+           if Sketch.count h = 0 then 0. else Sketch.percentile h 99.))
       (Cluster.sites cluster);
     if config.Config.mode = Config.Autonomous then begin
       Cluster.flush_all_syncs cluster;
@@ -201,7 +203,9 @@ let run retailers items initial updates mode allocation selection granting skew
       let contents =
         if Filename.check_suffix path ".jsonl" then
           Exporter.metrics_to_jsonl (Cluster.registry cluster)
-        else Exporter.series_csv (Cluster.registry cluster)
+        else
+          let wide = if metrics_wide then Some true else None in
+          Exporter.metrics_csv ?wide (Cluster.registry cluster)
       in
       Exporter.write_file ~path contents;
       Printf.eprintf "wrote %d metric snapshots to %s\n%!"
@@ -308,6 +312,30 @@ let cmd =
     Arg.(value & opt int 10 & info [ "checkpoints" ] ~docv:"N" ~doc:"Number of progress rows.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the checkpoint table as CSV.") in
+  let trace_sample =
+    Arg.(value & opt float 1.
+        & info [ "trace-sample" ] ~docv:"P"
+            ~doc:
+              "Head-sample traced operation trees at rate $(docv) in [0,1]: each root span \
+               (and its whole subtree) is kept with probability $(docv), decided \
+               deterministically from the seed. Warn-status spans and spans slower than \
+               $(b,--trace-slow-ms) are retained regardless.")
+  in
+  let trace_slow_ms =
+    Arg.(value & opt (some float) None
+        & info [ "trace-slow-ms" ] ~docv:"MS"
+            ~doc:
+              "Tail-retention threshold: spans lasting at least $(docv) survive sampling \
+               even in sampled-out trees.")
+  in
+  let metrics_wide =
+    Arg.(value & flag
+        & info [ "metrics-wide" ]
+            ~doc:
+              "Force the wide (one column per series) CSV shape for $(b,--metrics-out) \
+               regardless of series count. Default: wide up to 256 series, long format \
+               (time_ms,name,labels,value) above.")
+  in
   let trace_out =
     Arg.(value & opt (some string) None
         & info [ "trace-out" ] ~docv:"FILE"
@@ -357,7 +385,8 @@ let cmd =
       const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
       $ granting $ skew $ maker_weight $ spread $ hierarchy $ latency_ms $ drop $ dup
       $ reorder $ rpc_retries $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints
-      $ csv $ trace_out $ metrics_out $ snapshot_every_ms $ check $ mutations)
+      $ csv $ trace_sample $ trace_slow_ms $ trace_out $ metrics_out $ metrics_wide
+      $ snapshot_every_ms $ check $ mutations)
   in
   Cmd.v
     (Cmd.info "avdb-sim" ~version:"1.0.0"

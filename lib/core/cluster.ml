@@ -82,14 +82,28 @@ let register_site_metrics t site =
   g "update.applied_immediate" (fun () -> float_of_int m.applied_immediate);
   g "update.applied_central" (fun () -> float_of_int m.applied_central);
   g "update.rejected" (fun () -> float_of_int m.rejected);
-  g "update.latency_ms.p99" (fun () ->
-      let h = m.latency in
-      if Avdb_metrics.Histogram.count h = 0 then 0.
-      else Avdb_metrics.Histogram.percentile h 99.);
+  Obs_registry.attach_sketch t.registry ~labels "update.latency_ms" (fun () -> m.latency);
+  Obs_registry.attach_sketch t.registry ~labels "update.grant_latency_ms" (fun () ->
+      m.grant_latency);
   g "av.requests_sent" (fun () -> float_of_int m.av_requests_sent);
   g "av.prefetch_requests" (fun () -> float_of_int m.prefetch_requests);
   g "av.volume_received" (fun () -> float_of_int m.av_volume_received);
   g "av.volume_granted" (fun () -> float_of_int m.av_volume_granted);
+  g "av.shortage_rate" (fun () ->
+      float_of_int m.av_shortages /. float_of_int (Stdlib.max 1 m.submitted));
+  g "av.idle_fraction" (fun () ->
+      let avail, total =
+        List.fold_left
+          (fun (a, tot) (_, available, held) -> (a + available, tot + available + held))
+          (0, 0)
+          (Av_table.snapshot (Site.av_table site))
+      in
+      if total = 0 then 1. else float_of_int avail /. float_of_int total);
+  g "sync.apply_age_ms" (fun () ->
+      let now = Engine.now t.engine in
+      match Site.last_sync_apply site with
+      | Some ts -> Time.to_ms (Time.diff now ts)
+      | None -> Time.to_ms now);
   g "sync.batches_sent" (fun () -> float_of_int m.sync_batches_sent);
   g "2pc.termination_queries" (fun () -> float_of_int m.termination_queries);
   g "2pc.in_doubt_recovered" (fun () -> float_of_int m.in_doubt_recovered);
@@ -117,10 +131,44 @@ let register_site_metrics t site =
           Obs_registry.gauge t.registry
             ~labels:(labels @ [ ("item", item) ])
             "av.available"
-            (fun () -> float_of_int (Av_table.available av ~item))
+            (fun () -> float_of_int (Av_table.available av ~item));
+          (* Per-item staleness: stamp distance between the item's base
+             and this replica, 0 when fully caught up. Only meaningful
+             away from the base. *)
+          let base_ix = Topology.base_index t.topology ~item in
+          if base_ix <> site_index then
+            Obs_registry.gauge t.registry
+              ~labels:(labels @ [ ("item", item) ])
+              "sync.version_lag"
+              (fun () ->
+                let base = t.store.(base_ix) in
+                float_of_int
+                  (Stdlib.max 0
+                     (Site.sync_version base ~item
+                     - Site.applied_sync_version site ~origin:base_ix ~item)))
         end)
       t.config.Config.products
   end
+
+(* Cluster-wide series: the tracer's retention accounting, the registry's
+   own (bounded) footprint, and unlabelled latency distributions merged
+   across every site's sketch at snapshot time — the aggregation story
+   that makes fixed-memory per-site sketches worth it. *)
+let register_cluster_metrics t =
+  let g name f = Obs_registry.gauge t.registry name f in
+  g "tracer.retained" (fun () -> float_of_int (Tracer.length t.tracer));
+  g "tracer.dropped" (fun () -> float_of_int (Tracer.dropped t.tracer));
+  g "tracer.sampled_out" (fun () -> float_of_int (Tracer.sampled_out t.tracer));
+  g "registry.words" (fun () -> float_of_int (Obs_registry.footprint_words t.registry));
+  let merged field () =
+    fold_sites t
+      (fun acc site -> Avdb_metrics.Sketch.merge acc (field (Site.metrics site)))
+      (Avdb_metrics.Sketch.create ())
+  in
+  Obs_registry.attach_sketch t.registry "update.latency_ms" (merged (fun m ->
+      m.Update.Metrics.latency));
+  Obs_registry.attach_sketch t.registry "update.grant_latency_ms" (merged (fun m ->
+      m.Update.Metrics.grant_latency))
 
 (* Initial per-site AV ledger: a subscriber's slice of every regular item
    in its interest set. Non-subscribers get no entry at all — their ledger,
@@ -147,7 +195,11 @@ let create config =
   | Ok () -> ()
   | Error e -> invalid_arg ("Cluster.create: " ^ e));
   let engine = Engine.create ~seed:config.Config.seed () in
-  let tracer = Tracer.create ~enabled:config.Config.tracing () in
+  let tracer =
+    Tracer.create ~enabled:config.Config.tracing
+      ~sample_rate:config.Config.trace_sample ?slow:config.Config.trace_slow
+      ~seed:config.Config.seed ()
+  in
   let rpc =
     Rpc.create ~engine ~latency:config.Config.latency
       ~drop_probability:config.Config.drop_probability
@@ -173,7 +225,7 @@ let create config =
           ~addr:(Address.of_int site_index)
           ~av_init:(av_init_for config topology ~site_index))
   in
-  let registry = Obs_registry.create () in
+  let registry = Obs_registry.create ~retention:config.Config.metrics_retention () in
   let violations = Obs_registry.counter registry "invariant.violations" in
   let t =
     {
@@ -191,6 +243,7 @@ let create config =
       snapshots_armed = false;
     }
   in
+  register_cluster_metrics t;
   Array.iter (register_site_metrics t) store;
   t
 

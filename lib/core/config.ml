@@ -30,6 +30,9 @@ type t = {
   snapshot_interval : Time.t option;
   record_history : bool;
   tracing : bool;
+  trace_sample : float;
+  trace_slow : Time.t option;
+  metrics_retention : int;
   prefetch_low : int option;
   topology : Topology.spec;
   seed : int;
@@ -60,6 +63,9 @@ let default =
     snapshot_interval = None;
     record_history = false;
     tracing = true;
+    trace_sample = 1.;
+    trace_slow = None;
+    metrics_retention = 512;
     prefetch_low = None;
     topology = Topology.flat;
     seed = 42;
@@ -75,6 +81,9 @@ let validate t =
   else if t.reorder_probability < 0. || t.reorder_probability > 1. then
     Error "reorder_probability out of [0,1]"
   else if t.rpc_retry.Rpc.max_attempts < 1 then Error "rpc_retry.max_attempts must be >= 1"
+  else if t.trace_sample < 0. || t.trace_sample > 1. then
+    Error "trace_sample out of [0,1]"
+  else if t.metrics_retention < 1 then Error "metrics_retention must be >= 1"
   else if (match t.prefetch_low with Some low -> low < 1 | None -> false) then
     Error "prefetch_low must be >= 1"
   else if (match t.bandwidth_bytes_per_sec with Some b -> b <= 0 | None -> false) then

@@ -79,6 +79,20 @@ type t = {
           see no spans. Metric gauges and counters still work. Default
           [true]; bench and nemesis runs that attach no exporter turn it
           off. *)
+  trace_sample : float;
+      (** head-sampling rate in [[0, 1]]: the fraction of root spans (and
+          their whole trees) the tracer retains, decided by a pure hash of
+          [(seed, root ordinal)] so a seeded run is reproducible at any
+          rate. Warn-status spans and spans slower than [trace_slow] are
+          always kept regardless. [1.] (default) keeps everything. *)
+  trace_slow : Avdb_sim.Time.t option;
+      (** spans at least this long are retained even when head sampling
+          discarded their tree; [None] (default) disables the slow-span
+          override *)
+  metrics_retention : int;
+      (** how many snapshots of each metric series the registry keeps
+          in memory (a per-series ring; ≥ 1, default 512). Bounds registry
+          memory at large N: older samples fall off the back. *)
   prefetch_low : int option;
       (** autonomous AV circulation (§3.4, extension): after a Delay
           Update leaves an item's available AV below this watermark, the

@@ -83,6 +83,9 @@ type t = {
       (* origin -> highest version applied from it; gap-free because every
          payload carries an origin's whole unacknowledged backlog, so this
          single int is a complete cumulative acknowledgement *)
+  mutable last_sync_apply : Avdb_sim.Time.t option;
+      (* sim-time of the last remotely-originated sync batch this replica
+         committed; feeds the [sync.apply_age_ms] staleness gauge *)
   mutable sync_rr : int;  (* rotation cursor for [Config.sync_fanout] *)
   mutable sync_rot_left : int;  (* fanout flushes still owed this rotation *)
   prefetch_in_flight : (string, unit) Hashtbl.t;
@@ -186,7 +189,7 @@ let span_end t sp = Avdb_obs.Tracer.finish t.shared.tracer ~at:(now t) sp
 let tracing t = Avdb_obs.Tracer.enabled t.shared.tracer
 
 let span_field_int t sp key n =
-  if tracing t then span_field t sp key (string_of_int n)
+  Avdb_obs.Tracer.set_field_int t.shared.tracer sp key n
 
 let span_instant t ?parent ?status ?fields ~category name =
   ignore
@@ -247,6 +250,21 @@ let pending_sync_deltas t =
     (fun item s acc -> if s.version > t.sync_flushed_seq then (item, s.cum) :: acc else acc)
     t.sync_out []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Consistency-lag probe inputs: how far this replica's view of [item]
+   trails its origin, measured in sync-counter versions. The origin's
+   outbound stamp minus what this site has applied from it is a monotone
+   staleness distance — 0 exactly when every delta the origin ever
+   queued has landed here. *)
+let sync_version t ~item =
+  match Hashtbl.find_opt t.sync_out item with Some s -> s.version | None -> 0
+
+let applied_sync_version t ~origin ~item =
+  match Hashtbl.find_opt t.applied_sync (origin, item) with
+  | Some (version, _) -> version
+  | None -> 0
+
+let last_sync_apply t = t.last_sync_apply
 
 let queue_sync t ~item ~delta =
   t.sync_seq <- t.sync_seq + 1;
@@ -336,6 +354,7 @@ let apply_sync_counters t ~src counters =
             if version > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin)
             then Hashtbl.replace t.applied_high origin version)
           fresh_deltas;
+        t.last_sync_apply <- Some (now t);
         if tracing t then
           span_instant t ~category:"sync" "sync.apply"
             ~fields:
@@ -978,6 +997,7 @@ let acquire_av t ?parent ~item ~need k =
   else begin
     (* Only the shortage path gets a span: a locally-satisfied hold is not
        an acquisition, and the quiet case would swamp the trace. *)
+    t.metrics.Update.Metrics.av_shortages <- t.metrics.Update.Metrics.av_shortages + 1;
     let sp = span_start t ?parent ~category:"av" "av.acquire" in
     span_field t sp "item" item;
     span_field_int t sp "need" need;
@@ -1018,6 +1038,7 @@ let acquire_av t ?parent ~item ~need k =
             t.metrics.Update.Metrics.av_requests_sent <-
               t.metrics.Update.Metrics.av_requests_sent + 1;
             let sync, sync_upto = sync_piggyback_for t target in
+            let asked_at = now t in
             let request =
               Protocol.Av_request
                 {
@@ -1032,6 +1053,8 @@ let acquire_av t ?parent ~item ~need k =
               (fenced t (fun response ->
                 (match response with
                 | Ok (Protocol.Av_grant { granted; donor_available; av_levels; sync }) ->
+                    Avdb_metrics.Sketch.add t.metrics.Update.Metrics.grant_latency
+                      (Avdb_sim.Time.to_ms (Avdb_sim.Time.diff (now t) asked_at));
                     (* The reply acknowledges the request's piggyback:
                        counters up to [sync_upto] reached this peer, so
                        later flushes can omit them. *)
@@ -1063,13 +1086,24 @@ let acquire_av t ?parent ~item ~need k =
 
 let delay_update t ~item ~delta ~finish =
   let root = span_start t ~category:"update" "update.delay" in
-  span_field t root "item" item;
-  span_field_int t root "delta" delta;
+  (* Fields go on the span only if it is headed for an export: attaching
+     them to a sampled-out (pending) span is pure throughput loss on THE
+     hot path. A warn or slow finish can still promote the span below, in
+     which case the fields are re-attached while the data is in scope. *)
+  let recorded = Avdb_obs.Tracer.recording t.shared.tracer root in
+  if recorded then begin
+    span_field t root "item" item;
+    span_field_int t root "delta" delta
+  end;
   let finish outcome =
     (match outcome with
     | Update.Rejected _ -> span_warn t root
     | Update.Applied _ -> ());
     span_end t root;
+    if (not recorded) && Avdb_obs.Tracer.recording t.shared.tracer root then begin
+      span_field t root "item" item;
+      span_field_int t root "delta" delta
+    end;
     finish outcome
   in
   if delta >= 0 then begin
@@ -1103,7 +1137,7 @@ let delay_update t ~item ~delta ~finish =
    are released and nothing is applied. *)
 let batch_update t ~deltas ~finish =
   let root = span_start t ~category:"update" "update.delay_batch" in
-  if tracing t then span_field t root "items" (string_of_int (List.length deltas));
+  span_field_int t root "items" (List.length deltas);
   let finish outcome =
     (match outcome with
     | Update.Rejected _ -> span_warn t root
@@ -1847,6 +1881,7 @@ let create shared ~addr ~av_init =
       conveyed_sync = Hashtbl.create 8;
       applied_sync = Hashtbl.create 64;
       applied_high = Hashtbl.create 8;
+      last_sync_apply = None;
       sync_rr = 0;
       sync_rot_left = 0;
       prefetch_in_flight = Hashtbl.create 16;

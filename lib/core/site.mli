@@ -98,6 +98,25 @@ val pending_sync_deltas : t -> (string * int) list
     been broadcast, sorted by item. Empty exactly when every local delta
     has been through at least one flush. *)
 
+(** {2 Consistency-lag probe inputs} *)
+
+val sync_version : t -> item:string -> int
+(** Stamp of this site's latest local change to [item] (0 if it never
+    changed the item): what a fully caught-up replica of this site would
+    have applied. *)
+
+val applied_sync_version : t -> origin:int -> item:string -> int
+(** Stamp of the latest sync counter this replica has applied from site
+    [origin] for [item] (0 before the first). The difference
+    [sync_version origin_site ~item - applied_sync_version replica
+    ~origin ~item] is a monotone per-item staleness measure that reaches
+    0 at convergence. *)
+
+val last_sync_apply : t -> Avdb_sim.Time.t option
+(** When this replica last applied any peer's sync counters; [None]
+    before the first apply. Time since then is the replica-freshness
+    ("apply age") probe. *)
+
 val join : t -> ((unit, Update.reason) result -> unit) -> unit
 (** Fetches the base's current replica and sync state — the paper's
     "initial delivery from the base" — used by {!Cluster.add_retailer}

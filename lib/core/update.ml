@@ -52,8 +52,10 @@ module Metrics = struct
     mutable termination_queries : int;
     mutable in_doubt_recovered : int;
     mutable decision_rebroadcasts : int;
-    latency : Avdb_metrics.Histogram.t;
-    transfer_rounds : Avdb_metrics.Histogram.t;
+    mutable av_shortages : int;
+    latency : Avdb_metrics.Sketch.t;
+    transfer_rounds : Avdb_metrics.Sketch.t;
+    grant_latency : Avdb_metrics.Sketch.t;
   }
 
   let create () =
@@ -72,20 +74,22 @@ module Metrics = struct
       termination_queries = 0;
       in_doubt_recovered = 0;
       decision_rebroadcasts = 0;
-      latency = Avdb_metrics.Histogram.create ();
-      transfer_rounds = Avdb_metrics.Histogram.create ();
+      av_shortages = 0;
+      latency = Avdb_metrics.Sketch.create ();
+      transfer_rounds = Avdb_metrics.Sketch.create ();
+      grant_latency = Avdb_metrics.Sketch.create ();
     }
 
   let applied t =
     t.applied_local + t.applied_transfer + t.applied_immediate + t.applied_central
 
   let record t (update_result : result) =
-    Avdb_metrics.Histogram.add t.latency (Time.to_ms update_result.latency);
+    Avdb_metrics.Sketch.add t.latency (Time.to_ms update_result.latency);
     match update_result.outcome with
     | Applied Local -> t.applied_local <- t.applied_local + 1
     | Applied (With_transfer rounds) ->
         t.applied_transfer <- t.applied_transfer + 1;
-        Avdb_metrics.Histogram.add t.transfer_rounds (float_of_int rounds)
+        Avdb_metrics.Sketch.add t.transfer_rounds (float_of_int rounds)
     | Applied Immediate -> t.applied_immediate <- t.applied_immediate + 1
     | Applied Central -> t.applied_central <- t.applied_central + 1
     | Rejected _ -> t.rejected <- t.rejected + 1

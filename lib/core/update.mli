@@ -49,9 +49,15 @@ module Metrics : sig
         (** prepared transactions re-installed from the txn log at recovery *)
     mutable decision_rebroadcasts : int;
         (** decision re-broadcast rounds driven by a recovered coordinator *)
-    latency : Avdb_metrics.Histogram.t;  (** in virtual milliseconds *)
-    transfer_rounds : Avdb_metrics.Histogram.t;
+    mutable av_shortages : int;
+        (** Delay Updates that found local AV short and had to go ask a
+            donor — the numerator of the shortage-rate probe *)
+    latency : Avdb_metrics.Sketch.t;  (** in virtual milliseconds *)
+    transfer_rounds : Avdb_metrics.Sketch.t;
         (** rounds per transfer-assisted update *)
+    grant_latency : Avdb_metrics.Sketch.t;
+        (** virtual ms from sending an AV request to receiving the grant,
+            per successful transfer round *)
   }
 
   val create : unit -> t

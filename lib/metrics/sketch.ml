@@ -1,0 +1,151 @@
+(* DDSketch-style quantile sketch: positive values are bucketed by
+   ceil(log_gamma v) with gamma = (1+alpha)/(1-alpha), which pins the
+   relative error of any bucket's midpoint estimate at alpha. Counts
+   are plain ints, so merging is exact (associative, commutative) —
+   the property the registry relies on to combine per-site sketches
+   into cluster-wide percentiles at export time. *)
+
+let min_value = 1e-3
+let max_value = 1e7
+
+type t = {
+  alpha : float;
+  gamma_plus_1 : float;
+  log_gamma : float;
+  min_index : int;
+  max_index : int;
+  mutable counts : int array; (* [||] until the first positive value *)
+  mutable zero : int; (* values <= 0, counted exactly *)
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(alpha = 0.02) () =
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Sketch.create: alpha must be in (0, 1)";
+  let gamma = (1. +. alpha) /. (1. -. alpha) in
+  let log_gamma = log gamma in
+  {
+    alpha;
+    gamma_plus_1 = gamma +. 1.;
+    log_gamma;
+    min_index = int_of_float (ceil (log min_value /. log_gamma));
+    max_index = int_of_float (ceil (log max_value /. log_gamma));
+    counts = [||];
+    zero = 0;
+    count = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let alpha t = t.alpha
+let count t = t.count
+let zero_count t = t.zero
+let sum t = t.sum
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+let min t = if t.count = 0 then nan else t.vmin
+let max t = if t.count = 0 then nan else t.vmax
+let n_buckets t = t.max_index - t.min_index + 1
+
+let bucket_index t v =
+  let i = int_of_float (ceil (log v /. t.log_gamma)) in
+  if i < t.min_index then t.min_index
+  else if i > t.max_index then t.max_index
+  else i
+
+(* Midpoint of bucket i's value interval (gamma^(i-1), gamma^i]:
+   2 gamma^i / (gamma + 1). *)
+let bucket_value t i =
+  2. *. exp (float_of_int i *. t.log_gamma) /. t.gamma_plus_1
+
+let add t v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then ()
+  else begin
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v;
+    if v <= 0. then t.zero <- t.zero + 1
+    else begin
+      if Array.length t.counts = 0 then t.counts <- Array.make (n_buckets t) 0;
+      let slot = bucket_index t v - t.min_index in
+      t.counts.(slot) <- t.counts.(slot) + 1
+    end
+  end
+
+let percentile t p =
+  if not (p >= 0. && p <= 100.) then
+    invalid_arg "Sketch.percentile: p must be in [0, 100]";
+  if t.count = 0 then nan
+  else begin
+    let rank = int_of_float (p /. 100. *. float_of_int (t.count - 1)) in
+    let est =
+      if rank < t.zero then 0.
+      else begin
+        let cum = ref t.zero and v = ref t.vmax in
+        (try
+           Array.iteri
+             (fun slot c ->
+               if c > 0 then begin
+                 cum := !cum + c;
+                 if !cum > rank then begin
+                   v := bucket_value t (slot + t.min_index);
+                   raise Exit
+                 end
+               end)
+             t.counts
+         with Exit -> ());
+        !v
+      end
+    in
+    (* The midpoint estimate can stick out past the true extrema; the
+       extrema are exact, so clamp. *)
+    Float.max t.vmin (Float.min t.vmax est)
+  end
+
+let merge a b =
+  if a.alpha <> b.alpha then invalid_arg "Sketch.merge: alpha mismatch";
+  let r = create ~alpha:a.alpha () in
+  let merge_counts src =
+    if Array.length src.counts > 0 then begin
+      if Array.length r.counts = 0 then r.counts <- Array.make (n_buckets r) 0;
+      Array.iteri (fun i c -> r.counts.(i) <- r.counts.(i) + c) src.counts
+    end
+  in
+  merge_counts a;
+  merge_counts b;
+  r.zero <- a.zero + b.zero;
+  r.count <- a.count + b.count;
+  r.sum <- a.sum +. b.sum;
+  r.vmin <- Float.min a.vmin b.vmin;
+  r.vmax <- Float.max a.vmax b.vmax;
+  r
+
+let buckets t =
+  let acc = ref [] in
+  Array.iteri
+    (fun slot c -> if c > 0 then acc := (slot + t.min_index, c) :: !acc)
+    t.counts;
+  List.rev !acc
+
+let memory_words t =
+  (* record fields + header, plus the bucket array when allocated *)
+  16 + Array.length t.counts
+
+let clear t =
+  t.counts <- [||];
+  t.zero <- 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+      t.count (mean t) (percentile t 50.) (percentile t 90.) (percentile t 99.)
+      t.vmax

@@ -196,6 +196,35 @@ let series_csv registry =
     times;
   Buffer.contents buf
 
+(* Long format: one sample per row. Immune to the wide pivot's column
+   explosion (a 1000-site run has tens of thousands of series, which as
+   wide columns produce megabyte header lines and rows that are almost
+   entirely commas). *)
+let series_csv_long registry =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time_ms,name,labels,value\n";
+  List.iter
+    (fun (s : Registry.sample) ->
+      let labels =
+        String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) s.Registry.labels)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f,%s,%s,%.6g\n"
+           (float_of_int (Time.to_us s.Registry.at) /. 1000.)
+           (csv_cell s.Registry.name) (csv_cell labels) s.Registry.value))
+    (Registry.samples registry);
+  Buffer.contents buf
+
+let wide_series_limit = 256
+
+let metrics_csv ?wide registry =
+  let wide =
+    match wide with
+    | Some w -> w
+    | None -> Registry.n_series registry <= wide_series_limit
+  in
+  if wide then series_csv registry else series_csv_long registry
+
 let write_file ~path contents =
   let oc = Out_channel.open_text path in
   Fun.protect

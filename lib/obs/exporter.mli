@@ -32,4 +32,18 @@ val series_csv : Registry.t -> string
 (** Header [time_ms,<key>,…] with keys per {!Registry.series_key} in
     registration order; one row per snapshot. Cells are RFC 4180-quoted. *)
 
+val series_csv_long : Registry.t -> string
+(** Long format: header [time_ms,name,labels,value], one row per sample
+    (labels rendered [k=v,…] inside one quoted cell). Scales to runs
+    whose series count would make the wide pivot unreadable. *)
+
+val wide_series_limit : int
+(** Series count above which {!metrics_csv} switches to long format. *)
+
+val metrics_csv : ?wide:bool -> Registry.t -> string
+(** The CSV exporters behind one auto-switching entry point: wide
+    ({!series_csv}) while the registry has at most {!wide_series_limit}
+    series, long ({!series_csv_long}) above that. [?wide] forces a
+    shape. *)
+
 val write_file : path:string -> string -> unit

@@ -59,3 +59,176 @@ let to_string v =
   let buf = Buffer.create 256 in
   write buf v;
   Buffer.contents buf
+
+(* Recursive-descent parser for the offline analyzer: strict enough to
+   reject malformed artifacts (trailing garbage, unterminated strings),
+   lenient only in that any numeric shape is accepted (integral renders
+   parse as [Int], everything else as [Float]). *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            (match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+            | Some code ->
+                pos := !pos + 4;
+                add_utf8 buf code
+            | None -> fail "bad \\u escape")
+        | _ -> fail "bad escape");
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    let lit = String.sub s start (!pos - start) in
+    let integral =
+      not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit)
+    in
+    if integral then
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> fail "bad number"
+    else
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input"
+    else
+      match s.[!pos] with
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && s.[!pos] = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              if !pos < n && s.[!pos] = ',' then begin
+                incr pos;
+                members ((k, v) :: acc)
+              end
+              else begin
+                expect '}';
+                List.rev ((k, v) :: acc)
+              end
+            in
+            Obj (members [])
+          end
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && s.[!pos] = ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              if !pos < n && s.[!pos] = ',' then begin
+                incr pos;
+                elements (v :: acc)
+              end
+              else begin
+                expect ']';
+                List.rev (v :: acc)
+              end
+            in
+            Arr (elements [])
+          end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None

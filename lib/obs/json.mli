@@ -1,8 +1,11 @@
-(** Minimal JSON writer for the exporters.
+(** Minimal JSON reader/writer for the exporters and the offline
+    analyzer.
 
-    Only serialisation, no parsing: the exporters hand-build values and
-    render them with {!to_string}. Strings are escaped per RFC 8259;
-    non-finite floats (which JSON cannot represent) render as [null]. *)
+    The exporters hand-build values and render them with {!to_string};
+    strings are escaped per RFC 8259 and non-finite floats (which JSON
+    cannot represent) render as [null]. {!of_string} parses one complete
+    document back — the analyzer uses it line by line over JSONL
+    artifacts. *)
 
 type t =
   | Null
@@ -18,3 +21,12 @@ val to_string : t -> string
 
 val escape : string -> string
 (** The escaped body of a JSON string literal, without the quotes. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON document; [Error] carries a message with the
+    byte offset of the problem. Integral number literals parse as [Int],
+    all others as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k v] is field [k] of object [v]; [None] when absent or when
+    [v] is not an object. *)

@@ -2,14 +2,38 @@ type labels = (string * string) list
 
 type counter = int ref
 
-type histogram = Avdb_metrics.Histogram.t
+type histogram = Avdb_metrics.Sketch.t
+
+(* An owned sketch is fed through [observe]; an attached one belongs to
+   someone else (a per-site metrics record, or a merge of many) and is
+   re-fetched at every snapshot. *)
+type sketch_source = Owned of histogram | Attached of (unit -> histogram)
 
 type source =
   | Src_counter of counter
   | Src_gauge of (unit -> float)
-  | Src_histogram of histogram
+  | Src_sketch of sketch_source
 
-type metric = { name : string; labels : labels; source : source }
+(* One exported series (metric identity x suffix), retained as a bounded
+   ring: while under the retention cap the arrays grow by doubling and
+   [start] stays 0; at the cap the oldest sample is overwritten. This is
+   what keeps a 1000-site run's registry memory flat instead of
+   O(series x snapshots). *)
+type ring = {
+  r_name : string;
+  r_labels : labels;
+  mutable times : Avdb_sim.Time.t array;
+  mutable values : float array;
+  mutable start : int; (* index of the oldest retained sample *)
+  mutable len : int;
+}
+
+type metric = {
+  name : string;
+  labels : labels;
+  source : source;
+  mutable rings : ring array; (* [||] until the first snapshot *)
+}
 
 type sample = {
   at : Avdb_sim.Time.t;
@@ -19,14 +43,23 @@ type sample = {
 }
 
 type t = {
+  retention : int;
   by_key : (string * labels, metric) Hashtbl.t;
   mutable rev_metrics : metric list;  (* registration order, newest first *)
-  mutable rev_samples : sample list;
+  mutable rev_rings : ring list;  (* emission order, newest first *)
   mutable snapshots : int;
 }
 
-let create () =
-  { by_key = Hashtbl.create 64; rev_metrics = []; rev_samples = []; snapshots = 0 }
+let create ?(retention = 512) () =
+  {
+    retention = Stdlib.max 1 retention;
+    by_key = Hashtbl.create 64;
+    rev_metrics = [];
+    rev_rings = [];
+    snapshots = 0;
+  }
+
+let retention t = t.retention
 
 let series_key ~name ~labels =
   match labels with
@@ -37,7 +70,7 @@ let series_key ~name ~labels =
       ^ "}"
 
 let register t name labels source =
-  let metric = { name; labels; source } in
+  let metric = { name; labels; source; rings = [||] } in
   Hashtbl.replace t.by_key (name, labels) metric;
   t.rev_metrics <- metric :: t.rev_metrics;
   metric
@@ -63,32 +96,114 @@ let gauge t ?(labels = []) name f =
 
 let histogram t ?(labels = []) name =
   match Hashtbl.find_opt t.by_key (name, labels) with
-  | Some { source = Src_histogram h; _ } -> h
+  | Some { source = Src_sketch (Owned h); _ } -> h
   | Some _ ->
       invalid_arg
         ("Registry.histogram: " ^ series_key ~name ~labels ^ " registered as another kind")
   | None ->
-      let h = Avdb_metrics.Histogram.create () in
-      ignore (register t name labels (Src_histogram h));
+      let h = Avdb_metrics.Sketch.create () in
+      ignore (register t name labels (Src_sketch (Owned h)));
       h
 
-let observe h x = Avdb_metrics.Histogram.add h x
+let attach_sketch t ?(labels = []) name f =
+  if Hashtbl.mem t.by_key (name, labels) then
+    invalid_arg ("Registry.attach_sketch: duplicate " ^ series_key ~name ~labels)
+  else ignore (register t name labels (Src_sketch (Attached f)))
+
+let observe h x = Avdb_metrics.Sketch.add h x
+
+let no_time = Avdb_sim.Time.of_us 0
+
+let new_ring t name labels =
+  let r =
+    { r_name = name; r_labels = labels; times = [||]; values = [||]; start = 0; len = 0 }
+  in
+  t.rev_rings <- r :: t.rev_rings;
+  r
+
+let sketch_suffixes = [| ".count"; ".mean"; ".p50"; ".p90"; ".p99"; ".p999" |]
+
+let ensure_rings t (m : metric) =
+  if Array.length m.rings = 0 then
+    m.rings <-
+      (match m.source with
+      | Src_counter _ | Src_gauge _ -> [| new_ring t m.name m.labels |]
+      | Src_sketch _ ->
+          Array.map (fun suffix -> new_ring t (m.name ^ suffix) m.labels) sketch_suffixes)
+
+let push t r ~at v =
+  let cap = Array.length r.times in
+  if r.len = cap && cap < t.retention then begin
+    (* still filling: grow by doubling toward the cap; start is 0 here *)
+    let n = Stdlib.min t.retention (Stdlib.max 8 (2 * cap)) in
+    let times = Array.make n no_time and values = Array.make n 0. in
+    Array.blit r.times 0 times 0 r.len;
+    Array.blit r.values 0 values 0 r.len;
+    r.times <- times;
+    r.values <- values
+  end;
+  let cap = Array.length r.times in
+  if r.len < cap then begin
+    r.times.(r.len) <- at;
+    r.values.(r.len) <- v;
+    r.len <- r.len + 1
+  end
+  else begin
+    (* saturated: the oldest sample falls off the back *)
+    r.times.(r.start) <- at;
+    r.values.(r.start) <- v;
+    r.start <- (r.start + 1) mod cap
+  end
 
 let snapshot t ~at =
   t.snapshots <- t.snapshots + 1;
   List.iter
     (fun (m : metric) ->
-      let add name value = t.rev_samples <- { at; name; labels = m.labels; value } :: t.rev_samples in
+      ensure_rings t m;
       match m.source with
-      | Src_counter c -> add m.name (float_of_int !c)
-      | Src_gauge f -> add m.name (f ())
-      | Src_histogram h ->
+      | Src_counter c -> push t m.rings.(0) ~at (float_of_int !c)
+      | Src_gauge f -> push t m.rings.(0) ~at (f ())
+      | Src_sketch s ->
           let open Avdb_metrics in
-          let count = Histogram.count h in
-          add (m.name ^ ".count") (float_of_int count);
-          add (m.name ^ ".mean") (if count = 0 then 0. else Histogram.mean h);
-          add (m.name ^ ".p99") (if count = 0 then 0. else Histogram.percentile h 99.))
+          let sk = match s with Owned sk -> sk | Attached f -> f () in
+          let count = Sketch.count sk in
+          let p q = if count = 0 then 0. else Sketch.percentile sk q in
+          push t m.rings.(0) ~at (float_of_int count);
+          push t m.rings.(1) ~at (if count = 0 then 0. else Sketch.mean sk);
+          push t m.rings.(2) ~at (p 50.);
+          push t m.rings.(3) ~at (p 90.);
+          push t m.rings.(4) ~at (p 99.);
+          push t m.rings.(5) ~at (p 99.9))
     (List.rev t.rev_metrics)
 
 let snapshot_count t = t.snapshots
-let samples t = List.rev t.rev_samples
+
+let samples t =
+  let rows =
+    List.concat_map
+      (fun r ->
+        let cap = Stdlib.max 1 (Array.length r.times) in
+        List.init r.len (fun k ->
+            let i = (r.start + k) mod cap in
+            { at = r.times.(i); name = r.r_name; labels = r.r_labels; value = r.values.(i) }))
+      (List.rev t.rev_rings)
+  in
+  (* stable: emission order is preserved within one snapshot instant *)
+  List.stable_sort (fun a b -> Avdb_sim.Time.compare a.at b.at) rows
+
+let n_series t = List.length t.rev_rings
+
+let footprint_words t =
+  let ring_words acc r =
+    (* ring record + two array headers + their elements *)
+    acc + 10 + Array.length r.times + Array.length r.values
+  in
+  let metric_words acc (m : metric) =
+    let own =
+      match m.source with
+      | Src_sketch (Owned h) -> Avdb_metrics.Sketch.memory_words h
+      | _ -> 0
+    in
+    acc + 8 + own
+  in
+  List.fold_left ring_words (List.fold_left metric_words 0 t.rev_metrics) t.rev_rings

@@ -1,21 +1,25 @@
 (** Unified metrics registry.
 
     One registration API for everything the system counts: native counters
-    and histograms, plus {e sourced gauges} — closures over existing mutable
-    state (the per-site {!Avdb_core.Update.Metrics} record, the network's
-    {!Avdb_net.Stats} totals, AV table levels) sampled lazily, so the hot
-    paths keep their cheap field increments and still show up in one
-    exported namespace.
+    and quantile sketches, plus {e sourced gauges} — closures over existing
+    mutable state (the per-site {!Avdb_core.Update.Metrics} record, the
+    network's {!Avdb_net.Stats} totals, AV table levels) sampled lazily, so
+    the hot paths keep their cheap field increments and still show up in
+    one exported namespace.
 
     Metric identity is [(name, labels)]; labels are ordered
     [(key, value)] pairs, conventionally [("site", "1")] and/or
     [("item", "product3")]. Registering the same counter or histogram twice
-    returns the existing instrument; registering a gauge under a taken
-    identity raises.
+    returns the existing instrument; registering a gauge or attached sketch
+    under a taken identity raises.
 
-    {!snapshot} appends one sample per registered metric (three for
-    histograms: [.count], [.mean], [.p99]) to an in-memory time series that
-    the exporters turn into CSV / JSONL. *)
+    {!snapshot} appends one sample per registered metric (six for
+    sketches: [.count], [.mean], [.p50], [.p90], [.p99], [.p999]) to an
+    in-memory time series that the exporters turn into CSV / JSONL. Each
+    series is a bounded ring of the most recent [retention] snapshots —
+    older samples fall off the back — so registry memory is capped at
+    [O(series x retention)] no matter how long the run is; {!footprint_words}
+    measures it. *)
 
 type t
 
@@ -23,8 +27,13 @@ type labels = (string * string) list
 
 type counter
 type histogram
+(** A mergeable fixed-memory quantile sketch ({!Avdb_metrics.Sketch}). *)
 
-val create : unit -> t
+val create : ?retention:int -> unit -> t
+(** [retention] (default 512, minimum 1) caps how many snapshots each
+    series keeps. *)
+
+val retention : t -> int
 
 val counter : t -> ?labels:labels -> string -> counter
 val inc : counter -> int -> unit
@@ -36,6 +45,14 @@ val gauge : t -> ?labels:labels -> string -> (unit -> float) -> unit
 
 val histogram : t -> ?labels:labels -> string -> histogram
 val observe : histogram -> float -> unit
+
+val attach_sketch :
+  t -> ?labels:labels -> string -> (unit -> Avdb_metrics.Sketch.t) -> unit
+(** Register an externally owned sketch source: [f] is called at each
+    {!snapshot}, so it can return a per-site sketch in place or merge
+    several on the fly (e.g. a cluster-wide latency distribution built
+    with {!Avdb_metrics.Sketch.merge}). Raises [Invalid_argument] on a
+    duplicate identity. *)
 
 type sample = {
   at : Avdb_sim.Time.t;
@@ -50,8 +67,17 @@ val snapshot : t -> at:Avdb_sim.Time.t -> unit
 val snapshot_count : t -> int
 
 val samples : t -> sample list
-(** All samples, chronological (snapshot order, registration order within
-    a snapshot). *)
+(** Retained samples, chronological (snapshot order, registration order
+    within a snapshot). At most [retention] per series: a long run only
+    keeps each series' most recent window. *)
+
+val n_series : t -> int
+(** Number of exported series (known after the first snapshot). *)
+
+val footprint_words : t -> int
+(** Approximate heap words held by the registry's own storage: series
+    rings, metric records and owned sketches. Gauge closures and the
+    state they capture are deliberately excluded. *)
 
 val series_key : name:string -> labels:labels -> string
 (** Canonical rendering of a metric identity, e.g.

@@ -1,0 +1,365 @@
+(* Offline analyzer over exported JSONL artifacts: span files (one span
+   object per line) and metric files (one sample per line). Everything
+   here re-derives its statistics through the mergeable sketch machinery
+   — per-(name, site) sketches merged across sites — so the report's
+   percentiles exercise exactly the aggregation path a multi-collector
+   deployment would use. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_site : int option;
+  sp_name : string;
+  sp_start_us : int;
+  sp_end_us : int option;
+  sp_status : string;
+}
+
+type msample = {
+  ms_at_us : int;
+  ms_name : string;
+  ms_labels : (string * string) list;
+  ms_value : float;
+}
+
+type t = { spans : span array; samples : msample array }
+
+(* --- parsing --- *)
+
+let to_int = function
+  | Json.Int i -> Some i
+  | Json.Float f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let to_str = function Json.Str s -> Some s | _ -> None
+
+let span_of_json j =
+  let req what = function Some v -> Ok v | None -> Error ("span missing " ^ what) in
+  let ( let* ) = Result.bind in
+  let* id = req "id" (Option.bind (Json.member "id" j) to_int) in
+  let* name = req "name" (Option.bind (Json.member "name" j) to_str) in
+  let* start_us = req "start_us" (Option.bind (Json.member "start_us" j) to_int) in
+  let status =
+    Option.value ~default:"ok" (Option.bind (Json.member "status" j) to_str)
+  in
+  Ok
+    {
+      sp_id = id;
+      sp_parent = Option.bind (Json.member "parent" j) to_int;
+      sp_site = Option.bind (Json.member "site" j) to_int;
+      sp_name = name;
+      sp_start_us = start_us;
+      sp_end_us = Option.bind (Json.member "end_us" j) to_int;
+      sp_status = status;
+    }
+
+let sample_of_json j =
+  let req what = function Some v -> Ok v | None -> Error ("sample missing " ^ what) in
+  let ( let* ) = Result.bind in
+  let* at_us = req "at_us" (Option.bind (Json.member "at_us" j) to_int) in
+  let* name = req "name" (Option.bind (Json.member "name" j) to_str) in
+  let* value = req "value" (Option.bind (Json.member "value" j) to_float) in
+  let labels =
+    match Json.member "labels" j with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (to_str v))
+          fields
+    | _ -> []
+  in
+  Ok { ms_at_us = at_us; ms_name = name; ms_labels = labels; ms_value = value }
+
+(* Parse every line of every (source name, contents) pair, failing with
+   "source:line: problem" on the first malformed row. *)
+let parse_jsonl files of_json =
+  let acc = ref [] in
+  let err = ref None in
+  List.iter
+    (fun (source, contents) ->
+      if !err = None then begin
+        let lines = String.split_on_char '\n' contents in
+        List.iteri
+          (fun i line ->
+            if !err = None && String.trim line <> "" then
+              match Json.of_string line with
+              | Error e -> err := Some (Printf.sprintf "%s:%d: %s" source (i + 1) e)
+              | Ok j -> (
+                  match of_json j with
+                  | Error e -> err := Some (Printf.sprintf "%s:%d: %s" source (i + 1) e)
+                  | Ok v -> acc := v :: !acc))
+          lines
+      end)
+    files;
+  match !err with Some e -> Error e | None -> Ok (Array.of_list (List.rev !acc))
+
+let analyze ~spans ~metrics =
+  match parse_jsonl spans span_of_json with
+  | Error _ as e -> e
+  | Ok sp -> (
+      match parse_jsonl metrics sample_of_json with
+      | Error _ as e -> e
+      | Ok ms -> Ok { spans = sp; samples = ms })
+
+let n_spans t = Array.length t.spans
+let n_samples t = Array.length t.samples
+
+(* --- derived views over the samples --- *)
+
+(* Last value per (name, labels): gauges and counters are cumulative, so
+   the final snapshot is the run's total. *)
+let last_values t name =
+  let tbl : ((string * string) list, int * float) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      if s.ms_name = name then
+        match Hashtbl.find_opt tbl s.ms_labels with
+        | Some (at, _) when at > s.ms_at_us -> ()
+        | _ -> Hashtbl.replace tbl s.ms_labels (s.ms_at_us, s.ms_value))
+    t.samples;
+  Hashtbl.fold (fun labels (_, v) acc -> (labels, v) :: acc) tbl []
+
+let last_scalar t name =
+  match last_values t name with
+  | [ ([], v) ] -> Some v
+  | values -> (
+      match List.assoc_opt [] values with Some v -> Some v | None -> None)
+
+let registry_words_max t =
+  Array.fold_left
+    (fun acc s ->
+      if s.ms_name = "registry.words" && s.ms_labels = [] then
+        Some (match acc with Some m -> Float.max m s.ms_value | None -> s.ms_value)
+      else acc)
+    None t.samples
+
+(* --- rendering --- *)
+
+let dur_ms sp =
+  Option.map (fun e -> float_of_int (e - sp.sp_start_us) /. 1000.) sp.sp_end_us
+
+let heading buf title =
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" title)
+
+let span_percentiles buf t =
+  let module Sketch = Avdb_metrics.Sketch in
+  (* one sketch per (span name, site), merged across sites per name *)
+  let per_site : (string * int option, Sketch.t) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun sp ->
+      match dur_ms sp with
+      | None -> ()
+      | Some d ->
+          let key = (sp.sp_name, sp.sp_site) in
+          let sk =
+            match Hashtbl.find_opt per_site key with
+            | Some sk -> sk
+            | None ->
+                let sk = Sketch.create () in
+                Hashtbl.add per_site key sk;
+                sk
+          in
+          Sketch.add sk d)
+    t.spans;
+  let merged : (string, Sketch.t) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun (name, _) sk ->
+      match Hashtbl.find_opt merged name with
+      | Some acc -> Hashtbl.replace merged name (Sketch.merge acc sk)
+      | None -> Hashtbl.replace merged name sk)
+    per_site;
+  let rows =
+    List.sort compare (Hashtbl.fold (fun name sk acc -> (name, sk) :: acc) merged [])
+  in
+  heading buf "span durations (ms, sketches merged across sites)";
+  if rows = [] then Buffer.add_string buf "no finished spans\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-28s %8s %9s %9s %9s %9s %9s\n" "name" "count" "p50" "p90"
+         "p99" "p999" "max");
+    List.iter
+      (fun (name, sk) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-28s %8d %9.3f %9.3f %9.3f %9.3f %9.3f\n" name
+             (Sketch.count sk) (Sketch.percentile sk 50.) (Sketch.percentile sk 90.)
+             (Sketch.percentile sk 99.)
+             (Sketch.percentile sk 99.9)
+             (Sketch.max sk)))
+      rows
+  end
+
+(* Where the time goes inside the update protocols: group each root span's
+   direct children by name and charge their summed duration against the
+   root's. AV circulation and the 2PC rounds surface here. *)
+let critical_path buf t =
+  let by_id = Hashtbl.create (Array.length t.spans) in
+  Array.iter (fun sp -> Hashtbl.replace by_id sp.sp_id sp) t.spans;
+  let children = Hashtbl.create 64 in
+  Array.iter
+    (fun sp ->
+      match sp.sp_parent with
+      | Some p when Hashtbl.mem by_id p ->
+          Hashtbl.replace children p (sp :: Option.value ~default:[] (Hashtbl.find_opt children p))
+      | _ -> ())
+    t.spans;
+  let roots = Hashtbl.create 8 in
+  Array.iter
+    (fun sp ->
+      if sp.sp_parent = None && dur_ms sp <> None then
+        Hashtbl.replace roots sp.sp_name (sp :: Option.value ~default:[] (Hashtbl.find_opt roots sp.sp_name)))
+    t.spans;
+  let root_rows =
+    List.sort compare (Hashtbl.fold (fun name sps acc -> (name, sps) :: acc) roots [])
+  in
+  heading buf "critical path (direct children per root span)";
+  if root_rows = [] then Buffer.add_string buf "no finished root spans\n"
+  else
+    List.iter
+      (fun (name, sps) ->
+        let n = List.length sps in
+        let total =
+          List.fold_left (fun acc sp -> acc +. Option.value ~default:0. (dur_ms sp)) 0. sps
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-30s n=%-7d mean %8.3f ms\n" name n
+             (total /. float_of_int n));
+        let per_child = Hashtbl.create 8 in
+        List.iter
+          (fun sp ->
+            List.iter
+              (fun child ->
+                match dur_ms child with
+                | None -> ()
+                | Some d ->
+                    let cn, cd =
+                      Option.value ~default:(0, 0.)
+                        (Hashtbl.find_opt per_child child.sp_name)
+                    in
+                    Hashtbl.replace per_child child.sp_name (cn + 1, cd +. d))
+              (Option.value ~default:[] (Hashtbl.find_opt children sp.sp_id)))
+          sps;
+        List.iter
+          (fun (cname, (cn, cd)) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  +- %-26s n=%-7d mean %8.3f ms  %5.1f%% of root\n"
+                 cname cn
+                 (cd /. float_of_int cn)
+                 (if total > 0. then 100. *. cd /. total else 0.)))
+          (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_child [])))
+      root_rows
+
+let fairness buf t =
+  let module Fairness = Avdb_metrics.Fairness in
+  heading buf "per-site fairness (final snapshot)";
+  let one name =
+    let values =
+      List.filter_map
+        (fun (labels, v) ->
+          match List.assoc_opt "site" labels with Some _ -> Some v | None -> None)
+        (last_values t name)
+    in
+    if List.length values >= 2 then begin
+      let sorted = List.sort compare values in
+      let min_v = List.hd sorted and max_v = List.hd (List.rev sorted) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-24s sites=%-5d jain=%.3f max/min=%.2f min=%.0f max=%.0f\n" name
+           (List.length values) (Fairness.jain_index values)
+           (Fairness.max_min_ratio values)
+           min_v max_v)
+    end
+  in
+  one "update.submitted";
+  one "update.applied_local";
+  one "net.correspondences";
+  one "net.sent"
+
+(* Staleness over time: per snapshot instant, the worst and mean per-item
+   version lag plus the mean replica apply age — downsampled to at most
+   [max_rows] evenly spaced rows. *)
+let staleness buf t =
+  let times = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      if s.ms_name = "sync.version_lag" || s.ms_name = "sync.apply_age_ms" then begin
+        let lags, ages =
+          Option.value ~default:([], []) (Hashtbl.find_opt times s.ms_at_us)
+        in
+        if s.ms_name = "sync.version_lag" then
+          Hashtbl.replace times s.ms_at_us (s.ms_value :: lags, ages)
+        else Hashtbl.replace times s.ms_at_us (lags, s.ms_value :: ages)
+      end)
+    t.samples;
+  let rows =
+    List.sort compare (Hashtbl.fold (fun at v acc -> (at, v) :: acc) times [])
+  in
+  heading buf "staleness over time";
+  if rows = [] then Buffer.add_string buf "no sync lag probes in the artifacts\n"
+  else begin
+    let max_rows = 20 in
+    let n = List.length rows in
+    let step = (n + max_rows - 1) / max_rows in
+    Buffer.add_string buf
+      (Printf.sprintf "%12s %12s %12s %16s\n" "time_ms" "lag_max" "lag_mean"
+         "apply_age_ms");
+    List.iteri
+      (fun i (at, (lags, ages)) ->
+        if i mod step = 0 || i = n - 1 then begin
+          let mean = function
+            | [] -> 0.
+            | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+          in
+          let lag_max = List.fold_left Float.max 0. lags in
+          Buffer.add_string buf
+            (Printf.sprintf "%12.1f %12.0f %12.2f %16.1f\n"
+               (float_of_int at /. 1000.)
+               lag_max (mean lags) (mean ages))
+        end)
+      rows
+  end
+
+let tracer_health buf t =
+  heading buf "tracer";
+  let open_spans =
+    Array.fold_left (fun acc sp -> if sp.sp_end_us = None then acc + 1 else acc) 0 t.spans
+  in
+  let warn_spans =
+    Array.fold_left (fun acc sp -> if sp.sp_status = "warn" then acc + 1 else acc) 0 t.spans
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "spans in artifacts: %d (%d open, %d warn)\n"
+       (Array.length t.spans) open_spans warn_spans);
+  let scalar name =
+    match last_scalar t name with Some v -> Printf.sprintf "%.0f" v | None -> "n/a"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "retained=%s sampled_out=%s dropped=%s\n" (scalar "tracer.retained")
+       (scalar "tracer.sampled_out") (scalar "tracer.dropped"))
+
+let registry_memory buf t =
+  heading buf "registry memory";
+  match registry_words_max t with
+  | None -> Buffer.add_string buf "no registry.words gauge in the artifacts\n"
+  | Some words ->
+      Buffer.add_string buf
+        (Printf.sprintf "peak registry footprint: %.0f words (%.1f KiB)\n" words
+           (words *. 8. /. 1024.))
+
+let render t =
+  let buf = Buffer.create 4096 in
+  span_percentiles buf t;
+  Buffer.add_char buf '\n';
+  critical_path buf t;
+  Buffer.add_char buf '\n';
+  fairness buf t;
+  Buffer.add_char buf '\n';
+  staleness buf t;
+  Buffer.add_char buf '\n';
+  tracer_health buf t;
+  Buffer.add_char buf '\n';
+  registry_memory buf t;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Offline analyzer over exported JSONL artifacts.
+
+    Consumes the files {!Exporter.spans_to_jsonl} and
+    {!Exporter.metrics_to_jsonl} write, and renders a plain-text report:
+
+    - per-span-name duration percentiles, computed as per-(name, site)
+      {!Avdb_metrics.Sketch} sketches merged across sites — the same
+      aggregation path a multi-collector deployment would use;
+    - a critical-path breakdown charging each root span's direct
+      children (2PC rounds, AV circulation hops) against the root total;
+    - per-site fairness of submitted updates and correspondences via
+      {!Avdb_metrics.Fairness};
+    - staleness over time from the [sync.version_lag] and
+      [sync.apply_age_ms] probes, downsampled to at most 20 rows;
+    - tracer health (retained / sampled-out / dropped) and peak registry
+      memory. *)
+
+type t
+
+val analyze :
+  spans:(string * string) list ->
+  metrics:(string * string) list ->
+  (t, string) result
+(** [analyze ~spans ~metrics] parses [(display name, JSONL contents)]
+    pairs. [Error "name:line: problem"] pinpoints the first malformed
+    row; blank lines are skipped. *)
+
+val render : t -> string
+(** The full plain-text report. *)
+
+val registry_words_max : t -> float option
+(** Peak value of the unlabelled [registry.words] gauge across the
+    metric artifacts — the hook for CI memory budgets. [None] when the
+    gauge never appears. *)
+
+val n_spans : t -> int
+val n_samples : t -> int

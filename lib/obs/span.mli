@@ -16,6 +16,12 @@ type status = Ok | Warn
 
 val status_name : status -> string
 
+type value = Str of string | Int of int
+(** Field values stay unrendered until export so the hot path never pays
+    integer formatting for a span that sampling will discard. *)
+
+val value_string : value -> string
+
 type t = {
   id : id;
   parent : id option;
@@ -25,7 +31,7 @@ type t = {
   start : Avdb_sim.Time.t;
   mutable stop : Avdb_sim.Time.t option;  (** [None] while the span is open *)
   mutable status : status;
-  mutable rev_fields : (string * string) list;
+  mutable rev_fields : (string * value) list;
 }
 
 val is_finished : t -> bool
@@ -34,6 +40,6 @@ val duration : t -> Avdb_sim.Time.t option
 (** [stop - start]; [None] while open. *)
 
 val fields : t -> (string * string) list
-(** In the order they were set. *)
+(** In the order they were set, values rendered to strings. *)
 
 val pp : Format.formatter -> t -> unit

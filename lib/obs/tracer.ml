@@ -1,38 +1,187 @@
 (* Span id 0 is the pre-allocated "null" id of the disabled fast path:
    real ids start at 1, so 0 can never collide with a retained span and
-   every mutation on it is a cheap no-op. *)
+   every mutation on it is a cheap no-op.
+
+   Retention is two-staged. Head sampling decides per ROOT span (a
+   deterministic hash of the tracer seed and the root's ordinal, so a
+   seeded run keeps the same trees at the same rate no matter how it is
+   replayed); descendants inherit the root's verdict through their
+   parent's flag. Sampled-out spans still get a record while open —
+   parked in [slots], flagged Pending — so the tail can overrule the
+   head: a span that warns (or whose finished duration reaches [slow])
+   is promoted into the retained set together with its still-pending
+   ancestors, and everything else is discarded at finish and counted in
+   [sampled_out]. Capacity overflow is the separate [dropped] counter.
+
+   [slots] is a dense array indexed by span id (one word per allocated
+   id; discarded entries point at a shared dummy), with a parallel byte
+   per id in [flags]. Array reads keep the per-span cost low enough
+   that a 1%-sampled run stays within a few percent of tracing-off
+   throughput — a hashtable here is what made full tracing cost 2x. *)
+
 let null_id = 0
+
+(* flags bytes *)
+let absent = '\000' (* never allocated, capacity-dropped, or discarded *)
+let retained = '\001'
+let pending = '\002' (* sampled out, but may still be promoted *)
 
 type t = {
   capacity : int;
   mutable enabled : bool;
+  sample_rate : float;
+  sample_threshold : int; (* sample_rate scaled to the 24-bit hash range *)
+  slow : Avdb_sim.Time.t option;
+  seed : int;
   mutable next_id : int;
-  mutable rev_spans : Span.t list;
+  mutable roots : int; (* root ordinal, feeds the sampling hash *)
+  mutable rev_spans : Span.t list; (* retained, most recent first *)
   mutable count : int;
   mutable dropped : int;
-  by_id : (Span.id, Span.t) Hashtbl.t;
+  mutable sampled_out : int;
+  mutable capacity_warned : bool;
+  dummy : Span.t;
+  mutable slots : Span.t array;
+  mutable flags : Bytes.t;
 }
 
-let create ?(capacity = 262144) ?(enabled = true) () =
+let create ?(capacity = 262144) ?(enabled = true) ?(sample_rate = 1.) ?slow
+    ?(seed = 0) () =
+  let sample_rate =
+    if Float.is_nan sample_rate then 1. else Float.max 0. (Float.min 1. sample_rate)
+  in
   {
     capacity = Stdlib.max 1 capacity;
     enabled;
+    sample_rate;
+    sample_threshold = int_of_float (sample_rate *. 16777216.);
+    slow;
+    seed;
     next_id = 1;
+    roots = 0;
     rev_spans = [];
     count = 0;
     dropped = 0;
-    by_id = Hashtbl.create 1024;
+    sampled_out = 0;
+    capacity_warned = false;
+    dummy =
+      {
+        Span.id = null_id;
+        parent = None;
+        site = None;
+        category = "";
+        name = "";
+        start = Avdb_sim.Time.of_us 0;
+        stop = None;
+        status = Span.Ok;
+        rev_fields = [];
+      };
+    slots = [||];
+    flags = Bytes.empty;
   }
 
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
+let sample_rate t = t.sample_rate
+
+let flag t id =
+  if id > 0 && id < Bytes.length t.flags then Bytes.unsafe_get t.flags id
+  else absent
+
+let ensure_slot t id =
+  let len = Array.length t.slots in
+  if id >= len then begin
+    let n = Stdlib.max 1024 (Stdlib.max (id + 1) (2 * len)) in
+    let slots = Array.make n t.dummy in
+    Array.blit t.slots 0 slots 0 len;
+    t.slots <- slots;
+    let flags = Bytes.make n absent in
+    Bytes.blit t.flags 0 flags 0 len;
+    t.flags <- flags
+  end
+
+(* Two rounds of a splitmix-style mixer over (seed, root ordinal): a pure
+   function, so the verdict for root #n depends only on the tracer seed —
+   not on how many spans ran in between. *)
+let root_sampled t =
+  let n = t.roots in
+  t.roots <- n + 1;
+  let z = ((t.seed + 1) * 0x9E3779B9) + (n * 0x85EBCA77) in
+  let z = z lxor (z lsr 15) in
+  let z = z * 0xC2B2AE3D land max_int in
+  let z = z lxor (z lsr 13) in
+  let z = z * 0x27D4EB2F land max_int in
+  let z = z lxor (z lsr 16) in
+  z land 0xFFFFFF < t.sample_threshold
+
+(* The first time retention overflows, append one self-describing warn
+   span (allowed one past capacity) so a truncated export says so. *)
+let note_capacity t ~at =
+  if not t.capacity_warned then begin
+    t.capacity_warned <- true;
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let span =
+      {
+        Span.id;
+        parent = None;
+        site = None;
+        category = "tracer";
+        name = "tracer.capacity";
+        start = at;
+        stop = Some at;
+        status = Span.Warn;
+        rev_fields = [ ("capacity", Span.Int t.capacity) ];
+      }
+    in
+    ensure_slot t id;
+    t.slots.(id) <- span;
+    Bytes.set t.flags id retained;
+    t.rev_spans <- span :: t.rev_spans;
+    t.count <- t.count + 1
+  end
+
+(* Move [span] (already in slots) into the retained set; false when the
+   capacity budget refuses it. *)
+let retain t (span : Span.t) =
+  if t.count >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    note_capacity t ~at:span.start;
+    Bytes.set t.flags span.id absent;
+    t.slots.(span.id) <- t.dummy;
+    false
+  end
+  else begin
+    t.rev_spans <- span :: t.rev_spans;
+    t.count <- t.count + 1;
+    Bytes.set t.flags span.id retained;
+    true
+  end
+
+(* Promote a pending span and its still-pending ancestors so a warn/slow
+   leaf keeps its tree context. *)
+let rec promote t (span : Span.t) =
+  if retain t span then
+    match span.parent with
+    | Some p when flag t p = pending -> promote t t.slots.(p)
+    | _ -> ()
 
 let start t ~at ?parent ?site ~category name =
   if not t.enabled then null_id
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    if t.count >= t.capacity then t.dropped <- t.dropped + 1
+    let sampled =
+      if t.sample_rate >= 1. then true
+      else
+        match parent with
+        | None -> root_sampled t
+        | Some p -> flag t p = retained
+    in
+    if sampled && t.count >= t.capacity then begin
+      t.dropped <- t.dropped + 1;
+      note_capacity t ~at
+    end
     else begin
       let span =
         {
@@ -47,40 +196,106 @@ let start t ~at ?parent ?site ~category name =
           rev_fields = [];
         }
       in
-      t.rev_spans <- span :: t.rev_spans;
-      t.count <- t.count + 1;
-      Hashtbl.replace t.by_id id span
+      ensure_slot t id;
+      Array.unsafe_set t.slots id span;
+      if sampled then begin
+        t.rev_spans <- span :: t.rev_spans;
+        t.count <- t.count + 1;
+        Bytes.unsafe_set t.flags id retained
+      end
+      else Bytes.unsafe_set t.flags id pending
     end;
     id
   end
 
-let find t id = if id = null_id then None else Hashtbl.find_opt t.by_id id
+let find t id = if flag t id = retained then Some t.slots.(id) else None
 
+(* Whether mutations on [id] will reach an export right now. Hot call
+   sites use this to skip building field values for spans that sampling
+   is about to discard — and re-attach them if the span is later
+   promoted (warn / slow), when this turns true. *)
+let recording t id = t.enabled && flag t id = retained
+
+(* Both setters test liveness before boxing the value, so a disabled
+   tracer (or a mutation on a dropped id) allocates nothing. *)
 let set_field t id key value =
-  if t.enabled then
-    match find t id with
-    | Some s -> s.Span.rev_fields <- (key, value) :: s.Span.rev_fields
-    | None -> ()
+  if t.enabled && flag t id <> absent then begin
+    let s = t.slots.(id) in
+    s.Span.rev_fields <- (key, Span.Str value) :: s.Span.rev_fields
+  end
+
+(* The integer is boxed unrendered; it becomes a string at export, and
+   only for spans that survive retention. *)
+let set_field_int t id key n =
+  if t.enabled && flag t id <> absent then begin
+    let s = t.slots.(id) in
+    s.Span.rev_fields <- (key, Span.Int n) :: s.Span.rev_fields
+  end
 
 let warn t id =
-  if t.enabled then
-    match find t id with Some s -> s.Span.status <- Span.Warn | None -> ()
+  if t.enabled then begin
+    let f = flag t id in
+    if f <> absent then begin
+      let s = t.slots.(id) in
+      s.Span.status <- Span.Warn;
+      if f = pending then promote t s
+    end
+  end
+
+let discard t (span : Span.t) =
+  (* span.id is in bounds: it was written through ensure_slot *)
+  Bytes.unsafe_set t.flags span.id absent;
+  Array.unsafe_set t.slots span.id t.dummy;
+  t.sampled_out <- t.sampled_out + 1
+
+let slow_enough t ~start ~stop =
+  match t.slow with
+  | None -> false
+  | Some thr -> Avdb_sim.Time.(thr <= diff stop start)
 
 let finish t ~at id =
-  if t.enabled then
-    match find t id with
-    | Some s -> if s.Span.stop = None then s.Span.stop <- Some at
-    | None -> ()
+  if t.enabled then begin
+    let f = flag t id in
+    if f = retained then begin
+      let s = t.slots.(id) in
+      if s.Span.stop = None then s.Span.stop <- Some at
+    end
+    else if f = pending then begin
+      let s = Array.unsafe_get t.slots id in
+      if s.Span.stop = None then
+        (* a pending span cannot be Warn: warn promotes immediately *)
+        if slow_enough t ~start:s.Span.start ~stop:at then begin
+          s.Span.stop <- Some at;
+          promote t s
+        end
+        else discard t s (* doomed: skip the stop write entirely *)
+    end
+  end
 
 (* Built in one shot: same id, retention and field order as the historical
    start -> set_field* -> warn? -> finish sequence, without the per-step
-   [by_id] lookups. *)
-let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category name =
+   slot round-trips. *)
+let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category name
+    =
   if not t.enabled then null_id
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    if t.count >= t.capacity then t.dropped <- t.dropped + 1
+    let sampled =
+      if t.sample_rate >= 1. then true
+      else
+        match parent with
+        | None -> root_sampled t
+        | Some p -> flag t p = retained
+    in
+    let keep =
+      sampled || status = Span.Warn || slow_enough t ~start:at ~stop:at
+    in
+    if not keep then t.sampled_out <- t.sampled_out + 1
+    else if t.count >= t.capacity then begin
+      t.dropped <- t.dropped + 1;
+      note_capacity t ~at
+    end
     else begin
       let span =
         {
@@ -92,16 +307,30 @@ let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category nam
           start = at;
           stop = Some at;
           status;
-          rev_fields = List.rev fields;
+          rev_fields = List.rev_map (fun (k, v) -> (k, Span.Str v)) fields;
         }
       in
+      ensure_slot t id;
+      t.slots.(id) <- span;
       t.rev_spans <- span :: t.rev_spans;
       t.count <- t.count + 1;
-      Hashtbl.replace t.by_id id span
+      Bytes.set t.flags id retained;
+      (* a warn-promoted instant keeps its pending ancestry too *)
+      if not sampled then
+        match parent with
+        | Some p when flag t p = pending -> promote t t.slots.(p)
+        | _ -> ()
     end;
     id
   end
 
-let spans t = List.rev t.rev_spans
+(* Tail promotion appends out of id order; ids are unique and dense, so
+   sorting restores creation order for deterministic exports. *)
+let spans t =
+  List.sort
+    (fun (a : Span.t) (b : Span.t) -> Stdlib.compare a.Span.id b.Span.id)
+    t.rev_spans
+
 let length t = t.count
 let dropped t = t.dropped
+let sampled_out t = t.sampled_out

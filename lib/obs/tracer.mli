@@ -1,4 +1,4 @@
-(** Span collector.
+(** Span collector with deterministic head sampling and tail retention.
 
     Components {!start} a span when an operation begins, optionally attach
     string fields, and {!finish} it when the operation completes; spans that
@@ -7,9 +7,24 @@
     creation order, which is engine execution order, so a seeded run always
     yields the same tree.
 
-    The tracer retains at most [capacity] spans; past that, new spans are
-    allocated an id but not retained (counted in {!dropped}), and mutations
-    on unretained ids are no-ops.
+    {b Sampling.} With [sample_rate < 1], each root span (no parent) is
+    kept or sampled out by a pure hash of [(seed, root ordinal)] — the
+    same seed always keeps the same trees — and descendants inherit the
+    root's verdict. Sampled-out spans are not exported, but the tail can
+    overrule the head: a span that is {!warn}ed, or whose duration at
+    {!finish} reaches the [slow] threshold, is promoted into the retained
+    set along with its still-pending ancestors, so warn/slow spans are
+    {e always} kept. Spans discarded by sampling are counted in
+    {!sampled_out}. Two caveats: a sampled-out span that never finishes
+    is silently absent (it was neither kept nor counted), and a promoted
+    span's parent id may refer to a span that was already discarded.
+
+    {b Capacity.} The tracer retains at most [capacity] spans; past that,
+    new spans are allocated an id but not retained (counted in
+    {!dropped}, distinct from {!sampled_out}), mutations on unretained
+    ids are no-ops, and the first overflow appends one warn-status
+    ["tracer.capacity"] instant span so truncated exports are
+    self-describing.
 
     A disabled tracer (see {!set_enabled}) is the zero-overhead fast path:
     {!start} and {!instant} return {!null_id} without allocating, and every
@@ -22,13 +37,26 @@ val null_id : Span.id
 (** The id every disabled-tracer operation returns. Never allocated to a
     real span, so mutations on it are no-ops even once re-enabled. *)
 
-val create : ?capacity:int -> ?enabled:bool -> unit -> t
-(** [capacity] defaults to 262144 spans (minimum 1); [enabled] to [true]. *)
+val create :
+  ?capacity:int ->
+  ?enabled:bool ->
+  ?sample_rate:float ->
+  ?slow:Avdb_sim.Time.t ->
+  ?seed:int ->
+  unit ->
+  t
+(** [capacity] defaults to 262144 spans (minimum 1); [enabled] to [true].
+    [sample_rate] (default [1.], clamped into [[0, 1]]) is the fraction of
+    root spans kept by head sampling; [slow] (default: none) is the
+    duration at which a sampled-out span is promoted anyway; [seed]
+    (default 0) drives the per-root sampling hash. *)
 
 val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
 (** Toggling does not discard spans already retained. *)
+
+val sample_rate : t -> float
 
 val start :
   t ->
@@ -42,10 +70,28 @@ val start :
     or an id received across an RPC boundary. *)
 
 val set_field : t -> Span.id -> string -> string -> unit
+
+val set_field_int : t -> Span.id -> string -> int -> unit
+(** Attaches the integer unrendered ({!Span.Int}); it becomes a string
+    only at export, so hot paths never pay [string_of_int] for a span
+    that sampling will discard. *)
+
+val recording : t -> Span.id -> bool
+(** Whether mutations on this id currently reach an export: the tracer is
+    enabled and the span is in the retained set. [false] for pending
+    (sampled-out, not yet promoted) spans — hot paths use this to skip
+    building field values a discard would throw away, then re-attach them
+    if a later {!warn} or slow {!finish} promotes the span. *)
+
 val warn : t -> Span.id -> unit
+(** Warn-status spans survive sampling: warning a sampled-out span
+    promotes it (and its pending ancestors) into the retained set. *)
 
 val finish : t -> at:Avdb_sim.Time.t -> Span.id -> unit
-(** Idempotent: finishing a finished (or dropped) span is a no-op. *)
+(** Idempotent: finishing a finished (or dropped) span is a no-op. On a
+    sampled-out span this is the keep-or-discard point: promoted when the
+    duration reaches the [slow] threshold, otherwise counted in
+    {!sampled_out} and forgotten. *)
 
 val instant :
   t ->
@@ -62,10 +108,17 @@ val instant :
     field in order, [warn] when [status] is [Warn], and [finish]. *)
 
 val find : t -> Span.id -> Span.t option
-(** [None] for dropped or never-allocated ids. *)
+(** [None] for sampled-out, dropped or never-allocated ids. *)
 
 val spans : t -> Span.t list
-(** Retained spans in creation order. *)
+(** Retained spans in creation (id) order. *)
 
 val length : t -> int
+(** Retained span count. *)
+
 val dropped : t -> int
+(** Spans lost to the [capacity] cap. *)
+
+val sampled_out : t -> int
+(** Spans discarded by head sampling (after the tail declined to promote
+    them) — deliberate, unlike {!dropped}. *)

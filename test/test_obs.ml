@@ -184,9 +184,26 @@ let test_tracer_capacity () =
   let b = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "b" in
   let c = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "c" in
   Alcotest.(check (list int)) "ids still dense" [ 1; 2; 3 ] [ a; b; c ];
-  Alcotest.(check int) "retained" 2 (Obs.Tracer.length tr);
+  (* the first overflow appends one self-describing warn span, allowed
+     one past capacity, so a truncated export says it is truncated *)
+  Alcotest.(check int) "retained" 3 (Obs.Tracer.length tr);
   Alcotest.(check int) "dropped" 1 (Obs.Tracer.dropped tr);
   Alcotest.(check bool) "dropped id not found" true (Obs.Tracer.find tr c = None);
+  let names = List.map (fun s -> s.Obs.Span.name) (Obs.Tracer.spans tr) in
+  Alcotest.(check (list string)) "capacity span appended" [ "a"; "b"; "tracer.capacity" ]
+    names;
+  let cap_span =
+    List.find (fun s -> s.Obs.Span.name = "tracer.capacity") (Obs.Tracer.spans tr)
+  in
+  Alcotest.(check bool) "capacity span warns" true (cap_span.Obs.Span.status = Obs.Span.Warn);
+  Alcotest.(check (list (pair string string))) "capacity span names the cap"
+    [ ("capacity", "2") ]
+    (Obs.Span.fields cap_span);
+  (* a second overflow only bumps the counter *)
+  let d = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "d" in
+  Alcotest.(check int) "id after capacity span" 5 d;
+  Alcotest.(check int) "still 3 retained" 3 (Obs.Tracer.length tr);
+  Alcotest.(check int) "dropped twice" 2 (Obs.Tracer.dropped tr);
   (* mutations on a dropped id must be harmless *)
   Obs.Tracer.set_field tr c "k" "v";
   Obs.Tracer.warn tr c;
@@ -237,6 +254,74 @@ let test_tracer_disabled () =
   Alcotest.(check bool) "null_id still dead" true (Obs.Tracer.find tr Obs.Tracer.null_id = None);
   Alcotest.(check int) "only the live span retained" 1 (Obs.Tracer.length tr)
 
+(* Head sampling discards whole trees; the tail overrules it for spans
+   that warn or run slow. [sample_rate = 0.] makes the head verdict
+   "discard everything", isolating each tail rule. *)
+let test_sampling_tail_promotion () =
+  let tr = Obs.Tracer.create ~sample_rate:0. ~slow:(Time.of_ms 5.) () in
+  let a = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "a" in
+  Alcotest.(check bool) "pending span is not recording" false (Obs.Tracer.recording tr a);
+  Obs.Tracer.finish tr ~at:(Time.of_us 10) a;
+  Alcotest.(check bool) "fast ok span sampled out" true (Obs.Tracer.find tr a = None);
+  Alcotest.(check int) "counted as sampled_out" 1 (Obs.Tracer.sampled_out tr);
+  (* a warn leaf drags its still-pending ancestor into the retained set *)
+  let b = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "b" in
+  let c = Obs.Tracer.start tr ~at:(Time.of_us 1) ~parent:b ~category:"t" "c" in
+  Obs.Tracer.set_field tr c "item" "widget";
+  Obs.Tracer.warn tr c;
+  Alcotest.(check bool) "promoted span is recording" true (Obs.Tracer.recording tr c);
+  Obs.Tracer.finish tr ~at:(Time.of_us 5) c;
+  Obs.Tracer.finish tr ~at:(Time.of_us 9) b;
+  Alcotest.(check bool) "warn promotes the leaf" true (Obs.Tracer.find tr c <> None);
+  Alcotest.(check bool) "and its pending ancestor" true (Obs.Tracer.find tr b <> None);
+  Alcotest.(check (option (list (pair string string)))) "fields set while pending survive"
+    (Some [ ("item", "widget") ])
+    (Option.map Obs.Span.fields (Obs.Tracer.find tr c));
+  (* a slow finish promotes even without a warn *)
+  let d = Obs.Tracer.start tr ~at:Time.zero ~category:"t" "d" in
+  Obs.Tracer.finish tr ~at:(Time.of_ms 6.) d;
+  Alcotest.(check bool) "slow span promoted" true (Obs.Tracer.find tr d <> None);
+  Alcotest.(check int) "only the fast ok span was sampled out" 1
+    (Obs.Tracer.sampled_out tr);
+  Alcotest.(check int) "sampling is never 'dropped'" 0 (Obs.Tracer.dropped tr);
+  (* a warn-status instant survives a zero sample rate too *)
+  let i =
+    Obs.Tracer.instant tr ~at:(Time.of_us 50) ~status:Obs.Span.Warn ~category:"t" "i"
+  in
+  Alcotest.(check bool) "warn instant retained" true (Obs.Tracer.find tr i <> None);
+  let j = Obs.Tracer.instant tr ~at:(Time.of_us 51) ~category:"t" "j" in
+  Alcotest.(check bool) "ok instant sampled out" true (Obs.Tracer.find tr j = None)
+
+let test_sampling_deterministic_hash () =
+  let run () =
+    let tr = Obs.Tracer.create ~sample_rate:0.25 ~seed:7 () in
+    for k = 0 to 399 do
+      let root = Obs.Tracer.start tr ~at:(Time.of_us k) ~category:"t" "r" in
+      let child = Obs.Tracer.start tr ~at:(Time.of_us k) ~parent:root ~category:"t" "c" in
+      Obs.Tracer.finish tr ~at:(Time.of_us (k + 1)) child;
+      Obs.Tracer.finish tr ~at:(Time.of_us (k + 2)) root
+    done;
+    tr
+  in
+  let t1 = run () and t2 = run () in
+  Alcotest.(check string) "same seed, same sampled trees"
+    (Obs.Exporter.spans_to_jsonl t1) (Obs.Exporter.spans_to_jsonl t2);
+  let roots = List.filter (fun s -> s.Obs.Span.parent = None) (Obs.Tracer.spans t1) in
+  let n = List.length roots in
+  Alcotest.(check bool) (Printf.sprintf "rate honored (%d/400 kept)" n) true
+    (n > 40 && n < 160);
+  (* children inherit the root verdict: every retained child's parent is
+     retained, so trees are kept or discarded whole *)
+  List.iter
+    (fun s ->
+      match s.Obs.Span.parent with
+      | None -> ()
+      | Some p ->
+          Alcotest.(check bool) "child only kept with its root" true
+            (Obs.Tracer.find t1 p <> None))
+    (Obs.Tracer.spans t1);
+  Alcotest.(check int) "discards counted" (2 * (400 - n)) (Obs.Tracer.sampled_out t1)
+
 (* --- registry --- *)
 
 let test_registry () =
@@ -281,6 +366,69 @@ let test_registry () =
     (Obs.Registry.series_key ~name:"av.available"
        ~labels:[ ("site", "1"); ("item", "p3") ])
 
+let test_registry_retention_bound () =
+  let r = Obs.Registry.create ~retention:4 () in
+  let c = Obs.Registry.counter r "hits" in
+  Obs.Registry.gauge r "level" (fun () -> 1.);
+  for k = 1 to 50 do
+    Obs.Registry.inc c 1;
+    Obs.Registry.snapshot r ~at:(Time.of_us k)
+  done;
+  Alcotest.(check int) "snapshot_count sees every snapshot" 50
+    (Obs.Registry.snapshot_count r);
+  let samples = Obs.Registry.samples r in
+  Alcotest.(check int) "each series keeps only the retention window" 8
+    (List.length samples);
+  (* the window is the most recent samples, still chronological *)
+  let hits = List.filter (fun s -> s.Obs.Registry.name = "hits") samples in
+  Alcotest.(check (list int)) "oldest fell off the back" [ 47; 48; 49; 50 ]
+    (List.map (fun s -> Time.to_us s.Obs.Registry.at) hits);
+  Alcotest.(check (list (float 1e-9))) "values follow the counter" [ 47.; 48.; 49.; 50. ]
+    (List.map (fun s -> s.Obs.Registry.value) hits);
+  (* memory is bounded: once the rings wrapped, more snapshots cost nothing *)
+  let at_50 = Obs.Registry.footprint_words r in
+  for k = 51 to 500 do
+    Obs.Registry.snapshot r ~at:(Time.of_us k)
+  done;
+  Alcotest.(check int) "footprint stable after wrap" at_50 (Obs.Registry.footprint_words r);
+  Alcotest.(check int) "n_series" 2 (Obs.Registry.n_series r)
+
+let starts_with s prefix =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_metrics_csv_shapes () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "hits" ~labels:[ ("site", "1") ] in
+  Obs.Registry.inc c 3;
+  Obs.Registry.snapshot r ~at:(Time.of_ms 1.);
+  Obs.Registry.snapshot r ~at:(Time.of_ms 2.);
+  (* one series: the auto entry point stays wide *)
+  Alcotest.(check string) "auto = wide below the limit" (Obs.Exporter.series_csv r)
+    (Obs.Exporter.metrics_csv r);
+  Alcotest.(check bool) "wide header pivots series" true
+    (starts_with (Obs.Exporter.series_csv r) "time_ms,hits{site=1}");
+  (* the long shape can be forced *)
+  let long = Obs.Exporter.metrics_csv ~wide:false r in
+  (match String.split_on_char '\n' long with
+  | header :: rows ->
+      Alcotest.(check string) "long header" "time_ms,name,labels,value" header;
+      Alcotest.(check int) "one row per sample" 2
+        (List.length (List.filter (fun l -> l <> "") rows));
+      Alcotest.(check bool) "row carries name and labels" true
+        (contains long "hits" && contains long "site=1")
+  | [] -> Alcotest.fail "empty long csv");
+  (* above the limit the auto entry point switches to long *)
+  let big = Obs.Registry.create () in
+  for i = 0 to Obs.Exporter.wide_series_limit do
+    ignore (Obs.Registry.counter big ~labels:[ ("i", string_of_int i) ] "c")
+  done;
+  Obs.Registry.snapshot big ~at:Time.zero;
+  Alcotest.(check bool) "registry really is over the limit" true
+    (Obs.Registry.n_series big > Obs.Exporter.wide_series_limit);
+  Alcotest.(check bool) "auto = long above the limit" true
+    (starts_with (Obs.Exporter.metrics_csv big) "time_ms,name,labels,value")
+
 (* --- cluster fixtures --- *)
 
 let small_config () =
@@ -295,8 +443,8 @@ let force_ok = function Ok () -> () | Error e -> Alcotest.fail e
 
 (* Reshape AV to Fig. 1 (40/20/40) and sell 30 at site 1: the shortage of
    10 forces one AV transfer from the base. *)
-let run_forced_transfer () =
-  let cluster = Cluster.create (small_config ()) in
+let run_forced_transfer ?(config = small_config ()) () =
+  let cluster = Cluster.create config in
   let av i = Site.av_table (Cluster.site cluster i) in
   force_ok (Av_table.withdraw (av 0) ~item:"widget" 34);
   force_ok (Av_table.deposit (av 0) ~item:"widget" 40);
@@ -407,7 +555,7 @@ let test_invariant_probe () =
 
 (* --- exporters --- *)
 
-let seeded_scm_run () =
+let seeded_scm_run ?(trace_sample = 1.) () =
   (* A tight catalogue (5 items, AV of 10 per site) so the workload actually
      exhausts AV and triggers cross-site transfers within 300 updates. *)
   let config =
@@ -416,6 +564,7 @@ let seeded_scm_run () =
       Config.products =
         Product.catalogue ~n_regular:5 ~n_non_regular:0 ~initial_amount:30;
       snapshot_interval = Some (Time.of_ms 50.);
+      trace_sample;
     }
   in
   let cluster = Cluster.create config in
@@ -450,6 +599,199 @@ let test_exporters_well_formed () =
       Alcotest.(check bool) "csv header leads with time_ms" true
         (String.length header >= 7 && String.sub header 0 7 = "time_ms")
   | _ -> Alcotest.fail "csv has no data rows")
+
+(* A sampled run keeps a subset of the full run's trees — never novel
+   spans — and every warn span of the full run survives sampling. *)
+let test_sampled_run_is_a_subset () =
+  let full = seeded_scm_run () in
+  let sampled = seeded_scm_run ~trace_sample:0.1 () in
+  let ids cluster =
+    List.map (fun s -> s.Obs.Span.id) (Obs.Tracer.spans (Cluster.tracer cluster))
+  in
+  let full_ids = ids full and sampled_ids = ids sampled in
+  Alcotest.(check bool) "sampling kept fewer spans" true
+    (List.length sampled_ids < List.length full_ids);
+  Alcotest.(check bool) "sampling kept some spans" true (sampled_ids <> []);
+  Alcotest.(check int) "and counted the discards"
+    (List.length full_ids - List.length sampled_ids)
+    (Obs.Tracer.sampled_out (Cluster.tracer sampled));
+  (* ids are allocated identically regardless of retention, so the span
+     sets are directly comparable *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sampled span %d exists in the full run" id)
+        true (List.mem id full_ids))
+    sampled_ids;
+  List.iter
+    (fun s ->
+      if s.Obs.Span.status = Obs.Span.Warn then
+        Alcotest.(check bool)
+          (Printf.sprintf "warn span %d survived sampling" s.Obs.Span.id)
+          true
+          (List.mem s.Obs.Span.id sampled_ids))
+    (Obs.Tracer.spans (Cluster.tracer full));
+  (* the sampled run is itself reproducible, byte for byte *)
+  let again = seeded_scm_run ~trace_sample:0.1 () in
+  Alcotest.(check string) "same seed, same sampled export"
+    (Obs.Exporter.spans_to_jsonl (Cluster.tracer sampled))
+    (Obs.Exporter.spans_to_jsonl (Cluster.tracer again))
+
+(* The scale story end to end: 100 sites under sampling, snapshots on,
+   exports byte-identical across two same-seed runs and already in the
+   long CSV shape (the series count is far past the wide pivot). *)
+let sharded_run () =
+  let config =
+    {
+      Config.default with
+      Config.n_sites = 100;
+      products = Product.catalogue ~n_regular:20 ~n_non_regular:0 ~initial_amount:50;
+      snapshot_interval = Some (Time.of_ms 100.);
+      trace_sample = 0.05;
+      seed = 1234;
+    }
+  in
+  let cluster = Cluster.create config in
+  let nth_update k =
+    ( k mod 100,
+      "product" ^ string_of_int (k mod 20),
+      if k mod 5 = 0 then 3 else -1 )
+  in
+  ignore (Runner.run cluster ~nth_update ~total_updates:800 ());
+  cluster
+
+let test_sharded_sampled_determinism () =
+  let r1 = sharded_run () and r2 = sharded_run () in
+  let export c =
+    ( Obs.Exporter.spans_to_jsonl (Cluster.tracer c),
+      Obs.Exporter.metrics_csv (Cluster.registry c),
+      Obs.Exporter.metrics_to_jsonl (Cluster.registry c) )
+  in
+  let spans1, csv1, jsonl1 = export r1 in
+  let spans2, csv2, jsonl2 = export r2 in
+  Alcotest.(check bool) "sampling engaged" true
+    (Obs.Tracer.sampled_out (Cluster.tracer r1) > 0);
+  Alcotest.(check bool) "still retained spans" true
+    (Obs.Tracer.length (Cluster.tracer r1) > 0);
+  Alcotest.(check string) "same seed, same sampled span export" spans1 spans2;
+  Alcotest.(check string) "same seed, same metrics csv" csv1 csv2;
+  Alcotest.(check string) "same seed, same metrics jsonl" jsonl1 jsonl2;
+  Alcotest.(check bool) "100 sites push the csv into long shape" true
+    (Obs.Registry.n_series (Cluster.registry r1) > Obs.Exporter.wide_series_limit);
+  Alcotest.(check bool) "auto csv is long" true
+    (String.length csv1 >= 26 && String.sub csv1 0 26 = "time_ms,name,labels,value\n")
+
+(* --- consistency-lag probes --- *)
+
+let last_value samples ~name ~labels =
+  List.fold_left
+    (fun acc (s : Obs.Registry.sample) ->
+      if s.Obs.Registry.name = name && s.Obs.Registry.labels = labels then
+        Some s.Obs.Registry.value
+      else acc)
+    None samples
+
+let test_lag_probes () =
+  (* syncs on, so the run also exercises correspondence application and
+     stamps the replica-freshness probe *)
+  let config =
+    { (small_config ()) with Config.sync_interval = Some (Time.of_ms 10.) }
+  in
+  let cluster = run_forced_transfer ~config () in
+  Cluster.snapshot_now cluster;
+  let samples = Obs.Registry.samples (Cluster.registry cluster) in
+  (* site 1 went short by 10 and asked a donor: the shortage-rate and
+     grant-latency probes must have seen it *)
+  (match last_value samples ~name:"av.shortage_rate" ~labels:[ ("site", "site1") ] with
+  | Some v -> Alcotest.(check bool) "shortage rate positive" true (v > 0.)
+  | None -> Alcotest.fail "av.shortage_rate{site=site1} missing");
+  (match
+     last_value samples ~name:"update.grant_latency_ms.count"
+       ~labels:[ ("site", "site1") ]
+   with
+  | Some v -> Alcotest.(check bool) "a grant was timed" true (v >= 1.)
+  | None -> Alcotest.fail "update.grant_latency_ms.count{site=site1} missing");
+  (* the cluster-wide merged sketch sees the same grant *)
+  (match last_value samples ~name:"update.grant_latency_ms.count" ~labels:[] with
+  | Some v -> Alcotest.(check bool) "merged sketch has it too" true (v >= 1.)
+  | None -> Alcotest.fail "unlabelled update.grant_latency_ms.count missing");
+  (* idle fraction is a fraction *)
+  List.iter
+    (fun (s : Obs.Registry.sample) ->
+      if s.Obs.Registry.name = "av.idle_fraction" then
+        Alcotest.(check bool) "idle fraction in [0,1]" true
+          (s.Obs.Registry.value >= 0. && s.Obs.Registry.value <= 1.))
+    samples;
+  (* per-item staleness: registered for every non-base replica, and 0 now
+     that the run has quiesced (all sync counters delivered and applied) *)
+  let lags =
+    List.filter (fun (s : Obs.Registry.sample) -> s.Obs.Registry.name = "sync.version_lag") samples
+  in
+  Alcotest.(check bool) "version-lag gauges registered" true (lags <> []);
+  List.iter
+    (fun (s : Obs.Registry.sample) ->
+      Alcotest.(check (float 1e-9)) "converged run has zero lag" 0. s.Obs.Registry.value)
+    lags;
+  (* apply-age: some site applied a peer's sync counters during the run *)
+  Alcotest.(check bool) "a sync apply was stamped" true
+    (List.exists
+       (fun i -> Site.last_sync_apply (Cluster.site cluster i) <> None)
+       [ 0; 1; 2 ])
+
+(* --- offline report --- *)
+
+let test_report_over_artifacts () =
+  let cluster = seeded_scm_run ~trace_sample:0.5 () in
+  let spans = Obs.Exporter.spans_to_jsonl (Cluster.tracer cluster) in
+  let metrics = Obs.Exporter.metrics_to_jsonl (Cluster.registry cluster) in
+  match
+    Obs.Report.analyze
+      ~spans:[ ("run.spans.jsonl", spans) ]
+      ~metrics:[ ("run.metrics.jsonl", metrics) ]
+  with
+  | Error e -> Alcotest.failf "analyze failed: %s" e
+  | Ok report ->
+      Alcotest.(check int) "every span parsed"
+        (Obs.Tracer.length (Cluster.tracer cluster))
+        (Obs.Report.n_spans report);
+      let text = Obs.Report.render report in
+      List.iter
+        (fun heading ->
+          Alcotest.(check bool) (Printf.sprintf "section %S present" heading) true
+            (contains text ("== " ^ heading ^ " ==")))
+        [
+          "span durations (ms, sketches merged across sites)";
+          "critical path (direct children per root span)";
+          "per-site fairness (final snapshot)";
+          "staleness over time";
+          "tracer";
+          "registry memory";
+        ];
+      Alcotest.(check bool) "percentile table names the update root" true
+        (contains text "update.delay");
+      (match Obs.Report.registry_words_max report with
+      | Some w -> Alcotest.(check bool) "registry.words surfaced" true (w > 0.)
+      | None -> Alcotest.fail "registry.words gauge missing from artifacts")
+
+let test_report_pinpoints_malformed_input () =
+  (match Obs.Report.analyze ~spans:[] ~metrics:[ ("m.jsonl", "not json\n") ] with
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names file and line" e)
+        true
+        (String.length e >= 9 && String.sub e 0 9 = "m.jsonl:1")
+  | Ok _ -> Alcotest.fail "malformed metrics accepted");
+  match
+    Obs.Report.analyze
+      ~spans:[ ("s.jsonl", "{\"id\":1,\"name\":\"x\",\"category\":\"t\",\"start_us\":0,\"status\":\"ok\"}\n{\"id\":\n") ]
+      ~metrics:[]
+  with
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names the second line" e)
+        true
+        (String.length e >= 9 && String.sub e 0 9 = "s.jsonl:2")
+  | Ok _ -> Alcotest.fail "malformed spans accepted"
 
 let test_determinism () =
   let export cluster =
@@ -501,9 +843,21 @@ let test_tracing_flag_does_not_perturb_simulation () =
   done;
   Alcotest.(check int) "same correspondences" (Cluster.total_correspondences on)
     (Cluster.total_correspondences off);
-  Alcotest.(check string) "same time series"
-    (Obs.Exporter.series_csv (Cluster.registry on))
-    (Obs.Exporter.series_csv (Cluster.registry off));
+  (* the tracer.* gauges exist to report tracing state, so they are the
+     one family allowed to differ between the two runs *)
+  let series cluster =
+    List.filter_map
+      (fun (s : Obs.Registry.sample) ->
+        if String.length s.Obs.Registry.name >= 7 && String.sub s.Obs.Registry.name 0 7 = "tracer."
+        then None
+        else
+          Some
+            ( Time.to_us s.Obs.Registry.at,
+              Obs.Registry.series_key ~name:s.Obs.Registry.name ~labels:s.Obs.Registry.labels,
+              s.Obs.Registry.value ))
+      (Obs.Registry.samples (Cluster.registry cluster))
+  in
+  Alcotest.(check bool) "same time series" true (series on = series off);
   Alcotest.(check bool) "tracing-on retained spans" true (Obs.Tracer.length (Cluster.tracer on) > 0);
   Alcotest.(check int) "tracing-off retained none" 0 (Obs.Tracer.length (Cluster.tracer off))
 
@@ -515,11 +869,23 @@ let suites =
         Alcotest.test_case "tracer capacity" `Quick test_tracer_capacity;
         Alcotest.test_case "tracer instant equivalence" `Quick test_tracer_instant_equivalence;
         Alcotest.test_case "tracer disabled" `Quick test_tracer_disabled;
+        Alcotest.test_case "sampling tail promotion" `Quick test_sampling_tail_promotion;
+        Alcotest.test_case "sampling deterministic hash" `Quick
+          test_sampling_deterministic_hash;
         Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "registry retention bound" `Quick test_registry_retention_bound;
+        Alcotest.test_case "metrics csv shapes" `Quick test_metrics_csv_shapes;
         Alcotest.test_case "av span tree crosses the wire" `Quick test_av_span_tree;
         Alcotest.test_case "snapshot cadence" `Quick test_snapshot_cadence;
         Alcotest.test_case "invariant probe" `Quick test_invariant_probe;
         Alcotest.test_case "exporters well-formed" `Quick test_exporters_well_formed;
+        Alcotest.test_case "sampled run is a subset" `Quick test_sampled_run_is_a_subset;
+        Alcotest.test_case "sharded sampled determinism" `Slow
+          test_sharded_sampled_determinism;
+        Alcotest.test_case "consistency-lag probes" `Quick test_lag_probes;
+        Alcotest.test_case "report over artifacts" `Quick test_report_over_artifacts;
+        Alcotest.test_case "report pinpoints malformed input" `Quick
+          test_report_pinpoints_malformed_input;
         Alcotest.test_case "deterministic exports" `Quick test_determinism;
         Alcotest.test_case "tracing flag does not perturb simulation" `Quick
           test_tracing_flag_does_not_perturb_simulation;
