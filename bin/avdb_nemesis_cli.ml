@@ -29,7 +29,7 @@ let run_seed ~cfg ~verbose ~out seed =
   not failed
 
 let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes partitions
-    net_windows no_crash_base oracle spread hierarchy mutations verbose out =
+    net_windows no_crash_base oracle spread hierarchy disk_faults mutations verbose out =
   Avdb_core.Mutation.reset ();
   List.iter Avdb_core.Mutation.enable mutations;
   if mutations <> [] then
@@ -50,6 +50,7 @@ let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes pa
       oracle;
       spread;
       hierarchy;
+      disk_faults;
     }
   in
   let seed_list =
@@ -138,6 +139,17 @@ let hierarchy_arg =
           "With --spread: circulate AV requests up an $(docv)-ary tree over each item's \
            subscribers instead of flat peer selection.")
 
+let disk_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "disk-faults" ]
+        ~doc:
+          "Attach storage faults (lost fsyncs, bit flips, misdirected block writes, lost \
+           segments) to ~70% of generated crashes, damaging the victim's on-disk logs so \
+           recovery exercises CRC damage classification, quarantine and repair from each \
+           item's base site. Corruption may cost availability and repair traffic, never \
+           consistency — the invariants (and the oracle, with --oracle) still apply.")
+
 let mutation_conv =
   let parse s =
     match Avdb_core.Mutation.of_name s with Ok m -> Ok m | Error e -> Error (`Msg e)
@@ -170,6 +182,6 @@ let cmd =
       const run $ seeds_arg $ start_arg $ seed_arg $ sites_arg $ regular_arg
       $ non_regular_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
       $ net_windows_arg $ no_crash_base_arg $ oracle_arg $ spread_arg $ hierarchy_arg
-      $ mutate_arg $ verbose_arg $ out_arg)
+      $ disk_faults_arg $ mutate_arg $ verbose_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

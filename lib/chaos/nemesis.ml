@@ -15,6 +15,12 @@ type fault =
   | Drop of { p : float; at_ms : float; for_ms : float }
   | Duplicate of { p : float; at_ms : float; for_ms : float }
   | Reorder of { p : float; at_ms : float; for_ms : float }
+  | Disk_fault of {
+      site : int;
+      at_ms : float;
+      target : [ `Wal | `Txn ];
+      spec : Avdb_store.Disk_fault.spec;
+    }
 
 type config = {
   seed : int;
@@ -30,6 +36,7 @@ type config = {
   oracle : bool;
   spread : int option;
   hierarchy : int option;
+  disk_faults : bool;
 }
 
 let default ~seed =
@@ -47,6 +54,7 @@ let default ~seed =
     oracle = false;
     spread = None;
     hierarchy = None;
+    disk_faults = false;
   }
 
 (* --- schedule generation --- *)
@@ -58,6 +66,7 @@ let fault_window = function
   | Duplicate { at_ms; for_ms; _ }
   | Reorder { at_ms; for_ms; _ } ->
       (at_ms, at_ms +. for_ms)
+  | Disk_fault { at_ms; _ } -> (at_ms, at_ms)
 
 let fault_start f = fst (fault_window f)
 
@@ -70,6 +79,7 @@ let conflicts a b =
   | Partition x, Partition y ->
       (min x.a x.b, max x.a x.b) = (min y.a y.b, max y.a y.b)
   | Drop _, Drop _ | Duplicate _, Duplicate _ | Reorder _, Reorder _ -> true
+  | Disk_fault x, Disk_fault y -> x.site = y.site && x.target = y.target
   | _ -> false
 
 let overlaps a b =
@@ -95,7 +105,24 @@ let generate cfg =
       if cfg.n_sites > lo then begin
         let site = Rng.int_in rng lo (cfg.n_sites - 1) in
         let at_ms, for_ms = window 150. 400. in
-        push (Crash { site; at_ms; for_ms })
+        push (Crash { site; at_ms; for_ms });
+        (* Disk faults ride along with crashes: arm the victim's faultable
+           disk 1 ms before it goes down, so the crash serializes its logs
+           through the damaged medium. Drawn even when disabled so a seed's
+           crash/partition schedule is identical with and without
+           [disk_faults]. *)
+        let armed = Rng.bernoulli rng 0.7 in
+        let target = if Rng.bool rng then `Wal else `Txn in
+        let spec =
+          match Rng.int rng 5 with
+          | 0 -> Avdb_store.Disk_fault.Torn_tail
+          | 1 -> Avdb_store.Disk_fault.Lost_fsync { frames = Rng.int_in rng 1 8 }
+          | 2 -> Avdb_store.Disk_fault.Bit_flip { pos = Rng.float rng 1. }
+          | 3 -> Avdb_store.Disk_fault.Misdirect { pos = Rng.float rng 1. }
+          | _ -> Avdb_store.Disk_fault.Lost_segment { pos = Rng.float rng 1. }
+        in
+        if cfg.disk_faults && armed then
+          push (Disk_fault { site; at_ms = at_ms -. 1.; target; spec })
       end
     done;
   if cfg.max_partitions > 0 && cfg.n_sites >= 2 then
@@ -132,12 +159,18 @@ type stats = {
   crashes : int;
   partitions : int;
   net_windows : int;
+  disk_faults : int;
   in_doubt_recovered : int;
   termination_queries : int;
   decision_rebroadcasts : int;
   leaked_av : int;
   messages_dropped : int;
   oracle_entries : int;
+  checksum_failures : int;
+  segments_quarantined : int;
+  repairs : int;
+  repair_bytes : int;
+  still_quarantined : int;
 }
 
 type outcome = { violations : string list; stats : stats }
@@ -205,7 +238,9 @@ let execute cfg schedule =
           at (at_ms +. for_ms) (fun () -> Cluster.set_duplicate_probability cluster 0.)
       | Reorder { p; at_ms; for_ms } ->
           at at_ms (fun () -> Cluster.set_reorder_probability cluster p);
-          at (at_ms +. for_ms) (fun () -> Cluster.set_reorder_probability cluster 0.))
+          at (at_ms +. for_ms) (fun () -> Cluster.set_reorder_probability cluster 0.)
+      | Disk_fault { site = i; at_ms; target; spec } ->
+          at at_ms (fun () -> Site.arm_disk_fault (site i) ~target spec))
     schedule;
   (* Decision agreement is an any-instant invariant: probe it throughout
      the fault phase, not just at quiescence. *)
@@ -294,12 +329,19 @@ let execute cfg schedule =
         let auth = Rng.int rrng 3 = 0 in
         at ms (fun () ->
             if not (Site.is_down (site s)) then
-              if auth then
-                Avdb_check.History.read_authoritative h ~engine (site s) ~item (fun _ -> ())
+              if auth then begin
+                (* a quarantined base answers None by design (availability
+                   lost, not staleness) — skip it, like a down site *)
+                let base = Topology.base_index (Cluster.topology cluster) ~item in
+                if not (Site.is_quarantined (site base) ~item) then
+                  Avdb_check.History.read_authoritative h ~engine (site s) ~item
+                    (fun _ -> ())
+              end
               else if
                 (* a local read at a non-subscriber answers None by design,
                    not staleness — route session checks to replica holders *)
                 Cluster.interested cluster ~site:s ~item
+                && not (Site.is_quarantined (site s) ~item)
               then ignore (Avdb_check.History.read_local h ~engine (site s) ~item))
       done);
   (* Horizon: heal the world, then drain to quiescence. *)
@@ -316,9 +358,22 @@ let execute cfg schedule =
         if Site.is_down (site i) then Site.recover (site i)
       done);
   Cluster.run cluster;
+  let sites = Cluster.sites cluster in
   let item_names = List.map (fun p -> p.Product.name) products in
+  (* A replica that stayed quarantined after a storage fault (e.g. its
+     repair donor rotation never completed) is excluded from convergence:
+     it serves no reads and blocks no commits, so its stale raw value is
+     not client-visible — staying safely quarantined costs availability,
+     never consistency. *)
+  let healthy_amounts item =
+    List.filter_map
+      (fun i ->
+        if Site.is_quarantined (site i) ~item then None
+        else Site.amount_of (site i) ~item)
+      (Cluster.subscribers cluster ~item)
+  in
   let converged item =
-    match Cluster.replica_amounts cluster ~item with
+    match healthy_amounts item with
     | first :: rest -> List.for_all (( = ) first) rest
     | [] -> false
   in
@@ -337,20 +392,32 @@ let execute cfg schedule =
   (match Cluster.decision_agreement cluster with
   | Ok () -> ()
   | Error e -> violate "final decision agreement: %s" e);
-  let in_doubt = Cluster.in_doubt_total cluster in
+  (* A protocol-log entry on a still-quarantined item is exempt: the
+     orphan-resolution poll may have exhausted its budget, but the item's
+     replica stays fenced off, so the doubt is contained. *)
+  let in_doubt =
+    Array.fold_left
+      (fun acc s ->
+        acc
+        + List.length
+            (List.filter
+               (fun (e : Avdb_txn.Txn_log.entry) ->
+                 e.Avdb_txn.Txn_log.outcome = None
+                 && not (Site.is_quarantined s ~item:e.Avdb_txn.Txn_log.item))
+               (Avdb_txn.Txn_log.entries (Site.txn_log s))))
+      0 sites
+  in
   if in_doubt > 0 then violate "%d transactions still in doubt at quiescence" in_doubt;
   List.iter
     (fun item ->
       if not (converged item) then
         violate "replicas of %s disagree at quiescence: [%s]" item
-          (String.concat ", "
-             (List.map string_of_int (Cluster.replica_amounts cluster ~item))))
+          (String.concat ", " (List.map string_of_int (healthy_amounts item))))
     item_names;
   (* AV ledger: per item, volume must never be created; globally, the
      books must balance exactly once the measured grant leak (granted
      minus received — volume stranded by a crash or exhausted
      retransmission while a grant reply was in flight) is accounted. *)
-  let sites = Cluster.sites cluster in
   let per_item f item =
     Array.fold_left (fun acc s -> acc + f (Site.av_table s) ~item) 0 sites
   in
@@ -404,6 +471,7 @@ let execute cfg schedule =
       partitions = count (function Partition _ -> true | _ -> false);
       net_windows =
         count (function Drop _ | Duplicate _ | Reorder _ -> true | _ -> false);
+      disk_faults = count (function Disk_fault _ -> true | _ -> false);
       in_doubt_recovered = sum_metric (fun m -> m.Update.Metrics.in_doubt_recovered);
       termination_queries = sum_metric (fun m -> m.Update.Metrics.termination_queries);
       decision_rebroadcasts =
@@ -411,6 +479,15 @@ let execute cfg schedule =
       leaked_av = max 0 leaked;
       messages_dropped = Avdb_net.Stats.total_dropped (Cluster.net_stats cluster);
       oracle_entries = !oracle_entries;
+      checksum_failures = sum_metric (fun m -> m.Update.Metrics.checksum_failures);
+      segments_quarantined =
+        sum_metric (fun m -> m.Update.Metrics.segments_quarantined);
+      repairs = sum_metric (fun m -> m.Update.Metrics.repairs);
+      repair_bytes = sum_metric (fun m -> m.Update.Metrics.repair_bytes);
+      still_quarantined =
+        Array.fold_left
+          (fun acc s -> acc + List.length (Site.quarantined_items s))
+          0 sites;
     }
   in
   { violations = List.rev !violations; stats }
@@ -463,6 +540,10 @@ let pp_fault ppf = function
       Format.fprintf ppf "duplicate p=%.2f at %.0fms for %.0fms" p at_ms for_ms
   | Reorder { p; at_ms; for_ms } ->
       Format.fprintf ppf "reorder p=%.2f at %.0fms for %.0fms" p at_ms for_ms
+  | Disk_fault { site; at_ms; target; spec } ->
+      Format.fprintf ppf "disk-fault site%d %s at %.0fms: %a" site
+        (match target with `Wal -> "wal" | `Txn -> "txn-log")
+        at_ms Avdb_store.Disk_fault.pp spec
 
 let pp_schedule ppf = function
   | [] -> Format.pp_print_string ppf "(no faults)"
@@ -481,6 +562,12 @@ let pp_report ppf r =
     "  recovery: %d in-doubt re-installed, %d termination queries, %d decision \
      rebroadcasts, %d AV leaked@,"
     s.in_doubt_recovered s.termination_queries s.decision_rebroadcasts s.leaked_av;
+  if s.disk_faults > 0 then
+    Format.fprintf ppf
+      "  storage: %d disk faults, %d checksum failures, %d segments quarantined, %d \
+       repairs (%d bytes fetched), %d items still quarantined@,"
+      s.disk_faults s.checksum_failures s.segments_quarantined s.repairs s.repair_bytes
+      s.still_quarantined;
   if s.oracle_entries > 0 then
     Format.fprintf ppf "  oracle: %d history entries checked@," s.oracle_entries;
   Format.fprintf ppf "  schedule:@,    @[<v>%a@]@," pp_schedule r.schedule;

@@ -35,6 +35,15 @@ type fault =
       (** global message-loss window at probability [p]. *)
   | Duplicate of { p : float; at_ms : float; for_ms : float }
   | Reorder of { p : float; at_ms : float; for_ms : float }
+  | Disk_fault of {
+      site : int;
+      at_ms : float;
+      target : [ `Wal | `Txn ];
+      spec : Avdb_store.Disk_fault.spec;
+    }
+      (** arm [spec] against [site]'s write-ahead log or 2PC protocol log at
+          [at_ms]; the fault takes effect at the site's next crash. Only
+          generated alongside a crash of the same site (1 ms before it). *)
 
 type config = {
   seed : int;
@@ -64,6 +73,17 @@ type config = {
   hierarchy : int option;
       (** with [spread]: hierarchical AV circulation fanout
           ([hierarchy_fanout]); ignored on the flat topology. *)
+  disk_faults : bool;
+      (** attach storage faults (lost fsyncs, bit flips, misdirected block
+          writes, lost segments — {!Avdb_store.Disk_fault.spec}) to ~70% of
+          generated crashes, damaging the victim's on-disk logs so recovery
+          runs the corruption-classification and base-site repair path.
+          Autonomous mode only (the local WAL-reconstruction story relies
+          on the sync counters the centralized baseline bypasses). The
+          invariants adapt: a replica that stays safely quarantined is
+          exempt from convergence and in-doubt accounting — corruption may
+          cost availability and repair traffic, never consistency. Off by
+          default. *)
 }
 
 val default : seed:int -> config
@@ -83,12 +103,18 @@ type stats = {
   crashes : int;
   partitions : int;
   net_windows : int;
+  disk_faults : int;  (** storage faults armed by the schedule *)
   in_doubt_recovered : int;  (** participants re-installed from the log *)
   termination_queries : int;  (** cooperative-termination RPCs sent *)
   decision_rebroadcasts : int;  (** recovered-coordinator decision pushes *)
   leaked_av : int;  (** grant volume lost to the documented leak channel *)
   messages_dropped : int;
   oracle_entries : int;  (** history entries the oracle judged (0 when off) *)
+  checksum_failures : int;  (** log frames rejected by CRC at recovery *)
+  segments_quarantined : int;  (** log segments discarded at recovery *)
+  repairs : int;  (** quarantined items repaired from a donor *)
+  repair_bytes : int;  (** wire bytes of repair snapshots fetched *)
+  still_quarantined : int;  (** items left safely quarantined at the end *)
 }
 
 type outcome = { violations : string list; stats : stats }

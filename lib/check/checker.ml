@@ -8,6 +8,7 @@ type snapshot = {
   books : (string * Model.books) list;
   granted : int;
   received : int;
+  amnesiac : int list;
 }
 
 let snapshot_of_cluster cluster =
@@ -23,10 +24,16 @@ let snapshot_of_cluster cluster =
   in
   (* An item's replica holders, the base first: the convergence and
      virtual-final-read checks key on the head being the primary copy.
-     Under partial replication only subscribers appear at all. *)
+     Under partial replication only subscribers appear at all. A holder
+     whose copy is quarantined after a storage fault is excluded: it
+     rejects reads and votes Refuse, so its stale raw value is not
+     client-visible state — corruption costs availability, never
+     consistency. *)
   let holder_sites item =
     let base = Topology.base_index topology ~item in
-    base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item)
+    List.filter
+      (fun i -> not (Site.is_quarantined (Cluster.site cluster i) ~item))
+      (base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item))
   in
   let replicas =
     List.map
@@ -72,7 +79,10 @@ let snapshot_of_cluster cluster =
       (fun acc s -> acc + (Site.metrics s).Update.Metrics.av_volume_received)
       0 sites
   in
-  { mode = config.Config.mode; products; replicas; bases; books; granted; received }
+  let amnesiac =
+    List.filter (fun i -> Site.is_amnesiac sites.(i)) (List.init (Array.length sites) Fun.id)
+  in
+  { mode = config.Config.mode; products; replicas; bases; books; granted; received; amnesiac }
 
 type violation =
   | Double_response of { entry : History.entry }
@@ -404,6 +414,13 @@ let check ?(quiescent = true) ~history snapshot =
      *some* subset of the writes invoked before the read responded. *)
   let check_strong_read ~(read : History.entry) ~item ~initial ~value =
     match value with
+    | None when List.mem (base_of item) snapshot.amnesiac ->
+        (* an amnesiac base quarantines its non-regular items after
+           protocol-log loss and answers None while (or instead of)
+           repairing — unavailability by design, not a stale value. A read
+           issued pre-crash can be retried into the quarantine window, so
+           fire-time gating at the injector cannot fully prevent these. *)
+        `Skipped
     | None -> `Violation (Stale_read { read; item; value = None })
     | Some v -> (
         let deltas =

@@ -57,6 +57,13 @@ type snapshot = {
   books : (string * Model.books) list;  (** per regular item, autonomous mode *)
   granted : int;  (** Σ sites' AV volume granted to peers *)
   received : int;  (** Σ sites' AV volume received from peers *)
+  amnesiac : int list;
+      (** sites that ever lost synced protocol-log records to a storage
+          fault ({!Avdb_core.Site.is_amnesiac}). An authoritative read of a
+          2PC item answered [None] by an amnesiac base is judged
+          unavailability (the item was quarantined), not staleness.
+          Quarantined replica holders are already excluded from
+          [replicas]. [[]] for manual snapshots. *)
 }
 
 val snapshot_of_cluster : Avdb_core.Cluster.t -> snapshot

@@ -109,6 +109,12 @@ let register_site_metrics t site =
   g "2pc.in_doubt_recovered" (fun () -> float_of_int m.in_doubt_recovered);
   g "2pc.decision_rebroadcasts" (fun () -> float_of_int m.decision_rebroadcasts);
   g "2pc.in_doubt" (fun () -> float_of_int (Avdb_txn.Txn_log.in_flight (Site.txn_log site)));
+  g "storage.checksum_failures" (fun () -> float_of_int m.checksum_failures);
+  g "storage.segments_quarantined" (fun () -> float_of_int m.segments_quarantined);
+  g "storage.repairs" (fun () -> float_of_int m.repairs);
+  g "storage.repair_bytes" (fun () -> float_of_int m.repair_bytes);
+  g "storage.quarantined_items" (fun () ->
+      float_of_int (List.length (Site.quarantined_items site)));
   let s = Stats.site (Rpc.stats t.rpc) (Site.addr site) in
   g "net.sent" (fun () -> float_of_int s.Stats.sent);
   g "net.received" (fun () -> float_of_int s.Stats.received);

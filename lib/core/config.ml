@@ -35,6 +35,8 @@ type t = {
   metrics_retention : int;
   prefetch_low : int option;
   topology : Topology.spec;
+  segment_frames : int;  (** log records per on-disk segment *)
+  repair_interval : Time.t;  (** pacing of corruption-repair retries and watches *)
   seed : int;
 }
 
@@ -68,6 +70,8 @@ let default =
     metrics_retention = 512;
     prefetch_low = None;
     topology = Topology.flat;
+    segment_frames = 64;
+    repair_interval = Time.of_ms 25.;
     seed = 42;
   }
 
@@ -93,6 +97,9 @@ let validate t =
   else if Time.equal t.rebroadcast_interval Time.zero then
     Error "rebroadcast_interval must be positive"
   else if t.rebroadcast_rounds < 0 then Error "rebroadcast_rounds must be >= 0"
+  else if t.segment_frames < 1 then Error "segment_frames must be >= 1"
+  else if Time.equal t.repair_interval Time.zero then
+    Error "repair_interval must be positive"
   else if
     (* a zero interval would re-fire at the same instant forever *)
     match t.snapshot_interval with

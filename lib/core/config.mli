@@ -102,6 +102,14 @@ type t = {
       (** per-item base assignment, replica placement (interest sets) and
           optional hierarchical AV circulation — {!Topology.flat}
           reproduces the paper's single-base fully-replicated setup *)
+  segment_frames : int;
+      (** how many records each on-disk log segment holds before the
+          writer seals it and starts the next (≥ 1, default 64). Smaller
+          segments bound the blast radius of a corrupt or lost segment at
+          the cost of more header overhead. *)
+  repair_interval : Avdb_sim.Time.t;
+      (** pacing of corruption-repair donor retries and pending-transaction
+          watch polls after a storage fault. Must be positive. *)
   seed : int;
 }
 

@@ -1,7 +1,15 @@
 open Avdb_net
 open Avdb_txn
 
-type decision_status = Decided of Two_phase.decision | Still_pending | Unknown_txn
+type decision_status =
+  | Decided of Two_phase.decision
+  | Still_pending
+  | Unknown_txn
+  | No_record
+      (** The asked coordinator lost (part of) its protocol log to a storage
+          fault: it has no record of the txid and, unlike [Unknown_txn],
+          cannot presume abort — the decision may have existed and been
+          lost. The asker must adjudicate with the full cohort instead. *)
 
 type peer_status =
   | Peer_decided of Two_phase.decision
@@ -49,7 +57,12 @@ type response =
   | Peer_decision_status of { txid : int; status : peer_status }
   | Join_snapshot of {
       rows : (string * int * bool) list;
+          (** committed state only: tentative 2PC deltas are subtracted *)
       sync_state : (int * string * int * int) list;
+      pending : (int * int * string * int) list;
+          (** in-flight 2PC txns touching the requested items, as
+              (txid, coordinator, item, delta) — a repairing site must
+              watch these resolve before trusting its snapshot *)
     }
   | Bad_request of string
 
@@ -95,10 +108,11 @@ let wire_size_response = function
   | Read_value _ -> header + 9
   | Decision_status _ -> header + 9
   | Peer_decision_status _ -> header + 9
-  | Join_snapshot { rows; sync_state } ->
+  | Join_snapshot { rows; sync_state; pending } ->
       header
       + List.fold_left (fun acc (item, _, _) -> acc + String.length item + 9) 0 rows
       + (List.length sync_state * 28)
+      + List.fold_left (fun acc (_, _, item, _) -> acc + String.length item + 24) 0 pending
   | Bad_request msg -> header + String.length msg
 
 let wire_size_notice = function
@@ -154,15 +168,16 @@ let pp_response ppf = function
   | Read_value { amount } ->
       Format.fprintf ppf "read_value(%s)"
         (match amount with Some n -> string_of_int n | None -> "none")
-  | Join_snapshot { rows; sync_state } ->
-      Format.fprintf ppf "join_snapshot(%d rows, %d counters)" (List.length rows)
-        (List.length sync_state)
+  | Join_snapshot { rows; sync_state; pending } ->
+      Format.fprintf ppf "join_snapshot(%d rows, %d counters, %d pending)"
+        (List.length rows) (List.length sync_state) (List.length pending)
   | Decision_status { txid; status } ->
       Format.fprintf ppf "decision_status(tx%d, %s)" txid
         (match status with
         | Decided d -> Format.asprintf "%a" Two_phase.pp_decision d
         | Still_pending -> "pending"
-        | Unknown_txn -> "unknown")
+        | Unknown_txn -> "unknown"
+        | No_record -> "no-record")
   | Peer_decision_status { txid; status } ->
       Format.fprintf ppf "peer_decision_status(tx%d, %s)" txid
         (match status with

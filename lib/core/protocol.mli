@@ -12,6 +12,11 @@ type decision_status =
   | Decided of Avdb_txn.Two_phase.decision
   | Still_pending
   | Unknown_txn
+  | No_record
+      (** The asked coordinator lost (part of) its protocol log to a
+          storage fault: it has no record of the txid and, unlike
+          [Unknown_txn], cannot presume abort — a decision may have existed
+          and been lost. The asker must adjudicate with the full cohort. *)
 
 (** A fellow cohort member's answer to {!Peer_decision_query} (cooperative
     termination, used when the coordinator is unreachable). [Peer_will_refuse]
@@ -101,6 +106,12 @@ type response =
               counter already folded into [rows] — the joiner seeds its
               receiver state with these so later notices apply only newer
               deltas *)
+      pending : (int * int * string * int) list;
+          (** in-flight 2PC transactions touching the requested items, as
+              (txid, coordinator, item, delta). [rows] holds committed
+              state only (tentative deltas subtracted); a corruption-repair
+              client must watch these resolve — applying each commit
+              exactly once — before trusting its installed snapshot. *)
     }
   | Bad_request of string
       (** protocol mismatch, e.g. a [Central_update] at a non-base site *)

@@ -61,8 +61,24 @@ type t = {
   participant : Two_phase.Participant.t;
   participant_txns : (int, participant_txn) Hashtbl.t;
   coordinators : (int, coord) Hashtbl.t;
-  txn_log : Txn_log.t;
+  mutable txn_log : Txn_log.t;
   metrics : Update.Metrics.t;
+  (* The disk beneath each durable log: armed faults are applied to the
+     synced image at crash time, and the next recovery reads back through
+     the damage-classifying parser instead of trusting the in-memory log.
+     Costs nothing while no fault is armed. *)
+  wal_sink : Fault_sink.t;
+  txn_sink : Fault_sink.t;
+  (* Items whose local replica can no longer be trusted after storage
+     damage: they refuse prepares, reject updates and hide from reads
+     until repaired from a donor (or forever, when none exists). Trusted
+     in-memory metadata, like [sync_out]: survives crashes, so an
+     interrupted repair resumes at the next recovery. *)
+  quarantined : (string, unit) Hashtbl.t;
+  (* Set (stickily) once the protocol log loses synced records: from then
+     on "no log entry" no longer implies "never happened", so presumed
+     abort is off the table and lost txids answer [No_record]. *)
+  mutable amnesia : bool;
   (* Cumulative net local delta and a strictly increasing change stamp per
      item; survives crashes (persisted metadata, like the AV table). The
      receiver-side counterpart below makes lazy propagation loss-,
@@ -120,6 +136,19 @@ let av_table t = t.av
 let peer_view t = t.view
 let metrics t = t.metrics
 let txn_log t = t.txn_log
+
+let is_quarantined t ~item = Hashtbl.mem t.quarantined item
+
+let quarantined_items t =
+  Hashtbl.fold (fun item () acc -> item :: acc) t.quarantined []
+  |> List.sort String.compare
+
+let is_amnesiac t = t.amnesia
+
+let arm_disk_fault t ~target spec =
+  match target with
+  | `Wal -> Fault_sink.arm t.wal_sink spec
+  | `Txn -> Fault_sink.arm t.txn_sink spec
 
 let network t = Rpc.network t.shared.rpc
 let engine t = t.shared.engine
@@ -643,6 +672,80 @@ let finalize_participant t ~txid decision =
       | None -> ())
   | Two_phase.Participant.Ignore -> ()
 
+(* Full-cohort adjudication: the storage-fault extension of cooperative
+   termination. When a coordinator answers [No_record] (its protocol log
+   lost the txid), or when our own coordination's outcome record may be
+   among what our log lost, presumed abort is unsound — the decision may
+   have existed and been erased. One sweep asks every fellow at once:
+
+   - any [Peer_decided] answer wins: it is a durable record of the one
+     decision ever taken;
+   - any [Peer_will_refuse] proves commit impossible — the pledge is
+     only given by a non-amnesiac site that has never voted Ready, and
+     commit needs every vote;
+   - a complete sweep of unanimous [Peer_prepared] makes abort
+     consistent with every surviving effect: a site that applied the
+     commit either still holds its record (contradiction) or has since
+     lost its log — and a log-losing site quarantines and repairs the
+     item, erasing the effect. An amnesiac coordinator never decides
+     spontaneously, so no commit record can appear after the sweep.
+
+   Incomplete sweeps (timeouts) retry, budget-bounded so a dead cohort
+   cannot keep the event queue alive; on exhaustion the doubt stands. *)
+let max_adjudication_sweeps = 64
+
+let adjudicate t ~txid ~fellows ~still_wanted ~decide =
+  let decide d = if still_wanted () then decide d in
+  if fellows = [] then decide Two_phase.Abort
+  else begin
+    let rec sweep n =
+      if still_wanted () && not (is_down t) then begin
+        if n >= max_adjudication_sweeps then
+          trace t ~level:Trace.Warn ~category:"2pc"
+            "tx%d adjudication gave up after %d sweeps at %a" txid n Address.pp t.addr
+        else begin
+          let outstanding = ref (List.length fellows) in
+          let decided = ref None in
+          let refused = ref false in
+          let complete = ref true in
+          let finish_one () =
+            decr outstanding;
+            if !outstanding = 0 then begin
+              match !decided with
+              | Some d -> decide d
+              | None ->
+                  if !refused || !complete then decide Two_phase.Abort
+                  else
+                    ignore
+                      (Engine.schedule (engine t)
+                         ~delay:(config t).Config.repair_interval
+                         (fenced t (fun () -> sweep (n + 1))))
+            end
+          in
+          List.iter
+            (fun fellow ->
+              t.metrics.Update.Metrics.termination_queries <-
+                t.metrics.Update.Metrics.termination_queries + 1;
+              Rpc.call t.shared.rpc ~src:t.addr ~dst:fellow
+                ~timeout:(config t).Config.rpc_timeout
+                (Protocol.Peer_decision_query { txid })
+                (fenced t (fun response ->
+                     (match response with
+                     | Ok (Protocol.Peer_decision_status { status; _ }) -> (
+                         match status with
+                         | Protocol.Peer_decided d ->
+                             if !decided = None then decided := Some d
+                         | Protocol.Peer_will_refuse -> refused := true
+                         | Protocol.Peer_prepared -> ())
+                     | Ok _ | Error _ -> complete := false);
+                     finish_one ())))
+            fellows
+        end
+      end
+    in
+    sweep 0
+  end
+
 (* Termination protocol (cooperative, Bernstein et al. §7): a participant
    left prepared past the decision timeout round-robins over the
    coordinator, the base and its fellow cohort members.
@@ -729,7 +832,26 @@ let rec schedule_termination_check t ~txid =
                                | Protocol.Unknown_txn ->
                                    trace t ~category:"2pc" "tx%d presumed aborted at %a" txid
                                      Address.pp t.addr;
-                                   finalize_participant t ~txid Two_phase.Abort)
+                                   finalize_participant t ~txid Two_phase.Abort
+                               | Protocol.No_record ->
+                                   (* the coordinator's log lost the txid:
+                                      presumed abort is unsound there, so
+                                      adjudicate with the full cohort *)
+                                   trace t ~level:Trace.Warn ~category:"2pc"
+                                     "tx%d coordinator lost its record; adjudicating at %a"
+                                     txid Address.pp t.addr;
+                                   let fellows =
+                                     List.filter
+                                       (fun a ->
+                                         not
+                                           (Address.equal a t.addr
+                                           || Address.equal a p.p_coordinator))
+                                       p.p_cohort
+                                   in
+                                   adjudicate t ~txid ~fellows
+                                     ~still_wanted:(fun () ->
+                                       Hashtbl.mem t.participant_txns txid)
+                                     ~decide:(fun d -> finalize_participant t ~txid d))
                            | Ok _ | Error _ -> schedule_termination_check t ~txid))
                   else
                     Rpc.call t.shared.rpc ~src:t.addr ~dst:target
@@ -776,7 +898,10 @@ let handle_prepare t ~span ~txid ~coordinator ~cohort ~item ~delta ~reply =
     | Some { Txn_log.outcome = Some _; _ } -> true
     | Some _ | None -> false
   in
-  if poisoned () || not (item_known t ~item) then begin
+  (* A quarantined replica must not vote Ready: its row is untrusted and
+     under repair. Refusing also freezes new commits on the item
+     cluster-wide until the repair snapshot is complete. *)
+  if poisoned () || Hashtbl.mem t.quarantined item || not (item_known t ~item) then begin
     ignore (Two_phase.Participant.on_prepare t.participant ~txid ~can_apply:false);
     refuse ();
     reply (Protocol.Vote { txid; vote = Two_phase.Refuse })
@@ -843,18 +968,26 @@ let handle_query_decision t ~txid ~reply =
         | Some { Txn_log.outcome = Some d; _ } -> Protocol.Decided d
         | Some { Txn_log.outcome = None; coordinator; _ }
           when Address.equal coordinator t.addr ->
-            (* We coordinated this txn but hold neither an in-memory
-               machine (reset on recovery) nor a logged outcome: we
-               crashed before deciding. Outcomes are logged before any
-               Commit is broadcast, so abort is the only possible verdict
-               (presumed abort); log it so repeated queries agree. *)
-            Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
-            Protocol.Decided Two_phase.Abort
+            if t.amnesia then
+              (* the outcome record may have been lost with the log
+                 damage rather than never written: recovery is
+                 adjudicating this entry with the cohort; hold askers
+                 off until it resolves *)
+              Protocol.Still_pending
+            else begin
+              (* We coordinated this txn but hold neither an in-memory
+                 machine (reset on recovery) nor a logged outcome: we
+                 crashed before deciding. Outcomes are logged before any
+                 Commit is broadcast, so abort is the only possible verdict
+                 (presumed abort); log it so repeated queries agree. *)
+              Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
+              Protocol.Decided Two_phase.Abort
+            end
         | Some { Txn_log.outcome = None; _ } ->
             (* we know the txn but not its outcome: only possible while it
                is still being coordinated elsewhere *)
             Protocol.Still_pending
-        | None -> Protocol.Unknown_txn)
+        | None -> if t.amnesia then Protocol.No_record else Protocol.Unknown_txn)
   in
   reply (Protocol.Decision_status { txid; status })
 
@@ -875,17 +1008,30 @@ let handle_peer_decision_query t ~txid ~reply =
         | Some { Txn_log.outcome = Some d; _ } -> Protocol.Peer_decided d
         | Some { Txn_log.outcome = None; coordinator; _ }
           when Address.equal coordinator t.addr ->
-            (* our own coordination, crashed before deciding: presumed
-               abort, logged so every answer agrees from now on *)
-            Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
-            Protocol.Peer_decided Two_phase.Abort
+            if t.amnesia then
+              (* under adjudication by our own recovery; equally in doubt *)
+              Protocol.Peer_prepared
+            else begin
+              (* our own coordination, crashed before deciding: presumed
+                 abort, logged so every answer agrees from now on *)
+              Txn_log.record_outcome t.txn_log ~txid Two_phase.Abort ~at:(now t);
+              Protocol.Peer_decided Two_phase.Abort
+            end
         | Some { Txn_log.outcome = None; _ } -> Protocol.Peer_prepared
         | None ->
-            Txn_log.record_refused t.txn_log ~txid ~at:(now t);
-            if tracing t then
-              span_instant t ~category:"2pc" "2pc.refuse_pledge"
-                ~fields:[ ("txid", string_of_int txid) ];
-            Protocol.Peer_will_refuse)
+            if t.amnesia then
+              (* the pledge would be a lie: we may have voted Ready and
+                 lost the record. Answer "equally in doubt" — never a
+                 promise — and let the asker find a surviving record or
+                 adjudicate elsewhere. *)
+              Protocol.Peer_prepared
+            else begin
+              Txn_log.record_refused t.txn_log ~txid ~at:(now t);
+              if tracing t then
+                span_instant t ~category:"2pc" "2pc.refuse_pledge"
+                  ~fields:[ ("txid", string_of_int txid) ];
+              Protocol.Peer_will_refuse
+            end)
   in
   reply (Protocol.Peer_decision_status { txid; status })
 
@@ -1408,25 +1554,70 @@ let handle_join t ~wanted ~reply =
         List.iter (fun i -> Hashtbl.replace set i ()) items;
         fun item -> Hashtbl.mem set item
   in
-  let rows =
-    Table.fold (Database.table t.db stock_table) ~init:[] ~f:(fun acc item row ->
-        if want item then (item, Value.as_int row.(0), Value.as_bool row.(1)) :: acc
-        else acc)
-    |> List.rev
-  in
-  let own =
-    Hashtbl.fold
-      (fun item s acc ->
-        if want item then (Address.to_int t.addr, item, s.version, s.cum) :: acc else acc)
-      t.sync_out []
-  in
-  let applied =
-    Hashtbl.fold
-      (fun (origin, item) (version, counter) acc ->
-        if want item then (origin, item, version, counter) :: acc else acc)
-      t.applied_sync []
-  in
-  reply (Protocol.Join_snapshot { rows; sync_state = own @ applied })
+  (* A quarantined row is exactly the state a joiner must never copy;
+     send it donor-shopping instead. *)
+  if Hashtbl.fold (fun item () acc -> acc || want item) t.quarantined false then
+    reply (Protocol.Bad_request "item quarantined at donor")
+  else begin
+    (* Undo-based transactions write in place, so the raw table shows
+       tentative 2PC deltas that may yet abort. Serve committed state:
+       subtract every prepared-but-undecided delta, and list those
+       transactions as [pending] so a repairing joiner can watch them
+       resolve — a commit after the snapshot is otherwise invisible to
+       it, non-regular items having no sync counters. *)
+    let tentative = Hashtbl.create 8 in
+    let note_tentative item delta =
+      Hashtbl.replace tentative item
+        (delta + Option.value ~default:0 (Hashtbl.find_opt tentative item))
+    in
+    let pending = ref [] in
+    Hashtbl.iter
+      (fun txid (p : participant_txn) ->
+        if want p.p_item then begin
+          note_tentative p.p_item p.p_delta;
+          pending :=
+            (txid, Address.to_int p.p_coordinator, p.p_item, p.p_delta) :: !pending
+        end)
+      t.participant_txns;
+    Hashtbl.iter
+      (fun txid (c : coord) ->
+        if Two_phase.Coordinator.decision c.machine = None then
+          match Txn_log.find t.txn_log ~txid with
+          | Some e when want e.Txn_log.item ->
+              if c.local_txn <> None && not c.local_finalized then
+                note_tentative e.Txn_log.item e.Txn_log.delta;
+              pending :=
+                (txid, Address.to_int t.addr, e.Txn_log.item, e.Txn_log.delta)
+                :: !pending
+          | Some _ | None -> ())
+      t.coordinators;
+    let rows =
+      Table.fold (Database.table t.db stock_table) ~init:[] ~f:(fun acc item row ->
+          if want item then
+            let amount =
+              Value.as_int row.(0)
+              - Option.value ~default:0 (Hashtbl.find_opt tentative item)
+            in
+            (item, amount, Value.as_bool row.(1)) :: acc
+          else acc)
+      |> List.rev
+    in
+    let own =
+      Hashtbl.fold
+        (fun item s acc ->
+          if want item then (Address.to_int t.addr, item, s.version, s.cum) :: acc
+          else acc)
+        t.sync_out []
+    in
+    let applied =
+      Hashtbl.fold
+        (fun (origin, item) (version, counter) acc ->
+          if want item then (origin, item, version, counter) :: acc else acc)
+        t.applied_sync []
+    in
+    reply
+      (Protocol.Join_snapshot { rows; sync_state = own @ applied; pending = !pending })
+  end
 
 (* Apply one join snapshot: overwrite the locally-bootstrapped rows with
    the live amounts and seed the sync receiver state with the counters
@@ -1477,7 +1668,7 @@ let join t callback =
       (Protocol.Join_request { wanted })
       (fenced t (fun response ->
            match response with
-           | Ok (Protocol.Join_snapshot { rows; sync_state }) ->
+           | Ok (Protocol.Join_snapshot { rows; sync_state; pending = _ }) ->
                if apply_join_snapshot t ~rows ~sync_state then k (Ok (List.length rows))
                else k (Error Update.Txn_aborted)
            | Ok _ -> k (Error Update.Txn_aborted)
@@ -1539,6 +1730,11 @@ let submit_update t ~item ~delta callback =
   if is_down t then finish (Update.Rejected Update.Unreachable)
   else if not (item_known t ~item) then
     finish (Update.Rejected (Update.Unknown_item item))
+  else if Hashtbl.mem t.quarantined item then
+    (* under repair after storage damage: refuse rather than write
+       through an untrusted replica — corruption may cost availability,
+       never consistency *)
+    finish (Update.Rejected Update.Unreachable)
   else
     match (config t).Config.mode with
     | Config.Centralized -> centralized_update t ~item ~delta ~finish
@@ -1552,8 +1748,10 @@ let submit_update t ~item ~delta callback =
    stale (the retailer requirement); an authoritative read round-trips to
    the base replica (the maker requirement) and costs one correspondence. *)
 let read_local t ~item =
-  match amount_of t ~item with
-  | Some v when Mutation.enabled Mutation.Forget_own_writes ->
+  if Hashtbl.mem t.quarantined item then None
+  else
+    match amount_of t ~item with
+    | Some v when Mutation.enabled Mutation.Forget_own_writes ->
       (* Mutation: subtract the site's own not-yet-flushed deltas — the
          replica "forgets" writes this session already committed. *)
       let pending =
@@ -1601,6 +1799,7 @@ let submit_batch t ~deltas callback =
       List.find_map
         (fun (item, _) ->
           if not (item_known t ~item) then Some (Update.Unknown_item item)
+          else if Hashtbl.mem t.quarantined item then Some Update.Unreachable
           else if not (Av_table.is_defined t.av ~item) then Some (Update.Not_regular item)
           else None)
         deltas
@@ -1614,6 +1813,15 @@ let submit_batch t ~deltas callback =
 
 let crash t =
   trace t ~level:Trace.Warn ~category:"fault" "%a crashed" Address.pp t.addr;
+  (* Capture what the disk held at the instant of death, with any armed
+     faults applied. Guarded on [armed]: serialising the logs costs real
+     work and a fault-free crash must stay free. *)
+  if Fault_sink.armed t.wal_sink then
+    Fault_sink.crash t.wal_sink ~segment_frames:(config t).Config.segment_frames
+      ~text:(Wal.to_string (Database.wal t.db));
+  if Fault_sink.armed t.txn_sink then
+    Fault_sink.crash t.txn_sink ~segment_frames:(config t).Config.segment_frames
+      ~text:(Txn_log.to_string t.txn_log);
   if tracing t then
     span_instant t ~status:Avdb_obs.Span.Warn ~category:"fault" "fault.crash"
       ~fields:[ ("epoch", string_of_int t.epoch) ];
@@ -1739,13 +1947,80 @@ let install_recovered_coordinator t ~txid ~cohort ~item decision =
     round 0
   end
 
+(* Adjudicate one of our own outcome-less coordinations after log damage
+   (amnesia): presumed abort is off the table — the outcome record may
+   be among what the log lost — so ask the cohort. Any surviving
+   decision record wins; otherwise abort is provably consistent (see
+   [adjudicate]). The verdict is logged and pushed like any recovered
+   decision. *)
+let adjudicate_own t (e : Txn_log.entry) =
+  let txid = e.Txn_log.txid in
+  let fellows = List.filter (fun a -> not (Address.equal a t.addr)) e.Txn_log.cohort in
+  adjudicate t ~txid ~fellows
+    ~still_wanted:(fun () ->
+      match Txn_log.find t.txn_log ~txid with
+      | Some { Txn_log.outcome = None; _ } -> true
+      | Some _ | None -> false)
+    ~decide:(fun d ->
+      trace t ~category:"2pc" "tx%d adjudicated %a at recovering coordinator %a" txid
+        Two_phase.pp_decision d Address.pp t.addr;
+      Txn_log.record_outcome t.txn_log ~txid d ~at:(now t);
+      install_recovered_coordinator t ~txid ~cohort:e.Txn_log.cohort ~item:e.Txn_log.item
+        d)
+
+(* A prepared participant entry on a quarantined item. The tentative
+   write must NOT be redone: the row is untrusted and under repair, and
+   the repair snapshot plus its pending-transaction watches carry the
+   data. What remains is bookkeeping — learn the outcome and record it,
+   so the txid is poisoned against late prepares and fellow askers get a
+   real answer instead of an eternal [Peer_prepared]. *)
+let resolve_orphan t (e : Txn_log.entry) =
+  let txid = e.Txn_log.txid in
+  let coordinator = e.Txn_log.coordinator in
+  let record d = Txn_log.record_outcome t.txn_log ~txid d ~at:(now t) in
+  let unresolved () =
+    match Txn_log.find t.txn_log ~txid with
+    | Some { Txn_log.outcome = None; _ } -> true
+    | Some _ | None -> false
+  in
+  let adjudicate_fellows () =
+    let fellows =
+      List.filter
+        (fun a -> not (Address.equal a t.addr || Address.equal a coordinator))
+        e.Txn_log.cohort
+    in
+    adjudicate t ~txid ~fellows ~still_wanted:unresolved ~decide:record
+  in
+  let rec poll attempt =
+    if attempt < max_decision_queries && unresolved () && not (is_down t) then
+      Rpc.call t.shared.rpc ~src:t.addr ~dst:coordinator
+        ~timeout:(config t).Config.rpc_timeout
+        (Protocol.Query_decision { txid })
+        (fenced t (fun response ->
+             match response with
+             | Ok (Protocol.Decision_status { status = Protocol.Decided d; _ }) ->
+                 record d
+             | Ok (Protocol.Decision_status { status = Protocol.Unknown_txn; _ }) ->
+                 record Two_phase.Abort
+             | Ok (Protocol.Decision_status { status = Protocol.No_record; _ }) ->
+                 adjudicate_fellows ()
+             | Ok _ | Error _ ->
+                 ignore
+                   (Engine.schedule (engine t) ~delay:(config t).Config.repair_interval
+                      (fenced t (fun () -> poll (attempt + 1))))))
+  in
+  poll 0
+
 (* Replay the durable protocol log into live 2PC state. Participant-side
    in-doubt entries are re-installed as prepared transactions; our own
    coordinations are closed out: no outcome logged means we crashed
    before deciding, and since the outcome record always precedes the
    Commit broadcast, abort is the only possible verdict (presumed
    abort) — log it and tell the cohort. A logged decision without an
-   [End] restarts the ack round. *)
+   [End] restarts the ack round. Both presumptions are gated on an
+   intact log: under amnesia the entry is adjudicated with the cohort
+   instead, and in-doubt entries on quarantined items resolve
+   outcome-only. *)
 let replay_protocol_log t =
   List.iter
     (fun (e : Txn_log.entry) ->
@@ -1760,6 +2035,10 @@ let replay_protocol_log t =
       let txid = e.Txn_log.txid in
       if Address.equal e.Txn_log.coordinator t.addr then begin
         match e.Txn_log.outcome with
+        | None when t.amnesia ->
+            trace t ~level:Trace.Warn ~category:"2pc"
+              "tx%d outcome possibly lost; adjudicating at %a" txid Address.pp t.addr;
+            adjudicate_own t e
         | None ->
             trace t ~level:Trace.Warn ~category:"2pc"
               "tx%d presumed aborted on recovery at %a" txid Address.pp t.addr;
@@ -1771,16 +2050,381 @@ let replay_protocol_log t =
               ~item:e.Txn_log.item d
         | Some _ -> ()
       end
-      else if e.Txn_log.outcome = None then reinstall_in_doubt t e)
+      else if e.Txn_log.outcome = None then begin
+        if Hashtbl.mem t.quarantined e.Txn_log.item then resolve_orphan t e
+        else reinstall_in_doubt t e
+      end)
     (Txn_log.entries t.txn_log)
 
+(* --- corruption-aware recovery and replica repair --- *)
+
+let stock_schema =
+  Schema.create
+    [
+      { Schema.name = "amount"; ty = Value.Tint };
+      { Schema.name = "regular"; ty = Value.Tbool };
+    ]
+
+let history_schema =
+  Schema.create
+    [
+      { Schema.name = "item"; ty = Value.Tstr };
+      { Schema.name = "delta"; ty = Value.Tint };
+      { Schema.name = "path"; ty = Value.Tstr };
+    ]
+
+let note_storage_damage t ~label (r : Segmented.report) =
+  t.metrics.Update.Metrics.checksum_failures <-
+    t.metrics.Update.Metrics.checksum_failures + Segmented.checksum_failures r;
+  t.metrics.Update.Metrics.segments_quarantined <-
+    t.metrics.Update.Metrics.segments_quarantined
+    + List.length
+        (List.filter
+           (function
+             | Segmented.Corrupt _ | Segmented.Missing_segment _ -> true
+             | Segmented.Torn_tail -> false)
+           r.Segmented.damage);
+  List.iter
+    (fun d ->
+      trace t ~level:Trace.Warn ~category:"storage" "%a %s: %a" Address.pp t.addr label
+        Segmented.pp_damage d)
+    r.Segmented.damage;
+  if tracing t then
+    span_instant t ~status:Avdb_obs.Span.Warn ~category:"storage" "storage.damage"
+      ~fields:
+        [ ("log", label); ("lost_frames", string_of_int r.Segmented.lost_frames) ]
+
+(* Rebuild replica rows lost with WAL damage from metadata that lives on
+   other media and is exact by construction:
+
+   - a regular item's committed row is
+       initial + own cumulative sync counter + Σ applied remote counters
+     (each counter moves in the same atomic event as its commit);
+   - a non-regular item's committed row is
+       initial + Σ deltas of protocol-log entries with outcome Commit
+     (the outcome record and the local apply are one atomic event) —
+     trustworthy only while the protocol log itself lost nothing; under
+     amnesia those items are quarantined and repaired remotely instead.
+
+   Rows whose WAL state survived recompute to their current value, so
+   running this over the whole interest set is idempotent. Assumes
+   autonomous mode: the centralized baseline's write path bypasses the
+   sync counters, so its base has no local reconstruction story. *)
+let rebuild_lost_rows t ~trust_txn_log =
+  if Database.table_opt t.db stock_table = None then
+    ignore (Database.create_table t.db ~name:stock_table stock_schema);
+  if (config t).Config.record_history && Database.table_opt t.db history_table = None
+  then ignore (Database.create_table t.db ~name:history_table history_schema);
+  let committed_by_item =
+    lazy
+      (let tbl = Hashtbl.create 16 in
+       List.iter
+         (fun (e : Txn_log.entry) ->
+           if e.Txn_log.outcome = Some Two_phase.Commit then
+             Hashtbl.replace tbl e.Txn_log.item
+               (e.Txn_log.delta
+               + Option.value ~default:0 (Hashtbl.find_opt tbl e.Txn_log.item)))
+         (Txn_log.entries t.txn_log);
+       tbl)
+  in
+  let txn = Database.begin_txn t.db in
+  List.iter
+    (fun product ->
+      let item = product.Product.name in
+      if interested_in t ~item then begin
+        let regular = Product.is_regular product in
+        let expect =
+          if regular then begin
+            let own =
+              match Hashtbl.find_opt t.sync_out item with Some s -> s.cum | None -> 0
+            in
+            Hashtbl.fold
+              (fun (_, i) (_, cum) acc -> if String.equal i item then acc + cum else acc)
+              t.applied_sync
+              (product.Product.initial_amount + own)
+          end
+          else if trust_txn_log then
+            product.Product.initial_amount
+            + Option.value ~default:0
+                (Hashtbl.find_opt (Lazy.force committed_by_item) item)
+          else begin
+            (* untrusted both ways: the item is quarantined and will be
+               repaired remotely; any placeholder works, the surviving
+               value least surprises *)
+            match amount_of t ~item with
+            | Some v -> v
+            | None -> product.Product.initial_amount
+          end
+        in
+        match amount_of t ~item with
+        | Some v when v = expect -> ()
+        | Some _ -> (
+            match
+              Database.set_col txn ~table:stock_table ~key:item ~col:"amount"
+                (Value.Int expect)
+            with
+            | Ok () -> ()
+            | Error e -> failwith ("Site.recover rebuild: " ^ e))
+        | None -> (
+            match
+              Database.insert txn ~table:stock_table ~key:item
+                [| Value.Int expect; Value.Bool regular |]
+            with
+            | Ok () -> ()
+            | Error e -> failwith ("Site.recover rebuild: " ^ e))
+      end)
+    (config t).Config.products;
+  Database.commit txn
+
+(* Protocol-log data loss taints every item whose correctness depends on
+   that log: the non-regular interest set. A lost in-doubt entry means a
+   decided Commit could arrive that this site no longer knows how to
+   apply, so the rows cannot be trusted even when the WAL survived. *)
+let quarantine_non_regular t =
+  List.iter
+    (fun product ->
+      let item = product.Product.name in
+      if (not (Product.is_regular product)) && interested_in t ~item then
+        Hashtbl.replace t.quarantined item ())
+    (config t).Config.products;
+  if Hashtbl.length t.quarantined > 0 then
+    trace t ~level:Trace.Warn ~category:"storage"
+      "%a quarantined %d items after protocol-log loss" Address.pp t.addr
+      (Hashtbl.length t.quarantined)
+
+(* Remote repair: fetch a committed-state snapshot of each quarantined
+   item from a donor — the item's base first, then the other subscribers
+   in rotation — install it, then watch the donor's in-flight 2PC
+   transactions on the item resolve (applying each commit exactly once)
+   before lifting the quarantine. New 2PC on a quarantined item cannot
+   commit meanwhile (this site votes Refuse), and every pre-crash
+   prepare has landed before the first snapshot (repairs start after the
+   longest 2PC timeout), so the snapshot plus its pending list is a
+   complete account of the item. *)
+let max_repair_attempts = 64
+
+let finish_repair t ~item =
+  if Hashtbl.mem t.quarantined item then begin
+    Hashtbl.remove t.quarantined item;
+    t.metrics.Update.Metrics.repairs <- t.metrics.Update.Metrics.repairs + 1;
+    trace t ~category:"storage" "%a repaired %s (quarantine lifted)" Address.pp t.addr
+      item;
+    if tracing t then
+      span_instant t ~category:"storage" "storage.repair" ~fields:[ ("item", item) ]
+  end
+
+let repair_apply_commit t ~item ~delta =
+  let txn = Database.begin_txn t.db in
+  match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" delta with
+  | Ok _ ->
+      Database.commit txn;
+      record_history t ~item ~delta ~path:"repair"
+  | Error e ->
+      Database.abort txn;
+      failwith ("Site.repair apply: " ^ e)
+
+let rec watch_pending t ~item ~txid ~coordinator ~donor ~delta ~via_donor ~attempt ~k =
+  if attempt >= max_repair_attempts then
+    trace t ~level:Trace.Warn ~category:"storage"
+      "%a repair of %s stuck on tx%d; stays quarantined" Address.pp t.addr item txid
+  else if (not (is_down t)) && Hashtbl.mem t.quarantined item then begin
+    let again via_donor =
+      ignore
+        (Engine.schedule (engine t) ~delay:(config t).Config.repair_interval
+           (fenced t (fun () ->
+                watch_pending t ~item ~txid ~coordinator ~donor ~delta ~via_donor
+                  ~attempt:(attempt + 1) ~k)))
+    in
+    if via_donor then
+      (* the coordinator lost its record of the txid; the donor is a
+         surviving cohort member and will eventually hold — or
+         adjudicate — the outcome *)
+      Rpc.call t.shared.rpc ~src:t.addr ~dst:donor
+        ~timeout:(config t).Config.rpc_timeout
+        (Protocol.Peer_decision_query { txid })
+        (fenced t (fun response ->
+             match response with
+             | Ok (Protocol.Peer_decision_status { status = Protocol.Peer_decided d; _ })
+               ->
+                 if d = Two_phase.Commit then repair_apply_commit t ~item ~delta;
+                 k ()
+             | Ok
+                 (Protocol.Peer_decision_status
+                   { status = Protocol.Peer_will_refuse; _ }) ->
+                 k ()
+             | Ok _ | Error _ -> again true))
+    else
+      Rpc.call t.shared.rpc ~src:t.addr ~dst:coordinator
+        ~timeout:(config t).Config.rpc_timeout
+        (Protocol.Query_decision { txid })
+        (fenced t (fun response ->
+             match response with
+             | Ok (Protocol.Decision_status { status = Protocol.Decided d; _ }) ->
+                 if d = Two_phase.Commit then repair_apply_commit t ~item ~delta;
+                 k ()
+             | Ok (Protocol.Decision_status { status = Protocol.Unknown_txn; _ }) -> k ()
+             | Ok (Protocol.Decision_status { status = Protocol.No_record; _ }) ->
+                 again true
+             | Ok _ | Error _ -> again false))
+  end
+
+let rec repair_item t ~item ~attempt =
+  if is_down t || not (Hashtbl.mem t.quarantined item) then ()
+  else if attempt >= max_repair_attempts then
+    trace t ~level:Trace.Warn ~category:"storage"
+      "%a repair of %s gave up after %d attempts; stays quarantined" Address.pp t.addr
+      item attempt
+  else begin
+    let donors =
+      let b = base_addr_for t ~item in
+      let others = List.filter (fun a -> not (Address.equal a b)) (peers_for t ~item) in
+      if Address.equal b t.addr then others else b :: others
+    in
+    match donors with
+    | [] ->
+        trace t ~level:Trace.Warn ~category:"storage"
+          "%a has no donor for %s (sole subscriber); stays quarantined" Address.pp t.addr
+          item
+    | _ ->
+        let donor = List.nth donors (attempt mod List.length donors) in
+        let retry () =
+          ignore
+            (Engine.schedule (engine t) ~delay:(config t).Config.repair_interval
+               (fenced t (fun () -> repair_item t ~item ~attempt:(attempt + 1))))
+        in
+        let sp = span_start t ~category:"storage" "storage.repair_fetch" in
+        span_field t sp "item" item;
+        span_field t sp "donor" (Address.to_string donor);
+        Rpc.call t.shared.rpc ~src:t.addr ~dst:donor
+          ~timeout:(config t).Config.rpc_timeout ~span:sp
+          (Protocol.Join_request { wanted = Some [ item ] })
+          (fenced t (fun response ->
+               match response with
+               | Ok (Protocol.Join_snapshot { rows; sync_state = _; pending } as resp)
+                 -> (
+                   t.metrics.Update.Metrics.repair_bytes <-
+                     t.metrics.Update.Metrics.repair_bytes
+                     + Protocol.wire_size_response resp;
+                   span_end t sp;
+                   match rows with
+                   | [ (_, amount, _) ] ->
+                       let txn = Database.begin_txn t.db in
+                       (match
+                          Database.set_col txn ~table:stock_table ~key:item
+                            ~col:"amount" (Value.Int amount)
+                        with
+                       | Ok () -> Database.commit txn
+                       | Error e ->
+                           Database.abort txn;
+                           failwith ("Site.repair install: " ^ e));
+                       let watches =
+                         List.filter
+                           (fun (_, _, pitem, _) -> String.equal pitem item)
+                           pending
+                       in
+                       if watches = [] then finish_repair t ~item
+                       else begin
+                         let outstanding = ref (List.length watches) in
+                         List.iter
+                           (fun (txid, coordinator, _, delta) ->
+                             watch_pending t ~item ~txid
+                               ~coordinator:(Address.of_int coordinator) ~donor ~delta
+                               ~via_donor:false ~attempt:0 ~k:(fun () ->
+                                 decr outstanding;
+                                 if !outstanding = 0 then finish_repair t ~item))
+                           watches
+                       end
+                   | _ -> retry ())
+               | Ok (Protocol.Bad_request _) ->
+                   (* the donor's own copy is quarantined: rotate *)
+                   span_warn t sp;
+                   span_end t sp;
+                   retry ()
+               | Ok _ | Error _ ->
+                   span_warn t sp;
+                   span_end t sp;
+                   retry ()))
+  end
+
+let schedule_repairs t =
+  if Hashtbl.length t.quarantined > 0 && (config t).Config.mode = Config.Autonomous
+  then begin
+    (* Wait out the longest 2PC round first: prepares sent before the
+       crash run without retries, so by then the donor holds every
+       pre-crash transaction either in its committed row or in its
+       pending list — nothing slips between snapshot and watches. *)
+    let cfg = config t in
+    let delay =
+      Time.of_ms
+        (Float.max
+           (Time.to_ms cfg.Config.prepare_timeout)
+           (Time.to_ms cfg.Config.ack_timeout))
+    in
+    Hashtbl.iter
+      (fun item () ->
+        ignore
+          (Engine.schedule (engine t) ~delay
+             (fenced t (fun () -> repair_item t ~item ~attempt:0))))
+      t.quarantined
+  end
+
 let recover t =
-  (* Restart: committed state only, from the write-ahead log. In-flight
+  (* Restart: committed state only, from the write-ahead log — read back
+     through the faultable disk when faults were armed. In-flight
      participant transactions, locks, holds and timers die with the
      process; bump the epoch again so even closures created while down
      (there should be none, but belt and braces) cannot fire. *)
   t.epoch <- t.epoch + 1;
-  t.db <- Database.recover ~name:(Database.name t.db) (Database.wal t.db);
+  let wal_report = Fault_sink.take_recovery t.wal_sink in
+  let txn_report = Fault_sink.take_recovery t.txn_sink in
+  let wal_loss = ref false in
+  (match wal_report with
+  | None -> t.db <- Database.recover ~name:(Database.name t.db) (Database.wal t.db)
+  | Some report ->
+      note_storage_damage t ~label:"wal" report;
+      wal_loss := Segmented.data_loss report;
+      let wal =
+        match Wal.of_string (String.concat "\n" report.Segmented.payloads) with
+        | Ok wal -> wal
+        | Error c ->
+            (* a recovered prefix re-parses by construction; only a CRC
+               collision hiding damage can land here *)
+            trace t ~level:Trace.Warn ~category:"storage" "%a wal prefix unreadable: %a"
+              Address.pp t.addr Corruption.pp c;
+            wal_loss := true;
+            Wal.create ()
+      in
+      t.db <- Database.recover ~name:(Database.name t.db) wal);
+  (match txn_report with
+  | None -> ()
+  | Some report ->
+      note_storage_damage t ~label:"txn-log" report;
+      let lost = ref (Segmented.data_loss report) in
+      let log =
+        match Txn_log.of_string (String.concat "\n" report.Segmented.payloads) with
+        | Ok log -> log
+        | Error c ->
+            trace t ~level:Trace.Warn ~category:"storage"
+              "%a txn-log prefix unreadable: %a" Address.pp t.addr Corruption.pp c;
+            lost := true;
+            Txn_log.create ()
+      in
+      t.txn_log <- log;
+      if !lost then begin
+        (* Synced protocol records are gone: "no entry" stops implying
+           "never happened", forever — later recoveries cannot un-lose
+           them. Every non-regular interest item is suspect. *)
+        t.amnesia <- true;
+        quarantine_non_regular t
+      end);
+  if !wal_loss then begin
+    (* Under amnesia — even from an *earlier* incarnation — the protocol
+       log no longer bounds the committed non-regular deltas, so a lost
+       WAL row cannot be reconstructed locally: quarantine and repair
+       remotely instead. Without amnesia the rebuild is exact. *)
+    if t.amnesia then quarantine_non_regular t;
+    rebuild_lost_rows t ~trust_txn_log:(not t.amnesia)
+  end;
   (* Resume the audit sequence after the recovered rows to keep keys
      unique (history rows are never deleted). *)
   (match Database.table_opt t.db history_table with
@@ -1801,28 +2445,20 @@ let recover t =
   (* Re-install in-doubt 2PC state from the durable protocol log — after
      the network is back up, so the replay can speak to the cohort. *)
   replay_protocol_log t;
+  (* Amnesia txid floor: surviving entries no longer bound every txid we
+     ever issued, so reserve a fresh range per incarnation instead of
+     risking reuse of a lost one. *)
+  if t.amnesia then t.next_txn_seq <- max t.next_txn_seq (t.epoch * 1000);
   schedule_sync_flush t;
+  (* Quarantined items — fresh this recovery or left by an interrupted
+     repair — go back under repair. *)
+  schedule_repairs t;
   if tracing t then
     span_instant t ~category:"fault" "fault.recover"
       ~fields:[ ("epoch", string_of_int t.epoch) ];
   trace t ~category:"fault" "%a recovered (WAL + protocol log replayed)" Address.pp t.addr
 
 (* --- construction --- *)
-
-let stock_schema =
-  Schema.create
-    [
-      { Schema.name = "amount"; ty = Value.Tint };
-      { Schema.name = "regular"; ty = Value.Tbool };
-    ]
-
-let history_schema =
-  Schema.create
-    [
-      { Schema.name = "item"; ty = Value.Tstr };
-      { Schema.name = "delta"; ty = Value.Tint };
-      { Schema.name = "path"; ty = Value.Tstr };
-    ]
 
 let create shared ~addr ~av_init =
   let config = shared.config in
@@ -1874,6 +2510,10 @@ let create shared ~addr ~av_init =
       participant_txns = Hashtbl.create 16;
       coordinators = Hashtbl.create 16;
       txn_log = Txn_log.create ();
+      wal_sink = Fault_sink.create ();
+      txn_sink = Fault_sink.create ();
+      quarantined = Hashtbl.create 4;
+      amnesia = false;
       metrics = Update.Metrics.create ();
       sync_out = Hashtbl.create 16;
       sync_seq = 0;
@@ -1905,7 +2545,11 @@ let create shared ~addr ~av_init =
       | Protocol.Decision { txid; decision } -> handle_decision t ~txid ~decision ~reply
       | Protocol.Read_request { item } ->
           let amount =
-            if Mutation.enabled Mutation.Stale_reads then
+            if Hashtbl.mem t.quarantined item then
+              (* quarantined replicas answer as if they held nothing:
+                 availability lost, consistency kept *)
+              None
+            else if Mutation.enabled Mutation.Stale_reads then
               (* Mutation: serve authoritative reads from a stale snapshot
                  (the initial catalogue) instead of the live replica. *)
               List.find_map

@@ -162,6 +162,32 @@ val recover : t -> unit
 
 val is_down : t -> bool
 
+val arm_disk_fault :
+  t -> target:[ `Wal | `Txn ] -> Avdb_store.Disk_fault.spec -> unit
+(** Arms a storage fault against the write-ahead log ([`Wal]) or the 2PC
+    protocol log ([`Txn]). The fault takes effect at the {e next} [crash]:
+    the in-memory log image is serialized through the faultable disk,
+    damaged per the spec, and the following [recover] reads the damaged
+    image back instead of the trusted in-memory state. Arming replaces any
+    previously armed fault on the same target; with nothing armed, crash
+    and recover behave exactly as before (zero-cost fault-free path). *)
+
+val is_quarantined : t -> item:string -> bool
+(** True while the site's replica of [item] is known-untrustworthy after a
+    storage fault. A quarantined replica rejects reads and new updates on
+    the item and votes Refuse on 2PC prepares (corruption costs
+    availability, never consistency) until repair from a donor completes. *)
+
+val quarantined_items : t -> string list
+(** All currently quarantined items, sorted. Empty on a healthy site. *)
+
+val is_amnesiac : t -> bool
+(** True once the site has ever lost synced protocol-log records to a
+    storage fault. Sticky across incarnations: after amnesia, a missing
+    log entry no longer implies "never happened", so the site answers
+    decision queries with [No_record]/[Still_pending] rather than
+    presuming abort, and never pledges [Peer_will_refuse]. *)
+
 (** {2 Internal — used by Cluster} *)
 
 type shared = {

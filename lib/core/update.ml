@@ -53,6 +53,10 @@ module Metrics = struct
     mutable in_doubt_recovered : int;
     mutable decision_rebroadcasts : int;
     mutable av_shortages : int;
+    mutable checksum_failures : int;
+    mutable segments_quarantined : int;
+    mutable repairs : int;
+    mutable repair_bytes : int;
     latency : Avdb_metrics.Sketch.t;
     transfer_rounds : Avdb_metrics.Sketch.t;
     grant_latency : Avdb_metrics.Sketch.t;
@@ -75,6 +79,10 @@ module Metrics = struct
       in_doubt_recovered = 0;
       decision_rebroadcasts = 0;
       av_shortages = 0;
+      checksum_failures = 0;
+      segments_quarantined = 0;
+      repairs = 0;
+      repair_bytes = 0;
       latency = Avdb_metrics.Sketch.create ();
       transfer_rounds = Avdb_metrics.Sketch.create ();
       grant_latency = Avdb_metrics.Sketch.create ();

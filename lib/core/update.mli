@@ -52,6 +52,14 @@ module Metrics : sig
     mutable av_shortages : int;
         (** Delay Updates that found local AV short and had to go ask a
             donor — the numerator of the shortage-rate probe *)
+    mutable checksum_failures : int;
+        (** log frames rejected at recovery because their CRC32 mismatched *)
+    mutable segments_quarantined : int;
+        (** log segments discarded at recovery (corrupt or missing) *)
+    mutable repairs : int;
+        (** quarantined items successfully repaired from a donor *)
+    mutable repair_bytes : int;
+        (** wire bytes of repair snapshots fetched from donors *)
     latency : Avdb_metrics.Sketch.t;  (** in virtual milliseconds *)
     transfer_rounds : Avdb_metrics.Sketch.t;
         (** rounds per transfer-assisted update *)

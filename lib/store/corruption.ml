@@ -1,0 +1,8 @@
+type t = { segment : int; offset : int; reason : string }
+
+let v ~segment ~offset reason = { segment; offset; reason }
+
+let to_string { segment; offset; reason } =
+  Printf.sprintf "segment %d, offset %d: %s" segment offset reason
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,13 @@
+(** A located storage-corruption verdict.
+
+    Where damage was found in a serialised log: the segment index (0 for
+    unsegmented single-file images), the byte offset of the offending
+    record within that segment, and a human-readable reason. Parsers
+    return this instead of a bare string so callers can quarantine the
+    damaged region and report [file:offset] context. *)
+
+type t = { segment : int; offset : int; reason : string }
+
+val v : segment:int -> offset:int -> string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

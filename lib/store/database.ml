@@ -315,7 +315,7 @@ let load_file ?name ~path () =
   | exception Sys_error e -> Error e
   | contents -> (
       match Wal.of_string contents with
-      | Error e -> Error e
+      | Error c -> Error (Printf.sprintf "%s:%d: %s" path c.Corruption.offset c.reason)
       | Ok wal -> (
           match recover ?name wal with
           | db -> Ok db

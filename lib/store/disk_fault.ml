@@ -1,0 +1,106 @@
+(* Injectable storage faults, applied to a Segmented image at crash
+   time. Every spec is fully determined by its parameters (fractional
+   positions are fixed at generation time), so a fault schedule is
+   deterministic and shrinkable by removing specs. *)
+
+type spec =
+  | Torn_tail  (** a partial, unsynced frame append survives at the tail *)
+  | Lost_fsync of { frames : int }  (** the last synced frames never hit disk *)
+  | Bit_flip of { pos : float }  (** one flipped bit at a fractional byte position *)
+  | Misdirect of { pos : float }
+      (** a block write lands at the wrong offset: one frame is overwritten
+          by a copy of its successor *)
+  | Lost_segment of { pos : float }  (** one whole segment is gone *)
+
+let pp ppf = function
+  | Torn_tail -> Format.pp_print_string ppf "torn-tail"
+  | Lost_fsync { frames } -> Format.fprintf ppf "lost-fsync(%d)" frames
+  | Bit_flip { pos } -> Format.fprintf ppf "bit-flip(%.3f)" pos
+  | Misdirect { pos } -> Format.fprintf ppf "misdirect(%.3f)" pos
+  | Lost_segment { pos } -> Format.fprintf ppf "lost-segment(%.3f)" pos
+
+let clamp01 f = if f < 0. then 0. else if f >= 1. then 0.999999 else f
+
+let pick pos n = if n <= 0 then 0 else min (n - 1) (int_of_float (clamp01 pos *. float_of_int n))
+
+(* Split a segment text into header + frame lines. Faults target frames;
+   bit flips may hit anything. *)
+let lines_of seg = if seg = "" then [] else String.split_on_char '\n' seg
+
+let apply spec segments =
+  match spec with
+  | Torn_tail -> (
+      match List.rev segments with
+      | [] -> segments
+      | last :: rev_rest -> List.rev ((last ^ "\ntorn") :: rev_rest))
+  | Lost_fsync { frames = k } -> (
+      (* Unsynced tail vanishes: drop up to [k] frame lines from the
+         active segment (never its header). *)
+      match List.rev segments with
+      | [] -> segments
+      | last :: rev_rest -> (
+          match lines_of last with
+          | [] -> segments
+          | header :: frames ->
+              let keep = max 0 (List.length frames - max 0 k) in
+              let rec take n = function
+                | x :: tl when n > 0 -> x :: take (n - 1) tl
+                | _ -> []
+              in
+              let last' = String.concat "\n" (header :: take keep frames) in
+              List.rev (last' :: rev_rest)))
+  | Bit_flip { pos } ->
+      let total = List.fold_left (fun a s -> a + String.length s) 0 segments in
+      if total = 0 then segments
+      else
+        let target = pick pos total in
+        let off = ref 0 in
+        List.map
+          (fun seg ->
+            let len = String.length seg in
+            let seg =
+              if target >= !off && target < !off + len then begin
+                let b = Bytes.of_string seg in
+                let i = target - !off in
+                Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (target mod 8))));
+                Bytes.to_string b
+              end
+              else seg
+            in
+            off := !off + len;
+            seg)
+          segments
+  | Misdirect { pos } ->
+      (* Addresses of every frame line across the image. *)
+      let frame_lines =
+        List.concat_map
+          (fun seg -> match lines_of seg with [] -> [] | _ :: frames -> frames)
+          segments
+      in
+      let n = List.length frame_lines in
+      if n < 2 then segments
+      else
+        let i = pick pos n in
+        let j = (i + 1) mod n in
+        let replacement = List.nth frame_lines j in
+        let k = ref (-1) in
+        List.map
+          (fun seg ->
+            match lines_of seg with
+            | [] -> seg
+            | header :: frames ->
+                let frames =
+                  List.map
+                    (fun line ->
+                      incr k;
+                      if !k = i then replacement else line)
+                    frames
+                in
+                String.concat "\n" (header :: frames))
+          segments
+  | Lost_segment { pos } ->
+      let n = List.length segments in
+      if n = 0 then segments
+      else
+        let drop = pick pos n in
+        List.filteri (fun i _ -> i <> drop) segments

@@ -1,0 +1,21 @@
+(** Injectable storage faults.
+
+    Each spec is fully determined by its parameters — fractional
+    positions are fixed when the schedule is generated — so applying one
+    to a {!Segmented} image is deterministic, and a fault schedule
+    shrinks by removing specs. *)
+
+type spec =
+  | Torn_tail  (** a partial, unsynced frame append survives at the tail *)
+  | Lost_fsync of { frames : int }  (** the last synced frames never hit disk *)
+  | Bit_flip of { pos : float }  (** one flipped bit at a fractional byte position *)
+  | Misdirect of { pos : float }
+      (** a block write lands at the wrong offset: one frame is overwritten
+          by a copy of its successor *)
+  | Lost_segment of { pos : float }  (** one whole segment is gone *)
+
+val pp : Format.formatter -> spec -> unit
+
+val apply : spec -> string list -> string list
+(** Apply one fault to a segmented image (one string per segment).
+    Deterministic; never raises. *)

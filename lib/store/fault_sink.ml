@@ -1,0 +1,43 @@
+(* The faultable storage medium a durable log writes through.
+
+   In the simulation the WAL and protocol log objects themselves survive
+   a crash (they stand in for the disk). This sink models the disk
+   underneath them: at a crash it captures the synced bytes as a
+   Segmented image plus manifest, applies whatever faults were armed,
+   and recovery then reads back through {!Segmented.recover} instead of
+   trusting the in-memory log.
+
+   The image is materialised lazily, only at a crash and only when
+   faults are armed — the hot path appends nothing extra, so the
+   fault layer costs nothing when disabled. *)
+
+type t = {
+  mutable armed : Disk_fault.spec list;
+  mutable image : (Segmented.manifest * string list) option;
+}
+
+let create () = { armed = []; image = None }
+let arm t spec = t.armed <- t.armed @ [ spec ]
+let armed t = t.armed <> []
+
+let split_lines s = if s = "" then [] else String.split_on_char '\n' s
+
+(* Crash with the given synced log text: build the image and let every
+   armed fault loose on it, in arming order. Disarms. *)
+let crash t ~segment_frames ~text =
+  if t.armed <> [] then begin
+    let segments, manifest = Segmented.build ~segment_frames (split_lines text) in
+    let segments = List.fold_left (fun segs f -> Disk_fault.apply f segs) segments t.armed in
+    t.image <- Some (manifest, segments);
+    t.armed <- []
+  end
+
+(* What recovery finds on disk, or [None] when no faulted image exists
+   (the in-memory log is then authoritative, as before). One-shot: the
+   recovered incarnation starts a fresh log. *)
+let take_recovery t =
+  match t.image with
+  | None -> None
+  | Some (manifest, segments) ->
+      t.image <- None;
+      Some (Segmented.recover manifest segments)

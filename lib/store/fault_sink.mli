@@ -1,0 +1,26 @@
+(** The faultable storage medium a durable log writes through.
+
+    Models the disk beneath a log that itself survives simulated
+    crashes: at crash time the synced log text is captured as a
+    {!Segmented} image, armed {!Disk_fault} specs are applied to it, and
+    the next recovery reads back through {!Segmented.recover} instead of
+    trusting the in-memory log. Costs nothing while no fault is armed —
+    the image is built lazily at the crash. *)
+
+type t
+
+val create : unit -> t
+
+val arm : t -> Disk_fault.spec -> unit
+(** Queue a fault for the next crash. Faults apply in arming order and
+    are consumed by the crash. *)
+
+val armed : t -> bool
+
+val crash : t -> segment_frames:int -> text:string -> unit
+(** Capture the synced log [text] as a segmented image and apply every
+    armed fault to it. No-op when nothing is armed. *)
+
+val take_recovery : t -> Segmented.report option
+(** The damage-classified read-back of the faulted image, or [None] when
+    the last crash was fault-free. Consumes the image. *)

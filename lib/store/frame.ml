@@ -1,0 +1,59 @@
+(* Standard reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320),
+   table-driven. Pinned by the classic known vector:
+   crc32 "123456789" = 0xCBF43926. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force table in
+  let c = ref 0xffffffff in
+  String.iter (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xffffffff
+
+(* A frame is one checksummed log record on its own text line:
+
+     <crc:8 hex>|<seq>|<payload>
+
+   The CRC covers "<seq>|<payload>", so a frame is self-certifying, and
+   the global sequence number pins its position — a CRC-valid frame
+   sitting at the wrong place (a misdirected or duplicated block write)
+   is still detected. The payload is an encoded WAL/Txn_log record line,
+   which never contains '\n'. *)
+
+let encode ~seq payload =
+  let body = string_of_int seq ^ "|" ^ payload in
+  Printf.sprintf "%08x|%s" (crc32 body) body
+
+type error = Malformed of string | Crc_mismatch | Seq_mismatch of { found : int }
+
+let error_to_string = function
+  | Malformed r -> "malformed frame: " ^ r
+  | Crc_mismatch -> "frame checksum mismatch"
+  | Seq_mismatch { found } -> Printf.sprintf "frame out of place (stamped seq %d)" found
+
+(* Decode a frame line, checking the CRC and that its stamped sequence
+   number equals [expect_seq]. Never raises. *)
+let decode ~expect_seq line =
+  let n = String.length line in
+  if n < 10 || line.[8] <> '|' then Error (Malformed "missing checksum header")
+  else
+    match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+    | None -> Error (Malformed "bad checksum hex")
+    | Some crc -> (
+        let body = String.sub line 9 (n - 9) in
+        if crc32 body <> crc then Error Crc_mismatch
+        else
+          match String.index_opt body '|' with
+          | None -> Error (Malformed "missing sequence field")
+          | Some i -> (
+              match int_of_string_opt (String.sub body 0 i) with
+              | None -> Error (Malformed "bad sequence field")
+              | Some seq ->
+                  if seq <> expect_seq then Error (Seq_mismatch { found = seq })
+                  else Ok (String.sub body (i + 1) (String.length body - i - 1))))

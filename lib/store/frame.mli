@@ -1,0 +1,22 @@
+(** Checksummed log frames.
+
+    One frame is one log record on one text line, prefixed with a CRC-32
+    over "<seq>|<payload>". The CRC certifies the bytes; the global
+    sequence number certifies the position, so a CRC-valid frame written
+    to the wrong place (misdirected or duplicated block write) still
+    fails validation. *)
+
+val crc32 : string -> int
+(** Reflected CRC-32 (IEEE). [crc32 "123456789" = 0xCBF43926]. *)
+
+val encode : seq:int -> string -> string
+(** [encode ~seq payload] is ["<crc8hex>|<seq>|<payload>"]. The payload
+    must not contain a newline. *)
+
+type error = Malformed of string | Crc_mismatch | Seq_mismatch of { found : int }
+
+val error_to_string : error -> string
+
+val decode : expect_seq:int -> string -> (string, error) result
+(** Validates the CRC and the stamped sequence number against
+    [expect_seq], returning the payload. Never raises. *)

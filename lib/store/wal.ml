@@ -247,20 +247,21 @@ let encode_suffix_into buf t ~from =
 let of_string s =
   let t = create () in
   let lines = if s = "" then [] else String.split_on_char '\n' s in
-  let rec loop = function
+  let rec loop offset = function
     | [] -> Ok t
     | line :: rest -> (
         match decode_record line with
         | Ok r ->
             ignore (append t r);
-            loop rest
+            loop (offset + String.length line + 1) rest
         (* An undecodable *final* line is a tail torn by a crash mid-append:
            recover the decoded prefix, exactly what replaying a physical log
-           file does. Anywhere else it is corruption and must fail. *)
+           file does. Anywhere else it is corruption and must fail, located
+           so the caller can report file:offset context. *)
         | Error _ when rest = [] -> Ok t
-        | Error e -> Error e)
+        | Error e -> Error (Corruption.v ~segment:0 ~offset e))
   in
-  loop lines
+  loop 0 lines
 
 let equal_record a b =
   match (a, b) with

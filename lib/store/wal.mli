@@ -58,11 +58,11 @@ val encode_suffix_into : Buffer.t -> t -> from:int -> unit
     {!to_string}: every record after the log's first carries a leading
     newline separator. *)
 
-val of_string : string -> (t, string) result
+val of_string : string -> (t, Corruption.t) result
 (** Parses a serialised log. An undecodable {e final} line is treated as a
     tail torn by a crash mid-append and dropped — the decoded prefix is
     recovered. An undecodable line anywhere before the end is corruption
-    and fails the whole parse. *)
+    and fails the whole parse with the offending byte offset. *)
 
 val equal_record : record -> record -> bool
 val pp_record : Format.formatter -> record -> unit

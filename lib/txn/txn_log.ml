@@ -219,20 +219,21 @@ let decode_record line =
 let to_string t = String.concat "\n" (List.map encode_record (records t))
 
 (* Like {!Wal.of_string}: an undecodable final line is a torn tail from a
-   crash mid-append — recover the prefix. Mid-log corruption still fails. *)
+   crash mid-append — recover the prefix. Mid-log corruption still fails,
+   located by byte offset for file:offset error context. *)
 let of_string s =
   let t = create () in
   let lines = if s = "" then [] else String.split_on_char '\n' s in
-  let rec loop = function
+  let rec loop offset = function
     | [] -> Ok t
     | line :: rest -> (
         match decode_record line with
         | Ok r ->
             append t r;
-            loop rest
+            loop (offset + String.length line + 1) rest
         | Error _ when rest = [] -> Ok t
-        | Error e -> Error e)
+        | Error e -> Error (Avdb_store.Corruption.v ~segment:0 ~offset e))
   in
-  loop lines
+  loop 0 lines
 
 let pp_record ppf r = Format.pp_print_string ppf (encode_record r)

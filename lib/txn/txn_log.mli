@@ -102,10 +102,10 @@ val encode_record : record -> string
 val decode_record : string -> (record, string) result
 val to_string : t -> string
 
-val of_string : string -> (t, string) result
+val of_string : string -> (t, Avdb_store.Corruption.t) result
 (** Replays a serialised log. An undecodable {e final} line is treated
     as a tail torn by a crash mid-append and dropped (the prefix is
     recovered); an undecodable line anywhere else is corruption and
-    fails. *)
+    fails with its byte offset. *)
 
 val pp_record : Format.formatter -> record -> unit

@@ -67,6 +67,7 @@ let central_snapshot ~base_value =
     books = [];
     granted = 0;
     received = 0;
+    amnesiac = [];
   }
 
 let test_accepts_linearizable () =
@@ -120,6 +121,7 @@ let autonomous_snapshot ?(books = { Model.defined = 10; minted = 0; consumed = 0
     books = [ ("p", books) ];
     granted = 0;
     received = 0;
+    amnesiac = [];
   }
 
 let delay_write h ~site ~at:t ~delta =

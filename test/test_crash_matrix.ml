@@ -174,6 +174,187 @@ let test_coordinator_crash_partial_votes () =
     ((Site.metrics (Cluster.site cluster 2)).Update.Metrics.termination_queries > 0);
   assert_clean cluster ~amount:100
 
+(* --- storage faults: one pinned scenario per fault class ---
+
+   Same deterministic setting, but the crash now also damages a durable
+   log through the faultable sink. The matrix pins the repair ladder:
+   torn tails cost nothing, WAL-only loss is rebuilt locally (exactly),
+   and protocol-log loss forces amnesia, quarantine and remote repair
+   from the base — corruption may cost availability and repair traffic,
+   never consistency. *)
+
+let regular = "product0"
+
+let metrics cluster i = Site.metrics (Cluster.site cluster i)
+
+let check_regular cluster ~amount =
+  List.iteri
+    (fun i a -> Alcotest.(check int) (Printf.sprintf "site%d replica" i) amount a)
+    (Cluster.replica_amounts cluster ~item:regular)
+
+let check_no_quarantine cluster =
+  for i = 0 to Cluster.n_sites cluster - 1 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "site%d quarantine empty" i)
+      []
+      (Site.quarantined_items (Cluster.site cluster i))
+  done
+
+(* A torn tail is damage past the last synced frame: recovery keeps the
+   whole prefix, loses nothing, rebuilds nothing. *)
+let test_storage_wal_torn_tail () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let victim = Cluster.site cluster 1 in
+  Site.submit_update victim ~item:regular ~delta:(-5) ignore;
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 50.) (fun () ->
+         Site.arm_disk_fault victim ~target:`Wal Avdb_store.Disk_fault.Torn_tail;
+         Site.crash victim));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 200.) (fun () -> Site.recover victim));
+  Cluster.run cluster;
+  Cluster.flush_all_syncs cluster;
+  Alcotest.(check int) "no checksum failures" 0 (metrics cluster 1).Update.Metrics.checksum_failures;
+  Alcotest.(check int) "no repairs" 0 (metrics cluster 1).Update.Metrics.repairs;
+  Alcotest.(check bool) "no amnesia" false (Site.is_amnesiac victim);
+  check_no_quarantine cluster;
+  check_regular cluster ~amount:95
+
+(* Lost fsync silently drops applied WAL rows. The durable sync
+   counters still bound every committed delta exactly, so recovery
+   reconstructs the regular row locally — no repair traffic at all. *)
+let test_storage_wal_lost_fsync_rebuild () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let victim = Cluster.site cluster 1 in
+  List.iter
+    (fun at ->
+      ignore
+        (Engine.schedule_at engine ~at:(Time.of_ms at) (fun () ->
+             Site.submit_update victim ~item:regular ~delta:(-5) ignore)))
+    [ 0.; 5.; 10. ];
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 50.) (fun () ->
+         Site.arm_disk_fault victim ~target:`Wal
+           (Avdb_store.Disk_fault.Lost_fsync { frames = 6 });
+         Site.crash victim));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 200.) (fun () -> Site.recover victim));
+  Cluster.run cluster;
+  Cluster.flush_all_syncs cluster;
+  Alcotest.(check int) "rebuilt locally, no repairs" 0
+    (metrics cluster 1).Update.Metrics.repairs;
+  Alcotest.(check bool) "no amnesia" false (Site.is_amnesiac victim);
+  check_no_quarantine cluster;
+  check_regular cluster ~amount:85
+
+(* A bit flip inside the synced WAL prefix of a committed participant:
+   the CRC catches it, the lost 2PC row is rebuilt from the (intact)
+   protocol log's committed outcomes — still a purely local recovery. *)
+let test_storage_wal_bit_flip () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let victim = Cluster.site cluster 2 in
+  let fired = ref 0 in
+  Site.submit_update (Cluster.site cluster 1) ~item ~delta:(-5) (fun _ -> incr fired);
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 50.) (fun () ->
+         Site.arm_disk_fault victim ~target:`Wal
+           (Avdb_store.Disk_fault.Bit_flip { pos = 0.5 });
+         Site.crash victim));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 200.) (fun () -> Site.recover victim));
+  Cluster.run cluster;
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check bool) "flip detected by the checksums" true
+    ((metrics cluster 2).Update.Metrics.checksum_failures >= 1);
+  Alcotest.(check int) "no repairs" 0 (metrics cluster 2).Update.Metrics.repairs;
+  Alcotest.(check bool) "no amnesia" false (Site.is_amnesiac victim);
+  check_no_quarantine cluster;
+  assert_clean cluster ~amount:95
+
+(* A misdirected block write at the base: a CRC-valid frame lands at the
+   wrong offset, the stamped sequence number exposes it, and the base's
+   row is rebuilt from its protocol log — authoritative reads stay
+   exact. *)
+let test_storage_wal_misdirect_at_base () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let victim = Cluster.site cluster 0 in
+  let fired = ref 0 in
+  Site.submit_update (Cluster.site cluster 1) ~item ~delta:(-5) (fun _ -> incr fired);
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 50.) (fun () ->
+         Site.arm_disk_fault victim ~target:`Wal
+           (Avdb_store.Disk_fault.Misdirect { pos = 0.1 });
+         Site.crash victim));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 200.) (fun () -> Site.recover victim));
+  Cluster.run cluster;
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check bool) "misdirect detected" true
+    ((metrics cluster 0).Update.Metrics.checksum_failures >= 1);
+  Alcotest.(check bool) "no amnesia" false (Site.is_amnesiac victim);
+  check_no_quarantine cluster;
+  assert_clean cluster ~amount:95
+
+(* Whole-segment loss of a committed participant's protocol log: "no
+   entry" stops implying "never happened", so the site goes amnesiac,
+   quarantines its non-regular replica and repairs it from the base —
+   the one class that costs repair traffic. *)
+let test_storage_txn_log_lost_segment () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let victim = Cluster.site cluster 2 in
+  let fired = ref 0 in
+  Site.submit_update (Cluster.site cluster 1) ~item ~delta:(-5) (fun _ -> incr fired);
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 50.) (fun () ->
+         Site.arm_disk_fault victim ~target:`Txn
+           (Avdb_store.Disk_fault.Lost_segment { pos = 0. });
+         Site.crash victim));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 200.) (fun () -> Site.recover victim));
+  Cluster.run cluster;
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check bool) "amnesia is sticky" true (Site.is_amnesiac victim);
+  Alcotest.(check bool) "repaired from the base" true
+    ((metrics cluster 2).Update.Metrics.repairs >= 1);
+  Alcotest.(check bool) "repair moved bytes" true
+    ((metrics cluster 2).Update.Metrics.repair_bytes > 0);
+  check_no_quarantine cluster;
+  assert_clean cluster ~amount:95
+
+(* The deep one: the coordinator loses its protocol log while the
+   cohort is in doubt — prepares logged everywhere, no outcome yet. A
+   log-intact coordinator would close its orphaned Start with a presumed
+   abort and push it; this one has no Start left and answers
+   [No_record], which presumed-abort must NOT treat as "never happened".
+   The in-doubt participants adjudicate among themselves instead — every
+   survivor only ever prepared, so the unanimous sweep concludes Abort —
+   while the amnesiac coordinator quarantines and repairs its suspect
+   replica from the base. *)
+let test_storage_coordinator_amnesia_adjudication () =
+  let cluster = make_cluster () in
+  let engine = Cluster.engine cluster in
+  let coord = Cluster.site cluster 1 in
+  let fired = ref 0 and result = ref None in
+  Site.submit_update coord ~item ~delta:(-5) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 1.5) (fun () ->
+         Site.arm_disk_fault coord ~target:`Txn
+           (Avdb_store.Disk_fault.Lost_segment { pos = 0. });
+         Site.crash coord));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 2000.) (fun () -> Site.recover coord));
+  Cluster.run cluster;
+  Alcotest.(check bool) "client saw the crash" true (rejected_unreachable result);
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check bool) "coordinator went amnesiac" true (Site.is_amnesiac coord);
+  Alcotest.(check int) "participants adjudicated an abort" 1
+    (Txn_log.aborted (Site.txn_log (Cluster.site cluster 2)));
+  Alcotest.(check bool) "stale committed row repaired away" true
+    ((metrics cluster 1).Update.Metrics.repairs >= 1);
+  check_no_quarantine cluster;
+  assert_clean cluster ~amount:100
+
 let suites =
   [
     ( "core.crash-matrix",
@@ -190,5 +371,16 @@ let suites =
           test_participant_crash_in_doubt;
         Alcotest.test_case "coordinator crash with partial votes" `Quick
           test_coordinator_crash_partial_votes;
+        Alcotest.test_case "storage: WAL torn tail" `Quick test_storage_wal_torn_tail;
+        Alcotest.test_case "storage: WAL lost fsync, local rebuild" `Quick
+          test_storage_wal_lost_fsync_rebuild;
+        Alcotest.test_case "storage: WAL bit flip at participant" `Quick
+          test_storage_wal_bit_flip;
+        Alcotest.test_case "storage: WAL misdirect at base" `Quick
+          test_storage_wal_misdirect_at_base;
+        Alcotest.test_case "storage: txn-log segment loss, repair" `Quick
+          test_storage_txn_log_lost_segment;
+        Alcotest.test_case "storage: coordinator amnesia adjudication" `Quick
+          test_storage_coordinator_amnesia_adjudication;
       ] );
   ]

@@ -131,7 +131,7 @@ let test_recover_through_serialisation () =
   ignore (Database.insert txn ~table:"stock" ~key:"p" (row 42 true));
   Database.commit txn;
   match Wal.of_string (Wal.to_string (Database.wal db)) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Corruption.to_string e)
   | Ok wal ->
       let recovered = Database.recover wal in
       Alcotest.(check int) "value survives serialisation" 42 (amount recovered "p")
@@ -280,7 +280,7 @@ let test_wal_mid_record_truncation () =
   (* Cut inside the final record's bytes. *)
   let torn = String.sub s 0 (String.length s - 2) in
   (match Wal.of_string torn with
-  | Error e -> Alcotest.fail ("mid-record truncation should recover: " ^ e)
+  | Error e -> Alcotest.fail ("mid-record truncation should recover: " ^ Corruption.to_string e)
   | Ok recovered ->
       Alcotest.(check int) "final record dropped" 2 (Wal.length recovered);
       Alcotest.(check bool) "prefix intact" true

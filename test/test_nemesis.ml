@@ -33,6 +33,7 @@ let window_end = function
   | Nemesis.Duplicate { at_ms; for_ms; _ }
   | Nemesis.Reorder { at_ms; for_ms; _ } ->
       at_ms +. for_ms
+  | Nemesis.Disk_fault { at_ms; _ } -> at_ms
 
 let test_schedules_well_formed () =
   for seed = 0 to 19 do

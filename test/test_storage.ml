@@ -1,0 +1,354 @@
+(* The storage fault model: checksummed frames, segmented images,
+   damage-classifying recovery, the faultable sink, and — as qcheck
+   properties — the parser contract the repair machinery relies on:
+   arbitrary mutation of a built image never raises and always yields a
+   true prefix of the original payloads, and the recovered prefix
+   replays to a prefix-consistent database state. *)
+
+open Avdb_store
+module Txn_log = Avdb_txn.Txn_log
+module Two_phase = Avdb_txn.Two_phase
+module Address = Avdb_net.Address
+module Time = Avdb_sim.Time
+
+let payloads n = List.init n (fun i -> Printf.sprintf "record-%d" i)
+
+(* --- frames --- *)
+
+let test_crc_vector () =
+  Alcotest.(check int) "IEEE check vector" 0xCBF43926 (Frame.crc32 "123456789")
+
+let test_frame_roundtrip () =
+  let line = Frame.encode ~seq:7 "hello|wor|ld" in
+  match Frame.decode ~expect_seq:7 line with
+  | Ok p -> Alcotest.(check string) "payload survives pipes" "hello|wor|ld" p
+  | Error e -> Alcotest.fail (Frame.error_to_string e)
+
+let test_frame_detects_damage () =
+  let line = Frame.encode ~seq:3 "payload" in
+  let flipped = Bytes.of_string line in
+  Bytes.set flipped (Bytes.length flipped - 1) 'X';
+  (match Frame.decode ~expect_seq:3 (Bytes.to_string flipped) with
+  | Error Frame.Crc_mismatch -> ()
+  | _ -> Alcotest.fail "corrupt frame accepted");
+  (* a CRC-valid frame at the wrong position: the stamped seq betrays it *)
+  (match Frame.decode ~expect_seq:4 line with
+  | Error (Frame.Seq_mismatch { found = 3 }) -> ()
+  | _ -> Alcotest.fail "misplaced frame accepted");
+  match Frame.decode ~expect_seq:0 "garbage" with
+  | Error (Frame.Malformed _) -> ()
+  | _ -> Alcotest.fail "unframed garbage accepted"
+
+(* --- segmented images, one pin per fault class --- *)
+
+(* 8 payloads at 3 frames/segment: two sealed segments + a 2-frame
+   active tail. *)
+let build_8 () = Segmented.build ~segment_frames:3 (payloads 8)
+
+let check_report ?(damage = 0) ?(checksum_failures = 0) ?(lost = 0) ~recovered name
+    (r : Segmented.report) =
+  Alcotest.(check (list string))
+    (name ^ ": payload prefix") (payloads recovered) r.Segmented.payloads;
+  Alcotest.(check int) (name ^ ": damage entries") damage (List.length r.Segmented.damage);
+  Alcotest.(check int)
+    (name ^ ": checksum failures") checksum_failures
+    (Segmented.checksum_failures r);
+  Alcotest.(check int) (name ^ ": lost frames") lost r.Segmented.lost_frames
+
+let test_clean_roundtrip () =
+  let segs, manifest = build_8 () in
+  Alcotest.(check int) "segment count" 3 (List.length segs);
+  check_report ~recovered:8 "clean" (Segmented.recover manifest segs)
+
+let test_torn_tail () =
+  let segs, manifest = build_8 () in
+  let r = Segmented.recover manifest (Disk_fault.apply Disk_fault.Torn_tail segs) in
+  check_report ~damage:1 ~recovered:8 "torn tail" r;
+  match r.Segmented.damage with
+  | [ Segmented.Torn_tail ] -> ()
+  | d ->
+      Alcotest.failf "expected Torn_tail, got %a"
+        (Format.pp_print_list Segmented.pp_damage)
+        d
+
+let test_lost_fsync () =
+  (* Both tail frames of the active segment vanish. The image itself
+     scans clean — the silent truncation only shows against the
+     manifest's synced-frame count. *)
+  let segs, manifest = build_8 () in
+  let faulted = Disk_fault.apply (Disk_fault.Lost_fsync { frames = 2 }) segs in
+  let r = Segmented.recover manifest faulted in
+  check_report ~recovered:6 ~lost:2 "lost fsync" r;
+  Alcotest.(check bool) "counts as data loss" true (Segmented.data_loss r)
+
+let test_bit_flip_detected () =
+  (* A flip landing early in the image hits segment 0 — either its
+     header (salvaged, nothing lost) or a frame (prefix cut short).
+     Both must be classified as a checksum failure. *)
+  let segs, manifest = build_8 () in
+  let faulted = Disk_fault.apply (Disk_fault.Bit_flip { pos = 0.1 }) segs in
+  let r = Segmented.recover manifest faulted in
+  Alcotest.(check bool) "flip detected" true (Segmented.checksum_failures r >= 1);
+  Alcotest.(check (list string))
+    "still a true prefix"
+    r.Segmented.payloads
+    (List.filteri (fun i _ -> i < List.length r.Segmented.payloads) (payloads 8))
+
+let test_misdirect () =
+  (* Frame 0 is overwritten by a copy of frame 1: CRC-valid bytes at the
+     wrong position. The stamped sequence number catches it. *)
+  let segs, manifest = build_8 () in
+  let faulted = Disk_fault.apply (Disk_fault.Misdirect { pos = 0. }) segs in
+  let r = Segmented.recover manifest faulted in
+  check_report ~damage:1 ~checksum_failures:1 ~recovered:0 ~lost:8 "misdirect" r;
+  match r.Segmented.damage with
+  | [ Segmented.Corrupt c ] -> Alcotest.(check int) "in segment 0" 0 c.Corruption.segment
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_lost_segment_head () =
+  let segs, manifest = build_8 () in
+  let faulted = Disk_fault.apply (Disk_fault.Lost_segment { pos = 0. }) segs in
+  let r = Segmented.recover manifest faulted in
+  Alcotest.(check int) "nothing recoverable" 0 (List.length r.Segmented.payloads);
+  Alcotest.(check int) "all synced frames lost" 8 r.Segmented.lost_frames;
+  match r.Segmented.damage with
+  | [ Segmented.Missing_segment 0 ] -> ()
+  | _ -> Alcotest.fail "expected Missing_segment 0"
+
+let test_lost_segment_tail () =
+  (* Losing the active tail keeps the sealed prefix; the manifest's
+     segment count exposes the hole. *)
+  let segs, manifest = build_8 () in
+  let faulted = Disk_fault.apply (Disk_fault.Lost_segment { pos = 0.9 }) segs in
+  let r = Segmented.recover manifest faulted in
+  check_report ~damage:1 ~recovered:6 ~lost:2 "lost tail segment" r;
+  match r.Segmented.damage with
+  | [ Segmented.Missing_segment 2 ] -> ()
+  | _ -> Alcotest.fail "expected Missing_segment 2"
+
+let test_header_damage_salvaged () =
+  (* Sealed-header checksum destroyed, frames intact: everything is
+     salvaged frame by frame and the damage is noted without loss. *)
+  let segs, manifest = build_8 () in
+  let segs =
+    List.mapi
+      (fun i seg ->
+        if i <> 0 then seg
+        else
+          match String.index_opt seg '\n' with
+          | None -> seg
+          | Some nl ->
+              "SEG|0|3|00000000" ^ String.sub seg nl (String.length seg - nl))
+      segs
+  in
+  let r = Segmented.recover manifest segs in
+  check_report ~damage:1 ~checksum_failures:1 ~recovered:8 "salvaged header" r;
+  Alcotest.(check bool) "no data loss" false (Segmented.data_loss r)
+
+(* --- the faultable sink --- *)
+
+let test_fault_sink () =
+  let sink = Fault_sink.create () in
+  Alcotest.(check bool) "starts unarmed" false (Fault_sink.armed sink);
+  let text = String.concat "\n" (payloads 8) in
+  Fault_sink.crash sink ~segment_frames:3 ~text;
+  Alcotest.(check bool)
+    "fault-free crash leaves nothing to recover" true
+    (Fault_sink.take_recovery sink = None);
+  Fault_sink.arm sink (Disk_fault.Lost_fsync { frames = 2 });
+  Alcotest.(check bool) "armed" true (Fault_sink.armed sink);
+  Fault_sink.crash sink ~segment_frames:3 ~text;
+  Alcotest.(check bool) "fault consumed by the crash" false (Fault_sink.armed sink);
+  (match Fault_sink.take_recovery sink with
+  | None -> Alcotest.fail "faulted crash produced no report"
+  | Some r -> check_report ~recovered:6 ~lost:2 "sink recovery" r);
+  Alcotest.(check bool)
+    "recovery report is consumed" true
+    (Fault_sink.take_recovery sink = None)
+
+(* --- property tests --- *)
+
+(* A small WAL whose replayed state is easy to predict: one table, one
+   integer column, a run of Apply records. *)
+let wal_of_deltas deltas =
+  let wal = Wal.create () in
+  let app r = ignore (Wal.append wal r) in
+  app
+    (Wal.Create_table
+       { table = "stock"; columns = [ { Schema.name = "amount"; ty = Value.Tint } ] });
+  (* Seed the rows in one committed transaction, as a live site would:
+     an [Apply] only ever lands on an existing row. *)
+  app (Wal.Begin 999);
+  for k = 0 to 3 do
+    app
+      (Wal.Insert
+         { txid = 999; table = "stock"; key = Printf.sprintf "k%d" k; row = [| Value.Int 100 |] })
+  done;
+  app (Wal.Commit 999);
+  List.iteri
+    (fun i (key, delta) ->
+      let key = Printf.sprintf "k%d" key in
+      ignore
+        (Wal.append wal
+           (Wal.Apply
+              {
+                txid = i;
+                table = "stock";
+                key;
+                col = "amount";
+                before = Value.Int 0;
+                after = Value.Int delta;
+              })))
+    deltas;
+  wal
+
+let txn_log_text () =
+  let log = Txn_log.create () in
+  let addr i = Address.of_int i in
+  for txid = 0 to 5 do
+    Txn_log.record_start log ~txid ~coordinator:(addr 0)
+      ~cohort:[ addr 0; addr 1; addr 2 ]
+      ~item:"special0" ~delta:(-txid) ~at:(Time.of_ms (float_of_int txid));
+    if txid mod 3 <> 2 then
+      Txn_log.record_outcome log ~txid
+        (if txid mod 2 = 0 then Two_phase.Commit else Two_phase.Abort)
+        ~at:(Time.of_ms (float_of_int txid +. 0.5))
+  done;
+  Txn_log.to_string log
+
+let is_prefix_of ~full prefix =
+  List.length prefix <= List.length full
+  && List.for_all2
+       (fun a b -> a = b)
+       prefix
+       (List.filteri (fun i _ -> i < List.length prefix) full)
+
+(* Deterministic image mutations beyond the Disk_fault specs: byte-level
+   truncation, segment duplication and segment swaps. *)
+let mutate_image (kind, a, b) segments =
+  let n = List.length segments in
+  let pick pos m = if m <= 0 then 0 else min (m - 1) (int_of_float (pos *. float_of_int m)) in
+  match kind mod 8 with
+  | 0 -> Disk_fault.apply Disk_fault.Torn_tail segments
+  | 1 -> Disk_fault.apply (Disk_fault.Lost_fsync { frames = 1 + pick a 8 }) segments
+  | 2 -> Disk_fault.apply (Disk_fault.Bit_flip { pos = a }) segments
+  | 3 -> Disk_fault.apply (Disk_fault.Misdirect { pos = a }) segments
+  | 4 -> Disk_fault.apply (Disk_fault.Lost_segment { pos = a }) segments
+  | 5 ->
+      (* truncate one segment at a byte fraction *)
+      let target = pick a n in
+      List.mapi
+        (fun i seg ->
+          if i <> target then seg else String.sub seg 0 (pick b (String.length seg)))
+        segments
+  | 6 ->
+      (* duplicate one segment in place *)
+      let target = pick a n in
+      List.concat (List.mapi (fun i seg -> if i = target then [ seg; seg ] else [ seg ]) segments)
+  | _ ->
+      (* swap two segments *)
+      let arr = Array.of_list segments in
+      if Array.length arr >= 2 then begin
+        let i = pick a (Array.length arr) and j = pick b (Array.length arr) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      end;
+      Array.to_list arr
+
+(* Mutations of the raw serialised log text (pre-framing), for the
+   of_string never-raise property. *)
+let mutate_text (kind, a, b) text =
+  let len = String.length text in
+  let pick pos m = if m <= 0 then 0 else min (m - 1) (int_of_float (pos *. float_of_int m)) in
+  match kind mod 4 with
+  | 0 when len > 0 ->
+      let bs = Bytes.of_string text in
+      let i = pick a len in
+      Bytes.set bs i (Char.chr (pick b 256));
+      Bytes.to_string bs
+  | 1 -> String.sub text 0 (pick a (len + 1))
+  | 2 ->
+      let i = pick a (len + 1) in
+      String.sub text 0 i ^ "\ngarbage line |||\n" ^ String.sub text i (len - i)
+  | _ -> (
+      let lines = String.split_on_char '\n' text in
+      match lines with
+      | [] -> text
+      | _ ->
+          let drop = pick a (List.length lines) in
+          String.concat "\n" (List.filteri (fun i _ -> i <> drop) lines))
+
+let qcheck_tests =
+  let open QCheck in
+  let mutation = triple small_nat (float_bound_inclusive 1.) (float_bound_inclusive 1.) in
+  let image_case =
+    triple (int_range 0 30) (int_range 1 5) (list_of_size Gen.(int_range 1 3) mutation)
+  in
+  [
+    Test.make ~name:"mutated image recovers a true prefix, never raises" ~count:500
+      image_case
+      (fun (n, segment_frames, mutations) ->
+        let segment_frames = max 1 segment_frames in
+        let original = payloads n in
+        let segs, manifest = Segmented.build ~segment_frames original in
+        let segs = List.fold_left (fun segs m -> mutate_image m segs) segs mutations in
+        let r = Segmented.recover manifest segs in
+        is_prefix_of ~full:original r.Segmented.payloads
+        && r.Segmented.lost_frames >= 0
+        && r.Segmented.lost_frames >= n - List.length r.Segmented.payloads);
+    Test.make ~name:"recovered WAL prefix replays to prefix-consistent state" ~count:300
+      (triple
+         (list_of_size Gen.(int_range 0 20) (pair (int_bound 3) (int_range (-50) 50)))
+         (int_range 1 4) mutation)
+      (fun (deltas, segment_frames, mutation) ->
+        let segment_frames = max 1 segment_frames in
+        let wal = wal_of_deltas deltas in
+        let lines = String.split_on_char '\n' (Wal.to_string wal) in
+        let lines = List.filter (fun l -> l <> "") lines in
+        let segs, manifest = Segmented.build ~segment_frames lines in
+        let r = Segmented.recover manifest (mutate_image mutation segs) in
+        match Wal.of_string (String.concat "\n" r.Segmented.payloads) with
+        | Error _ -> false (* a certified frame prefix must parse *)
+        | Ok recovered ->
+            let k = List.length (Wal.records recovered) in
+            let expected = Wal.of_string (String.concat "\n" lines) |> Result.get_ok in
+            Wal.truncate expected k;
+            (* same records ... *)
+            List.for_all2 Wal.equal_record (Wal.records recovered) (Wal.records expected)
+            (* ... and replay does not raise *)
+            &&
+            let (_ : Database.t) = Database.recover ~name:"prop" recovered in
+            true);
+    Test.make ~name:"Wal.of_string never raises on mutated text" ~count:400
+      (pair
+         (list_of_size Gen.(int_range 0 15) (pair (int_bound 3) (int_range (-50) 50)))
+         mutation)
+      (fun (deltas, mutation) ->
+        let text = mutate_text mutation (Wal.to_string (wal_of_deltas deltas)) in
+        match Wal.of_string text with Ok _ | Error _ -> true);
+    Test.make ~name:"Txn_log.of_string never raises on mutated text" ~count:400 mutation
+      (fun mutation ->
+        let text = mutate_text mutation (txn_log_text ()) in
+        match Txn_log.of_string text with Ok _ | Error _ -> true);
+  ]
+
+let suites =
+  [
+    ( "store.storage-faults",
+      [
+        Alcotest.test_case "crc32 check vector" `Quick test_crc_vector;
+        Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+        Alcotest.test_case "frame damage detection" `Quick test_frame_detects_damage;
+        Alcotest.test_case "clean image roundtrip" `Quick test_clean_roundtrip;
+        Alcotest.test_case "torn tail: prefix, no loss" `Quick test_torn_tail;
+        Alcotest.test_case "lost fsync: silent tail loss" `Quick test_lost_fsync;
+        Alcotest.test_case "bit flip: detected" `Quick test_bit_flip_detected;
+        Alcotest.test_case "misdirected write: seq mismatch" `Quick test_misdirect;
+        Alcotest.test_case "lost head segment" `Quick test_lost_segment_head;
+        Alcotest.test_case "lost tail segment" `Quick test_lost_segment_tail;
+        Alcotest.test_case "damaged header salvaged" `Quick test_header_damage_salvaged;
+        Alcotest.test_case "fault sink arm/crash/recover" `Quick test_fault_sink;
+      ]
+      @ List.map Gen.to_alcotest qcheck_tests );
+  ]

@@ -246,7 +246,7 @@ let test_txn_log_serialisation () =
   Txn_log.record_refused log ~txid:55 ~at:(Time.of_us 50);
   let s = Txn_log.to_string log in
   (match Txn_log.of_string s with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Avdb_store.Corruption.to_string e)
   | Ok log' ->
       Alcotest.(check int) "record count survives" (Txn_log.length log)
         (Txn_log.length log');
@@ -261,7 +261,7 @@ let test_txn_log_serialisation () =
   (* A torn final line is a crash mid-append: recover the prefix. *)
   let torn = s ^ "\nO|1_000" in
   (match Txn_log.of_string torn with
-  | Error e -> Alcotest.fail ("torn tail should recover: " ^ e)
+  | Error e -> Alcotest.fail ("torn tail should recover: " ^ Avdb_store.Corruption.to_string e)
   | Ok log' -> Alcotest.(check int) "prefix recovered" (Txn_log.length log) (Txn_log.length log'));
   (* The same garbage mid-log is corruption and must fail. *)
   match Txn_log.of_string ("O|1_000\n" ^ s) with

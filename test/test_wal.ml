@@ -58,13 +58,13 @@ let test_serialise_roundtrip () =
   List.iter (fun r -> ignore (Wal.append w r)) sample_records;
   match Wal.of_string (Wal.to_string w) with
   | Ok w' -> Alcotest.(check (list wal_record)) "full log roundtrip" (Wal.records w) (Wal.records w')
-  | Error e -> Alcotest.failf "of_string failed: %s" e
+  | Error e -> Alcotest.failf "of_string failed: %s" (Corruption.to_string e)
 
 let test_empty_log_roundtrip () =
   let w = Wal.create () in
   match Wal.of_string (Wal.to_string w) with
   | Ok w' -> Alcotest.(check int) "empty" 0 (Wal.length w')
-  | Error e -> Alcotest.failf "of_string failed: %s" e
+  | Error e -> Alcotest.failf "of_string failed: %s" (Corruption.to_string e)
 
 let test_decode_garbage () =
   List.iter
