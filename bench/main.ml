@@ -1188,6 +1188,85 @@ let exp_throughput () =
   section "Throughput";
   write_throughput_json (measure_throughput ())
 
+(* Decomposition probe for the delay firehose allocation budget: isolates
+   the engine loop, the runner machinery, the site submit path and the
+   storage/AV layers so a regression in [delay_minor_words_per_update]
+   can be attributed to a layer without guesswork. Diagnostic only — not
+   gated. *)
+let exp_alloc_probe () =
+  section "Alloc probe (minor words per iteration, delay firehose layers)";
+  let total = 100_000 in
+  let measure name f =
+    Gc.compact ();
+    let m0 = Gc.minor_words () in
+    f ();
+    note "%-28s %6.1f" name ((Gc.minor_words () -. m0) /. float_of_int total)
+  in
+  let delay_config n_sites =
+    {
+      Config.default with
+      Config.n_sites;
+      tracing = false;
+      products = Product.catalogue ~n_regular:8 ~n_non_regular:0 ~initial_amount:30_000_000;
+      seed = 7000;
+    }
+  in
+  measure "engine chain (noop events)" (fun () ->
+      let engine = Avdb_sim.Engine.create ~seed:1 () in
+      let rec arm k =
+        if k < total then
+          ignore
+            (Avdb_sim.Engine.schedule_at engine
+               ~at:(Avdb_sim.Time.of_ms (float_of_int k))
+               (fun () -> arm (k + 1)))
+      in
+      arm 0;
+      ignore (Avdb_sim.Engine.run engine));
+  measure "runner (dummy submit)" (fun () ->
+      let cluster = Cluster.create (delay_config 3) in
+      let nth k = (k mod 3, "product0", 1) in
+      ignore
+        (Runner.run cluster ~nth_update:nth ~total_updates:total
+           ~submit:(fun _site ~item:_ ~delta:_ k ->
+             k { Update.outcome = Update.Applied Update.Local; latency = Avdb_sim.Time.zero })
+           ()));
+  measure "site direct (no engine)" (fun () ->
+      let cluster = Cluster.create (delay_config 3) in
+      let items = Array.init 8 (fun i -> "product" ^ string_of_int i) in
+      for k = 0 to total - 1 do
+        Site.submit_update
+          (Cluster.site cluster (k mod 3))
+          ~item:items.(k mod 8)
+          ~delta:(if k mod 3 = 0 then 1 else -1)
+          (fun _ -> ())
+      done);
+  measure "db apply_int" (fun () ->
+      let db = Avdb_store.Database.create () in
+      let schema =
+        Avdb_store.Schema.create
+          [ { Avdb_store.Schema.name = "amount"; ty = Avdb_store.Value.Tint } ]
+      in
+      let tbl = Avdb_store.Database.create_table db ~name:"stock" schema in
+      ignore (Avdb_store.Table.insert tbl ~key:"product0" [| Avdb_store.Value.Int 0 |]);
+      for _ = 1 to total do
+        ignore
+          (Avdb_store.Database.apply_int db ~table:"stock" ~key:"product0" ~col:"amount" 1)
+      done);
+  measure "av mint+consume" (fun () ->
+      let av = Avdb_av.Av_table.create () in
+      Avdb_av.Av_table.define av ~item:"product0" ~volume:1_000_000;
+      for _ = 1 to total / 2 do
+        ignore (Avdb_av.Av_table.mint av ~item:"product0" 1);
+        ignore (Avdb_av.Av_table.hold av ~item:"product0" 1);
+        ignore (Avdb_av.Av_table.consume av ~item:"product0" 1)
+      done);
+  measure "full delay bench" (fun () ->
+      let config = delay_config 3 in
+      let items = Array.init 8 (fun i -> "product" ^ string_of_int i) in
+      let nth k = (k mod 3, items.(k mod 8), if k mod 3 = 0 then 1 else -1) in
+      let cluster = Cluster.create config in
+      ignore (Runner.run cluster ~nth_update:nth ~total_updates:total ()))
+
 let exp_throughput_check () =
   section "Throughput check (vs committed baseline)";
   let baseline =
@@ -1222,6 +1301,177 @@ let exp_throughput_check () =
     ~higher_is_better:false;
   match !failures with
   | [] -> note "throughput within 2x of baseline"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) fs;
+      exit 1
+
+(* --- parallel engine (gated perf benchmark) ---
+
+   Sequential cluster vs the domain-sharded engine on the same sharded
+   100-site workload, measured in wall-clock time (CPU time sums across
+   domains and would hide any speedup). Writes BENCH_parallel.json; the
+   committed copy is the baseline for [parallel-check].
+
+   The speedup gate is host-aware: this measurement only means something
+   with real cores to spread over, so the >= 2x speedup claim (and the 2x
+   regression gate on the 4-domain number) is enforced only when the host
+   has at least 4 cores. The determinism fields — applied counts and round
+   count — are exact integers reproduced by any host and are checked
+   everywhere. *)
+
+let parallel_json_path = "BENCH_parallel.json"
+
+let parallel_config ~domains =
+  {
+    Config.default with
+    Config.n_sites = 100;
+    tracing = false;
+    products = Product.catalogue ~n_regular:20 ~n_non_regular:5 ~initial_amount:100_000;
+    topology = Topology.sharded ~spread:4 ();
+    sync_interval = Some (Avdb_sim.Time.of_ms 25.);
+    domains;
+    seed = 11;
+  }
+
+let parallel_workload config topology =
+  let spec =
+    {
+      Scm.n_sites = config.Config.n_sites;
+      items =
+        Array.of_list
+          (List.map
+             (fun p -> (p.Product.name, p.Product.initial_amount))
+             config.Config.products);
+      maker_increase_pct = 0.2;
+      retailer_decrease_pct = 0.1;
+      item_skew = 0.;
+      maker_weight = 1;
+    }
+  in
+  let subscribers item =
+    let base = Topology.base_index topology ~item in
+    Array.of_list
+      (base :: List.filter (fun i -> i <> base) (Topology.subscribers topology ~item))
+  in
+  Scm.create_sharded spec ~subscribers ~seed:23
+
+let parallel_total = 50_000
+let parallel_interval = Avdb_sim.Time.of_ms 0.1
+
+type parallel_numbers = {
+  host_cores : int;
+  par_seq_ups : float;  (* sequential engine, wall-clock updates/s *)
+  par4_ups : float;  (* 4-domain engine, wall-clock updates/s *)
+  par_speedup : float;
+  par_seq_applied : int;
+  par4_applied : int;
+  par4_rounds : int;
+}
+
+let measure_parallel () =
+  let host_cores = Domain.recommended_domain_count () in
+  let seq_config = parallel_config ~domains:1 in
+  let cluster = Cluster.create seq_config in
+  let wl = parallel_workload seq_config (Cluster.topology cluster) in
+  let t0 = Unix.gettimeofday () in
+  let seq =
+    Runner.run cluster ~nth_update:(Scm.generator wl) ~total_updates:parallel_total
+      ~interval:parallel_interval ()
+  in
+  let seq_wall = Unix.gettimeofday () -. t0 in
+  let par_config = parallel_config ~domains:4 in
+  let pc = Pcluster.create par_config in
+  let wl = parallel_workload par_config (Pcluster.topology pc) in
+  let t0 = Unix.gettimeofday () in
+  let par =
+    Runner.run_parallel pc ~nth_update:(Scm.generator wl) ~total_updates:parallel_total
+      ~interval:parallel_interval ()
+  in
+  let par_wall = Unix.gettimeofday () -. t0 in
+  let n = {
+    host_cores;
+    par_seq_ups = float_of_int parallel_total /. seq_wall;
+    par4_ups = float_of_int parallel_total /. par_wall;
+    par_speedup = seq_wall /. par_wall;
+    par_seq_applied = seq.Runner.final.Runner.applied;
+    par4_applied = par.Runner.final.Runner.applied;
+    par4_rounds = Pcluster.rounds pc;
+  }
+  in
+  note "host: %d cores" n.host_cores;
+  note "sequential: %.0f updates/s wall (applied=%d)" n.par_seq_ups n.par_seq_applied;
+  note "4 domains:  %.0f updates/s wall (applied=%d, %d rounds), speedup %.2fx"
+    n.par4_ups n.par4_applied n.par4_rounds n.par_speedup;
+  n
+
+let write_parallel_json n =
+  let oc = open_out parallel_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"parallel_host_cores\": %d,\n\
+    \  \"parallel_seq_updates_per_sec\": %.0f,\n\
+    \  \"parallel_par4_updates_per_sec\": %.0f,\n\
+    \  \"parallel_speedup_4\": %.2f,\n\
+    \  \"parallel_seq_applied\": %d,\n\
+    \  \"parallel_par4_applied\": %d,\n\
+    \  \"parallel_par4_rounds\": %d\n\
+     }\n"
+    n.host_cores n.par_seq_ups n.par4_ups n.par_speedup n.par_seq_applied n.par4_applied
+    n.par4_rounds;
+  close_out oc;
+  note "wrote %s" parallel_json_path
+
+let exp_parallel () =
+  section "Parallel engine (sequential vs 4 domains, sharded 100 sites)";
+  write_parallel_json (measure_parallel ())
+
+let exp_parallel_check () =
+  section "Parallel check (vs committed baseline)";
+  let baseline =
+    let ic = open_in parallel_json_path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  in
+  let fresh = measure_parallel () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* Determinism: these are exact integers on every host. *)
+  let check_exact name ~fresh =
+    match json_number baseline name with
+    | None -> fail "%s: missing from baseline" name
+    | Some base ->
+        note "  %s: baseline=%.0f fresh=%d%s" name base fresh
+          (if float_of_int fresh <> base then "  MISMATCH" else "");
+        if float_of_int fresh <> base then
+          fail "%s: expected %.0f, got %d (parallel run not deterministic?)" name base
+            fresh
+  in
+  check_exact "parallel_seq_applied" ~fresh:fresh.par_seq_applied;
+  check_exact "parallel_par4_applied" ~fresh:fresh.par4_applied;
+  check_exact "parallel_par4_rounds" ~fresh:fresh.par4_rounds;
+  (* Performance: only meaningful with cores to spread over. *)
+  if fresh.host_cores >= 4 then begin
+    (match json_number baseline "parallel_par4_updates_per_sec" with
+    | None -> fail "parallel_par4_updates_per_sec: missing from baseline"
+    | Some base ->
+        note "  parallel_par4_updates_per_sec: baseline=%.0f fresh=%.0f" base
+          fresh.par4_ups;
+        if fresh.par4_ups *. 2. < base then
+          fail "parallel_par4_updates_per_sec regressed more than 2x (baseline %.0f, now %.0f)"
+            base fresh.par4_ups);
+    note "  parallel_speedup_4: fresh=%.2f (gate: >= 2.0 on a %d-core host)"
+      fresh.par_speedup fresh.host_cores;
+    if fresh.par_speedup < 2.0 then
+      fail "parallel speedup %.2fx < 2.0x on a %d-core host" fresh.par_speedup
+        fresh.host_cores
+  end
+  else
+    note "  host has %d cores (< 4): speedup and regression gates skipped"
+      fresh.host_cores;
+  match !failures with
+  | [] -> note "parallel engine within baseline"
   | fs ->
       List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) fs;
       exit 1
@@ -1559,6 +1809,8 @@ let experiments =
     ("elastic", exp_elastic);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
+    ("alloc-probe", exp_alloc_probe);
+    ("parallel", exp_parallel);
     ("obs-overhead", exp_obs_overhead);
     ("scale", exp_scale);
   ]
@@ -1566,7 +1818,11 @@ let experiments =
 (* Not in [experiments]: needs a committed baseline and exits non-zero on
    regression, so "all" must not pick it up. *)
 let checks =
-  [ ("throughput-check", exp_throughput_check); ("scale-check", exp_scale_check) ]
+  [
+    ("throughput-check", exp_throughput_check);
+    ("scale-check", exp_scale_check);
+    ("parallel-check", exp_parallel_check);
+  ]
 
 let run_experiment name f =
   current_exp := name;

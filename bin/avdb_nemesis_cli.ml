@@ -29,7 +29,8 @@ let run_seed ~cfg ~verbose ~out seed =
   not failed
 
 let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes partitions
-    net_windows no_crash_base oracle spread hierarchy disk_faults mutations verbose out =
+    net_windows no_crash_base oracle spread hierarchy disk_faults domains mutations
+    verbose out =
   Avdb_core.Mutation.reset ();
   List.iter Avdb_core.Mutation.enable mutations;
   if mutations <> [] then
@@ -51,6 +52,7 @@ let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes pa
       spread;
       hierarchy;
       disk_faults;
+      domains;
     }
   in
   let seed_list =
@@ -150,6 +152,17 @@ let disk_faults_arg =
            item's base site. Corruption may cost availability and repair traffic, never \
            consistency — the invariants (and the oracle, with --oracle) still apply.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run the system under test on the parallel engine with $(docv) OCaml domains: \
+           site faults land on their owning shards, network knobs are mirrored into every \
+           shard, and the oracle (with --oracle) merges one history per shard. \
+           Deterministic per seed. Incompatible with --disk-faults. 1 (default) is the \
+           sequential engine.")
+
 let mutation_conv =
   let parse s =
     match Avdb_core.Mutation.of_name s with Ok m -> Ok m | Error e -> Error (`Msg e)
@@ -182,6 +195,6 @@ let cmd =
       const run $ seeds_arg $ start_arg $ seed_arg $ sites_arg $ regular_arg
       $ non_regular_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
       $ net_windows_arg $ no_crash_base_arg $ oracle_arg $ spread_arg $ hierarchy_arg
-      $ disk_faults_arg $ mutate_arg $ verbose_arg $ out_arg)
+      $ disk_faults_arg $ domains_arg $ mutate_arg $ verbose_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -49,9 +49,9 @@ let granting_conv =
   Arg.conv (parse, fun ppf g -> Format.pp_print_string ppf (Avdb_av.Strategy.Granting.name g))
 
 let run retailers items initial updates mode allocation selection granting skew
-    maker_weight spread hierarchy latency_ms drop dup reorder rpc_retries rpc_backoff_ms
-    sync_ms prefetch seed checkpoints csv trace_sample trace_slow_ms trace_out
-    metrics_out metrics_wide snapshot_every_ms check mutations =
+    maker_weight spread hierarchy domains latency_ms drop dup reorder rpc_retries
+    rpc_backoff_ms sync_ms prefetch seed checkpoints csv trace_sample trace_slow_ms
+    trace_out metrics_out metrics_wide snapshot_every_ms check mutations =
   let n_sites = retailers + 1 in
   let topology =
     match spread with
@@ -97,12 +97,12 @@ let run retailers items initial updates mode allocation selection granting skew
       sync_interval = Option.map Avdb_sim.Time.of_ms sync_ms;
       snapshot_interval;
       prefetch_low = prefetch;
+      domains;
       seed;
       trace_sample;
       trace_slow = Option.map Avdb_sim.Time.of_ms trace_slow_ms;
     }
   in
-  let cluster = Cluster.create config in
   let spec =
     {
       (Scm.paper_spec ~n_sites ~n_items:items ~initial_amount:initial ()) with
@@ -110,6 +110,106 @@ let run retailers items initial updates mode allocation selection granting skew
       maker_weight;
     }
   in
+  if domains > 1 then begin
+    (* The parallel engine: sites sharded across OCaml domains, run by
+       Runner.run_parallel. No mid-run checkpoints (cross-shard stats are
+       only readable at quiescence); exports use the merged JSONL entry
+       points regardless of suffix. *)
+    let pc = Pcluster.create config in
+    let topo = Pcluster.topology pc in
+    let workload =
+      match spread with
+      | None -> Scm.create spec ~seed
+      | Some _ ->
+          let subscribers item =
+            let base = Topology.base_index topo ~item in
+            Array.of_list
+              (base
+              :: List.filter (fun i -> i <> base) (Topology.subscribers topo ~item))
+          in
+          Scm.create_sharded spec ~subscribers ~seed
+    in
+    let recorders =
+      if not check then None
+      else
+        Some
+          (Array.map
+             (fun tr ->
+               let h = Avdb_check.History.create () in
+               ignore (Avdb_check.History.attach_trace h tr);
+               h)
+             (Pcluster.traces pc))
+    in
+    let submit =
+      Option.map
+        (fun hs ->
+          let engines = Pcluster.engines pc in
+          fun ~shard site ~item ~delta k ->
+            Avdb_check.History.submit_update hs.(shard) ~engine:engines.(shard) site
+              ~item ~delta k)
+        recorders
+    in
+    let outcome =
+      Runner.run_parallel pc ~nth_update:(Scm.generator workload) ~total_updates:updates
+        ?submit ()
+    in
+    let final = outcome.Runner.final in
+    if csv then begin
+      let table =
+        Ascii_table.create
+          ~headers:([ "updates"; "correspondences" ]
+                   @ List.init n_sites (fun i -> Printf.sprintf "site%d" i))
+      in
+      Ascii_table.add_int_row table
+        (string_of_int final.Runner.updates_done)
+        (final.Runner.total_correspondences
+        :: List.init n_sites (fun i ->
+               try List.assoc i final.Runner.per_site_correspondences with Not_found -> 0));
+      print_endline (Ascii_table.to_csv table)
+    end
+    else begin
+      Format.printf "%a@." Config.pp config;
+      Printf.printf "parallel engine: %d shards, window %.1f ms, %d rounds\n"
+        (Pcluster.n_domains pc)
+        (Avdb_sim.Time.to_ms (Pcluster.window pc))
+        (Pcluster.rounds pc);
+      Printf.printf "correspondences: %d\n" final.Runner.total_correspondences;
+      Printf.printf "applied %d / rejected %d of %d updates\n" final.Runner.applied
+        final.Runner.rejected updates;
+      if config.Config.mode = Config.Autonomous then begin
+        Pcluster.flush_all_syncs pc;
+        match Pcluster.check_invariants pc with
+        | Ok () -> print_endline "invariants: OK (replicas agree; AV conserved)"
+        | Error e -> Printf.printf "invariants: VIOLATED - %s\n" e
+      end
+    end;
+    let module Exporter = Avdb_obs.Exporter in
+    Option.iter
+      (fun path ->
+        let spans = Pcluster.spans pc in
+        Exporter.write_file ~path (Exporter.spans_jsonl spans);
+        Printf.eprintf "wrote %d spans (merged, jsonl) to %s\n%!" (List.length spans) path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        if config.Config.snapshot_interval = None then Pcluster.snapshot_now pc;
+        let samples = Pcluster.metric_samples pc in
+        Exporter.write_file ~path (Exporter.metrics_jsonl samples);
+        Printf.eprintf "wrote %d metric samples (merged, jsonl) to %s\n%!"
+          (List.length samples) path)
+      metrics_out;
+    match recorders with
+    | None -> 0
+    | Some hs ->
+        if config.Config.mode = Config.Autonomous then Pcluster.flush_all_syncs pc;
+        let history = Avdb_check.History.merge (Array.to_list hs) in
+        let snapshot = Avdb_check.Checker.snapshot_of_pcluster pc in
+        let verdict = Avdb_check.Checker.check ~quiescent:true ~history snapshot in
+        Format.printf "%a@." Avdb_check.Checker.pp_verdict verdict;
+        if Avdb_check.Checker.ok verdict then 0 else 1
+  end
+  else begin
+  let cluster = Cluster.create config in
   let workload =
     match spread with
     | None -> Scm.create spec ~seed
@@ -220,6 +320,7 @@ let run retailers items initial updates mode allocation selection granting skew
       let verdict = Avdb_check.Checker.check ~quiescent:true ~history:h snapshot in
       Format.printf "%a@." Avdb_check.Checker.pp_verdict verdict;
       if Avdb_check.Checker.ok verdict then 0 else 1
+  end
 
 let cmd =
   let retailers =
@@ -272,6 +373,15 @@ let cmd =
             ~doc:
               "With --spread: AV requests climb an $(docv)-ary tree over each item's \
                subscribers toward its base instead of flat peer selection.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "Run the simulation on $(docv) OCaml domains (parallel engine): sites are \
+               sharded across domains and stepped in conservative barrier windows of one \
+               latency lower bound. Deterministic for a given seed at any $(docv). 1 \
+               (default) is the sequential engine.")
   in
   let latency_ms =
     Arg.(value & opt float 1. & info [ "latency-ms" ] ~docv:"MS" ~doc:"Constant link latency.")
@@ -383,10 +493,10 @@ let cmd =
   let term =
     Term.(
       const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
-      $ granting $ skew $ maker_weight $ spread $ hierarchy $ latency_ms $ drop $ dup
-      $ reorder $ rpc_retries $ rpc_backoff_ms $ sync_ms $ prefetch $ seed $ checkpoints
-      $ csv $ trace_sample $ trace_slow_ms $ trace_out $ metrics_out $ metrics_wide
-      $ snapshot_every_ms $ check $ mutations)
+      $ granting $ skew $ maker_weight $ spread $ hierarchy $ domains $ latency_ms $ drop
+      $ dup $ reorder $ rpc_retries $ rpc_backoff_ms $ sync_ms $ prefetch $ seed
+      $ checkpoints $ csv $ trace_sample $ trace_slow_ms $ trace_out $ metrics_out
+      $ metrics_wide $ snapshot_every_ms $ check $ mutations)
   in
   Cmd.v
     (Cmd.info "avdb-sim" ~version:"1.0.0"

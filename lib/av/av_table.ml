@@ -25,24 +25,33 @@ let define t ~item ~volume =
 
 let undefine t ~item = Hashtbl.remove t.entries item
 let is_defined t ~item = Hashtbl.mem t.entries item
-let entry t item = Hashtbl.find_opt t.entries item
-let available t ~item = match entry t item with Some e -> e.available | None -> 0
-let held t ~item = match entry t item with Some e -> e.held | None -> 0
+
+(* Every AV operation sits on the Delay-Update hot path, so lookups are
+   exception-style ([Hashtbl.find], no [Some] per hit) and each operation
+   matches on the entry directly instead of going through a [with_entry]
+   combinator whose callback would be a fresh closure per call. *)
+let entry_exn t item = Hashtbl.find t.entries item
+
+let available t ~item =
+  match entry_exn t item with e -> e.available | exception Not_found -> 0
+
+let held t ~item = match entry_exn t item with e -> e.held | exception Not_found -> 0
 
 let total t ~item =
-  match entry t item with Some e -> e.available + e.held | None -> 0
+  match entry_exn t item with
+  | e -> e.available + e.held
+  | exception Not_found -> 0
 
-let with_entry t item f =
-  match entry t item with
-  | None -> Error (Printf.sprintf "no AV defined on %S" item)
-  | Some e -> f e
+let no_av item = Error (Printf.sprintf "no AV defined on %S" item)
 
 let check_amount amount =
   if amount < 0 then invalid_arg "Av_table: negative amount" else amount
 
 let hold t ~item amount =
   let amount = check_amount amount in
-  with_entry t item (fun e ->
+  match entry_exn t item with
+  | exception Not_found -> no_av item
+  | e ->
       if e.available < amount then
         Error
           (Printf.sprintf "insufficient AV on %S: available %d < %d" item e.available amount)
@@ -50,12 +59,12 @@ let hold t ~item amount =
         e.available <- e.available - amount;
         e.held <- e.held + amount;
         Ok ()
-      end)
+      end
 
 let hold_all t ~item =
-  match entry t item with
-  | None -> 0
-  | Some e ->
+  match entry_exn t item with
+  | exception Not_found -> 0
+  | e ->
       let grabbed = e.available in
       e.available <- 0;
       e.held <- e.held + grabbed;
@@ -63,38 +72,46 @@ let hold_all t ~item =
 
 let release t ~item amount =
   let amount = check_amount amount in
-  with_entry t item (fun e ->
+  match entry_exn t item with
+  | exception Not_found -> no_av item
+  | e ->
       if e.held < amount then
         Error (Printf.sprintf "release exceeds hold on %S: held %d < %d" item e.held amount)
       else begin
         e.held <- e.held - amount;
         e.available <- e.available + amount;
         Ok ()
-      end)
+      end
 
 let consume t ~item amount =
   let amount = check_amount amount in
-  with_entry t item (fun e ->
+  match entry_exn t item with
+  | exception Not_found -> no_av item
+  | e ->
       if e.held < amount then
         Error (Printf.sprintf "consume exceeds hold on %S: held %d < %d" item e.held amount)
       else begin
         e.held <- e.held - amount;
         e.consumed_total <- e.consumed_total + amount;
         Ok ()
-      end)
+      end
 
 let deposit t ~item amount =
   let amount = check_amount amount in
-  with_entry t item (fun e ->
+  match entry_exn t item with
+  | exception Not_found -> no_av item
+  | e ->
       e.available <- e.available + amount;
-      Ok ())
+      Ok ()
 
 let mint t ~item amount =
   let amount = check_amount amount in
-  with_entry t item (fun e ->
+  match entry_exn t item with
+  | exception Not_found -> no_av item
+  | e ->
       e.available <- e.available + amount;
       e.minted <- e.minted + amount;
-      Ok ())
+      Ok ()
 
 let release_all t =
   Hashtbl.iter
@@ -103,13 +120,19 @@ let release_all t =
       e.held <- 0)
     t.entries
 
-let defined_volume t ~item = match entry t item with Some e -> e.defined_volume | None -> 0
-let minted t ~item = match entry t item with Some e -> e.minted | None -> 0
-let consumed t ~item = match entry t item with Some e -> e.consumed_total | None -> 0
+let defined_volume t ~item =
+  match entry_exn t item with e -> e.defined_volume | exception Not_found -> 0
+
+let minted t ~item = match entry_exn t item with e -> e.minted | exception Not_found -> 0
+
+let consumed t ~item =
+  match entry_exn t item with e -> e.consumed_total | exception Not_found -> 0
 
 let withdraw t ~item amount =
   let amount = check_amount amount in
-  with_entry t item (fun e ->
+  match entry_exn t item with
+  | exception Not_found -> no_av item
+  | e ->
       if e.available < amount then
         Error
           (Printf.sprintf "withdraw exceeds AV on %S: available %d < %d" item e.available
@@ -117,7 +140,7 @@ let withdraw t ~item amount =
       else begin
         e.available <- e.available - amount;
         Ok ()
-      end)
+      end
 
 let items t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare

@@ -37,6 +37,7 @@ type config = {
   spread : int option;
   hierarchy : int option;
   disk_faults : bool;
+  domains : int;
 }
 
 let default ~seed =
@@ -55,6 +56,7 @@ let default ~seed =
     spread = None;
     hierarchy = None;
     disk_faults = false;
+    domains = 1;
   }
 
 (* --- schedule generation --- *)
@@ -175,7 +177,7 @@ type stats = {
 
 type outcome = { violations : string list; stats : stats }
 
-let mk_cluster cfg =
+let mk_config cfg =
   let products =
     Product.catalogue ~n_regular:cfg.n_regular ~n_non_regular:cfg.n_non_regular
       ~initial_amount:100
@@ -185,32 +187,142 @@ let mk_cluster cfg =
     | None -> Topology.flat
     | Some spread -> Topology.sharded ~spread ?hierarchy_fanout:cfg.hierarchy ()
   in
-  Cluster.create
-    {
-      Config.default with
-      Config.n_sites = cfg.n_sites;
-      products;
-      topology;
-      rpc_timeout = Time.of_ms 20.;
-      rpc_retry =
-        {
-          Avdb_net.Rpc.max_attempts = 10;
-          base_backoff = Time.of_ms 5.;
-          backoff_multiplier = 2.;
-          jitter = 0.3;
-        };
-      sync_interval = Some (Time.of_ms 25.);
-      (* Nemesis attaches no exporter; run the tracer disabled so long
-         seed sweeps pay nothing for spans. *)
-      tracing = false;
-      seed = cfg.seed;
-    }
+  {
+    Config.default with
+    Config.n_sites = cfg.n_sites;
+    products;
+    topology;
+    rpc_timeout = Time.of_ms 20.;
+    rpc_retry =
+      {
+        Avdb_net.Rpc.max_attempts = 10;
+        base_backoff = Time.of_ms 5.;
+        backoff_multiplier = 2.;
+        jitter = 0.3;
+      };
+    sync_interval = Some (Time.of_ms 25.);
+    (* Nemesis attaches no exporter; run the tracer disabled so long
+       seed sweeps pay nothing for spans. *)
+    tracing = false;
+    domains = cfg.domains;
+    seed = cfg.seed;
+  }
+
+(* What [execute] needs from the system under test, abstracted over the
+   sequential cluster and the parallel (sharded) one. Scheduling is
+   site-addressed so every fault or submission lands on the engine that
+   owns its site; network knobs go through the mirrored [_at] installers;
+   the mid-run probe runs where cross-shard reads are legal (inline
+   events sequentially, the barrier hook in parallel). *)
+type driver = {
+  d_topology : Topology.t;
+  d_products : Product.t list;
+  d_site : int -> Site.t;
+  d_sites : unit -> Site.t array;
+  d_n_shards : int;
+  d_shard_of : int -> int;
+  d_engines : Engine.t array;  (* one per shard, rank order *)
+  d_at_site : int -> float -> (unit -> unit) -> unit;
+  d_partition_at : float -> int -> int -> unit;
+  d_heal_at : float -> int -> int -> unit;
+  d_drop_at : float -> float -> unit;
+  d_dup_at : float -> float -> unit;
+  d_reorder_at : float -> float -> unit;
+  d_traces : Trace.t array;
+  d_run : probe:(unit -> unit) -> unit;
+  d_flush : unit -> unit;
+  d_decision : unit -> (unit, string) result;
+  d_check_invariants : unit -> (unit, string) result;
+  d_total_dropped : unit -> int;
+  d_snapshot : unit -> Avdb_check.Checker.snapshot;
+}
+
+let seq_driver cfg config =
+  let cluster = Cluster.create config in
+  let engine = Cluster.engine cluster in
+  let at ms f = ignore (Engine.schedule_at engine ~at:(Time.of_ms ms) f) in
+  {
+    d_topology = Cluster.topology cluster;
+    d_products = config.Config.products;
+    d_site = Cluster.site cluster;
+    d_sites = (fun () -> Cluster.sites cluster);
+    d_n_shards = 1;
+    d_shard_of = (fun _ -> 0);
+    d_engines = [| engine |];
+    d_at_site = (fun _ ms f -> at ms f);
+    d_partition_at = (fun ms a b -> at ms (fun () -> Cluster.partition cluster a b));
+    d_heal_at = (fun ms a b -> at ms (fun () -> Cluster.heal cluster a b));
+    d_drop_at = (fun ms p -> at ms (fun () -> Cluster.set_drop_probability cluster p));
+    d_dup_at = (fun ms p -> at ms (fun () -> Cluster.set_duplicate_probability cluster p));
+    d_reorder_at =
+      (fun ms p -> at ms (fun () -> Cluster.set_reorder_probability cluster p));
+    d_traces = [| Cluster.trace cluster |];
+    d_run =
+      (fun ~probe ->
+        (* Decision agreement is an any-instant invariant: probe it
+           throughout the fault phase, not just at quiescence. *)
+        let rec chain ms =
+          if ms < cfg.horizon_ms then begin
+            at ms probe;
+            chain (ms +. 100.)
+          end
+        in
+        chain 50.;
+        Cluster.run cluster);
+    d_flush = (fun () -> Cluster.flush_all_syncs cluster);
+    d_decision = (fun () -> Cluster.decision_agreement cluster);
+    d_check_invariants = (fun () -> Cluster.check_invariants cluster);
+    d_total_dropped =
+      (fun () -> Avdb_net.Stats.total_dropped (Cluster.net_stats cluster));
+    d_snapshot = (fun () -> Avdb_check.Checker.snapshot_of_cluster cluster);
+  }
+
+let par_driver cfg config =
+  let pc = Pcluster.create config in
+  let t ms = Time.of_ms ms in
+  {
+    d_topology = Pcluster.topology pc;
+    d_products = config.Config.products;
+    d_site = Pcluster.site pc;
+    d_sites = (fun () -> Pcluster.sites pc);
+    d_n_shards = Pcluster.n_domains pc;
+    d_shard_of = Pcluster.domain_of_site pc;
+    d_engines = Pcluster.engines pc;
+    d_at_site = (fun i ms f -> Pcluster.schedule_at_site pc ~site:i ~at:(t ms) f);
+    d_partition_at = (fun ms a b -> Pcluster.partition_at pc ~at:(t ms) a b);
+    d_heal_at = (fun ms a b -> Pcluster.heal_at pc ~at:(t ms) a b);
+    d_drop_at = (fun ms p -> Pcluster.set_drop_probability_at pc ~at:(t ms) p);
+    d_dup_at = (fun ms p -> Pcluster.set_duplicate_probability_at pc ~at:(t ms) p);
+    d_reorder_at = (fun ms p -> Pcluster.set_reorder_probability_at pc ~at:(t ms) p);
+    d_traces = Pcluster.traces pc;
+    d_run =
+      (fun ~probe ->
+        (* The same ~100 ms decision-agreement cadence, clocked by the
+           barrier (the only place cross-shard reads are legal). *)
+        let next = ref 50. in
+        Pcluster.run pc ~on_round:(fun ~at ->
+            let at_ms = Time.to_ms at in
+            if at_ms >= !next && !next < cfg.horizon_ms then begin
+              probe ();
+              next := at_ms +. 100.
+            end));
+    d_flush = (fun () -> Pcluster.flush_all_syncs pc);
+    d_decision = (fun () -> Pcluster.decision_agreement pc);
+    d_check_invariants = (fun () -> Pcluster.check_invariants pc);
+    d_total_dropped =
+      (fun () ->
+        Array.fold_left
+          (fun acc s -> acc + Avdb_net.Stats.total_dropped s)
+          0 (Pcluster.net_stats pc));
+    d_snapshot = (fun () -> Avdb_check.Checker.snapshot_of_pcluster pc);
+  }
 
 let execute cfg schedule =
-  let cluster = mk_cluster cfg in
-  let engine = Cluster.engine cluster in
-  let site i = Cluster.site cluster i in
-  let at ms f = ignore (Engine.schedule_at engine ~at:(Time.of_ms ms) f) in
+  if cfg.domains > 1 && cfg.disk_faults then
+    invalid_arg "Nemesis.execute: disk_faults not supported with domains > 1";
+  let config = mk_config cfg in
+  let d = if cfg.domains > 1 then par_driver cfg config else seq_driver cfg config in
+  let site = d.d_site in
   let violations = ref [] in
   let violate fmt =
     Format.kasprintf
@@ -219,44 +331,34 @@ let execute cfg schedule =
           violations := s :: !violations)
       fmt
   in
-  (* Install the fault schedule as open/close event pairs. *)
+  (* Install the fault schedule as open/close event pairs: site faults on
+     the owning shard, network knobs mirrored into every shard. *)
   List.iter
     (fun f ->
       match f with
       | Crash { site = i; at_ms; for_ms } ->
-          at at_ms (fun () -> if not (Site.is_down (site i)) then Site.crash (site i));
-          at (at_ms +. for_ms) (fun () ->
+          d.d_at_site i at_ms (fun () ->
+              if not (Site.is_down (site i)) then Site.crash (site i));
+          d.d_at_site i (at_ms +. for_ms) (fun () ->
               if Site.is_down (site i) then Site.recover (site i))
       | Partition { a; b; at_ms; for_ms } ->
-          at at_ms (fun () -> Cluster.partition cluster a b);
-          at (at_ms +. for_ms) (fun () -> Cluster.heal cluster a b)
+          d.d_partition_at at_ms a b;
+          d.d_heal_at (at_ms +. for_ms) a b
       | Drop { p; at_ms; for_ms } ->
-          at at_ms (fun () -> Cluster.set_drop_probability cluster p);
-          at (at_ms +. for_ms) (fun () -> Cluster.set_drop_probability cluster 0.)
+          d.d_drop_at at_ms p;
+          d.d_drop_at (at_ms +. for_ms) 0.
       | Duplicate { p; at_ms; for_ms } ->
-          at at_ms (fun () -> Cluster.set_duplicate_probability cluster p);
-          at (at_ms +. for_ms) (fun () -> Cluster.set_duplicate_probability cluster 0.)
+          d.d_dup_at at_ms p;
+          d.d_dup_at (at_ms +. for_ms) 0.
       | Reorder { p; at_ms; for_ms } ->
-          at at_ms (fun () -> Cluster.set_reorder_probability cluster p);
-          at (at_ms +. for_ms) (fun () -> Cluster.set_reorder_probability cluster 0.)
+          d.d_reorder_at at_ms p;
+          d.d_reorder_at (at_ms +. for_ms) 0.
       | Disk_fault { site = i; at_ms; target; spec } ->
-          at at_ms (fun () -> Site.arm_disk_fault (site i) ~target spec))
+          d.d_at_site i at_ms (fun () -> Site.arm_disk_fault (site i) ~target spec))
     schedule;
-  (* Decision agreement is an any-instant invariant: probe it throughout
-     the fault phase, not just at quiescence. *)
-  let rec probe ms =
-    if ms < cfg.horizon_ms then begin
-      at ms (fun () ->
-          match Cluster.decision_agreement cluster with
-          | Ok () -> ()
-          | Error e -> violate "mid-run decision agreement: %s" e);
-      probe (ms +. 100.)
-    end
-  in
-  probe 50.;
   (* The workload: the paper's SCM generator over the full mixed catalogue,
      so Delay Update (AV) and Immediate Update (2PC) both run under fire. *)
-  let products = (Cluster.config cluster).Config.products in
+  let products = d.d_products in
   let items =
     Array.of_list (List.map (fun p -> (p.Product.name, p.Product.initial_amount)) products)
   in
@@ -277,10 +379,10 @@ let execute cfg schedule =
         (* partial replication: rotate each item over its own subscribers
            (base first) so no site updates an item outside its interest *)
         let subscribers item =
-          let topology = Cluster.topology cluster in
-          let base = Topology.base_index topology ~item in
+          let base = Topology.base_index d.d_topology ~item in
           Array.of_list
-            (base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item))
+            (base
+            :: List.filter (fun i -> i <> base) (Topology.subscribers d.d_topology ~item))
         in
         Scm.create_sharded wl_spec ~subscribers ~seed:cfg.seed
   in
@@ -288,34 +390,46 @@ let execute cfg schedule =
      injects replica reads, so the end-of-run verdict can also judge
      linearizability, session guarantees and reachability — not just the
      aggregate invariants below. Off by default: the extra reads change the
-     message traffic, hence the exact outcome, of a given seed. *)
-  let recorder =
+     message traffic, hence the exact outcome, of a given seed. In parallel
+     mode the recorder is one single-writer history per shard, merged at
+     the end. *)
+  let recorders =
     if not cfg.oracle then None
-    else begin
-      let h = Avdb_check.History.create () in
-      ignore (Avdb_check.History.attach_trace h (Cluster.trace cluster));
-      Some h
-    end
+    else
+      Some
+        (Array.map
+           (fun tr ->
+             let h = Avdb_check.History.create () in
+             ignore (Avdb_check.History.attach_trace h tr);
+             h)
+           d.d_traces)
   in
   let fired = Array.make (max 1 cfg.n_ops) 0 in
-  let applied = ref 0 and rejected = ref 0 in
+  (* Per-shard counters: each op's continuation fires on the shard owning
+     its submission site, so slot [shard] has a single writer. *)
+  let applied_by = Array.make d.d_n_shards 0
+  and rejected_by = Array.make d.d_n_shards 0 in
   let op_interval = 0.9 *. cfg.horizon_ms /. float_of_int (max 1 cfg.n_ops) in
   for i = 0 to cfg.n_ops - 1 do
     let s, item, delta = Scm.generator wl i in
-    at
+    let shard = d.d_shard_of s in
+    d.d_at_site s
       (float_of_int i *. op_interval)
       (fun () ->
         let k r =
           fired.(i) <- fired.(i) + 1;
-          if Update.is_applied r then incr applied else incr rejected
+          if Update.is_applied r then applied_by.(shard) <- applied_by.(shard) + 1
+          else rejected_by.(shard) <- rejected_by.(shard) + 1
         in
-        match recorder with
-        | Some h -> Avdb_check.History.submit_update h ~engine (site s) ~item ~delta k
+        match recorders with
+        | Some hs ->
+            Avdb_check.History.submit_update hs.(shard)
+              ~engine:d.d_engines.(shard) (site s) ~item ~delta k
         | None -> Site.submit_update (site s) ~item ~delta k)
   done;
-  (match recorder with
+  (match recorders with
   | None -> ()
-  | Some h ->
+  | Some hs ->
       (* Interleave reads through the fault phase: mostly local replica
          reads (session checks), some authoritative base reads
          (linearizability / base-prefix checks). Down sites are skipped —
@@ -327,38 +441,47 @@ let execute cfg schedule =
         let s = Rng.int rrng cfg.n_sites in
         let item, _ = items.(Rng.int rrng (Array.length items)) in
         let auth = Rng.int rrng 3 = 0 in
-        at ms (fun () ->
+        let shard = d.d_shard_of s in
+        let h = hs.(shard) and engine = d.d_engines.(shard) in
+        d.d_at_site s ms (fun () ->
             if not (Site.is_down (site s)) then
               if auth then begin
                 (* a quarantined base answers None by design (availability
-                   lost, not staleness) — skip it, like a down site *)
-                let base = Topology.base_index (Cluster.topology cluster) ~item in
-                if not (Site.is_quarantined (site base) ~item) then
+                   lost, not staleness) — skip it, like a down site. The
+                   base may live on another shard, but quarantine requires
+                   disk faults, which are sequential-only: the guard's
+                   cross-shard read is short-circuited in parallel mode. *)
+                let base = Topology.base_index d.d_topology ~item in
+                if not (cfg.disk_faults && Site.is_quarantined (site base) ~item) then
                   Avdb_check.History.read_authoritative h ~engine (site s) ~item
                     (fun _ -> ())
               end
               else if
                 (* a local read at a non-subscriber answers None by design,
                    not staleness — route session checks to replica holders *)
-                Cluster.interested cluster ~site:s ~item
-                && not (Site.is_quarantined (site s) ~item)
+                Topology.interested d.d_topology ~site:s ~item
+                && not (cfg.disk_faults && Site.is_quarantined (site s) ~item)
               then ignore (Avdb_check.History.read_local h ~engine (site s) ~item))
       done);
-  (* Horizon: heal the world, then drain to quiescence. *)
-  at cfg.horizon_ms (fun () ->
-      Cluster.set_drop_probability cluster 0.;
-      Cluster.set_duplicate_probability cluster 0.;
-      Cluster.set_reorder_probability cluster 0.;
-      for a = 0 to cfg.n_sites - 1 do
-        for b = a + 1 to cfg.n_sites - 1 do
-          Cluster.heal cluster a b
-        done
-      done;
-      for i = 0 to cfg.n_sites - 1 do
-        if Site.is_down (site i) then Site.recover (site i)
-      done);
-  Cluster.run cluster;
-  let sites = Cluster.sites cluster in
+  (* Horizon: heal the world, then drain to quiescence. Knobs and heals go
+     through the mirrored installers; recovery runs on each owning shard. *)
+  d.d_drop_at cfg.horizon_ms 0.;
+  d.d_dup_at cfg.horizon_ms 0.;
+  d.d_reorder_at cfg.horizon_ms 0.;
+  for a = 0 to cfg.n_sites - 1 do
+    for b = a + 1 to cfg.n_sites - 1 do
+      d.d_heal_at cfg.horizon_ms a b
+    done
+  done;
+  for i = 0 to cfg.n_sites - 1 do
+    d.d_at_site i cfg.horizon_ms (fun () ->
+        if Site.is_down (site i) then Site.recover (site i))
+  done;
+  d.d_run ~probe:(fun () ->
+      match d.d_decision () with
+      | Ok () -> ()
+      | Error e -> violate "mid-run decision agreement: %s" e);
+  let sites = d.d_sites () in
   let item_names = List.map (fun p -> p.Product.name) products in
   (* A replica that stayed quarantined after a storage fault (e.g. its
      repair donor rotation never completed) is excluded from convergence:
@@ -370,7 +493,7 @@ let execute cfg schedule =
       (fun i ->
         if Site.is_quarantined (site i) ~item then None
         else Site.amount_of (site i) ~item)
-      (Cluster.subscribers cluster ~item)
+      (Topology.subscribers d.d_topology ~item)
   in
   let converged item =
     match healthy_amounts item with
@@ -380,7 +503,7 @@ let execute cfg schedule =
   let attempts = ref 0 in
   while (not (List.for_all converged item_names)) && !attempts < 40 do
     incr attempts;
-    Cluster.flush_all_syncs cluster
+    d.d_flush ()
   done;
   (* --- the invariants --- *)
   Array.iteri
@@ -389,7 +512,7 @@ let execute cfg schedule =
         if n = 0 then violate "op %d never settled" i
         else if n > 1 then violate "op %d fired %d times (double-fired continuation)" i n)
     fired;
-  (match Cluster.decision_agreement cluster with
+  (match d.d_decision () with
   | Ok () -> ()
   | Error e -> violate "final decision agreement: %s" e);
   (* A protocol-log entry on a still-quarantined item is exempt: the
@@ -446,16 +569,21 @@ let execute cfg schedule =
       deficit leaked;
   (* With no leak the stricter whole-system check applies verbatim. *)
   if leaked = 0 then begin
-    match Cluster.check_invariants cluster with
+    match d.d_check_invariants () with
     | Ok () -> ()
     | Error e -> violate "check_invariants: %s" e
   end;
-  (* The consistency oracle's verdict over the recorded history. *)
+  (* The consistency oracle's verdict over the recorded (merged) history. *)
   let oracle_entries = ref 0 in
-  (match recorder with
+  (match recorders with
   | None -> ()
-  | Some h ->
-      let snapshot = Avdb_check.Checker.snapshot_of_cluster cluster in
+  | Some hs ->
+      let h =
+        match Array.to_list hs with
+        | [ h ] -> h
+        | hs -> Avdb_check.History.merge hs
+      in
+      let snapshot = d.d_snapshot () in
       let verdict = Avdb_check.Checker.check ~quiescent:true ~history:h snapshot in
       oracle_entries := verdict.Avdb_check.Checker.stats.Avdb_check.Checker.n_entries;
       List.iter
@@ -465,8 +593,8 @@ let execute cfg schedule =
   let count p = List.length (List.filter p schedule) in
   let stats =
     {
-      applied = !applied;
-      rejected = !rejected;
+      applied = Array.fold_left ( + ) 0 applied_by;
+      rejected = Array.fold_left ( + ) 0 rejected_by;
       crashes = count (function Crash _ -> true | _ -> false);
       partitions = count (function Partition _ -> true | _ -> false);
       net_windows =
@@ -477,7 +605,7 @@ let execute cfg schedule =
       decision_rebroadcasts =
         sum_metric (fun m -> m.Update.Metrics.decision_rebroadcasts);
       leaked_av = max 0 leaked;
-      messages_dropped = Avdb_net.Stats.total_dropped (Cluster.net_stats cluster);
+      messages_dropped = d.d_total_dropped ();
       oracle_entries = !oracle_entries;
       checksum_failures = sum_metric (fun m -> m.Update.Metrics.checksum_failures);
       segments_quarantined =

@@ -11,11 +11,10 @@ type snapshot = {
   amnesiac : int list;
 }
 
-let snapshot_of_cluster cluster =
-  let config = Cluster.config cluster in
-  let sites = Cluster.sites cluster in
+let snapshot_of_parts ~config ~topology ~sites =
+  let site i = sites.(i) in
   let products = config.Config.products in
-  let topology = Cluster.topology cluster in
+  let subscribers item = Topology.subscribers topology ~item in
   let bases =
     List.map
       (fun (p : Product.t) ->
@@ -32,15 +31,15 @@ let snapshot_of_cluster cluster =
   let holder_sites item =
     let base = Topology.base_index topology ~item in
     List.filter
-      (fun i -> not (Site.is_quarantined (Cluster.site cluster i) ~item))
-      (base :: List.filter (fun i -> i <> base) (Cluster.subscribers cluster ~item))
+      (fun i -> not (Site.is_quarantined (site i) ~item))
+      (base :: List.filter (fun i -> i <> base) (subscribers item))
   in
   let replicas =
     List.map
       (fun (p : Product.t) ->
         let item = p.Product.name in
         ( item,
-          List.map (fun i -> Site.amount_of (Cluster.site cluster i) ~item) (holder_sites item)
+          List.map (fun i -> Site.amount_of (site i) ~item) (holder_sites item)
         ))
       products
   in
@@ -55,9 +54,8 @@ let snapshot_of_cluster cluster =
               let item = p.Product.name in
               let sum f =
                 List.fold_left
-                  (fun acc i -> acc + f (Site.av_table (Cluster.site cluster i)) ~item)
-                  0
-                  (Cluster.subscribers cluster ~item)
+                  (fun acc i -> acc + f (Site.av_table (site i)) ~item)
+                  0 (subscribers item)
               in
               Some
                 ( item,
@@ -83,6 +81,18 @@ let snapshot_of_cluster cluster =
     List.filter (fun i -> Site.is_amnesiac sites.(i)) (List.init (Array.length sites) Fun.id)
   in
   { mode = config.Config.mode; products; replicas; bases; books; granted; received; amnesiac }
+
+let snapshot_of_cluster cluster =
+  snapshot_of_parts
+    ~config:(Cluster.config cluster)
+    ~topology:(Cluster.topology cluster)
+    ~sites:(Cluster.sites cluster)
+
+let snapshot_of_pcluster pcluster =
+  snapshot_of_parts
+    ~config:(Pcluster.config pcluster)
+    ~topology:(Pcluster.topology pcluster)
+    ~sites:(Pcluster.sites pcluster)
 
 type violation =
   | Double_response of { entry : History.entry }

@@ -76,6 +76,58 @@ let respond t e ~at resp =
 let record_fault t ~site ~at f_kind =
   t.rev_faults <- { f_site = site; f_at = at; f_seq = next_seq t; f_kind } :: t.rev_faults
 
+(* Merge per-shard histories from a parallel run into one totally
+   ordered history. Each shard's seq numbers are a valid order for its
+   own events and increase with virtual time, so replaying all events
+   sorted by (time, shard, shard-local seq) yields a total order that
+   respects every shard's local order and virtual time globally — and is
+   deterministic, since ties across shards break by shard rank. Entries
+   are renumbered; invocation/response timestamps and double-response
+   counts are preserved verbatim. *)
+let merge ts =
+  let out = create () in
+  let events =
+    List.concat
+      (List.mapi
+         (fun shard t ->
+           List.concat_map
+             (fun e ->
+               (e.invoked_at, shard, e.inv_seq, `Inv e)
+               ::
+               (match e.resp with
+               | Some _ -> [ (e.responded_at, shard, e.resp_seq, `Resp e) ]
+               | None -> []))
+             (entries t)
+           @ List.map (fun f -> (f.f_at, shard, f.f_seq, `Fault f)) (faults t))
+         ts)
+  in
+  let events =
+    List.sort
+      (fun (t1, s1, q1, _) (t2, s2, q2, _) ->
+        match Avdb_sim.Time.compare t1 t2 with
+        | 0 -> compare (s1, q1) (s2, q2)
+        | c -> c)
+      events
+  in
+  let remap : (int * int, entry) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (_, shard, _, ev) ->
+      match ev with
+      | `Inv e ->
+          let e' = invoke out ~site:e.site ~at:e.invoked_at e.op in
+          Hashtbl.replace remap (shard, e.id) e'
+      | `Resp e -> (
+          let e' = Hashtbl.find remap (shard, e.id) in
+          match e.resp with
+          | Some r ->
+              for _ = 1 to e.n_responses do
+                respond out e' ~at:e.responded_at r
+              done
+          | None -> ())
+      | `Fault f -> record_fault out ~site:f.f_site ~at:f.f_at f.f_kind)
+    events;
+  out
+
 (* --- instrumented wrappers --- *)
 
 let site_index site = Avdb_net.Address.to_int (Site.addr site)

@@ -113,6 +113,15 @@ val attach_trace : t -> Avdb_sim.Trace.t -> Avdb_sim.Trace.subscription
     recovered ...") as {!fault}s from now on. Unsubscribe with
     {!Avdb_sim.Trace.unsubscribe}. *)
 
+val merge : t list -> t
+(** Merges per-shard histories from a parallel run (one single-writer
+    recorder per shard, listed in shard-rank order) into one totally
+    ordered history: all invocations, responses and faults replayed
+    sorted by (virtual time, shard rank, shard-local seq). Respects
+    every shard's local order, preserves timestamps and double-response
+    counts, renumbers entries — and is deterministic, so two same-seed
+    parallel runs merge to identical histories. *)
+
 val pp_op : Format.formatter -> op -> unit
 val pp_resp : Format.formatter -> resp -> unit
 val pp_entry : Format.formatter -> entry -> unit

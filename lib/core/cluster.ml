@@ -1,6 +1,5 @@
 open Avdb_sim
 open Avdb_net
-open Avdb_av
 module Obs_registry = Avdb_obs.Registry
 module Tracer = Avdb_obs.Tracer
 
@@ -28,13 +27,6 @@ let iter_sites t f =
   for i = 0 to t.len - 1 do
     f t.store.(i)
   done
-
-let fold_sites t f init =
-  let acc = ref init in
-  for i = 0 to t.len - 1 do
-    acc := f !acc t.store.(i)
-  done;
-  !acc
 
 let push_site t site =
   if t.len = Array.length t.store then begin
@@ -66,115 +58,18 @@ let initial_av config ~rank ~count ~initial_amount =
         else share
       end
 
-(* Everything a site counts, exposed as gauges sourced from the mutable
-   records the hot paths already maintain — registration is the only cost.
-   Per-item AV gauges are registered only for the site's interest set, so
-   registration stays O(interest), not O(catalogue), per site. *)
+(* Gauge/sketch registration lives in {!Site_metrics}, shared with the
+   parallel cluster; the sequential cluster resolves every peer site
+   (single domain — a snapshot may read anything). *)
 let register_site_metrics t site =
-  let site_label = Address.to_string (Site.addr site) in
-  let labels = [ ("site", site_label) ] in
-  let g name f = Obs_registry.gauge t.registry ~labels name f in
-  let m = Site.metrics site in
-  let open Update.Metrics in
-  g "update.submitted" (fun () -> float_of_int m.submitted);
-  g "update.applied_local" (fun () -> float_of_int m.applied_local);
-  g "update.applied_transfer" (fun () -> float_of_int m.applied_transfer);
-  g "update.applied_immediate" (fun () -> float_of_int m.applied_immediate);
-  g "update.applied_central" (fun () -> float_of_int m.applied_central);
-  g "update.rejected" (fun () -> float_of_int m.rejected);
-  Obs_registry.attach_sketch t.registry ~labels "update.latency_ms" (fun () -> m.latency);
-  Obs_registry.attach_sketch t.registry ~labels "update.grant_latency_ms" (fun () ->
-      m.grant_latency);
-  g "av.requests_sent" (fun () -> float_of_int m.av_requests_sent);
-  g "av.prefetch_requests" (fun () -> float_of_int m.prefetch_requests);
-  g "av.volume_received" (fun () -> float_of_int m.av_volume_received);
-  g "av.volume_granted" (fun () -> float_of_int m.av_volume_granted);
-  g "av.shortage_rate" (fun () ->
-      float_of_int m.av_shortages /. float_of_int (Stdlib.max 1 m.submitted));
-  g "av.idle_fraction" (fun () ->
-      let avail, total =
-        List.fold_left
-          (fun (a, tot) (_, available, held) -> (a + available, tot + available + held))
-          (0, 0)
-          (Av_table.snapshot (Site.av_table site))
-      in
-      if total = 0 then 1. else float_of_int avail /. float_of_int total);
-  g "sync.apply_age_ms" (fun () ->
-      let now = Engine.now t.engine in
-      match Site.last_sync_apply site with
-      | Some ts -> Time.to_ms (Time.diff now ts)
-      | None -> Time.to_ms now);
-  g "sync.batches_sent" (fun () -> float_of_int m.sync_batches_sent);
-  g "2pc.termination_queries" (fun () -> float_of_int m.termination_queries);
-  g "2pc.in_doubt_recovered" (fun () -> float_of_int m.in_doubt_recovered);
-  g "2pc.decision_rebroadcasts" (fun () -> float_of_int m.decision_rebroadcasts);
-  g "2pc.in_doubt" (fun () -> float_of_int (Avdb_txn.Txn_log.in_flight (Site.txn_log site)));
-  g "storage.checksum_failures" (fun () -> float_of_int m.checksum_failures);
-  g "storage.segments_quarantined" (fun () -> float_of_int m.segments_quarantined);
-  g "storage.repairs" (fun () -> float_of_int m.repairs);
-  g "storage.repair_bytes" (fun () -> float_of_int m.repair_bytes);
-  g "storage.quarantined_items" (fun () ->
-      float_of_int (List.length (Site.quarantined_items site)));
-  let s = Stats.site (Rpc.stats t.rpc) (Site.addr site) in
-  g "net.sent" (fun () -> float_of_int s.Stats.sent);
-  g "net.received" (fun () -> float_of_int s.Stats.received);
-  g "net.bytes_sent" (fun () -> float_of_int s.Stats.bytes_sent);
-  g "net.dropped" (fun () -> float_of_int s.Stats.dropped);
-  g "net.duplicated" (fun () -> float_of_int s.Stats.duplicated);
-  g "net.reordered" (fun () -> float_of_int s.Stats.reordered);
-  g "net.retries" (fun () -> float_of_int s.Stats.retries);
-  g "net.correspondences" (fun () -> float_of_int s.Stats.correspondences);
-  if t.config.Config.mode = Config.Autonomous then begin
-    let site_index = Address.to_int (Site.addr site) in
-    List.iter
-      (fun product ->
-        if
-          Product.is_regular product
-          && Topology.interested t.topology ~site:site_index ~item:product.Product.name
-        then begin
-          let item = product.Product.name in
-          let av = Site.av_table site in
-          Obs_registry.gauge t.registry
-            ~labels:(labels @ [ ("item", item) ])
-            "av.available"
-            (fun () -> float_of_int (Av_table.available av ~item));
-          (* Per-item staleness: stamp distance between the item's base
-             and this replica, 0 when fully caught up. Only meaningful
-             away from the base. *)
-          let base_ix = Topology.base_index t.topology ~item in
-          if base_ix <> site_index then
-            Obs_registry.gauge t.registry
-              ~labels:(labels @ [ ("item", item) ])
-              "sync.version_lag"
-              (fun () ->
-                let base = t.store.(base_ix) in
-                float_of_int
-                  (Stdlib.max 0
-                     (Site.sync_version base ~item
-                     - Site.applied_sync_version site ~origin:base_ix ~item)))
-        end)
-      t.config.Config.products
-  end
+  Site_metrics.register_site ~registry:t.registry ~engine:t.engine ~config:t.config
+    ~topology:t.topology ~net_stats:(Rpc.stats t.rpc)
+    ~resolve:(fun i -> if i >= 0 && i < t.len then Some t.store.(i) else None)
+    site
 
-(* Cluster-wide series: the tracer's retention accounting, the registry's
-   own (bounded) footprint, and unlabelled latency distributions merged
-   across every site's sketch at snapshot time — the aggregation story
-   that makes fixed-memory per-site sketches worth it. *)
 let register_cluster_metrics t =
-  let g name f = Obs_registry.gauge t.registry name f in
-  g "tracer.retained" (fun () -> float_of_int (Tracer.length t.tracer));
-  g "tracer.dropped" (fun () -> float_of_int (Tracer.dropped t.tracer));
-  g "tracer.sampled_out" (fun () -> float_of_int (Tracer.sampled_out t.tracer));
-  g "registry.words" (fun () -> float_of_int (Obs_registry.footprint_words t.registry));
-  let merged field () =
-    fold_sites t
-      (fun acc site -> Avdb_metrics.Sketch.merge acc (field (Site.metrics site)))
-      (Avdb_metrics.Sketch.create ())
-  in
-  Obs_registry.attach_sketch t.registry "update.latency_ms" (merged (fun m ->
-      m.Update.Metrics.latency));
-  Obs_registry.attach_sketch t.registry "update.grant_latency_ms" (merged (fun m ->
-      m.Update.Metrics.grant_latency))
+  Site_metrics.register_aggregates ~registry:t.registry ~tracer:t.tracer
+    ~iter_sites:(fun f -> iter_sites t f)
 
 (* Initial per-site AV ledger: a subscriber's slice of every regular item
    in its interest set. Non-subscribers get no entry at all — their ledger,
@@ -273,39 +168,13 @@ let subscribers t ~item = Topology.subscribers t.topology ~item
 let interested t ~site ~item = Topology.interested t.topology ~site ~item
 
 let replica_amounts t ~item =
-  List.map
-    (fun i ->
-      match Site.amount_of t.store.(i) ~item with
-      | Some n -> n
-      | None -> invalid_arg ("Cluster.replica_amounts: unknown item " ^ item))
-    (subscribers t ~item)
+  System_checks.replica_amounts ~topology:t.topology ~site:(fun i -> t.store.(i)) ~item
 
 let av_sum t ~item =
-  List.fold_left
-    (fun acc i -> acc + Av_table.total (Site.av_table t.store.(i)) ~item)
-    0 (subscribers t ~item)
+  System_checks.av_sum ~topology:t.topology ~site:(fun i -> t.store.(i)) ~item
 
-(* AV conservation: volume is only created by [define] and [mint] and only
-   destroyed by [consume]; grants merely move it between sites. Holds even
-   while replicas still disagree, so it is checkable right after a fault
-   window closes, before convergence. Only the item's subscribers can hold
-   its AV, so the fold is O(interest), not O(N). *)
 let av_conservation t ~item =
-  let sum f =
-    List.fold_left
-      (fun acc i -> acc + f (Site.av_table t.store.(i)) ~item)
-      0 (subscribers t ~item)
-  in
-  let live = sum Av_table.total in
-  let consumed = sum Av_table.consumed in
-  let minted = sum Av_table.minted in
-  let defined = sum Av_table.defined_volume in
-  if live + consumed - minted = defined then Ok ()
-  else
-    Error
-      (Printf.sprintf
-         "%s: AV not conserved: live %d + consumed %d - minted %d <> defined %d" item live
-         consumed minted defined)
+  System_checks.av_conservation ~topology:t.topology ~site:(fun i -> t.store.(i)) ~item
 
 (* --- invariant probes + periodic snapshots --- *)
 
@@ -329,17 +198,9 @@ let run_probes t =
           | Ok () -> ()
           | Error msg -> violation t "invariant.av_conservation" msg)
       t.config.Config.products;
-  let stats = net_stats t in
-  let sent = Stats.total_sent stats
-  and received = Stats.total_received stats
-  and dropped = Stats.total_dropped stats
-  and duplicated = Stats.total_duplicated stats in
-  (* Every delivery or loss traces back to a send or an injected duplicate;
-     messages still in flight make the left side smaller, never larger. *)
-  if received + dropped > sent + duplicated then
-    violation t "invariant.net_conservation"
-      (Printf.sprintf "net stats not conserved: received %d + dropped %d > sent %d + duplicated %d"
-         received dropped sent duplicated)
+  match System_checks.net_conservation [ net_stats t ] with
+  | Ok () -> ()
+  | Error msg -> violation t "invariant.net_conservation" msg
 
 let snapshot_now t =
   run_probes t;
@@ -428,74 +289,12 @@ let flush_all_syncs t =
   iter_sites t (Site.flush_sync ~force:true);
   run t
 
-(* 2PC decision agreement across the whole system: every site's durable
-   protocol log must assign each txid at most one outcome. Unlike replica
-   agreement this is checkable at any instant — outcomes are logged before
-   they are acted on, so a Commit/Abort split for one txid is a protocol
-   bug, never a transient. *)
-let decision_agreement t =
-  let outcomes : (int, Avdb_txn.Two_phase.decision * Address.t) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let problems = ref [] in
-  iter_sites t (fun s ->
-      List.iter
-        (fun (e : Avdb_txn.Txn_log.entry) ->
-          match e.Avdb_txn.Txn_log.outcome with
-          | None -> ()
-          | Some d -> (
-              let txid = e.Avdb_txn.Txn_log.txid in
-              match Hashtbl.find_opt outcomes txid with
-              | None -> Hashtbl.add outcomes txid (d, Site.addr s)
-              | Some (d', witness) ->
-                  if d <> d' then
-                    problems :=
-                      Format.asprintf "tx%d decided %a at %a but %a at %a" txid
-                        Avdb_txn.Two_phase.pp_decision d' Address.pp witness
-                        Avdb_txn.Two_phase.pp_decision d Address.pp (Site.addr s)
-                      :: !problems))
-        (Avdb_txn.Txn_log.entries (Site.txn_log s)));
-  match List.rev !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+(* The whole-system checks live in {!System_checks}, shared with the
+   parallel cluster. *)
+let decision_agreement t = System_checks.decision_agreement ~iter_sites:(iter_sites t)
 
-let in_doubt_total t =
-  fold_sites t (fun acc s -> acc + Avdb_txn.Txn_log.in_flight (Site.txn_log s)) 0
+let in_doubt_total t = System_checks.in_doubt_total ~iter_sites:(iter_sites t)
 
 let check_invariants t =
-  let problems = ref [] in
-  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
-  List.iter
-    (fun product ->
-      let item = product.Product.name in
-      let amounts = replica_amounts t ~item in
-      (* In centralized mode only the base copy is authoritative; retailer
-         replicas are never written, so agreement is not expected. Under
-         partial replication only subscribers hold a replica at all, so
-         agreement is checked — and priced — over the interest set. *)
-      (match amounts with
-      | first :: rest
-        when t.config.Config.mode = Config.Autonomous
-             && List.exists (fun a -> a <> first) rest ->
-          add "%s: replicas diverge: %s" item
-            (String.concat "," (List.map string_of_int amounts))
-      | _ -> ());
-      if Product.is_regular product && t.config.Config.mode = Config.Autonomous then begin
-        let sum = av_sum t ~item in
-        let base_amount =
-          match Site.amount_of (base_site_for t ~item) ~item with
-          | Some n -> n
-          | None -> 0
-        in
-        if sum <> base_amount then
-          add "%s: AV sum %d <> replicated amount %d" item sum base_amount;
-        List.iter
-          (fun i ->
-            let s = t.store.(i) in
-            let av = Site.av_table s in
-            if Av_table.available av ~item < 0 || Av_table.held av ~item < 0 then
-              add "%s: negative AV at %a" item Address.pp (Site.addr s))
-          (subscribers t ~item)
-      end)
-    t.config.Config.products;
-  match List.rev !problems with
-  | [] -> Ok ()
-  | ps -> Error (String.concat "; " ps)
+  System_checks.check_invariants ~config:t.config ~topology:t.topology ~site:(fun i ->
+      t.store.(i))

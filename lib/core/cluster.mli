@@ -6,7 +6,15 @@
 type t
 
 val create : Config.t -> t
-(** Raises [Invalid_argument] if {!Config.validate} fails. *)
+(** Raises [Invalid_argument] if {!Config.validate} fails. Always builds
+    the sequential (single-domain) system; [config.domains] is ignored
+    here — callers that honour it construct a {!Pcluster} instead. *)
+
+val av_init_for : Config.t -> Topology.t -> site_index:int -> (string * int) list
+(** The initial AV ledger for one site under the configured allocation:
+    its slice of every regular item in its interest set (the remainder of
+    an uneven split goes to the base). Shared with {!Pcluster} so both
+    engines seed identical ledgers. *)
 
 val config : t -> Config.t
 val engine : t -> Avdb_sim.Engine.t

@@ -37,6 +37,7 @@ type t = {
   topology : Topology.spec;
   segment_frames : int;  (** log records per on-disk segment *)
   repair_interval : Time.t;  (** pacing of corruption-repair retries and watches *)
+  domains : int;  (** execution domains; > 1 selects the parallel engine *)
   seed : int;
 }
 
@@ -72,6 +73,7 @@ let default =
     topology = Topology.flat;
     segment_frames = 64;
     repair_interval = Time.of_ms 25.;
+    domains = 1;
     seed = 42;
   }
 
@@ -100,6 +102,11 @@ let validate t =
   else if t.segment_frames < 1 then Error "segment_frames must be >= 1"
   else if Time.equal t.repair_interval Time.zero then
     Error "repair_interval must be positive"
+  else if t.domains < 1 then Error "domains must be >= 1"
+  else if t.domains > 1 && Time.equal (Latency.lower_bound t.latency) Time.zero then
+    (* The conservative lookahead window is the latency lower bound; a
+       zero bound (e.g. Gaussian) leaves the parallel engine no window. *)
+    Error "domains > 1 requires a latency model with a positive lower bound"
   else if
     (* a zero interval would re-fire at the same instant forever *)
     match t.snapshot_interval with

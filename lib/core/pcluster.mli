@@ -1,0 +1,142 @@
+(** The parallel (multi-domain) cluster.
+
+    The same simulated system as {!Cluster}, with the sites sharded
+    across OCaml domains by {!Placement} and executed by
+    {!Avdb_sim.Parallel} in conservative barrier-stepped windows of one
+    latency lower bound. Each shard owns a complete single-domain stack
+    — engine, RPC, trace, tracer, metrics registry — and the only
+    cross-domain traffic is the lock-free mailbox of routed network
+    messages drained at barriers.
+
+    {b Determinism.} Shard seeds, the window grid and the rank-ordered
+    mailbox drain are pure functions of (config, topology): a same-seed
+    run yields byte-identical state and exports at any real-time
+    interleaving of the domains. Shard 0 keeps the config seed, so
+    [domains = 1] replays the sequential cluster exactly.
+
+    {b Threading contract.} Everything in this interface must be called
+    with the domains quiescent — before the first {!run}, between runs,
+    or from {!run}'s [on_round] barrier hook. Only the event handlers
+    the shards execute (and the closures scheduled onto shard engines
+    via {!schedule_at_site} / {!schedule_all}) run on other domains, and
+    each may touch only its own shard's sites and state.
+
+    Not supported in parallel mode: live joins ({!Cluster.add_retailer})
+    — the topology and placement are fixed at creation. *)
+
+type t
+
+val create : Config.t -> t
+(** Shards per [config.domains] (clamped to the site count). Raises
+    [Invalid_argument] if {!Config.validate} fails. *)
+
+val config : t -> Config.t
+val topology : t -> Topology.t
+val placement : t -> Placement.t
+
+val n_domains : t -> int
+(** Effective shard count after clamping. *)
+
+val n_sites : t -> int
+
+val window : t -> Avdb_sim.Time.t
+(** The lookahead window (the latency lower bound). *)
+
+val site : t -> int -> Site.t
+val sites : t -> Site.t array
+val domain_of_site : t -> int -> int
+val base_site_for : t -> item:string -> Site.t
+val subscribers : t -> item:string -> int list
+val interested : t -> site:int -> item:string -> bool
+
+val now : t -> Avdb_sim.Time.t
+(** The common virtual clock (all shard clocks are aligned whenever the
+    domains are quiescent). *)
+
+val run : ?until:Avdb_sim.Time.t -> ?on_round:(at:Avdb_sim.Time.t -> unit) -> t -> unit
+(** Drains all shards to quiescence (bounded by [until]) on [n_domains]
+    domains. [on_round] runs serially at every barrier with every other
+    domain parked — the one place mid-run cross-shard reads are safe.
+    When [snapshot_interval] is configured, cross-shard invariant probes
+    (AV conservation, net-stats conservation) run at barriers on that
+    cadence and per-shard registry snapshots tick on each shard's own
+    engine. *)
+
+val rounds : t -> int
+(** Windows executed by the last {!run} (0 before the first). *)
+
+val schedule_at_site :
+  t -> site:int -> at:Avdb_sim.Time.t -> (unit -> unit) -> unit
+(** Schedules a closure on the owning shard of [site] at virtual time
+    [at]; the closure runs on that shard's domain and must only touch
+    that shard's state. *)
+
+val schedule_all : t -> at:Avdb_sim.Time.t -> (shard:int -> unit) -> unit
+(** Schedules a closure on {e every} shard at the same virtual instant —
+    the common window grid makes this an atomic cross-shard event. *)
+
+(** {2 Fault injection}
+
+    Network knobs are sender-side state: each call mirrors the change
+    into every shard's network. The immediate variants apply now (only
+    with the domains quiescent); the [_at] variants install the change
+    at one virtual instant on every shard, for fault schedules armed
+    before a run. Crash/recover a site by scheduling {!Site.crash} /
+    {!Site.recover} onto its owning shard with {!schedule_at_site}. *)
+
+val partition : t -> int -> int -> unit
+val heal : t -> int -> int -> unit
+val set_drop_probability : t -> float -> unit
+val set_duplicate_probability : t -> float -> unit
+val set_reorder_probability : t -> float -> unit
+val partition_at : t -> at:Avdb_sim.Time.t -> int -> int -> unit
+val heal_at : t -> at:Avdb_sim.Time.t -> int -> int -> unit
+val set_drop_probability_at : t -> at:Avdb_sim.Time.t -> float -> unit
+val set_duplicate_probability_at : t -> at:Avdb_sim.Time.t -> float -> unit
+val set_reorder_probability_at : t -> at:Avdb_sim.Time.t -> float -> unit
+
+(** {2 Observability}
+
+    Per-shard instruments (single-writer each) plus merged deterministic
+    views. A site's [net.*] gauges come from its owning shard's stats:
+    sends originate there and deliveries land there, but a drop charged
+    by a peer shard's sender-side draw is visible only in the summed
+    totals. *)
+
+val engines : t -> Avdb_sim.Engine.t array
+(** Per-shard engines in rank order. [Engine.now] / scheduling on shard
+    [r]'s engine are safe only from that shard's own event handlers, or
+    with the domains quiescent. *)
+
+val net_stats : t -> Avdb_net.Stats.t array
+val traces : t -> Avdb_sim.Trace.t array
+val tracers : t -> Avdb_obs.Tracer.t array
+val registries : t -> Avdb_obs.Registry.t array
+
+val trace_events :
+  ?category:string -> ?min_level:Avdb_sim.Trace.level -> t -> Avdb_sim.Trace.event list
+(** All shards' trace events merged by timestamp (stable by shard). *)
+
+val spans : t -> Avdb_obs.Span.t list
+(** All shards' retained spans merged by [(start, id)] — byte-stable
+    across same-seed runs thanks to per-shard id striding. *)
+
+val metric_samples : t -> Avdb_obs.Registry.sample list
+
+val snapshot_now : t -> unit
+(** Cross-shard invariant probes plus one registry snapshot per shard.
+    Quiescent-only. *)
+
+val total_correspondences : t -> int
+val per_site_correspondences : t -> (int * int) list
+val live_words_per_site : t -> (int * int) list
+
+(** {2 Whole-system introspection (quiescent-only)} *)
+
+val flush_all_syncs : t -> unit
+val replica_amounts : t -> item:string -> int list
+val av_sum : t -> item:string -> int
+val av_conservation : t -> item:string -> (unit, string) result
+val decision_agreement : t -> (unit, string) result
+val in_doubt_total : t -> int
+val check_invariants : t -> (unit, string) result

@@ -73,3 +73,64 @@ let run cluster ~nth_update ~total_updates ?(interval = Time.of_ms 10.)
     snapshot cluster ~updates_done:!done_count ~applied:!applied ~rejected:!rejected
   in
   { checkpoints = List.rev !rev_checkpoints; final; results = List.rev !rev_results }
+
+(* The parallel variant: same fire times (start + k * interval), with
+   update [k] drip-fed on the shard that owns its submission site, so
+   every shard arms only its own chain and no completion callback ever
+   crosses a domain. Results are collected into per-update slots (each
+   written by exactly one shard) and per-shard counters, then assembled
+   after the domains join. Mid-run checkpoints would read cross-shard
+   stats from a running domain, so only the final checkpoint is taken;
+   [results] comes back in submission order, not completion order. *)
+let run_parallel pcluster ~nth_update ~total_updates ?(interval = Time.of_ms 10.)
+    ?(submit =
+      fun ~shard:_ site ~item ~delta k -> Site.submit_update site ~item ~delta k) () =
+  if total_updates < 0 then invalid_arg "Runner.run_parallel: negative total_updates";
+  (* Workload generators are stateful; materialize every update on the
+     calling domain before any shard runs. *)
+  let updates = Array.init total_updates nth_update in
+  let n_shards = Pcluster.n_domains pcluster in
+  let results = Array.make total_updates None in
+  let applied = Array.make n_shards 0 in
+  let rejected = Array.make n_shards 0 in
+  let by_shard = Array.make n_shards [] in
+  for k = total_updates - 1 downto 0 do
+    let site_index, _, _ = updates.(k) in
+    let d = Pcluster.domain_of_site pcluster site_index in
+    by_shard.(d) <- k :: by_shard.(d)
+  done;
+  let start = Pcluster.now pcluster in
+  Array.iteri
+    (fun d ks ->
+      let ks = Array.of_list ks in
+      let rec arm j =
+        if j < Array.length ks then begin
+          let k = ks.(j) in
+          let site_index, item, delta = updates.(k) in
+          Pcluster.schedule_at_site pcluster ~site:site_index
+            ~at:(Time.add start (Time.mul interval (float_of_int k)))
+            (fun () ->
+              arm (j + 1);
+              submit ~shard:d (Pcluster.site pcluster site_index) ~item ~delta
+                (fun result ->
+                  results.(k) <- Some result;
+                  if Update.is_applied result then applied.(d) <- applied.(d) + 1
+                  else rejected.(d) <- rejected.(d) + 1))
+        end
+      in
+      arm 0)
+    by_shard;
+  Pcluster.run pcluster;
+  let sum = Array.fold_left ( + ) 0 in
+  let results = Array.to_list updates |> List.mapi (fun k _ -> results.(k)) |> List.filter_map Fun.id in
+  let final =
+    {
+      updates_done = List.length results;
+      total_correspondences = Pcluster.total_correspondences pcluster;
+      per_site_correspondences = Pcluster.per_site_correspondences pcluster;
+      applied = sum applied;
+      rejected = sum rejected;
+      virtual_time = Pcluster.now pcluster;
+    }
+  in
+  { checkpoints = []; final; results }

@@ -40,3 +40,28 @@ val run :
     depending on the observer (the consistency oracle's history recorder
     plugs in here). The wrapper must eventually call the continuation it
     is given exactly as the site reports it. *)
+
+val run_parallel :
+  Pcluster.t ->
+  nth_update:(int -> int * string * int) ->
+  total_updates:int ->
+  ?interval:Avdb_sim.Time.t ->
+  ?submit:
+    (shard:int ->
+    Site.t ->
+    item:string ->
+    delta:int ->
+    (Update.result -> unit) ->
+    unit) ->
+  unit ->
+  outcome
+(** The multi-domain variant: update [k] fires at the same virtual time
+    [start + k × interval] but is armed on the shard owning its
+    submission site, and [nth_update] is materialized for all
+    [total_updates] on the calling domain before the shards start
+    (workload generators are stateful). Differences from {!run}:
+    [checkpoints] is empty (a mid-run checkpoint would read cross-shard
+    stats from running domains) and [results] is in {e submission}
+    order, not completion order. A [submit] wrapper runs on the shard's
+    domain and receives that shard's index; it must only touch
+    shard-local state (e.g. a per-shard history recorder). *)

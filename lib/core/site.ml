@@ -297,11 +297,13 @@ let last_sync_apply t = t.last_sync_apply
 
 let queue_sync t ~item ~delta =
   t.sync_seq <- t.sync_seq + 1;
-  match Hashtbl.find_opt t.sync_out item with
-  | Some s ->
+  (* Exception-style lookup: this runs once per applied update and the
+     steady state is always a hit, so skip [find_opt]'s [Some]. *)
+  match Hashtbl.find t.sync_out item with
+  | s ->
       s.version <- t.sync_seq;
       s.cum <- s.cum + delta
-  | None -> Hashtbl.add t.sync_out item { version = t.sync_seq; cum = delta }
+  | exception Not_found -> Hashtbl.add t.sync_out item { version = t.sync_seq; cum = delta }
 
 (* Counters a peer is not yet known to hold: everything stamped after the
    last piggyback that peer acknowledged (or everything, when [force]d —
@@ -309,7 +311,15 @@ let queue_sync t ~item ~delta =
    Under partial replication, counters for items the peer does not
    subscribe to are omitted — it has no row to apply them to and must
    never be made to track them. *)
-let sync_payload_for t ~force peer =
+(* The full pending-counter list, encoded (folded out of the hashtable
+   and name-sorted) once. [flush_sync] shares one of these across all
+   its peers — each peer's payload is a filter of it — instead of
+   re-folding and re-sorting per notified peer. *)
+let pending_counters t =
+  Hashtbl.fold (fun item s acc -> (item, s.version, s.cum) :: acc) t.sync_out []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let filter_payload t ~force ~pending peer =
   let upto =
     if force then 0
     else Option.value ~default:0 (Hashtbl.find_opt t.conveyed_sync (Address.to_int peer))
@@ -317,14 +327,14 @@ let sync_payload_for t ~force peer =
   if t.sync_seq <= upto then []
   else begin
     let full = Topology.is_full (topology t) in
-    Hashtbl.fold
-      (fun item s acc ->
-        if s.version > upto && (full || peer_interested t peer ~item) then
-          (item, s.version, s.cum) :: acc
-        else acc)
-      t.sync_out []
-    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+    List.filter
+      (fun (item, version, _) ->
+        version > upto && (full || peer_interested t peer ~item))
+      pending
   end
+
+let sync_payload_for t ~force peer =
+  filter_payload t ~force ~pending:(pending_counters t) peer
 
 let note_sync_conveyed t peer ~upto =
   let p = Address.to_int peer in
@@ -490,9 +500,12 @@ let flush_sync ?(force = false) t =
       |> List.sort compare
     in
     let sent = ref false in
+    (* One sync-encode pass per flush: fold and sort the pending counters
+       once, then filter the shared list per peer. *)
+    let pending = pending_counters t in
     List.iter
       (fun peer ->
-        match sync_payload_for t ~force peer with
+        match filter_payload t ~force ~pending peer with
         | [] -> ()
         | counters ->
             sent := true;

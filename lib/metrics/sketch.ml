@@ -8,6 +8,13 @@
 let min_value = 1e-3
 let max_value = 1e7
 
+(* The running float stats live in their own all-float record: a mixed
+   int/float record boxes every float store, which would put three words
+   of allocation on every [add] — and [add] sits on the applied-update
+   hot path. An all-float record stores doubles flat, so updating these
+   allocates nothing. *)
+type fstats = { mutable sum : float; mutable vmin : float; mutable vmax : float }
+
 type t = {
   alpha : float;
   gamma_plus_1 : float;
@@ -17,9 +24,7 @@ type t = {
   mutable counts : int array; (* [||] until the first positive value *)
   mutable zero : int; (* values <= 0, counted exactly *)
   mutable count : int;
-  mutable sum : float;
-  mutable vmin : float;
-  mutable vmax : float;
+  fs : fstats;
 }
 
 let create ?(alpha = 0.02) () =
@@ -36,18 +41,16 @@ let create ?(alpha = 0.02) () =
     counts = [||];
     zero = 0;
     count = 0;
-    sum = 0.;
-    vmin = infinity;
-    vmax = neg_infinity;
+    fs = { sum = 0.; vmin = infinity; vmax = neg_infinity };
   }
 
 let alpha t = t.alpha
 let count t = t.count
 let zero_count t = t.zero
-let sum t = t.sum
-let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
-let min t = if t.count = 0 then nan else t.vmin
-let max t = if t.count = 0 then nan else t.vmax
+let sum t = t.fs.sum
+let mean t = if t.count = 0 then nan else t.fs.sum /. float_of_int t.count
+let min t = if t.count = 0 then nan else t.fs.vmin
+let max t = if t.count = 0 then nan else t.fs.vmax
 let n_buckets t = t.max_index - t.min_index + 1
 
 let bucket_index t v =
@@ -65,9 +68,9 @@ let add t v =
   if Float.is_nan v || v = infinity || v = neg_infinity then ()
   else begin
     t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    if v < t.vmin then t.vmin <- v;
-    if v > t.vmax then t.vmax <- v;
+    t.fs.sum <- t.fs.sum +. v;
+    if v < t.fs.vmin then t.fs.vmin <- v;
+    if v > t.fs.vmax then t.fs.vmax <- v;
     if v <= 0. then t.zero <- t.zero + 1
     else begin
       if Array.length t.counts = 0 then t.counts <- Array.make (n_buckets t) 0;
@@ -85,7 +88,7 @@ let percentile t p =
     let est =
       if rank < t.zero then 0.
       else begin
-        let cum = ref t.zero and v = ref t.vmax in
+        let cum = ref t.zero and v = ref t.fs.vmax in
         (try
            Array.iteri
              (fun slot c ->
@@ -103,7 +106,7 @@ let percentile t p =
     in
     (* The midpoint estimate can stick out past the true extrema; the
        extrema are exact, so clamp. *)
-    Float.max t.vmin (Float.min t.vmax est)
+    Float.max t.fs.vmin (Float.min t.fs.vmax est)
   end
 
 let merge a b =
@@ -119,9 +122,9 @@ let merge a b =
   merge_counts b;
   r.zero <- a.zero + b.zero;
   r.count <- a.count + b.count;
-  r.sum <- a.sum +. b.sum;
-  r.vmin <- Float.min a.vmin b.vmin;
-  r.vmax <- Float.max a.vmax b.vmax;
+  r.fs.sum <- a.fs.sum +. b.fs.sum;
+  r.fs.vmin <- Float.min a.fs.vmin b.fs.vmin;
+  r.fs.vmax <- Float.max a.fs.vmax b.fs.vmax;
   r
 
 let buckets t =
@@ -139,13 +142,13 @@ let clear t =
   t.counts <- [||];
   t.zero <- 0;
   t.count <- 0;
-  t.sum <- 0.;
-  t.vmin <- infinity;
-  t.vmax <- neg_infinity
+  t.fs.sum <- 0.;
+  t.fs.vmin <- infinity;
+  t.fs.vmax <- neg_infinity
 
 let pp ppf t =
   if t.count = 0 then Format.fprintf ppf "(empty)"
   else
     Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
       t.count (mean t) (percentile t 50.) (percentile t 90.) (percentile t 99.)
-      t.vmax
+      t.fs.vmax

@@ -21,6 +21,11 @@ let sample t rng =
       in
       Time.of_us (Stdlib.max 0 (int_of_float x))
 
+let lower_bound = function
+  | Constant d -> d
+  | Uniform (lo, _) -> lo
+  | Gaussian _ -> Time.zero
+
 let pp ppf = function
   | Constant d -> Format.fprintf ppf "constant(%a)" Time.pp d
   | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%a,%a)" Time.pp lo Time.pp hi

@@ -14,4 +14,9 @@ val sample : t -> Avdb_sim.Rng.t -> Avdb_sim.Time.t
 (** Draws one latency. Raises [Invalid_argument] if a [Uniform] model has
     an empty range. *)
 
+val lower_bound : t -> Avdb_sim.Time.t
+(** The smallest latency the model can ever produce — the conservative
+    lookahead the parallel engine may assume. [Gaussian] truncates at
+    zero, so its bound is zero (and it cannot drive a parallel run). *)
+
 val pp : Format.formatter -> t -> unit

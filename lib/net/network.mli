@@ -59,6 +59,32 @@ val send : 'a t -> src:Address.t -> dst:Address.t -> ?size:int -> 'a -> unit
     [Invalid_argument]; sending to or from a down node silently drops.
     Self-sends deliver with the same latency as any other link. *)
 
+(** {2 Cross-shard routing (parallel engine)} *)
+
+val set_remote_route :
+  'a t -> (Address.t -> (at:Avdb_sim.Time.t -> src:Address.t -> 'a -> unit) option) -> unit
+(** Installs the resolver for addresses owned by other shards. When
+    {!send}'s destination is not registered locally, the resolver is
+    consulted; [Some push] makes the send compute its full delivery
+    instant sender-side (bandwidth, latency draw, FIFO clamp, loss /
+    duplication / reordering — all against this shard's link state and
+    RNG) and hand [(at, src, payload)] to [push], which is expected to
+    enqueue it on the owning shard's mailbox. [None] falls through to the
+    unknown-address error. Default: no remote addresses.
+
+    Sender-side checks cover src-down, the local (mirrored) partition
+    set and loss; dst-down is only checked at the delivery instant by
+    the receiving shard (see {!deliver_remote}) — the destination's
+    crash state is not observable cross-shard at send time. *)
+
+val deliver_remote :
+  'a t -> at:Avdb_sim.Time.t -> src:Address.t -> dst:Address.t -> 'a -> unit
+(** Destination-shard half of a routed send: schedules the handler
+    invocation at [at] on this network's engine, re-checking dst-down and
+    partition state at that instant exactly like a locally sent message.
+    Called while draining the shard's inbox at a barrier; [at] must not
+    be in this engine's past (guaranteed by the lookahead window). *)
+
 (** {2 Fault injection} *)
 
 val set_down : 'a t -> Address.t -> bool -> unit

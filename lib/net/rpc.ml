@@ -82,8 +82,15 @@ let network t = t.net
 let engine t = t.engine
 let stats t = Network.stats t.net
 
+(* Reply-cache key: request ids are only unique per calling transport
+   (each shard's rpc numbers its own calls from 0 in parallel mode), so
+   the cache is keyed by (caller, id) packed into one unboxed int. 38
+   bits of id space outlasts any run by orders of magnitude. *)
+let reply_key ~src ~id = (Address.to_int src lsl 38) lor id
+
 let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
-  (* id -> None while the handler owes a reply, Some resp once replied. *)
+  (* (src, id) -> None while the handler owes a reply, Some resp once
+     replied. *)
   let replies : (int, 'resp option) Hashtbl.t = Hashtbl.create 64 in
   let order = Queue.create () in
   let send_response ~dst ~id body =
@@ -92,14 +99,15 @@ let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
   let deliver ~src envelope =
     match envelope with
     | Request { id; span = ctx; body } -> (
-        match Hashtbl.find_opt replies id with
+        let rkey = reply_key ~src ~id in
+        match Hashtbl.find_opt replies rkey with
         | Some (Some cached) ->
             (* Duplicate of an already-answered request: replay the reply. *)
             send_response ~dst:src ~id cached
         | Some None -> () (* duplicate while the first copy is still in the handler *)
         | None ->
-            Hashtbl.replace replies id None;
-            Queue.push id order;
+            Hashtbl.replace replies rkey None;
+            Queue.push rkey order;
             if Queue.length order > reply_cache_capacity then
               Hashtbl.remove replies (Queue.pop order);
             (* Server-side span, child of the caller's span carried in the
@@ -121,9 +129,9 @@ let serve t addr ~handler ?(notice = fun ~src:_ _ -> ()) () =
               | _ -> ()
             in
             let reply body =
-              match Hashtbl.find_opt replies id with
+              match Hashtbl.find_opt replies rkey with
               | Some None ->
-                  Hashtbl.replace replies id (Some body);
+                  Hashtbl.replace replies rkey (Some body);
                   finish_serve_span ();
                   send_response ~dst:src ~id body
               | Some (Some _) -> () (* double reply: ignored *)

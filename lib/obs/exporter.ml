@@ -20,16 +20,18 @@ let span_to_json (s : Span.t) =
       ("fields", fields_obj (Span.fields s));
     ]
 
-let spans_to_jsonl tracer =
+let spans_jsonl spans =
   let buf = Buffer.create 4096 in
   List.iter
     (fun s ->
       Buffer.add_string buf (Json.to_string (span_to_json s));
       Buffer.add_char buf '\n')
-    (Tracer.spans tracer);
+    spans;
   Buffer.contents buf
 
-let metrics_to_jsonl registry =
+let spans_to_jsonl tracer = spans_jsonl (Tracer.spans tracer)
+
+let metrics_jsonl samples =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (s : Registry.sample) ->
@@ -44,8 +46,10 @@ let metrics_to_jsonl registry =
       in
       Buffer.add_string buf (Json.to_string obj);
       Buffer.add_char buf '\n')
-    (Registry.samples registry);
+    samples;
   Buffer.contents buf
+
+let metrics_to_jsonl registry = metrics_jsonl (Registry.samples registry)
 
 (* Chrome trace_event format. pid/tid is the site index (or 0 for spans with
    no site, e.g. cluster-level probes). Flow events ("s" start / "f" finish)

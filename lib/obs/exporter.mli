@@ -18,9 +18,17 @@ val spans_to_jsonl : Tracer.t -> string
     [{"id":…,"parent":…,"site":…,"category":…,"name":…,"start_us":…,
       "end_us":…|null,"status":"ok"|"warn","fields":{…}}]. *)
 
+val spans_jsonl : Span.t list -> string
+(** Same rendering over an explicit span list — the entry point for a
+    multi-shard run's merged export (see {!Tracer.merged_spans}). *)
+
 val metrics_to_jsonl : Registry.t -> string
 (** One object per sample, chronological:
     [{"at_us":…,"name":…,"labels":{…},"value":…}]. *)
+
+val metrics_jsonl : Registry.sample list -> string
+(** Same rendering over an explicit sample list (see
+    {!Registry.merged_samples}). *)
 
 val chrome_trace : Tracer.t -> string
 (** A [{"traceEvents":[…]}] document: ["M"] process-name metadata per site,

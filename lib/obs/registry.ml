@@ -193,6 +193,15 @@ let samples t =
 
 let n_series t = List.length t.rev_rings
 
+(* Per-shard registries are single-writer; after the parallel run joins,
+   their series merge by snapshot instant — snapshots are taken at the
+   same virtual times in every shard, so the stable sort interleaves the
+   shards' samples deterministically (list order within an instant). *)
+let merged_samples registries =
+  List.stable_sort
+    (fun a b -> Avdb_sim.Time.compare a.at b.at)
+    (List.concat_map samples registries)
+
 let footprint_words t =
   let ring_words acc r =
     (* ring record + two array headers + their elements *)

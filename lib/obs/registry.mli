@@ -74,6 +74,13 @@ val samples : t -> sample list
 val n_series : t -> int
 (** Number of exported series (known after the first snapshot). *)
 
+val merged_samples : t list -> sample list
+(** Samples of several single-writer registries merged chronologically
+    (stable: registry order is preserved within one snapshot instant).
+    The parallel engine gives each shard its own registry — a registry
+    itself is {e not} safe for concurrent emission — and merges at
+    export. *)
+
 val footprint_words : t -> int
 (** Approximate heap words held by the registry's own storage: series
     rings, metric records and owned sketches. Gauge closures and the

@@ -33,7 +33,17 @@ type t = {
   sample_threshold : int; (* sample_rate scaled to the 24-bit hash range *)
   slow : Avdb_sim.Time.t option;
   seed : int;
-  mutable next_id : int;
+  (* Public span ids are [ordinal * id_stride + id_base]: with the
+     defaults (0, 1) that is the ordinal itself, and with per-shard
+     (base, stride) = (shard, n_shards) every shard's tracer mints ids
+     from a disjoint residue class — globally unique, so span ids carried
+     across a shard boundary inside RPC envelopes stay meaningful parent
+     references in a merged export. Storage stays dense: slots and flags
+     are indexed by the ordinal, and an id from another tracer simply
+     fails the residue test and reads as [absent]. *)
+  id_base : int;
+  id_stride : int;
+  mutable next_id : int; (* next ordinal *)
   mutable roots : int; (* root ordinal, feeds the sampling hash *)
   mutable rev_spans : Span.t list; (* retained, most recent first *)
   mutable count : int;
@@ -46,7 +56,10 @@ type t = {
 }
 
 let create ?(capacity = 262144) ?(enabled = true) ?(sample_rate = 1.) ?slow
-    ?(seed = 0) () =
+    ?(seed = 0) ?(id_base = 0) ?(id_stride = 1) () =
+  if id_stride < 1 then invalid_arg "Tracer.create: id_stride must be >= 1";
+  if id_base < 0 || id_base >= id_stride then
+    invalid_arg "Tracer.create: id_base out of [0, id_stride)";
   let sample_rate =
     if Float.is_nan sample_rate then 1. else Float.max 0. (Float.min 1. sample_rate)
   in
@@ -57,6 +70,8 @@ let create ?(capacity = 262144) ?(enabled = true) ?(sample_rate = 1.) ?slow
     sample_threshold = int_of_float (sample_rate *. 16777216.);
     slow;
     seed;
+    id_base;
+    id_stride;
     next_id = 1;
     roots = 0;
     rev_spans = [];
@@ -84,14 +99,23 @@ let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
 let sample_rate t = t.sample_rate
 
+(* Public id <-> dense ordinal. Integer division already strips the base
+   ([ord * stride + base) / stride = ord] since [base < stride]). *)
+let ext t ord = (ord * t.id_stride) + t.id_base
+let ord_of t id = id / t.id_stride
+let is_local t id = id > 0 && id mod t.id_stride = t.id_base
+
 let flag t id =
-  if id > 0 && id < Bytes.length t.flags then Bytes.unsafe_get t.flags id
+  if is_local t id then begin
+    let o = ord_of t id in
+    if o > 0 && o < Bytes.length t.flags then Bytes.unsafe_get t.flags o else absent
+  end
   else absent
 
-let ensure_slot t id =
+let ensure_slot t ord =
   let len = Array.length t.slots in
-  if id >= len then begin
-    let n = Stdlib.max 1024 (Stdlib.max (id + 1) (2 * len)) in
+  if ord >= len then begin
+    let n = Stdlib.max 1024 (Stdlib.max (ord + 1) (2 * len)) in
     let slots = Array.make n t.dummy in
     Array.blit t.slots 0 slots 0 len;
     t.slots <- slots;
@@ -119,11 +143,11 @@ let root_sampled t =
 let note_capacity t ~at =
   if not t.capacity_warned then begin
     t.capacity_warned <- true;
-    let id = t.next_id in
-    t.next_id <- id + 1;
+    let ord = t.next_id in
+    t.next_id <- ord + 1;
     let span =
       {
-        Span.id;
+        Span.id = ext t ord;
         parent = None;
         site = None;
         category = "tracer";
@@ -134,9 +158,9 @@ let note_capacity t ~at =
         rev_fields = [ ("capacity", Span.Int t.capacity) ];
       }
     in
-    ensure_slot t id;
-    t.slots.(id) <- span;
-    Bytes.set t.flags id retained;
+    ensure_slot t ord;
+    t.slots.(ord) <- span;
+    Bytes.set t.flags ord retained;
     t.rev_spans <- span :: t.rev_spans;
     t.count <- t.count + 1
   end
@@ -144,17 +168,18 @@ let note_capacity t ~at =
 (* Move [span] (already in slots) into the retained set; false when the
    capacity budget refuses it. *)
 let retain t (span : Span.t) =
+  let ord = ord_of t span.id in
   if t.count >= t.capacity then begin
     t.dropped <- t.dropped + 1;
     note_capacity t ~at:span.start;
-    Bytes.set t.flags span.id absent;
-    t.slots.(span.id) <- t.dummy;
+    Bytes.set t.flags ord absent;
+    t.slots.(ord) <- t.dummy;
     false
   end
   else begin
     t.rev_spans <- span :: t.rev_spans;
     t.count <- t.count + 1;
-    Bytes.set t.flags span.id retained;
+    Bytes.set t.flags ord retained;
     true
   end
 
@@ -163,14 +188,15 @@ let retain t (span : Span.t) =
 let rec promote t (span : Span.t) =
   if retain t span then
     match span.parent with
-    | Some p when flag t p = pending -> promote t t.slots.(p)
+    | Some p when flag t p = pending -> promote t t.slots.(ord_of t p)
     | _ -> ()
 
 let start t ~at ?parent ?site ~category name =
   if not t.enabled then null_id
   else begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
+    let ord = t.next_id in
+    t.next_id <- ord + 1;
+    let id = ext t ord in
     let sampled =
       if t.sample_rate >= 1. then true
       else
@@ -196,19 +222,19 @@ let start t ~at ?parent ?site ~category name =
           rev_fields = [];
         }
       in
-      ensure_slot t id;
-      Array.unsafe_set t.slots id span;
+      ensure_slot t ord;
+      Array.unsafe_set t.slots ord span;
       if sampled then begin
         t.rev_spans <- span :: t.rev_spans;
         t.count <- t.count + 1;
-        Bytes.unsafe_set t.flags id retained
+        Bytes.unsafe_set t.flags ord retained
       end
-      else Bytes.unsafe_set t.flags id pending
+      else Bytes.unsafe_set t.flags ord pending
     end;
     id
   end
 
-let find t id = if flag t id = retained then Some t.slots.(id) else None
+let find t id = if flag t id = retained then Some t.slots.(ord_of t id) else None
 
 (* Whether mutations on [id] will reach an export right now. Hot call
    sites use this to skip building field values for spans that sampling
@@ -220,7 +246,7 @@ let recording t id = t.enabled && flag t id = retained
    tracer (or a mutation on a dropped id) allocates nothing. *)
 let set_field t id key value =
   if t.enabled && flag t id <> absent then begin
-    let s = t.slots.(id) in
+    let s = t.slots.(ord_of t id) in
     s.Span.rev_fields <- (key, Span.Str value) :: s.Span.rev_fields
   end
 
@@ -228,7 +254,7 @@ let set_field t id key value =
    only for spans that survive retention. *)
 let set_field_int t id key n =
   if t.enabled && flag t id <> absent then begin
-    let s = t.slots.(id) in
+    let s = t.slots.(ord_of t id) in
     s.Span.rev_fields <- (key, Span.Int n) :: s.Span.rev_fields
   end
 
@@ -236,16 +262,17 @@ let warn t id =
   if t.enabled then begin
     let f = flag t id in
     if f <> absent then begin
-      let s = t.slots.(id) in
+      let s = t.slots.(ord_of t id) in
       s.Span.status <- Span.Warn;
       if f = pending then promote t s
     end
   end
 
 let discard t (span : Span.t) =
-  (* span.id is in bounds: it was written through ensure_slot *)
-  Bytes.unsafe_set t.flags span.id absent;
-  Array.unsafe_set t.slots span.id t.dummy;
+  (* span.id's ordinal is in bounds: it was written through ensure_slot *)
+  let ord = ord_of t span.id in
+  Bytes.unsafe_set t.flags ord absent;
+  Array.unsafe_set t.slots ord t.dummy;
   t.sampled_out <- t.sampled_out + 1
 
 let slow_enough t ~start ~stop =
@@ -257,11 +284,11 @@ let finish t ~at id =
   if t.enabled then begin
     let f = flag t id in
     if f = retained then begin
-      let s = t.slots.(id) in
+      let s = t.slots.(ord_of t id) in
       if s.Span.stop = None then s.Span.stop <- Some at
     end
     else if f = pending then begin
-      let s = Array.unsafe_get t.slots id in
+      let s = Array.unsafe_get t.slots (ord_of t id) in
       if s.Span.stop = None then
         (* a pending span cannot be Warn: warn promotes immediately *)
         if slow_enough t ~start:s.Span.start ~stop:at then begin
@@ -279,8 +306,9 @@ let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category nam
     =
   if not t.enabled then null_id
   else begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
+    let ord = t.next_id in
+    t.next_id <- ord + 1;
+    let id = ext t ord in
     let sampled =
       if t.sample_rate >= 1. then true
       else
@@ -310,15 +338,15 @@ let instant t ~at ?parent ?site ?(status = Span.Ok) ?(fields = []) ~category nam
           rev_fields = List.rev_map (fun (k, v) -> (k, Span.Str v)) fields;
         }
       in
-      ensure_slot t id;
-      t.slots.(id) <- span;
+      ensure_slot t ord;
+      t.slots.(ord) <- span;
       t.rev_spans <- span :: t.rev_spans;
       t.count <- t.count + 1;
-      Bytes.set t.flags id retained;
+      Bytes.set t.flags ord retained;
       (* a warn-promoted instant keeps its pending ancestry too *)
       if not sampled then
         match parent with
-        | Some p when flag t p = pending -> promote t t.slots.(p)
+        | Some p when flag t p = pending -> promote t t.slots.(ord_of t p)
         | _ -> ()
     end;
     id
@@ -334,3 +362,15 @@ let spans t =
 let length t = t.count
 let dropped t = t.dropped
 let sampled_out t = t.sampled_out
+
+(* Shard-local creation orders interleaved into one deterministic global
+   order: span ids from disjoint residue classes never tie, so sorting by
+   (start, id) is a total order independent of how the shards' real-time
+   execution interleaved. *)
+let merged_spans tracers =
+  List.sort
+    (fun (a : Span.t) (b : Span.t) ->
+      match Avdb_sim.Time.compare a.Span.start b.Span.start with
+      | 0 -> Int.compare a.Span.id b.Span.id
+      | c -> c)
+    (List.concat_map spans tracers)

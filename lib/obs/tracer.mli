@@ -43,13 +43,24 @@ val create :
   ?sample_rate:float ->
   ?slow:Avdb_sim.Time.t ->
   ?seed:int ->
+  ?id_base:int ->
+  ?id_stride:int ->
   unit ->
   t
 (** [capacity] defaults to 262144 spans (minimum 1); [enabled] to [true].
     [sample_rate] (default [1.], clamped into [[0, 1]]) is the fraction of
     root spans kept by head sampling; [slow] (default: none) is the
     duration at which a sampled-out span is promoted anyway; [seed]
-    (default 0) drives the per-root sampling hash. *)
+    (default 0) drives the per-root sampling hash.
+
+    [id_base]/[id_stride] (defaults 0/1) put the tracer's span ids on the
+    residue class [id_base mod id_stride]: the parallel engine gives shard
+    [d] of [n] the pair [(d, n)] so every shard mints globally unique ids
+    and a span id carried across a shard boundary in an RPC envelope
+    remains a valid parent reference in the merged export. An id minted
+    by another tracer is treated as unknown locally: children of a
+    cross-shard parent are sampled as new roots. Raises
+    [Invalid_argument] unless [0 <= id_base < id_stride]. *)
 
 val enabled : t -> bool
 
@@ -122,3 +133,12 @@ val dropped : t -> int
 val sampled_out : t -> int
 (** Spans discarded by head sampling (after the tail declined to promote
     them) — deliberate, unlike {!dropped}. *)
+
+val merged_spans : t list -> Span.t list
+(** Retained spans of several single-domain tracers merged into one
+    deterministic order: sorted by [(start, id)]. With per-shard
+    [id_base]/[id_stride] the ids never tie, so the order — and hence a
+    merged export — is byte-identical across same-seed runs regardless of
+    domain interleaving. A tracer is single-writer: each shard owns one
+    and only its domain records into it; merging happens after the
+    parallel run has joined. *)

@@ -36,12 +36,12 @@ let cancel _t h = Event_queue.cancel h
 let stop t = t.stop_requested <- true
 
 let execute_one t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
+  match Event_queue.pop_exn t.queue with
+  | exception Event_queue.Empty -> false
+  | e ->
+      t.clock <- Event_queue.entry_time e;
       t.executed <- t.executed + 1;
-      f ();
+      Event_queue.entry_payload e ();
       true
 
 let step t = execute_one t
@@ -88,3 +88,4 @@ let run ?until ?max_events t =
 
 let events_executed t = t.executed
 let pending t = Event_queue.length t.queue
+let next_time t = Event_queue.peek_time t.queue

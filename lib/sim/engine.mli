@@ -58,3 +58,7 @@ val events_executed : t -> int
 
 val pending : t -> int
 (** Number of live scheduled events. *)
+
+val next_time : t -> Time.t option
+(** Virtual instant of the earliest pending event, if any. The parallel
+    runner's window decisions are built on this. *)

@@ -94,14 +94,27 @@ let rec drop_cancelled t =
     drop_cancelled t
   end
 
-let pop t =
+exception Empty
+
+let entry_time e = e.time
+let entry_payload e = e.payload
+
+(* The dispatch-loop pop: hands back the heap entry itself instead of
+   re-wrapping it in an option and a tuple, so the per-event cost of the
+   simulator's main loop is zero allocations. *)
+let pop_exn t =
   drop_cancelled t;
-  if t.size = 0 then None
+  if t.size = 0 then raise Empty
   else begin
     let e = remove_root t in
     decr t.live;
-    Some (e.time, e.payload)
+    e
   end
+
+let pop t =
+  match pop_exn t with
+  | exception Empty -> None
+  | e -> Some (e.time, e.payload)
 
 let peek_time t =
   drop_cancelled t;

@@ -26,6 +26,20 @@ val pop : 'a t -> (Time.t * 'a) option
 (** Removes and returns the earliest live event, skipping cancelled
     entries. [None] if the queue holds no live events. *)
 
+type 'a entry
+(** A dequeued event: its fire time and payload. Entries are immutable
+    once dequeued and safe to hold. *)
+
+val entry_time : 'a entry -> Time.t
+val entry_payload : 'a entry -> 'a
+
+exception Empty
+
+val pop_exn : 'a t -> 'a entry
+(** [pop] without the option/tuple wrapping: returns the already-allocated
+    heap entry, so the simulator's dispatch loop pops allocation-free.
+    Raises {!Empty} when no live events remain. *)
+
 val peek_time : 'a t -> Time.t option
 (** Time of the earliest live event without removing it. *)
 

@@ -1,0 +1,98 @@
+(* Vyukov bounded MPMC ring used MPSC, plus a Treiber-stack overflow so a
+   full ring degrades to lock-free-with-allocation instead of blocking or
+   dropping. OCaml's memory model makes the publication safe: the plain
+   [value] write happens before the [Atomic.set] on the cell sequence, so
+   a consumer that observes the new sequence also observes the value. *)
+
+type 'a msg = { rank : int; seq : int; payload : 'a }
+
+type 'a cell = { state : int Atomic.t; mutable value : 'a msg option }
+
+type 'a t = {
+  mask : int;
+  cells : 'a cell array;
+  enqueue_pos : int Atomic.t;
+  dequeue_pos : int Atomic.t;
+  overflow : 'a msg list Atomic.t;
+}
+
+type 'a sender = { mb : 'a t; rank : int; mutable next_seq : int }
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(ring_capacity = 1024) () =
+  let cap = pow2 (Stdlib.max 2 ring_capacity) 2 in
+  {
+    mask = cap - 1;
+    cells = Array.init cap (fun i -> { state = Atomic.make i; value = None });
+    enqueue_pos = Atomic.make 0;
+    dequeue_pos = Atomic.make 0;
+    overflow = Atomic.make [];
+  }
+
+let sender t ~rank =
+  if rank < 0 then invalid_arg "Mailbox.sender: negative rank";
+  { mb = t; rank; next_seq = 0 }
+
+let rec push_overflow t msg =
+  let old = Atomic.get t.overflow in
+  if not (Atomic.compare_and_set t.overflow old (msg :: old)) then push_overflow t msg
+
+(* [true] on success, [false] when the ring is full right now. *)
+let rec try_enqueue t msg =
+  let pos = Atomic.get t.enqueue_pos in
+  let cell = t.cells.(pos land t.mask) in
+  let diff = Atomic.get cell.state - pos in
+  if diff = 0 then
+    if Atomic.compare_and_set t.enqueue_pos pos (pos + 1) then begin
+      cell.value <- Some msg;
+      Atomic.set cell.state (pos + 1);
+      true
+    end
+    else try_enqueue t msg
+  else if diff < 0 then false
+  else try_enqueue t msg
+
+let push sender payload =
+  let msg = { rank = sender.rank; seq = sender.next_seq; payload } in
+  sender.next_seq <- sender.next_seq + 1;
+  if not (try_enqueue sender.mb msg) then push_overflow sender.mb msg
+
+(* Single consumer: no CAS needed on dequeue_pos, but the cell state
+   round-trip still synchronises with producers. *)
+let try_dequeue t =
+  let pos = Atomic.get t.dequeue_pos in
+  let cell = t.cells.(pos land t.mask) in
+  let diff = Atomic.get cell.state - (pos + 1) in
+  if diff = 0 then begin
+    Atomic.set t.dequeue_pos (pos + 1);
+    let v = cell.value in
+    cell.value <- None;
+    Atomic.set cell.state (pos + t.mask + 1);
+    v
+  end
+  else None
+
+let drain t =
+  let acc = ref [] in
+  let rec ring () =
+    match try_dequeue t with
+    | Some m ->
+        acc := m :: !acc;
+        ring ()
+    | None -> ()
+  in
+  ring ();
+  let overflowed = Atomic.exchange t.overflow [] in
+  let all = List.rev_append overflowed !acc in
+  List.map
+    (fun (m : 'a msg) -> (m.rank, m.seq, m.payload))
+    (List.sort
+       (fun (a : 'a msg) (b : 'a msg) ->
+         match Int.compare a.rank b.rank with 0 -> Int.compare a.seq b.seq | c -> c)
+       all)
+
+let is_empty t =
+  Atomic.get t.enqueue_pos = Atomic.get t.dequeue_pos && Atomic.get t.overflow = []
+
+let pushed sender = sender.next_seq

@@ -70,5 +70,10 @@ let clear t =
   t.next <- 0;
   t.count <- 0
 
+let merged_events ?category ?min_level traces =
+  List.stable_sort
+    (fun a b -> Time.compare a.at b.at)
+    (List.concat_map (fun t -> events ?category ?min_level t) traces)
+
 let pp_event ppf e =
   Format.fprintf ppf "[%a] %s %s: %s" Time.pp e.at (level_name e.level) e.category e.message

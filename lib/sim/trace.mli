@@ -48,7 +48,14 @@ type subscription
 
 val subscribe : t -> (event -> unit) -> subscription
 (** Calls back on every future [record], in subscription order, until
-    {!unsubscribe}d. *)
+    {!unsubscribe}d.
+
+    Single-writer contract: a [Trace.t] — its ring, its subscriber list
+    and the callbacks themselves — belongs to one domain. The parallel
+    engine gives every shard its own trace (subscribers see only their
+    shard's events, in that shard's deterministic order) and merges with
+    {!merged_events} after the run joins. Subscribing to or recording
+    into another domain's trace is a data race. *)
 
 val unsubscribe : t -> subscription -> unit
 (** Removes a subscriber. Unknown (or already removed) tokens are a
@@ -56,5 +63,10 @@ val unsubscribe : t -> subscription -> unit
 
 val clear : t -> unit
 (** Drops retained events (subscribers and the dropped counter stay). *)
+
+val merged_events : ?category:string -> ?min_level:level -> t list -> event list
+(** Retained events of several single-domain traces merged by timestamp
+    (stable: trace order preserved within an instant), optionally
+    filtered — the deterministic view of a multi-shard run. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -41,7 +41,23 @@ let rec find_in node ~key =
   else find_in node.children.(i) ~key
 
 let find t ~key = find_in t.root ~key
-let mem t ~key = Option.is_some (find t ~key)
+
+(* Allocation-free lookup for hot point reads (no [Some] per hit). *)
+let rec find_in_exn node ~key =
+  let i = lower_bound node key in
+  if key_at_eq node i key then node.values.(i)
+  else if is_leaf node then raise Not_found
+  else find_in_exn node.children.(i) ~key
+
+let find_exn t ~key = find_in_exn t.root ~key
+
+let rec mem_in node ~key =
+  let i = lower_bound node key in
+  if key_at_eq node i key then true
+  else if is_leaf node then false
+  else mem_in node.children.(i) ~key
+
+let mem t ~key = mem_in t.root ~key
 
 (* --- array surgery helpers --- *)
 

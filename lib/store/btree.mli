@@ -17,6 +17,11 @@ val insert : 'a t -> key:string -> 'a -> unit
 (** Adds or replaces the binding. *)
 
 val find : 'a t -> key:string -> 'a option
+
+val find_exn : 'a t -> key:string -> 'a
+(** [find] without the option: raises [Not_found] on a miss. For hot point
+    reads where the per-hit [Some] allocation is measurable. *)
+
 val mem : 'a t -> key:string -> bool
 
 val remove : 'a t -> key:string -> 'a option

@@ -116,9 +116,9 @@ let delete txn ~table ~key =
    can observe the gap (simulated crashes truncate the log between
    operations, never inside one). *)
 let apply_int t ~table ~key ~col delta =
-  match table_opt t table with
-  | None -> Error (Printf.sprintf "no such table %S" table)
-  | Some tbl -> (
+  match Hashtbl.find t.tables table with
+  | exception Not_found -> Error (Printf.sprintf "no such table %S" table)
+  | tbl -> (
       match Table.add_int_swap tbl ~key ~col delta with
       | Error e -> Error e
       | Ok (before, after) ->
@@ -131,7 +131,9 @@ let get t ~table ~key =
   match table_opt t table with None -> None | Some tbl -> Table.get tbl ~key
 
 let mem t ~table ~key =
-  match table_opt t table with None -> false | Some tbl -> Table.mem tbl ~key
+  match Hashtbl.find t.tables table with
+  | exception Not_found -> false
+  | tbl -> Table.mem tbl ~key
 
 let get_col t ~table ~key ~col =
   match table_opt t table with

@@ -30,20 +30,26 @@ let index_remove idx value key =
         (if String_set.is_empty set then Value_map.remove value idx.entries
          else Value_map.add value set idx.entries)
 
+(* Each of these is guarded by an index-count check: most tables carry no
+   secondary indexes, and [Hashtbl.iter]'s closure would otherwise be
+   allocated on every row mutation for nothing. *)
 let indexes_on_insert t key row =
-  Hashtbl.iter (fun _ idx -> index_add idx row.(idx.pos) key) t.indexes
+  if Hashtbl.length t.indexes > 0 then
+    Hashtbl.iter (fun _ idx -> index_add idx row.(idx.pos) key) t.indexes
 
 let indexes_on_delete t key row =
-  Hashtbl.iter (fun _ idx -> index_remove idx row.(idx.pos) key) t.indexes
+  if Hashtbl.length t.indexes > 0 then
+    Hashtbl.iter (fun _ idx -> index_remove idx row.(idx.pos) key) t.indexes
 
 let indexes_on_update t key ~pos ~before ~after =
-  Hashtbl.iter
-    (fun _ idx ->
-      if idx.pos = pos && not (Value.equal before after) then begin
-        index_remove idx before key;
-        index_add idx after key
-      end)
-    t.indexes
+  if Hashtbl.length t.indexes > 0 then
+    Hashtbl.iter
+      (fun _ idx ->
+        if idx.pos = pos && not (Value.equal before after) then begin
+          index_remove idx before key;
+          index_add idx after key
+        end)
+      t.indexes
 let name t = t.name
 let schema t = t.schema
 
@@ -87,12 +93,12 @@ let set_col t ~key ~col value =
           end)
 
 let add_int_swap t ~key ~col delta =
-  match Btree.find t.rows ~key with
-  | None -> Error (Printf.sprintf "no such key %S" key)
-  | Some row -> (
-      match Schema.index_opt t.schema col with
-      | None -> Error (Printf.sprintf "no such column %S" col)
-      | Some i -> (
+  match Btree.find_exn t.rows ~key with
+  | exception Not_found -> Error (Printf.sprintf "no such key %S" key)
+  | row -> (
+      match Schema.index t.schema col with
+      | exception Not_found -> Error (Printf.sprintf "no such column %S" col)
+      | i -> (
           match Value.add_int row.(i) delta with
           | exception Invalid_argument e -> Error e
           | v ->

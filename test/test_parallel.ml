@@ -1,0 +1,245 @@
+(* The parallel engine end-to-end. The pins, in order: placement is a
+   balanced deterministic partition; a [domains = 1] Pcluster replays
+   the sequential cluster byte for byte; same-seed multi-domain runs are
+   byte-identical to each other (state, traces, spans, samples); a
+   parallel run passes the consistency oracle on its merged per-shard
+   histories; and the nemesis drives crashes, partitions and network
+   faults through the parallel engine deterministically. *)
+
+open Avdb_sim
+open Avdb_core
+open Avdb_workload
+
+let item_names products = List.map (fun p -> p.Product.name) products
+
+let scm_spec config =
+  {
+    Scm.n_sites = config.Config.n_sites;
+    items =
+      Array.of_list
+        (List.map
+           (fun p -> (p.Product.name, p.Product.initial_amount))
+           config.Config.products);
+    maker_increase_pct = 0.2;
+    retailer_decrease_pct = 0.1;
+    item_skew = 0.;
+    maker_weight = 1;
+  }
+
+let sharded_wl config topology ~seed =
+  let subscribers item =
+    let base = Topology.base_index topology ~item in
+    Array.of_list
+      (base :: List.filter (fun i -> i <> base) (Topology.subscribers topology ~item))
+  in
+  Scm.create_sharded (scm_spec config) ~subscribers ~seed
+
+(* --- placement --- *)
+
+let test_placement_partitions () =
+  let items = List.init 30 (fun i -> Printf.sprintf "product%d" i) in
+  let topo = Topology.create (Topology.sharded ~spread:3 ()) ~n_sites:20 ~items in
+  let p = Placement.create topo ~n_domains:4 ~items in
+  Alcotest.(check int) "domains" 4 (Placement.n_domains p);
+  let seen = Array.make 20 0 in
+  for d = 0 to 3 do
+    (* balanced: 20 sites over 4 domains is exactly 5 each *)
+    Alcotest.(check int)
+      (Printf.sprintf "domain %d balanced" d)
+      5
+      (Array.length (Placement.sites_of p d));
+    Array.iter
+      (fun s ->
+        seen.(s) <- seen.(s) + 1;
+        Alcotest.(check int) "domain_of consistent" d (Placement.domain_of p s))
+      (Placement.sites_of p d)
+  done;
+  Array.iteri
+    (fun s n -> Alcotest.(check int) (Printf.sprintf "site %d owned once" s) 1 n)
+    seen;
+  (* deterministic: same inputs, same partition *)
+  let q = Placement.create topo ~n_domains:4 ~items in
+  for s = 0 to 19 do
+    Alcotest.(check int) "reproducible" (Placement.domain_of p s) (Placement.domain_of q s)
+  done
+
+let test_placement_clamps () =
+  let items = [ "a" ] in
+  let topo = Topology.create Topology.flat ~n_sites:2 ~items in
+  let p = Placement.create topo ~n_domains:8 ~items in
+  Alcotest.(check int) "clamped to site count" 2 (Placement.n_domains p)
+
+(* --- domains = 1 replays the sequential cluster --- *)
+
+let test_domains1_replays_sequential () =
+  let config =
+    {
+      Config.default with
+      Config.n_sites = 6;
+      products = Product.catalogue ~n_regular:12 ~n_non_regular:0 ~initial_amount:100;
+      sync_interval = Some (Time.of_ms 25.);
+      seed = 11;
+    }
+  in
+  let cluster = Cluster.create config in
+  let seq =
+    Runner.run cluster
+      ~nth_update:(Scm.generator (Scm.create (scm_spec config) ~seed:17))
+      ~total_updates:200 ()
+  in
+  let pc = Pcluster.create config in
+  let par =
+    Runner.run_parallel pc
+      ~nth_update:(Scm.generator (Scm.create (scm_spec config) ~seed:17))
+      ~total_updates:200 ()
+  in
+  Alcotest.(check int) "applied" seq.Runner.final.Runner.applied
+    par.Runner.final.Runner.applied;
+  Alcotest.(check int) "rejected" seq.Runner.final.Runner.rejected
+    par.Runner.final.Runner.rejected;
+  Alcotest.(check int) "correspondences" seq.Runner.final.Runner.total_correspondences
+    par.Runner.final.Runner.total_correspondences;
+  List.iter
+    (fun item ->
+      Alcotest.(check (list int)) item
+        (Cluster.replica_amounts cluster ~item)
+        (Pcluster.replica_amounts pc ~item))
+    (item_names config.Config.products);
+  Alcotest.(check bool) "trace events identical" true
+    (Trace.events (Cluster.trace cluster) = Pcluster.trace_events pc)
+
+(* --- same-seed multi-domain runs are byte-identical --- *)
+
+let sharded_run ~domains =
+  let config =
+    {
+      Config.default with
+      Config.n_sites = 100;
+      products = Product.catalogue ~n_regular:20 ~n_non_regular:5 ~initial_amount:100;
+      topology = Topology.sharded ~spread:4 ();
+      sync_interval = Some (Time.of_ms 25.);
+      snapshot_interval = Some (Time.of_ms 250.);
+      domains;
+      seed = 11;
+    }
+  in
+  let pc = Pcluster.create config in
+  let wl = sharded_wl config (Pcluster.topology pc) ~seed:23 in
+  let outcome =
+    Runner.run_parallel pc ~nth_update:(Scm.generator wl) ~total_updates:200 ()
+  in
+  (config, pc, outcome)
+
+let test_parallel_deterministic () =
+  let config, pc1, o1 = sharded_run ~domains:4 in
+  let _, pc2, o2 = sharded_run ~domains:4 in
+  Alcotest.(check int) "four shards" 4 (Pcluster.n_domains pc1);
+  Alcotest.(check int) "applied" o1.Runner.final.Runner.applied
+    o2.Runner.final.Runner.applied;
+  Alcotest.(check int) "rejected" o1.Runner.final.Runner.rejected
+    o2.Runner.final.Runner.rejected;
+  Alcotest.(check int) "rounds" (Pcluster.rounds pc1) (Pcluster.rounds pc2);
+  List.iter
+    (fun item ->
+      Alcotest.(check (list int)) item
+        (Pcluster.replica_amounts pc1 ~item)
+        (Pcluster.replica_amounts pc2 ~item))
+    (item_names config.Config.products);
+  Alcotest.(check bool) "trace events identical" true
+    (Pcluster.trace_events pc1 = Pcluster.trace_events pc2);
+  Alcotest.(check bool) "spans identical" true (Pcluster.spans pc1 = Pcluster.spans pc2);
+  Alcotest.(check bool) "metric samples identical" true
+    (Pcluster.metric_samples pc1 = Pcluster.metric_samples pc2);
+  Alcotest.(check bool) "samples were taken" true (Pcluster.metric_samples pc1 <> [])
+
+(* --- the oracle accepts a parallel run's merged history --- *)
+
+let test_oracle_accepts_parallel () =
+  let config =
+    {
+      Config.default with
+      Config.n_sites = 12;
+      products = Product.catalogue ~n_regular:8 ~n_non_regular:4 ~initial_amount:100;
+      topology = Topology.sharded ~spread:4 ();
+      sync_interval = Some (Time.of_ms 25.);
+      domains = 3;
+      seed = 7;
+    }
+  in
+  let pc = Pcluster.create config in
+  let wl = sharded_wl config (Pcluster.topology pc) ~seed:31 in
+  let recorders =
+    Array.init (Pcluster.n_domains pc) (fun _ -> Avdb_check.History.create ())
+  in
+  let engines = Pcluster.engines pc in
+  let submit ~shard site ~item ~delta k =
+    Avdb_check.History.submit_update recorders.(shard) ~engine:engines.(shard) site
+      ~item ~delta k
+  in
+  ignore
+    (Runner.run_parallel pc ~nth_update:(Scm.generator wl) ~total_updates:150 ~submit ());
+  Pcluster.flush_all_syncs pc;
+  let history = Avdb_check.History.merge (Array.to_list recorders) in
+  Alcotest.(check int) "history complete" 150 (Avdb_check.History.length history);
+  let snapshot = Avdb_check.Checker.snapshot_of_pcluster pc in
+  let verdict = Avdb_check.Checker.check ~quiescent:true ~history snapshot in
+  if not (Avdb_check.Checker.ok verdict) then
+    Alcotest.failf "oracle rejected the parallel run:@.%a" Avdb_check.Checker.pp_verdict
+      verdict
+
+(* --- nemesis on the parallel engine --- *)
+
+let test_nemesis_parallel_seeds () =
+  let open Avdb_chaos in
+  for seed = 0 to 4 do
+    let cfg = { (Nemesis.default ~seed) with Nemesis.domains = 2 } in
+    let report = Nemesis.check ~shrink:false cfg in
+    if not (Nemesis.passed report) then
+      Alcotest.failf "parallel nemesis violation:@.%a" Nemesis.pp_report report
+  done
+
+let test_nemesis_parallel_oracle () =
+  let open Avdb_chaos in
+  let cfg = { (Nemesis.default ~seed:3) with Nemesis.domains = 2; oracle = true } in
+  let report = Nemesis.check ~shrink:false cfg in
+  if not (Nemesis.passed report) then
+    Alcotest.failf "parallel oracle nemesis violation:@.%a" Nemesis.pp_report report;
+  Alcotest.(check bool) "oracle judged the merged history" true
+    (report.Nemesis.outcome.Nemesis.stats.Nemesis.oracle_entries > 0)
+
+let test_nemesis_parallel_deterministic () =
+  let open Avdb_chaos in
+  let cfg = { (Nemesis.default ~seed:42) with Nemesis.domains = 2 } in
+  let schedule = Nemesis.generate cfg in
+  let a = Nemesis.execute cfg schedule and b = Nemesis.execute cfg schedule in
+  Alcotest.(check bool) "parallel execution is reproducible" true (a = b)
+
+let test_nemesis_rejects_disk_faults_parallel () =
+  let open Avdb_chaos in
+  let cfg =
+    { (Nemesis.default ~seed:1) with Nemesis.domains = 2; Nemesis.disk_faults = true }
+  in
+  match Nemesis.execute cfg [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disk faults accepted with domains > 1"
+
+let suites =
+  [
+    ( "core.parallel",
+      [
+        Alcotest.test_case "placement partitions sites" `Quick test_placement_partitions;
+        Alcotest.test_case "placement clamps domains" `Quick test_placement_clamps;
+        Alcotest.test_case "domains=1 replays sequential" `Quick
+          test_domains1_replays_sequential;
+        Alcotest.test_case "same-seed runs byte-identical" `Quick
+          test_parallel_deterministic;
+        Alcotest.test_case "oracle accepts merged history" `Quick
+          test_oracle_accepts_parallel;
+        Alcotest.test_case "nemesis seeds pass" `Slow test_nemesis_parallel_seeds;
+        Alcotest.test_case "nemesis oracle passes" `Slow test_nemesis_parallel_oracle;
+        Alcotest.test_case "nemesis deterministic" `Quick
+          test_nemesis_parallel_deterministic;
+        Alcotest.test_case "nemesis rejects disk faults" `Quick
+          test_nemesis_rejects_disk_faults_parallel;
+      ] );
+  ]
