@@ -28,9 +28,9 @@ let run_seed ~cfg ~verbose ~out seed =
   | _ -> ());
   not failed
 
-let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes partitions
-    net_windows no_crash_base oracle spread hierarchy disk_faults domains mutations
-    verbose out =
+let run seeds start seed_opt sites regular non_regular epoch ops horizon_ms crashes
+    partitions net_windows no_crash_base oracle spread hierarchy disk_faults domains
+    mutations verbose out =
   Avdb_core.Mutation.reset ();
   List.iter Avdb_core.Mutation.enable mutations;
   if mutations <> [] then
@@ -42,6 +42,7 @@ let run seeds start seed_opt sites regular non_regular ops horizon_ms crashes pa
       Nemesis.n_sites = sites;
       n_regular = regular;
       n_non_regular = non_regular;
+      n_epoch = epoch;
       n_ops = ops;
       horizon_ms;
       max_crashes = crashes;
@@ -93,6 +94,15 @@ let regular_arg =
 let non_regular_arg =
   Arg.(
     value & opt int 3 & info [ "non-regular" ] ~doc:"Non-regular (Immediate Update) products.")
+
+let epoch_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:
+          "Epoch-class products (asynchronous epoch-quorum commit). Adds the epoch \
+           invariants — identical sealed prefixes on every subscriber, zero unsealed \
+           intents at quiescence — to every run. Default 0.")
 
 let ops_arg = Arg.(value & opt int 160 & info [ "ops" ] ~doc:"Workload submissions per run.")
 
@@ -193,7 +203,7 @@ let cmd =
     (Cmd.info "avdb-nemesis" ~doc)
     Term.(
       const run $ seeds_arg $ start_arg $ seed_arg $ sites_arg $ regular_arg
-      $ non_regular_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
+      $ non_regular_arg $ epoch_arg $ ops_arg $ horizon_arg $ crashes_arg $ partitions_arg
       $ net_windows_arg $ no_crash_base_arg $ oracle_arg $ spread_arg $ hierarchy_arg
       $ disk_faults_arg $ domains_arg $ mutate_arg $ verbose_arg $ out_arg)
 

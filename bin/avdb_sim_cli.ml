@@ -48,11 +48,26 @@ let granting_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Avdb_av.Strategy.Granting.of_name s) in
   Arg.conv (parse, fun ppf g -> Format.pp_print_string ppf (Avdb_av.Strategy.Granting.name g))
 
-let run retailers items initial updates mode allocation selection granting skew
+let run retailers items initial updates update_class mode allocation selection granting skew
     maker_weight spread hierarchy domains latency_ms drop dup reorder rpc_retries
     rpc_backoff_ms sync_ms prefetch seed checkpoints csv trace_sample trace_slow_ms
     trace_out metrics_out metrics_wide snapshot_every_ms check mutations =
   let n_sites = retailers + 1 in
+  (* --class selects which update class(es) the catalogue exercises:
+     delay (the paper's AV path), immediate (2PC), epoch (asynchronous
+     epoch-quorum commit) or an even three-way mix. *)
+  let products =
+    match update_class with
+    | `Delay -> Product.catalogue ~n_regular:items ~n_non_regular:0 ~initial_amount:initial
+    | `Immediate ->
+        Product.catalogue ~n_regular:0 ~n_non_regular:items ~initial_amount:initial
+    | `Epoch ->
+        Product.mixed ~n_regular:0 ~n_non_regular:0 ~n_epoch:items ~initial_amount:initial
+    | `Mixed ->
+        let third = items / 3 in
+        Product.mixed ~n_regular:(items - (2 * third)) ~n_non_regular:third ~n_epoch:third
+          ~initial_amount:initial
+  in
   let topology =
     match spread with
     | None -> Topology.flat
@@ -87,7 +102,7 @@ let run retailers items initial updates mode allocation selection granting skew
       mode;
       allocation;
       strategy = { Avdb_av.Strategy.selection; granting };
-      products = Product.catalogue ~n_regular:items ~n_non_regular:0 ~initial_amount:initial;
+      products;
       topology;
       latency = Avdb_net.Latency.Constant (Avdb_sim.Time.of_ms latency_ms);
       drop_probability = drop;
@@ -106,7 +121,11 @@ let run retailers items initial updates mode allocation selection granting skew
   let spec =
     {
       (Scm.paper_spec ~n_sites ~n_items:items ~initial_amount:initial ()) with
-      Scm.item_skew = skew;
+      (* the workload must target the actual catalogue, whatever the class *)
+      Scm.items =
+        Array.of_list
+          (List.map (fun p -> (p.Product.name, p.Product.initial_amount)) products);
+      item_skew = skew;
       maker_weight;
     }
   in
@@ -335,6 +354,18 @@ let cmd =
   let updates =
     Arg.(value & opt int 3000 & info [ "updates" ] ~docv:"N" ~doc:"Total user updates.")
   in
+  let update_class =
+    let class_conv =
+      Arg.enum
+        [ ("delay", `Delay); ("immediate", `Immediate); ("epoch", `Epoch); ("mixed", `Mixed) ]
+    in
+    Arg.(value & opt class_conv `Delay
+        & info [ "class" ] ~docv:"CLASS"
+            ~doc:
+              "Update class of the catalogue: $(b,delay) (the paper's AV path, default), \
+               $(b,immediate) (per-update 2PC), $(b,epoch) (asynchronous epoch-quorum \
+               commit) or $(b,mixed) (an even three-way split of $(b,--items)).")
+  in
   let mode =
     Arg.(value & opt mode_conv Config.Autonomous
         & info [ "mode" ] ~docv:"MODE" ~doc:"autonomous (proposed) or centralized (baseline).")
@@ -488,11 +519,13 @@ let cmd =
             ~doc:
               "Enable test-only seeded faults (known-bad behaviors) so the oracle has \
                something to convict: lossy-sync, double-deposit, unilateral-abort, \
-               stale-reads, forget-own-writes. Pair with $(b,--check).")
+               stale-reads, forget-own-writes, epoch-double-seal, epoch-drop-intent. \
+               Pair with $(b,--check).")
   in
   let term =
     Term.(
-      const run $ retailers $ items $ initial $ updates $ mode $ allocation $ selection
+      const run $ retailers $ items $ initial $ updates $ update_class $ mode $ allocation
+      $ selection
       $ granting $ skew $ maker_weight $ spread $ hierarchy $ domains $ latency_ms $ drop
       $ dup $ reorder $ rpc_retries $ rpc_backoff_ms $ sync_ms $ prefetch $ seed
       $ checkpoints $ csv $ trace_sample $ trace_slow_ms $ trace_out $ metrics_out

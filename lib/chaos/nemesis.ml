@@ -27,6 +27,7 @@ type config = {
   n_sites : int;
   n_regular : int;
   n_non_regular : int;
+  n_epoch : int;
   n_ops : int;
   horizon_ms : float;
   max_crashes : int;
@@ -46,6 +47,7 @@ let default ~seed =
     n_sites = 4;
     n_regular = 4;
     n_non_regular = 3;
+    n_epoch = 0;
     n_ops = 160;
     horizon_ms = 3000.;
     max_crashes = 4;
@@ -168,6 +170,8 @@ type stats = {
   leaked_av : int;
   messages_dropped : int;
   oracle_entries : int;
+  epochs_sealed : int;
+  epoch_takeovers : int;
   checksum_failures : int;
   segments_quarantined : int;
   repairs : int;
@@ -179,8 +183,8 @@ type outcome = { violations : string list; stats : stats }
 
 let mk_config cfg =
   let products =
-    Product.catalogue ~n_regular:cfg.n_regular ~n_non_regular:cfg.n_non_regular
-      ~initial_amount:100
+    Product.mixed ~n_regular:cfg.n_regular ~n_non_regular:cfg.n_non_regular
+      ~n_epoch:cfg.n_epoch ~initial_amount:100
   in
   let topology =
     match cfg.spread with
@@ -232,6 +236,8 @@ type driver = {
   d_run : probe:(unit -> unit) -> unit;
   d_flush : unit -> unit;
   d_decision : unit -> (unit, string) result;
+  d_epoch_agreement : unit -> (unit, string) result;
+  d_unsealed : unit -> int;
   d_check_invariants : unit -> (unit, string) result;
   d_total_dropped : unit -> int;
   d_snapshot : unit -> Avdb_check.Checker.snapshot;
@@ -271,6 +277,8 @@ let seq_driver cfg config =
         Cluster.run cluster);
     d_flush = (fun () -> Cluster.flush_all_syncs cluster);
     d_decision = (fun () -> Cluster.decision_agreement cluster);
+    d_epoch_agreement = (fun () -> Cluster.sealed_epoch_agreement cluster);
+    d_unsealed = (fun () -> Cluster.unsealed_intent_total cluster);
     d_check_invariants = (fun () -> Cluster.check_invariants cluster);
     d_total_dropped =
       (fun () -> Avdb_net.Stats.total_dropped (Cluster.net_stats cluster));
@@ -308,6 +316,8 @@ let par_driver cfg config =
             end));
     d_flush = (fun () -> Pcluster.flush_all_syncs pc);
     d_decision = (fun () -> Pcluster.decision_agreement pc);
+    d_epoch_agreement = (fun () -> Pcluster.sealed_epoch_agreement pc);
+    d_unsealed = (fun () -> Pcluster.unsealed_intent_total pc);
     d_check_invariants = (fun () -> Pcluster.check_invariants pc);
     d_total_dropped =
       (fun () ->
@@ -501,7 +511,13 @@ let execute cfg schedule =
     | [] -> false
   in
   let attempts = ref 0 in
-  while (not (List.for_all converged item_names)) && !attempts < 40 do
+  (* Epoch items additionally require every logged intent sealed: each
+     flush pass re-broadcasts seals to laggards and pump-steps buffered
+     intents, so the loop drains both kinds of backlog. *)
+  while
+    ((not (List.for_all converged item_names)) || d.d_unsealed () > 0)
+    && !attempts < 40
+  do
     incr attempts;
     d.d_flush ()
   done;
@@ -531,6 +547,13 @@ let execute cfg schedule =
       0 sites
   in
   if in_doubt > 0 then violate "%d transactions still in doubt at quiescence" in_doubt;
+  (* Epoch-quorum commit: every subscriber must hold identical sealed
+     prefixes, and no logged intent may remain unsealed at quiescence. *)
+  (match d.d_epoch_agreement () with
+  | Ok () -> ()
+  | Error e -> violate "sealed epoch agreement: %s" e);
+  let unsealed = d.d_unsealed () in
+  if unsealed > 0 then violate "%d epoch intents still unsealed at quiescence" unsealed;
   List.iter
     (fun item ->
       if not (converged item) then
@@ -607,6 +630,8 @@ let execute cfg schedule =
       leaked_av = max 0 leaked;
       messages_dropped = d.d_total_dropped ();
       oracle_entries = !oracle_entries;
+      epochs_sealed = sum_metric (fun m -> m.Update.Metrics.epochs_sealed);
+      epoch_takeovers = sum_metric (fun m -> m.Update.Metrics.epoch_takeovers);
       checksum_failures = sum_metric (fun m -> m.Update.Metrics.checksum_failures);
       segments_quarantined =
         sum_metric (fun m -> m.Update.Metrics.segments_quarantined);
@@ -698,6 +723,9 @@ let pp_report ppf r =
       s.still_quarantined;
   if s.oracle_entries > 0 then
     Format.fprintf ppf "  oracle: %d history entries checked@," s.oracle_entries;
+  if s.epochs_sealed > 0 then
+    Format.fprintf ppf "  epoch: %d epochs sealed, %d takeovers@," s.epochs_sealed
+      s.epoch_takeovers;
   Format.fprintf ppf "  schedule:@,    @[<v>%a@]@," pp_schedule r.schedule;
   if r.outcome.violations <> [] then begin
     Format.fprintf ppf "  violations:@,";

@@ -50,6 +50,13 @@ type config = {
   n_sites : int;
   n_regular : int;  (** Delay-Update products (AV circulation) *)
   n_non_regular : int;  (** Immediate-Update products (2PC) *)
+  n_epoch : int;
+      (** epoch-class products (asynchronous epoch-quorum commit). The
+          quiescence invariants extend to them: identical sealed prefixes
+          on every subscriber ({!Avdb_core.System_checks.sealed_epoch_agreement})
+          and zero unsealed intents once the flush loop drains. Default 0,
+          which leaves every pre-existing seed's schedule and outcome
+          byte-identical. *)
   n_ops : int;  (** workload submissions over the first 90% of the horizon *)
   horizon_ms : float;  (** every fault window closes before this *)
   max_crashes : int;
@@ -123,6 +130,8 @@ type stats = {
   leaked_av : int;  (** grant volume lost to the documented leak channel *)
   messages_dropped : int;
   oracle_entries : int;  (** history entries the oracle judged (0 when off) *)
+  epochs_sealed : int;  (** epochs sealed by their proposers (0 without epoch items) *)
+  epoch_takeovers : int;  (** successor sequencers that won a takeover ballot *)
   checksum_failures : int;  (** log frames rejected by CRC at recovery *)
   segments_quarantined : int;  (** log segments discarded at recovery *)
   repairs : int;  (** quarantined items repaired from a donor *)

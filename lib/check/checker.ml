@@ -120,14 +120,28 @@ let max_lin_ops = 62
 
 (* An item is "strong" when its updates run a coordinated protocol against
    the primary copy: every item in centralized mode, non-regular items in
-   autonomous mode. Everything else is a Delay-Update (regular) item. *)
+   autonomous mode. Epoch-class items are neither strong nor Delay: their
+   writers commit locally and the epoch sequencer totally orders intents
+   after the fact, so they get their own quiescent-convergence rule below.
+   Everything else is a Delay-Update (regular) item. *)
 let strong_items mode products =
   List.filter_map
     (fun (p : Product.t) ->
       match mode with
       | Config.Centralized -> Some p.Product.name
-      | Config.Autonomous -> if Product.is_regular p then None else Some p.Product.name)
+      | Config.Autonomous ->
+          if Product.is_regular p || Product.is_epoch p then None
+          else Some p.Product.name)
     products
+
+let epoch_items mode products =
+  match mode with
+  | Config.Centralized -> []
+  | Config.Autonomous ->
+      List.filter_map
+        (fun (p : Product.t) ->
+          if Product.is_epoch p then Some p.Product.name else None)
+        products
 
 (* Committed Delay Update deltas per item per origin site, in response
    order: [(item, (site, resp_seq, delta))]. Batch components count
@@ -383,6 +397,8 @@ let check ?(quiescent = true) ~history snapshot =
   let add v = violations := v :: !violations in
   let strong = strong_items snapshot.mode snapshot.products in
   let is_strong item = List.mem item strong in
+  let epochs = epoch_items snapshot.mode snapshot.products in
+  let is_epoch item = List.mem item epochs in
   let initial_of item =
     match List.find_opt (fun (p : Product.t) -> String.equal p.Product.name item) snapshot.products with
     | Some p -> Some p.Product.initial_amount
@@ -454,6 +470,38 @@ let check ?(quiescent = true) ~history snapshot =
             if List.mem (v - initial) sums then `Ok
             else `Violation (Stale_read { read; item; value = Some v }))
   in
+  (* Weak check for reads of epoch items: a replica exposes the prefix of
+     sealed epochs it has applied, and an intent the client saw rejected
+     (or never saw answered) may still seal later — so the value need only
+     be initial plus *some* subset of the epoch writes invoked before the
+     read responded. [None] from a quarantined/amnesiac holder is
+     unavailability, not staleness. *)
+  let check_epoch_read ~(read : History.entry) ~item ~initial ~value ~self =
+    match value with
+    | None when List.mem self snapshot.amnesiac -> `Skipped
+    | None -> `Violation (Stale_read { read; item; value = None })
+    | Some v -> (
+        let deltas =
+          List.filter_map
+            (fun (w : History.entry) ->
+              match w.History.op with
+              | History.Update { item = i; delta }
+                when String.equal i item && w.History.inv_seq < read.History.resp_seq -> (
+                  match w.History.resp with
+                  | Some (History.Applied Update.Epoch)
+                  | Some (History.Rejected Update.Unreachable)
+                  | None ->
+                      Some delta
+                  | Some _ -> None)
+              | _ -> None)
+            entries
+        in
+        match Model.subset_sums deltas with
+        | None -> `Skipped
+        | Some sums ->
+            if List.mem (v - initial) sums then `Ok
+            else `Violation (Stale_read { read; item; value = Some v }))
+  in
   List.iter
     (fun (e : History.entry) ->
       let examine ~item ~self =
@@ -462,6 +510,8 @@ let check ?(quiescent = true) ~history snapshot =
           | Some initial, Some (History.Read_value value) -> (
               let result =
                 if is_strong item then check_strong_read ~read:e ~item ~initial ~value
+                else if is_epoch item then
+                  check_epoch_read ~read:e ~item ~initial ~value ~self
                 else check_replica_read ~streams ~initial ~read:e ~item ~value ~self
               in
               match result with
@@ -483,7 +533,48 @@ let check ?(quiescent = true) ~history snapshot =
     List.iter
       (fun (p : Product.t) ->
         let item = p.Product.name in
-        if not (is_strong item) then begin
+        if is_epoch item then begin
+          (* Epoch items: every non-quarantined holder must expose the same
+             sealed prefix, and the agreed value must be initial + every
+             definitely-applied delta + some subset of the ambiguous ones
+             (submissions rejected Unreachable or never answered — their
+             intents may have sealed behind the client's back). Negative
+             stock is legal by design: epoch writers never coordinate
+             before committing. *)
+          let values =
+            match List.assoc_opt item snapshot.replicas with Some v -> v | None -> []
+          in
+          let definite = ref 0 in
+          let ambiguous = ref [] in
+          List.iter
+            (fun (w : History.entry) ->
+              match w.History.op with
+              | History.Update { item = i; delta } when String.equal i item -> (
+                  match w.History.resp with
+                  | Some (History.Applied Update.Epoch) -> definite := !definite + delta
+                  | Some (History.Rejected Update.Unreachable) | None ->
+                      ambiguous := delta :: !ambiguous
+                  | Some _ -> ())
+              | _ -> ())
+            entries;
+          let floor = p.Product.initial_amount + !definite in
+          match values with
+          | [] -> ()
+          | v0 :: rest ->
+              if not (List.for_all (fun v -> v = v0) rest) then
+                add (Divergence { item; values; expected = Some floor })
+              else begin
+                match v0 with
+                | None -> add (Divergence { item; values; expected = Some floor })
+                | Some v -> (
+                    match Model.subset_sums !ambiguous with
+                    | None -> () (* reachable set exceeded the cap: skip *)
+                    | Some sums ->
+                        if not (List.mem (v - floor) sums) then
+                          add (Divergence { item; values; expected = Some floor }))
+              end
+        end
+        else if not (is_strong item) then begin
           let values =
             match List.assoc_opt item snapshot.replicas with Some v -> v | None -> []
           in

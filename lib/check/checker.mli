@@ -36,6 +36,16 @@
       the same rule with the base as the "own" site. A value outside the
       reachable set is a stale or corrupted read.
 
+    - {b Epoch-quorum convergence.} Epoch-class items commit through the
+      asynchronous epoch sequencer, so they are neither strong nor Delay:
+      at quiescence every non-quarantined holder must expose the same
+      sealed prefix, and the agreed value must equal initial + every
+      definitely-applied delta ([Applied Epoch]) + some subset of the
+      ambiguous ones (submissions rejected [Unreachable] or never
+      answered — a logged intent can seal after the client gave up).
+      Negative stock is legal for this class (writers never coordinate
+      before committing), and reads get the weak subset check.
+
     Double-fired continuations are reported as violations in their own
     right. The checker assumes the history captured {e every} client
     operation of the run — drive workloads through the {!History}

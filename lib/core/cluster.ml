@@ -287,6 +287,7 @@ let live_words_per_site t =
 
 let flush_all_syncs t =
   iter_sites t (Site.flush_sync ~force:true);
+  iter_sites t Site.flush_epochs;
   run t
 
 (* The whole-system checks live in {!System_checks}, shared with the
@@ -294,6 +295,11 @@ let flush_all_syncs t =
 let decision_agreement t = System_checks.decision_agreement ~iter_sites:(iter_sites t)
 
 let in_doubt_total t = System_checks.in_doubt_total ~iter_sites:(iter_sites t)
+
+let sealed_epoch_agreement t =
+  System_checks.sealed_epoch_agreement ~iter_sites:(iter_sites t)
+
+let unsealed_intent_total t = System_checks.unsealed_intent_total ~iter_sites:(iter_sites t)
 
 let check_invariants t =
   System_checks.check_invariants ~config:t.config ~topology:t.topology ~site:(fun i ->

@@ -84,9 +84,12 @@ val live_words_per_site : t -> (int * int) list
     per-site footprint probe. *)
 
 val flush_all_syncs : t -> unit
-(** Forces every site to broadcast its pending Delay Update deltas, then
-    drains the network — afterwards (absent message loss or down sites)
-    replicas agree. *)
+(** Forces every site to broadcast its pending Delay Update deltas and
+    pump its epoch-class state ({!Site.flush_epochs}), then drains the
+    network — afterwards (absent message loss or down sites) replicas
+    agree. The epoch pump keeps the event queue alive while any live
+    site still holds unsealed intents, so the drain doubles as the epoch
+    convergence wait. *)
 
 val add_retailer :
   ?interest:string list -> t -> (int * (unit, Update.reason) result -> unit) -> int
@@ -144,6 +147,16 @@ val decision_agreement : t -> (unit, string) result
 val in_doubt_total : t -> int
 (** Transactions without a logged outcome, summed over all sites' protocol
     logs. Zero at true quiescence with every site up. *)
+
+val sealed_epoch_agreement : t -> (unit, string) result
+(** Across every site's durable protocol log, each (item, epoch) carries
+    at most one seal value ({!System_checks.sealed_epoch_agreement}).
+    Holds at every instant, including mid-fault. *)
+
+val unsealed_intent_total : t -> int
+(** Epoch-class intents no seal contains yet, summed over all sites
+    (quarantined items excluded). Zero at true quiescence with every
+    subscriber quorum reachable. *)
 
 val check_invariants : t -> (unit, string) result
 (** At quiescence after {!flush_all_syncs} (no crashes, no message loss):

@@ -36,6 +36,10 @@ type t = {
   prefetch_low : int option;
   topology : Topology.spec;
   segment_frames : int;  (** log records per on-disk segment *)
+  epoch_interval : Time.t;
+      (** epoch-quorum progress-pump cadence: intent re-sends, epoch close
+          debounce and takeover escalation all tick at this interval *)
+  epoch_batch : int;  (** intents that close an epoch early, before the tick *)
   repair_interval : Time.t;  (** pacing of corruption-repair retries and watches *)
   domains : int;  (** execution domains; > 1 selects the parallel engine *)
   seed : int;
@@ -72,6 +76,8 @@ let default =
     prefetch_low = None;
     topology = Topology.flat;
     segment_frames = 64;
+    epoch_interval = Time.of_ms 5.;
+    epoch_batch = 8;
     repair_interval = Time.of_ms 25.;
     domains = 1;
     seed = 42;
@@ -100,6 +106,9 @@ let validate t =
     Error "rebroadcast_interval must be positive"
   else if t.rebroadcast_rounds < 0 then Error "rebroadcast_rounds must be >= 0"
   else if t.segment_frames < 1 then Error "segment_frames must be >= 1"
+  else if Time.equal t.epoch_interval Time.zero then
+    Error "epoch_interval must be positive"
+  else if t.epoch_batch < 1 then Error "epoch_batch must be >= 1"
   else if Time.equal t.repair_interval Time.zero then
     Error "repair_interval must be positive"
   else if t.domains < 1 then Error "domains must be >= 1"

@@ -107,6 +107,15 @@ type t = {
           writer seals it and starts the next (≥ 1, default 64). Smaller
           segments bound the blast radius of a corrupt or lost segment at
           the cost of more header overhead. *)
+  epoch_interval : Avdb_sim.Time.t;
+      (** epoch-quorum commit progress-pump cadence (must be positive,
+          default 5 ms): a site with unsealed intents re-sends them every
+          tick, the sequencer debounces epoch closes by one tick, and
+          takeover candidacy escalates one rank every few ticks. *)
+  epoch_batch : int;
+      (** buffered intents that make the sequencer close the open epoch
+          immediately instead of waiting for the next tick (≥ 1,
+          default 8) — the batching lever of the epoch class. *)
   repair_interval : Avdb_sim.Time.t;
       (** pacing of corruption-repair donor retries and pending-transaction
           watch polls after a storage fault. Must be positive. *)

@@ -4,8 +4,19 @@ type t =
   | Unilateral_abort
   | Stale_reads
   | Forget_own_writes
+  | Epoch_double_seal
+  | Epoch_drop_intent
 
-let all = [ Lossy_sync; Double_deposit; Unilateral_abort; Stale_reads; Forget_own_writes ]
+let all =
+  [
+    Lossy_sync;
+    Double_deposit;
+    Unilateral_abort;
+    Stale_reads;
+    Forget_own_writes;
+    Epoch_double_seal;
+    Epoch_drop_intent;
+  ]
 
 let name = function
   | Lossy_sync -> "lossy-sync"
@@ -13,6 +24,8 @@ let name = function
   | Unilateral_abort -> "unilateral-abort"
   | Stale_reads -> "stale-reads"
   | Forget_own_writes -> "forget-own-writes"
+  | Epoch_double_seal -> "epoch-double-seal"
+  | Epoch_drop_intent -> "epoch-drop-intent"
 
 let of_name s =
   match List.find_opt (fun m -> name m = s) all with
@@ -29,6 +42,8 @@ let double_deposit = ref false
 let unilateral_abort = ref false
 let stale_reads = ref false
 let forget_own_writes = ref false
+let epoch_double_seal = ref false
+let epoch_drop_intent = ref false
 
 let cell = function
   | Lossy_sync -> lossy_sync
@@ -36,6 +51,8 @@ let cell = function
   | Unilateral_abort -> unilateral_abort
   | Stale_reads -> stale_reads
   | Forget_own_writes -> forget_own_writes
+  | Epoch_double_seal -> epoch_double_seal
+  | Epoch_drop_intent -> epoch_drop_intent
 
 let enable m = cell m := true
 let disable m = cell m := false

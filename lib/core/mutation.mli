@@ -33,6 +33,14 @@ type t =
       (** a local read subtracts the site's own not-yet-flushed deltas —
           the replica "forgets" writes the same session already committed,
           violating read-your-writes *)
+  | Epoch_double_seal
+      (** the epoch sequencer applies the deltas of an epoch it sealed
+          twice — its replica runs ahead of every other subscriber's,
+          breaking epoch-order convergence *)
+  | Epoch_drop_intent
+      (** a non-sequencer subscriber skips the first intent of every seal
+          it applies — one delta is lost at that replica only, breaking
+          epoch-order convergence *)
 
 val all : t list
 val name : t -> string

@@ -58,6 +58,7 @@ type t = {
   store : Site.t array;  (* by global site index *)
   window : Time.t;
   mutable next_probe : Time.t;
+  mutable probes_run : int;
   mutable last_stats : Parallel.stats option;
 }
 
@@ -162,6 +163,7 @@ let create config =
       store;
       window;
       next_probe = Time.zero;
+      probes_run = 0;
       last_stats = None;
     }
   in
@@ -312,6 +314,7 @@ let violation t name detail =
        ~category:"invariant" name)
 
 let run_probes t =
+  t.probes_run <- t.probes_run + 1;
   let pending =
     Array.fold_left (fun acc sh -> acc + Rpc.pending_calls sh.rpc) 0 t.shards
   in
@@ -378,12 +381,21 @@ let run ?until ?on_round t =
     match on_round with Some f -> f ~at | None -> ()
   in
   let stats = Parallel.run ~window:t.window ?until ~on_round:hook shards in
-  t.last_stats <- Some stats
+  t.last_stats <- Some stats;
+  (* Quiescence-time probe pass: the periodic hook only fires when a
+     barrier crosses the probe grid, so a run shorter than one window —
+     or one with no snapshot interval configured — would otherwise end
+     without a single conservation check. The domains are joined here, so
+     the cross-shard reads are safe. *)
+  run_probes t
+
+let probes_run t = t.probes_run
 
 (* --- quiescent whole-system operations (domains joined) --- *)
 
 let flush_all_syncs t =
   Array.iter (Site.flush_sync ~force:true) t.store;
+  Array.iter Site.flush_epochs t.store;
   run t
 
 let replica_amounts t ~item =
@@ -397,6 +409,11 @@ let av_conservation t ~item =
 
 let decision_agreement t = System_checks.decision_agreement ~iter_sites:(iter_sites t)
 let in_doubt_total t = System_checks.in_doubt_total ~iter_sites:(iter_sites t)
+
+let sealed_epoch_agreement t =
+  System_checks.sealed_epoch_agreement ~iter_sites:(iter_sites t)
+
+let unsealed_intent_total t = System_checks.unsealed_intent_total ~iter_sites:(iter_sites t)
 
 let check_invariants t =
   System_checks.check_invariants ~config:t.config ~topology:t.topology ~site:(fun i ->

@@ -65,6 +65,12 @@ val run : ?until:Avdb_sim.Time.t -> ?on_round:(at:Avdb_sim.Time.t -> unit) -> t 
 val rounds : t -> int
 (** Windows executed by the last {!run} (0 before the first). *)
 
+val probes_run : t -> int
+(** Number of cross-shard invariant-probe passes executed so far. Every
+    {!run} ends with one unconditional quiescence-time pass (in addition
+    to any periodic barrier passes), so this is ≥ the number of runs —
+    a run shorter than one window still gets its conservation checks. *)
+
 val schedule_at_site :
   t -> site:int -> at:Avdb_sim.Time.t -> (unit -> unit) -> unit
 (** Schedules a closure on the owning shard of [site] at virtual time
@@ -139,4 +145,11 @@ val av_sum : t -> item:string -> int
 val av_conservation : t -> item:string -> (unit, string) result
 val decision_agreement : t -> (unit, string) result
 val in_doubt_total : t -> int
+
+val sealed_epoch_agreement : t -> (unit, string) result
+(** See {!System_checks.sealed_epoch_agreement}; quiescent-only here. *)
+
+val unsealed_intent_total : t -> int
+(** See {!System_checks.unsealed_intent_total}; quiescent-only here. *)
+
 val check_invariants : t -> (unit, string) result

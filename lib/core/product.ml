@@ -1,4 +1,4 @@
-type kind = Regular | Non_regular
+type kind = Regular | Non_regular | Epoch
 
 type t = { name : string; initial_amount : int; kind : kind }
 
@@ -8,14 +8,23 @@ let make kind name ~initial_amount =
 
 let regular = make Regular
 let non_regular = make Non_regular
+let epoch = make Epoch
 let is_regular t = t.kind = Regular
+let is_epoch t = t.kind = Epoch
 
 let pp ppf t =
   Format.fprintf ppf "%s(%s, %d)" t.name
-    (match t.kind with Regular -> "regular" | Non_regular -> "non-regular")
+    (match t.kind with
+    | Regular -> "regular"
+    | Non_regular -> "non-regular"
+    | Epoch -> "epoch")
     t.initial_amount
 
-let catalogue ~n_regular ~n_non_regular ~initial_amount =
+let mixed ~n_regular ~n_non_regular ~n_epoch ~initial_amount =
   List.init n_regular (fun i -> regular (Printf.sprintf "product%d" i) ~initial_amount)
   @ List.init n_non_regular (fun i ->
         non_regular (Printf.sprintf "special%d" i) ~initial_amount)
+  @ List.init n_epoch (fun i -> epoch (Printf.sprintf "epoch%d" i) ~initial_amount)
+
+let catalogue ~n_regular ~n_non_regular ~initial_amount =
+  mixed ~n_regular ~n_non_regular ~n_epoch:0 ~initial_amount

@@ -4,15 +4,26 @@
     under AV (Delay Update); non-regular products are made to order and
     every site must see their updates immediately (Immediate Update). *)
 
-type kind = Regular | Non_regular
+type kind = Regular | Non_regular | Epoch
 
 type t = { name : string; initial_amount : int; kind : kind }
 
 val regular : string -> initial_amount:int -> t
 val non_regular : string -> initial_amount:int -> t
+
+val epoch : string -> initial_amount:int -> t
+(** An epoch-class product: strong total-order updates through the
+    asynchronous epoch-quorum commit instead of per-transaction 2PC. *)
+
 val is_regular : t -> bool
+val is_epoch : t -> bool
 val pp : Format.formatter -> t -> unit
 
-val catalogue : n_regular:int -> n_non_regular:int -> initial_amount:int -> t list
-(** ["product0".."productN-1"] regular then ["special0"...] non-regular,
+val catalogue :
+  n_regular:int -> n_non_regular:int -> initial_amount:int -> t list
+(** ["product0".."productN-1"] regular, then ["special0"...] non-regular,
     all with the same initial stock. *)
+
+val mixed :
+  n_regular:int -> n_non_regular:int -> n_epoch:int -> initial_amount:int -> t list
+(** {!catalogue} followed by ["epoch0".."epochN-1"] epoch-class products. *)

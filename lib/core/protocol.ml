@@ -41,6 +41,16 @@ type request =
       (** [None]: the whole catalogue (full replication); [Some items]:
           only the joiner's interest set — a partially-replicating server
           answers with just the rows and sync counters it holds for them *)
+  | Epoch_intent of { item : string; txid : int; origin : Address.t; delta : int }
+  | Epoch_propose of {
+      item : string;
+      epoch : int;
+      ballot : int;
+      seal : Txn_log.intent list;
+    }
+  | Epoch_commit of { item : string; epoch : int; seal : Txn_log.intent list }
+  | Epoch_pull of { item : string; from_epoch : int }
+  | Epoch_collect of { item : string; epoch : int; ballot : int }
 
 type response =
   | Av_grant of {
@@ -63,6 +73,22 @@ type response =
           (** in-flight 2PC txns touching the requested items, as
               (txid, coordinator, item, delta) — a repairing site must
               watch these resolve before trusting its snapshot *)
+      epochs : (string * int) list;
+          (** per requested epoch-class item: the donor's applied epoch at
+              snapshot time — the joiner's floor, so later seals are not
+              double-applied onto the snapshot *)
+    }
+  | Epoch_intent_ack of { txid : int; sealed : bool }
+  | Epoch_vote of { item : string; epoch : int; accepted : bool }
+  | Epoch_commit_ack of { item : string; epoch : int; applied_epoch : int }
+  | Epoch_seals of { item : string; seals : (int * Txn_log.intent list) list }
+  | Epoch_state of {
+      item : string;
+      epoch : int;
+      promised : int;
+      sealed : Txn_log.intent list option;
+      accepted : (int * Txn_log.intent list) option;
+      applied_epoch : int;
     }
   | Bad_request of string
 
@@ -82,6 +108,9 @@ let header = 16
 let sync_size acc (item, _, _) = acc + String.length item + 16
 let level_size acc (item, _) = acc + String.length item + 8
 
+(* An epoch-seal intent: txid + origin + delta. *)
+let seal_size seal = 24 * List.length seal
+
 let wire_size_request = function
   | Av_request { item; sync; _ } ->
       header + String.length item + 16 + List.fold_left sync_size 0 sync
@@ -96,6 +125,11 @@ let wire_size_request = function
       + (match wanted with
         | None -> 0
         | Some items -> List.fold_left (fun acc i -> acc + String.length i) 0 items)
+  | Epoch_intent { item; _ } -> header + String.length item + 24
+  | Epoch_propose { item; seal; _ } -> header + String.length item + 16 + seal_size seal
+  | Epoch_commit { item; seal; _ } -> header + String.length item + 8 + seal_size seal
+  | Epoch_pull { item; _ } -> header + String.length item + 8
+  | Epoch_collect { item; _ } -> header + String.length item + 16
 
 let wire_size_response = function
   | Av_grant { av_levels; sync; _ } ->
@@ -108,11 +142,22 @@ let wire_size_response = function
   | Read_value _ -> header + 9
   | Decision_status _ -> header + 9
   | Peer_decision_status _ -> header + 9
-  | Join_snapshot { rows; sync_state; pending } ->
+  | Join_snapshot { rows; sync_state; pending; epochs } ->
       header
       + List.fold_left (fun acc (item, _, _) -> acc + String.length item + 9) 0 rows
       + (List.length sync_state * 28)
       + List.fold_left (fun acc (_, _, item, _) -> acc + String.length item + 24) 0 pending
+      + List.fold_left level_size 0 epochs
+  | Epoch_intent_ack _ -> header + 9
+  | Epoch_vote { item; _ } -> header + String.length item + 9
+  | Epoch_commit_ack { item; _ } -> header + String.length item + 16
+  | Epoch_seals { item; seals } ->
+      header + String.length item
+      + List.fold_left (fun acc (_, seal) -> acc + 8 + seal_size seal) 0 seals
+  | Epoch_state { item; sealed; accepted; _ } ->
+      header + String.length item + 24
+      + (match sealed with None -> 0 | Some s -> seal_size s)
+      + (match accepted with None -> 0 | Some (_, s) -> 8 + seal_size s)
   | Bad_request msg -> header + String.length msg
 
 let wire_size_notice = function
@@ -132,6 +177,11 @@ let request_label = function
   | Query_decision _ -> "query_decision"
   | Peer_decision_query _ -> "peer_decision_query"
   | Join_request _ -> "join"
+  | Epoch_intent _ -> "epoch_intent"
+  | Epoch_propose _ -> "epoch_propose"
+  | Epoch_commit _ -> "epoch_commit"
+  | Epoch_pull _ -> "epoch_pull"
+  | Epoch_collect _ -> "epoch_collect"
 
 let pp_request ppf = function
   | Av_request { item; amount; requester_available; sync } ->
@@ -151,6 +201,19 @@ let pp_request ppf = function
         (match wanted with
         | None -> "all"
         | Some items -> string_of_int (List.length items) ^ " items")
+  | Epoch_intent { item; txid; origin; delta } ->
+      Format.fprintf ppf "epoch_intent(%s, tx%d, from=%a, %+d)" item txid Address.pp
+        origin delta
+  | Epoch_propose { item; epoch; ballot; seal } ->
+      Format.fprintf ppf "epoch_propose(%s, e%d, b%d, %d intents)" item epoch ballot
+        (List.length seal)
+  | Epoch_commit { item; epoch; seal } ->
+      Format.fprintf ppf "epoch_commit(%s, e%d, %d intents)" item epoch
+        (List.length seal)
+  | Epoch_pull { item; from_epoch } ->
+      Format.fprintf ppf "epoch_pull(%s, from e%d)" item from_epoch
+  | Epoch_collect { item; epoch; ballot } ->
+      Format.fprintf ppf "epoch_collect(%s, e%d, b%d)" item epoch ballot
 
 let pp_response ppf = function
   | Av_grant { granted; donor_available; av_levels; sync } ->
@@ -168,9 +231,10 @@ let pp_response ppf = function
   | Read_value { amount } ->
       Format.fprintf ppf "read_value(%s)"
         (match amount with Some n -> string_of_int n | None -> "none")
-  | Join_snapshot { rows; sync_state; pending } ->
-      Format.fprintf ppf "join_snapshot(%d rows, %d counters, %d pending)"
+  | Join_snapshot { rows; sync_state; pending; epochs } ->
+      Format.fprintf ppf "join_snapshot(%d rows, %d counters, %d pending, %d epochs)"
         (List.length rows) (List.length sync_state) (List.length pending)
+        (List.length epochs)
   | Decision_status { txid; status } ->
       Format.fprintf ppf "decision_status(tx%d, %s)" txid
         (match status with
@@ -184,6 +248,25 @@ let pp_response ppf = function
         | Peer_decided d -> Format.asprintf "%a" Two_phase.pp_decision d
         | Peer_prepared -> "prepared"
         | Peer_will_refuse -> "will-refuse")
+  | Epoch_intent_ack { txid; sealed } ->
+      Format.fprintf ppf "epoch_intent_ack(tx%d, %s)" txid
+        (if sealed then "sealed" else "buffered")
+  | Epoch_vote { item; epoch; accepted } ->
+      Format.fprintf ppf "epoch_vote(%s, e%d, %s)" item epoch
+        (if accepted then "accept" else "reject")
+  | Epoch_commit_ack { item; epoch; applied_epoch } ->
+      Format.fprintf ppf "epoch_commit_ack(%s, e%d, applied=e%d)" item epoch
+        applied_epoch
+  | Epoch_seals { item; seals } ->
+      Format.fprintf ppf "epoch_seals(%s, %d seals)" item (List.length seals)
+  | Epoch_state { item; epoch; promised; sealed; accepted; applied_epoch } ->
+      Format.fprintf ppf "epoch_state(%s, e%d, promised=b%d, %s, applied=e%d)" item
+        epoch promised
+        (match (sealed, accepted) with
+        | Some _, _ -> "sealed"
+        | None, Some (b, _) -> Printf.sprintf "accepted@b%d" b
+        | None, None -> "empty")
+        applied_epoch
   | Bad_request msg -> Format.fprintf ppf "bad_request(%s)" msg
 
 let pp_notice ppf = function

@@ -78,6 +78,35 @@ type request =
           replication a joiner sends [Some interest_set] to each distinct
           per-item base so servers answer with only the rows and sync
           counters they hold for those items *)
+  | Epoch_intent of {
+      item : string;
+      txid : int;
+      origin : Avdb_net.Address.t;
+      delta : int;
+    }
+      (** epoch-quorum commit: a writer (or a relay) forwards a durably
+          logged intent to the epoch's current sequencer candidate for
+          inclusion in the next seal *)
+  | Epoch_propose of {
+      item : string;
+      epoch : int;
+      ballot : int;
+      seal : Avdb_txn.Txn_log.intent list;
+    }
+      (** single-decree phase 2 for (item, epoch): the candidate at
+          [ballot] asks subscribers to durably accept this totally-ordered
+          seal; a quorum of acceptances makes the seal the epoch's decision *)
+  | Epoch_commit of { item : string; epoch : int; seal : Avdb_txn.Txn_log.intent list }
+      (** learn broadcast of a sealed epoch; receivers apply contiguously
+          and pull any gap *)
+  | Epoch_pull of { item : string; from_epoch : int }
+      (** catch-up: ask a peer for every sealed epoch after [from_epoch] *)
+  | Epoch_collect of { item : string; epoch : int; ballot : int }
+      (** single-decree phase 1, run by a takeover candidate ([ballot] > 0)
+          after suspecting the rotating sequencer: collect promises and any
+          previously accepted seal so the successor decides the same value
+          the crashed sequencer may have sealed (presumed-unsealed only
+          when no acceptor reports a value) *)
 
 type response =
   | Av_grant of {
@@ -112,7 +141,35 @@ type response =
               state only (tentative deltas subtracted); a corruption-repair
               client must watch these resolve — applying each commit
               exactly once — before trusting its installed snapshot. *)
+      epochs : (string * int) list;
+          (** per requested epoch-class item: the donor's applied epoch at
+              snapshot time. The client records it as its durable epoch
+              floor so sealed epochs already folded into [rows] are never
+              re-applied, and as its acceptor fence after amnesia. *)
     }
+  | Epoch_intent_ack of { txid : int; sealed : bool }
+      (** [sealed] when the receiver has already applied a seal containing
+          the txid — the writer's pump can stop re-sending it *)
+  | Epoch_vote of { item : string; epoch : int; accepted : bool }
+      (** acceptor's answer to {!Epoch_propose}: [accepted = false] means a
+          higher-ballot candidate holds this acceptor's promise *)
+  | Epoch_commit_ack of { item : string; epoch : int; applied_epoch : int }
+      (** learner's answer to {!Epoch_commit}; [applied_epoch] tells the
+          sealer how far this subscriber has actually applied *)
+  | Epoch_seals of { item : string; seals : (int * Avdb_txn.Txn_log.intent list) list }
+      (** answer to {!Epoch_pull}: every sealed (epoch, seal) the server
+          holds after the requested point *)
+  | Epoch_state of {
+      item : string;
+      epoch : int;
+      promised : int;
+      sealed : Avdb_txn.Txn_log.intent list option;
+      accepted : (int * Avdb_txn.Txn_log.intent list) option;
+      applied_epoch : int;
+    }
+      (** acceptor's answer to {!Epoch_collect}: the promise (now at least
+          the collector's ballot), whether the epoch is already sealed
+          here, and any (ballot, seal) this acceptor previously accepted *)
   | Bad_request of string
       (** protocol mismatch, e.g. a [Central_update] at a non-base site *)
 

@@ -47,6 +47,35 @@ type coord = {
    in place so the per-update hot path costs one hash lookup. *)
 type item_sync = { mutable version : int; mutable cum : int }
 
+(* Per-item epoch-quorum commit state. The durable truth lives in the
+   protocol log (intent / promise / accept / seal / floor records); this
+   is the in-memory working set a recovery rebuilds from it. *)
+type epoch_item = {
+  ei_item : string;
+  mutable ei_subs : Address.t list;  (* all subscribers, self included *)
+  mutable ei_subs_version : int;  (* topology version the memo is valid for *)
+  mutable ei_applied : int;  (* highest contiguously applied (sealed) epoch *)
+  ei_buffer : (int, Txn_log.intent) Hashtbl.t;
+      (* unsealed intents known here — own writes plus forwarded ones;
+         what the next seal this site proposes will contain *)
+  ei_sealed : (int, unit) Hashtbl.t;  (* txids inside applied seals (dedup) *)
+  ei_stash : (int, Txn_log.intent list) Hashtbl.t;
+      (* seals received ahead of a gap, applied once the pull fills it *)
+  ei_waiters : (int, Update.outcome -> unit) Hashtbl.t;
+      (* own txid -> submitting client, woken when a seal lands locally *)
+  ei_acked : (int, int) Hashtbl.t;
+      (* subscriber -> applied epoch it acknowledged; commit re-broadcast
+         targets only laggards *)
+  mutable ei_attempts : int;
+      (* pump ticks without progress on the open epoch; escalates the
+         candidate rank (and with it the ballot) every few ticks *)
+  mutable ei_pump : bool;  (* a pump tick is scheduled *)
+  mutable ei_busy : bool;  (* a propose/collect round is in flight *)
+  mutable ei_fence : int;
+      (* acceptor fence after an amnesia repair: refuse promises and
+         accepts at or below it — the lost acceptor state may cover them *)
+}
+
 type t = {
   shared : shared;
   addr : Address.t;
@@ -75,6 +104,10 @@ type t = {
      in-memory metadata, like [sync_out]: survives crashes, so an
      interrupted repair resumes at the next recovery. *)
   quarantined : (string, unit) Hashtbl.t;
+  (* Epoch-class items this site subscribes to, keyed by item. Built once
+     at creation from the catalogue ∩ interest set; the table's presence
+     check is the third branch of the checking function. *)
+  epochs : (string, epoch_item) Hashtbl.t;
   (* Set (stickily) once the protocol log loses synced records: from then
      on "no log entry" no longer implies "never happened", so presumed
      abort is off the table and lost txids answer [No_record]. *)
@@ -1552,6 +1585,570 @@ let centralized_update t ~item ~delta ~finish =
            | Ok _ -> finish (Update.Rejected Update.Txn_aborted)
            | Error Rpc.Timeout -> finish (Update.Rejected Update.Unreachable)))
 
+(* --- epoch-quorum commit: the third update class ---
+
+   Writers log intents durably and hand them to a deterministic sequencer
+   that rotates over the item's subscriber set; the sequencer totally
+   orders the buffered intents into one seal per epoch and decides it with
+   a single-decree quorum round (ballot = escalation rank, so candidates
+   at different ranks never share a ballot). Subscribers apply sealed
+   epochs strictly in order, pulling any gap, so every replica applies the
+   same prefix — no per-transaction cross-site lock round-trip. *)
+
+let epoch_state t ~item = Hashtbl.find_opt t.epochs item
+
+(* Subscribers in topology order, self included; memoised against the
+   topology version like [peer_cache]. *)
+let epoch_subs t st =
+  let topo = topology t in
+  let v = Topology.version topo in
+  if st.ei_subs_version <> v then begin
+    st.ei_subs <- List.map Address.of_int (Topology.subscribers topo ~item:st.ei_item);
+    st.ei_subs_version <- v
+  end;
+  st.ei_subs
+
+let epoch_quorum subs = (List.length subs / 2) + 1
+
+(* Epoch e's sequencer is subscriber (e mod n); escalation step c moves
+   one rank further and doubles as the Paxos ballot. *)
+let epoch_candidate t st ~epoch ~ballot =
+  let subs = epoch_subs t st in
+  List.nth subs ((epoch + ballot) mod List.length subs)
+
+(* The durable promise for (item, epoch): promise and accept records both
+   count, so the in-memory state needs no mirror. *)
+let epoch_promised t st ~epoch = Txn_log.epoch_promise t.txn_log ~item:st.ei_item ~epoch
+
+(* This site's candidate seal: every buffered intent not yet inside an
+   applied seal, in a deterministic total order. *)
+let buffered_seal st =
+  Hashtbl.fold
+    (fun _ (i : Txn_log.intent) acc ->
+      if Hashtbl.mem st.ei_sealed i.Txn_log.i_txid then acc else i :: acc)
+    st.ei_buffer []
+  |> List.sort (fun (a : Txn_log.intent) (b : Txn_log.intent) ->
+         match
+           compare (Address.to_int a.Txn_log.i_origin) (Address.to_int b.Txn_log.i_origin)
+         with
+         | 0 -> compare a.Txn_log.i_txid b.Txn_log.i_txid
+         | c -> c)
+
+(* Apply one sealed epoch: the durable seal record and the stock apply
+   happen in the same atomic event, then the local writers whose intents
+   it contains are woken. [proposer] marks the site that sealed it — the
+   hook point for both epoch mutations. *)
+let apply_seal t st ~epoch ~seal ~proposer =
+  let item = st.ei_item in
+  Txn_log.record_epoch_seal t.txn_log ~item ~epoch ~seal ~at:(now t);
+  let applied_intents =
+    (* Mutation: a non-proposer subscriber silently drops the seal's first
+       intent — the replicas diverge and the checker must notice. *)
+    if (not proposer) && Mutation.enabled Mutation.Epoch_drop_intent then
+      match seal with [] -> [] | _ :: rest -> rest
+    else seal
+  in
+  let txn = Database.begin_txn t.db in
+  List.iter
+    (fun (i : Txn_log.intent) ->
+      (* Mutation: the proposer applies its own seal twice over. *)
+      let d =
+        if proposer && Mutation.enabled Mutation.Epoch_double_seal then
+          2 * i.Txn_log.i_delta
+        else i.Txn_log.i_delta
+      in
+      match Database.add_int txn ~table:stock_table ~key:item ~col:"amount" d with
+      | Ok _ -> ()
+      | Error e ->
+          Database.abort txn;
+          failwith ("Site.apply_seal: " ^ e))
+    applied_intents;
+  Database.commit txn;
+  List.iter
+    (fun (i : Txn_log.intent) ->
+      record_history t ~item ~delta:i.Txn_log.i_delta ~path:"epoch")
+    applied_intents;
+  st.ei_applied <- epoch;
+  st.ei_attempts <- 0;
+  Hashtbl.remove st.ei_stash epoch;
+  if proposer then
+    t.metrics.Update.Metrics.epochs_sealed <- t.metrics.Update.Metrics.epochs_sealed + 1;
+  List.iter
+    (fun (i : Txn_log.intent) ->
+      Hashtbl.replace st.ei_sealed i.Txn_log.i_txid ();
+      Hashtbl.remove st.ei_buffer i.Txn_log.i_txid;
+      match Hashtbl.find_opt st.ei_waiters i.Txn_log.i_txid with
+      | Some finish ->
+          Hashtbl.remove st.ei_waiters i.Txn_log.i_txid;
+          finish (Update.Applied Update.Epoch)
+      | None -> ())
+    seal;
+  trace t ~category:"epoch" "%a applied %s e%d (%d intents%s)" Address.pp t.addr item
+    epoch (List.length seal)
+    (if proposer then ", sealed here" else "")
+
+let rec drain_stash t st =
+  match Hashtbl.find_opt st.ei_stash (st.ei_applied + 1) with
+  | Some seal ->
+      apply_seal t st ~epoch:(st.ei_applied + 1) ~seal ~proposer:false;
+      drain_stash t st
+  | None -> ()
+
+(* Push the latest seal to every subscriber that has not acknowledged it;
+   a receiver behind by more than one epoch pulls the gap itself. *)
+let broadcast_commits t st =
+  if st.ei_applied > 0 then begin
+    let item = st.ei_item in
+    match Txn_log.epoch_seal t.txn_log ~item ~epoch:st.ei_applied with
+    | None -> ()  (* applied epoch below a snapshot floor: nothing to push *)
+    | Some seal ->
+        let epoch = st.ei_applied in
+        List.iter
+          (fun peer ->
+            if not (Address.equal peer t.addr) then
+              let acked =
+                Option.value ~default:0
+                  (Hashtbl.find_opt st.ei_acked (Address.to_int peer))
+              in
+              if acked < epoch then
+                Rpc.call t.shared.rpc ~src:t.addr ~dst:peer
+                  ~timeout:(config t).Config.rpc_timeout
+                  (Protocol.Epoch_commit { item; epoch; seal })
+                  (fenced t (function
+                    | Ok (Protocol.Epoch_commit_ack { applied_epoch; _ }) ->
+                        let p = Address.to_int peer in
+                        if
+                          applied_epoch
+                          > Option.value ~default:0 (Hashtbl.find_opt st.ei_acked p)
+                        then Hashtbl.replace st.ei_acked p applied_epoch
+                    | Ok _ | Error _ -> ())))
+          (epoch_subs t st)
+  end
+
+let apply_pulled_seals t st seals =
+  List.iter
+    (fun (epoch, seal) ->
+      if epoch > st.ei_applied && not (Hashtbl.mem st.ei_stash epoch) then
+        Hashtbl.replace st.ei_stash epoch seal)
+    seals;
+  drain_stash t st
+
+(* The liveness pump: while this site holds unsealed intents (or stashed
+   out-of-order seals), one tick per [epoch_interval] either proposes (if
+   this site is the open epoch's current candidate), escalates to a
+   takeover, or re-sends the intents to the candidate it believes in. *)
+let rec ensure_pump t st =
+  if
+    (not st.ei_pump)
+    && (Hashtbl.length st.ei_buffer > 0 || Hashtbl.length st.ei_stash > 0)
+  then begin
+    st.ei_pump <- true;
+    ignore
+      (Engine.schedule (engine t) ~delay:(config t).Config.epoch_interval
+         (fenced t (fun () ->
+              st.ei_pump <- false;
+              pump_step t st;
+              ensure_pump t st)))
+  end
+
+and pump_step t st =
+  if (not (is_down t)) && (not (Hashtbl.mem t.quarantined st.ei_item)) && not st.ei_busy
+  then begin
+    if Hashtbl.length st.ei_stash > 0 then begin
+      drain_stash t st;
+      if Hashtbl.length st.ei_stash > 0 then request_pull t st
+    end;
+    if Hashtbl.length st.ei_buffer > 0 then begin
+      st.ei_attempts <- st.ei_attempts + 1;
+      let epoch = st.ei_applied + 1 in
+      let ballot = (st.ei_attempts - 1) / 3 in
+      let cand = epoch_candidate t st ~epoch ~ballot in
+      if Address.equal cand t.addr then
+        if ballot = 0 then
+          let seal =
+            (* ballot-0 value fixation: once this candidate durably
+               accepted a value for the epoch it may never propose a
+               different one at the same ballot *)
+            match Txn_log.epoch_accept t.txn_log ~item:st.ei_item ~epoch with
+            | Some (_, s) -> s
+            | None -> buffered_seal st
+          in
+          run_propose t st ~epoch ~ballot ~seal
+        else run_collect t st ~epoch ~ballot
+      else resend_intents t st cand
+    end
+  end
+
+(* Phase 2 for (item, epoch) at [ballot]: our own durable accept is both
+   our vote and the value the ballot is forever bound to. *)
+and run_propose t st ~epoch ~ballot ~seal =
+  let item = st.ei_item in
+  st.ei_busy <- true;
+  Txn_log.record_epoch_accept t.txn_log ~item ~epoch ~ballot ~seal ~at:(now t);
+  let subs = epoch_subs t st in
+  let needed = epoch_quorum subs in
+  let others = List.filter (fun a -> not (Address.equal a t.addr)) subs in
+  let total = List.length others in
+  let votes = ref 1 and replies = ref 0 and closed = ref false in
+  let win () =
+    if not !closed then begin
+      closed := true;
+      st.ei_busy <- false;
+      if st.ei_applied + 1 = epoch then begin
+        apply_seal t st ~epoch ~seal ~proposer:true;
+        drain_stash t st;
+        broadcast_commits t st
+      end;
+      ensure_pump t st
+    end
+  in
+  if !votes >= needed then win ()
+  else
+    List.iter
+      (fun peer ->
+        Rpc.call t.shared.rpc ~src:t.addr ~dst:peer
+          ~timeout:(config t).Config.rpc_timeout
+          (Protocol.Epoch_propose { item; epoch; ballot; seal })
+          (fenced t (fun response ->
+               incr replies;
+               (match response with
+               | Ok (Protocol.Epoch_vote { accepted = true; _ }) ->
+                   incr votes;
+                   if !votes >= needed then win ()
+               | Ok _ | Error _ -> ());
+               if !replies = total && not !closed then begin
+                 closed := true;
+                 st.ei_busy <- false;
+                 ensure_pump t st
+               end)))
+      others
+
+(* Phase 1: a takeover candidate collects promises plus anything already
+   accepted or sealed, so it decides the same value the crashed sequencer
+   may have sealed — the epoch is presumed unsealed only when no acceptor
+   in the quorum reports a value. *)
+and run_collect t st ~epoch ~ballot =
+  let item = st.ei_item in
+  st.ei_busy <- true;
+  t.metrics.Update.Metrics.epoch_takeovers <-
+    t.metrics.Update.Metrics.epoch_takeovers + 1;
+  Txn_log.record_epoch_promise t.txn_log ~item ~epoch ~ballot ~at:(now t);
+  let subs = epoch_subs t st in
+  let needed = epoch_quorum subs in
+  let others = List.filter (fun a -> not (Address.equal a t.addr)) subs in
+  let total = List.length others in
+  let grants = ref 1 and replies = ref 0 and closed = ref false in
+  let sealed_found = ref (Txn_log.epoch_seal t.txn_log ~item ~epoch) in
+  let best = ref (Txn_log.epoch_accept t.txn_log ~item ~epoch) in
+  let ahead = ref None in
+  let finish_phase1 () =
+    if not !closed then begin
+      closed := true;
+      match !sealed_found with
+      | Some seal ->
+          st.ei_busy <- false;
+          if st.ei_applied + 1 = epoch then begin
+            apply_seal t st ~epoch ~seal ~proposer:false;
+            drain_stash t st
+          end;
+          broadcast_commits t st;
+          ensure_pump t st
+      | None -> (
+          match !ahead with
+          | Some peer ->
+              (* a peer already applied this epoch but its seal sits below
+                 its snapshot floor: catch up by pulling instead *)
+              st.ei_busy <- false;
+              Rpc.call t.shared.rpc ~src:t.addr ~dst:peer
+                ~timeout:(config t).Config.rpc_timeout
+                (Protocol.Epoch_pull { item; from_epoch = st.ei_applied })
+                (fenced t (fun response ->
+                     (match response with
+                     | Ok (Protocol.Epoch_seals { seals; _ }) ->
+                         apply_pulled_seals t st seals
+                     | Ok _ | Error _ -> ());
+                     ensure_pump t st))
+          | None ->
+              let seal =
+                match !best with Some (_, s) -> s | None -> buffered_seal st
+              in
+              run_propose t st ~epoch ~ballot ~seal)
+    end
+  in
+  if !grants >= needed then finish_phase1 ()
+  else
+    List.iter
+      (fun peer ->
+        Rpc.call t.shared.rpc ~src:t.addr ~dst:peer
+          ~timeout:(config t).Config.rpc_timeout
+          (Protocol.Epoch_collect { item; epoch; ballot })
+          (fenced t (fun response ->
+               incr replies;
+               (match response with
+               | Ok
+                   (Protocol.Epoch_state
+                     { promised; sealed; accepted; applied_epoch; _ }) ->
+                   (match sealed with
+                   | Some s -> sealed_found := Some s
+                   | None -> if applied_epoch >= epoch then ahead := Some peer);
+                   (match accepted with
+                   | Some (b, s) -> (
+                       match !best with
+                       | Some (b', _) when b' >= b -> ()
+                       | Some _ | None -> best := Some (b, s))
+                   | None -> ());
+                   if promised <= ballot then begin
+                     incr grants;
+                     if !grants >= needed then finish_phase1 ()
+                   end
+               | Ok _ | Error _ -> ());
+               if !replies = total && not !closed then begin
+                 closed := true;
+                 st.ei_busy <- false;
+                 ensure_pump t st
+               end)))
+      others
+
+and resend_intents t st cand =
+  let item = st.ei_item in
+  Hashtbl.iter
+    (fun _ (i : Txn_log.intent) ->
+      t.metrics.Update.Metrics.epoch_intents_resent <-
+        t.metrics.Update.Metrics.epoch_intents_resent + 1;
+      Rpc.call t.shared.rpc ~src:t.addr ~dst:cand
+        ~timeout:(config t).Config.rpc_timeout
+        (Protocol.Epoch_intent
+           { item; txid = i.Txn_log.i_txid; origin = i.Txn_log.i_origin;
+             delta = i.Txn_log.i_delta })
+        (fenced t (function
+          | Ok (Protocol.Epoch_intent_ack { txid; sealed = true }) ->
+              (* sealed in an epoch this replica has not applied yet *)
+              if not (Hashtbl.mem st.ei_sealed txid) then request_pull t st
+          | Ok _ | Error _ -> ())))
+    st.ei_buffer
+
+and request_pull t st =
+  let others =
+    List.filter (fun a -> not (Address.equal a t.addr)) (epoch_subs t st)
+  in
+  match others with
+  | [] -> ()
+  | _ ->
+      let target = List.nth others (st.ei_attempts mod List.length others) in
+      Rpc.call t.shared.rpc ~src:t.addr ~dst:target
+        ~timeout:(config t).Config.rpc_timeout
+        (Protocol.Epoch_pull { item = st.ei_item; from_epoch = st.ei_applied })
+        (fenced t (function
+          | Ok (Protocol.Epoch_seals { seals; _ }) -> apply_pulled_seals t st seals
+          | Ok _ | Error _ -> ()))
+
+(* Close the open epoch immediately once a full batch is buffered, instead
+   of waiting out the pump tick. *)
+let maybe_close t st =
+  if
+    (not st.ei_busy) && (not (is_down t))
+    && (not (Hashtbl.mem t.quarantined st.ei_item))
+    && Hashtbl.length st.ei_buffer >= (config t).Config.epoch_batch
+  then begin
+    let epoch = st.ei_applied + 1 in
+    if Address.equal (epoch_candidate t st ~epoch ~ballot:0) t.addr then
+      let seal =
+        match Txn_log.epoch_accept t.txn_log ~item:st.ei_item ~epoch with
+        | Some (_, s) -> s
+        | None -> buffered_seal st
+      in
+      run_propose t st ~epoch ~ballot:0 ~seal
+  end
+
+(* Writer path: durable intent, then asynchronous replication — the
+   client's continuation fires when a seal containing the txid is applied
+   locally. No cross-site round-trip on the submission path. *)
+let epoch_update t ~item ~delta ~finish =
+  let st = Hashtbl.find t.epochs item in
+  if tracing t then
+    span_instant t ~category:"update" "update.epoch"
+      ~fields:[ ("item", item); ("delta", string_of_int delta) ];
+  let txid = fresh_txid t in
+  Txn_log.record_intent t.txn_log ~txid ~origin:t.addr ~item ~delta ~at:(now t);
+  Hashtbl.replace st.ei_buffer txid
+    { Txn_log.i_txid = txid; i_origin = t.addr; i_delta = delta };
+  Hashtbl.replace st.ei_waiters txid finish;
+  maybe_close t st;
+  ensure_pump t st
+
+(* Convergence force-flush, the epoch-class analogue of
+   [flush_sync ~force]: one immediate pump step per item plus a commit
+   re-broadcast to laggards, so a quiescing cluster converges without
+   waiting out pump ticks. *)
+let flush_epochs t =
+  if not (is_down t) then
+    Hashtbl.iter
+      (fun item st ->
+        if not (Hashtbl.mem t.quarantined item) then begin
+          broadcast_commits t st;
+          if Hashtbl.length st.ei_buffer > 0 || Hashtbl.length st.ei_stash > 0 then begin
+            pump_step t st;
+            ensure_pump t st
+          end
+        end)
+      t.epochs
+
+let epoch_applied t ~item =
+  Option.map (fun st -> st.ei_applied) (epoch_state t ~item)
+
+let epoch_unsealed t =
+  List.length
+    (List.filter
+       (fun (ie : Txn_log.intent_entry) ->
+         not (Hashtbl.mem t.quarantined ie.Txn_log.in_item))
+       (Txn_log.unsealed_intents t.txn_log))
+
+(* --- epoch request handlers (server side) --- *)
+
+let handle_epoch_intent t ~item ~txid ~origin ~delta ~reply =
+  match epoch_state t ~item with
+  | None -> reply (Protocol.Bad_request "not an epoch item")
+  | Some st ->
+      if Hashtbl.mem t.quarantined item then
+        reply (Protocol.Bad_request "item quarantined")
+      else if Hashtbl.mem st.ei_sealed txid then
+        reply (Protocol.Epoch_intent_ack { txid; sealed = true })
+      else begin
+        if not (Hashtbl.mem st.ei_buffer txid) then
+          Hashtbl.replace st.ei_buffer txid
+            { Txn_log.i_txid = txid; i_origin = origin; i_delta = delta };
+        reply (Protocol.Epoch_intent_ack { txid; sealed = false });
+        maybe_close t st;
+        ensure_pump t st
+      end
+
+let handle_epoch_propose t ~src ~item ~epoch ~ballot ~seal ~reply =
+  match epoch_state t ~item with
+  | None -> reply (Protocol.Bad_request "not an epoch item")
+  | Some st ->
+      if Hashtbl.mem t.quarantined item then
+        reply (Protocol.Bad_request "item quarantined")
+      else if epoch <= st.ei_applied then begin
+        reply (Protocol.Epoch_vote { item; epoch; accepted = false });
+        (* the proposer is behind a decided epoch: push it the seal so it
+           cannot re-decide the epoch with a different value *)
+        match Txn_log.epoch_seal t.txn_log ~item ~epoch with
+        | Some seal ->
+            Rpc.call t.shared.rpc ~src:t.addr ~dst:src
+              ~timeout:(config t).Config.rpc_timeout
+              (Protocol.Epoch_commit { item; epoch; seal })
+              (fenced t (fun _ -> ()))
+        | None -> ()
+      end
+      else if epoch <= st.ei_fence || ballot < epoch_promised t st ~epoch then
+        reply (Protocol.Epoch_vote { item; epoch; accepted = false })
+      else begin
+        Txn_log.record_epoch_accept t.txn_log ~item ~epoch ~ballot ~seal ~at:(now t);
+        reply (Protocol.Epoch_vote { item; epoch; accepted = true })
+      end
+
+let handle_epoch_commit t ~src ~item ~epoch ~seal ~reply =
+  match epoch_state t ~item with
+  | None -> reply (Protocol.Bad_request "not an epoch item")
+  | Some st ->
+      if Hashtbl.mem t.quarantined item then
+        reply (Protocol.Bad_request "item quarantined")
+      else begin
+        if epoch = st.ei_applied + 1 then begin
+          apply_seal t st ~epoch ~seal ~proposer:false;
+          drain_stash t st
+        end
+        else if epoch > st.ei_applied then begin
+          if not (Hashtbl.mem st.ei_stash epoch) then
+            Hashtbl.replace st.ei_stash epoch seal;
+          Rpc.call t.shared.rpc ~src:t.addr ~dst:src
+            ~timeout:(config t).Config.rpc_timeout
+            (Protocol.Epoch_pull { item; from_epoch = st.ei_applied })
+            (fenced t (function
+              | Ok (Protocol.Epoch_seals { seals; _ }) -> apply_pulled_seals t st seals
+              | Ok _ | Error _ -> ()))
+        end;
+        reply (Protocol.Epoch_commit_ack { item; epoch; applied_epoch = st.ei_applied });
+        ensure_pump t st
+      end
+
+let handle_epoch_pull t ~item ~from_epoch ~reply =
+  match epoch_state t ~item with
+  | None -> reply (Protocol.Bad_request "not an epoch item")
+  | Some _ ->
+      let seals =
+        List.filter_map
+          (fun (it, e, seal) ->
+            if String.equal it item && e > from_epoch then Some (e, seal) else None)
+          (Txn_log.epoch_seals t.txn_log)
+      in
+      reply (Protocol.Epoch_seals { item; seals })
+
+let handle_epoch_collect t ~item ~epoch ~ballot ~reply =
+  match epoch_state t ~item with
+  | None -> reply (Protocol.Bad_request "not an epoch item")
+  | Some st ->
+      if Hashtbl.mem t.quarantined item then
+        reply (Protocol.Bad_request "item quarantined")
+      else begin
+        let fenced_off = epoch <= st.ei_fence in
+        if (not fenced_off) && ballot >= epoch_promised t st ~epoch then
+          Txn_log.record_epoch_promise t.txn_log ~item ~epoch ~ballot ~at:(now t);
+        reply
+          (Protocol.Epoch_state
+             {
+               item;
+               epoch;
+               (* a fenced acceptor never grants: report an unbeatable
+                  promise so the collector cannot count it *)
+               promised =
+                 (if fenced_off then max_int else epoch_promised t st ~epoch);
+               sealed = Txn_log.epoch_seal t.txn_log ~item ~epoch;
+               accepted = Txn_log.epoch_accept t.txn_log ~item ~epoch;
+               applied_epoch = st.ei_applied;
+             })
+      end
+
+(* Rebuild the in-memory epoch state from the durable log: the applied
+   prefix from contiguous seal records (above any snapshot floor), the
+   dedup set from seal contents, and the writer's own unsealed intents
+   back into the buffer so the pump re-sends them. *)
+let rebuild_epoch_state t =
+  Hashtbl.iter
+    (fun item st ->
+      Hashtbl.reset st.ei_buffer;
+      Hashtbl.reset st.ei_sealed;
+      Hashtbl.reset st.ei_stash;
+      Hashtbl.reset st.ei_waiters;
+      Hashtbl.reset st.ei_acked;
+      st.ei_attempts <- 0;
+      st.ei_pump <- false;
+      st.ei_busy <- false;
+      st.ei_applied <- Txn_log.max_contiguous_seal t.txn_log ~item;
+      st.ei_fence <- Stdlib.max st.ei_fence (Txn_log.epoch_floor t.txn_log ~item);
+      List.iter
+        (fun (it, _epoch, seal) ->
+          if String.equal it item then
+            List.iter
+              (fun (i : Txn_log.intent) -> Hashtbl.replace st.ei_sealed i.Txn_log.i_txid ())
+              seal)
+        (Txn_log.epoch_seals t.txn_log);
+      List.iter
+        (fun (ie : Txn_log.intent_entry) ->
+          if
+            String.equal ie.Txn_log.in_item item
+            && Address.equal ie.Txn_log.in_origin t.addr
+          then
+            Hashtbl.replace st.ei_buffer ie.Txn_log.in_txid
+              {
+                Txn_log.i_txid = ie.Txn_log.in_txid;
+                i_origin = ie.Txn_log.in_origin;
+                i_delta = ie.Txn_log.in_delta;
+              })
+        (Txn_log.unsealed_intents t.txn_log);
+      ensure_pump t st)
+    t.epochs
+
 (* --- dynamic membership --- *)
 
 (* Serve a joiner with the current replica plus the sync counters already
@@ -1628,14 +2225,20 @@ let handle_join t ~wanted ~reply =
           if want item then (origin, item, version, counter) :: acc else acc)
         t.applied_sync []
     in
+    let epochs =
+      Hashtbl.fold
+        (fun item st acc -> if want item then (item, st.ei_applied) :: acc else acc)
+        t.epochs []
+    in
     reply
-      (Protocol.Join_snapshot { rows; sync_state = own @ applied; pending = !pending })
+      (Protocol.Join_snapshot
+         { rows; sync_state = own @ applied; pending = !pending; epochs })
   end
 
 (* Apply one join snapshot: overwrite the locally-bootstrapped rows with
    the live amounts and seed the sync receiver state with the counters
    already folded into them. *)
-let apply_join_snapshot t ~rows ~sync_state =
+let apply_join_snapshot t ~rows ~sync_state ~epochs =
   let txn = Database.begin_txn t.db in
   let ok =
     List.for_all
@@ -1655,6 +2258,16 @@ let apply_join_snapshot t ~rows ~sync_state =
         if version > Option.value ~default:0 (Hashtbl.find_opt t.applied_high origin) then
           Hashtbl.replace t.applied_high origin version)
       sync_state;
+    (* the snapshot rows already fold every seal through the donor's
+       applied epoch: record the floor so this log never re-applies them *)
+    List.iter
+      (fun (item, applied) ->
+        match Hashtbl.find_opt t.epochs item with
+        | Some st when applied > st.ei_applied ->
+            Txn_log.record_epoch_floor t.txn_log ~item ~epoch:applied ~at:(now t);
+            st.ei_applied <- applied
+        | Some _ | None -> ())
+      epochs;
     true
   end
   else begin
@@ -1681,8 +2294,9 @@ let join t callback =
       (Protocol.Join_request { wanted })
       (fenced t (fun response ->
            match response with
-           | Ok (Protocol.Join_snapshot { rows; sync_state; pending = _ }) ->
-               if apply_join_snapshot t ~rows ~sync_state then k (Ok (List.length rows))
+           | Ok (Protocol.Join_snapshot { rows; sync_state; pending = _; epochs }) ->
+               if apply_join_snapshot t ~rows ~sync_state ~epochs then
+                 k (Ok (List.length rows))
                else k (Error Update.Txn_aborted)
            | Ok _ -> k (Error Update.Txn_aborted)
            | Error Rpc.Timeout -> k (Error Update.Unreachable)))
@@ -1752,9 +2366,10 @@ let submit_update t ~item ~delta callback =
     match (config t).Config.mode with
     | Config.Centralized -> centralized_update t ~item ~delta ~finish
     | Config.Autonomous ->
-        (* The checking function: AV defined => Delay Update, otherwise
-           Immediate Update. *)
-        if Av_table.is_defined t.av ~item then delay_update t ~item ~delta ~finish
+        (* The checking function: epoch class by catalogue, else AV
+           defined => Delay Update, otherwise Immediate Update. *)
+        if Hashtbl.mem t.epochs item then epoch_update t ~item ~delta ~finish
+        else if Av_table.is_defined t.av ~item then delay_update t ~item ~delta ~finish
         else immediate_update t ~item ~delta ~finish
 
 (* Reads with heterogeneous consistency: a local read is free and possibly
@@ -2043,6 +2658,14 @@ let replay_protocol_log t =
         if seq >= t.next_txn_seq then t.next_txn_seq <- seq + 1
       end)
     (Txn_log.entries t.txn_log);
+  (* epoch intents draw from the same allocator *)
+  List.iter
+    (fun (ie : Txn_log.intent_entry) ->
+      if Address.equal ie.Txn_log.in_origin t.addr then begin
+        let seq = ie.Txn_log.in_txid - (Address.to_int t.addr * 1_000_000) in
+        if seq >= t.next_txn_seq then t.next_txn_seq <- seq + 1
+      end)
+    (Txn_log.intents t.txn_log);
   List.iter
     (fun (e : Txn_log.entry) ->
       let txid = e.Txn_log.txid in
@@ -2313,7 +2936,9 @@ let rec repair_item t ~item ~attempt =
           (Protocol.Join_request { wanted = Some [ item ] })
           (fenced t (fun response ->
                match response with
-               | Ok (Protocol.Join_snapshot { rows; sync_state = _; pending } as resp)
+               | Ok
+                   (Protocol.Join_snapshot { rows; sync_state = _; pending; epochs }
+                   as resp)
                  -> (
                    t.metrics.Update.Metrics.repair_bytes <-
                      t.metrics.Update.Metrics.repair_bytes
@@ -2330,6 +2955,21 @@ let rec repair_item t ~item ~attempt =
                        | Error e ->
                            Database.abort txn;
                            failwith ("Site.repair install: " ^ e));
+                       (match (Hashtbl.find_opt t.epochs item, epochs) with
+                       | Some st, (_, donor_applied) :: _ ->
+                           (* installed rows fold every donor seal through
+                              [donor_applied]: floor the log there, and — after
+                              amnesia, where promises were lost with the log —
+                              fence this acceptor out of the next epoch so its
+                              forgotten promise cannot be betrayed *)
+                           if donor_applied > 0 then
+                             Txn_log.record_epoch_floor t.txn_log ~item
+                               ~epoch:donor_applied ~at:(now t);
+                           st.ei_applied <- Stdlib.max st.ei_applied donor_applied;
+                           if t.amnesia then
+                             st.ei_fence <- Stdlib.max st.ei_fence (donor_applied + 1);
+                           Hashtbl.reset st.ei_stash
+                       | _ -> ());
                        let watches =
                          List.filter
                            (fun (_, _, pitem, _) -> String.equal pitem item)
@@ -2462,6 +3102,9 @@ let recover t =
      ever issued, so reserve a fresh range per incarnation instead of
      risking reuse of a lost one. *)
   if t.amnesia then t.next_txn_seq <- max t.next_txn_seq (t.epoch * 1000);
+  (* Epoch class: re-derive the applied prefix and re-buffer own unsealed
+     intents from the durable log, then restart the pump. *)
+  rebuild_epoch_state t;
   schedule_sync_flush t;
   (* Quarantined items — fresh this recovery or left by an interrupted
      repair — go back under repair. *)
@@ -2505,6 +3148,29 @@ let create shared ~addr ~av_init =
     List.iter (fun (item, volume) -> Av_table.define av ~item ~volume) av_init;
   if shared.n_members < 1 then invalid_arg "Site.create: empty cluster";
   let base_addr = Address.of_int 0 in
+  let epochs = Hashtbl.create 4 in
+  List.iter
+    (fun product ->
+      let item = product.Product.name in
+      if Product.is_epoch product && Topology.interested topo ~site:my_index ~item
+      then
+        Hashtbl.replace epochs item
+          {
+            ei_item = item;
+            ei_subs = [];
+            ei_subs_version = -1;
+            ei_applied = 0;
+            ei_buffer = Hashtbl.create 8;
+            ei_sealed = Hashtbl.create 16;
+            ei_stash = Hashtbl.create 4;
+            ei_waiters = Hashtbl.create 8;
+            ei_acked = Hashtbl.create 4;
+            ei_attempts = 0;
+            ei_pump = false;
+            ei_busy = false;
+            ei_fence = 0;
+          })
+    config.Config.products;
   let t =
     {
       shared;
@@ -2543,6 +3209,7 @@ let create shared ~addr ~av_init =
       sync_flush_scheduled = false;
       next_txn_seq = 0;
       epoch = 0;
+      epochs;
       inflight = Hashtbl.create 8;
       next_op_seq = 0;
     }
@@ -2576,7 +3243,17 @@ let create shared ~addr ~av_init =
           reply (Protocol.Read_value { amount })
       | Protocol.Query_decision { txid } -> handle_query_decision t ~txid ~reply
       | Protocol.Peer_decision_query { txid } -> handle_peer_decision_query t ~txid ~reply
-      | Protocol.Join_request { wanted } -> handle_join t ~wanted ~reply)
+      | Protocol.Join_request { wanted } -> handle_join t ~wanted ~reply
+      | Protocol.Epoch_intent { item; txid; origin; delta } ->
+          handle_epoch_intent t ~item ~txid ~origin ~delta ~reply
+      | Protocol.Epoch_propose { item; epoch; ballot; seal } ->
+          handle_epoch_propose t ~src ~item ~epoch ~ballot ~seal ~reply
+      | Protocol.Epoch_commit { item; epoch; seal } ->
+          handle_epoch_commit t ~src ~item ~epoch ~seal ~reply
+      | Protocol.Epoch_pull { item; from_epoch } ->
+          handle_epoch_pull t ~item ~from_epoch ~reply
+      | Protocol.Epoch_collect { item; epoch; ballot } ->
+          handle_epoch_collect t ~item ~epoch ~ballot ~reply)
     ~notice:(fun ~src notice ->
       match notice with
       | Protocol.Sync_counters { counters; av_info; ack } ->

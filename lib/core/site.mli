@@ -98,6 +98,25 @@ val pending_sync_deltas : t -> (string * int) list
     been broadcast, sorted by item. Empty exactly when every local delta
     has been through at least one flush. *)
 
+(** {2 Epoch-quorum commit} *)
+
+val flush_epochs : t -> unit
+(** Epoch-class analogue of [flush_sync ~force:true]: per epoch item, one
+    immediate pump step (propose / take over / re-send intents, as the
+    rotation dictates) plus a seal re-broadcast to lagging subscribers.
+    Driven repeatedly at quiescence so a cluster with in-flight epoch
+    intents converges without waiting out pump ticks. *)
+
+val epoch_applied : t -> item:string -> int option
+(** Highest contiguously applied epoch for [item] at this site; [None]
+    when the site does not subscribe to [item] or [item] is not
+    epoch-class. *)
+
+val epoch_unsealed : t -> int
+(** Number of this site's own durably logged intents no logged seal
+    contains yet — the epoch class's in-doubt set, which the quiescence
+    invariant requires to reach zero (quarantined items excluded). *)
+
 (** {2 Consistency-lag probe inputs} *)
 
 val sync_version : t -> item:string -> int

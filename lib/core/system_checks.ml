@@ -96,6 +96,45 @@ let in_doubt_total ~iter_sites =
   iter_sites (fun s -> acc := !acc + Avdb_txn.Txn_log.in_flight (Site.txn_log s));
   !acc
 
+(* Sealed-epoch agreement: a seal is a single-decree quorum decision, so
+   any two sites whose durable logs both hold a seal for (item, epoch)
+   must hold the exact same intent sequence. Like 2PC decision agreement
+   this is checkable at any instant — a split seal is a protocol bug,
+   never a transient. *)
+let sealed_epoch_agreement ~iter_sites =
+  let pp_seal ppf seal =
+    Format.fprintf ppf "[%s]"
+      (String.concat ","
+         (List.map
+            (fun (i : Avdb_txn.Txn_log.intent) ->
+              Printf.sprintf "%d:%+d" i.Avdb_txn.Txn_log.i_txid
+                i.Avdb_txn.Txn_log.i_delta)
+            seal))
+  in
+  let seals : (string * int, Avdb_txn.Txn_log.intent list * Address.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let problems = ref [] in
+  iter_sites (fun s ->
+      List.iter
+        (fun (item, epoch, seal) ->
+          match Hashtbl.find_opt seals (item, epoch) with
+          | None -> Hashtbl.add seals (item, epoch) (seal, Site.addr s)
+          | Some (seal', witness) ->
+              if seal <> seal' then
+                problems :=
+                  Format.asprintf "%s e%d sealed %a at %a but %a at %a" item epoch
+                    pp_seal seal' Address.pp witness pp_seal seal Address.pp
+                    (Site.addr s)
+                  :: !problems)
+        (Avdb_txn.Txn_log.epoch_seals (Site.txn_log s)));
+  match List.rev !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+let unsealed_intent_total ~iter_sites =
+  let acc = ref 0 in
+  iter_sites (fun s -> acc := !acc + Site.epoch_unsealed s);
+  !acc
+
 let check_invariants ~config ~topology ~site =
   let problems = ref [] in
   let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
@@ -131,6 +170,23 @@ let check_invariants ~config ~topology ~site =
           (Topology.subscribers topology ~item)
       end)
     config.Config.products;
+  (* Epoch-class items additionally owe seal agreement and a drained
+     intent backlog at quiescence. *)
+  if
+    List.exists Product.is_epoch config.Config.products
+    && config.Config.mode = Config.Autonomous
+  then begin
+    let iter_sites f =
+      for i = 0 to config.Config.n_sites - 1 do
+        f (site i)
+      done
+    in
+    (match sealed_epoch_agreement ~iter_sites with
+    | Ok () -> ()
+    | Error e -> add "%s" e);
+    let unsealed = unsealed_intent_total ~iter_sites in
+    if unsealed > 0 then add "%d epoch intents still unsealed" unsealed
+  end;
   match List.rev !problems with
   | [] -> Ok ()
   | ps -> Error (String.concat "; " ps)

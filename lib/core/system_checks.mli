@@ -31,7 +31,19 @@ val decision_agreement : iter_sites:((Site.t -> unit) -> unit) -> (unit, string)
 val in_doubt_total : iter_sites:((Site.t -> unit) -> unit) -> int
 (** Transactions without a logged outcome, summed over all sites. *)
 
+val sealed_epoch_agreement :
+  iter_sites:((Site.t -> unit) -> unit) -> (unit, string) result
+(** Across every site's durable protocol log, each (item, epoch) carries
+    at most one seal value: any two logs holding a seal for the pair hold
+    the exact same intent sequence. Checkable at any instant. *)
+
+val unsealed_intent_total : iter_sites:((Site.t -> unit) -> unit) -> int
+(** Epoch-class write intents no logged seal contains yet, summed over
+    all sites (quarantined items excluded) — the epoch analogue of
+    {!in_doubt_total}, required to reach zero at quiescence. *)
+
 val check_invariants :
   config:Config.t -> topology:Topology.t -> site:(int -> Site.t) -> (unit, string) result
 (** Quiescence checks: replica agreement (autonomous mode), AV sum =
-    replicated amount, non-negative AV entries. *)
+    replicated amount, non-negative AV entries; with epoch-class products
+    also sealed-prefix agreement and a drained intent backlog. *)

@@ -1,6 +1,6 @@
 open Avdb_sim
 
-type kind = Local | With_transfer of int | Immediate | Central
+type kind = Local | With_transfer of int | Immediate | Central | Epoch
 
 type reason =
   | Av_exhausted
@@ -19,6 +19,7 @@ let pp_kind ppf = function
   | With_transfer n -> Format.fprintf ppf "transfer(%d rounds)" n
   | Immediate -> Format.pp_print_string ppf "immediate"
   | Central -> Format.pp_print_string ppf "central"
+  | Epoch -> Format.pp_print_string ppf "epoch"
 
 let pp_reason ppf = function
   | Av_exhausted -> Format.pp_print_string ppf "av-exhausted"
@@ -43,6 +44,7 @@ module Metrics = struct
     mutable applied_transfer : int;
     mutable applied_immediate : int;
     mutable applied_central : int;
+    mutable applied_epoch : int;
     mutable rejected : int;
     mutable av_requests_sent : int;
     mutable prefetch_requests : int;
@@ -57,6 +59,9 @@ module Metrics = struct
     mutable segments_quarantined : int;
     mutable repairs : int;
     mutable repair_bytes : int;
+    mutable epochs_sealed : int;
+    mutable epoch_intents_resent : int;
+    mutable epoch_takeovers : int;
     latency : Avdb_metrics.Sketch.t;
     transfer_rounds : Avdb_metrics.Sketch.t;
     grant_latency : Avdb_metrics.Sketch.t;
@@ -69,6 +74,7 @@ module Metrics = struct
       applied_transfer = 0;
       applied_immediate = 0;
       applied_central = 0;
+      applied_epoch = 0;
       rejected = 0;
       av_requests_sent = 0;
       prefetch_requests = 0;
@@ -83,6 +89,9 @@ module Metrics = struct
       segments_quarantined = 0;
       repairs = 0;
       repair_bytes = 0;
+      epochs_sealed = 0;
+      epoch_intents_resent = 0;
+      epoch_takeovers = 0;
       latency = Avdb_metrics.Sketch.create ();
       transfer_rounds = Avdb_metrics.Sketch.create ();
       grant_latency = Avdb_metrics.Sketch.create ();
@@ -90,6 +99,7 @@ module Metrics = struct
 
   let applied t =
     t.applied_local + t.applied_transfer + t.applied_immediate + t.applied_central
+    + t.applied_epoch
 
   let record t (update_result : result) =
     Avdb_metrics.Sketch.add t.latency (Time.to_ms update_result.latency);
@@ -100,11 +110,13 @@ module Metrics = struct
         Avdb_metrics.Sketch.add t.transfer_rounds (float_of_int rounds)
     | Applied Immediate -> t.applied_immediate <- t.applied_immediate + 1
     | Applied Central -> t.applied_central <- t.applied_central + 1
+    | Applied Epoch -> t.applied_epoch <- t.applied_epoch + 1
     | Rejected _ -> t.rejected <- t.rejected + 1
 
   let pp ppf t =
     Format.fprintf ppf
-      "submitted=%d local=%d transfer=%d immediate=%d central=%d rejected=%d av_req=%d"
+      "submitted=%d local=%d transfer=%d immediate=%d central=%d epoch=%d rejected=%d \
+       av_req=%d"
       t.submitted t.applied_local t.applied_transfer t.applied_immediate t.applied_central
-      t.rejected t.av_requests_sent
+      t.applied_epoch t.rejected t.av_requests_sent
 end

@@ -6,6 +6,7 @@ type kind =
   | With_transfer of int  (** Delay Update after N AV-transfer rounds *)
   | Immediate  (** primary-copy 2PC *)
   | Central  (** forwarded to the base (baseline mode) *)
+  | Epoch  (** epoch-quorum commit: the intent was sealed into an epoch *)
 
 type reason =
   | Av_exhausted  (** every peer was asked; system-wide AV short *)
@@ -37,6 +38,7 @@ module Metrics : sig
     mutable applied_transfer : int;
     mutable applied_immediate : int;
     mutable applied_central : int;
+    mutable applied_epoch : int;
     mutable rejected : int;
     mutable av_requests_sent : int;  (** AV-transfer rounds initiated *)
     mutable prefetch_requests : int;  (** background watermark refills *)
@@ -60,6 +62,12 @@ module Metrics : sig
         (** quarantined items successfully repaired from a donor *)
     mutable repair_bytes : int;
         (** wire bytes of repair snapshots fetched from donors *)
+    mutable epochs_sealed : int;
+        (** epochs this site sealed as the (possibly succeeding) sequencer *)
+    mutable epoch_intents_resent : int;
+        (** intent re-sends by the progress pump (first sends excluded) *)
+    mutable epoch_takeovers : int;
+        (** sequencer successions this site ran (collect + re-propose) *)
     latency : Avdb_metrics.Sketch.t;  (** in virtual milliseconds *)
     transfer_rounds : Avdb_metrics.Sketch.t;
         (** rounds per transfer-assisted update *)

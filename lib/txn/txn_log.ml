@@ -7,6 +7,10 @@ open Avdb_net
    the WAL) survives a simulated crash — serialisation exists so the
    same bytes could sit on disk. *)
 
+(* One write intent of the epoch-quorum commit class: what a writer logs
+   durably before telling any sequencer, and what a seal totally orders. *)
+type intent = { i_txid : int; i_origin : Address.t; i_delta : int }
+
 type record =
   | Start of {
       txid : int;
@@ -19,6 +23,17 @@ type record =
   | Outcome of { txid : int; decision : Two_phase.decision; at : Time.t }
   | End of { txid : int; at : Time.t }
   | Refused of { txid : int; at : Time.t }
+  | Intent of { txid : int; origin : Address.t; item : string; delta : int; at : Time.t }
+  | Epoch_accept of {
+      item : string;
+      epoch : int;
+      ballot : int;
+      seal : intent list;
+      at : Time.t;
+    }
+  | Epoch_seal of { item : string; epoch : int; seal : intent list; at : Time.t }
+  | Epoch_promise of { item : string; epoch : int; ballot : int; at : Time.t }
+  | Epoch_floor of { item : string; epoch : int; at : Time.t }
 
 type entry = {
   txid : int;
@@ -32,15 +47,45 @@ type entry = {
   mutable ended : bool;
 }
 
+type intent_entry = {
+  in_txid : int;
+  in_origin : Address.t;
+  in_item : string;
+  in_delta : int;
+  in_at : Time.t;
+  mutable in_sealed : bool;
+      (* set once a logged seal (any epoch) contains this txid — the
+         intent's doubt is resolved and the pump stops re-sending it *)
+}
+
 type t = {
   mutable records : record list;  (* newest-first for O(1) append *)
   mutable count : int;
   entries : (int, entry) Hashtbl.t;
   refused : (int, unit) Hashtbl.t;
+  intents : (int, intent_entry) Hashtbl.t;
+  accepts : (string * int, int * intent list) Hashtbl.t;
+      (* (item, epoch) -> highest-ballot accepted proposal *)
+  seals : (string * int, intent list) Hashtbl.t;
+  promises : (string * int, int) Hashtbl.t;
+      (* (item, epoch) -> highest ballot durably promised *)
+  floors : (string, int) Hashtbl.t;
+      (* item -> epoch below which this log holds no seals because the
+         state was installed from a snapshot (join or quarantine repair) *)
 }
 
 let create () =
-  { records = []; count = 0; entries = Hashtbl.create 32; refused = Hashtbl.create 8 }
+  {
+    records = [];
+    count = 0;
+    entries = Hashtbl.create 32;
+    refused = Hashtbl.create 8;
+    intents = Hashtbl.create 8;
+    accepts = Hashtbl.create 8;
+    seals = Hashtbl.create 8;
+    promises = Hashtbl.create 8;
+    floors = Hashtbl.create 4;
+  }
 
 let records t = List.rev t.records
 let length t = t.count
@@ -78,6 +123,37 @@ let index t = function
       | None -> ()
       | Some e -> e.ended <- true)
   | Refused { txid; _ } -> Hashtbl.replace t.refused txid ()
+  | Intent { txid; origin; item; delta; at } ->
+      if not (Hashtbl.mem t.intents txid) then
+        Hashtbl.add t.intents txid
+          {
+            in_txid = txid;
+            in_origin = origin;
+            in_item = item;
+            in_delta = delta;
+            in_at = at;
+            in_sealed = false;
+          }
+  | Epoch_accept { item; epoch; ballot; seal; _ } -> (
+      match Hashtbl.find_opt t.accepts (item, epoch) with
+      | Some (b, _) when b >= ballot -> ()
+      | Some _ | None -> Hashtbl.replace t.accepts (item, epoch) (ballot, seal))
+  | Epoch_seal { item; epoch; seal; _ } ->
+      Hashtbl.replace t.seals (item, epoch) seal;
+      List.iter
+        (fun i ->
+          match Hashtbl.find_opt t.intents i.i_txid with
+          | Some e -> e.in_sealed <- true
+          | None -> ())
+        seal
+  | Epoch_promise { item; epoch; ballot; _ } -> (
+      match Hashtbl.find_opt t.promises (item, epoch) with
+      | Some b when b >= ballot -> ()
+      | Some _ | None -> Hashtbl.replace t.promises (item, epoch) ballot)
+  | Epoch_floor { item; epoch; _ } -> (
+      match Hashtbl.find_opt t.floors item with
+      | Some f when f >= epoch -> ()
+      | Some _ | None -> Hashtbl.replace t.floors item epoch)
 
 let append t r =
   index t r;
@@ -100,6 +176,64 @@ let record_end t ~txid ~at =
 
 let record_refused t ~txid ~at =
   if not (Hashtbl.mem t.refused txid) then append t (Refused { txid; at })
+
+(* --- epoch-quorum commit records --- *)
+
+let record_intent t ~txid ~origin ~item ~delta ~at =
+  if not (Hashtbl.mem t.intents txid) then
+    append t (Intent { txid; origin; item; delta; at })
+
+let record_epoch_accept t ~item ~epoch ~ballot ~seal ~at =
+  match Hashtbl.find_opt t.accepts (item, epoch) with
+  | Some (b, _) when b >= ballot -> ()
+  | Some _ | None -> append t (Epoch_accept { item; epoch; ballot; seal; at })
+
+let record_epoch_seal t ~item ~epoch ~seal ~at =
+  if not (Hashtbl.mem t.seals (item, epoch)) then
+    append t (Epoch_seal { item; epoch; seal; at })
+
+let record_epoch_promise t ~item ~epoch ~ballot ~at =
+  match Hashtbl.find_opt t.promises (item, epoch) with
+  | Some b when b >= ballot -> ()
+  | Some _ | None -> append t (Epoch_promise { item; epoch; ballot; at })
+
+let record_epoch_floor t ~item ~epoch ~at =
+  match Hashtbl.find_opt t.floors item with
+  | Some f when f >= epoch -> ()
+  | Some _ | None -> append t (Epoch_floor { item; epoch; at })
+
+let find_intent t ~txid = Hashtbl.find_opt t.intents txid
+let intent_sealed t ~txid =
+  match Hashtbl.find_opt t.intents txid with Some e -> e.in_sealed | None -> false
+
+let intents t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.intents []
+  |> List.sort (fun a b -> compare a.in_txid b.in_txid)
+
+let unsealed_intents t = List.filter (fun e -> not e.in_sealed) (intents t)
+
+let epoch_accept t ~item ~epoch = Hashtbl.find_opt t.accepts (item, epoch)
+let epoch_seal t ~item ~epoch = Hashtbl.find_opt t.seals (item, epoch)
+
+let epoch_promise t ~item ~epoch =
+  let promised = Option.value ~default:0 (Hashtbl.find_opt t.promises (item, epoch)) in
+  match Hashtbl.find_opt t.accepts (item, epoch) with
+  | Some (b, _) -> Stdlib.max promised b
+  | None -> promised
+
+let epoch_floor t ~item = Option.value ~default:0 (Hashtbl.find_opt t.floors item)
+
+let epoch_seals t =
+  Hashtbl.fold (fun (item, epoch) seal acc -> (item, epoch, seal) :: acc) t.seals []
+  |> List.sort (fun (a, e, _) (b, f, _) ->
+         match String.compare a b with 0 -> compare e f | c -> c)
+
+(* Highest epoch with every seal from 1 up to it present — the prefix a
+   recovering subscriber can trust it applied (seals are logged in the
+   same atomic event as their local apply, in epoch order). *)
+let max_contiguous_seal t ~item =
+  let rec loop e = if Hashtbl.mem t.seals (item, e + 1) then loop (e + 1) else e in
+  loop (epoch_floor t ~item)
 
 let find t ~txid = Hashtbl.find_opt t.entries txid
 let is_refused t ~txid = Hashtbl.mem t.refused txid
@@ -176,6 +310,33 @@ let dec_decision = function
   | "A" -> Ok Two_phase.Abort
   | s -> Error ("bad decision " ^ s)
 
+(* A seal is a comma-separated list of txid:origin:delta triples — all
+   ints, so no escaping interacts with the '|' field separator. *)
+let enc_seal seal =
+  String.concat ","
+    (List.map
+       (fun i ->
+         Printf.sprintf "%d:%d:%d" i.i_txid (Address.to_int i.i_origin) i.i_delta)
+       seal)
+
+let dec_seal s =
+  if s = "" then Ok []
+  else
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | triple :: rest -> (
+          match String.split_on_char ':' triple with
+          | [ txid; origin; delta ] -> (
+              match
+                (int_of_string_opt txid, int_of_string_opt origin, int_of_string_opt delta)
+              with
+              | Some i_txid, Some origin, Some i_delta ->
+                  loop ({ i_txid; i_origin = Address.of_int origin; i_delta } :: acc) rest
+              | _ -> Error ("bad seal intent " ^ triple))
+          | _ -> Error ("bad seal intent " ^ triple))
+    in
+    loop [] (String.split_on_char ',' s)
+
 let encode_record = function
   | Start { txid; coordinator; cohort; item; delta; at } ->
       Printf.sprintf "S|%d|%d|%s|%s|%d|%d" txid
@@ -185,6 +346,18 @@ let encode_record = function
       Printf.sprintf "O|%d|%s|%d" txid (enc_decision decision) (Time.to_us at)
   | End { txid; at } -> Printf.sprintf "E|%d|%d" txid (Time.to_us at)
   | Refused { txid; at } -> Printf.sprintf "R|%d|%d" txid (Time.to_us at)
+  | Intent { txid; origin; item; delta; at } ->
+      Printf.sprintf "I|%d|%d|%s|%d|%d" txid (Address.to_int origin) (enc_str item) delta
+        (Time.to_us at)
+  | Epoch_accept { item; epoch; ballot; seal; at } ->
+      Printf.sprintf "A|%s|%d|%d|%s|%d" (enc_str item) epoch ballot (enc_seal seal)
+        (Time.to_us at)
+  | Epoch_seal { item; epoch; seal; at } ->
+      Printf.sprintf "L|%s|%d|%s|%d" (enc_str item) epoch (enc_seal seal) (Time.to_us at)
+  | Epoch_promise { item; epoch; ballot; at } ->
+      Printf.sprintf "P|%s|%d|%d|%d" (enc_str item) epoch ballot (Time.to_us at)
+  | Epoch_floor { item; epoch; at } ->
+      Printf.sprintf "F|%s|%d|%d" (enc_str item) epoch (Time.to_us at)
 
 let ( let* ) = Result.bind
 
@@ -214,6 +387,37 @@ let decode_record line =
       let* txid = int_field txid in
       let* at = Result.map Time.of_us (int_field at) in
       Ok (Refused { txid; at })
+  | [ "I"; txid; origin; item; delta; at ] ->
+      let* txid = int_field txid in
+      let* origin = Result.map Address.of_int (int_field origin) in
+      let* item = dec_str item in
+      let* delta = int_field delta in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Intent { txid; origin; item; delta; at })
+  | [ "A"; item; epoch; ballot; seal; at ] ->
+      let* item = dec_str item in
+      let* epoch = int_field epoch in
+      let* ballot = int_field ballot in
+      let* seal = dec_seal seal in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Epoch_accept { item; epoch; ballot; seal; at })
+  | [ "L"; item; epoch; seal; at ] ->
+      let* item = dec_str item in
+      let* epoch = int_field epoch in
+      let* seal = dec_seal seal in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Epoch_seal { item; epoch; seal; at })
+  | [ "P"; item; epoch; ballot; at ] ->
+      let* item = dec_str item in
+      let* epoch = int_field epoch in
+      let* ballot = int_field ballot in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Epoch_promise { item; epoch; ballot; at })
+  | [ "F"; item; epoch; at ] ->
+      let* item = dec_str item in
+      let* epoch = int_field epoch in
+      let* at = Result.map Time.of_us (int_field at) in
+      Ok (Epoch_floor { item; epoch; at })
   | _ -> Error ("Txn_log.decode_record: malformed line " ^ line)
 
 let to_string t = String.concat "\n" (List.map encode_record (records t))

@@ -20,6 +20,9 @@
       voted Ready for the txid and promises to refuse any (late) prepare
       for it, which lets a fellow in-doubt participant presume abort. *)
 
+(** One epoch-quorum write intent: the unit a seal totally orders. *)
+type intent = { i_txid : int; i_origin : Avdb_net.Address.t; i_delta : int }
+
 type record =
   | Start of {
       txid : int;
@@ -32,6 +35,36 @@ type record =
   | Outcome of { txid : int; decision : Two_phase.decision; at : Avdb_sim.Time.t }
   | End of { txid : int; at : Avdb_sim.Time.t }
   | Refused of { txid : int; at : Avdb_sim.Time.t }
+  | Intent of {
+      txid : int;
+      origin : Avdb_net.Address.t;
+      item : string;
+      delta : int;
+      at : Avdb_sim.Time.t;
+    }
+      (** epoch class, writer side: logged before the intent is sent to
+          any sequencer, so a crashed writer re-sends on recovery *)
+  | Epoch_accept of {
+      item : string;
+      epoch : int;
+      ballot : int;
+      seal : intent list;
+      at : Avdb_sim.Time.t;
+    }
+      (** epoch class, acceptor side: a promise-and-accept of one
+          proposal — logged before the ack, so quorum intersection holds
+          across crashes *)
+  | Epoch_seal of { item : string; epoch : int; seal : intent list; at : Avdb_sim.Time.t }
+      (** epoch class: the sealed decision, logged in the same atomic
+          event as applying its deltas locally *)
+  | Epoch_promise of { item : string; epoch : int; ballot : int; at : Avdb_sim.Time.t }
+      (** epoch class, acceptor side: a phase-1 promise granted to a
+          takeover candidate without accepting a value yet — durable so a
+          crashed acceptor cannot later accept a lower ballot *)
+  | Epoch_floor of { item : string; epoch : int; at : Avdb_sim.Time.t }
+      (** epoch class: state through this epoch was installed from a
+          snapshot (join or quarantine repair), so this log holds no seals
+          at or below it; {!max_contiguous_seal} counts from here *)
 
 type entry = {
   txid : int;
@@ -70,6 +103,76 @@ val record_end : t -> txid:int -> at:Avdb_sim.Time.t -> unit
 
 val record_refused : t -> txid:int -> at:Avdb_sim.Time.t -> unit
 (** Pledge never to vote Ready for [txid]. Idempotent. *)
+
+(** {2 Epoch-quorum commit records} *)
+
+type intent_entry = {
+  in_txid : int;
+  in_origin : Avdb_net.Address.t;
+  in_item : string;
+  in_delta : int;
+  in_at : Avdb_sim.Time.t;
+  mutable in_sealed : bool;  (** a logged seal contains this txid *)
+}
+
+val record_intent :
+  t ->
+  txid:int ->
+  origin:Avdb_net.Address.t ->
+  item:string ->
+  delta:int ->
+  at:Avdb_sim.Time.t ->
+  unit
+(** Idempotent on txid. *)
+
+val record_epoch_accept :
+  t -> item:string -> epoch:int -> ballot:int -> seal:intent list -> at:Avdb_sim.Time.t -> unit
+(** Logged only when [ballot] exceeds the highest already accepted for
+    (item, epoch); the index keeps the highest-ballot proposal. *)
+
+val record_epoch_seal :
+  t -> item:string -> epoch:int -> seal:intent list -> at:Avdb_sim.Time.t -> unit
+(** Idempotent per (item, epoch). Marks every contained intent of this
+    log as sealed. *)
+
+val record_epoch_promise :
+  t -> item:string -> epoch:int -> ballot:int -> at:Avdb_sim.Time.t -> unit
+(** Logged only when [ballot] exceeds the highest already promised. *)
+
+val record_epoch_floor : t -> item:string -> epoch:int -> at:Avdb_sim.Time.t -> unit
+(** Logged only when [epoch] exceeds the current floor. *)
+
+val find_intent : t -> txid:int -> intent_entry option
+val intent_sealed : t -> txid:int -> bool
+
+val intents : t -> intent_entry list
+(** Sorted by txid. *)
+
+val unsealed_intents : t -> intent_entry list
+(** Intents no logged seal contains yet — the epoch class's in-doubt set,
+    re-sent by recovery and counted by the quiescence invariant. *)
+
+val epoch_accept : t -> item:string -> epoch:int -> (int * intent list) option
+(** Highest-ballot accepted proposal for the epoch, as (ballot, seal). *)
+
+val epoch_seal : t -> item:string -> epoch:int -> intent list option
+
+val epoch_promise : t -> item:string -> epoch:int -> int
+(** Highest ballot durably promised for (item, epoch), counting both
+    promise-only and accept records; 0 when none. *)
+
+val epoch_floor : t -> item:string -> int
+(** The snapshot-install floor for [item]; 0 when none. *)
+
+val epoch_seals : t -> (string * int * intent list) list
+(** Every sealed (item, epoch, seal), sorted — the sealed-epoch agreement
+    probe compares these across sites. *)
+
+val max_contiguous_seal : t -> item:string -> int
+(** Highest epoch e with seals floor+1..e all present — the applied
+    prefix a recovering subscriber can trust (seals are logged atomically
+    with their local apply, in epoch order). The floor on a fresh log is
+    0. *)
 
 val find : t -> txid:int -> entry option
 val is_refused : t -> txid:int -> bool

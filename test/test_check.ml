@@ -331,6 +331,48 @@ let test_mutation_forget_own_writes =
         (function Checker.Stale_read _ -> true | _ -> false)
         (finish s))
 
+(* --- epoch-quorum commit under the oracle --- *)
+
+let epoch_scripted_config =
+  {
+    Config.default with
+    Config.n_sites = 3;
+    products = Product.mixed ~n_regular:0 ~n_non_regular:0 ~n_epoch:1 ~initial_amount:40;
+    mode = Config.Autonomous;
+  }
+
+let test_clean_epoch_run () =
+  let s = scripted epoch_scripted_config in
+  s.submit 1 "epoch0" (-5);
+  ignore (s.read_local 1 "epoch0");
+  s.submit 2 "epoch0" (-3);
+  s.submit 0 "epoch0" 10;
+  ignore (s.read_local 2 "epoch0");
+  let v = finish s in
+  expect_clean "epoch" v;
+  Alcotest.(check bool) "epoch reads validated" true (v.Checker.stats.n_replica_reads > 0)
+
+let test_mutation_epoch_double_seal =
+  with_mutation Mutation.Epoch_double_seal (fun () ->
+      (* The sequencer applies every sealed delta twice on its own replica
+         while the broadcast carries the honest seal: the proposer's copy
+         diverges from the other subscribers at quiescence. *)
+      let s = scripted epoch_scripted_config in
+      s.submit 1 "epoch0" (-10);
+      check_convicts "epoch-double-seal"
+        (function Checker.Divergence _ -> true | _ -> false)
+        (finish s))
+
+let test_mutation_epoch_drop_intent =
+  with_mutation Mutation.Epoch_drop_intent (fun () ->
+      (* Non-proposer subscribers silently skip the first intent of every
+         seal they apply: their replicas miss a committed delta. *)
+      let s = scripted epoch_scripted_config in
+      s.submit 1 "epoch0" (-10);
+      check_convicts "epoch-drop-intent"
+        (function Checker.Divergence _ -> true | _ -> false)
+        (finish s))
+
 let test_mutation_unilateral_abort =
   with_mutation Mutation.Unilateral_abort (fun () ->
       (* Needs an in-doubt window, so it runs under the nemesis: a prepared
@@ -374,6 +416,9 @@ let suites =
         Alcotest.test_case "mutation: double-deposit" `Quick test_mutation_double_deposit;
         Alcotest.test_case "mutation: stale-reads" `Quick test_mutation_stale_reads;
         Alcotest.test_case "mutation: forget-own-writes" `Quick test_mutation_forget_own_writes;
+        Alcotest.test_case "clean epoch run" `Quick test_clean_epoch_run;
+        Alcotest.test_case "mutation: epoch-double-seal" `Quick test_mutation_epoch_double_seal;
+        Alcotest.test_case "mutation: epoch-drop-intent" `Quick test_mutation_epoch_drop_intent;
         Alcotest.test_case "mutation: unilateral-abort" `Quick test_mutation_unilateral_abort;
       ] );
   ]

@@ -355,6 +355,183 @@ let test_storage_coordinator_amnesia_adjudication () =
   check_no_quarantine cluster;
   assert_clean cluster ~amount:100
 
+(* --- epoch-quorum commit: crashes at every protocol boundary ---
+
+   Same deterministic setting (constant 1 ms latency, 5 ms pump ticks):
+   a submission buffers its intent at t=0; the rotating sequencer for
+   epoch 1 of "epoch0" on 3 sites is site 1; a proposal goes out on the
+   5 ms pump tick, acceptor votes land at 7 ms sealing the epoch at the
+   proposer, and the seal broadcast reaches subscribers at 8 ms. Every
+   case must end with zero unsealed intents, cross-log seal agreement
+   and exact convergence — the intent applies exactly once no matter
+   where the crash lands. *)
+
+module Address = Avdb_net.Address
+
+let epoch_item = "epoch0"
+
+let make_epoch_cluster ?(n_sites = 3) () =
+  Cluster.create
+    {
+      Config.default with
+      Config.n_sites;
+      products = Product.mixed ~n_regular:0 ~n_non_regular:0 ~n_epoch:1 ~initial_amount:1000;
+      seed = 7;
+    }
+
+(* Epoch convergence needs the force-flush loop: a lost seal broadcast
+   re-sends only on the next flush pass. *)
+let epoch_quiesce cluster =
+  Cluster.run cluster;
+  let rec go n =
+    Cluster.flush_all_syncs cluster;
+    if Cluster.unsealed_intent_total cluster > 0 && n > 0 then go (n - 1)
+  in
+  go 50
+
+let assert_epoch_clean cluster ~amount =
+  (match Cluster.sealed_epoch_agreement cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "zero unsealed intents" 0 (Cluster.unsealed_intent_total cluster);
+  List.iteri
+    (fun i a -> Alcotest.(check int) (Printf.sprintf "site%d replica" i) amount a)
+    (Cluster.replica_amounts cluster ~item:epoch_item)
+
+(* Writer crashes right after durably logging its intent, before any
+   pump tick sends it anywhere. The client sees the crash — but the
+   intent survives in the log, is re-buffered by recovery and still
+   applies exactly once, cluster-wide. *)
+let test_epoch_writer_crash_after_intent () =
+  let cluster = make_epoch_cluster () in
+  let engine = Cluster.engine cluster in
+  let writer = Cluster.site cluster 2 in
+  let fired = ref 0 and result = ref None in
+  Site.submit_update writer ~item:epoch_item ~delta:(-10) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 0.5) (fun () -> Site.crash writer));
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 50.) (fun () -> Site.recover writer));
+  epoch_quiesce cluster;
+  Alcotest.(check bool) "client saw the crash" true (rejected_unreachable result);
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  assert_epoch_clean cluster ~amount:990
+
+(* The sequencer crashes holding the writer's intent, before proposing:
+   nothing is accepted anywhere, so the epoch is presumed unsealed. The
+   writer's pump escalates to ballot 1, whose candidate (site 2) takes
+   over with a collect round and seals the epoch itself. *)
+let test_epoch_sequencer_crash_before_seal () =
+  let cluster = make_epoch_cluster () in
+  let engine = Cluster.engine cluster in
+  let sequencer = Cluster.site cluster 1 in
+  let fired = ref 0 and result = ref None in
+  Site.submit_update (Cluster.site cluster 0) ~item:epoch_item ~delta:(-10) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 8.) (fun () -> Site.crash sequencer));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 2000.) (fun () -> Site.recover sequencer));
+  epoch_quiesce cluster;
+  (match !result with
+  | Some { Update.outcome = Update.Applied Update.Epoch; _ } -> ()
+  | Some r -> Alcotest.failf "expected an epoch apply, got %a" Update.pp_result r
+  | None -> Alcotest.fail "update never settled");
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check bool) "a successor ran a takeover" true
+    ((Site.metrics (Cluster.site cluster 0)).Update.Metrics.epoch_takeovers
+     + (Site.metrics (Cluster.site cluster 2)).Update.Metrics.epoch_takeovers
+    >= 1);
+  assert_epoch_clean cluster ~amount:990
+
+(* The sequencer crashes right after sealing: the seal record and local
+   apply are already durable and the broadcast is on the wire, so the
+   subscribers finish the epoch while the sequencer is down — and its
+   recovery must not re-apply its own seal. *)
+let test_epoch_sequencer_crash_after_seal () =
+  let cluster = make_epoch_cluster () in
+  let engine = Cluster.engine cluster in
+  let sequencer = Cluster.site cluster 1 in
+  let fired = ref 0 and result = ref None in
+  Site.submit_update sequencer ~item:epoch_item ~delta:(-10) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 7.5) (fun () -> Site.crash sequencer));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 2000.) (fun () -> Site.recover sequencer));
+  epoch_quiesce cluster;
+  (match !result with
+  | Some { Update.outcome = Update.Applied Update.Epoch; _ } -> ()
+  | Some r -> Alcotest.failf "expected an epoch apply, got %a" Update.pp_result r
+  | None -> Alcotest.fail "update never settled");
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check int) "sealed exactly one epoch" 1
+    (Site.metrics sequencer).Update.Metrics.epochs_sealed;
+  assert_epoch_clean cluster ~amount:990
+
+(* Takeover with a potentially-decided value in flight: the sequencer
+   crashes after the acceptors durably accepted its proposal but before
+   any vote got back, so no seal exists anywhere — yet the value might
+   have been decided. The successor's collect surfaces the accepted
+   proposal and the takeover must adopt it: epoch 1 seals with the dead
+   sequencer's intent, and the successor's own intent waits for epoch 2. *)
+let test_epoch_takeover_adopts_accepted_value () =
+  let cluster = make_epoch_cluster () in
+  let engine = Cluster.engine cluster in
+  let sequencer = Cluster.site cluster 1 in
+  let fired = ref 0 in
+  Site.submit_update sequencer ~item:epoch_item ~delta:(-10) (fun _ -> incr fired);
+  Site.submit_update (Cluster.site cluster 2) ~item:epoch_item ~delta:(-3) (fun _ ->
+      incr fired);
+  ignore (Engine.schedule_at engine ~at:(Time.of_ms 6.5) (fun () -> Site.crash sequencer));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 2000.) (fun () -> Site.recover sequencer));
+  epoch_quiesce cluster;
+  Alcotest.(check int) "both continuations fired exactly once" 2 !fired;
+  Alcotest.(check bool) "a successor ran a takeover" true
+    ((Site.metrics (Cluster.site cluster 0)).Update.Metrics.epoch_takeovers
+     + (Site.metrics (Cluster.site cluster 2)).Update.Metrics.epoch_takeovers
+    >= 1);
+  (match
+     Txn_log.epoch_seal (Site.txn_log (Cluster.site cluster 0)) ~item:epoch_item ~epoch:1
+   with
+  | Some seal ->
+      Alcotest.(check bool) "epoch 1 adopted the dead sequencer's intent" true
+        (List.exists
+           (fun (i : Txn_log.intent) -> Address.to_int i.Txn_log.i_origin = 1)
+           seal)
+  | None -> Alcotest.fail "epoch 1 never sealed at site 0");
+  assert_epoch_clean cluster ~amount:987
+
+(* The seal broadcast is lost in its entirety (a total-loss window opens
+   just as the votes land): the sequencer has sealed and answered its
+   client, the acceptors hold accepts but no seal. The quiescence flush
+   re-broadcasts to the lagging subscribers — no client retry, no
+   takeover, no double apply. *)
+let test_epoch_seal_broadcast_loss () =
+  let cluster = make_epoch_cluster () in
+  let engine = Cluster.engine cluster in
+  let fired = ref 0 and result = ref None in
+  Site.submit_update (Cluster.site cluster 1) ~item:epoch_item ~delta:(-10) (fun r ->
+      incr fired;
+      result := Some r);
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 6.5) (fun () ->
+         Cluster.set_drop_probability cluster 1.0));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ms 7.5) (fun () ->
+         Cluster.set_drop_probability cluster 0.));
+  epoch_quiesce cluster;
+  (match !result with
+  | Some { Update.outcome = Update.Applied Update.Epoch; _ } -> ()
+  | Some r -> Alcotest.failf "expected an epoch apply, got %a" Update.pp_result r
+  | None -> Alcotest.fail "update never settled");
+  Alcotest.(check int) "continuation fired exactly once" 1 !fired;
+  Alcotest.(check int) "no takeover was needed" 0
+    ((Site.metrics (Cluster.site cluster 2)).Update.Metrics.epoch_takeovers
+    + (Site.metrics (Cluster.site cluster 0)).Update.Metrics.epoch_takeovers);
+  assert_epoch_clean cluster ~amount:990
+
 let suites =
   [
     ( "core.crash-matrix",
@@ -382,5 +559,15 @@ let suites =
           test_storage_txn_log_lost_segment;
         Alcotest.test_case "storage: coordinator amnesia adjudication" `Quick
           test_storage_coordinator_amnesia_adjudication;
+        Alcotest.test_case "epoch: writer crash after intent logged" `Quick
+          test_epoch_writer_crash_after_intent;
+        Alcotest.test_case "epoch: sequencer crash before seal" `Quick
+          test_epoch_sequencer_crash_before_seal;
+        Alcotest.test_case "epoch: sequencer crash after seal" `Quick
+          test_epoch_sequencer_crash_after_seal;
+        Alcotest.test_case "epoch: takeover adopts accepted value" `Quick
+          test_epoch_takeover_adopts_accepted_value;
+        Alcotest.test_case "epoch: seal broadcast loss" `Quick
+          test_epoch_seal_broadcast_loss;
       ] );
   ]

@@ -19,6 +19,23 @@ let test_fixed_seeds () =
      is vacuous. *)
   Alcotest.(check bool) "in-doubt recovery was exercised" true (!in_doubt_recovered > 0)
 
+let test_epoch_seeds () =
+  (* Mixed-class runs with epoch items under the oracle: the epoch
+     invariants (sealed-prefix agreement, zero unsealed intents) and the
+     checker's epoch convergence rule must hold under crashes, partitions
+     and lossy windows — and the sweep must actually seal epochs. *)
+  let sealed = ref 0 in
+  for seed = 0 to 4 do
+    let report =
+      Nemesis.check ~shrink:false
+        { (Nemesis.default ~seed) with Nemesis.n_epoch = 2; oracle = true }
+    in
+    if not (Nemesis.passed report) then
+      Alcotest.failf "epoch nemesis violation:@.%a" Nemesis.pp_report report;
+    sealed := !sealed + report.Nemesis.outcome.Nemesis.stats.Nemesis.epochs_sealed
+  done;
+  Alcotest.(check bool) "epochs were sealed" true (!sealed > 0)
+
 let test_deterministic () =
   let cfg = Nemesis.default ~seed:42 in
   let schedule = Nemesis.generate cfg in
@@ -69,6 +86,7 @@ let suites =
     ( "chaos.nemesis",
       [
         Alcotest.test_case "fixed seeds pass" `Slow test_fixed_seeds;
+        Alcotest.test_case "epoch seeds pass" `Slow test_epoch_seeds;
         Alcotest.test_case "deterministic replay" `Quick test_deterministic;
         Alcotest.test_case "schedules well-formed" `Quick test_schedules_well_formed;
       ] );

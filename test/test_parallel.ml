@@ -152,6 +152,28 @@ let test_parallel_deterministic () =
     (Pcluster.metric_samples pc1 = Pcluster.metric_samples pc2);
   Alcotest.(check bool) "samples were taken" true (Pcluster.metric_samples pc1 <> [])
 
+(* --- a run shorter than one probe window still gets probed --- *)
+
+let test_short_run_probes () =
+  let config =
+    {
+      Config.default with
+      Config.n_sites = 20;
+      products = Product.catalogue ~n_regular:4 ~n_non_regular:2 ~initial_amount:100;
+      topology = Topology.sharded ~spread:3 ();
+      sync_interval = Some (Time.of_ms 25.);
+      (* One probe window far past the whole run: the periodic hook never
+         fires, so only the quiescence-time pass can cover the run. *)
+      snapshot_interval = Some (Time.of_ms 60_000.);
+      domains = 2;
+      seed = 7;
+    }
+  in
+  let pc = Pcluster.create config in
+  let wl = sharded_wl config (Pcluster.topology pc) ~seed:13 in
+  let _ = Runner.run_parallel pc ~nth_update:(Scm.generator wl) ~total_updates:20 () in
+  Alcotest.(check bool) "at least one probe pass" true (Pcluster.probes_run pc >= 1)
+
 (* --- the oracle accepts a parallel run's merged history --- *)
 
 let test_oracle_accepts_parallel () =
@@ -231,6 +253,7 @@ let suites =
         Alcotest.test_case "placement clamps domains" `Quick test_placement_clamps;
         Alcotest.test_case "domains=1 replays sequential" `Quick
           test_domains1_replays_sequential;
+        Alcotest.test_case "short run still probed" `Quick test_short_run_probes;
         Alcotest.test_case "same-seed runs byte-identical" `Quick
           test_parallel_deterministic;
         Alcotest.test_case "oracle accepts merged history" `Quick
